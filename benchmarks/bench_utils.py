@@ -1,0 +1,56 @@
+"""Helpers shared by the benchmark/experiment modules."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grid.topology import GridBuilder, GridTopology
+
+__all__ = [
+    "make_dynamic_grid",
+    "make_dedicated_grid",
+    "print_block",
+    "publish_block",
+    "PUBLISHED_BLOCKS",
+]
+
+#: Reproduced tables/series registered by the experiment modules.  The
+#: ``pytest_terminal_summary`` hook in ``conftest.py`` prints them after the
+#: run, so they land in ``bench_output.txt`` even when pytest captures
+#: per-test stdout (the default).
+PUBLISHED_BLOCKS: List[str] = []
+
+
+def publish_block(text: str) -> None:
+    """Register a reproduced table/series for the end-of-run summary."""
+    PUBLISHED_BLOCKS.append(text)
+    print_block(text)
+
+
+def make_dynamic_grid(seed: int = 0, nodes: int = 8, spread: float = 4.0,
+                      mean_level: float = 0.35) -> GridTopology:
+    """Heterogeneous, non-dedicated grid (random-walk background load)."""
+    return (
+        GridBuilder()
+        .heterogeneous(nodes=nodes, speed_spread=spread)
+        .with_dynamic_load("randomwalk", mean_level=mean_level)
+        .named(f"dynamic-{nodes}x{spread}")
+        .build(seed=seed)
+    )
+
+
+def make_dedicated_grid(seed: int = 0, nodes: int = 8, spread: float = 4.0) -> GridTopology:
+    """Heterogeneous but dedicated grid (no external load)."""
+    return (
+        GridBuilder()
+        .heterogeneous(nodes=nodes, speed_spread=spread)
+        .named(f"dedicated-{nodes}x{spread}")
+        .build(seed=seed)
+    )
+
+
+def print_block(text: str) -> None:
+    """Print a reproduced table/series with visual separation."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each ``test_bench_*.py`` module regenerates one experiment of the paper's
+evaluation (see DESIGN.md §4 and EXPERIMENTS.md).  Every module:
+
+* runs the experiment once (module-scoped fixture) and *prints* the
+  table/series it reproduces — so ``pytest benchmarks/ --benchmark-only -s``
+  leaves the reproduced rows in ``bench_output.txt``; and
+* registers a pytest-benchmark measurement of the adaptive run so the
+  harness also records the wall-clock cost of the simulation itself.
+
+Benchmarks use small problem sizes; the experiments measure *virtual time*,
+so the statistical shape does not depend on wall-clock effort.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make bench_utils importable regardless of how pytest resolves rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_utils  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    """How many rounds pytest-benchmark repeats each measured run."""
+    return 3
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit every reproduced experiment table/series after the run.
+
+    This guarantees the reproduced rows appear in ``bench_output.txt`` even
+    though pytest captures per-test stdout by default.
+    """
+    if not bench_utils.PUBLISHED_BLOCKS:
+        return
+    terminalreporter.write_sep("=", "reproduced experiment tables & series")
+    for block in bench_utils.PUBLISHED_BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

@@ -1,0 +1,106 @@
+"""E3 (Algorithm 2): threshold-triggered recalibration under a load spike.
+
+The fastest nodes of the grid are hit by a heavy competing workload
+mid-run; the monitoring rounds breach the performance threshold *Z* and the
+farm recalibrates, shifting work onto the still-healthy nodes.  The series
+reports, per monitoring round, the minimum normalised time, the threshold
+and whether an adaptation fired — the dynamics of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.grid.load import StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridTopology
+from repro.skeletons.taskfarm import TaskFarm
+
+from bench_utils import publish_block
+
+
+def spike_grid() -> GridTopology:
+    """The two fastest nodes lose ~95% of their capacity at t=5."""
+    nodes = [
+        GridNode(node_id="n0", speed=1.0),
+        GridNode(node_id="n1", speed=1.0),
+        GridNode(node_id="n2", speed=2.0),
+        GridNode(node_id="n3", speed=2.0),
+        GridNode(node_id="n4", speed=8.0,
+                 load_model=StepLoad(steps=[(5.0, 0.95)], initial=0.0)),
+        GridNode(node_id="n5", speed=8.0,
+                 load_model=StepLoad(steps=[(5.0, 0.95)], initial=0.0)),
+    ]
+    return GridTopology(nodes=nodes, wan_latency=1e-4, wan_bandwidth=1e8, name="spike")
+
+
+def run_adaptive(threshold_factor: float = 1.5):
+    farm = TaskFarm(worker=lambda x: x * x, cost_model=lambda item: 4.0)
+    config = GraspConfig.adaptive(threshold_factor=threshold_factor)
+    return Grasp(farm, spike_grid(), config=config).run(range(300))
+
+
+def run_frozen():
+    farm = TaskFarm(worker=lambda x: x * x, cost_model=lambda item: 4.0)
+    return Grasp(farm, spike_grid(), config=GraspConfig.non_adaptive()).run(range(300))
+
+
+@pytest.fixture(scope="module")
+def adaptation_runs():
+    adaptive = run_adaptive()
+    frozen = run_frozen()
+
+    rounds = ExperimentTable(
+        title="E3 / Algorithm 2 — monitoring rounds under a t=5 load spike (adaptive farm)",
+        columns=["round", "min_unit_time", "threshold_Z", "breached", "action",
+                 "workers_after"],
+    )
+    for rnd in adaptive.execution.rounds:
+        rounds.add_row({
+            "round": rnd.index,
+            "min_unit_time": rnd.min_time,
+            "threshold_Z": rnd.threshold if rnd.threshold != float("inf") else None,
+            "breached": rnd.breached,
+            "action": rnd.action.value if rnd.action else "-",
+            "workers_after": len(rnd.chosen_after),
+        })
+    publish_block(format_table(rounds))
+
+    summary = ExperimentTable(
+        title="E3 — adaptive vs non-adaptive makespan under the spike",
+        columns=["variant", "makespan", "recalibrations", "breaches"],
+        notes="both runs use identical grids, load traces and task sets",
+    )
+    summary.add_row({"variant": "grasp-adaptive", "makespan": adaptive.makespan,
+                     "recalibrations": adaptive.recalibrations,
+                     "breaches": adaptive.execution.breaches})
+    summary.add_row({"variant": "calibrate-once (no adaptation)",
+                     "makespan": frozen.makespan,
+                     "recalibrations": frozen.recalibrations,
+                     "breaches": frozen.execution.breaches})
+    publish_block(format_table(summary))
+    return adaptive, frozen
+
+
+def test_e3_spike_triggers_adaptation(adaptation_runs):
+    adaptive, _ = adaptation_runs
+    assert adaptive.execution.breaches >= 1
+    assert adaptive.recalibrations >= 1
+
+
+def test_e3_adaptive_beats_frozen(adaptation_runs):
+    adaptive, frozen = adaptation_runs
+    assert adaptive.makespan < frozen.makespan
+
+
+def test_e3_outputs_identical(adaptation_runs):
+    adaptive, frozen = adaptation_runs
+    assert adaptive.outputs == frozen.outputs == [x * x for x in range(300)]
+
+
+def test_e3_benchmark_adaptive_spike_run(benchmark, bench_rounds, adaptation_runs):
+    benchmark.pedantic(run_adaptive, rounds=bench_rounds, iterations=1)

@@ -1,0 +1,75 @@
+"""E2 (Algorithm 1): calibration — fittest-node selection under heterogeneity.
+
+Reproduces the calibration behaviour the paper describes: a sample is run on
+every node, nodes are ranked by extrapolated performance, and the fittest
+subset is selected.  The table reports each node's nominal speed, its
+calibrated score and whether it was chosen.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.core.calibration import calibrate
+from repro.core.parameters import CalibrationConfig, SelectionPolicy
+from repro.grid.simulator import GridSimulator
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import make_dynamic_grid, publish_block
+
+
+def run_calibration(seed: int = 2, nodes: int = 16, spread: float = 8.0):
+    grid = make_dynamic_grid(seed=seed, nodes=nodes, spread=spread, mean_level=0.25)
+    sim = GridSimulator(grid)
+    workload = SyntheticWorkload(tasks=200, mean_cost=10.0, seed=seed)
+    farm = workload.farm()
+    tasks = collections.deque(farm.make_tasks(workload.items()))
+    config = CalibrationConfig(selection=SelectionPolicy.CUTOFF, cutoff_ratio=3.0)
+    report = calibrate(tasks, grid.node_ids, farm.execute_task, sim, config,
+                       master_node=grid.node_ids[0], min_nodes=2, at_time=0.0)
+    return grid, report
+
+
+@pytest.fixture(scope="module")
+def calibration_run():
+    grid, report = run_calibration()
+    speeds = grid.speeds()
+    table = ExperimentTable(
+        title="E2 / Algorithm 1 — calibration ranking (16-node grid, 8x spread)",
+        columns=["rank", "node", "nominal_speed", "score_s_per_unit", "chosen"],
+        notes=f"calibration took {report.duration:.3f} virtual s; "
+              f"{report.consumed_tasks} sample tasks counted toward the job",
+    )
+    for rank, score in enumerate(report.scores):
+        table.add_row({
+            "rank": rank,
+            "node": score.node_id,
+            "nominal_speed": speeds[score.node_id],
+            "score_s_per_unit": score.score,
+            "chosen": score.node_id in report.chosen,
+        })
+    publish_block(format_table(table))
+    return grid, report
+
+
+def test_e2_fittest_nodes_selected(calibration_run):
+    grid, report = calibration_run
+    speeds = grid.speeds()
+    chosen_speeds = [speeds[n] for n in report.chosen]
+    assert max(chosen_speeds) == pytest.approx(max(speeds.values()))
+    assert len(report.chosen) >= 2
+
+
+def test_e2_calibration_contributes_to_job(calibration_run):
+    _, report = calibration_run
+    assert len(report.results) == report.consumed_tasks
+    assert all(r.during_calibration for r in report.results)
+    assert report.consumed_tasks == len(report.observations)
+
+
+def test_e2_benchmark_calibration(benchmark, bench_rounds, calibration_run):
+    benchmark.pedantic(run_calibration, rounds=bench_rounds, iterations=1)

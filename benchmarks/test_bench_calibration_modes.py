@@ -1,0 +1,112 @@
+"""E6: statistical vs time-only calibration (ranking-quality ablation).
+
+The paper's Algorithm 1 offers two calibration flavours: ranking on raw
+execution times, or "statistical calibration" via univariate/multivariate
+regression over execution time, processor load and bandwidth.  This
+experiment plants transient load bursts during calibration so raw times
+mislead, and compares how well each mode recovers the true (nominal) speed
+order and what makespan the resulting node selection achieves.
+"""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.core.grasp import Grasp
+from repro.core.parameters import CalibrationConfig, ExecutionConfig, GraspConfig, SelectionPolicy
+from repro.core.ranking import RankingMode
+from repro.grid.load import StepLoad, ConstantLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridTopology
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import publish_block
+
+
+def misleading_grid() -> GridTopology:
+    """Fast nodes that are *temporarily* busy during calibration (t < 8).
+
+    Raw-time ranking will under-rate them; load-aware statistical ranking
+    should not.
+    """
+    nodes = [
+        GridNode(node_id="fast0", speed=8.0,
+                 load_model=StepLoad(steps=[(8.0, 0.0)], initial=0.75)),
+        GridNode(node_id="fast1", speed=8.0,
+                 load_model=StepLoad(steps=[(8.0, 0.0)], initial=0.75)),
+        GridNode(node_id="mid0", speed=4.0, load_model=ConstantLoad(0.05)),
+        GridNode(node_id="mid1", speed=4.0, load_model=ConstantLoad(0.05)),
+        GridNode(node_id="slow0", speed=1.5, load_model=ConstantLoad(0.0)),
+        GridNode(node_id="slow1", speed=1.5, load_model=ConstantLoad(0.0)),
+        GridNode(node_id="slow2", speed=1.5, load_model=ConstantLoad(0.0)),
+        GridNode(node_id="slow3", speed=1.5, load_model=ConstantLoad(0.0)),
+    ]
+    return GridTopology(nodes=nodes, wan_latency=1e-4, wan_bandwidth=1e8)
+
+
+def run_mode(mode: RankingMode):
+    workload = SyntheticWorkload(tasks=150, mean_cost=8.0, cost_cv=0.2, seed=6)
+    config = GraspConfig(
+        calibration=CalibrationConfig(ranking=mode, sample_per_node=2,
+                                      selection=SelectionPolicy.COUNT, select_count=4),
+        execution=ExecutionConfig(threshold_factor=2.0),
+    )
+    result = Grasp(workload.farm(), misleading_grid(), config=config).run(workload.items())
+    return result
+
+
+def rank_correlation(result) -> float:
+    """Spearman correlation between calibration rank and true speed rank."""
+    grid_speeds = {s.node_id: None for s in result.calibration.scores}
+    topo = result.compiled.topology
+    observed_order = [s.node_id for s in result.calibration.scores]
+    true_speed = [topo.node(n).speed for n in observed_order]
+    # Fitter rank (position) should correlate with higher true speed.
+    rho, _ = scipy_stats.spearmanr(range(len(observed_order)), true_speed)
+    return float(-rho)  # flip so +1 = perfect agreement (fitter = faster)
+
+
+@pytest.fixture(scope="module")
+def mode_results():
+    results = {mode: run_mode(mode) for mode in RankingMode}
+    table = ExperimentTable(
+        title="E6 — calibration-mode ablation on a grid whose fast nodes are "
+              "busy only during calibration",
+        columns=["mode", "makespan", "rank_speed_correlation",
+                 "fast_nodes_chosen", "recalibrations"],
+        notes="rank_speed_correlation: +1 = calibration ranking equals true speed order",
+    )
+    for mode, result in results.items():
+        chosen_fast = sum(1 for n in result.chosen_nodes if n.startswith("fast"))
+        table.add_row({
+            "mode": mode.value,
+            "makespan": result.makespan,
+            "rank_speed_correlation": rank_correlation(result),
+            "fast_nodes_chosen": chosen_fast,
+            "recalibrations": result.recalibrations,
+        })
+    publish_block(format_table(table))
+    return results
+
+
+def test_e6_all_modes_produce_correct_outputs(mode_results):
+    workload = SyntheticWorkload(tasks=150, mean_cost=8.0, cost_cv=0.2, seed=6)
+    expected = workload.expected_outputs()
+    for result in mode_results.values():
+        assert result.outputs == pytest.approx(expected)
+
+
+def test_e6_statistical_ranking_not_worse_than_time_only(mode_results):
+    time_only = rank_correlation(mode_results[RankingMode.TIME_ONLY])
+    univariate = rank_correlation(mode_results[RankingMode.UNIVARIATE])
+    multivariate = rank_correlation(mode_results[RankingMode.MULTIVARIATE])
+    assert univariate >= time_only - 1e-9
+    assert multivariate >= time_only - 1e-9
+
+
+def test_e6_benchmark_multivariate_calibration_run(benchmark, bench_rounds, mode_results):
+    benchmark.pedantic(lambda: run_mode(RankingMode.MULTIVARIATE),
+                       rounds=bench_rounds, iterations=1)

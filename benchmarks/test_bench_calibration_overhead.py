@@ -1,0 +1,77 @@
+"""E9: calibration-overhead amortisation.
+
+The paper stresses that "the processing performed during the calibration
+contributes to the overall job".  This experiment varies the job size and
+reports the fraction of the makespan spent in calibration phases and the
+adaptive-vs-static outcome: calibration overhead is visible for tiny jobs
+and amortises away as the job grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import sweep
+from repro.analysis.reporting import format_table
+from repro.analysis.metrics import adaptation_overhead
+from repro.baselines.static_farm import StaticFarm
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import make_dynamic_grid, publish_block
+
+TASK_COUNTS = (50, 200, 800, 2000)
+
+
+def run_pair(tasks: int):
+    workload = SyntheticWorkload(tasks=tasks, mean_cost=6.0, cost_cv=0.3, seed=12)
+    adaptive = Grasp(workload.farm(), make_dynamic_grid(seed=12, nodes=8),
+                     config=GraspConfig.adaptive()).run(workload.items())
+    static = StaticFarm(workload.farm(), make_dynamic_grid(seed=12, nodes=8),
+                        strategy="weighted").run(workload.items())
+    return adaptive, static
+
+
+@pytest.fixture(scope="module")
+def overhead_sweep():
+    results = {}
+
+    def run_one(tasks):
+        adaptive, static = run_pair(tasks)
+        results[tasks] = (adaptive, static)
+        return {
+            "adaptive_makespan": adaptive.makespan,
+            "static_weighted_makespan": static.makespan,
+            "calibration_fraction": adaptation_overhead(adaptive),
+            "recalibrations": adaptive.recalibrations,
+        }
+
+    table = sweep("tasks", list(TASK_COUNTS), run_one,
+                  title="E9 — calibration-overhead amortisation vs job size")
+    publish_block(format_table(table))
+    return table, results
+
+
+def test_e9_overhead_shrinks_with_job_size(overhead_sweep):
+    _, results = overhead_sweep
+    fractions = [adaptation_overhead(results[t][0]) for t in TASK_COUNTS]
+    assert fractions[-1] < fractions[0]
+    assert fractions[-1] < 0.2
+
+
+def test_e9_calibration_results_counted(overhead_sweep):
+    _, results = overhead_sweep
+    for tasks, (adaptive, _) in results.items():
+        assert adaptive.total_tasks == tasks
+        assert any(r.during_calibration for r in adaptive.results)
+
+
+def test_e9_adaptive_competitive_at_scale(overhead_sweep):
+    _, results = overhead_sweep
+    adaptive, static = results[TASK_COUNTS[-1]]
+    assert adaptive.makespan <= static.makespan * 1.25
+
+
+def test_e9_benchmark_medium_job(benchmark, bench_rounds, overhead_sweep):
+    benchmark.pedantic(lambda: run_pair(200), rounds=bench_rounds, iterations=1)

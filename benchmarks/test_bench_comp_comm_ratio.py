@@ -1,0 +1,74 @@
+"""E8: where adaptivity pays off — the compute/communication-ratio sweep.
+
+The paper names "the computation/communication ratio of the program" as one
+of the inputs to the performance thresholds.  This experiment sweeps the
+ratio for the synthetic farm and reports adaptive vs static makespans: the
+benefit of adaptation (and of parallelism at all) grows with the ratio, and
+at very small ratios everything collapses onto the master's network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import compare_farm, sweep
+from repro.analysis.reporting import format_table
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import make_dynamic_grid, publish_block
+
+RATIOS = (0.1, 1.0, 10.0, 100.0)
+
+
+def compare_at_ratio(ratio: float):
+    workload = SyntheticWorkload(tasks=120, mean_cost=8.0, cost_cv=0.3,
+                                 comp_comm_ratio=ratio, seed=8)
+    return compare_farm(
+        skeleton_factory=workload.farm,
+        inputs_factory=workload.items,
+        grid_factory=lambda: make_dynamic_grid(seed=int(ratio * 10) + 3, nodes=8),
+        baselines=("static-block",),
+        workload_label=f"ratio-{ratio}",
+    )
+
+
+@pytest.fixture(scope="module")
+def ratio_sweep():
+    comparisons = {}
+
+    def run_one(ratio):
+        comparison = compare_at_ratio(ratio)
+        comparisons[ratio] = comparison
+        return {
+            "adaptive_makespan": comparison.adaptive.makespan,
+            "static_block_makespan": comparison.baselines["static-block"].makespan,
+            "adaptive_speedup": comparison.adaptive.speedup,
+            "improvement_vs_static": comparison.improvement_over("static-block"),
+        }
+
+    table = sweep("comp_comm_ratio", list(RATIOS), run_one,
+                  title="E8 — compute/communication-ratio sweep (adaptive farm vs static block)")
+    publish_block(format_table(table))
+    return table, comparisons
+
+
+def test_e8_parallel_speedup_grows_with_ratio(ratio_sweep):
+    _, comparisons = ratio_sweep
+    speedups = [comparisons[r].adaptive.speedup for r in RATIOS]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.5  # compute-bound workloads parallelise well
+
+
+def test_e8_adaptive_never_loses_badly(ratio_sweep):
+    _, comparisons = ratio_sweep
+    for ratio in RATIOS:
+        assert comparisons[ratio].improvement_over("static-block") > 0.8
+
+
+def test_e8_adaptive_wins_when_compute_bound(ratio_sweep):
+    _, comparisons = ratio_sweep
+    assert comparisons[RATIOS[-1]].improvement_over("static-block") > 1.0
+
+
+def test_e8_benchmark_compute_bound_comparison(benchmark, bench_rounds, ratio_sweep):
+    benchmark.pedantic(lambda: compare_at_ratio(10.0), rounds=bench_rounds, iterations=1)

@@ -1,0 +1,94 @@
+"""E11: node failure / churn resilience (extension of the adaptation rule).
+
+A permanent node failure mid-run is the extreme form of "evolving external
+pressure".  The adaptive farm drops the failed node, re-enqueues the task it
+held and rebalances; the experiment reports makespans and lost-task counts
+for increasing numbers of failed nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import sweep
+from repro.analysis.reporting import format_table
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.grid.failures import PermanentFailure
+from repro.grid.topology import GridBuilder
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import publish_block
+
+FAILED_NODE_COUNTS = (0, 1, 2, 3)
+N_TASKS = 240
+
+
+def failing_grid(failed_nodes: int, seed: int = 30):
+    builder = (GridBuilder().heterogeneous(nodes=8, speed_spread=4.0)
+               .named(f"failures-{failed_nodes}"))
+    grid = builder.build(seed=seed)
+    if failed_nodes:
+        # Fail the nominally fastest nodes (the worst case for the farm)
+        # at staggered times after execution has started.
+        speeds = grid.speeds()
+        victims = sorted(speeds, key=speeds.get, reverse=True)[:failed_nodes]
+        failures = {node: 10.0 + 5.0 * i for i, node in enumerate(victims)}
+        grid = grid.with_failure_model(PermanentFailure(failures=failures))
+    return grid
+
+
+def run_with_failures(failed_nodes: int):
+    workload = SyntheticWorkload(tasks=N_TASKS, mean_cost=6.0, cost_cv=0.2, seed=31)
+    grid = failing_grid(failed_nodes)
+    return Grasp(workload.farm(), grid, config=GraspConfig.adaptive()).run(
+        workload.items()
+    )
+
+
+@pytest.fixture(scope="module")
+def failure_sweep():
+    results = {}
+
+    def run_one(failed_nodes):
+        result = run_with_failures(failed_nodes)
+        results[failed_nodes] = result
+        return {
+            "makespan": result.makespan,
+            "lost_tasks_requeued": result.execution.lost_tasks,
+            "recalibrations": result.recalibrations,
+            "nodes_used": len(result.per_node_counts()),
+        }
+
+    table = sweep("failed_nodes", list(FAILED_NODE_COUNTS), run_one,
+                  title="E11 — node-failure resilience (fastest nodes fail from t=10)")
+    publish_block(format_table(table))
+    return results
+
+
+def test_e11_all_tasks_complete_despite_failures(failure_sweep):
+    workload = SyntheticWorkload(tasks=N_TASKS, mean_cost=6.0, cost_cv=0.2, seed=31)
+    expected = workload.expected_outputs()
+    for result in failure_sweep.values():
+        assert result.total_tasks == N_TASKS
+        assert result.outputs == pytest.approx(expected)
+
+
+def test_e11_failed_nodes_not_used_after_failure(failure_sweep):
+    result = failure_sweep[2]
+    grid = result.compiled.topology
+    for task_result in result.results:
+        assert grid.failure_model.available(task_result.node_id, task_result.started)
+
+
+def test_e11_makespan_degrades_gracefully(failure_sweep):
+    baseline = failure_sweep[0].makespan
+    worst = failure_sweep[FAILED_NODE_COUNTS[-1]].makespan
+    assert worst >= baseline * 0.9
+    # Losing the 3 fastest of 8 nodes must not blow the makespan up by more
+    # than the lost compute share would justify (plus adaptation slack).
+    assert worst <= baseline * 6.0
+
+
+def test_e11_benchmark_two_failures(benchmark, bench_rounds, failure_sweep):
+    benchmark.pedantic(lambda: run_with_failures(2), rounds=bench_rounds, iterations=1)

@@ -1,0 +1,105 @@
+"""E12: forecaster ablation — predicting node load for statistical calibration.
+
+The monitoring layer forecasts near-future node load (the input to the
+statistical calibration modes).  This experiment replays synthetic load
+traces through each forecaster and reports the mean absolute one-step-ahead
+error; the adaptive (best-of-breed) selector should track the best
+individual predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.grid.traces import generate_trace
+from repro.monitor.forecasters import (
+    AdaptiveForecaster,
+    ExponentialSmoothingForecaster,
+    LastValueForecaster,
+    MeanForecaster,
+    MedianForecaster,
+    SlidingWindowForecaster,
+)
+from repro.monitor.history import TimeSeries
+
+from bench_utils import publish_block
+
+N_TRACES = 12
+TRACE_DURATION = 600.0
+
+FORECASTERS = {
+    "last-value": LastValueForecaster(),
+    "running-mean": MeanForecaster(),
+    "window-8": SlidingWindowForecaster(window=8),
+    "median-8": MedianForecaster(window=8),
+    "ewma-0.3": ExponentialSmoothingForecaster(alpha=0.3),
+    "ewma-0.7": ExponentialSmoothingForecaster(alpha=0.7),
+    "adaptive-nws": AdaptiveForecaster(),
+}
+
+
+def trace_values(seed: int):
+    trace = generate_trace(f"node{seed}", duration=TRACE_DURATION, step=5.0, seed=seed,
+                           burst_probability=0.08)
+    return list(trace.levels)
+
+
+def adaptive_online_error(values) -> float:
+    """One-step-ahead error of the adaptive selector applied online."""
+    forecaster = AdaptiveForecaster()
+    series = TimeSeries(capacity=len(values))
+    errors = []
+    for index, value in enumerate(values):
+        if index > 0:
+            prediction = forecaster.predict(series)
+            if not np.isnan(prediction):
+                errors.append(abs(prediction - value))
+        series.append(float(index), float(value))
+    return float(np.mean(errors))
+
+
+@pytest.fixture(scope="module")
+def forecaster_errors():
+    traces = [trace_values(seed) for seed in range(N_TRACES)]
+    errors = {}
+    for name, forecaster in FORECASTERS.items():
+        if name == "adaptive-nws":
+            errors[name] = float(np.mean([adaptive_online_error(v) for v in traces]))
+        else:
+            errors[name] = float(np.mean([forecaster.evaluate(v) for v in traces]))
+
+    table = ExperimentTable(
+        title="E12 — load-forecaster ablation (mean absolute one-step error, "
+              f"{N_TRACES} synthetic traces)",
+        columns=["forecaster", "mean_abs_error"],
+        notes="lower is better; adaptive-nws selects among the others online",
+    )
+    for name, error in sorted(errors.items(), key=lambda kv: kv[1]):
+        table.add_row({"forecaster": name, "mean_abs_error": error})
+    publish_block(format_table(table))
+    return errors
+
+
+def test_e12_all_errors_are_finite_and_positive(forecaster_errors):
+    for error in forecaster_errors.values():
+        assert np.isfinite(error)
+        assert error > 0
+
+
+def test_e12_smoothing_beats_raw_persistence_on_bursty_traces(forecaster_errors):
+    assert forecaster_errors["median-8"] <= forecaster_errors["last-value"]
+
+
+def test_e12_adaptive_close_to_best_individual(forecaster_errors):
+    individual = {k: v for k, v in forecaster_errors.items() if k != "adaptive-nws"}
+    best = min(individual.values())
+    assert forecaster_errors["adaptive-nws"] <= best * 1.25
+
+
+def test_e12_benchmark_adaptive_forecaster(benchmark, bench_rounds, forecaster_errors):
+    values = trace_values(0)
+    benchmark.pedantic(lambda: adaptive_online_error(values),
+                       rounds=bench_rounds, iterations=1)

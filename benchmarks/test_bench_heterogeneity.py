@@ -1,0 +1,74 @@
+"""E10: heterogeneity sweep — the value of fittest-node selection.
+
+Varies the nominal speed spread of the grid and compares the adaptive farm
+(which calibrates and selects the fittest subset) against static block
+distribution and a calibration-free demand-driven farm.  The benefit of
+GRASP grows with heterogeneity; on a homogeneous dedicated grid adaptation
+is pure (small) overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import compare_farm, sweep
+from repro.analysis.reporting import format_table
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import make_dedicated_grid, publish_block
+
+SPREADS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def compare_at_spread(spread: float):
+    workload = SyntheticWorkload(tasks=160, mean_cost=8.0, cost_cv=0.2, seed=20)
+    return compare_farm(
+        skeleton_factory=workload.farm,
+        inputs_factory=workload.items,
+        grid_factory=lambda: make_dedicated_grid(seed=21, nodes=8, spread=spread),
+        baselines=("static-block", "demand-driven"),
+        workload_label=f"spread-{spread}",
+    )
+
+
+@pytest.fixture(scope="module")
+def heterogeneity_sweep():
+    comparisons = {}
+
+    def run_one(spread):
+        comparison = compare_at_spread(spread)
+        comparisons[spread] = comparison
+        return {
+            "adaptive_makespan": comparison.adaptive.makespan,
+            "static_block_makespan": comparison.baselines["static-block"].makespan,
+            "demand_driven_makespan": comparison.baselines["demand-driven"].makespan,
+            "improvement_vs_static": comparison.improvement_over("static-block"),
+        }
+
+    table = sweep("speed_spread", list(SPREADS), run_one,
+                  title="E10 — heterogeneity sweep (dedicated grid, 8 nodes)")
+    publish_block(format_table(table))
+    return comparisons
+
+
+def test_e10_benefit_grows_with_heterogeneity(heterogeneity_sweep):
+    improvements = [heterogeneity_sweep[s].improvement_over("static-block")
+                    for s in SPREADS]
+    assert improvements[-1] > improvements[0]
+    assert improvements[-1] > 1.3
+
+
+def test_e10_homogeneous_grid_overhead_is_small(heterogeneity_sweep):
+    homogeneous = heterogeneity_sweep[1.0]
+    assert homogeneous.improvement_over("static-block") > 0.8
+
+
+def test_e10_outputs_correct_everywhere(heterogeneity_sweep):
+    workload = SyntheticWorkload(tasks=160, mean_cost=8.0, cost_cv=0.2, seed=20)
+    expected = workload.expected_outputs()
+    for comparison in heterogeneity_sweep.values():
+        assert comparison.adaptive_result.outputs == pytest.approx(expected)
+
+
+def test_e10_benchmark_high_heterogeneity(benchmark, bench_rounds, heterogeneity_sweep):
+    benchmark.pedantic(lambda: compare_at_spread(8.0), rounds=bench_rounds, iterations=1)

@@ -1,0 +1,80 @@
+"""E1 (Figure 1): the four-phase GRASP methodology trace.
+
+Reproduces the paper's Figure 1 as a machine-checkable artefact: a run's
+phase timeline (programming → compilation → calibration → execution, with
+the feedback edge back to calibration) and the virtual time spent in each
+phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.core.phases import Phase
+from repro.workloads.synthetic import SyntheticWorkload
+
+from bench_utils import make_dynamic_grid, publish_block
+
+
+def run_trace():
+    workload = SyntheticWorkload(tasks=80, mean_cost=8.0, cost_cv=0.3, seed=1)
+    grid = make_dynamic_grid(seed=1)
+    return Grasp(workload.farm(), grid, config=GraspConfig.adaptive()).run(
+        workload.items()
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_result():
+    result = run_trace()
+
+    intervals = ExperimentTable(
+        title="E1 / Figure 1 — GRASP phase timeline (virtual seconds)",
+        columns=["interval", "phase", "start", "end", "duration"],
+        notes="feedback edge = extra calibration intervals after the first",
+    )
+    for index, record in enumerate(result.phases.records):
+        intervals.add_row({
+            "interval": index, "phase": record.phase.value,
+            "start": record.start, "end": record.end, "duration": record.duration,
+        })
+    publish_block(format_table(intervals))
+
+    totals = ExperimentTable(
+        title="E1 — total virtual time per phase",
+        columns=["phase", "total_duration", "visits"],
+    )
+    for phase in Phase:
+        totals.add_row({
+            "phase": phase.value,
+            "total_duration": result.phases.total_duration(phase),
+            "visits": result.phases.visits(phase),
+        })
+    publish_block(format_table(totals))
+    return result
+
+
+def test_e1_phase_trace_structure(trace_result):
+    result = trace_result
+    result.phases.validate()
+    sequence = result.phases.sequence()
+    assert sequence[:4] == [Phase.PROGRAMMING, Phase.COMPILATION,
+                            Phase.CALIBRATION, Phase.EXECUTION]
+    assert result.phases.total_duration(Phase.EXECUTION) > 0
+    assert result.phases.recalibrations() == result.recalibrations
+
+
+def test_e1_trace_events_recorded(trace_result):
+    result = trace_result
+    assert result.trace.filter("phase.calibration.start")
+    assert result.trace.filter("phase.execution.start")
+    assert result.phases.visits(Phase.CALIBRATION) >= 1
+
+
+def test_e1_benchmark_adaptive_run(benchmark, bench_rounds, trace_result):
+    """Wall-clock cost of simulating one full GRASP run (harness overhead)."""
+    benchmark.pedantic(run_trace, rounds=bench_rounds, iterations=1)

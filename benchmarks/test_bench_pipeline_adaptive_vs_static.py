@@ -1,0 +1,143 @@
+"""E5: adaptive pipeline vs static stage mappings under stage-load drift.
+
+Reproduces the claim shape of the companion pipeline evaluation (paper
+reference [7]): when a node hosting a pipeline stage degrades mid-run, the
+adaptive pipeline remaps stages onto fitter nodes and sustains throughput,
+while a static mapping is stuck with whatever node it picked.
+
+Because *which* static mapping suffers depends on which node degrades, the
+experiment injects the degradation into each compute node in turn (one
+scenario per node) and reports per-scenario and mean makespans — the same
+fault-injection-sweep structure the adaptive-pipeline paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.baselines.static_pipeline import StaticPipeline
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.grid.load import StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridTopology
+from repro.workloads.imaging import ImagingWorkload
+
+from bench_utils import publish_block
+
+N_IMAGES = 96
+IMAGE_SIDE = 16
+DEGRADE_AT = 6.0
+DEGRADE_LEVEL = 0.95
+
+#: Compute nodes of the experiment grid (the front-end only hosts the master).
+COMPUTE_NODES = {
+    "big": 8.0,
+    "mid1": 4.0,
+    "mid2": 4.0,
+    "small1": 2.0,
+    "small2": 2.0,
+    "small3": 2.0,
+}
+
+
+def drifting_grid(victim: str) -> GridTopology:
+    """Grid in which ``victim`` loses most of its capacity at ``DEGRADE_AT``."""
+    nodes = [GridNode(node_id="frontend", speed=0.5)]
+    for node_id, speed in COMPUTE_NODES.items():
+        if node_id == victim:
+            nodes.append(GridNode(
+                node_id=node_id, speed=speed,
+                load_model=StepLoad(steps=[(DEGRADE_AT, DEGRADE_LEVEL)], initial=0.0),
+            ))
+        else:
+            nodes.append(GridNode(node_id=node_id, speed=speed))
+    return GridTopology(nodes=nodes, wan_latency=1e-4, wan_bandwidth=1e8,
+                        name=f"stage-drift-{victim}")
+
+
+def run_adaptive(victim: str):
+    workload = ImagingWorkload(images=N_IMAGES, image_side=IMAGE_SIDE, seed=3)
+    return Grasp(workload.pipeline(), drifting_grid(victim),
+                 config=GraspConfig.adaptive()).run(workload.items())
+
+
+def run_static(victim: str, mapping: str):
+    workload = ImagingWorkload(images=N_IMAGES, image_side=IMAGE_SIDE, seed=3)
+    grid = drifting_grid(victim)
+    workers = [n for n in grid.node_ids if n != "frontend"]
+    return StaticPipeline(workload.pipeline(), grid, mapping=mapping,
+                          workers=workers, master_node="frontend").run(workload.items())
+
+
+@pytest.fixture(scope="module")
+def pipeline_sweep():
+    rows = []
+    for victim in COMPUTE_NODES:
+        adaptive = run_adaptive(victim)
+        declaration = run_static(victim, "declaration")
+        speed_aware = run_static(victim, "speed")
+        rows.append({
+            "degraded_node": victim,
+            "adaptive": adaptive.makespan,
+            "static_declaration": declaration.makespan,
+            "static_speed_aware": speed_aware.makespan,
+            "adaptive_recalibrations": adaptive.recalibrations,
+            "_runs": (adaptive, declaration, speed_aware),
+        })
+
+    table = ExperimentTable(
+        title="E5 — imaging pipeline under a node degradation at t=6 "
+              "(one scenario per degraded node)",
+        columns=["degraded_node", "adaptive", "static_declaration",
+                 "static_speed_aware", "adaptive_recalibrations"],
+        notes="makespans in virtual seconds; MEAN row summarises the sweep",
+    )
+    for row in rows:
+        table.add_row(row)
+    table.add_row({
+        "degraded_node": "MEAN",
+        "adaptive": float(np.mean([r["adaptive"] for r in rows])),
+        "static_declaration": float(np.mean([r["static_declaration"] for r in rows])),
+        "static_speed_aware": float(np.mean([r["static_speed_aware"] for r in rows])),
+        "adaptive_recalibrations": sum(r["adaptive_recalibrations"] for r in rows),
+    })
+    publish_block(format_table(table))
+    return rows
+
+
+def test_e5_outputs_identical_across_variants(pipeline_sweep):
+    workload = ImagingWorkload(images=N_IMAGES, image_side=IMAGE_SIDE, seed=3)
+    expected = workload.expected_outputs()
+    adaptive, declaration, speed_aware = pipeline_sweep[0]["_runs"]
+    assert adaptive.outputs == expected
+    assert declaration.outputs == expected
+    assert speed_aware.outputs == expected
+
+
+def test_e5_adaptive_wins_on_average(pipeline_sweep):
+    mean_adaptive = np.mean([r["adaptive"] for r in pipeline_sweep])
+    mean_declaration = np.mean([r["static_declaration"] for r in pipeline_sweep])
+    mean_speed = np.mean([r["static_speed_aware"] for r in pipeline_sweep])
+    assert mean_adaptive < mean_declaration
+    assert mean_adaptive < mean_speed
+
+
+def test_e5_adaptive_bounds_worst_case(pipeline_sweep):
+    """The adaptive pipeline's worst scenario is far better than the static
+    mappings' worst scenario (stuck with a degraded heavy-stage host)."""
+    worst_adaptive = max(r["adaptive"] for r in pipeline_sweep)
+    worst_static = max(max(r["static_declaration"], r["static_speed_aware"])
+                       for r in pipeline_sweep)
+    assert worst_adaptive < worst_static
+
+
+def test_e5_adaptation_fired_somewhere(pipeline_sweep):
+    assert sum(r["adaptive_recalibrations"] for r in pipeline_sweep) >= 1
+
+
+def test_e5_benchmark_adaptive_pipeline(benchmark, bench_rounds, pipeline_sweep):
+    benchmark.pedantic(lambda: run_adaptive("big"), rounds=bench_rounds, iterations=1)

@@ -1,0 +1,89 @@
+"""E7: sensitivity of the performance threshold Z (Algorithm 2's knob).
+
+Sweeps the relative threshold factor.  Small factors adapt eagerly (more
+recalibrations, more overhead); large factors tolerate degradation and forgo
+the benefit.  The series reports makespan, breaches and recalibrations per
+factor on a grid whose fast nodes degrade mid-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import sweep
+from repro.analysis.reporting import format_table
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.core.phases import Phase
+from repro.grid.load import StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridTopology
+from repro.skeletons.taskfarm import TaskFarm
+
+from bench_utils import publish_block
+
+FACTORS = (1.1, 1.25, 1.5, 2.0, 4.0)
+
+
+def spike_grid() -> GridTopology:
+    nodes = [
+        GridNode(node_id="n0", speed=1.0),
+        GridNode(node_id="n1", speed=1.0),
+        GridNode(node_id="n2", speed=2.0),
+        GridNode(node_id="n3", speed=2.0),
+        GridNode(node_id="n4", speed=8.0,
+                 load_model=StepLoad(steps=[(5.0, 0.95)], initial=0.0)),
+        GridNode(node_id="n5", speed=8.0,
+                 load_model=StepLoad(steps=[(5.0, 0.95)], initial=0.0)),
+    ]
+    return GridTopology(nodes=nodes, wan_latency=1e-4, wan_bandwidth=1e8)
+
+
+def run_with_factor(factor: float):
+    farm = TaskFarm(worker=lambda x: x + 1, cost_model=lambda item: 4.0)
+    config = GraspConfig.adaptive(threshold_factor=factor)
+    return Grasp(farm, spike_grid(), config=config).run(range(300))
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    results = {}
+
+    def run_one(factor):
+        result = run_with_factor(factor)
+        results[factor] = result
+        return {
+            "makespan": result.makespan,
+            "breaches": result.execution.breaches,
+            "recalibrations": result.recalibrations,
+            "calibration_time": result.phases.total_duration(Phase.CALIBRATION),
+        }
+
+    table = sweep("threshold_factor", list(FACTORS), run_one,
+                  title="E7 — threshold-factor (Z) sensitivity under a t=5 load spike")
+    publish_block(format_table(table))
+    return table, results
+
+
+def test_e7_all_factors_complete_correctly(threshold_sweep):
+    _, results = threshold_sweep
+    for result in results.values():
+        assert result.outputs == [x + 1 for x in range(300)]
+
+
+def test_e7_eager_thresholds_adapt_more(threshold_sweep):
+    _, results = threshold_sweep
+    recals = [results[f].recalibrations for f in FACTORS]
+    # Recalibration count is non-increasing (weakly) as the factor grows.
+    assert all(earlier >= later for earlier, later in zip(recals, recals[1:]))
+
+
+def test_e7_moderate_threshold_not_worse_than_very_lax(threshold_sweep):
+    _, results = threshold_sweep
+    moderate = min(results[f].makespan for f in (1.25, 1.5, 2.0))
+    lax = results[4.0].makespan
+    assert moderate <= lax * 1.05
+
+
+def test_e7_benchmark_moderate_threshold(benchmark, bench_rounds, threshold_sweep):
+    benchmark.pedantic(lambda: run_with_factor(1.5), rounds=bench_rounds, iterations=1)

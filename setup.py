@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file exists so that
+legacy editable installs (`pip install -e . --no-use-pep517`) work on
+offline machines whose setuptools cannot build PEP 660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

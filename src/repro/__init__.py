@@ -1,0 +1,116 @@
+"""GRASP: Grid-Adaptive Structured Parallelism.
+
+A Python reproduction of *"Adaptive Structured Parallelism for Computational
+Grids"* (González-Vélez & Cole, PPoPP 2007).  The package provides:
+
+* :mod:`repro.grid` — a deterministic discrete-event simulator of a
+  heterogeneous, non-dedicated computational grid (nodes, links, sites,
+  background-load models, failures).
+* :mod:`repro.comm` — an MPI-like message-passing environment layered on the
+  simulator (point-to-point and collective operations with communication
+  cost accounting).
+* :mod:`repro.monitor` — resource sensors and short-term forecasters in the
+  spirit of the Network Weather Service.
+* :mod:`repro.skeletons` — algorithmic skeletons: task farm, pipeline and
+  extensions (map, reduce, divide-and-conquer, composition).
+* :mod:`repro.core` — the GRASP methodology itself: the four phases
+  (programming, compilation, calibration, execution), Algorithm 1
+  (calibration / fittest-node selection) and Algorithm 2 (threshold-driven
+  adaptive execution).
+* :mod:`repro.baselines` — non-adaptive comparators.
+* :mod:`repro.workloads` — synthetic and kernel workloads used by the
+  experiments.
+* :mod:`repro.analysis` — metrics and the experiment harness that
+  regenerates the tables/series reported in ``EXPERIMENTS.md``.
+
+Quickstart
+----------
+
+>>> from repro import Grasp, TaskFarm, GridBuilder
+>>> grid = GridBuilder().heterogeneous(nodes=8, speed_spread=4.0).build(seed=1)
+>>> farm = TaskFarm(worker=lambda x: x * x)
+>>> grasp = Grasp(skeleton=farm, grid=grid)
+>>> result = grasp.run(inputs=range(64))
+>>> sorted(result.outputs)[:4]
+[0, 1, 4, 9]
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.exceptions import (
+    GraspError,
+    CalibrationError,
+    CompilationError,
+    ConfigurationError,
+    ExecutionError,
+    GridError,
+    SchedulingError,
+    SkeletonError,
+)
+from repro.grid import GridBuilder, GridNode, GridTopology, NetworkLink, Site
+from repro.grid.simulator import GridSimulator
+from repro.skeletons import (
+    DivideAndConquer,
+    MapSkeleton,
+    Pipeline,
+    ReduceSkeleton,
+    Stage,
+    TaskFarm,
+)
+from repro.core import (
+    CalibrationConfig,
+    CalibrationReport,
+    ExecutionConfig,
+    ExecutionReport,
+    Grasp,
+    GraspConfig,
+    GraspResult,
+    Phase,
+    RankingMode,
+)
+from repro.baselines import StaticFarm, StaticPipeline
+from repro.monitor import PerformanceThreshold, ResourceMonitor
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "GraspError",
+    "CalibrationError",
+    "CompilationError",
+    "ConfigurationError",
+    "ExecutionError",
+    "GridError",
+    "SchedulingError",
+    "SkeletonError",
+    # grid
+    "GridBuilder",
+    "GridNode",
+    "GridTopology",
+    "NetworkLink",
+    "Site",
+    "GridSimulator",
+    # skeletons
+    "TaskFarm",
+    "Pipeline",
+    "Stage",
+    "MapSkeleton",
+    "ReduceSkeleton",
+    "DivideAndConquer",
+    # core
+    "Grasp",
+    "GraspConfig",
+    "GraspResult",
+    "Phase",
+    "RankingMode",
+    "CalibrationConfig",
+    "CalibrationReport",
+    "ExecutionConfig",
+    "ExecutionReport",
+    # baselines
+    "StaticFarm",
+    "StaticPipeline",
+    # monitor
+    "ResourceMonitor",
+    "PerformanceThreshold",
+]

@@ -1,0 +1,9 @@
+"""Version information for the GRASP reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Version of the PPoPP 2007 paper reproduced by this package.
+PAPER = "González-Vélez & Cole, 'Adaptive Structured Parallelism for Computational Grids', PPoPP 2007"
+
+#: DOI of the reproduced paper.
+PAPER_DOI = "10.1145/1229428.1229456"

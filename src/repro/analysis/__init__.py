@@ -1,0 +1,49 @@
+"""Analysis: metrics, experiment harness and report generation.
+
+This package turns runtime reports (:class:`repro.core.grasp.GraspResult`
+and :class:`repro.baselines.result.BaselineResult`) into the numbers the
+paper's evaluation talks about — makespan, speedup, efficiency, load
+imbalance, adaptation overhead — and provides the experiment-runner
+machinery the benchmark suite (``benchmarks/``) and ``EXPERIMENTS.md`` are
+built on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import (
+    RunMetrics,
+    adaptation_overhead,
+    efficiency,
+    load_imbalance,
+    makespan,
+    speedup,
+    summarise_run,
+    throughput,
+)
+from repro.analysis.experiments import (
+    ComparisonResult,
+    ExperimentTable,
+    compare_farm,
+    compare_pipeline,
+    sweep,
+)
+from repro.analysis.reporting import format_series, format_table, to_markdown
+
+__all__ = [
+    "RunMetrics",
+    "makespan",
+    "speedup",
+    "efficiency",
+    "throughput",
+    "load_imbalance",
+    "adaptation_overhead",
+    "summarise_run",
+    "ComparisonResult",
+    "ExperimentTable",
+    "compare_farm",
+    "compare_pipeline",
+    "sweep",
+    "format_table",
+    "format_series",
+    "to_markdown",
+]

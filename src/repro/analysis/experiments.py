@@ -1,0 +1,186 @@
+"""The experiment harness.
+
+Every experiment in ``EXPERIMENTS.md`` boils down to one of three shapes:
+
+* **comparison** — run the adaptive GRASP skeleton and one or more baselines
+  on *identical* grids (same seed, same load traces) and the same workload,
+  then compare makespans (:func:`compare_farm`, :func:`compare_pipeline`);
+* **sweep** — repeat a comparison while varying one experimental axis
+  (node count, threshold factor, compute/communication ratio, heterogeneity)
+  and collect one row per axis value (:func:`sweep`);
+* **table** — a named collection of rows with fixed columns
+  (:class:`ExperimentTable`), which the benchmark harness prints in the same
+  layout as the paper's reporting.
+
+Grids must be rebuilt per run (each executor mutates its simulator), so the
+harness takes *factories* rather than instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import RunMetrics, summarise_run
+from repro.baselines.static_farm import DemandDrivenFarm, StaticFarm
+from repro.baselines.static_pipeline import StaticPipeline
+from repro.core.grasp import Grasp, GraspResult
+from repro.core.parameters import GraspConfig
+from repro.exceptions import AnalysisError
+from repro.grid.topology import GridTopology
+from repro.skeletons.pipeline import Pipeline
+from repro.skeletons.base import Skeleton
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentTable",
+    "compare_farm",
+    "compare_pipeline",
+    "sweep",
+]
+
+GridFactory = Callable[[], GridTopology]
+SkeletonFactory = Callable[[], Skeleton]
+
+
+@dataclass
+class ComparisonResult:
+    """Adaptive-vs-baseline comparison on identical grids."""
+
+    adaptive: RunMetrics
+    baselines: Dict[str, RunMetrics]
+    adaptive_result: GraspResult
+    workload_label: str = ""
+
+    def improvement_over(self, baseline_label: str) -> float:
+        """Baseline makespan divided by adaptive makespan (>1 ⇒ adaptive wins)."""
+        if baseline_label not in self.baselines:
+            raise AnalysisError(f"unknown baseline {baseline_label!r}")
+        return self.baselines[baseline_label].makespan / self.adaptive.makespan
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One row per strategy (adaptive first), ready for tabulation."""
+        rows = [self.adaptive.as_dict()]
+        rows.extend(self.baselines[label].as_dict() for label in sorted(self.baselines))
+        return rows
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of result rows with fixed column order."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        """Append a row; missing columns are filled with ``None``."""
+        self.rows.append({column: row.get(column) for column in self.columns})
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise AnalysisError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def compare_farm(
+    skeleton_factory: SkeletonFactory,
+    inputs_factory: Callable[[], Iterable[Any]],
+    grid_factory: GridFactory,
+    config: Optional[GraspConfig] = None,
+    baselines: Sequence[str] = ("static-block", "static-weighted"),
+    workload_label: str = "farm",
+) -> ComparisonResult:
+    """Run the adaptive farm and the requested baselines on identical grids.
+
+    ``baselines`` may contain ``"static-block"``, ``"static-cyclic"``,
+    ``"static-weighted"`` and ``"demand-driven"``.
+    """
+    grid = grid_factory()
+    grasp = Grasp(skeleton=skeleton_factory(), grid=grid, config=config)
+    adaptive_result = grasp.run(inputs_factory())
+    adaptive_metrics = summarise_run(adaptive_result, grid, label="grasp-adaptive")
+
+    baseline_metrics: Dict[str, RunMetrics] = {}
+    for label in baselines:
+        baseline_grid = grid_factory()
+        if label.startswith("static-"):
+            runner = StaticFarm(skeleton_factory(), baseline_grid,
+                                strategy=label.split("-", 1)[1])
+        elif label == "demand-driven":
+            runner = DemandDrivenFarm(skeleton_factory(), baseline_grid)
+        else:
+            raise AnalysisError(f"unknown farm baseline {label!r}")
+        result = runner.run(inputs_factory())
+        baseline_metrics[label] = summarise_run(result, baseline_grid, label=label)
+
+    return ComparisonResult(
+        adaptive=adaptive_metrics,
+        baselines=baseline_metrics,
+        adaptive_result=adaptive_result,
+        workload_label=workload_label,
+    )
+
+
+def compare_pipeline(
+    pipeline_factory: Callable[[], Pipeline],
+    inputs_factory: Callable[[], Iterable[Any]],
+    grid_factory: GridFactory,
+    config: Optional[GraspConfig] = None,
+    baselines: Sequence[str] = ("declaration", "speed"),
+    workload_label: str = "pipeline",
+) -> ComparisonResult:
+    """Run the adaptive pipeline and static-mapping baselines on identical grids."""
+    grid = grid_factory()
+    grasp = Grasp(skeleton=pipeline_factory(), grid=grid, config=config)
+    adaptive_result = grasp.run(inputs_factory())
+    adaptive_metrics = summarise_run(adaptive_result, grid, label="grasp-adaptive")
+
+    baseline_metrics: Dict[str, RunMetrics] = {}
+    for label in baselines:
+        baseline_grid = grid_factory()
+        runner = StaticPipeline(pipeline_factory(), baseline_grid, mapping=label)
+        result = runner.run(inputs_factory())
+        baseline_metrics[label] = summarise_run(result, baseline_grid,
+                                                label=f"static-{label}")
+
+    return ComparisonResult(
+        adaptive=adaptive_metrics,
+        baselines=baseline_metrics,
+        adaptive_result=adaptive_result,
+        workload_label=workload_label,
+    )
+
+
+def sweep(
+    axis_name: str,
+    axis_values: Sequence[Any],
+    run_fn: Callable[[Any], Mapping[str, Any]],
+    title: str = "sweep",
+    extra_columns: Sequence[str] = (),
+) -> ExperimentTable:
+    """Run ``run_fn`` for each axis value and collect one row per value.
+
+    ``run_fn`` receives the axis value and returns a mapping of column name
+    to value; the axis value itself is stored under ``axis_name``.
+    """
+    if not axis_values:
+        raise AnalysisError("sweep needs at least one axis value")
+    columns = [axis_name, *extra_columns]
+    table: Optional[ExperimentTable] = None
+    for value in axis_values:
+        row = dict(run_fn(value))
+        row[axis_name] = value
+        if table is None:
+            # Fix column order on the first row: axis, declared extras, then
+            # any additional keys the run function produced.
+            dynamic = [k for k in row if k not in columns]
+            table = ExperimentTable(title=title, columns=columns + dynamic)
+        table.add_row(row)
+    assert table is not None
+    return table

@@ -1,0 +1,177 @@
+"""Performance metrics over run reports.
+
+All metrics operate on virtual time, so they are exact and deterministic for
+a given experiment seed.  ``speedup`` and ``efficiency`` are computed against
+the *ideal sequential time*: the total task cost divided by the speed of the
+fastest node in the grid (the best any single dedicated node could do),
+which is the convention the skeleton-performance literature uses when real
+single-node runs are impractical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.result import BaselineResult
+from repro.core.grasp import GraspResult
+from repro.exceptions import AnalysisError
+from repro.grid.topology import GridTopology
+
+__all__ = [
+    "RunMetrics",
+    "makespan",
+    "ideal_sequential_time",
+    "speedup",
+    "efficiency",
+    "throughput",
+    "load_imbalance",
+    "adaptation_overhead",
+    "summarise_run",
+]
+
+RunLike = Union[GraspResult, BaselineResult]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary metrics of one run (adaptive or baseline)."""
+
+    label: str
+    makespan: float
+    speedup: float
+    efficiency: float
+    throughput: float
+    load_imbalance: float
+    tasks: int
+    nodes_used: int
+    recalibrations: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation."""
+        return {
+            "label": self.label,
+            "makespan": self.makespan,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+            "throughput": self.throughput,
+            "load_imbalance": self.load_imbalance,
+            "tasks": self.tasks,
+            "nodes_used": self.nodes_used,
+            "recalibrations": self.recalibrations,
+        }
+
+
+def makespan(run: RunLike) -> float:
+    """Virtual wall time of the run."""
+    return float(run.makespan)
+
+
+def _total_cost(run: RunLike) -> float:
+    """Total work (in work units) completed by the run.
+
+    The per-task cost is not stored on the result record, so we reconstruct
+    work from per-task compute durations times the executing node's nominal
+    speed — exact when the node was idle, a slight over-estimate under
+    external load, which is acceptable for the shape-level comparisons the
+    experiments make.
+    """
+    return float(sum(max(r.finished - r.started, 0.0) for r in run.results))
+
+
+def ideal_sequential_time(total_cost: float, grid: GridTopology) -> float:
+    """Time the whole job would take on the grid's fastest node, dedicated."""
+    if total_cost < 0:
+        raise AnalysisError(f"total_cost must be >= 0, got {total_cost}")
+    fastest = max(node.speed for node in grid.nodes)
+    return total_cost / fastest
+
+
+def speedup(run: RunLike, grid: GridTopology, total_cost: Optional[float] = None) -> float:
+    """Ideal-sequential-time / makespan."""
+    if run.makespan <= 0:
+        raise AnalysisError("cannot compute speedup of a zero-makespan run")
+    if total_cost is None:
+        sequential = _sequential_estimate(run, grid)
+    else:
+        sequential = ideal_sequential_time(total_cost, grid)
+    return sequential / run.makespan
+
+
+def _sequential_estimate(run: RunLike, grid: GridTopology) -> float:
+    """Estimate sequential time from observed compute durations.
+
+    Each task's work is its observed duration × its node's nominal speed;
+    the sequential time is that total work divided by the fastest node's
+    speed.
+    """
+    fastest = max(node.speed for node in grid.nodes)
+    total_work = 0.0
+    for result in run.results:
+        node = grid.node(result.node_id)
+        total_work += max(result.finished - result.started, 0.0) * node.speed
+    return total_work / fastest
+
+
+def efficiency(run: RunLike, grid: GridTopology, nodes_used: Optional[int] = None,
+               total_cost: Optional[float] = None) -> float:
+    """Speedup divided by the number of nodes that actually ran tasks."""
+    used = nodes_used if nodes_used is not None else len(run.per_node_counts())
+    if used <= 0:
+        raise AnalysisError("efficiency needs at least one node")
+    return speedup(run, grid, total_cost=total_cost) / used
+
+
+def throughput(run: RunLike) -> float:
+    """Completed tasks per virtual second."""
+    if run.makespan <= 0:
+        raise AnalysisError("cannot compute throughput of a zero-makespan run")
+    return len(run.results) / run.makespan
+
+
+def load_imbalance(run: RunLike) -> float:
+    """Imbalance of per-node busy time: ``max / mean − 1`` (0 = perfect).
+
+    Busy time is the sum of compute durations per node over the whole run.
+    """
+    busy: Dict[str, float] = {}
+    for result in run.results:
+        busy[result.node_id] = busy.get(result.node_id, 0.0) + max(
+            result.finished - result.started, 0.0
+        )
+    if not busy:
+        raise AnalysisError("run has no results")
+    values = np.array(list(busy.values()))
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    return float(values.max() / mean - 1.0)
+
+
+def adaptation_overhead(result: GraspResult) -> float:
+    """Fraction of the makespan spent in (re)calibration phases."""
+    if result.makespan <= 0:
+        return 0.0
+    from repro.core.phases import Phase  # local import to avoid cycles at module load
+
+    calibration_time = result.phases.total_duration(Phase.CALIBRATION)
+    return calibration_time / result.makespan
+
+
+def summarise_run(run: RunLike, grid: GridTopology, label: str = "run",
+                  total_cost: Optional[float] = None) -> RunMetrics:
+    """Compute the full :class:`RunMetrics` record for one run."""
+    recalibrations = getattr(run, "recalibrations", 0)
+    return RunMetrics(
+        label=label,
+        makespan=makespan(run),
+        speedup=speedup(run, grid, total_cost=total_cost),
+        efficiency=efficiency(run, grid, total_cost=total_cost),
+        throughput=throughput(run),
+        load_imbalance=load_imbalance(run),
+        tasks=len(run.results),
+        nodes_used=len(run.per_node_counts()),
+        recalibrations=int(recalibrations),
+    )

@@ -1,0 +1,80 @@
+"""Plain-text and Markdown rendering of experiment tables.
+
+The benchmark harness prints each experiment's table with
+:func:`format_table` so the ``bench_output.txt`` artefact contains the same
+rows the paper's evaluation would report; :func:`to_markdown` produces the
+fragments pasted into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentTable
+from repro.exceptions import AnalysisError
+
+__all__ = ["format_table", "format_series", "to_markdown"]
+
+
+def _format_value(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable, precision: int = 3) -> str:
+    """Render an :class:`ExperimentTable` as an aligned plain-text table."""
+    if not table.rows:
+        return f"== {table.title} ==\n(no rows)"
+    headers = list(table.columns)
+    rendered_rows = [
+        [_format_value(row.get(col), precision) for col in headers]
+        for row in table.rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"== {table.title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    if table.notes:
+        lines.append(f"notes: {table.notes}")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any], ys: Sequence[Any], x_label: str = "x", y_label: str = "y",
+    title: str = "series", precision: int = 3,
+) -> str:
+    """Render a figure's (x, y) series as two aligned columns.
+
+    Used for experiments that reproduce *figures* rather than tables: the
+    series is what the figure plots.
+    """
+    if len(xs) != len(ys):
+        raise AnalysisError("series needs equally long x and y sequences")
+    table = ExperimentTable(title=title, columns=[x_label, y_label])
+    for x, y in zip(xs, ys):
+        table.add_row({x_label: x, y_label: y})
+    return format_table(table, precision=precision)
+
+
+def to_markdown(table: ExperimentTable, precision: int = 3) -> str:
+    """Render an :class:`ExperimentTable` as a GitHub-flavoured Markdown table."""
+    headers = list(table.columns)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in table.rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(col), precision) for col in headers) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Non-adaptive baseline executors.
+
+The paper's claims are comparative: adaptive, calibrated skeletons versus
+their conventional non-adaptive counterparts on a dynamic, heterogeneous
+grid.  This package provides those counterparts, executing the *same*
+skeleton objects over the *same* simulated grid so differences are entirely
+attributable to calibration and adaptation:
+
+* :class:`StaticFarm` — a-priori task distribution (block, cyclic or
+  speed-weighted block), no calibration, no adaptation.
+* :class:`DemandDrivenFarm` — demand-driven self-scheduling over all nodes,
+  but without calibration (no fittest-node selection) and without
+  threshold-driven recalibration.  Used by the ablation experiments to
+  separate the benefit of self-scheduling from the benefit of GRASP proper.
+* :class:`StaticPipeline` — fixed stage-to-node mapping (declaration order
+  or nominal-speed order), no remapping.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.result import BaselineResult
+from repro.baselines.static_farm import DemandDrivenFarm, StaticFarm
+from repro.baselines.static_pipeline import StaticPipeline
+
+__all__ = ["BaselineResult", "StaticFarm", "DemandDrivenFarm", "StaticPipeline"]

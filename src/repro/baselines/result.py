@@ -1,0 +1,35 @@
+"""Result record shared by the baseline executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.skeletons.base import TaskResult
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a non-adaptive baseline run (mirrors :class:`GraspResult`)."""
+
+    outputs: Any
+    results: List[TaskResult]
+    makespan: float
+    started: float
+    finished: float
+    strategy: str
+    nodes: List[str] = field(default_factory=list)
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of completed task results."""
+        return len(self.results)
+
+    def per_node_counts(self) -> Dict[str, int]:
+        """Tasks completed per node."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.node_id] = counts.get(result.node_id, 0) + 1
+        return counts

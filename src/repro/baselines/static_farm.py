@@ -1,0 +1,198 @@
+"""Non-adaptive farm baselines.
+
+Two comparators for the adaptive GRASP farm:
+
+* :class:`StaticFarm` — the classical static farm: every task is assigned to
+  a node *before* execution starts (block, cyclic or speed-weighted block
+  distribution) and the assignment never changes.  This is the comparator
+  the companion task-farm evaluation uses and the one that suffers most
+  under heterogeneity and dynamic load.
+* :class:`DemandDrivenFarm` — a work-conserving self-scheduling farm over
+  *all* nodes with no calibration and no recalibration.  It isolates the
+  contribution of GRASP's fittest-node selection and threshold feedback from
+  the generic benefit of demand-driven dispatch (ablation in E4/E10).
+
+Both run the same :class:`~repro.skeletons.taskfarm.TaskFarm` skeleton over
+the same simulated grid as the adaptive runtime, with the same
+communication model (inputs shipped from the master, results shipped back).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.baselines.result import BaselineResult
+from repro.core.scheduler import (
+    DemandDrivenScheduler,
+    Scheduler,
+    StaticBlockScheduler,
+    StaticCyclicScheduler,
+    WeightedBlockScheduler,
+)
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+from repro.skeletons.base import Skeleton, Task, TaskResult
+from repro.skeletons.taskfarm import TaskFarm
+
+__all__ = ["StaticFarm", "DemandDrivenFarm"]
+
+_STRATEGIES = {"block", "cyclic", "weighted"}
+
+
+class StaticFarm:
+    """A-priori distributed (non-adaptive) task farm.
+
+    Parameters
+    ----------
+    skeleton:
+        The farm (or any farm-like skeleton exposing ``make_tasks`` and
+        ``execute_task``).
+    grid:
+        The grid topology to run on.
+    strategy:
+        ``"block"`` (contiguous equal blocks), ``"cyclic"`` (round-robin) or
+        ``"weighted"`` (blocks proportional to nominal node speed — the
+        strongest static comparator).
+    workers:
+        Node identifiers to use; defaults to every node except the master.
+    master_node:
+        Node hosting the farmer; defaults to the first topology node.
+    """
+
+    def __init__(
+        self,
+        skeleton: Skeleton,
+        grid: GridTopology,
+        strategy: str = "block",
+        workers: Optional[Sequence[str]] = None,
+        master_node: Optional[str] = None,
+        simulator: Optional[GridSimulator] = None,
+    ):
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown static farm strategy {strategy!r}; expected one of {_STRATEGIES}"
+            )
+        if not hasattr(skeleton, "execute_task"):
+            raise ConfigurationError("StaticFarm needs a farm-like skeleton")
+        self.skeleton = skeleton
+        self.grid = grid
+        self.strategy = strategy
+        self.simulator = simulator or GridSimulator(grid)
+        self.master_node = master_node or grid.node_ids[0]
+        if self.master_node not in grid:
+            raise ConfigurationError(f"unknown master node {self.master_node!r}")
+        default_workers = [n for n in grid.node_ids if n != self.master_node]
+        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        if not self.workers:
+            raise ConfigurationError("StaticFarm needs at least one worker")
+        for node in self.workers:
+            if node not in grid:
+                raise ConfigurationError(f"unknown worker node {node!r}")
+
+    def _scheduler(self) -> Scheduler:
+        if self.strategy == "block":
+            return StaticBlockScheduler()
+        if self.strategy == "cyclic":
+            return StaticCyclicScheduler()
+        return WeightedBlockScheduler(weights=self.grid.speeds())
+
+    def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> BaselineResult:
+        """Execute all inputs with the static distribution; return the result."""
+        tasks = list(self.skeleton.make_tasks(inputs))
+        if not tasks:
+            raise ExecutionError("static farm needs at least one task")
+        assignment = self._scheduler().assign(tasks, self.workers)
+
+        results: List[TaskResult] = []
+        master_free = float(start_time)
+        # Inputs are shipped node by node, task by task, up front (static
+        # distribution sends everything before computing starts on the
+        # master side; workers start as soon as their first input arrives).
+        for node in self.workers:
+            for task in assignment.get(node, []):
+                send = self.simulator.transfer(self.master_node, node,
+                                               task.input_bytes, at_time=master_free)
+                master_free = send.finished
+                execution = self.simulator.run_task(node, task.cost,
+                                                    at_time=send.finished)
+                back = self.simulator.transfer(node, self.master_node,
+                                               task.output_bytes,
+                                               at_time=execution.finished)
+                output = self.skeleton.execute_task(task)
+                results.append(
+                    TaskResult(task_id=task.task_id, output=output, node_id=node,
+                               submitted=send.started, started=execution.started,
+                               finished=back.finished, stage=task.stage)
+                )
+
+        finished = max(r.finished for r in results)
+        ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]
+        return BaselineResult(
+            outputs=ordered, results=results, makespan=finished - start_time,
+            started=float(start_time), finished=finished,
+            strategy=f"static-{self.strategy}", nodes=list(self.workers),
+        )
+
+
+class DemandDrivenFarm:
+    """Self-scheduling farm over all workers, without calibration/adaptation."""
+
+    def __init__(
+        self,
+        skeleton: Skeleton,
+        grid: GridTopology,
+        workers: Optional[Sequence[str]] = None,
+        master_node: Optional[str] = None,
+        simulator: Optional[GridSimulator] = None,
+    ):
+        if not hasattr(skeleton, "execute_task"):
+            raise ConfigurationError("DemandDrivenFarm needs a farm-like skeleton")
+        self.skeleton = skeleton
+        self.grid = grid
+        self.simulator = simulator or GridSimulator(grid)
+        self.master_node = master_node or grid.node_ids[0]
+        if self.master_node not in grid:
+            raise ConfigurationError(f"unknown master node {self.master_node!r}")
+        default_workers = [n for n in grid.node_ids if n != self.master_node]
+        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        if not self.workers:
+            raise ConfigurationError("DemandDrivenFarm needs at least one worker")
+        self.scheduler = DemandDrivenScheduler()
+
+    def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> BaselineResult:
+        """Execute all inputs demand-driven; return the result."""
+        tasks = collections.deque(self.skeleton.make_tasks(inputs))
+        if not tasks:
+            raise ExecutionError("demand-driven farm needs at least one task")
+
+        results: List[TaskResult] = []
+        master_free = float(start_time)
+        while tasks:
+            task = tasks.popleft()
+            ready = {
+                node: max(self.simulator.node_free_at(node), master_free)
+                for node in self.workers
+            }
+            node = self.scheduler.next_node(ready)
+            send = self.simulator.transfer(self.master_node, node, task.input_bytes,
+                                           at_time=ready[node])
+            master_free = send.finished
+            execution = self.simulator.run_task(node, task.cost, at_time=send.finished)
+            back = self.simulator.transfer(node, self.master_node, task.output_bytes,
+                                           at_time=execution.finished)
+            output = self.skeleton.execute_task(task)
+            results.append(
+                TaskResult(task_id=task.task_id, output=output, node_id=node,
+                           submitted=send.started, started=execution.started,
+                           finished=back.finished, stage=task.stage)
+            )
+
+        finished = max(r.finished for r in results)
+        ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]
+        return BaselineResult(
+            outputs=ordered, results=results, makespan=finished - start_time,
+            started=float(start_time), finished=finished,
+            strategy="demand-driven", nodes=list(self.workers),
+        )

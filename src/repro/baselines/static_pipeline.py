@@ -1,0 +1,129 @@
+"""Non-adaptive pipeline baseline.
+
+:class:`StaticPipeline` maps each stage onto a node once, before execution,
+and never reconsiders the mapping.  Two mapping rules are provided:
+
+* ``"declaration"`` — stage *k* on the *k*-th node of the worker list (the
+  naive mapping an MPI pipeline would use);
+* ``"speed"`` — heaviest stage on the nominally fastest node (a
+  heterogeneity-aware static mapping, the stronger comparator; it still
+  cannot react to *dynamic* load, which is the gap adaptation closes in
+  experiment E5).
+
+The streaming model (per-stage serialisation, inter-stage transfers, result
+return to the master) is identical to the adaptive
+:class:`~repro.core.pipeline_executor.PipelineExecutor`, so measured
+differences come from the mapping policy alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.result import BaselineResult
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+from repro.skeletons.base import TaskResult
+from repro.skeletons.pipeline import Pipeline
+
+__all__ = ["StaticPipeline"]
+
+_MAPPINGS = {"declaration", "speed"}
+
+
+class StaticPipeline:
+    """Fixed stage-to-node mapping, no monitoring, no remapping."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        grid: GridTopology,
+        mapping: str = "declaration",
+        workers: Optional[Sequence[str]] = None,
+        master_node: Optional[str] = None,
+        simulator: Optional[GridSimulator] = None,
+    ):
+        if not isinstance(pipeline, Pipeline):
+            raise ConfigurationError("StaticPipeline needs a Pipeline skeleton")
+        if mapping not in _MAPPINGS:
+            raise ConfigurationError(
+                f"unknown mapping {mapping!r}; expected one of {_MAPPINGS}"
+            )
+        self.pipeline = pipeline
+        self.grid = grid
+        self.mapping = mapping
+        self.simulator = simulator or GridSimulator(grid)
+        self.master_node = master_node or grid.node_ids[0]
+        if self.master_node not in grid:
+            raise ConfigurationError(f"unknown master node {self.master_node!r}")
+        default_workers = [n for n in grid.node_ids if n != self.master_node]
+        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        for node in self.workers:
+            if node not in grid:
+                raise ConfigurationError(f"unknown worker node {node!r}")
+        if len(self.workers) < pipeline.num_stages:
+            raise ConfigurationError(
+                f"pipeline has {pipeline.num_stages} stages but only "
+                f"{len(self.workers)} workers were provided"
+            )
+
+    # --------------------------------------------------------------- mapping
+    def stage_assignment(self, sample_item: Any) -> Dict[int, str]:
+        """The static stage → node assignment used by this baseline."""
+        stages = self.pipeline.num_stages
+        if self.mapping == "declaration":
+            return {i: self.workers[i] for i in range(stages)}
+        # "speed": heaviest stage to nominally fastest node.
+        costs = [self.pipeline.stage_cost(i, sample_item) for i in range(stages)]
+        stage_order = sorted(range(stages), key=lambda i: -costs[i])
+        node_order = sorted(self.workers, key=lambda n: -self.grid.node(n).speed)
+        return {stage: node_order[pos] for pos, stage in enumerate(stage_order)}
+
+    # ------------------------------------------------------------------- run
+    def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> BaselineResult:
+        """Stream all items through the fixed mapping; return the result."""
+        tasks = self.pipeline.make_tasks(inputs)
+        if not tasks:
+            raise ExecutionError("static pipeline needs at least one item")
+        assignment = self.stage_assignment(tasks[0].payload)
+
+        results: List[TaskResult] = []
+        emit_time = float(start_time)
+        for task in tasks:
+            released_at = emit_time
+            value = task.payload
+            previous_node = self.master_node
+            available_at = released_at
+            payload_bytes = task.input_bytes
+            for stage_index in range(self.pipeline.num_stages):
+                node = assignment[stage_index]
+                transfer = self.simulator.transfer(previous_node, node, payload_bytes,
+                                                   at_time=available_at)
+                if stage_index == 0:
+                    # The master may release the next item once this one's
+                    # input hand-off to the first stage has completed.
+                    emit_time = transfer.finished
+                cost = self.pipeline.stage_cost(stage_index, value)
+                execution = self.simulator.run_task(node, cost, at_time=transfer.finished)
+                value = self.pipeline.apply_stage(stage_index, value)
+                previous_node = node
+                available_at = execution.finished
+                payload_bytes = task.output_bytes
+            back = self.simulator.transfer(previous_node, self.master_node,
+                                           task.output_bytes, at_time=available_at)
+            results.append(
+                TaskResult(task_id=task.task_id, output=value, node_id=previous_node,
+                           submitted=released_at, started=released_at,
+                           finished=back.finished,
+                           stage=self.pipeline.num_stages - 1)
+            )
+
+        finished = max(r.finished for r in results)
+        ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]
+        return BaselineResult(
+            outputs=ordered, results=results, makespan=finished - start_time,
+            started=float(start_time), finished=finished,
+            strategy=f"static-pipeline-{self.mapping}",
+            nodes=[assignment[i] for i in range(self.pipeline.num_stages)],
+        )

@@ -1,0 +1,46 @@
+"""MPI-like parallel environment substrate.
+
+The original GRASP implementation is an ANSI C library on top of MPI; the
+"parallel environment handles the underlying metacomputer/computational
+grid, including the node initialisation, grid resource co-allocation,
+inter-domain scheduling, and other infrastructure matters" (paper, §GRASP
+Methodology).  This package provides the equivalent layer for the Python
+reproduction:
+
+* :class:`Message` and payload-size estimation.
+* :class:`SimulatedCommunicator` — point-to-point and collective operations
+  whose *costs* are charged against the virtual-time grid simulator.  This
+  is the backend used by the GRASP runtime and all experiments.
+* :class:`ThreadCommunicator` — an in-process, real-concurrency backend
+  (threads + queues) exposing the same API, used to demonstrate that the
+  skeleton programming interface also drives genuine parallel execution.
+* :mod:`repro.comm.collectives` — tree/linear collective algorithms shared
+  by both backends.
+"""
+
+from __future__ import annotations
+
+from repro.comm.message import Message, estimate_size
+from repro.comm.channel import Channel
+from repro.comm.communicator import Communicator, SimulatedCommunicator
+from repro.comm.inproc import ThreadCommunicator, run_spmd
+from repro.comm.collectives import (
+    binomial_tree_rounds,
+    broadcast_completion_times,
+    gather_completion_time,
+    scatter_completion_times,
+)
+
+__all__ = [
+    "Message",
+    "estimate_size",
+    "Channel",
+    "Communicator",
+    "SimulatedCommunicator",
+    "ThreadCommunicator",
+    "run_spmd",
+    "binomial_tree_rounds",
+    "broadcast_completion_times",
+    "scatter_completion_times",
+    "gather_completion_time",
+]

@@ -1,0 +1,75 @@
+"""FIFO channels used by the in-process communicator backend.
+
+A :class:`Channel` is a thread-safe, optionally bounded FIFO of
+:class:`repro.comm.message.Message` objects with tag-selective receive —
+the minimal feature set needed to implement MPI-style ``send``/``recv``
+between threads.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Deque, Optional
+
+from repro.comm.message import Message
+from repro.exceptions import CommunicationError
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A thread-safe FIFO of messages with optional tag filtering."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise CommunicationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._queue: Deque[Message] = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, message: Message, timeout: Optional[float] = None) -> None:
+        """Append ``message``, blocking while the channel is full."""
+        with self._not_full:
+            if self._closed:
+                raise CommunicationError("cannot put into a closed channel")
+            while self._capacity is not None and len(self._queue) >= self._capacity:
+                if not self._not_full.wait(timeout):
+                    raise CommunicationError("timed out waiting for channel space")
+            self._queue.append(message)
+            self._not_empty.notify()
+
+    def get(self, tag: Optional[int] = None, timeout: Optional[float] = None) -> Message:
+        """Remove and return the first message (matching ``tag`` if given).
+
+        Blocks until a matching message arrives or ``timeout`` elapses.
+        """
+        with self._not_empty:
+            while True:
+                for index, message in enumerate(self._queue):
+                    if tag is None or message.tag == tag:
+                        del self._queue[index]
+                        self._not_full.notify()
+                        return message
+                if self._closed:
+                    raise CommunicationError("channel closed while waiting for a message")
+                if not self._not_empty.wait(timeout):
+                    raise CommunicationError("timed out waiting for a message")
+
+    def close(self) -> None:
+        """Close the channel; waiting receivers are woken with an error."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

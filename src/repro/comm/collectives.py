@@ -1,0 +1,166 @@
+"""Collective-operation cost algorithms.
+
+The simulated communicator needs to know *when* each participant of a
+collective completes.  This module contains the pure algorithms — given
+point-to-point transfer times, compute per-rank completion times for
+broadcast (linear and binomial-tree), scatter and gather — so they can be
+unit-tested independently of the simulator and shared between backends.
+
+All functions take a ``transfer_time(src_rank, dst_rank, nbytes, at_time)``
+callable, mirroring :meth:`repro.grid.simulator.GridSimulator.transfer`
+without committing the transfers, and return completion times indexed by
+rank.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.exceptions import CommunicationError
+
+__all__ = [
+    "binomial_tree_rounds",
+    "broadcast_completion_times",
+    "scatter_completion_times",
+    "gather_completion_time",
+]
+
+TransferTimeFn = Callable[[int, int, float, float], float]
+"""Signature: (src_rank, dst_rank, nbytes, start_time) -> duration."""
+
+
+def binomial_tree_rounds(size: int) -> List[List[tuple]]:
+    """Sender/receiver pairs per round of a binomial-tree broadcast.
+
+    Rank 0 is the root.  Round ``r`` has every rank ``< 2**r`` that already
+    holds the data send to rank ``peer = rank + 2**r`` when that peer exists.
+    Returns a list of rounds, each a list of ``(src, dst)`` pairs.
+
+    >>> binomial_tree_rounds(4)
+    [[(0, 1)], [(0, 2), (1, 3)]]
+    """
+    if size < 1:
+        raise CommunicationError(f"size must be >= 1, got {size}")
+    rounds: List[List[tuple]] = []
+    have = 1
+    r = 0
+    while have < size:
+        pairs = []
+        step = 1 << r
+        for src in range(min(step, size)):
+            dst = src + step
+            if dst < size:
+                pairs.append((src, dst))
+        rounds.append(pairs)
+        have += len(pairs)
+        r += 1
+    return rounds
+
+
+def broadcast_completion_times(
+    size: int,
+    nbytes: float,
+    start_time: float,
+    transfer_time: TransferTimeFn,
+    algorithm: str = "tree",
+    root: int = 0,
+) -> Dict[int, float]:
+    """Completion time per rank for broadcasting ``nbytes`` from ``root``.
+
+    ``algorithm`` is ``"tree"`` (binomial, log₂ rounds) or ``"linear"``
+    (root sends to every rank sequentially).  Ranks are relabelled so the
+    requested root plays the role of rank 0 in the tree schedule.
+    """
+    if size < 1:
+        raise CommunicationError(f"size must be >= 1, got {size}")
+    if not (0 <= root < size):
+        raise CommunicationError(f"root {root} out of range for size {size}")
+    if algorithm not in {"tree", "linear"}:
+        raise CommunicationError(f"unknown broadcast algorithm {algorithm!r}")
+
+    # Map virtual rank (tree position) <-> actual rank.
+    actual = lambda virtual: (virtual + root) % size  # noqa: E731
+
+    completion: Dict[int, float] = {root: float(start_time)}
+    if size == 1:
+        return completion
+
+    if algorithm == "linear":
+        t = float(start_time)
+        for virtual in range(1, size):
+            dst = actual(virtual)
+            duration = transfer_time(root, dst, nbytes, t)
+            arrival = t + duration
+            completion[dst] = arrival
+            # The root's next send starts once the previous one is handed off.
+            t = arrival
+        return completion
+
+    for pairs in binomial_tree_rounds(size):
+        for virtual_src, virtual_dst in pairs:
+            src = actual(virtual_src)
+            dst = actual(virtual_dst)
+            send_start = completion[src]
+            duration = transfer_time(src, dst, nbytes, send_start)
+            completion[dst] = send_start + duration
+    return completion
+
+
+def scatter_completion_times(
+    size: int,
+    nbytes_per_rank: Sequence[float],
+    start_time: float,
+    transfer_time: TransferTimeFn,
+    root: int = 0,
+) -> Dict[int, float]:
+    """Completion time per rank for a root-sequential scatter.
+
+    The root sends each rank its own chunk in rank order (the linear scatter
+    used by the original skeleton implementations); the root's own chunk is
+    available immediately.
+    """
+    if len(nbytes_per_rank) != size:
+        raise CommunicationError(
+            f"expected {size} chunk sizes, got {len(nbytes_per_rank)}"
+        )
+    if not (0 <= root < size):
+        raise CommunicationError(f"root {root} out of range for size {size}")
+    completion: Dict[int, float] = {root: float(start_time)}
+    t = float(start_time)
+    for rank in range(size):
+        if rank == root:
+            continue
+        duration = transfer_time(root, rank, float(nbytes_per_rank[rank]), t)
+        arrival = t + duration
+        completion[rank] = arrival
+        t = arrival
+    return completion
+
+
+def gather_completion_time(
+    size: int,
+    nbytes_per_rank: Sequence[float],
+    ready_times: Sequence[float],
+    transfer_time: TransferTimeFn,
+    root: int = 0,
+) -> float:
+    """Time at which the root holds every rank's contribution.
+
+    Rank ``i``'s contribution becomes available at ``ready_times[i]``; the
+    root receives contributions one at a time (single network interface), in
+    the order they become ready.
+    """
+    if len(nbytes_per_rank) != size or len(ready_times) != size:
+        raise CommunicationError("nbytes_per_rank and ready_times must have length == size")
+    if not (0 <= root < size):
+        raise CommunicationError(f"root {root} out of range for size {size}")
+
+    order = sorted((rank for rank in range(size) if rank != root),
+                   key=lambda rank: ready_times[rank])
+    receiver_free = float(ready_times[root])
+    for rank in order:
+        start = max(receiver_free, float(ready_times[rank]))
+        duration = transfer_time(rank, root, float(nbytes_per_rank[rank]), start)
+        receiver_free = start + duration
+    return receiver_free

@@ -1,0 +1,218 @@
+"""Communicators: the MPI-like interface bound to a grid.
+
+A communicator maps integer *ranks* onto grid node identifiers and provides
+point-to-point and collective operations.  Two backends implement the
+interface:
+
+* :class:`SimulatedCommunicator` (this module) — operations are charged as
+  virtual-time transfers against a :class:`repro.grid.simulator.GridSimulator`.
+  It is time-explicit: every call takes the time at which each participant
+  is ready and returns the time(s) at which the operation completes, which
+  is exactly what the skeleton executors need to build schedules.
+* :class:`repro.comm.inproc.ThreadCommunicator` — real concurrent execution
+  with threads and channels, for demonstrating the API outside the
+  simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.comm.collectives import (
+    broadcast_completion_times,
+    gather_completion_time,
+    scatter_completion_times,
+)
+from repro.comm.message import Message, estimate_size
+from repro.exceptions import CommunicationError
+from repro.grid.simulator import GridSimulator
+
+__all__ = ["Communicator", "SimulatedCommunicator"]
+
+
+class Communicator:
+    """Abstract rank-addressed communicator."""
+
+    def __init__(self, node_ids: Sequence[str]):
+        if len(node_ids) == 0:
+            raise CommunicationError("a communicator needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise CommunicationError("node identifiers bound to ranks must be unique")
+        self._node_ids = list(node_ids)
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._node_ids)
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Node identifier per rank."""
+        return list(self._node_ids)
+
+    def node_of(self, rank: int) -> str:
+        """Grid node identifier bound to ``rank``."""
+        self._check_rank(rank)
+        return self._node_ids[rank]
+
+    def rank_of(self, node_id: str) -> int:
+        """Rank bound to ``node_id``."""
+        try:
+            return self._node_ids.index(node_id)
+        except ValueError:
+            raise CommunicationError(f"node {node_id!r} is not part of this communicator") from None
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise CommunicationError(
+                f"rank {rank} out of range for communicator of size {self.size}"
+            )
+
+    def sub_communicator(self, ranks: Sequence[int]) -> "Communicator":
+        """Create a communicator over a subset of ranks (new ranks 0..k-1)."""
+        raise NotImplementedError
+
+
+class SimulatedCommunicator(Communicator):
+    """Cost-accounting communicator over the virtual-time grid simulator.
+
+    All operations are *time-explicit*: they take starting/ready times and
+    return completion times, leaving the decision of how to interleave
+    computation to the caller (the skeleton executors).
+    """
+
+    def __init__(self, simulator: GridSimulator, node_ids: Sequence[str]):
+        super().__init__(node_ids)
+        for node_id in node_ids:
+            if node_id not in simulator.topology:
+                raise CommunicationError(f"node {node_id!r} is not in the grid topology")
+        self.simulator = simulator
+        self._messages: List[Message] = []
+
+    # ----------------------------------------------------------- point2point
+    def send(self, src: int, dst: int, payload: Any, at_time: float,
+             tag: int = 0, nbytes: Optional[int] = None) -> Message:
+        """Send ``payload`` from ``src`` to ``dst`` starting at ``at_time``.
+
+        Returns the :class:`Message` with its ``delivered_at`` time filled in.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        size = estimate_size(payload) if nbytes is None else int(nbytes)
+        transfer = self.simulator.transfer(
+            self.node_of(src), self.node_of(dst), size, at_time=at_time
+        )
+        message = Message(src=src, dst=dst, payload=payload, tag=tag,
+                          nbytes=size, sent_at=transfer.started,
+                          delivered_at=transfer.finished)
+        self._messages.append(message)
+        return message
+
+    def transfer_time(self, src: int, dst: int, nbytes: float, at_time: float) -> float:
+        """Duration of a hypothetical transfer (not committed to history)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        link = self.simulator.topology.link_between(self.node_of(src), self.node_of(dst))
+        return link.transfer_time(nbytes, at_time)
+
+    # ------------------------------------------------------------ collectives
+    def broadcast(self, root: int, payload: Any, at_time: float,
+                  algorithm: str = "tree", nbytes: Optional[int] = None) -> Dict[int, float]:
+        """Broadcast ``payload`` from ``root``; returns per-rank arrival times."""
+        self._check_rank(root)
+        size = estimate_size(payload) if nbytes is None else int(nbytes)
+        times = broadcast_completion_times(
+            self.size, size, at_time, self.transfer_time,
+            algorithm=algorithm, root=root,
+        )
+        # Commit the implied transfers so simulator history reflects them.
+        for rank, finish in times.items():
+            if rank != root:
+                self._messages.append(Message(
+                    src=root, dst=rank, payload=payload, tag=-1,
+                    nbytes=size, sent_at=at_time, delivered_at=finish,
+                ))
+        return times
+
+    def scatter(self, root: int, payloads: Sequence[Any], at_time: float,
+                nbytes_per_rank: Optional[Sequence[float]] = None) -> Dict[int, float]:
+        """Scatter one payload per rank from ``root``; returns arrival times."""
+        self._check_rank(root)
+        if len(payloads) != self.size:
+            raise CommunicationError(
+                f"scatter needs {self.size} payloads, got {len(payloads)}"
+            )
+        sizes = (
+            [estimate_size(p) for p in payloads]
+            if nbytes_per_rank is None
+            else [float(n) for n in nbytes_per_rank]
+        )
+        times = scatter_completion_times(self.size, sizes, at_time,
+                                         self.transfer_time, root=root)
+        for rank, finish in times.items():
+            if rank != root:
+                self._messages.append(Message(
+                    src=root, dst=rank, payload=payloads[rank], tag=-2,
+                    nbytes=int(sizes[rank]), sent_at=at_time, delivered_at=finish,
+                ))
+        return times
+
+    def gather(self, root: int, ready_times: Sequence[float],
+               payloads: Sequence[Any],
+               nbytes_per_rank: Optional[Sequence[float]] = None) -> float:
+        """Gather one payload per rank at ``root``; returns completion time.
+
+        ``ready_times[i]`` is the virtual time at which rank ``i``'s payload
+        becomes available for sending.
+        """
+        self._check_rank(root)
+        if len(payloads) != self.size or len(ready_times) != self.size:
+            raise CommunicationError("gather needs one payload and ready time per rank")
+        sizes = (
+            [estimate_size(p) for p in payloads]
+            if nbytes_per_rank is None
+            else [float(n) for n in nbytes_per_rank]
+        )
+        finish = gather_completion_time(self.size, sizes, list(ready_times),
+                                        self.transfer_time, root=root)
+        for rank in range(self.size):
+            if rank != root:
+                self._messages.append(Message(
+                    src=rank, dst=root, payload=payloads[rank], tag=-3,
+                    nbytes=int(sizes[rank]), sent_at=float(ready_times[rank]),
+                    delivered_at=finish,
+                ))
+        return finish
+
+    def barrier(self, ready_times: Sequence[float]) -> float:
+        """All ranks wait for each other; returns the release time."""
+        if len(ready_times) != self.size:
+            raise CommunicationError("barrier needs one ready time per rank")
+        # Synchronisation cost: a gather of empty messages to rank 0 followed
+        # by a broadcast of an empty message, both latency-bound.
+        gather_done = gather_completion_time(
+            self.size, [0.0] * self.size, list(ready_times), self.transfer_time, root=0
+        )
+        release = broadcast_completion_times(
+            self.size, 0.0, gather_done, self.transfer_time, algorithm="tree", root=0
+        )
+        return max(release.values())
+
+    # ----------------------------------------------------------------- misc
+    @property
+    def messages(self) -> List[Message]:
+        """All messages sent through this communicator."""
+        return list(self._messages)
+
+    def total_bytes(self) -> int:
+        """Total payload bytes moved through this communicator."""
+        return sum(m.nbytes for m in self._messages)
+
+    def sub_communicator(self, ranks: Sequence[int]) -> "SimulatedCommunicator":
+        for rank in ranks:
+            self._check_rank(rank)
+        if len(ranks) == 0:
+            raise CommunicationError("sub-communicator needs at least one rank")
+        return SimulatedCommunicator(
+            self.simulator, [self.node_of(rank) for rank in ranks]
+        )

@@ -1,0 +1,169 @@
+"""In-process, real-concurrency communicator backend.
+
+The simulated backend answers *how long would this take on the grid*; this
+backend actually runs rank functions concurrently inside one Python process
+using threads and :class:`repro.comm.channel.Channel` FIFOs.  It exists to
+
+* demonstrate that the skeleton programming API is a genuine executable
+  interface rather than a cost model, and
+* provide a convenient local execution mode for the examples (results are
+  identical to sequential execution; speed-up is not the point, virtual-time
+  experiments are run on the simulator).
+
+The API mirrors mpi4py's lower-case, pickle-based methods: ``send``,
+``recv``, ``bcast``, ``scatter``, ``gather``, ``barrier``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.comm.channel import Channel
+from repro.comm.message import Message
+from repro.exceptions import CommunicationError
+
+__all__ = ["ThreadCommunicator", "run_spmd"]
+
+
+class _SharedState:
+    """State shared by all ranks of one thread-backed communicator."""
+
+    def __init__(self, size: int):
+        self.size = size
+        # channels[dst][src] — per-sender FIFO so tags cannot interleave
+        # between senders.
+        self.channels: Dict[int, Dict[int, Channel]] = {
+            dst: {src: Channel() for src in range(size)} for dst in range(size)
+        }
+        self.barrier = threading.Barrier(size)
+        self.collective_lock = threading.Lock()
+        self.collective_buffers: Dict[str, Dict[int, Any]] = {}
+        self.collective_events: Dict[str, threading.Event] = {}
+
+
+class ThreadCommunicator:
+    """Per-rank handle onto a thread-backed communicator.
+
+    Instances are created by :func:`run_spmd`; each rank's function receives
+    its own handle (same ``size``, different ``rank``).
+    """
+
+    def __init__(self, state: _SharedState, rank: int):
+        self._state = state
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self._state.size
+
+    # ----------------------------------------------------------- point2point
+    def send(self, payload: Any, dst: int, tag: int = 0) -> None:
+        """Send ``payload`` to rank ``dst`` (non-blocking buffered send)."""
+        if not (0 <= dst < self.size):
+            raise CommunicationError(f"dst rank {dst} out of range")
+        message = Message.make(src=self.rank, dst=dst, payload=payload, tag=tag)
+        self._state.channels[dst][self.rank].put(message)
+
+    def recv(self, src: int, tag: Optional[int] = None,
+             timeout: Optional[float] = 30.0) -> Any:
+        """Receive the next message from ``src`` (optionally tag-filtered)."""
+        if not (0 <= src < self.size):
+            raise CommunicationError(f"src rank {src} out of range")
+        message = self._state.channels[self.rank][src].get(tag=tag, timeout=timeout)
+        return message.payload
+
+    # ------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self._state.barrier.wait()
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root``; every rank returns it."""
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(payload, dst, tag=-101)
+            return payload
+        return self.recv(root, tag=-101)
+
+    def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter one element per rank from ``root``; returns this rank's element."""
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise CommunicationError(
+                    f"scatter at root needs exactly {self.size} payloads"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(payloads[dst], dst, tag=-102)
+            return payloads[root]
+        return self.recv(root, tag=-102)
+
+    def gather(self, payload: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one element per rank at ``root``; other ranks return ``None``."""
+        if self.rank == root:
+            results: List[Any] = [None] * self.size
+            results[root] = payload
+            for src in range(self.size):
+                if src != root:
+                    results[src] = self.recv(src, tag=-103)
+            return results
+        self.send(payload, root, tag=-103)
+        return None
+
+    def allgather(self, payload: Any) -> List[Any]:
+        """Gather at rank 0 then broadcast; every rank returns the full list."""
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, payload: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        """Reduce per-rank values with binary ``op``; root returns the result."""
+        gathered = self.gather(payload, root=root)
+        if self.rank != root:
+            return None
+        assert gathered is not None
+        accumulator = gathered[0]
+        for value in gathered[1:]:
+            accumulator = op(accumulator, value)
+        return accumulator
+
+
+def run_spmd(size: int, fn: Callable[[ThreadCommunicator], Any],
+             timeout: Optional[float] = 60.0) -> List[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks concurrently; return per-rank results.
+
+    Any exception raised by a rank is re-raised in the caller (wrapped in
+    :class:`~repro.exceptions.CommunicationError` with the rank identified)
+    after all threads have been joined.
+    """
+    if size < 1:
+        raise CommunicationError(f"size must be >= 1, got {size}")
+    state = _SharedState(size)
+    results: List[Any] = [None] * size
+    errors: List[Optional[BaseException]] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = ThreadCommunicator(state, rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            errors[rank] = exc
+            # Unblock peers stuck in the barrier.
+            state.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(rank,), daemon=True)
+               for rank in range(size)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+
+    for rank, error in enumerate(errors):
+        if error is not None:
+            raise CommunicationError(f"rank {rank} failed: {error!r}") from error
+    for rank, thread in enumerate(threads):
+        if thread.is_alive():
+            raise CommunicationError(f"rank {rank} did not finish within the timeout")
+    return results

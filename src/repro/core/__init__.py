@@ -1,0 +1,63 @@
+"""The GRASP methodology (the paper's primary contribution).
+
+GRASP instruments a structured parallel program with the intrinsic
+properties of its skeleton so that it can adapt to dynamic grid conditions.
+The package mirrors the paper's four phases:
+
+* **Programming** — :class:`repro.core.program.SkeletalProgram` binds a
+  skeleton to its inputs and parameters.
+* **Compilation** — :class:`repro.core.compilation.CompiledProgram` links
+  the program with the parallel environment (grid simulator + communicator)
+  and the resource-monitoring library.
+* **Calibration** — :func:`repro.core.calibration.calibrate` implements
+  Algorithm 1: execute a sample on every allocated node, rank nodes
+  (time-only or statistically) and select the fittest.
+* **Execution** — :mod:`repro.core.execution` implements Algorithm 2 for
+  both skeletons: run on the chosen nodes, monitor execution times against
+  the performance threshold *Z* and adapt (recalibrate / reschedule) when it
+  is breached.
+
+The :class:`repro.core.grasp.Grasp` facade orchestrates all four phases and
+is the main entry point of the library.
+"""
+
+from __future__ import annotations
+
+from repro.core.phases import Phase, PhaseRecord, PhaseTimeline
+from repro.core.parameters import (
+    AdaptationAction,
+    CalibrationConfig,
+    ExecutionConfig,
+    GraspConfig,
+    SelectionPolicy,
+)
+from repro.core.ranking import NodeScore, RankingMode, rank_nodes
+from repro.core.calibration import CalibrationObservation, CalibrationReport, calibrate
+from repro.core.execution import ExecutionReport, MonitoringRound
+from repro.core.program import SkeletalProgram
+from repro.core.compilation import CompiledProgram, compile_program
+from repro.core.grasp import Grasp, GraspResult
+
+__all__ = [
+    "Phase",
+    "PhaseRecord",
+    "PhaseTimeline",
+    "GraspConfig",
+    "CalibrationConfig",
+    "ExecutionConfig",
+    "SelectionPolicy",
+    "AdaptationAction",
+    "RankingMode",
+    "NodeScore",
+    "rank_nodes",
+    "CalibrationObservation",
+    "CalibrationReport",
+    "calibrate",
+    "ExecutionReport",
+    "MonitoringRound",
+    "SkeletalProgram",
+    "CompiledProgram",
+    "compile_program",
+    "Grasp",
+    "GraspResult",
+]

@@ -1,0 +1,94 @@
+"""Adaptation decisions for the execution phase.
+
+Algorithm 2 leaves the adaptation *action* open: "the skeleton takes action,
+e.g., feeding back to the calibration phase and/or modifying the task
+scheduling according to the inherent properties of the skeleton in hand."
+This module centralises that decision so both executors (farm and pipeline)
+treat breaches identically:
+
+* :func:`decide` — given a breach and the remaining adaptation budget,
+  choose an :class:`~repro.core.parameters.AdaptationAction`.
+* :func:`rerank_from_history` — the cheap adaptation path: re-rank the node
+  pool from recent monitoring history (no fresh probes) and select a new
+  chosen set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.calibration import select_fittest
+from repro.core.parameters import AdaptationAction, CalibrationConfig
+from repro.core.ranking import NodeScore, RankingMode, rank_nodes
+from repro.exceptions import ExecutionError
+
+__all__ = ["AdaptationDecision", "decide", "rerank_from_history"]
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """Outcome of a breach decision."""
+
+    action: AdaptationAction
+    reason: str
+
+
+def decide(
+    breached: bool,
+    configured_action: AdaptationAction,
+    recalibrations_so_far: int,
+    max_recalibrations: int,
+) -> AdaptationDecision:
+    """Map a monitoring-round outcome onto an adaptation action.
+
+    No breach → no action.  A breach triggers the configured action unless
+    the recalibration budget is exhausted, in which case the breach is
+    recorded but no action is taken (prevents thrashing on persistently
+    hostile grids).
+    """
+    if not breached:
+        return AdaptationDecision(action=AdaptationAction.NONE, reason="threshold not breached")
+    if configured_action is AdaptationAction.NONE:
+        return AdaptationDecision(action=AdaptationAction.NONE,
+                                  reason="adaptation disabled by configuration")
+    if recalibrations_so_far >= max_recalibrations:
+        return AdaptationDecision(action=AdaptationAction.NONE,
+                                  reason="recalibration budget exhausted")
+    return AdaptationDecision(action=configured_action, reason="threshold breached")
+
+
+def rerank_from_history(
+    unit_times_by_node: Dict[str, Sequence[float]],
+    loads_by_node: Optional[Dict[str, Sequence[float]]],
+    calibration_config: CalibrationConfig,
+    min_nodes: int,
+    pool: Sequence[str],
+) -> List[str]:
+    """Re-rank nodes from monitoring history and select a new chosen set.
+
+    Nodes in ``pool`` that have no recent observations (they were not part
+    of the current chosen set) are retained with a score equal to the worst
+    observed score — they can only re-enter the chosen set when a full
+    recalibration probes them, which mirrors the information actually
+    available to the monitor.
+    """
+    observed = {n: list(v) for n, v in unit_times_by_node.items() if len(v) > 0}
+    if not observed:
+        raise ExecutionError("cannot re-rank without any monitoring observations")
+    scores = rank_nodes(
+        observed,
+        loads={n: list(v) for n, v in (loads_by_node or {}).items() if n in observed},
+        mode=RankingMode.TIME_ONLY if calibration_config.ranking is RankingMode.TIME_ONLY
+        else calibration_config.ranking,
+    )
+    worst = max(score.score for score in scores)
+    known = {score.node_id for score in scores}
+    padded = list(scores)
+    for node_id in pool:
+        if node_id not in known:
+            padded.append(
+                NodeScore(node_id=node_id, score=worst * 1.001, mean_time=worst,
+                          mean_load=0.0, mean_bandwidth=0.0, observations=0)
+            )
+    return select_fittest(padded, calibration_config, min_nodes=min_nodes)

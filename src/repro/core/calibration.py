@@ -1,0 +1,269 @@
+"""Algorithm 1 — the calibration phase.
+
+"The calibration is an autonomic stage, which executes a sample of the data
+on every allocated node, extrapolating the node performance in order to
+select the fittest nodes for the given computation under the current
+resource conditions. [...] It is relevant to mention that the processing
+performed during the calibration contributes to the overall job."
+
+The :func:`calibrate` function is a direct implementation of the paper's
+Algorithm 1 against the simulated grid:
+
+1. every node of the pool concurrently executes ``sample_per_node`` sample
+   tasks (drawn from the job's own task queue, so the work is not wasted);
+2. the root/monitor collects the execution times ``T`` — and, when
+   statistical calibration is enabled, processor-load and bandwidth
+   readings;
+3. nodes are ranked by extrapolated performance (:mod:`repro.core.ranking`);
+4. the fittest subset is selected according to the configured policy.
+
+Execution times are normalised to *seconds per work unit* so sample tasks of
+different sizes remain comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import CalibrationConfig, SelectionPolicy
+from repro.core.ranking import NodeScore, RankingMode, rank_nodes
+from repro.exceptions import CalibrationError
+from repro.grid.simulator import GridSimulator
+from repro.monitor.monitor import ResourceMonitor
+from repro.skeletons.base import Task, TaskResult
+from repro.utils.tracing import Tracer
+
+__all__ = ["CalibrationObservation", "CalibrationReport", "calibrate", "select_fittest"]
+
+
+@dataclass(frozen=True)
+class CalibrationObservation:
+    """One sample-task execution observed during calibration."""
+
+    node_id: str
+    task_id: int
+    cost: float
+    duration: float
+    unit_time: float
+    load: float
+    bandwidth: float
+    started: float
+    finished: float
+
+
+@dataclass
+class CalibrationReport:
+    """Everything Algorithm 1 produced.
+
+    ``results`` holds the sample tasks' real outputs when the sample was
+    consumed from the job queue (they count toward the job); it is empty for
+    probe-only recalibrations.
+    """
+
+    started: float
+    finished: float
+    mode: RankingMode
+    observations: List[CalibrationObservation] = field(default_factory=list)
+    scores: List[NodeScore] = field(default_factory=list)
+    chosen: List[str] = field(default_factory=list)
+    results: List[TaskResult] = field(default_factory=list)
+    consumed_tasks: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Virtual time spent calibrating."""
+        return self.finished - self.started
+
+    @property
+    def pool(self) -> List[str]:
+        """Every node that took part in the calibration."""
+        return [score.node_id for score in self.scores]
+
+    def unit_times(self) -> List[float]:
+        """All normalised sample times (used to calibrate the threshold Z)."""
+        return [obs.unit_time for obs in self.observations]
+
+    def score_of(self, node_id: str) -> float:
+        """Fitness score of ``node_id`` (lower is fitter)."""
+        for score in self.scores:
+            if score.node_id == node_id:
+                return score.score
+        raise CalibrationError(f"node {node_id!r} was not calibrated")
+
+
+def select_fittest(
+    scores: Sequence[NodeScore],
+    config: CalibrationConfig,
+    min_nodes: int,
+) -> List[str]:
+    """Apply the configured selection policy to a ranked score list.
+
+    ``min_nodes`` is the larger of the config's own minimum and the
+    skeleton's structural minimum; at least that many nodes are always
+    selected (when the pool allows it).
+    """
+    if not scores:
+        raise CalibrationError("cannot select from an empty score list")
+    ranked = sorted(scores, key=lambda s: (s.score, s.node_id))
+    floor = max(1, min_nodes, config.min_nodes)
+    floor = min(floor, len(ranked))
+
+    if config.selection is SelectionPolicy.COUNT:
+        count = min(len(ranked), max(floor, int(config.select_count or floor)))
+    elif config.selection is SelectionPolicy.FRACTION:
+        count = int(np.ceil(config.select_fraction * len(ranked)))
+        count = min(len(ranked), max(floor, count))
+    else:  # CUTOFF
+        best = ranked[0].score
+        if best <= 0:
+            count = len(ranked)
+        else:
+            count = sum(1 for s in ranked if s.score <= config.cutoff_ratio * best)
+            count = min(len(ranked), max(floor, count))
+    return [score.node_id for score in ranked[:count]]
+
+
+def calibrate(
+    tasks: Deque[Task],
+    pool: Sequence[str],
+    execute_fn: Callable[[Task], object],
+    simulator: GridSimulator,
+    config: CalibrationConfig,
+    master_node: str,
+    min_nodes: int = 1,
+    at_time: Optional[float] = None,
+    monitor: Optional[ResourceMonitor] = None,
+    consume: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> CalibrationReport:
+    """Run Algorithm 1 and return a :class:`CalibrationReport`.
+
+    Parameters
+    ----------
+    tasks:
+        The job's pending task queue.  When ``consume`` is true, sample tasks
+        are popped from its head and their (real) results are returned in the
+        report, because calibration work contributes to the job.  When the
+        queue has fewer tasks than the sample requires, the remaining probes
+        reuse a copy of the first task and their results are discarded.
+    pool:
+        Node identifiers taking part (typically every available grid node).
+    execute_fn:
+        Produces the real output for a task (e.g. the farm worker); outputs
+        go into ``report.results``.
+    simulator:
+        The virtual-time grid simulator.
+    config:
+        Calibration parameters (sample size, ranking mode, selection).
+    master_node:
+        The node hosting the root/monitor process; inputs are shipped from
+        and results shipped back to it.
+    min_nodes:
+        Structural minimum number of nodes the skeleton needs.
+    at_time:
+        Virtual time at which calibration starts (default: simulator now).
+    monitor:
+        Optional resource monitor used for load forecasts in the statistical
+        ranking modes.
+    consume:
+        See ``tasks`` above; recalibration probes inside a running pipeline
+        pass ``False``.
+    """
+    pool = list(pool)
+    if not pool:
+        raise CalibrationError("calibration needs a non-empty node pool")
+    if master_node not in simulator.topology:
+        raise CalibrationError(f"unknown master node {master_node!r}")
+    start = simulator.now if at_time is None else float(at_time)
+    tracer = tracer if tracer is not None else Tracer(enabled=False)
+    tracer.record("phase.calibration.start", "calibration started",
+                  pool=list(pool), mode=config.ranking.value)
+
+    available_pool = [n for n in pool if simulator.is_available(n, start)]
+    if not available_pool:
+        raise CalibrationError("no pool node is available at calibration time")
+
+    # ------------------------------------------------------------- sampling
+    times: Dict[str, List[float]] = {n: [] for n in available_pool}
+    loads: Dict[str, List[float]] = {n: [] for n in available_pool}
+    bandwidths: Dict[str, List[float]] = {n: [] for n in available_pool}
+    observations: List[CalibrationObservation] = []
+    results: List[TaskResult] = []
+    consumed = 0
+    finish_times: List[float] = [start]
+
+    template: Optional[Task] = tasks[0] if tasks else None
+
+    for node_id in available_pool:
+        for _ in range(config.sample_per_node):
+            if consume and tasks:
+                task = tasks.popleft()
+                counted = True
+                consumed += 1
+            else:
+                if template is None:
+                    raise CalibrationError("cannot calibrate with an empty task queue")
+                task = template
+                counted = False
+
+            # Ship the input from the master, compute, ship the result back.
+            send = simulator.transfer(master_node, node_id, task.input_bytes, at_time=start)
+            execution = simulator.run_task(node_id, task.cost, at_time=send.finished)
+            back = simulator.transfer(node_id, master_node, task.output_bytes,
+                                      at_time=execution.finished)
+            finish_times.append(back.finished)
+
+            cost = task.cost if task.cost > 0 else 1.0
+            unit_time = execution.duration / cost
+            load = simulator.observe_load(node_id, execution.started)
+            bandwidth = simulator.observe_bandwidth(node_id, master_node, execution.started)
+
+            times[node_id].append(unit_time)
+            loads[node_id].append(load)
+            bandwidths[node_id].append(bandwidth)
+            observations.append(
+                CalibrationObservation(
+                    node_id=node_id, task_id=task.task_id, cost=task.cost,
+                    duration=execution.duration, unit_time=unit_time,
+                    load=load, bandwidth=bandwidth,
+                    started=execution.started, finished=back.finished,
+                )
+            )
+            if counted:
+                output = execute_fn(task)
+                results.append(
+                    TaskResult(
+                        task_id=task.task_id, output=output, node_id=node_id,
+                        submitted=start, started=execution.started,
+                        finished=back.finished, stage=task.stage,
+                        during_calibration=True,
+                    )
+                )
+
+    finished = max(finish_times)
+
+    # -------------------------------------------------------------- ranking
+    forecasts: Optional[Dict[str, float]] = None
+    if monitor is not None and config.ranking is not RankingMode.TIME_ONLY:
+        monitor.poll(finished)
+        forecasts = {
+            node_id: value
+            for node_id, value in monitor.forecast_all().items()
+            if node_id in times and not np.isnan(value)
+        }
+    scores = rank_nodes(times, loads, bandwidths, forecast_loads=forecasts,
+                        mode=config.ranking)
+
+    # ------------------------------------------------------------ selection
+    chosen = select_fittest(scores, config, min_nodes=min_nodes)
+
+    tracer.record("phase.calibration.end", "calibration finished",
+                  chosen=list(chosen), duration=finished - start)
+    return CalibrationReport(
+        started=start, finished=finished, mode=config.ranking,
+        observations=observations, scores=scores, chosen=chosen,
+        results=results, consumed_tasks=consumed,
+    )

@@ -1,0 +1,101 @@
+"""The compilation phase: binding a program to the parallel environment.
+
+"Then, the structured parallelism program is compiled and linked with the
+GRASP code, the parallel environment, and, if any, the resource monitoring
+library.  This parallel environment handles the underlying
+metacomputer/computational grid, including the node initialisation, grid
+resource co-allocation, inter-domain scheduling, and other infrastructure
+matters."
+
+:func:`compile_program` performs the Python equivalent of that link step: it
+instantiates the virtual-time simulator over the topology, co-allocates the
+node pool, designates the master/monitor node, builds the communicator and
+the resource monitor, and returns a :class:`CompiledProgram` ready for the
+calibration phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.comm.communicator import SimulatedCommunicator
+from repro.core.program import SkeletalProgram
+from repro.exceptions import CompilationError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+from repro.monitor.monitor import ResourceMonitor
+from repro.utils.tracing import Tracer
+
+__all__ = ["CompiledProgram", "compile_program"]
+
+
+@dataclass
+class CompiledProgram:
+    """A skeletal program linked with its grid, communicator and monitor."""
+
+    program: SkeletalProgram
+    topology: GridTopology
+    simulator: GridSimulator
+    communicator: SimulatedCommunicator
+    monitor: ResourceMonitor
+    master_node: str
+    pool: List[str]
+    tracer: Tracer
+
+    @property
+    def config(self):
+        """The program's GRASP configuration."""
+        return self.program.config
+
+
+def compile_program(
+    program: SkeletalProgram,
+    topology: GridTopology,
+    simulator: Optional[GridSimulator] = None,
+    tracer: Optional[Tracer] = None,
+    at_time: float = 0.0,
+) -> CompiledProgram:
+    """Bind ``program`` to ``topology`` and co-allocate its node pool.
+
+    Raises
+    ------
+    CompilationError
+        When the grid cannot host the skeleton (too few nodes available) or
+        the configured master node does not exist.
+    """
+    tracer = tracer if tracer is not None else Tracer(enabled=program.config.trace)
+    simulator = simulator or GridSimulator(topology, tracer=tracer)
+    tracer.bind_clock(lambda: simulator.now)
+
+    pool = topology.available_nodes(at_time)
+    if not pool:
+        raise CompilationError("no grid node is available at compilation time")
+    if len(pool) < program.min_nodes:
+        raise CompilationError(
+            f"the skeleton needs at least {program.min_nodes} nodes, "
+            f"but only {len(pool)} are available"
+        )
+
+    master = program.config.master_node
+    if master is None:
+        master = pool[0]
+    elif master not in topology:
+        raise CompilationError(f"configured master node {master!r} does not exist")
+
+    communicator = SimulatedCommunicator(simulator, pool)
+    monitor = ResourceMonitor(simulator, pool, master_node=master)
+
+    tracer.record("phase.compilation", "program linked with grid environment",
+                  pool=list(pool), master=master,
+                  skeleton=program.properties.name)
+    return CompiledProgram(
+        program=program,
+        topology=topology,
+        simulator=simulator,
+        communicator=communicator,
+        monitor=monitor,
+        master_node=master,
+        pool=list(pool),
+        tracer=tracer,
+    )

@@ -1,0 +1,274 @@
+"""Algorithm 2 for the task farm.
+
+The adaptive farm executor implements the execution phase for the task-farm
+skeleton over the virtual-time grid:
+
+* **Demand-driven dispatch** — the next task goes to the chosen worker that
+  is free earliest (self-scheduling), with inputs shipped from the master
+  through a serially reused master uplink and results shipped back.
+* **Monitoring rounds** — after every ``monitor_interval`` completed tasks
+  (default: one per chosen worker) the monitor inspects the normalised
+  execution times of the round; per Algorithm 2, a round whose *minimum*
+  time exceeds the threshold *Z* breaches.
+* **Adaptation** — a breach triggers the configured action: full
+  recalibration over the whole node pool (the feedback edge of Figure 1,
+  consuming pending tasks so the probe work still contributes to the job) or
+  a cheap re-ranking from monitoring history.  The new fittest set takes
+  effect for all not-yet-dispatched tasks.
+* **Failure handling** — a worker that becomes unavailable is dropped from
+  the chosen set; a task caught on a failing node is re-enqueued.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.core.adaptation import decide, rerank_from_history
+from repro.core.calibration import CalibrationReport, calibrate
+from repro.core.execution import ExecutionReport, MonitoringRound
+from repro.core.parameters import AdaptationAction, GraspConfig
+from repro.core.scheduler import DemandDrivenScheduler
+from repro.exceptions import ExecutionError
+from repro.grid.simulator import GridSimulator
+from repro.monitor.monitor import ResourceMonitor
+from repro.skeletons.base import Task, TaskResult
+from repro.utils.tracing import Tracer
+
+__all__ = ["FarmExecutor"]
+
+
+class FarmExecutor:
+    """Adaptive execution engine for farm-like skeletons.
+
+    Any skeleton whose tasks are independent (task farm, map, reduce blocks,
+    divide-and-conquer leaves) is executed by this engine; the caller
+    supplies ``execute_fn`` to produce each task's real output.
+    """
+
+    def __init__(
+        self,
+        execute_fn: Callable[[Task], object],
+        simulator: GridSimulator,
+        config: GraspConfig,
+        master_node: str,
+        pool: Sequence[str],
+        min_nodes: int = 1,
+        monitor: Optional[ResourceMonitor] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if master_node not in simulator.topology:
+            raise ExecutionError(f"unknown master node {master_node!r}")
+        if not pool:
+            raise ExecutionError("farm executor needs a non-empty node pool")
+        self.execute_fn = execute_fn
+        self.simulator = simulator
+        self.config = config
+        self.master_node = master_node
+        self.pool = list(pool)
+        self.min_nodes = max(1, min_nodes)
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.scheduler = DemandDrivenScheduler()
+
+    # ------------------------------------------------------------------ run
+    def run(self, tasks: Deque[Task], calibration: CalibrationReport,
+            start_time: Optional[float] = None) -> ExecutionReport:
+        """Execute all pending ``tasks`` adaptively; return the report."""
+        exec_cfg = self.config.execution
+        start = calibration.finished if start_time is None else float(start_time)
+
+        chosen = self._workers_from(calibration.chosen)
+        threshold = exec_cfg.make_threshold()
+        threshold.calibrate(calibration.unit_times())
+
+        report = ExecutionReport(started=start, finished=start)
+        report.chosen_history.append(list(chosen))
+
+        master_free = start
+        round_index = 0
+        recalibrations = 0
+
+        self.tracer.record("phase.execution.start", "farm execution started",
+                           chosen=list(chosen), tasks=len(tasks))
+
+        while tasks:
+            window = exec_cfg.monitor_interval or len(chosen)
+            window = max(1, window)
+            window_tasks = min(window, len(tasks))
+
+            unit_times: List[float] = []
+            node_times: Dict[str, List[float]] = collections.defaultdict(list)
+            node_loads: Dict[str, List[float]] = collections.defaultdict(list)
+            window_start = float("inf")
+            window_end = start
+
+            dispatched = 0
+            while dispatched < window_tasks and tasks:
+                task = tasks.popleft()
+                outcome = self._dispatch(task, chosen, master_free)
+                if outcome is None:
+                    # Every chosen worker is dead: force recalibration over
+                    # the remaining pool (or fail if nothing is left).
+                    tasks.appendleft(task)
+                    chosen = self._recover_pool(chosen, master_free)
+                    report.chosen_history.append(list(chosen))
+                    continue
+                result, execution, send_start, master_free_after, lost = outcome
+                master_free = master_free_after
+                if lost:
+                    tasks.appendleft(task)
+                    report.lost_tasks += 1
+                    chosen = [n for n in chosen if n != execution.node_id]
+                    if not chosen:
+                        chosen = self._recover_pool(chosen, master_free)
+                    report.chosen_history.append(list(chosen))
+                    continue
+
+                report.results.append(result)
+                dispatched += 1
+                cost = task.cost if task.cost > 0 else 1.0
+                unit_times.append(execution.duration / cost)
+                node_times[execution.node_id].append(execution.duration / cost)
+                node_loads[execution.node_id].append(
+                    self.simulator.observe_load(execution.node_id, execution.started)
+                )
+                window_start = min(window_start, send_start)
+                window_end = max(window_end, result.finished)
+
+            if not unit_times:
+                continue
+
+            # --------------------------------------------------- monitoring
+            self.simulator.advance_to(window_end)
+            breached = threshold.breached(unit_times)
+            z_value = threshold.value()
+            threshold.observe(unit_times)
+            decision = decide(breached, exec_cfg.adaptation, recalibrations,
+                              exec_cfg.max_recalibrations)
+            chosen_before = list(chosen)
+
+            if decision.action is AdaptationAction.RECALIBRATE and tasks:
+                recal = calibrate(
+                    tasks=tasks,
+                    pool=self._alive_pool(window_end),
+                    execute_fn=self.execute_fn,
+                    simulator=self.simulator,
+                    config=self.config.calibration,
+                    master_node=self.master_node,
+                    min_nodes=self.min_nodes,
+                    at_time=window_end,
+                    monitor=self.monitor,
+                    consume=True,
+                    tracer=self.tracer,
+                )
+                report.results.extend(recal.results)
+                report.recalibration_reports.append(recal)
+                chosen = self._workers_from(recal.chosen)
+                threshold.calibrate(recal.unit_times())
+                master_free = max(master_free, recal.finished)
+                window_end = max(window_end, recal.finished)
+                recalibrations += 1
+                self.tracer.record("adaptation.recalibrate", "farm recalibrated",
+                                   round=round_index, chosen=list(chosen))
+            elif decision.action is AdaptationAction.RERANK and tasks:
+                chosen = self._workers_from(
+                    rerank_from_history(
+                        node_times, node_loads, self.config.calibration,
+                        min_nodes=self.min_nodes, pool=self._alive_pool(window_end),
+                    )
+                )
+                recalibrations += 1
+                self.tracer.record("adaptation.rerank", "farm re-ranked",
+                                   round=round_index, chosen=list(chosen))
+
+            if chosen != chosen_before:
+                report.chosen_history.append(list(chosen))
+
+            report.rounds.append(
+                MonitoringRound(
+                    index=round_index,
+                    started=window_start if window_start != float("inf") else window_end,
+                    finished=window_end,
+                    unit_times=unit_times,
+                    threshold=z_value,
+                    breached=breached,
+                    action=decision.action if breached else None,
+                    chosen_before=chosen_before,
+                    chosen_after=list(chosen),
+                )
+            )
+            round_index += 1
+
+        report.recalibrations = recalibrations
+        report.finished = max(
+            [report.started] + [r.finished for r in report.results]
+        )
+        self.tracer.record("phase.execution.end", "farm execution finished",
+                           results=len(report.results),
+                           recalibrations=recalibrations)
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _workers_from(self, chosen: Sequence[str]) -> List[str]:
+        """The worker set derived from a chosen-node list.
+
+        The master only computes when configured to (or when it is the only
+        chosen node).
+        """
+        workers = list(chosen)
+        if not self.config.execution.master_computes and len(workers) > 1:
+            workers = [n for n in workers if n != self.master_node] or workers
+        if not workers:
+            raise ExecutionError("calibration selected an empty worker set")
+        return workers
+
+    def _alive_pool(self, time: float) -> List[str]:
+        alive = [n for n in self.pool if self.simulator.is_available(n, time)]
+        if not alive:
+            raise ExecutionError("every node in the pool has failed")
+        return alive
+
+    def _recover_pool(self, chosen: Sequence[str], time: float) -> List[str]:
+        """Rebuild the worker set from whatever pool nodes are still alive."""
+        alive = self._alive_pool(time)
+        self.tracer.record("adaptation.failover", "rebuilt worker set after failures",
+                           alive=list(alive))
+        return self._workers_from(alive)
+
+    def _dispatch(self, task: Task, chosen: Sequence[str], master_free: float):
+        """Send one task to the earliest-free worker and execute it.
+
+        Returns ``None`` when no chosen worker is available, otherwise a
+        tuple ``(result, execution, send_start, new_master_free, lost)``
+        where ``lost`` indicates the node failed before completing the task.
+        """
+        ready = {
+            node: max(self.simulator.node_free_at(node), master_free)
+            for node in chosen
+            if self.simulator.is_available(node, max(self.simulator.node_free_at(node),
+                                                     master_free))
+        }
+        if not ready:
+            return None
+        node = self.scheduler.next_node(ready)
+        send_start = ready[node]
+
+        send = self.simulator.transfer(self.master_node, node, task.input_bytes,
+                                       at_time=send_start)
+        execution = self.simulator.run_task(node, task.cost, at_time=send.finished)
+        new_master_free = send.finished
+
+        if not self.simulator.is_available(node, execution.finished):
+            # The node failed while (virtually) holding the task.
+            return (None, execution, send_start, new_master_free, True)
+
+        back = self.simulator.transfer(node, self.master_node, task.output_bytes,
+                                       at_time=execution.finished)
+        output = self.execute_fn(task)
+        result = TaskResult(
+            task_id=task.task_id, output=output, node_id=node,
+            submitted=send_start, started=execution.started,
+            finished=back.finished, stage=task.stage,
+        )
+        return (result, execution, send_start, new_master_free, False)

@@ -1,0 +1,217 @@
+"""The GRASP facade: orchestrating the four phases.
+
+:class:`Grasp` is the library's main entry point.  Given a skeleton and a
+grid topology, :meth:`Grasp.run` walks the methodology of Figure 1:
+
+1. **Programming** — wrap the skeleton and its parameterisation into a
+   :class:`~repro.core.program.SkeletalProgram`.
+2. **Compilation** — bind it to the grid (simulator, communicator, monitor)
+   via :func:`~repro.core.compilation.compile_program`.
+3. **Calibration** — Algorithm 1 selects the fittest nodes (the sample work
+   counts toward the job).
+4. **Execution** — Algorithm 2 runs the skeleton adaptively, feeding back to
+   calibration whenever the performance threshold is breached.
+
+The result is a :class:`GraspResult` carrying the real outputs, the virtual
+makespan, the phase timeline, and every calibration/execution report, so the
+experiments can measure exactly what the paper's evaluation measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.calibration import CalibrationReport, calibrate
+from repro.core.compilation import CompiledProgram, compile_program
+from repro.core.execution import ExecutionReport
+from repro.core.farm_executor import FarmExecutor
+from repro.core.parameters import GraspConfig
+from repro.core.phases import Phase, PhaseTimeline
+from repro.core.pipeline_executor import PipelineExecutor
+from repro.core.program import SkeletalProgram
+from repro.exceptions import ExecutionError, GraspError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+from repro.skeletons.base import Skeleton, TaskResult
+from repro.utils.tracing import Tracer
+
+__all__ = ["Grasp", "GraspResult"]
+
+
+@dataclass
+class GraspResult:
+    """Everything one GRASP run produced."""
+
+    outputs: Any
+    results: List[TaskResult]
+    makespan: float
+    phases: PhaseTimeline
+    calibration: CalibrationReport
+    execution: ExecutionReport
+    compiled: CompiledProgram
+    config: GraspConfig
+
+    @property
+    def recalibrations(self) -> int:
+        """Feedback-edge traversals (execution → calibration)."""
+        return self.execution.recalibrations
+
+    @property
+    def chosen_nodes(self) -> List[str]:
+        """The node set selected by the initial calibration."""
+        return list(self.calibration.chosen)
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of completed task results (calibration + execution)."""
+        return len(self.results)
+
+    def per_node_counts(self) -> Dict[str, int]:
+        """Tasks completed per node across the whole run."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.node_id] = counts.get(result.node_id, 0) + 1
+        return counts
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Virtual time spent per phase."""
+        return self.phases.as_dict()
+
+    @property
+    def trace(self) -> Tracer:
+        """The run's tracer (phase transitions, adaptation events, …)."""
+        return self.compiled.tracer
+
+
+class Grasp:
+    """Adaptive structured-parallelism runtime (the paper's contribution).
+
+    Examples
+    --------
+    >>> from repro import Grasp, TaskFarm, GridBuilder
+    >>> grid = GridBuilder().heterogeneous(nodes=6, speed_spread=4.0).build(seed=1)
+    >>> grasp = Grasp(skeleton=TaskFarm(worker=lambda x: x + 1), grid=grid)
+    >>> result = grasp.run(inputs=range(32))
+    >>> result.outputs == [x + 1 for x in range(32)]
+    True
+    """
+
+    def __init__(
+        self,
+        skeleton: Skeleton,
+        grid: GridTopology,
+        config: Optional[GraspConfig] = None,
+        simulator: Optional[GridSimulator] = None,
+    ):
+        self.skeleton = skeleton
+        self.grid = grid
+        self.config = config or GraspConfig()
+        self._external_simulator = simulator
+
+    # ------------------------------------------------------------------ run
+    def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> GraspResult:
+        """Run the skeleton on ``inputs`` over the grid; return the result."""
+        timeline = PhaseTimeline()
+
+        # ---------------------------------------------------- 1. programming
+        timeline.enter(Phase.PROGRAMMING, start_time)
+        program = SkeletalProgram(self.skeleton, self.config)
+        tasks = program.make_tasks(inputs)
+        expected = len(tasks)
+        timeline.leave(start_time)
+
+        # ---------------------------------------------------- 2. compilation
+        timeline.enter(Phase.COMPILATION, start_time)
+        compiled = compile_program(program, self.grid,
+                                   simulator=self._external_simulator,
+                                   at_time=start_time)
+        compiled.tracer.record("phase.programming", "skeletal program created",
+                               tasks=expected,
+                               skeleton=program.properties.name)
+        timeline.leave(start_time)
+
+        # ---------------------------------------------------- 3. calibration
+        timeline.enter(Phase.CALIBRATION, start_time)
+        calibration = calibrate(
+            tasks=tasks,
+            pool=compiled.pool,
+            execute_fn=program.execute_task,
+            simulator=compiled.simulator,
+            config=self.config.calibration,
+            master_node=compiled.master_node,
+            min_nodes=program.min_nodes,
+            at_time=start_time,
+            monitor=compiled.monitor,
+            consume=True,
+            tracer=compiled.tracer,
+        )
+        timeline.leave(calibration.finished)
+
+        # ------------------------------------------------------ 4. execution
+        timeline.enter(Phase.EXECUTION, calibration.finished)
+        if program.is_pipeline:
+            executor = PipelineExecutor(
+                pipeline=program.pipeline,
+                simulator=compiled.simulator,
+                config=self.config,
+                master_node=compiled.master_node,
+                pool=compiled.pool,
+                monitor=compiled.monitor,
+                tracer=compiled.tracer,
+            )
+            if not tasks:
+                raise ExecutionError(
+                    "the calibration sample consumed every pipeline item; "
+                    "reduce sample_per_node or supply more inputs"
+                )
+            execution = executor.run(list(tasks), calibration)
+        else:
+            executor = FarmExecutor(
+                execute_fn=program.execute_task,
+                simulator=compiled.simulator,
+                config=self.config,
+                master_node=compiled.master_node,
+                pool=compiled.pool,
+                min_nodes=program.min_nodes,
+                monitor=compiled.monitor,
+                tracer=compiled.tracer,
+            )
+            execution = executor.run(tasks, calibration)
+
+        # Interleave the feedback edge (recalibrations) into the timeline so
+        # the Figure-1 trace shows execution → calibration → execution cycles.
+        for recal in execution.recalibration_reports:
+            timeline.leave(recal.started)
+            timeline.enter(Phase.CALIBRATION, recal.started)
+            timeline.leave(recal.finished)
+            timeline.enter(Phase.EXECUTION, recal.finished)
+        timeline.leave(max(execution.finished, calibration.finished))
+
+        # ---------------------------------------------------------- results
+        all_results = list(calibration.results) + list(execution.results)
+        seen = {}
+        for result in all_results:
+            if result.task_id in seen:
+                raise GraspError(f"task {result.task_id} completed twice")
+            seen[result.task_id] = result
+        if len(seen) != expected:
+            raise GraspError(
+                f"run produced {len(seen)} results for {expected} tasks"
+            )
+        ordered_outputs = [seen[task_id].output for task_id in sorted(seen)]
+        outputs = program.assemble(ordered_outputs)
+
+        makespan = max(execution.finished, calibration.finished) - start_time
+        compiled.simulator.advance_to(execution.finished)
+
+        return GraspResult(
+            outputs=outputs,
+            results=all_results,
+            makespan=makespan,
+            phases=timeline,
+            calibration=calibration,
+            execution=execution,
+            compiled=compiled,
+            config=self.config,
+        )

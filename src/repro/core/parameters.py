@@ -1,0 +1,217 @@
+"""Configuration objects for the GRASP phases.
+
+"The programmer needs to parameterise the API calls to GRASP.  This
+parametrisation is crucial to stamp the algorithmic skeleton with correct
+meaning for the given problem instance" (paper, Programming phase).  These
+dataclasses are that parameterisation: how to calibrate (Algorithm 1), how to
+monitor and adapt (Algorithm 2), and how the runtime as a whole behaves.
+
+Every config validates itself on construction so misconfigured experiment
+sweeps fail fast with a named parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ranking import RankingMode
+from repro.exceptions import ConfigurationError
+from repro.monitor.thresholds import PerformanceThreshold, RelativeThreshold
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "SelectionPolicy",
+    "AdaptationAction",
+    "CalibrationConfig",
+    "ExecutionConfig",
+    "GraspConfig",
+]
+
+
+class SelectionPolicy(enum.Enum):
+    """How the calibration phase chooses the fittest nodes.
+
+    * ``COUNT`` — keep exactly ``select_count`` nodes.
+    * ``FRACTION`` — keep the best ``select_fraction`` of the pool.
+    * ``CUTOFF`` — keep every node whose predicted per-unit time is within
+      ``cutoff_ratio`` of the best node's.
+    """
+
+    COUNT = "count"
+    FRACTION = "fraction"
+    CUTOFF = "cutoff"
+
+
+class AdaptationAction(enum.Enum):
+    """What the execution phase does when the threshold is breached.
+
+    The paper: "the skeleton takes action, e.g., feeding back to the
+    calibration phase and/or modifying the task scheduling according to the
+    inherent properties of the skeleton in hand."
+
+    * ``RECALIBRATE`` — re-run Algorithm 1 over the full node pool and adopt
+      the new fittest set (the feedback edge of Figure 1).
+    * ``RERANK`` — re-rank using monitoring history only (no fresh probes)
+      and adjust the chosen set; cheaper, less informed.
+    * ``NONE`` — record the breach but take no action (ablation baseline).
+    """
+
+    RECALIBRATE = "recalibrate"
+    RERANK = "rerank"
+    NONE = "none"
+
+
+@dataclass
+class CalibrationConfig:
+    """Parameters of Algorithm 1 (the calibration phase).
+
+    Attributes
+    ----------
+    sample_per_node:
+        How many sample tasks each allocated node executes.  The paper runs
+        "a sample of the data on every allocated node"; the sample results
+        count toward the job.
+    ranking:
+        Time-only or statistical (univariate / multivariate) ranking.
+    selection:
+        Node-selection policy (see :class:`SelectionPolicy`).
+    select_count / select_fraction / cutoff_ratio:
+        Parameters of the respective selection policies.
+    min_nodes:
+        Never select fewer nodes than this (the skeleton's own minimum is
+        also enforced by the runtime).
+    """
+
+    sample_per_node: int = 1
+    ranking: RankingMode = RankingMode.TIME_ONLY
+    selection: SelectionPolicy = SelectionPolicy.CUTOFF
+    select_count: Optional[int] = None
+    select_fraction: float = 1.0
+    cutoff_ratio: float = 4.0
+    min_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sample_per_node < 1:
+            raise ConfigurationError(
+                f"sample_per_node must be >= 1, got {self.sample_per_node}"
+            )
+        if not isinstance(self.ranking, RankingMode):
+            raise ConfigurationError("ranking must be a RankingMode")
+        if not isinstance(self.selection, SelectionPolicy):
+            raise ConfigurationError("selection must be a SelectionPolicy")
+        if self.selection is SelectionPolicy.COUNT:
+            if self.select_count is None or self.select_count < 1:
+                raise ConfigurationError(
+                    "selection=COUNT requires select_count >= 1"
+                )
+        check_in_range(self.select_fraction, "select_fraction", 0.0, 1.0)
+        if self.select_fraction == 0.0:
+            raise ConfigurationError("select_fraction must be > 0")
+        check_positive(self.cutoff_ratio, "cutoff_ratio")
+        if self.cutoff_ratio < 1.0:
+            raise ConfigurationError(
+                f"cutoff_ratio must be >= 1, got {self.cutoff_ratio}"
+            )
+        if self.min_nodes < 1:
+            raise ConfigurationError(f"min_nodes must be >= 1, got {self.min_nodes}")
+
+
+@dataclass
+class ExecutionConfig:
+    """Parameters of Algorithm 2 (the execution phase).
+
+    Attributes
+    ----------
+    threshold_factor:
+        When no explicit ``threshold`` object is supplied, a
+        :class:`~repro.monitor.thresholds.RelativeThreshold` with this factor
+        is created and calibrated from the calibration sample: *Z* =
+        ``threshold_factor`` × median calibrated per-unit time.
+    threshold:
+        An explicit threshold object (overrides ``threshold_factor``).
+    monitor_interval:
+        Number of completed monitoring units (tasks for a farm, items for a
+        pipeline) per monitoring round.  ``0`` means one round per
+        ``len(chosen)`` completions, the paper's "execute F over Chosen
+        nodes concurrently" granularity.
+    adaptation:
+        What to do on a breach (see :class:`AdaptationAction`).
+    max_recalibrations:
+        Upper bound on feedback-edge traversals, protecting against
+        thrashing when the grid is persistently hostile.
+    master_computes:
+        Whether the master/monitor node also executes tasks.
+    replicate_stages:
+        For pipelines: allow replicable stages to be farmed over the spare
+        chosen nodes.
+    migration_bytes:
+        State size charged when a pipeline stage is remapped to a new node.
+    """
+
+    threshold_factor: float = 1.5
+    threshold: Optional[PerformanceThreshold] = None
+    monitor_interval: int = 0
+    adaptation: AdaptationAction = AdaptationAction.RECALIBRATE
+    max_recalibrations: int = 16
+    master_computes: bool = False
+    replicate_stages: bool = False
+    migration_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.threshold_factor, "threshold_factor")
+        if self.threshold is not None and not isinstance(self.threshold, PerformanceThreshold):
+            raise ConfigurationError("threshold must be a PerformanceThreshold")
+        check_non_negative(self.monitor_interval, "monitor_interval")
+        if not isinstance(self.adaptation, AdaptationAction):
+            raise ConfigurationError("adaptation must be an AdaptationAction")
+        check_non_negative(self.max_recalibrations, "max_recalibrations")
+        check_non_negative(self.migration_bytes, "migration_bytes")
+
+    def make_threshold(self) -> PerformanceThreshold:
+        """The threshold object to use (explicit one, or a relative default)."""
+        if self.threshold is not None:
+            return self.threshold
+        return RelativeThreshold(factor=self.threshold_factor)
+
+
+@dataclass
+class GraspConfig:
+    """Top-level runtime configuration: one calibration + one execution config."""
+
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    master_node: Optional[str] = None
+    trace: bool = True
+    name: str = "grasp"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.calibration, CalibrationConfig):
+            raise ConfigurationError("calibration must be a CalibrationConfig")
+        if not isinstance(self.execution, ExecutionConfig):
+            raise ConfigurationError("execution must be an ExecutionConfig")
+        if not self.name:
+            raise ConfigurationError("name must be non-empty")
+
+    @staticmethod
+    def adaptive(threshold_factor: float = 1.5,
+                 ranking: RankingMode = RankingMode.TIME_ONLY) -> "GraspConfig":
+        """The standard adaptive configuration used by the experiments."""
+        return GraspConfig(
+            calibration=CalibrationConfig(ranking=ranking),
+            execution=ExecutionConfig(threshold_factor=threshold_factor,
+                                      adaptation=AdaptationAction.RECALIBRATE),
+        )
+
+    @staticmethod
+    def non_adaptive() -> "GraspConfig":
+        """Calibrate once, never adapt (ablation: Algorithm 1 without the loop)."""
+        return GraspConfig(
+            calibration=CalibrationConfig(),
+            execution=ExecutionConfig(adaptation=AdaptationAction.NONE),
+        )

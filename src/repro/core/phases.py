@@ -1,0 +1,132 @@
+"""The four GRASP phases and their timeline.
+
+Figure 1 of the paper shows the methodology as four phases — programming,
+compilation, calibration and execution — with a feedback edge from execution
+back to calibration (recalibration).  The :class:`PhaseTimeline` records the
+virtual-time intervals spent in each phase during a run, including repeated
+calibration intervals caused by adaptation, and is what experiment E1
+inspects to reproduce the figure as a machine-checkable trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import GraspError
+
+__all__ = ["Phase", "PhaseRecord", "PhaseTimeline"]
+
+
+class Phase(enum.Enum):
+    """The GRASP methodology phases (Figure 1 of the paper)."""
+
+    PROGRAMMING = "programming"
+    COMPILATION = "compilation"
+    CALIBRATION = "calibration"
+    EXECUTION = "execution"
+
+    @property
+    def is_static(self) -> bool:
+        """Programming and compilation are static (no runtime feedback)."""
+        return self in (Phase.PROGRAMMING, Phase.COMPILATION)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Calibration and execution are dynamically determined."""
+        return not self.is_static
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One closed interval spent in a phase."""
+
+    phase: Phase
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class PhaseTimeline:
+    """Ordered record of the phases a GRASP run moved through."""
+
+    def __init__(self) -> None:
+        self._records: List[PhaseRecord] = []
+        self._open_phase: Optional[Phase] = None
+        self._open_start: float = 0.0
+
+    def enter(self, phase: Phase, time: float) -> None:
+        """Enter ``phase`` at virtual ``time``, closing any open phase."""
+        if self._open_phase is not None:
+            self.leave(time)
+        self._open_phase = phase
+        self._open_start = float(time)
+
+    def leave(self, time: float) -> None:
+        """Close the currently open phase at virtual ``time``."""
+        if self._open_phase is None:
+            raise GraspError("no phase is currently open")
+        if time < self._open_start:
+            raise GraspError(
+                f"cannot close phase at {time} before it opened at {self._open_start}"
+            )
+        self._records.append(
+            PhaseRecord(phase=self._open_phase, start=self._open_start, end=float(time))
+        )
+        self._open_phase = None
+
+    @property
+    def current(self) -> Optional[Phase]:
+        """The open phase, if any."""
+        return self._open_phase
+
+    @property
+    def records(self) -> List[PhaseRecord]:
+        """All closed phase intervals, in chronological order."""
+        return list(self._records)
+
+    def sequence(self) -> List[Phase]:
+        """The sequence of phases entered (one entry per interval)."""
+        return [record.phase for record in self._records]
+
+    def total_duration(self, phase: Phase) -> float:
+        """Total virtual time spent in ``phase`` across all intervals."""
+        return sum(r.duration for r in self._records if r.phase == phase)
+
+    def visits(self, phase: Phase) -> int:
+        """Number of distinct intervals spent in ``phase``."""
+        return sum(1 for r in self._records if r.phase == phase)
+
+    def recalibrations(self) -> int:
+        """Number of calibration intervals beyond the first (the feedback edge)."""
+        return max(0, self.visits(Phase.CALIBRATION) - 1)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Total duration per phase name (JSON-friendly)."""
+        return {phase.value: self.total_duration(phase) for phase in Phase}
+
+    def validate(self) -> None:
+        """Check the structural invariants of a well-formed GRASP run.
+
+        * the first two phases are programming then compilation,
+        * calibration precedes the first execution interval, and
+        * intervals are contiguous and non-overlapping in time.
+        """
+        seq = self.sequence()
+        if len(seq) < 4:
+            raise GraspError(f"incomplete phase timeline: {[p.value for p in seq]}")
+        if seq[0] is not Phase.PROGRAMMING or seq[1] is not Phase.COMPILATION:
+            raise GraspError("a GRASP run must start with programming then compilation")
+        if Phase.CALIBRATION not in seq or Phase.EXECUTION not in seq:
+            raise GraspError("a GRASP run must contain calibration and execution phases")
+        if seq.index(Phase.CALIBRATION) > seq.index(Phase.EXECUTION):
+            raise GraspError("calibration must precede execution")
+        for earlier, later in zip(self._records, self._records[1:]):
+            if later.start + 1e-9 < earlier.end:
+                raise GraspError(
+                    f"phase intervals overlap: {earlier} followed by {later}"
+                )

@@ -1,0 +1,361 @@
+"""Algorithm 2 for the pipeline.
+
+The adaptive pipeline executor implements the execution phase for the
+pipeline skeleton:
+
+* **Stage mapping** — the calibration ranking assigns the heaviest stages
+  (by estimated per-item cost) to the fittest nodes.  When
+  ``replicate_stages`` is enabled and more nodes were chosen than there are
+  stages, the spare nodes replicate the costliest *replicable* stages and
+  items alternate between replicas.
+* **Streaming** — items flow through the stages in order; a stage's node
+  serialises its items (the simulator's per-core queue provides the stage
+  occupancy), and inter-stage transfers are charged on the grid links.
+* **Monitoring rounds** — every ``monitor_interval`` completed items
+  (default: one round per chosen node count) the monitor, which receives
+  every result, collects the gaps between consecutive item completions
+  normalised per work unit (the pipeline's reciprocal throughput);
+  ``min(T) > Z`` breaches.  Per-stage times are still recorded for the
+  re-ranking path.
+* **Adaptation** — a breach triggers a probe recalibration (the probes reuse
+  a representative item and are *not* counted as job output, because an item
+  cannot leave the stream) followed by a remapping of stages onto the new
+  fittest nodes; each remapped stage is charged a state-migration transfer.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.adaptation import decide, rerank_from_history
+from repro.core.calibration import CalibrationReport, calibrate
+from repro.core.execution import ExecutionReport, MonitoringRound
+from repro.core.parameters import AdaptationAction, GraspConfig
+from repro.exceptions import ExecutionError
+from repro.grid.simulator import GridSimulator
+from repro.monitor.monitor import ResourceMonitor
+from repro.skeletons.base import Task, TaskResult
+from repro.skeletons.pipeline import Pipeline
+from repro.utils.tracing import Tracer
+
+__all__ = ["PipelineExecutor", "StageMapping"]
+
+
+class StageMapping:
+    """Assignment of pipeline stages to grid nodes (with optional replicas)."""
+
+    def __init__(self, assignment: Dict[int, List[str]]):
+        if not assignment:
+            raise ExecutionError("stage mapping cannot be empty")
+        for stage, nodes in assignment.items():
+            if not nodes:
+                raise ExecutionError(f"stage {stage} has no nodes assigned")
+        self.assignment: Dict[int, List[str]] = {
+            stage: list(nodes) for stage, nodes in assignment.items()
+        }
+        self._next_replica: Dict[int, int] = {stage: 0 for stage in assignment}
+
+    def nodes_for(self, stage: int) -> List[str]:
+        """All nodes serving ``stage`` (one unless the stage is replicated)."""
+        return list(self.assignment[stage])
+
+    def pick_node(self, stage: int, free_at) -> str:
+        """Choose the replica with the earliest availability for the next item."""
+        nodes = self.assignment[stage]
+        if len(nodes) == 1:
+            return nodes[0]
+        return min(nodes, key=lambda n: (free_at(n), n))
+
+    def all_nodes(self) -> List[str]:
+        """Every distinct node used by the mapping, in stage order."""
+        seen: Dict[str, None] = {}
+        for stage in sorted(self.assignment):
+            for node in self.assignment[stage]:
+                seen.setdefault(node, None)
+        return list(seen)
+
+    def as_dict(self) -> Dict[int, List[str]]:
+        return {stage: list(nodes) for stage, nodes in self.assignment.items()}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StageMapping) and self.assignment == other.assignment
+
+
+def build_stage_mapping(
+    pipeline: Pipeline,
+    ranked_nodes: Sequence[str],
+    sample_item: object,
+    replicate: bool = False,
+) -> StageMapping:
+    """Map stages onto ranked nodes, heaviest stage to fittest node.
+
+    ``ranked_nodes`` must contain at least ``pipeline.num_stages`` entries;
+    extra nodes are used as replicas of the costliest replicable stages when
+    ``replicate`` is enabled (otherwise they are left unused).
+    """
+    stages = pipeline.num_stages
+    if len(ranked_nodes) < stages:
+        raise ExecutionError(
+            f"pipeline needs {stages} nodes, calibration chose {len(ranked_nodes)}"
+        )
+    costs = [pipeline.stage_cost(i, sample_item) for i in range(stages)]
+    order = sorted(range(stages), key=lambda i: -costs[i])
+    assignment: Dict[int, List[str]] = {}
+    for position, stage_index in enumerate(order):
+        assignment[stage_index] = [ranked_nodes[position]]
+
+    if replicate and len(ranked_nodes) > stages:
+        spares = list(ranked_nodes[stages:])
+        replicable = [i for i in order if pipeline.stages[i].replicable]
+        if replicable:
+            cursor = 0
+            for spare in spares:
+                assignment[replicable[cursor % len(replicable)]].append(spare)
+                cursor += 1
+    return StageMapping(assignment)
+
+
+class PipelineExecutor:
+    """Adaptive execution engine for the pipeline skeleton."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        simulator: GridSimulator,
+        config: GraspConfig,
+        master_node: str,
+        pool: Sequence[str],
+        monitor: Optional[ResourceMonitor] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if master_node not in simulator.topology:
+            raise ExecutionError(f"unknown master node {master_node!r}")
+        if not pool:
+            raise ExecutionError("pipeline executor needs a non-empty node pool")
+        self.pipeline = pipeline
+        self.simulator = simulator
+        self.config = config
+        self.master_node = master_node
+        self.pool = list(pool)
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+    # ------------------------------------------------------------------ run
+    def run(self, tasks: Sequence[Task], calibration: CalibrationReport,
+            start_time: Optional[float] = None) -> ExecutionReport:
+        """Stream every item through the pipeline adaptively; return the report."""
+        exec_cfg = self.config.execution
+        start = calibration.finished if start_time is None else float(start_time)
+        items = list(tasks)
+        if not items:
+            raise ExecutionError("pipeline execution needs at least one item")
+
+        sample_item = items[0].payload
+        mapping = build_stage_mapping(
+            self.pipeline, calibration.chosen, sample_item,
+            replicate=exec_cfg.replicate_stages,
+        )
+        threshold = exec_cfg.make_threshold()
+        threshold.calibrate(calibration.unit_times())
+
+        report = ExecutionReport(started=start, finished=start)
+        report.chosen_history.append(mapping.all_nodes())
+
+        # Results of calibration-phase items are produced by the caller
+        # (Grasp.run) because the pipeline sample runs all stages per item.
+        window = exec_cfg.monitor_interval or max(len(mapping.all_nodes()), 1)
+        window = max(1, window)
+
+        round_index = 0
+        recalibrations = 0
+        emit_time = start  # the master releases items into the stream
+        pending = collections.deque(items)
+
+        self.tracer.record("phase.execution.start", "pipeline execution started",
+                           mapping=mapping.as_dict(), items=len(pending))
+
+        # The monitor node observes the stream of results it receives.  Its
+        # decision statistic T is the gap between consecutive item
+        # completions, normalised per work unit of the completing item —
+        # i.e. the reciprocal throughput of the whole pipeline.  A window
+        # whose *minimum* normalised gap exceeds Z (Algorithm 2's rule)
+        # means even the best recent inter-arrival is too slow: the stream
+        # is throttled by a degraded stage, so the skeleton adapts.
+        last_completion: Optional[float] = None
+
+        while pending:
+            unit_times: List[float] = []
+            node_times: Dict[str, List[float]] = collections.defaultdict(list)
+            node_loads: Dict[str, List[float]] = collections.defaultdict(list)
+            window_start = float("inf")
+            window_end = emit_time
+
+            for _ in range(min(window, len(pending))):
+                task = pending.popleft()
+                result, stage_records, emit_time, item_cost = self._stream_item(
+                    task, mapping, emit_time
+                )
+                report.results.append(result)
+                window_start = min(window_start, result.submitted)
+                window_end = max(window_end, result.finished)
+                if last_completion is not None:
+                    gap = max(result.finished - last_completion, 0.0)
+                    unit_times.append(gap / (item_cost if item_cost > 0 else 1.0))
+                last_completion = result.finished
+                for node_id, duration, cost, started in stage_records:
+                    normalised = duration / (cost if cost > 0 else 1.0)
+                    node_times[node_id].append(normalised)
+                    node_loads[node_id].append(
+                        self.simulator.observe_load(node_id, started)
+                    )
+
+            if not unit_times:
+                continue
+
+            self.simulator.advance_to(window_end)
+            breached = threshold.breached(unit_times)
+            z_value = threshold.value()
+            threshold.observe(unit_times)
+            decision = decide(breached, exec_cfg.adaptation, recalibrations,
+                              exec_cfg.max_recalibrations)
+            nodes_before = mapping.all_nodes()
+
+            if decision.action is AdaptationAction.RECALIBRATE and pending:
+                probe_queue: collections.deque = collections.deque([pending[0]])
+                recal = calibrate(
+                    tasks=probe_queue,
+                    pool=self._alive_pool(window_end),
+                    execute_fn=lambda t: None,
+                    simulator=self.simulator,
+                    config=self.config.calibration,
+                    master_node=self.master_node,
+                    min_nodes=self.pipeline.num_stages,
+                    at_time=window_end,
+                    monitor=self.monitor,
+                    consume=False,
+                    tracer=self.tracer,
+                )
+                report.recalibration_reports.append(recal)
+                new_mapping = build_stage_mapping(
+                    self.pipeline, recal.chosen, sample_item,
+                    replicate=exec_cfg.replicate_stages,
+                )
+                emit_time = self._apply_remap(mapping, new_mapping,
+                                              max(window_end, recal.finished))
+                mapping = new_mapping
+                threshold.calibrate(recal.unit_times())
+                recalibrations += 1
+                self.tracer.record("adaptation.recalibrate", "pipeline remapped",
+                                   round=round_index, mapping=mapping.as_dict())
+            elif decision.action is AdaptationAction.RERANK and pending:
+                ranked = rerank_from_history(
+                    node_times, node_loads, self.config.calibration,
+                    min_nodes=self.pipeline.num_stages,
+                    pool=self._alive_pool(window_end),
+                )
+                new_mapping = build_stage_mapping(
+                    self.pipeline, ranked, sample_item,
+                    replicate=exec_cfg.replicate_stages,
+                )
+                emit_time = self._apply_remap(mapping, new_mapping, window_end)
+                mapping = new_mapping
+                recalibrations += 1
+                self.tracer.record("adaptation.rerank", "pipeline re-ranked",
+                                   round=round_index, mapping=mapping.as_dict())
+
+            if mapping.all_nodes() != nodes_before:
+                report.chosen_history.append(mapping.all_nodes())
+
+            report.rounds.append(
+                MonitoringRound(
+                    index=round_index,
+                    started=window_start if window_start != float("inf") else window_end,
+                    finished=window_end,
+                    unit_times=unit_times,
+                    threshold=z_value,
+                    breached=breached,
+                    action=decision.action if breached else None,
+                    chosen_before=nodes_before,
+                    chosen_after=mapping.all_nodes(),
+                )
+            )
+            round_index += 1
+
+        report.recalibrations = recalibrations
+        report.finished = max(
+            [report.started] + [r.finished for r in report.results]
+        )
+        self.tracer.record("phase.execution.end", "pipeline execution finished",
+                           results=len(report.results),
+                           recalibrations=recalibrations)
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _alive_pool(self, time: float) -> List[str]:
+        alive = [n for n in self.pool if self.simulator.is_available(n, time)]
+        if len(alive) < self.pipeline.num_stages:
+            raise ExecutionError(
+                "not enough live nodes to host every pipeline stage"
+            )
+        return alive
+
+    def _stream_item(
+        self, task: Task, mapping: StageMapping, emit_time: float
+    ) -> Tuple[TaskResult, List[Tuple[str, float, float, float]], float, float]:
+        """Push one item through every stage; return its result and stage records.
+
+        Returns ``(result, stage_records, next_emit_time, item_cost)`` where
+        each stage record is ``(node_id, duration, cost, started)``,
+        ``next_emit_time`` is when the master may release the next item (the
+        first stage's input hand-off completes) and ``item_cost`` is the
+        item's total compute cost across all stages.
+        """
+        value = task.payload
+        stage_records: List[Tuple[str, float, float, float]] = []
+        previous_node = self.master_node
+        available_at = emit_time
+        payload_bytes = task.input_bytes
+        first_handoff = emit_time
+        item_cost = 0.0
+
+        for stage_index in range(self.pipeline.num_stages):
+            node = mapping.pick_node(stage_index, self.simulator.node_free_at)
+            transfer = self.simulator.transfer(previous_node, node, payload_bytes,
+                                               at_time=available_at)
+            if stage_index == 0:
+                first_handoff = transfer.finished
+            cost = self.pipeline.stage_cost(stage_index, value)
+            item_cost += cost
+            execution = self.simulator.run_task(node, cost, at_time=transfer.finished)
+            value = self.pipeline.apply_stage(stage_index, value)
+            stage_records.append((node, execution.duration, cost, execution.started))
+            previous_node = node
+            available_at = execution.finished
+            payload_bytes = task.output_bytes
+
+        back = self.simulator.transfer(previous_node, self.master_node,
+                                       task.output_bytes, at_time=available_at)
+        result = TaskResult(
+            task_id=task.task_id, output=value, node_id=previous_node,
+            submitted=emit_time, started=emit_time, finished=back.finished,
+            stage=self.pipeline.num_stages - 1,
+        )
+        return result, stage_records, first_handoff, item_cost
+
+    def _apply_remap(self, old: StageMapping, new: StageMapping, at_time: float) -> float:
+        """Charge state migration for every stage whose node changed.
+
+        Returns the time at which the stream may resume.
+        """
+        migration_bytes = self.config.execution.migration_bytes
+        resume = at_time
+        if migration_bytes <= 0:
+            return resume
+        for stage, new_nodes in new.as_dict().items():
+            old_nodes = old.as_dict().get(stage, [])
+            if old_nodes and new_nodes and old_nodes[0] != new_nodes[0]:
+                transfer = self.simulator.transfer(old_nodes[0], new_nodes[0],
+                                                   migration_bytes, at_time=at_time)
+                resume = max(resume, transfer.finished)
+        return resume

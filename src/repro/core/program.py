@@ -1,0 +1,135 @@
+"""The programming phase: skeletal programs.
+
+"Programming is a design phase in which the application programmer selects a
+suitable skeleton in order to parallelise an algorithm and interacts with
+GRASP through standard application programming interfaces."
+
+A :class:`SkeletalProgram` is the object produced by that phase: a skeleton,
+the runtime parameterisation (:class:`~repro.core.parameters.GraspConfig`)
+and the knowledge of which execution engine the skeleton lowers onto.  It is
+still platform-independent — binding to a concrete grid happens in the
+compilation phase (:mod:`repro.core.compilation`).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Any, Callable, Deque, Iterable, List, Optional
+
+from repro.core.parameters import GraspConfig
+from repro.exceptions import SkeletonError
+from repro.skeletons.base import Skeleton, Task
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+from repro.skeletons.divide_conquer import DivideAndConquer
+from repro.skeletons.map import MapSkeleton
+from repro.skeletons.pipeline import Pipeline
+from repro.skeletons.reduce import ReduceSkeleton
+from repro.skeletons.taskfarm import TaskFarm
+
+__all__ = ["SkeletalProgram"]
+
+
+class SkeletalProgram:
+    """A skeleton bound to its GRASP parameterisation (but not yet to a grid).
+
+    The program knows how to
+
+    * lower composition skeletons onto the primitive farm/pipeline engines,
+    * build the task list for a given input collection,
+    * produce each task's real output (``execute_task``), and
+    * post-process completed task outputs into the skeleton's final result
+      (``assemble``), e.g. recombining divide-and-conquer leaves.
+    """
+
+    def __init__(self, skeleton: Skeleton, config: Optional[GraspConfig] = None):
+        if not isinstance(skeleton, Skeleton):
+            raise SkeletonError("SkeletalProgram requires a Skeleton instance")
+        self.original_skeleton = skeleton
+        self.config = config or GraspConfig()
+        # Lower compositions onto their primitive skeleton.
+        if isinstance(skeleton, FarmOfPipelines):
+            self.skeleton: Skeleton = skeleton.lower()
+        elif isinstance(skeleton, PipelineOfFarms):
+            self.skeleton = skeleton.lower()
+        else:
+            self.skeleton = skeleton
+
+    # ---------------------------------------------------------------- nature
+    @property
+    def is_pipeline(self) -> bool:
+        """Whether the program executes on the pipeline engine."""
+        return isinstance(self.skeleton, Pipeline)
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The underlying pipeline (raises for farm-like programs)."""
+        if not self.is_pipeline:
+            raise SkeletonError("this program is not a pipeline")
+        assert isinstance(self.skeleton, Pipeline)
+        return self.skeleton
+
+    @property
+    def min_nodes(self) -> int:
+        """Structural minimum node count of the underlying skeleton."""
+        return self.skeleton.properties.min_nodes
+
+    @property
+    def properties(self):
+        """Intrinsic properties of the (lowered) skeleton."""
+        return self.skeleton.properties
+
+    # ----------------------------------------------------------------- tasks
+    def make_tasks(self, inputs: Iterable[Any]) -> Deque[Task]:
+        """Build the task queue for ``inputs``.
+
+        Pipeline tasks carry the item's *total* per-item cost so calibration
+        samples are normalised consistently; the pipeline executor charges
+        per-stage costs itself.
+        """
+        tasks = list(self.skeleton.make_tasks(inputs))
+        if self.is_pipeline:
+            pipeline = self.pipeline
+            tasks = [
+                dataclasses.replace(task, cost=pipeline.total_cost(task.payload))
+                for task in tasks
+            ]
+        return collections.deque(tasks)
+
+    def execute_task(self, task: Task) -> Any:
+        """Produce the real output of one task.
+
+        For pipelines this runs the whole stage chain on the item (used by
+        the calibration sample); farm-like skeletons delegate to their own
+        ``execute_task``.
+        """
+        if self.is_pipeline:
+            return self.pipeline.run_item(task.payload)
+        execute = getattr(self.skeleton, "execute_task", None)
+        if execute is None:
+            raise SkeletonError(
+                f"skeleton {type(self.skeleton).__name__} does not define execute_task"
+            )
+        return execute(task)
+
+    # --------------------------------------------------------------- results
+    def assemble(self, ordered_outputs: List[Any]) -> Any:
+        """Turn per-task outputs (in task-id order) into the final result."""
+        skeleton = self.skeleton
+        if isinstance(skeleton, MapSkeleton):
+            return skeleton.combine(ordered_outputs)
+        if isinstance(skeleton, ReduceSkeleton):
+            return skeleton.combine_partials(ordered_outputs)
+        if isinstance(skeleton, DivideAndConquer):
+            return skeleton.recombine_all(ordered_outputs)
+        return ordered_outputs
+
+    def run_sequential(self, inputs: Iterable[Any]) -> Any:
+        """Reference (sequential) semantics of the original skeleton."""
+        return self.original_skeleton.run_sequential(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SkeletalProgram(skeleton={type(self.original_skeleton).__name__}, "
+            f"config={self.config.name!r})"
+        )

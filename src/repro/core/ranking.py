@@ -1,0 +1,180 @@
+"""Node-ranking strategies for the calibration phase.
+
+Algorithm 1: "Nodes are ranked by extrapolating their performance based on
+the execution times only (the faster a node the fitter it is), or on
+statistical functions, such as univariate and multivariate linear regression
+involving execution time, processor load, and bandwidth utilisation."
+
+This module turns per-node calibration observations into a ranked list of
+:class:`NodeScore` objects (lower score = fitter node).  Three modes:
+
+* :attr:`RankingMode.TIME_ONLY` — score is the mean observed per-unit
+  execution time.
+* :attr:`RankingMode.UNIVARIATE` — fit ``time ~ load`` across all
+  observations and score each node by the fitted prediction at its
+  *forecast* load; the fit separates a node that was slow because it was
+  momentarily loaded from one that is intrinsically slow.
+* :attr:`RankingMode.MULTIVARIATE` — fit ``time ~ load + 1/bandwidth`` and
+  predict with each node's forecast load and observed bandwidth, additionally
+  accounting for the result-return path.
+
+Both statistical modes fall back to time-only scores when the regression is
+degenerate (fewer than three observations, or no variance in the
+predictors), mirroring the defensive behaviour a production runtime needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+from repro.utils.stats import multivariate_linear_regression, univariate_linear_regression
+
+__all__ = ["RankingMode", "NodeScore", "rank_nodes"]
+
+
+class RankingMode(enum.Enum):
+    """How calibration extrapolates node performance (Algorithm 1)."""
+
+    TIME_ONLY = "time_only"
+    UNIVARIATE = "univariate"
+    MULTIVARIATE = "multivariate"
+
+
+@dataclass(frozen=True)
+class NodeScore:
+    """Fitness score of one node (lower is fitter)."""
+
+    node_id: str
+    score: float
+    mean_time: float
+    mean_load: float
+    mean_bandwidth: float
+    observations: int
+
+    def __lt__(self, other: "NodeScore") -> bool:  # pragma: no cover - trivial
+        return self.score < other.score
+
+
+def _mean(values: Sequence[float], default: float = float("nan")) -> float:
+    return float(np.mean(values)) if len(values) else default
+
+
+def rank_nodes(
+    times: Dict[str, Sequence[float]],
+    loads: Optional[Dict[str, Sequence[float]]] = None,
+    bandwidths: Optional[Dict[str, Sequence[float]]] = None,
+    forecast_loads: Optional[Dict[str, float]] = None,
+    mode: RankingMode = RankingMode.TIME_ONLY,
+) -> List[NodeScore]:
+    """Rank nodes from calibration observations.
+
+    Parameters
+    ----------
+    times:
+        Per-node observed execution times, normalised to seconds per work
+        unit so differently sized sample tasks remain comparable.
+    loads:
+        Per-node processor-load observations taken alongside each time
+        (required for the statistical modes).
+    bandwidths:
+        Per-node bandwidth-to-master observations (required for
+        MULTIVARIATE).
+    forecast_loads:
+        Predicted near-future load per node (defaults to the node's mean
+        observed load); statistical modes extrapolate to this value.
+    mode:
+        The ranking mode.
+
+    Returns
+    -------
+    list of NodeScore, sorted fittest-first.
+    """
+    if not times:
+        raise CalibrationError("cannot rank an empty set of nodes")
+    for node_id, values in times.items():
+        if len(values) == 0:
+            raise CalibrationError(f"node {node_id} has no calibration observations")
+
+    loads = loads or {}
+    bandwidths = bandwidths or {}
+    forecast_loads = forecast_loads or {}
+
+    mean_times = {n: _mean(v) for n, v in times.items()}
+    mean_loads = {n: _mean(loads.get(n, []), default=0.0) for n in times}
+    mean_bws = {n: _mean(bandwidths.get(n, []), default=float("nan")) for n in times}
+
+    scores: Dict[str, float] = {}
+
+    if mode is RankingMode.TIME_ONLY:
+        scores = dict(mean_times)
+    else:
+        # Pool every (load [, 1/bandwidth]) -> time observation across nodes.
+        pooled_t: List[float] = []
+        pooled_load: List[float] = []
+        pooled_inv_bw: List[float] = []
+        for node_id, node_times in times.items():
+            node_loads = list(loads.get(node_id, []))
+            node_bws = list(bandwidths.get(node_id, []))
+            for index, t in enumerate(node_times):
+                load = node_loads[index] if index < len(node_loads) else mean_loads[node_id]
+                bw = node_bws[index] if index < len(node_bws) else mean_bws[node_id]
+                pooled_t.append(float(t))
+                pooled_load.append(float(load))
+                pooled_inv_bw.append(1.0 / bw if bw and not np.isnan(bw) and bw > 0 else 0.0)
+
+        degenerate = (
+            len(pooled_t) < 3
+            or float(np.std(pooled_load)) == 0.0
+        )
+        if mode is RankingMode.MULTIVARIATE and not degenerate:
+            degenerate = float(np.std(pooled_inv_bw)) == 0.0 and float(np.std(pooled_load)) == 0.0
+
+        if degenerate:
+            scores = dict(mean_times)
+        elif mode is RankingMode.UNIVARIATE:
+            fit = univariate_linear_regression(pooled_load, pooled_t)
+            for node_id in times:
+                predicted_load = float(
+                    forecast_loads.get(node_id, mean_loads[node_id])
+                )
+                # Node-specific residual keeps intrinsic speed differences:
+                # score = node mean time adjusted to the forecast load.
+                residual = mean_times[node_id] - fit.predict(mean_loads[node_id])
+                scores[node_id] = max(fit.predict(predicted_load) + residual, 1e-12)
+        else:  # MULTIVARIATE
+            features = list(zip(pooled_load, pooled_inv_bw))
+            fit = multivariate_linear_regression(features, pooled_t)
+            for node_id in times:
+                predicted_load = float(
+                    forecast_loads.get(node_id, mean_loads[node_id])
+                )
+                inv_bw = (
+                    1.0 / mean_bws[node_id]
+                    if mean_bws[node_id] and not np.isnan(mean_bws[node_id]) and mean_bws[node_id] > 0
+                    else 0.0
+                )
+                residual = mean_times[node_id] - fit.predict(
+                    (mean_loads[node_id], inv_bw)
+                )
+                scores[node_id] = max(
+                    fit.predict((predicted_load, inv_bw)) + residual, 1e-12
+                )
+
+    ranked = [
+        NodeScore(
+            node_id=node_id,
+            score=float(scores[node_id]),
+            mean_time=float(mean_times[node_id]),
+            mean_load=float(mean_loads[node_id]),
+            mean_bandwidth=float(mean_bws[node_id]) if not np.isnan(mean_bws[node_id]) else 0.0,
+            observations=len(times[node_id]),
+        )
+        for node_id in times
+    ]
+    ranked.sort(key=lambda s: (s.score, s.node_id))
+    return ranked

@@ -1,0 +1,139 @@
+"""Task-to-node scheduling policies.
+
+The GRASP execution phase "modif[ies] the task scheduling according to the
+inherent properties of the skeleton".  For the task farm those properties
+allow fully demand-driven self-scheduling; the static baselines use the
+classic a-priori distributions (block and cyclic), optionally weighted by
+nominal node speed.  Keeping the policies as standalone objects lets the
+experiments swap them independently of the adaptation machinery (ablation
+E4/E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+from repro.skeletons.base import Task
+
+__all__ = [
+    "Scheduler",
+    "DemandDrivenScheduler",
+    "StaticBlockScheduler",
+    "StaticCyclicScheduler",
+    "WeightedBlockScheduler",
+]
+
+
+class Scheduler:
+    """Base class: assign tasks to a fixed set of nodes."""
+
+    def assign(self, tasks: Sequence[Task], nodes: Sequence[str]) -> Dict[str, List[Task]]:
+        """Return the per-node task lists of an a-priori assignment.
+
+        Demand-driven policies raise — they make decisions online and are
+        queried through :meth:`next_node` instead.
+        """
+        raise NotImplementedError
+
+    def next_node(self, node_ready_times: Dict[str, float]) -> str:
+        """Pick the node to receive the next task (online policies only)."""
+        raise NotImplementedError
+
+
+@dataclass
+class DemandDrivenScheduler(Scheduler):
+    """Self-scheduling: the next task goes to the node that is free earliest.
+
+    Ties are broken by node identifier so runs are deterministic.
+    """
+
+    def assign(self, tasks: Sequence[Task], nodes: Sequence[str]) -> Dict[str, List[Task]]:
+        raise SchedulingError(
+            "DemandDrivenScheduler decides online; use next_node instead of assign"
+        )
+
+    def next_node(self, node_ready_times: Dict[str, float]) -> str:
+        if not node_ready_times:
+            raise SchedulingError("no nodes available to schedule on")
+        return min(node_ready_times.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+@dataclass
+class StaticBlockScheduler(Scheduler):
+    """Contiguous equal-count blocks, one per node (the classic static farm)."""
+
+    def assign(self, tasks: Sequence[Task], nodes: Sequence[str]) -> Dict[str, List[Task]]:
+        if not nodes:
+            raise SchedulingError("no nodes available to schedule on")
+        tasks = list(tasks)
+        boundaries = np.linspace(0, len(tasks), len(nodes) + 1).astype(int)
+        return {
+            node: tasks[boundaries[i]:boundaries[i + 1]]
+            for i, node in enumerate(nodes)
+        }
+
+    def next_node(self, node_ready_times: Dict[str, float]) -> str:
+        raise SchedulingError("StaticBlockScheduler assigns a priori; use assign")
+
+
+@dataclass
+class StaticCyclicScheduler(Scheduler):
+    """Round-robin (cyclic) distribution of tasks over nodes."""
+
+    def assign(self, tasks: Sequence[Task], nodes: Sequence[str]) -> Dict[str, List[Task]]:
+        if not nodes:
+            raise SchedulingError("no nodes available to schedule on")
+        assignment: Dict[str, List[Task]] = {node: [] for node in nodes}
+        for index, task in enumerate(tasks):
+            assignment[nodes[index % len(nodes)]].append(task)
+        return assignment
+
+    def next_node(self, node_ready_times: Dict[str, float]) -> str:
+        raise SchedulingError("StaticCyclicScheduler assigns a priori; use assign")
+
+
+@dataclass
+class WeightedBlockScheduler(Scheduler):
+    """Blocks sized proportionally to a per-node weight (e.g. nominal speed).
+
+    This is the strongest *static* comparator: it exploits known
+    heterogeneity but cannot react to dynamic load, which is precisely the
+    gap adaptation closes (experiment E4).
+    """
+
+    weights: Optional[Dict[str, float]] = None
+
+    def assign(self, tasks: Sequence[Task], nodes: Sequence[str]) -> Dict[str, List[Task]]:
+        if not nodes:
+            raise SchedulingError("no nodes available to schedule on")
+        tasks = list(tasks)
+        weights = np.array(
+            [
+                (self.weights or {}).get(node, 1.0)
+                for node in nodes
+            ],
+            dtype=float,
+        )
+        if np.any(weights <= 0):
+            raise SchedulingError("all scheduling weights must be > 0")
+        shares = weights / weights.sum()
+        counts = np.floor(shares * len(tasks)).astype(int)
+        # Distribute the remainder to the heaviest-weighted nodes first.
+        remainder = len(tasks) - int(counts.sum())
+        order = np.argsort(-shares)
+        for i in range(remainder):
+            counts[order[i % len(nodes)]] += 1
+
+        assignment: Dict[str, List[Task]] = {}
+        cursor = 0
+        for node, count in zip(nodes, counts):
+            assignment[node] = tasks[cursor:cursor + int(count)]
+            cursor += int(count)
+        return assignment
+
+    def next_node(self, node_ready_times: Dict[str, float]) -> str:
+        raise SchedulingError("WeightedBlockScheduler assigns a priori; use assign")

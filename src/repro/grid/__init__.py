@@ -1,0 +1,73 @@
+"""Computational-grid simulator substrate.
+
+The PPoPP'07 paper evaluates GRASP on a *non-dedicated, heterogeneous,
+dynamic* computational grid.  Since no such testbed is available to this
+reproduction, :mod:`repro.grid` provides a deterministic, virtual-time
+simulator of one:
+
+* :class:`GridNode` — a processing element with a base speed, core count and
+  an external background-load model representing competing users.
+* :class:`NetworkLink` — latency/bandwidth-modelled connectivity, optionally
+  with its own utilisation model.
+* :class:`Site` — an administrative domain (cluster) grouping nodes.
+* :class:`GridTopology` — the full grid: nodes, sites, links.
+* :class:`GridBuilder` — a fluent builder for common experimental grids
+  (homogeneous, heterogeneous, multi-site).
+* :mod:`repro.grid.load` — background-load models (constant, random walk,
+  sinusoidal, bursty/Markov, step, trace-driven).
+* :mod:`repro.grid.failures` — node failure/churn models.
+* :class:`repro.grid.simulator.GridSimulator` — the execution engine that
+  turns task costs and message sizes into virtual-time durations.
+"""
+
+from __future__ import annotations
+
+from repro.grid.node import GridNode
+from repro.grid.link import NetworkLink
+from repro.grid.site import Site
+from repro.grid.topology import GridBuilder, GridTopology
+from repro.grid.load import (
+    BurstyLoad,
+    CompositeLoad,
+    ConstantLoad,
+    LoadModel,
+    RandomWalkLoad,
+    SinusoidalLoad,
+    StepLoad,
+    TraceLoad,
+)
+from repro.grid.failures import (
+    FailureModel,
+    NoFailures,
+    PermanentFailure,
+    ScheduledFailures,
+    TransientFailure,
+)
+from repro.grid.simulator import GridSimulator, TaskExecution, Transfer
+from repro.grid.events import Event, EventQueue
+
+__all__ = [
+    "GridNode",
+    "NetworkLink",
+    "Site",
+    "GridTopology",
+    "GridBuilder",
+    "LoadModel",
+    "ConstantLoad",
+    "RandomWalkLoad",
+    "SinusoidalLoad",
+    "StepLoad",
+    "BurstyLoad",
+    "TraceLoad",
+    "CompositeLoad",
+    "FailureModel",
+    "NoFailures",
+    "PermanentFailure",
+    "TransientFailure",
+    "ScheduledFailures",
+    "GridSimulator",
+    "TaskExecution",
+    "Transfer",
+    "Event",
+    "EventQueue",
+]

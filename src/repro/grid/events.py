@@ -1,0 +1,116 @@
+"""A minimal discrete-event engine.
+
+The skeleton executors (notably the pipeline, which has to interleave stage
+completions across nodes) are written against a conventional event queue:
+events carry a firing time, a monotonically increasing sequence number (to
+break ties deterministically) and an arbitrary payload.
+
+The engine is deliberately tiny — a heap plus a clock — because the heavy
+lifting (durations) is done by the cost models in :mod:`repro.grid.node` and
+:mod:`repro.grid.link`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import GridError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence.
+
+    Ordering is by ``(time, sequence)`` so simultaneous events fire in the
+    order they were scheduled, keeping runs fully deterministic.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False, default="")
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with an advancing clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = float(start_time)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time (the firing time of the last popped event)."""
+        return self._now
+
+    def schedule(self, time: float, kind: str = "", payload: Any = None) -> Event:
+        """Schedule an event at absolute virtual ``time``.
+
+        Scheduling in the past raises :class:`~repro.exceptions.GridError`
+        because it almost always indicates an executor bug.
+        """
+        if time < self._now - 1e-12:
+            raise GridError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=float(time), sequence=next(self._counter),
+                      kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, kind: str = "", payload: Any = None) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise GridError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, kind=kind, payload=payload)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock to it."""
+        if not self._heap:
+            raise GridError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest event, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in firing order until the queue is empty."""
+        while self._heap:
+            yield self.pop()
+
+    def run_until(
+        self,
+        handler: Callable[[Event], None],
+        stop_time: float = float("inf"),
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Pop events and pass them to ``handler`` until exhaustion or limits.
+
+        Returns the number of events processed.  The handler may schedule
+        further events.
+        """
+        processed = 0
+        while self._heap:
+            upcoming = self._heap[0]
+            if upcoming.time > stop_time:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            handler(self.pop())
+            processed += 1
+        return processed

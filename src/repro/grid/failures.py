@@ -1,0 +1,172 @@
+"""Node failure and churn models.
+
+The PPoPP'07 paper lists adaptation to "evolving external pressure" as the
+key challenge; its future-work trajectory (and the companion task-farm paper)
+also handles nodes disappearing altogether.  Experiment E11 exercises that
+extension, so the simulator supports pluggable failure models.
+
+A :class:`FailureModel` answers one question: *is node X usable at time t?*
+Deterministic (scheduled) and stochastic (transient) variants are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "PermanentFailure",
+    "TransientFailure",
+    "ScheduledFailures",
+]
+
+
+class FailureModel:
+    """Base class for node-availability models."""
+
+    def available(self, node_id: str, time: float) -> bool:
+        """Return ``True`` when ``node_id`` can run work at ``time``."""
+        raise NotImplementedError
+
+    def next_change(self, node_id: str, time: float) -> float:
+        """Earliest time ``> time`` at which availability may change.
+
+        Returns ``float('inf')`` when the node's availability is constant
+        from ``time`` onwards.  Used by executors to avoid waiting forever on
+        a permanently dead node.
+        """
+        return float("inf")
+
+
+@dataclass
+class NoFailures(FailureModel):
+    """All nodes are always available (the default)."""
+
+    def available(self, node_id: str, time: float) -> bool:
+        return True
+
+
+@dataclass
+class PermanentFailure(FailureModel):
+    """Named nodes fail for good at given times.
+
+    ``failures`` maps node identifier to failure time; unlisted nodes never
+    fail.
+    """
+
+    failures: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node_id, when in self.failures.items():
+            check_non_negative(when, f"failure time for {node_id}")
+
+    def available(self, node_id: str, time: float) -> bool:
+        when = self.failures.get(node_id)
+        return when is None or time < when
+
+    def next_change(self, node_id: str, time: float) -> float:
+        when = self.failures.get(node_id)
+        if when is None or time >= when:
+            return float("inf")
+        return float(when)
+
+
+@dataclass
+class ScheduledFailures(FailureModel):
+    """Explicit per-node downtime windows.
+
+    ``windows`` maps node identifier to a list of ``(start, end)`` intervals
+    during which the node is unavailable.  Overlapping windows are allowed.
+    """
+
+    windows: Dict[str, Sequence[Tuple[float, float]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalised: Dict[str, List[Tuple[float, float]]] = {}
+        for node_id, intervals in self.windows.items():
+            cleaned: List[Tuple[float, float]] = []
+            for start, end in intervals:
+                if end <= start:
+                    raise ConfigurationError(
+                        f"downtime window for {node_id} must have end > start, "
+                        f"got ({start}, {end})"
+                    )
+                cleaned.append((float(start), float(end)))
+            normalised[node_id] = sorted(cleaned)
+        self._windows = normalised
+
+    def available(self, node_id: str, time: float) -> bool:
+        for start, end in self._windows.get(node_id, ()):  # few windows: linear scan
+            if start <= time < end:
+                return False
+        return True
+
+    def next_change(self, node_id: str, time: float) -> float:
+        candidates: List[float] = []
+        for start, end in self._windows.get(node_id, ()):
+            if start > time:
+                candidates.append(start)
+            if end > time:
+                candidates.append(end)
+        return min(candidates) if candidates else float("inf")
+
+
+@dataclass
+class TransientFailure(FailureModel):
+    """Stochastic up/down behaviour sampled per fixed epoch.
+
+    Each node flips between up and down states per epoch with probabilities
+    ``p_fail`` (up→down) and ``p_recover`` (down→up); states are generated
+    deterministically per ``seed``/node so all observers agree.
+    """
+
+    seed: int = 0
+    epoch: float = 10.0
+    p_fail: float = 0.02
+    p_recover: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_fail, "p_fail")
+        check_probability(self.p_recover, "p_recover")
+        if self.epoch <= 0:
+            raise ConfigurationError(f"epoch must be > 0, got {self.epoch}")
+        self._states: Dict[str, List[bool]] = {}
+
+    def _states_for(self, node_id: str, index: int) -> List[bool]:
+        states = self._states.get(node_id)
+        if states is None:
+            states = [True]
+            self._states[node_id] = states
+        if len(states) <= index:
+            rng = make_rng(self.seed, f"failures/{node_id}")
+            # Re-derive the full sequence so extension is independent of the
+            # order in which different lengths were requested.
+            states = [True]
+            for _ in range(index):
+                up = states[-1]
+                u = float(rng.random())
+                states.append((u >= self.p_fail) if up else (u < self.p_recover))
+            self._states[node_id] = states
+        return states
+
+    def available(self, node_id: str, time: float) -> bool:
+        if time < 0:
+            return True
+        index = int(time // self.epoch)
+        return self._states_for(node_id, index)[index]
+
+    def next_change(self, node_id: str, time: float) -> float:
+        index = int(max(time, 0.0) // self.epoch)
+        current = self.available(node_id, time)
+        # Scan forward a bounded number of epochs for the next flip.
+        for ahead in range(1, 10_000):
+            t = (index + ahead) * self.epoch
+            if self.available(node_id, t) != current:
+                return float(t)
+        return float("inf")

@@ -1,0 +1,87 @@
+"""Network links between grid nodes and sites.
+
+Communication cost follows the classic latency/bandwidth model used by the
+skeleton-performance literature: transferring ``n`` bytes over a link of
+latency ``L`` seconds and bandwidth ``B`` bytes/second takes
+``L + n / B`` virtual seconds.  A link may carry its own utilisation model so
+that *bandwidth availability* varies over time — one of the observables the
+paper's statistical calibration consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.grid.load import ConstantLoad, LoadModel
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["NetworkLink"]
+
+#: Floor on the bandwidth fraction available to the grid job.
+MIN_BANDWIDTH_FRACTION = 0.05
+
+
+@dataclass
+class NetworkLink:
+    """A (directed) network link between two endpoints.
+
+    Endpoints may be node identifiers or site identifiers; the topology
+    resolves the most specific applicable link for a transfer.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint identifiers.
+    latency:
+        One-way latency in virtual seconds.
+    bandwidth:
+        Nominal bandwidth in bytes per virtual second.
+    load_model:
+        Utilisation of the link by external traffic over time.
+    symmetric:
+        When ``True`` (default) the link also covers ``dst → src``.
+    """
+
+    src: str
+    dst: str
+    latency: float = 1e-4
+    bandwidth: float = 1e7
+    load_model: LoadModel = field(default_factory=ConstantLoad)
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ConfigurationError("link endpoints must be non-empty strings")
+        check_non_negative(self.latency, "latency")
+        check_positive(self.bandwidth, "bandwidth")
+
+    def connects(self, a: str, b: str) -> bool:
+        """True when this link covers a transfer from ``a`` to ``b``."""
+        if self.src == a and self.dst == b:
+            return True
+        return self.symmetric and self.src == b and self.dst == a
+
+    def utilisation(self, time: float) -> float:
+        """External utilisation of the link at ``time``."""
+        return self.load_model.utilisation(time)
+
+    def effective_bandwidth(self, time: float) -> float:
+        """Bandwidth available to the grid job at ``time`` (bytes/second)."""
+        available = max(1.0 - self.utilisation(time), MIN_BANDWIDTH_FRACTION)
+        return self.bandwidth * available
+
+    def transfer_time(self, nbytes: float, time: float) -> float:
+        """Virtual duration of moving ``nbytes`` bytes starting at ``time``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return self.latency
+        return self.latency + nbytes / self.effective_bandwidth(time)
+
+    def key(self) -> tuple:
+        """Canonical (direction-insensitive when symmetric) identity tuple."""
+        if self.symmetric:
+            return tuple(sorted((self.src, self.dst)))
+        return (self.src, self.dst)

@@ -1,0 +1,265 @@
+"""Background-load models for non-dedicated grid nodes.
+
+A computational grid is *non-dedicated*: external users consume a
+time-varying fraction of each node's capacity.  GRASP's whole point is to
+observe and adapt to that pressure, so the load models are the primary lever
+of every experiment.
+
+A :class:`LoadModel` maps virtual time to a utilisation fraction in
+``[0, max_load]``; the simulator turns utilisation ``u`` into an effective
+node speed ``speed × (1 − u)``.  All stochastic models are driven by a
+generator supplied at sampling time (via :meth:`LoadModel.sample`) so they
+remain deterministic per experiment seed, and are *pure functions of time*
+where possible so that repeated observations of the same instant agree.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_in_range, check_non_negative, check_probability
+
+__all__ = [
+    "LoadModel",
+    "ConstantLoad",
+    "StepLoad",
+    "SinusoidalLoad",
+    "RandomWalkLoad",
+    "BurstyLoad",
+    "TraceLoad",
+    "CompositeLoad",
+]
+
+#: Utilisation is clipped so a node never loses *all* capacity; the original
+#: testbed nodes always retained a scheduling quantum for the grid job.
+MAX_UTILISATION = 0.98
+
+
+def _clip(value: float, max_load: float = MAX_UTILISATION) -> float:
+    return float(min(max(value, 0.0), max_load))
+
+
+class LoadModel:
+    """Base class: utilisation of an external workload as a function of time."""
+
+    def utilisation(self, time: float) -> float:
+        """Return the external utilisation in ``[0, MAX_UTILISATION]`` at ``time``."""
+        raise NotImplementedError
+
+    def mean_utilisation(self, start: float, end: float, samples: int = 64) -> float:
+        """Approximate mean utilisation over ``[start, end]`` by sampling."""
+        if end <= start:
+            return self.utilisation(start)
+        points = np.linspace(start, end, max(2, samples))
+        return float(np.mean([self.utilisation(float(t)) for t in points]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+@dataclass
+class ConstantLoad(LoadModel):
+    """A fixed external utilisation — a dedicated node uses ``level=0``."""
+
+    level: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.level, "level", 0.0, MAX_UTILISATION)
+
+    def utilisation(self, time: float) -> float:
+        return _clip(self.level)
+
+
+@dataclass
+class StepLoad(LoadModel):
+    """Piecewise-constant load: a list of ``(time, level)`` breakpoints.
+
+    The level before the first breakpoint is ``initial``.  Used to model a
+    competing job arriving (or leaving) at a known instant — the canonical
+    "load spike on the fastest node" scenario of experiment E3.
+    """
+
+    steps: Sequence[Tuple[float, float]] = ()
+    initial: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.initial, "initial", 0.0, MAX_UTILISATION)
+        ordered = sorted((float(t), float(level)) for t, level in self.steps)
+        for _, level in ordered:
+            check_in_range(level, "step level", 0.0, MAX_UTILISATION)
+        self._times = [t for t, _ in ordered]
+        self._levels = [lvl for _, lvl in ordered]
+
+    def utilisation(self, time: float) -> float:
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return _clip(self.initial)
+        return _clip(self._levels[idx])
+
+
+@dataclass
+class SinusoidalLoad(LoadModel):
+    """Diurnal-style oscillating load: ``base + amplitude·sin(2π·t/period + phase)``."""
+
+    base: float = 0.3
+    amplitude: float = 0.2
+    period: float = 100.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.base, "base", 0.0, MAX_UTILISATION)
+        check_non_negative(self.amplitude, "amplitude")
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {self.period}")
+
+    def utilisation(self, time: float) -> float:
+        value = self.base + self.amplitude * math.sin(
+            2.0 * math.pi * time / self.period + self.phase
+        )
+        return _clip(value)
+
+
+@dataclass
+class RandomWalkLoad(LoadModel):
+    """Mean-reverting random walk sampled on a fixed grid of epochs.
+
+    The walk is generated lazily but *deterministically* from ``seed`` and
+    ``name`` so that two observers asking for the load at the same time see
+    the same value.  Between epochs the load is held constant (zero-order
+    hold), matching the polling granularity of NWS-style monitors.
+    """
+
+    seed: int = 0
+    name: str = "walk"
+    epoch: float = 5.0
+    start_level: float = 0.2
+    volatility: float = 0.08
+    reversion: float = 0.1
+    mean_level: float = 0.3
+    max_level: float = MAX_UTILISATION
+
+    def __post_init__(self) -> None:
+        check_in_range(self.start_level, "start_level", 0.0, MAX_UTILISATION)
+        check_in_range(self.mean_level, "mean_level", 0.0, MAX_UTILISATION)
+        check_in_range(self.max_level, "max_level", 0.0, MAX_UTILISATION)
+        check_non_negative(self.volatility, "volatility")
+        check_probability(self.reversion, "reversion")
+        if self.epoch <= 0:
+            raise ConfigurationError(f"epoch must be > 0, got {self.epoch}")
+        self._levels: List[float] = [self.start_level]
+        self._rng = make_rng(self.seed, f"load/randomwalk/{self.name}")
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._levels) <= index:
+            previous = self._levels[-1]
+            shock = float(self._rng.normal(0.0, self.volatility))
+            pulled = previous + self.reversion * (self.mean_level - previous) + shock
+            self._levels.append(_clip(pulled, self.max_level))
+
+    def utilisation(self, time: float) -> float:
+        if time < 0:
+            return _clip(self.start_level, self.max_level)
+        index = int(time // self.epoch)
+        self._extend_to(index)
+        return self._levels[index]
+
+
+@dataclass
+class BurstyLoad(LoadModel):
+    """Two-state Markov (Gilbert) model: quiet periods punctuated by busy bursts.
+
+    The state sequence is generated per epoch from the model's own seeded
+    generator.  ``p_burst`` is the quiet→busy transition probability per
+    epoch and ``p_calm`` the busy→quiet probability.
+    """
+
+    seed: int = 0
+    name: str = "bursty"
+    epoch: float = 5.0
+    quiet_level: float = 0.05
+    busy_level: float = 0.75
+    p_burst: float = 0.1
+    p_calm: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_in_range(self.quiet_level, "quiet_level", 0.0, MAX_UTILISATION)
+        check_in_range(self.busy_level, "busy_level", 0.0, MAX_UTILISATION)
+        check_probability(self.p_burst, "p_burst")
+        check_probability(self.p_calm, "p_calm")
+        if self.epoch <= 0:
+            raise ConfigurationError(f"epoch must be > 0, got {self.epoch}")
+        self._states: List[bool] = [False]  # False = quiet, True = busy
+        self._rng = make_rng(self.seed, f"load/bursty/{self.name}")
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._states) <= index:
+            busy = self._states[-1]
+            u = float(self._rng.random())
+            if busy:
+                busy = not (u < self.p_calm)
+            else:
+                busy = u < self.p_burst
+            self._states.append(busy)
+
+    def utilisation(self, time: float) -> float:
+        if time < 0:
+            return _clip(self.quiet_level)
+        index = int(time // self.epoch)
+        self._extend_to(index)
+        return _clip(self.busy_level if self._states[index] else self.quiet_level)
+
+
+@dataclass
+class TraceLoad(LoadModel):
+    """Load replayed from an explicit ``(times, levels)`` trace.
+
+    Values are held constant between trace points (zero-order hold) and the
+    trace is cyclic when ``cyclic=True`` so short traces can drive long runs.
+    """
+
+    times: Sequence[float] = ()
+    levels: Sequence[float] = ()
+    cyclic: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.levels):
+            raise ConfigurationError("times and levels must have the same length")
+        if len(self.times) == 0:
+            raise ConfigurationError("trace must contain at least one point")
+        pairs = sorted(zip((float(t) for t in self.times), (float(v) for v in self.levels)))
+        self._times = [t for t, _ in pairs]
+        self._levels = [_clip(v) for _, v in pairs]
+        self._span = self._times[-1] - self._times[0]
+
+    def utilisation(self, time: float) -> float:
+        t = time
+        if self.cyclic and self._span > 0:
+            t = self._times[0] + (time - self._times[0]) % self._span
+        idx = bisect.bisect_right(self._times, t) - 1
+        idx = max(0, min(idx, len(self._levels) - 1))
+        return self._levels[idx]
+
+
+@dataclass
+class CompositeLoad(LoadModel):
+    """Sum of several load models, clipped to the utilisation ceiling.
+
+    Lets experiments superimpose, e.g., a diurnal baseline with bursty
+    interference.
+    """
+
+    components: Sequence[LoadModel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("CompositeLoad needs at least one component")
+
+    def utilisation(self, time: float) -> float:
+        return _clip(sum(c.utilisation(time) for c in self.components))

@@ -1,0 +1,66 @@
+"""Administrative domains (sites / clusters).
+
+A computational grid spans several administrative domains.  Inside a site,
+nodes are typically connected by a fast local network; between sites, traffic
+crosses slower wide-area links.  The :class:`Site` object groups node
+identifiers and records the default intra-site link characteristics that the
+:class:`repro.grid.topology.GridTopology` uses when no explicit link is
+declared between two of its nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["Site"]
+
+
+@dataclass
+class Site:
+    """A named administrative domain containing a set of nodes.
+
+    Parameters
+    ----------
+    site_id:
+        Unique site identifier, e.g. ``"edinburgh"``.
+    node_ids:
+        Identifiers of the nodes in this site.
+    intra_latency:
+        Default latency between two nodes of this site (virtual seconds).
+    intra_bandwidth:
+        Default bandwidth between two nodes of this site (bytes/second).
+    description:
+        Free-text description used in reports.
+    """
+
+    site_id: str
+    node_ids: List[str] = field(default_factory=list)
+    intra_latency: float = 5e-5
+    intra_bandwidth: float = 1.25e8
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site_id:
+            raise ConfigurationError("site_id must be a non-empty string")
+        check_non_negative(self.intra_latency, "intra_latency")
+        check_positive(self.intra_bandwidth, "intra_bandwidth")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigurationError(f"site {self.site_id} lists duplicate nodes")
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.node_ids
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def add_node(self, node_id: str) -> None:
+        """Register ``node_id`` as a member of this site."""
+        if node_id in self.node_ids:
+            raise ConfigurationError(
+                f"node {node_id} already belongs to site {self.site_id}"
+            )
+        self.node_ids.append(node_id)

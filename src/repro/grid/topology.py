@@ -1,0 +1,415 @@
+"""Grid topology: nodes, sites and links, plus a fluent builder.
+
+The topology is the static description of the grid handed to the GRASP
+runtime at compilation time.  It answers three questions:
+
+* which nodes exist (and what are their speeds / load models),
+* which site each node belongs to, and
+* what link characteristics apply between any pair of nodes.
+
+Link resolution is most-specific-first: an explicit node-to-node link wins
+over a site-to-site link, which wins over the intra-site defaults, which win
+over the topology-wide wide-area defaults.  A :mod:`networkx` view is
+available for structural analysis and visualisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ConfigurationError, GridError
+from repro.grid.failures import FailureModel, NoFailures
+from repro.grid.link import NetworkLink
+from repro.grid.load import (
+    BurstyLoad,
+    ConstantLoad,
+    LoadModel,
+    RandomWalkLoad,
+    SinusoidalLoad,
+)
+from repro.grid.node import GridNode
+from repro.grid.site import Site
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["GridTopology", "GridBuilder"]
+
+#: Default wide-area latency (virtual seconds) between nodes of different
+#: sites when no explicit link is declared.
+DEFAULT_WAN_LATENCY = 5e-3
+#: Default wide-area bandwidth (bytes per virtual second).
+DEFAULT_WAN_BANDWIDTH = 1.25e7
+
+
+class GridTopology:
+    """The complete static description of a computational grid."""
+
+    def __init__(
+        self,
+        nodes: Iterable[GridNode],
+        sites: Optional[Iterable[Site]] = None,
+        links: Optional[Iterable[NetworkLink]] = None,
+        failure_model: Optional[FailureModel] = None,
+        wan_latency: float = DEFAULT_WAN_LATENCY,
+        wan_bandwidth: float = DEFAULT_WAN_BANDWIDTH,
+        name: str = "grid",
+    ):
+        self.name = name
+        self._nodes: Dict[str, GridNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ConfigurationError(f"duplicate node id {node.node_id!r}")
+            self._nodes[node.node_id] = node
+        if not self._nodes:
+            raise ConfigurationError("a grid topology needs at least one node")
+
+        self._sites: Dict[str, Site] = {}
+        for site in sites or []:
+            if site.site_id in self._sites:
+                raise ConfigurationError(f"duplicate site id {site.site_id!r}")
+            for node_id in site.node_ids:
+                if node_id not in self._nodes:
+                    raise ConfigurationError(
+                        f"site {site.site_id} references unknown node {node_id}"
+                    )
+            self._sites[site.site_id] = site
+
+        self._node_site: Dict[str, str] = {}
+        for site in self._sites.values():
+            for node_id in site.node_ids:
+                if node_id in self._node_site:
+                    raise ConfigurationError(
+                        f"node {node_id} belongs to more than one site"
+                    )
+                self._node_site[node_id] = site.site_id
+
+        self._links: List[NetworkLink] = list(links or [])
+        for link in self._links:
+            for endpoint in (link.src, link.dst):
+                if endpoint not in self._nodes and endpoint not in self._sites:
+                    raise ConfigurationError(
+                        f"link endpoint {endpoint!r} is neither a node nor a site"
+                    )
+
+        self.failure_model: FailureModel = failure_model or NoFailures()
+        check_positive(wan_bandwidth, "wan_bandwidth")
+        if wan_latency < 0:
+            raise ConfigurationError("wan_latency must be >= 0")
+        self.wan_latency = float(wan_latency)
+        self.wan_bandwidth = float(wan_bandwidth)
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def node_ids(self) -> List[str]:
+        """All node identifiers, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> List[GridNode]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def node(self, node_id: str) -> GridNode:
+        """Look up a node by identifier."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GridError(f"unknown node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ sites
+    @property
+    def sites(self) -> List[Site]:
+        """All declared sites."""
+        return list(self._sites.values())
+
+    def site_of(self, node_id: str) -> Optional[str]:
+        """The site identifier of ``node_id``, or ``None`` if unassigned."""
+        if node_id not in self._nodes:
+            raise GridError(f"unknown node {node_id!r}")
+        return self._node_site.get(node_id)
+
+    # ------------------------------------------------------------------ links
+    def link_between(self, src: str, dst: str) -> NetworkLink:
+        """Resolve the link governing a transfer from ``src`` to ``dst``.
+
+        Resolution order: explicit node↔node link, explicit site↔site link,
+        intra-site defaults, wide-area defaults.  A loop-back transfer
+        (``src == dst``) gets a zero-latency, effectively infinite-bandwidth
+        link.
+        """
+        if src not in self._nodes:
+            raise GridError(f"unknown node {src!r}")
+        if dst not in self._nodes:
+            raise GridError(f"unknown node {dst!r}")
+        if src == dst:
+            return NetworkLink(src=src, dst=dst, latency=0.0, bandwidth=1e15)
+
+        for link in self._links:
+            if link.connects(src, dst):
+                return link
+
+        src_site = self._node_site.get(src)
+        dst_site = self._node_site.get(dst)
+        if src_site is not None and dst_site is not None:
+            for link in self._links:
+                if link.connects(src_site, dst_site):
+                    return link
+            if src_site == dst_site:
+                site = self._sites[src_site]
+                return NetworkLink(
+                    src=src, dst=dst,
+                    latency=site.intra_latency,
+                    bandwidth=site.intra_bandwidth,
+                )
+        return NetworkLink(
+            src=src, dst=dst, latency=self.wan_latency, bandwidth=self.wan_bandwidth
+        )
+
+    # ------------------------------------------------------------ convenience
+    def speeds(self) -> Dict[str, float]:
+        """Nominal (idle) speed of every node."""
+        return {node_id: node.speed for node_id, node in self._nodes.items()}
+
+    def heterogeneity(self) -> float:
+        """Ratio of fastest to slowest nominal node speed (≥ 1)."""
+        values = [node.speed for node in self._nodes.values()]
+        return max(values) / min(values)
+
+    def available_nodes(self, time: float) -> List[str]:
+        """Node identifiers usable at ``time`` according to the failure model."""
+        return [
+            node_id
+            for node_id in self._nodes
+            if self.failure_model.available(node_id, time)
+        ]
+
+    def with_failure_model(self, failure_model: FailureModel) -> "GridTopology":
+        """Return a copy of this topology with a different failure model."""
+        return GridTopology(
+            nodes=self.nodes,
+            sites=self.sites,
+            links=list(self._links),
+            failure_model=failure_model,
+            wan_latency=self.wan_latency,
+            wan_bandwidth=self.wan_bandwidth,
+            name=self.name,
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        """Export a :mod:`networkx` graph of nodes (vertices) and links (edges)."""
+        graph = nx.Graph(name=self.name)
+        for node in self._nodes.values():
+            graph.add_node(node.node_id, speed=node.speed, cores=node.cores,
+                           site=self._node_site.get(node.node_id))
+        ids = list(self._nodes)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                link = self.link_between(a, b)
+                graph.add_edge(a, b, latency=link.latency, bandwidth=link.bandwidth)
+        return graph
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly structural summary used by reports."""
+        return {
+            "name": self.name,
+            "nodes": len(self._nodes),
+            "sites": len(self._sites),
+            "explicit_links": len(self._links),
+            "heterogeneity": self.heterogeneity(),
+            "speeds": self.speeds(),
+        }
+
+
+class GridBuilder:
+    """Fluent builder for the grid shapes used by the experiments.
+
+    Examples
+    --------
+    A dedicated homogeneous cluster::
+
+        grid = GridBuilder().homogeneous(nodes=8, speed=2.0).build(seed=0)
+
+    A heterogeneous, non-dedicated grid with random-walk background load::
+
+        grid = (GridBuilder()
+                .heterogeneous(nodes=16, speed_spread=8.0)
+                .with_dynamic_load("randomwalk", mean_level=0.4)
+                .build(seed=3))
+
+    A two-site grid with a slow wide-area link::
+
+        grid = (GridBuilder()
+                .site("edi", nodes=8, speed=4.0)
+                .site("bcn", nodes=8, speed=2.0)
+                .wan(latency=2e-2, bandwidth=5e6)
+                .build(seed=7))
+    """
+
+    def __init__(self) -> None:
+        self._site_specs: List[Dict[str, object]] = []
+        self._load_kind: str = "constant"
+        self._load_kwargs: Dict[str, float] = {}
+        self._failure_model: Optional[FailureModel] = None
+        self._wan_latency = DEFAULT_WAN_LATENCY
+        self._wan_bandwidth = DEFAULT_WAN_BANDWIDTH
+        self._name = "grid"
+
+    # ------------------------------------------------------------ node groups
+    def homogeneous(self, nodes: int, speed: float = 1.0, cores: int = 1) -> "GridBuilder":
+        """Add a single site of identical nodes."""
+        return self.site("site0", nodes=nodes, speed=speed, cores=cores)
+
+    def heterogeneous(
+        self,
+        nodes: int,
+        speed_spread: float = 4.0,
+        base_speed: float = 1.0,
+        cores: int = 1,
+    ) -> "GridBuilder":
+        """Add a single site whose node speeds span ``base_speed``–``base_speed×spread``.
+
+        Speeds are spaced geometrically so the spread is controlled exactly
+        by ``speed_spread`` regardless of node count.
+        """
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        check_positive(speed_spread, "speed_spread")
+        check_positive(base_speed, "base_speed")
+        speeds = list(
+            base_speed * np.geomspace(1.0, speed_spread, num=nodes)
+        )
+        self._site_specs.append(
+            {"site_id": f"site{len(self._site_specs)}", "speeds": speeds, "cores": cores}
+        )
+        return self
+
+    def site(
+        self,
+        site_id: str,
+        nodes: int,
+        speed: float = 1.0,
+        cores: int = 1,
+        intra_latency: float = 5e-5,
+        intra_bandwidth: float = 1.25e8,
+    ) -> "GridBuilder":
+        """Add a named site of ``nodes`` identical nodes."""
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        check_positive(speed, "speed")
+        self._site_specs.append(
+            {
+                "site_id": site_id,
+                "speeds": [float(speed)] * nodes,
+                "cores": cores,
+                "intra_latency": intra_latency,
+                "intra_bandwidth": intra_bandwidth,
+            }
+        )
+        return self
+
+    def with_speeds(self, speeds: Sequence[float], site_id: Optional[str] = None) -> "GridBuilder":
+        """Add a site with an explicit per-node speed list."""
+        if len(speeds) == 0:
+            raise ConfigurationError("speeds must not be empty")
+        for s in speeds:
+            check_positive(s, "speed")
+        self._site_specs.append(
+            {
+                "site_id": site_id or f"site{len(self._site_specs)}",
+                "speeds": [float(s) for s in speeds],
+                "cores": 1,
+            }
+        )
+        return self
+
+    # -------------------------------------------------------------- behaviour
+    def with_dynamic_load(self, kind: str = "randomwalk", **kwargs: float) -> "GridBuilder":
+        """Attach a background-load model to every node.
+
+        ``kind`` is one of ``"constant"``, ``"randomwalk"``, ``"sinusoidal"``
+        or ``"bursty"``; keyword arguments are forwarded to the model.
+        Stochastic models get an independent stream per node.
+        """
+        if kind not in {"constant", "randomwalk", "sinusoidal", "bursty"}:
+            raise ConfigurationError(f"unknown load kind {kind!r}")
+        self._load_kind = kind
+        self._load_kwargs = dict(kwargs)
+        return self
+
+    def with_failures(self, failure_model: FailureModel) -> "GridBuilder":
+        """Attach a failure/churn model to the topology."""
+        self._failure_model = failure_model
+        return self
+
+    def wan(self, latency: float, bandwidth: float) -> "GridBuilder":
+        """Set the default wide-area link characteristics between sites."""
+        self._wan_latency = float(latency)
+        self._wan_bandwidth = float(bandwidth)
+        return self
+
+    def named(self, name: str) -> "GridBuilder":
+        """Set the topology name used in reports."""
+        self._name = name
+        return self
+
+    # ------------------------------------------------------------------ build
+    def _make_load(self, seed: int, node_id: str, rng: np.random.Generator) -> LoadModel:
+        kind = self._load_kind
+        kwargs = dict(self._load_kwargs)
+        if kind == "constant":
+            return ConstantLoad(level=float(kwargs.get("level", 0.0)))
+        if kind == "sinusoidal":
+            # Stagger phases per node so the grid is not globally synchronous.
+            phase = float(rng.uniform(0.0, 2.0 * np.pi))
+            kwargs.setdefault("phase", phase)
+            return SinusoidalLoad(**kwargs)
+        if kind == "randomwalk":
+            kwargs.setdefault("start_level", float(rng.uniform(0.05, 0.4)))
+            return RandomWalkLoad(seed=seed, name=node_id, **kwargs)
+        if kind == "bursty":
+            return BurstyLoad(seed=seed, name=node_id, **kwargs)
+        raise ConfigurationError(f"unknown load kind {kind!r}")
+
+    def build(self, seed: int = 0) -> GridTopology:
+        """Materialise the topology described so far."""
+        if not self._site_specs:
+            raise ConfigurationError("GridBuilder: no nodes declared")
+        rng = make_rng(seed, "gridbuilder")
+        nodes: List[GridNode] = []
+        sites: List[Site] = []
+        for spec in self._site_specs:
+            site_id = str(spec["site_id"])
+            speeds: List[float] = list(spec["speeds"])  # type: ignore[arg-type]
+            cores = int(spec.get("cores", 1))
+            site = Site(
+                site_id=site_id,
+                intra_latency=float(spec.get("intra_latency", 5e-5)),
+                intra_bandwidth=float(spec.get("intra_bandwidth", 1.25e8)),
+            )
+            for index, speed in enumerate(speeds):
+                node_id = f"{site_id}/n{index}"
+                load = self._make_load(seed, node_id, rng)
+                nodes.append(
+                    GridNode(node_id=node_id, speed=float(speed), cores=cores,
+                             load_model=load, site=site_id)
+                )
+                site.add_node(node_id)
+            sites.append(site)
+        return GridTopology(
+            nodes=nodes,
+            sites=sites,
+            failure_model=self._failure_model,
+            wan_latency=self._wan_latency,
+            wan_bandwidth=self._wan_bandwidth,
+            name=self._name,
+        )

@@ -1,0 +1,62 @@
+"""Resource-monitoring substrate (NWS-style sensors and forecasters).
+
+The paper's calibration phase optionally "collects processor and bandwidth
+values" from a resource-monitoring library, and the execution phase monitors
+the grid periodically.  This package supplies the Python equivalent:
+
+* :mod:`repro.monitor.sensors` — CPU-load and bandwidth sensors that sample
+  the grid simulator (or accept externally supplied readings).
+* :mod:`repro.monitor.history` — bounded time series of observations.
+* :mod:`repro.monitor.forecasters` — short-term predictors (last value,
+  running mean, sliding-window mean, median, exponential smoothing and an
+  adaptive best-of-breed selector in the spirit of the Network Weather
+  Service).
+* :mod:`repro.monitor.thresholds` — the performance-threshold abstraction
+  used by Algorithm 2 (absolute, relative and adaptive variants).
+* :class:`repro.monitor.monitor.ResourceMonitor` — the facade that the GRASP
+  runtime queries.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.history import Observation, TimeSeries
+from repro.monitor.sensors import BandwidthSensor, CpuLoadSensor, Sensor
+from repro.monitor.forecasters import (
+    AdaptiveForecaster,
+    ExponentialSmoothingForecaster,
+    Forecaster,
+    LastValueForecaster,
+    MeanForecaster,
+    MedianForecaster,
+    SlidingWindowForecaster,
+    make_forecaster,
+)
+from repro.monitor.thresholds import (
+    AbsoluteThreshold,
+    AdaptiveThreshold,
+    PerformanceThreshold,
+    RelativeThreshold,
+)
+from repro.monitor.monitor import ResourceMonitor, ResourceSnapshot
+
+__all__ = [
+    "Observation",
+    "TimeSeries",
+    "Sensor",
+    "CpuLoadSensor",
+    "BandwidthSensor",
+    "Forecaster",
+    "LastValueForecaster",
+    "MeanForecaster",
+    "MedianForecaster",
+    "SlidingWindowForecaster",
+    "ExponentialSmoothingForecaster",
+    "AdaptiveForecaster",
+    "make_forecaster",
+    "PerformanceThreshold",
+    "AbsoluteThreshold",
+    "RelativeThreshold",
+    "AdaptiveThreshold",
+    "ResourceMonitor",
+    "ResourceSnapshot",
+]

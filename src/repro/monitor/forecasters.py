@@ -1,0 +1,216 @@
+"""Short-term forecasters for resource observations.
+
+The paper's calibration phase extrapolates node performance from recent
+observations; NWS-style monitors do the same for load and bandwidth.  This
+module provides a small family of predictors over a
+:class:`repro.monitor.history.TimeSeries`:
+
+* :class:`LastValueForecaster` — persistence (next = last observed).
+* :class:`MeanForecaster` — running mean of the whole history.
+* :class:`SlidingWindowForecaster` — mean of the last *k* observations.
+* :class:`MedianForecaster` — median of the last *k* observations (robust to
+  bursts).
+* :class:`ExponentialSmoothingForecaster` — EWMA with configurable alpha.
+* :class:`AdaptiveForecaster` — keeps every candidate predictor, tracks each
+  one's mean absolute error on past one-step-ahead predictions and answers
+  with the current best (the Network Weather Service "forecaster of
+  forecasters" idea).
+
+Experiment E12 compares their accuracy on synthetic load traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.monitor.history import TimeSeries
+
+__all__ = [
+    "Forecaster",
+    "LastValueForecaster",
+    "MeanForecaster",
+    "SlidingWindowForecaster",
+    "MedianForecaster",
+    "ExponentialSmoothingForecaster",
+    "AdaptiveForecaster",
+    "make_forecaster",
+]
+
+
+class Forecaster:
+    """Base class: predict the next value of a series."""
+
+    #: short name used by ``make_forecaster`` and reports
+    kind = "base"
+
+    def predict(self, series: TimeSeries) -> float:
+        """Predict the next observation of ``series``.
+
+        Returns NaN when the series is empty — callers treat NaN as "no
+        information" and fall back to uniform assumptions.
+        """
+        raise NotImplementedError
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        """Mean absolute one-step-ahead error over ``values`` (lower is better)."""
+        if len(values) < 2:
+            return float("nan")
+        series = TimeSeries(capacity=len(values))
+        errors: List[float] = []
+        for index, value in enumerate(values):
+            if index > 0:
+                prediction = self.predict(series)
+                if not np.isnan(prediction):
+                    errors.append(abs(prediction - value))
+            series.append(float(index), float(value))
+        return float(np.mean(errors)) if errors else float("nan")
+
+
+class LastValueForecaster(Forecaster):
+    """Persistence forecast: the next value equals the last observed value."""
+
+    kind = "last"
+
+    def predict(self, series: TimeSeries) -> float:
+        last = series.last
+        return float("nan") if last is None else last.value
+
+
+class MeanForecaster(Forecaster):
+    """Running mean of the entire (bounded) history."""
+
+    kind = "mean"
+
+    def predict(self, series: TimeSeries) -> float:
+        return series.mean() if len(series) else float("nan")
+
+
+class SlidingWindowForecaster(Forecaster):
+    """Mean of the most recent ``window`` observations."""
+
+    kind = "window"
+
+    def __init__(self, window: int = 8):
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def predict(self, series: TimeSeries) -> float:
+        if not len(series):
+            return float("nan")
+        return float(np.mean(series.values(self.window)))
+
+
+class MedianForecaster(Forecaster):
+    """Median of the most recent ``window`` observations (burst-robust)."""
+
+    kind = "median"
+
+    def __init__(self, window: int = 8):
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def predict(self, series: TimeSeries) -> float:
+        if not len(series):
+            return float("nan")
+        return float(np.median(series.values(self.window)))
+
+
+class ExponentialSmoothingForecaster(Forecaster):
+    """Exponentially weighted moving average with smoothing factor ``alpha``."""
+
+    kind = "ewma"
+
+    def __init__(self, alpha: float = 0.3):
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+
+    def predict(self, series: TimeSeries) -> float:
+        values = series.values()
+        if not values:
+            return float("nan")
+        estimate = values[0]
+        for value in values[1:]:
+            estimate = self.alpha * value + (1.0 - self.alpha) * estimate
+        return float(estimate)
+
+
+class AdaptiveForecaster(Forecaster):
+    """Best-of-breed selector over a set of candidate forecasters.
+
+    For every new prediction request it replays each candidate's one-step
+    errors on the observed history and answers with the prediction of the
+    candidate with the lowest mean absolute error so far.  Ties (including
+    the empty-history case) fall back to the first candidate.
+    """
+
+    kind = "adaptive"
+
+    def __init__(self, candidates: Optional[Sequence[Forecaster]] = None):
+        if candidates is None:
+            candidates = [
+                LastValueForecaster(),
+                SlidingWindowForecaster(window=4),
+                SlidingWindowForecaster(window=16),
+                MedianForecaster(window=8),
+                ExponentialSmoothingForecaster(alpha=0.3),
+                ExponentialSmoothingForecaster(alpha=0.7),
+            ]
+        self.candidates: List[Forecaster] = list(candidates)
+        if not self.candidates:
+            raise ConfigurationError("AdaptiveForecaster needs at least one candidate")
+
+    def errors(self, series: TimeSeries) -> Dict[str, float]:
+        """Mean absolute error of each candidate on the series history."""
+        values = series.values()
+        result: Dict[str, float] = {}
+        for index, candidate in enumerate(self.candidates):
+            key = f"{candidate.kind}#{index}"
+            result[key] = candidate.evaluate(values)
+        return result
+
+    def best(self, series: TimeSeries) -> Forecaster:
+        """The candidate with the lowest historical error (first on ties/NaN)."""
+        values = series.values()
+        best_candidate = self.candidates[0]
+        best_error = float("inf")
+        for candidate in self.candidates:
+            error = candidate.evaluate(values)
+            if not np.isnan(error) and error < best_error:
+                best_error = error
+                best_candidate = candidate
+        return best_candidate
+
+    def predict(self, series: TimeSeries) -> float:
+        return self.best(series).predict(series)
+
+
+_FORECASTER_FACTORIES = {
+    "last": LastValueForecaster,
+    "mean": MeanForecaster,
+    "window": SlidingWindowForecaster,
+    "median": MedianForecaster,
+    "ewma": ExponentialSmoothingForecaster,
+    "adaptive": AdaptiveForecaster,
+}
+
+
+def make_forecaster(kind: str, **kwargs) -> Forecaster:
+    """Instantiate a forecaster by its short name.
+
+    >>> make_forecaster("ewma", alpha=0.5).kind
+    'ewma'
+    """
+    try:
+        factory = _FORECASTER_FACTORIES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown forecaster kind {kind!r}; expected one of "
+            f"{sorted(_FORECASTER_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,92 @@
+"""Bounded observation time series.
+
+Sensors append :class:`Observation` records; forecasters and thresholds read
+them.  The series is bounded (a ring of the most recent ``capacity``
+observations) because adaptation decisions only ever look at recent history.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Observation", "TimeSeries"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One timestamped measurement."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """A bounded, append-only series of observations."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._observations: Deque[Observation] = collections.deque(maxlen=capacity)
+
+    def append(self, time: float, value: float) -> Observation:
+        """Record a new observation and return it."""
+        obs = Observation(time=float(time), value=float(value))
+        self._observations.append(obs)
+        return obs
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self._observations)
+
+    def __bool__(self) -> bool:
+        return bool(self._observations)
+
+    @property
+    def last(self) -> Optional[Observation]:
+        """The most recent observation, or ``None`` when empty."""
+        return self._observations[-1] if self._observations else None
+
+    def values(self, window: Optional[int] = None) -> List[float]:
+        """The most recent ``window`` values (all when ``window`` is ``None``)."""
+        values = [obs.value for obs in self._observations]
+        if window is not None:
+            if window < 1:
+                raise ConfigurationError(f"window must be >= 1, got {window}")
+            values = values[-window:]
+        return values
+
+    def times(self, window: Optional[int] = None) -> List[float]:
+        """The most recent ``window`` timestamps (all when ``window`` is ``None``)."""
+        times = [obs.time for obs in self._observations]
+        if window is not None:
+            if window < 1:
+                raise ConfigurationError(f"window must be >= 1, got {window}")
+            times = times[-window:]
+        return times
+
+    def since(self, time: float) -> List[Observation]:
+        """Observations with timestamp ``>= time``."""
+        return [obs for obs in self._observations if obs.time >= time]
+
+    def mean(self, window: Optional[int] = None) -> float:
+        """Mean of the most recent ``window`` values (NaN when empty)."""
+        values = self.values(window)
+        return float(np.mean(values)) if values else float("nan")
+
+    def std(self, window: Optional[int] = None) -> float:
+        """Standard deviation of recent values (NaN when empty)."""
+        values = self.values(window)
+        return float(np.std(values)) if values else float("nan")

@@ -1,0 +1,129 @@
+"""The resource-monitor facade used by the GRASP runtime.
+
+:class:`ResourceMonitor` owns one CPU-load sensor per node and one bandwidth
+sensor per (master, worker) pair, polls them on demand, and exposes the two
+views the GRASP phases need:
+
+* point-in-time :class:`ResourceSnapshot` objects for the statistical
+  calibration (Algorithm 1), and
+* forecasts of near-future load for the execution-phase adaptation policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.grid.simulator import GridSimulator
+from repro.monitor.forecasters import AdaptiveForecaster, Forecaster
+from repro.monitor.sensors import BandwidthSensor, CpuLoadSensor
+
+__all__ = ["ResourceSnapshot", "ResourceMonitor"]
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """Resource readings for one node at one instant."""
+
+    node_id: str
+    time: float
+    cpu_load: float
+    bandwidth_to_master: float
+
+
+class ResourceMonitor:
+    """Polls load/bandwidth sensors for a set of nodes.
+
+    Parameters
+    ----------
+    simulator:
+        The grid simulator supplying the observables.
+    node_ids:
+        Nodes to monitor.
+    master_node:
+        The node hosting the skeleton master/monitor process; bandwidth is
+        measured from each worker toward this node, because that is the path
+        results travel.  Defaults to the first monitored node.
+    forecaster:
+        Predictor applied to each node's load history (defaults to the
+        adaptive best-of-breed forecaster).
+    """
+
+    def __init__(
+        self,
+        simulator: GridSimulator,
+        node_ids: Sequence[str],
+        master_node: Optional[str] = None,
+        forecaster: Optional[Forecaster] = None,
+        history: int = 1024,
+    ):
+        if len(node_ids) == 0:
+            raise ConfigurationError("ResourceMonitor needs at least one node")
+        self.simulator = simulator
+        self.node_ids = list(node_ids)
+        self.master_node = master_node or self.node_ids[0]
+        if self.master_node not in simulator.topology:
+            raise ConfigurationError(f"unknown master node {self.master_node!r}")
+        self.forecaster = forecaster or AdaptiveForecaster()
+
+        self._cpu_sensors: Dict[str, CpuLoadSensor] = {
+            node_id: CpuLoadSensor(simulator, node_id, capacity=history)
+            for node_id in self.node_ids
+        }
+        self._bw_sensors: Dict[str, BandwidthSensor] = {
+            node_id: BandwidthSensor(simulator, node_id, self.master_node, capacity=history)
+            for node_id in self.node_ids
+        }
+
+    # ---------------------------------------------------------------- polling
+    def poll(self, time: Optional[float] = None) -> Dict[str, ResourceSnapshot]:
+        """Sample every monitored node at ``time`` (default: simulator now)."""
+        t = self.simulator.now if time is None else float(time)
+        snapshots: Dict[str, ResourceSnapshot] = {}
+        for node_id in self.node_ids:
+            cpu = self._cpu_sensors[node_id].read(t)
+            bandwidth = self._bw_sensors[node_id].read(t)
+            snapshots[node_id] = ResourceSnapshot(
+                node_id=node_id, time=t, cpu_load=cpu, bandwidth_to_master=bandwidth
+            )
+        return snapshots
+
+    def snapshot(self, node_id: str, time: Optional[float] = None) -> ResourceSnapshot:
+        """Sample one node at ``time``."""
+        if node_id not in self._cpu_sensors:
+            raise ConfigurationError(f"node {node_id!r} is not monitored")
+        t = self.simulator.now if time is None else float(time)
+        return ResourceSnapshot(
+            node_id=node_id,
+            time=t,
+            cpu_load=self._cpu_sensors[node_id].read(t),
+            bandwidth_to_master=self._bw_sensors[node_id].read(t),
+        )
+
+    # -------------------------------------------------------------- forecasts
+    def forecast_load(self, node_id: str) -> float:
+        """Predicted near-future CPU load of ``node_id`` from its history.
+
+        Returns NaN when no observations exist yet.
+        """
+        if node_id not in self._cpu_sensors:
+            raise ConfigurationError(f"node {node_id!r} is not monitored")
+        return self.forecaster.predict(self._cpu_sensors[node_id].history)
+
+    def forecast_all(self) -> Dict[str, float]:
+        """Predicted near-future CPU load for every monitored node."""
+        return {node_id: self.forecast_load(node_id) for node_id in self.node_ids}
+
+    # ---------------------------------------------------------------- history
+    def load_history(self, node_id: str) -> List[float]:
+        """Recorded CPU-load values for ``node_id``."""
+        if node_id not in self._cpu_sensors:
+            raise ConfigurationError(f"node {node_id!r} is not monitored")
+        return self._cpu_sensors[node_id].history.values()
+
+    def bandwidth_history(self, node_id: str) -> List[float]:
+        """Recorded bandwidth values (node → master) for ``node_id``."""
+        if node_id not in self._bw_sensors:
+            raise ConfigurationError(f"node {node_id!r} is not monitored")
+        return self._bw_sensors[node_id].history.values()

@@ -1,0 +1,72 @@
+"""Resource sensors.
+
+Sensors bridge the grid simulator's observables (external CPU utilisation and
+effective link bandwidth) into the monitoring layer's time series.  Each
+sensor owns its own :class:`repro.monitor.history.TimeSeries` and can be
+polled at arbitrary virtual times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.grid.simulator import GridSimulator
+from repro.monitor.history import TimeSeries
+
+__all__ = ["Sensor", "CpuLoadSensor", "BandwidthSensor"]
+
+
+class Sensor:
+    """Base class: a pollable scalar measurement with history."""
+
+    def __init__(self, name: str, capacity: int = 1024):
+        if not name:
+            raise ConfigurationError("sensor name must be non-empty")
+        self.name = name
+        self.history = TimeSeries(capacity=capacity)
+
+    def read(self, time: float) -> float:
+        """Take a measurement at virtual ``time`` and record it."""
+        value = self._measure(time)
+        self.history.append(time, value)
+        return value
+
+    def _measure(self, time: float) -> float:
+        raise NotImplementedError
+
+    @property
+    def last_value(self) -> Optional[float]:
+        """The most recent reading, or ``None`` before the first poll."""
+        last = self.history.last
+        return None if last is None else last.value
+
+
+class CpuLoadSensor(Sensor):
+    """External CPU utilisation of one grid node (fraction in [0, 1))."""
+
+    def __init__(self, simulator: GridSimulator, node_id: str, capacity: int = 1024):
+        super().__init__(name=f"cpu/{node_id}", capacity=capacity)
+        if node_id not in simulator.topology:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        self.simulator = simulator
+        self.node_id = node_id
+
+    def _measure(self, time: float) -> float:
+        return self.simulator.observe_load(self.node_id, time)
+
+
+class BandwidthSensor(Sensor):
+    """Effective bandwidth (bytes/s) between two grid nodes."""
+
+    def __init__(self, simulator: GridSimulator, src: str, dst: str, capacity: int = 1024):
+        super().__init__(name=f"bw/{src}->{dst}", capacity=capacity)
+        for node_id in (src, dst):
+            if node_id not in simulator.topology:
+                raise ConfigurationError(f"unknown node {node_id!r}")
+        self.simulator = simulator
+        self.src = src
+        self.dst = dst
+
+    def _measure(self, time: float) -> float:
+        return self.simulator.observe_bandwidth(self.src, self.dst, time)

@@ -1,0 +1,147 @@
+"""Performance thresholds (the *Z* of Algorithm 2).
+
+Algorithm 2 of the paper triggers recalibration when the *minimum* execution
+time observed in a monitoring round exceeds a performance threshold ``Z``.
+The paper leaves the provenance of ``Z`` open ("particular performance
+thresholds based on the nature of the skeleton, the computation/communication
+ratio of the program, and the availability of grid resources"), so this
+module offers three concrete policies:
+
+* :class:`AbsoluteThreshold` — a fixed value of ``Z`` in virtual seconds.
+* :class:`RelativeThreshold` — ``Z = factor × reference``, where the
+  reference is established from the calibration round (the common case in
+  the experiments: "tolerate up to 1.5× the calibrated per-task time").
+* :class:`AdaptiveThreshold` — a relative threshold whose reference tracks a
+  low quantile of recent observations, so the tolerance follows genuine
+  workload drift while still firing on node-local degradation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PerformanceThreshold",
+    "AbsoluteThreshold",
+    "RelativeThreshold",
+    "AdaptiveThreshold",
+]
+
+
+class PerformanceThreshold:
+    """Base class: decide whether a round of execution times breaches *Z*."""
+
+    def calibrate(self, reference_times: Sequence[float]) -> None:
+        """Install the calibration-round reference (may be a no-op)."""
+
+    def value(self) -> float:
+        """The current numeric value of *Z* (virtual seconds)."""
+        raise NotImplementedError
+
+    def breached(self, round_times: Sequence[float]) -> bool:
+        """Algorithm 2's test: ``min(round_times) > Z``.
+
+        An empty round never breaches.
+        """
+        if len(round_times) == 0:
+            return False
+        return float(min(round_times)) > self.value()
+
+    def observe(self, round_times: Sequence[float]) -> None:
+        """Feed a round of observations to adaptive policies (default no-op)."""
+
+
+class AbsoluteThreshold(PerformanceThreshold):
+    """A fixed threshold in virtual seconds."""
+
+    def __init__(self, z: float):
+        check_positive(z, "z")
+        self._z = float(z)
+
+    def value(self) -> float:
+        return self._z
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AbsoluteThreshold(z={self._z})"
+
+
+class RelativeThreshold(PerformanceThreshold):
+    """``Z = factor × reference`` with the reference set at calibration time.
+
+    Until :meth:`calibrate` is called the threshold is infinite (never
+    breached), which mirrors the paper's structure: Algorithm 2 only runs
+    after Algorithm 1 has established the initial conditions.
+    """
+
+    def __init__(self, factor: float = 1.5, reference: Optional[float] = None):
+        check_positive(factor, "factor")
+        self.factor = float(factor)
+        self._reference = float(reference) if reference is not None else None
+        if self._reference is not None:
+            check_positive(self._reference, "reference")
+
+    def calibrate(self, reference_times: Sequence[float]) -> None:
+        if len(reference_times) == 0:
+            raise ConfigurationError("cannot calibrate a threshold from an empty sample")
+        # The reference is the *median* calibrated time: robust to one slow
+        # node dominating the sample.
+        self._reference = float(np.median(list(reference_times)))
+        if self._reference <= 0:
+            # Zero-cost calibration tasks: fall back to a tiny positive
+            # reference so the threshold stays meaningful.
+            self._reference = 1e-9
+
+    @property
+    def reference(self) -> Optional[float]:
+        """The calibrated reference time (``None`` before calibration)."""
+        return self._reference
+
+    def value(self) -> float:
+        if self._reference is None:
+            return float("inf")
+        return self.factor * self._reference
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelativeThreshold(factor={self.factor}, reference={self._reference})"
+
+
+class AdaptiveThreshold(RelativeThreshold):
+    """A relative threshold whose reference drifts with recent observations.
+
+    After each monitoring round the reference moves toward the round's
+    ``quantile``-th percentile by a fraction ``adaptation_rate``.  This keeps
+    *Z* meaningful when the workload's intrinsic cost drifts (e.g. later
+    tasks are simply bigger) while still firing when individual nodes
+    degrade relative to the rest.
+    """
+
+    def __init__(self, factor: float = 1.5, quantile: float = 0.25,
+                 adaptation_rate: float = 0.2, reference: Optional[float] = None):
+        super().__init__(factor=factor, reference=reference)
+        if not (0.0 <= quantile <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {quantile}")
+        if not (0.0 < adaptation_rate <= 1.0):
+            raise ConfigurationError(
+                f"adaptation_rate must be in (0, 1], got {adaptation_rate}"
+            )
+        self.quantile = float(quantile)
+        self.adaptation_rate = float(adaptation_rate)
+
+    def observe(self, round_times: Sequence[float]) -> None:
+        if len(round_times) == 0 or self._reference is None:
+            return
+        target = float(np.quantile(list(round_times), self.quantile))
+        if target <= 0:
+            return
+        self._reference += self.adaptation_rate * (target - self._reference)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveThreshold(factor={self.factor}, quantile={self.quantile}, "
+            f"rate={self.adaptation_rate}, reference={self._reference})"
+        )

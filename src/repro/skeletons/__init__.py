@@ -1,0 +1,51 @@
+"""Algorithmic skeletons.
+
+"Algorithmic skeletons abstract commonly-used patterns of parallel
+computation, communication, and interaction" (paper, Introduction).  GRASP
+ships two of them — the *task farm* and the *pipeline* — and this package
+also provides the common extensions (map, reduce, divide-and-conquer and
+composition) exercised by the extension experiments.
+
+A skeleton object is a *declarative description* of the parallel structure:
+it holds the user's sequential function(s), a cost model (work units per
+item, used by the virtual-time simulator) and the skeleton's intrinsic
+properties (the information GRASP instruments for adaptation).  Execution is
+performed by an executor: the adaptive GRASP runtime (:mod:`repro.core`) or
+the non-adaptive baselines (:mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from repro.skeletons.base import (
+    CostModel,
+    Skeleton,
+    SkeletonProperties,
+    Task,
+    TaskResult,
+    constant_cost,
+    callable_cost,
+)
+from repro.skeletons.taskfarm import TaskFarm
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.map import MapSkeleton
+from repro.skeletons.reduce import ReduceSkeleton
+from repro.skeletons.divide_conquer import DivideAndConquer
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+
+__all__ = [
+    "Skeleton",
+    "SkeletonProperties",
+    "Task",
+    "TaskResult",
+    "CostModel",
+    "constant_cost",
+    "callable_cost",
+    "TaskFarm",
+    "Pipeline",
+    "Stage",
+    "MapSkeleton",
+    "ReduceSkeleton",
+    "DivideAndConquer",
+    "FarmOfPipelines",
+    "PipelineOfFarms",
+]

@@ -1,0 +1,172 @@
+"""Skeleton base classes, tasks and cost models.
+
+The GRASP methodology relies on each skeleton exposing its *intrinsic
+properties* — "which capture its essence and distinguish it from the rest" —
+so the runtime can instrument and adapt it.  :class:`SkeletonProperties`
+captures the properties the calibration and execution phases consume:
+minimum node requirements, whether in-flight work can be redistributed,
+whether item ordering must be preserved, and the skeleton's natural unit of
+monitoring (task for a farm, stage-round for a pipeline).
+
+A :class:`Task` is one schedulable unit: a payload (the user's data), a
+compute cost in abstract work units, and input/output sizes in bytes for the
+communication model.  :class:`TaskResult` records where and when it ran.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.comm.message import estimate_size
+from repro.exceptions import SkeletonError
+
+__all__ = [
+    "CostModel",
+    "constant_cost",
+    "callable_cost",
+    "Task",
+    "TaskResult",
+    "SkeletonProperties",
+    "Skeleton",
+]
+
+#: A cost model maps a task payload to abstract work units.
+CostModel = Callable[[Any], float]
+
+
+def constant_cost(cost: float) -> CostModel:
+    """A cost model charging the same ``cost`` for every item."""
+    if cost < 0:
+        raise SkeletonError(f"cost must be >= 0, got {cost}")
+    return lambda _item: float(cost)
+
+
+def callable_cost(fn: Callable[[Any], float]) -> CostModel:
+    """Wrap an arbitrary callable as a cost model with validation on use."""
+
+    def model(item: Any) -> float:
+        value = float(fn(item))
+        if value < 0:
+            raise SkeletonError(f"cost model returned a negative cost: {value}")
+        return value
+
+    return model
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work."""
+
+    task_id: int
+    payload: Any
+    cost: float = 1.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    stage: int = 0
+
+    def scaled(self, factor: float) -> "Task":
+        """A copy of this task with its cost scaled by ``factor``."""
+        if factor < 0:
+            raise SkeletonError(f"scale factor must be >= 0, got {factor}")
+        return replace(self, cost=self.cost * factor)
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of executing one task on one node."""
+
+    task_id: int
+    output: Any
+    node_id: str
+    submitted: float
+    started: float
+    finished: float
+    stage: int = 0
+    during_calibration: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Pure compute time of the task."""
+        return self.finished - self.started
+
+    @property
+    def elapsed(self) -> float:
+        """Submission-to-completion time (includes queueing)."""
+        return self.finished - self.submitted
+
+
+@dataclass(frozen=True)
+class SkeletonProperties:
+    """The intrinsic properties GRASP instruments.
+
+    Attributes
+    ----------
+    name:
+        Skeleton family name (``"taskfarm"``, ``"pipeline"``, …).
+    min_nodes:
+        Fewest nodes on which the skeleton can execute (1 master + workers
+        for a farm; one node per stage for an unreplicated pipeline).
+    redistributable:
+        Whether queued work can be moved between nodes mid-run (true for a
+        farm; true for a pipeline only via stage remapping).
+    ordered_output:
+        Whether output order must match input order.
+    monitoring_unit:
+        The natural granularity at which Algorithm 2 collects times:
+        ``"task"`` or ``"stage_round"``.
+    stateless_workers:
+        Whether worker functions keep no inter-task state (a precondition
+        for free task migration).
+    """
+
+    name: str
+    min_nodes: int = 2
+    redistributable: bool = True
+    ordered_output: bool = False
+    monitoring_unit: str = "task"
+    stateless_workers: bool = True
+
+
+class Skeleton:
+    """Base class for all skeletons."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise SkeletonError("skeleton name must be non-empty")
+        self.name = name
+        self._task_counter = itertools.count()
+
+    # -- description ----------------------------------------------------------
+    @property
+    def properties(self) -> SkeletonProperties:
+        """The skeleton's intrinsic properties (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def make_tasks(self, inputs: Iterable[Any]) -> List[Task]:
+        """Turn an input collection into a list of :class:`Task` objects."""
+        raise NotImplementedError
+
+    # -- sequential reference --------------------------------------------------
+    def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:
+        """Execute the skeleton's semantics sequentially (reference results).
+
+        Used by tests and by the analysis harness to verify that every
+        executor (adaptive or static, simulated or threaded) preserves the
+        skeleton's meaning — the "clear and consistent meaning across
+        platforms" the paper attributes to structured parallelism.
+        """
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+    def _next_task_id(self) -> int:
+        return next(self._task_counter)
+
+    def _sizes_for(self, payload: Any, result_hint: Optional[Any] = None) -> tuple:
+        input_bytes = estimate_size(payload)
+        output_bytes = estimate_size(result_hint) if result_hint is not None else input_bytes
+        return input_bytes, output_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

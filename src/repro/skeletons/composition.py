@@ -1,0 +1,128 @@
+"""Skeleton composition.
+
+"Parallel programs are expressed by interweaving parameterised skeletons
+analogously to the way sequential structured programs are constructed"
+(paper, Introduction).  This module provides the two compositions the
+structured-parallelism literature uses most:
+
+* :class:`PipelineOfFarms` — a pipeline whose stages are each replicated as
+  small farms (useful when one stage dominates).
+* :class:`FarmOfPipelines` — a farm whose worker is itself a whole pipeline
+  applied per item (useful when items are independent but internally
+  multi-phase).
+
+Both lower onto the primitive skeletons: composition objects *generate* a
+configured :class:`~repro.skeletons.pipeline.Pipeline` or
+:class:`~repro.skeletons.taskfarm.TaskFarm`, so every executor (adaptive or
+static) handles them without special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.exceptions import SkeletonError
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.taskfarm import TaskFarm
+from repro.skeletons.base import CostModel, Skeleton, SkeletonProperties, Task
+
+__all__ = ["PipelineOfFarms", "FarmOfPipelines"]
+
+
+class PipelineOfFarms(Skeleton):
+    """A pipeline in which every stage is marked replicable (farmable).
+
+    The composition is expressed by lowering to a :class:`Pipeline` whose
+    stages carry ``replicable=True``; the adaptive executor may then assign
+    several nodes to one stage.
+    """
+
+    def __init__(self, stages: Sequence[Stage], name: str = "pipeline_of_farms"):
+        super().__init__(name=name)
+        if len(stages) == 0:
+            raise SkeletonError("PipelineOfFarms needs at least one stage")
+        replicated = [
+            Stage(fn=stage.fn, cost_model=stage.cost_model,
+                  name=stage.name or f"stage{i}", replicable=True)
+            for i, stage in enumerate(stages)
+        ]
+        self.pipeline = Pipeline(replicated, name=name)
+
+    def lower(self) -> Pipeline:
+        """The equivalent primitive :class:`Pipeline`."""
+        return self.pipeline
+
+    @property
+    def properties(self) -> SkeletonProperties:
+        inner = self.pipeline.properties
+        return SkeletonProperties(
+            name="pipeline_of_farms",
+            min_nodes=inner.min_nodes,
+            redistributable=True,
+            ordered_output=inner.ordered_output,
+            monitoring_unit="stage_round",
+            stateless_workers=True,
+        )
+
+    def make_tasks(self, inputs: Iterable[Any]) -> List[Task]:
+        return self.pipeline.make_tasks(inputs)
+
+    def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:
+        return self.pipeline.run_sequential(inputs)
+
+
+class FarmOfPipelines(Skeleton):
+    """A farm whose worker threads each item through an inner pipeline.
+
+    The composition is expressed by lowering to a :class:`TaskFarm` whose
+    worker runs the inner pipeline sequentially on one item, and whose cost
+    model is the sum of the inner stages' per-item costs.
+    """
+
+    def __init__(self, stages: Sequence[Stage], ordered: bool = False,
+                 name: str = "farm_of_pipelines"):
+        super().__init__(name=name)
+        if len(stages) == 0:
+            raise SkeletonError("FarmOfPipelines needs at least one stage")
+        self.inner = Pipeline(list(stages), name=f"{name}/inner")
+
+        def worker(item: Any) -> Any:
+            value = item
+            for stage in self.inner.stages:
+                value = stage.fn(value)
+            return value
+
+        def cost(item: Any) -> float:
+            # The per-item cost of the whole inner pipeline.  Intermediate
+            # values are recomputed; cost models are expected to be cheap
+            # relative to the workloads they describe.
+            total = 0.0
+            value = item
+            for stage in self.inner.stages:
+                total += stage.cost(value)
+                value = stage.fn(value)
+            return total
+
+        self.farm = TaskFarm(worker=worker, cost_model=cost, ordered=ordered,
+                             name=name)
+
+    def lower(self) -> TaskFarm:
+        """The equivalent primitive :class:`TaskFarm`."""
+        return self.farm
+
+    @property
+    def properties(self) -> SkeletonProperties:
+        return SkeletonProperties(
+            name="farm_of_pipelines",
+            min_nodes=1,
+            redistributable=True,
+            ordered_output=self.farm.ordered,
+            monitoring_unit="task",
+            stateless_workers=True,
+        )
+
+    def make_tasks(self, inputs: Iterable[Any]) -> List[Task]:
+        return self.farm.make_tasks(inputs)
+
+    def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:
+        return self.inner.run_sequential(inputs)

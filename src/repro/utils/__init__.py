@@ -1,0 +1,48 @@
+"""Shared utilities: deterministic RNG, statistics, tracing and validation."""
+
+from __future__ import annotations
+
+from repro.utils.rng import RngStream, derive_seed, make_rng
+from repro.utils.stats import (
+    LinearFit,
+    RegressionResult,
+    Summary,
+    coefficient_of_variation,
+    multivariate_linear_regression,
+    normalise,
+    summarise,
+    univariate_linear_regression,
+    weighted_mean,
+)
+from repro.utils.tracing import TraceEvent, Tracer
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_not_empty,
+    check_type,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "make_rng",
+    "LinearFit",
+    "RegressionResult",
+    "Summary",
+    "coefficient_of_variation",
+    "multivariate_linear_regression",
+    "normalise",
+    "summarise",
+    "univariate_linear_regression",
+    "weighted_mean",
+    "TraceEvent",
+    "Tracer",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_not_empty",
+    "check_type",
+]

@@ -1,0 +1,217 @@
+"""Statistical primitives used by the calibration and analysis code.
+
+The GRASP calibration phase (Algorithm 1 of the paper) ranks nodes either by
+raw execution time or *statistically*, using "univariate and multivariate
+linear regression involving execution time, processor load, and bandwidth
+utilisation".  This module implements those regressions (via least squares)
+together with the summary statistics used throughout the analysis harness.
+
+All routines accept plain sequences or NumPy arrays and return small frozen
+dataclasses so results serialise and compare cleanly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "LinearFit",
+    "RegressionResult",
+    "summarise",
+    "weighted_mean",
+    "coefficient_of_variation",
+    "normalise",
+    "univariate_linear_regression",
+    "multivariate_linear_regression",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def spread(self) -> float:
+        """Max minus min; a quick heterogeneity indicator."""
+        return self.maximum - self.minimum
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a univariate least-squares fit ``y ≈ intercept + slope·x``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * x
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Result of a multivariate least-squares fit ``y ≈ intercept + coeffs·x``."""
+
+    coefficients: tuple
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: Sequence[float]) -> float:
+        """Evaluate the fitted hyperplane at feature vector ``x``."""
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.shape != (len(self.coefficients),):
+            raise ValueError(
+                f"expected {len(self.coefficients)} features, got {x_arr.shape}"
+            )
+        return float(self.intercept + np.dot(self.coefficients, x_arr))
+
+
+def summarise(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; weights need not be normalised."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have the same length")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return float(np.dot(v, w) / total)
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Std/mean of a sample; 0.0 for a zero-mean or single-element sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return 0.0
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std(ddof=0) / abs(mean))
+
+
+def normalise(values: Sequence[float]) -> np.ndarray:
+    """Scale ``values`` into ``[0, 1]`` (all zeros when the range is zero)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    low, high = arr.min(), arr.max()
+    if high == low:
+        return np.zeros_like(arr)
+    return (arr - low) / (high - low)
+
+
+def univariate_linear_regression(
+    x: Sequence[float], y: Sequence[float]
+) -> LinearFit:
+    """Least-squares fit of ``y`` against a single predictor ``x``.
+
+    Used by the *statistical calibration* mode to adjust observed execution
+    times for processor load (the predictor).
+
+    Raises
+    ------
+    ValueError
+        If the inputs differ in length or contain fewer than two points.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    n = x_arr.size
+    if n < 2:
+        raise ValueError("need at least two points for a regression")
+
+    x_mean = x_arr.mean()
+    y_mean = y_arr.mean()
+    sxx = float(np.sum((x_arr - x_mean) ** 2))
+    sxy = float(np.sum((x_arr - x_mean) * (y_arr - y_mean)))
+    if sxx == 0.0:
+        # Degenerate predictor: fall back to the constant model.
+        slope = 0.0
+    else:
+        slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    predictions = intercept + slope * x_arr
+    ss_res = float(np.sum((y_arr - predictions) ** 2))
+    ss_tot = float(np.sum((y_arr - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else max(0.0, 1.0 - ss_res / ss_tot)
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r_squared=float(r_squared), n=int(n))
+
+
+def multivariate_linear_regression(
+    features: Sequence[Sequence[float]], y: Sequence[float]
+) -> RegressionResult:
+    """Least-squares fit of ``y`` against several predictors.
+
+    ``features`` is an ``n × k`` matrix (one row per observation).  The fit
+    is solved with :func:`numpy.linalg.lstsq`, which tolerates singular or
+    collinear feature matrices by returning the minimum-norm solution — the
+    behaviour we want for small calibration samples.
+
+    Raises
+    ------
+    ValueError
+        If shapes are inconsistent or fewer than two observations are given.
+    """
+    x_arr = np.asarray(features, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.ndim != 2:
+        raise ValueError("features must be a 2-D array (observations × predictors)")
+    if x_arr.shape[0] != y_arr.shape[0]:
+        raise ValueError("features and y must have the same number of rows")
+    n, k = x_arr.shape
+    if n < 2:
+        raise ValueError("need at least two observations for a regression")
+
+    design = np.hstack([np.ones((n, 1)), x_arr])
+    solution, _, _, _ = np.linalg.lstsq(design, y_arr, rcond=None)
+    intercept = float(solution[0])
+    coefficients = tuple(float(c) for c in solution[1:])
+
+    predictions = design @ solution
+    ss_res = float(np.sum((y_arr - predictions) ** 2))
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else max(0.0, 1.0 - ss_res / ss_tot)
+    return RegressionResult(
+        coefficients=coefficients,
+        intercept=intercept,
+        r_squared=float(r_squared),
+        n=int(n),
+    )

@@ -1,0 +1,94 @@
+"""Lightweight structured tracing.
+
+The GRASP runtime records every phase transition, calibration decision,
+adaptation trigger and task completion as a :class:`TraceEvent`.  Traces are
+the raw material for the experiment harness (``repro.analysis``) and for the
+methodology-trace experiment (E1), which reconstructs Figure 1 of the paper
+from a recorded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped, categorised event.
+
+    Attributes
+    ----------
+    time:
+        Virtual (simulated) time at which the event occurred.
+    category:
+        Dot-separated category, e.g. ``"phase.calibration"`` or
+        ``"adaptation.recalibrate"``.
+    message:
+        Human-readable description.
+    data:
+        Arbitrary structured payload (kept JSON-friendly by convention).
+    """
+
+    time: float
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True when the event category equals or is nested under ``prefix``."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one run.
+
+    A tracer can be disabled (``enabled=False``) to remove recording overhead
+    in throughput benchmarks; all recording calls become no-ops.
+    """
+
+    def __init__(self, enabled: bool = True, clock: Optional[Callable[[], float]] = None):
+        self.enabled = enabled
+        self._clock = clock or (lambda: 0.0)
+        self._events: List[TraceEvent] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the virtual-time source used to timestamp events."""
+        self._clock = clock
+
+    def record(self, category: str, message: str = "", **data: Any) -> None:
+        """Record one event (no-op when the tracer is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=float(self._clock()), category=category,
+                       message=message, data=dict(data))
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, in recording order."""
+        return list(self._events)
+
+    def filter(self, prefix: str) -> List[TraceEvent]:
+        """Events whose category matches ``prefix`` (exact or nested)."""
+        return [e for e in self._events if e.matches(prefix)]
+
+    def categories(self) -> List[str]:
+        """Distinct categories in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.category, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

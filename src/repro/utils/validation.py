@@ -1,0 +1,84 @@
+"""Argument-validation helpers.
+
+Small, explicit validators used at public API boundaries.  They raise
+:class:`repro.exceptions.ConfigurationError` with a message that names the
+offending parameter, which keeps configuration errors easy to diagnose in
+scripted experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized, Tuple, Type, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_not_empty",
+    "check_type",
+]
+
+Number = Union[int, float]
+
+
+def check_positive(value: Number, name: str) -> Number:
+    """Require ``value > 0``; return it for chaining."""
+    if not (value > 0):
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: Number, name: str) -> Number:
+    """Require ``value >= 0``; return it for chaining."""
+    if not (value >= 0):
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: Number, name: str) -> Number:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: Number,
+    name: str,
+    low: Number,
+    high: Number,
+    *,
+    inclusive: bool = True,
+) -> Number:
+    """Require ``low <= value <= high`` (or strict when ``inclusive=False``)."""
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must be in {brackets[0]}{low}, {high}{brackets[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_not_empty(value: Sized, name: str) -> Sized:
+    """Require a non-empty sized collection; return it for chaining."""
+    if len(value) == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    return value
+
+
+def check_type(value: Any, name: str, types: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Require ``isinstance(value, types)``; return it for chaining."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise ConfigurationError(
+            f"{name} must be of type {expected}, got {type(value).__name__}"
+        )
+    return value

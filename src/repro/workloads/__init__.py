@@ -1,0 +1,39 @@
+"""Experiment workloads.
+
+The companion evaluations drove the GRASP skeletons with real applications
+on shared departmental machines.  This package provides synthetic and kernel
+workloads with the same experimental *axes* — task-cost distribution,
+compute/communication ratio, stage imbalance — so the benchmark harness can
+sweep them deterministically:
+
+* :mod:`repro.workloads.synthetic` — parametric tasks (cost distribution and
+  payload sizes fully controlled); the workhorse of the sweeps.
+* :mod:`repro.workloads.matrix` — blocked matrix-multiplication farm.
+* :mod:`repro.workloads.imaging` — image-processing pipeline stages
+  (denoise → convolve → threshold → feature count).
+* :mod:`repro.workloads.montecarlo` — Monte-Carlo π / integration farm.
+* :mod:`repro.workloads.parameter_sweep` — parameter-study farm (the classic
+  grid application the paper's introduction motivates).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload, spin_worker
+from repro.workloads.matrix import MatrixWorkload, matmul_blocks
+from repro.workloads.imaging import ImagingWorkload, make_imaging_pipeline
+from repro.workloads.montecarlo import MonteCarloWorkload, estimate_pi
+from repro.workloads.parameter_sweep import ParameterSweep, sweep_grid
+
+__all__ = [
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "spin_worker",
+    "MatrixWorkload",
+    "matmul_blocks",
+    "ImagingWorkload",
+    "make_imaging_pipeline",
+    "MonteCarloWorkload",
+    "estimate_pi",
+    "ParameterSweep",
+    "sweep_grid",
+]

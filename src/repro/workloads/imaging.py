@@ -1,0 +1,126 @@
+"""Image-processing pipeline workload.
+
+The adaptive-pipeline companion paper motivates the skeleton with streaming
+media/image processing.  This workload builds a four-stage pipeline over
+small synthetic images (NumPy arrays):
+
+1. **denoise** — 3×3 mean filter,
+2. **convolve** — separable Gaussian-like blur (the heavy stage),
+3. **threshold** — global threshold against the stage-2 mean,
+4. **count** — connected high-intensity pixel count (the light stage).
+
+Stage costs are proportional to the pixel count with per-stage weights, so
+the pipeline is intentionally imbalanced — exactly the situation stage
+remapping is meant to fix (experiment E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.utils.rng import make_rng
+
+__all__ = ["ImagingWorkload", "make_imaging_pipeline"]
+
+#: Relative compute weight of each stage (per pixel).
+STAGE_WEIGHTS = (1.0, 4.0, 0.5, 0.75)
+STAGE_NAMES = ("denoise", "convolve", "threshold", "count")
+
+
+def _denoise(image: np.ndarray) -> np.ndarray:
+    """3×3 mean filter with edge replication."""
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image, dtype=float)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            out += padded[1 + dy:1 + dy + image.shape[0],
+                          1 + dx:1 + dx + image.shape[1]]
+    return out / 9.0
+
+
+def _convolve(image: np.ndarray) -> np.ndarray:
+    """Separable binomial blur applied twice (the heavy stage)."""
+    kernel = np.array([1.0, 4.0, 6.0, 4.0, 1.0])
+    kernel = kernel / kernel.sum()
+    out = image
+    for _ in range(2):
+        out = np.apply_along_axis(lambda r: np.convolve(r, kernel, mode="same"), 1, out)
+        out = np.apply_along_axis(lambda c: np.convolve(c, kernel, mode="same"), 0, out)
+    return out
+
+
+def _threshold(image: np.ndarray) -> np.ndarray:
+    """Binarise against the image mean."""
+    return (image > image.mean()).astype(np.uint8)
+
+
+def _count(image: np.ndarray) -> int:
+    """Count of high pixels (the pipeline's per-item output)."""
+    return int(image.sum())
+
+
+def make_imaging_pipeline(image_side: int = 64) -> Pipeline:
+    """Build the four-stage imaging pipeline for ``image_side``² images.
+
+    Stage cost models scale with the pixel count and the per-stage weights,
+    so virtual-time behaviour is independent of the host machine.
+    """
+    if image_side < 4:
+        raise WorkloadError(f"image_side must be >= 4, got {image_side}")
+    pixels = float(image_side * image_side)
+
+    def cost_for(weight: float):
+        return lambda _item: weight * pixels / 1000.0
+
+    stages = [
+        Stage(fn=_denoise, cost_model=cost_for(STAGE_WEIGHTS[0]), name=STAGE_NAMES[0],
+              replicable=True),
+        Stage(fn=_convolve, cost_model=cost_for(STAGE_WEIGHTS[1]), name=STAGE_NAMES[1],
+              replicable=True),
+        Stage(fn=_threshold, cost_model=cost_for(STAGE_WEIGHTS[2]), name=STAGE_NAMES[2],
+              replicable=True),
+        Stage(fn=_count, cost_model=cost_for(STAGE_WEIGHTS[3]), name=STAGE_NAMES[3],
+              replicable=False),
+    ]
+    return Pipeline(stages, ordered=True, name="imaging-pipeline")
+
+
+class ImagingWorkload:
+    """A stream of synthetic images plus the pipeline that processes them."""
+
+    def __init__(self, images: int = 64, image_side: int = 64, seed: int = 0):
+        if images < 1:
+            raise WorkloadError(f"images must be >= 1, got {images}")
+        self.images = images
+        self.image_side = image_side
+        self.seed = seed
+
+    def items(self) -> List[np.ndarray]:
+        """The input images (deterministic for a given seed)."""
+        rng = make_rng(self.seed, "workload/imaging")
+        return [
+            rng.uniform(0.0, 255.0, size=(self.image_side, self.image_side))
+            for _ in range(self.images)
+        ]
+
+    def pipeline(self) -> Pipeline:
+        """The processing pipeline sized for this workload's images."""
+        return make_imaging_pipeline(self.image_side)
+
+    def expected_outputs(self) -> List[int]:
+        """Sequential reference outputs (per-image high-pixel counts)."""
+        return self.pipeline().run_sequential(self.items())
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary used by the experiment reports."""
+        return {
+            "images": self.images,
+            "image_side": self.image_side,
+            "stages": list(STAGE_NAMES),
+            "stage_weights": list(STAGE_WEIGHTS),
+        }

@@ -1,0 +1,102 @@
+"""Monte-Carlo estimation workload.
+
+Monte-Carlo studies are the archetypal farm application for non-dedicated
+grids: huge numbers of independent, identically shaped tasks whose results
+are combined by simple aggregation.  This workload estimates π by dart
+throwing; each task evaluates one batch of samples and the farm's results
+are averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.skeletons.taskfarm import TaskFarm
+from repro.utils.rng import make_rng
+
+__all__ = ["MonteCarloWorkload", "estimate_pi"]
+
+
+@dataclass(frozen=True)
+class MonteCarloBatch:
+    """One batch of dart throws."""
+
+    batch_index: int
+    samples: int
+    seed: int
+
+
+def estimate_pi(batch: MonteCarloBatch) -> float:
+    """Estimate π from one batch (the farm worker)."""
+    rng = make_rng(batch.seed, f"montecarlo/{batch.batch_index}")
+    xs = rng.random(batch.samples)
+    ys = rng.random(batch.samples)
+    inside = np.count_nonzero(xs * xs + ys * ys <= 1.0)
+    return 4.0 * inside / batch.samples
+
+
+class MonteCarloWorkload:
+    """π estimation split into independent batches.
+
+    Parameters
+    ----------
+    batches:
+        Number of farm tasks.
+    samples_per_batch:
+        Dart throws per batch.
+    samples_per_work_unit:
+        Conversion to the simulator's abstract work units.
+    seed:
+        Base seed; each batch derives its own stream.
+    """
+
+    def __init__(self, batches: int = 64, samples_per_batch: int = 10_000,
+                 samples_per_work_unit: float = 5_000.0, seed: int = 0):
+        if batches < 1:
+            raise WorkloadError(f"batches must be >= 1, got {batches}")
+        if samples_per_batch < 1:
+            raise WorkloadError(f"samples_per_batch must be >= 1, got {samples_per_batch}")
+        if samples_per_work_unit <= 0:
+            raise WorkloadError("samples_per_work_unit must be > 0")
+        self.batches = batches
+        self.samples_per_batch = samples_per_batch
+        self.samples_per_work_unit = float(samples_per_work_unit)
+        self.seed = seed
+
+    def items(self) -> List[MonteCarloBatch]:
+        """The batch descriptors."""
+        return [
+            MonteCarloBatch(batch_index=i, samples=self.samples_per_batch,
+                            seed=self.seed)
+            for i in range(self.batches)
+        ]
+
+    def farm(self) -> TaskFarm:
+        """The π-estimation task farm."""
+        return TaskFarm(
+            worker=estimate_pi,
+            cost_model=lambda b: b.samples / self.samples_per_work_unit,
+            name="montecarlo-farm",
+        )
+
+    def combine(self, estimates: List[float]) -> float:
+        """Average per-batch estimates into the final value."""
+        if not estimates:
+            raise WorkloadError("no estimates to combine")
+        return float(np.mean(estimates))
+
+    def expected_value(self) -> float:
+        """Sequential reference estimate (same batches, same seeds)."""
+        return self.combine([estimate_pi(batch) for batch in self.items()])
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary used by the experiment reports."""
+        return {
+            "batches": self.batches,
+            "samples_per_batch": self.samples_per_batch,
+            "total_samples": self.batches * self.samples_per_batch,
+        }

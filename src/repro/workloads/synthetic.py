@@ -1,0 +1,180 @@
+"""Parametric synthetic workloads.
+
+A synthetic task is a payload whose *declared* cost (work units charged in
+virtual time) and *payload sizes* (bytes charged on the links) are drawn
+from configurable distributions, while its real computation is a trivial
+arithmetic transform (so results remain checkable).  The key experimental
+knob is the **compute/communication ratio**: the ratio between the virtual
+time a task's computation takes on a reference node and the virtual time its
+data movement takes on a reference link.  Experiment E8 sweeps it to locate
+where adaptation pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.skeletons.base import CostModel
+from repro.skeletons.taskfarm import TaskFarm
+from repro.utils.rng import make_rng
+
+__all__ = ["SyntheticSpec", "SyntheticWorkload", "spin_worker"]
+
+
+def spin_worker(item: "SyntheticItem") -> float:
+    """The real computation of a synthetic task: a cheap, checkable transform.
+
+    Returns ``value * 2 + 1`` so tests can verify outputs without knowing
+    the task's declared cost.
+    """
+    return item.value * 2.0 + 1.0
+
+
+@dataclass(frozen=True)
+class SyntheticItem:
+    """Payload of one synthetic task."""
+
+    index: int
+    value: float
+    cost: float
+    nbytes: int
+
+
+@dataclass
+class SyntheticSpec:
+    """Parameters of a synthetic workload.
+
+    Attributes
+    ----------
+    tasks:
+        Number of tasks.
+    mean_cost:
+        Mean task cost in work units.
+    cost_cv:
+        Coefficient of variation of the cost distribution (0 = identical
+        tasks).
+    distribution:
+        ``"uniform"``, ``"normal"`` or ``"lognormal"`` (heavy-tailed).
+    comp_comm_ratio:
+        Desired ratio of compute time to communication time on a reference
+        node (speed 1 work-unit/s) and reference link (``ref_bandwidth``).
+        Payload sizes are derived from it: ``nbytes = cost × ref_bandwidth /
+        ratio``.
+    ref_bandwidth:
+        Reference link bandwidth (bytes/s) used in the ratio derivation.
+    seed:
+        Stream seed.
+    """
+
+    tasks: int = 100
+    mean_cost: float = 10.0
+    cost_cv: float = 0.3
+    distribution: str = "uniform"
+    comp_comm_ratio: float = 10.0
+    ref_bandwidth: float = 1.25e7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise WorkloadError(f"tasks must be >= 1, got {self.tasks}")
+        if self.mean_cost <= 0:
+            raise WorkloadError(f"mean_cost must be > 0, got {self.mean_cost}")
+        if self.cost_cv < 0:
+            raise WorkloadError(f"cost_cv must be >= 0, got {self.cost_cv}")
+        if self.distribution not in {"uniform", "normal", "lognormal"}:
+            raise WorkloadError(f"unknown distribution {self.distribution!r}")
+        if self.comp_comm_ratio <= 0:
+            raise WorkloadError("comp_comm_ratio must be > 0")
+        if self.ref_bandwidth <= 0:
+            raise WorkloadError("ref_bandwidth must be > 0")
+
+
+class SyntheticWorkload:
+    """Generates synthetic items and the matching :class:`TaskFarm`."""
+
+    def __init__(self, spec: Optional[SyntheticSpec] = None, **kwargs):
+        if spec is not None and kwargs:
+            raise WorkloadError("pass either a spec or keyword arguments, not both")
+        self.spec = spec or SyntheticSpec(**kwargs)
+
+    # ------------------------------------------------------------- sampling
+    def _sample_costs(self) -> np.ndarray:
+        spec = self.spec
+        rng = make_rng(spec.seed, "workload/synthetic/costs")
+        if spec.cost_cv == 0:
+            return np.full(spec.tasks, spec.mean_cost)
+        sigma = spec.mean_cost * spec.cost_cv
+        if spec.distribution == "uniform":
+            half_width = sigma * np.sqrt(3.0)
+            low = max(spec.mean_cost - half_width, 0.01 * spec.mean_cost)
+            high = spec.mean_cost + half_width
+            costs = rng.uniform(low, high, size=spec.tasks)
+        elif spec.distribution == "normal":
+            costs = rng.normal(spec.mean_cost, sigma, size=spec.tasks)
+        else:  # lognormal
+            variance = sigma ** 2
+            mu = np.log(spec.mean_cost ** 2 / np.sqrt(variance + spec.mean_cost ** 2))
+            s = np.sqrt(np.log(1.0 + variance / spec.mean_cost ** 2))
+            costs = rng.lognormal(mu, s, size=spec.tasks)
+        return np.clip(costs, 0.01 * spec.mean_cost, None)
+
+    def items(self) -> List[SyntheticItem]:
+        """The synthetic task payloads (deterministic for a given spec)."""
+        spec = self.spec
+        rng = make_rng(spec.seed, "workload/synthetic/values")
+        costs = self._sample_costs()
+        values = rng.uniform(0.0, 100.0, size=spec.tasks)
+        items: List[SyntheticItem] = []
+        for index in range(spec.tasks):
+            cost = float(costs[index])
+            nbytes = max(1, int(cost * spec.ref_bandwidth / spec.comp_comm_ratio))
+            items.append(
+                SyntheticItem(index=index, value=float(values[index]),
+                              cost=cost, nbytes=nbytes)
+            )
+        return items
+
+    # ------------------------------------------------------------ skeletons
+    def cost_model(self) -> CostModel:
+        """Cost model reading the declared cost off each item."""
+        return lambda item: item.cost
+
+    def farm(self, worker: Optional[Callable[[SyntheticItem], Any]] = None) -> TaskFarm:
+        """A :class:`TaskFarm` over the synthetic items.
+
+        The farm's size models charge each item's declared ``nbytes`` on the
+        links so the spec's compute/communication ratio actually shows up in
+        the simulated transfers.
+        """
+        return TaskFarm(
+            worker=worker or spin_worker,
+            cost_model=self.cost_model(),
+            input_size_model=lambda item: item.nbytes,
+            output_size_model=lambda item: max(1, item.nbytes // 2),
+            name="synthetic-farm",
+        )
+
+    def expected_outputs(self) -> List[float]:
+        """Reference outputs of :func:`spin_worker` over the items."""
+        return [spin_worker(item) for item in self.items()]
+
+    def total_cost(self) -> float:
+        """Sum of all task costs (work units)."""
+        return float(sum(item.cost for item in self.items()))
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary used by the experiment reports."""
+        items = self.items()
+        costs = [item.cost for item in items]
+        return {
+            "tasks": len(items),
+            "mean_cost": float(np.mean(costs)),
+            "cost_cv": float(np.std(costs) / np.mean(costs)) if np.mean(costs) else 0.0,
+            "distribution": self.spec.distribution,
+            "comp_comm_ratio": self.spec.comp_comm_ratio,
+            "total_cost": float(np.sum(costs)),
+        }

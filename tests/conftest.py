@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridBuilder, GridTopology
+from repro.grid.simulator import GridSimulator
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.taskfarm import TaskFarm
+
+
+@pytest.fixture
+def dedicated_grid() -> GridTopology:
+    """8 identical, dedicated nodes (no external load)."""
+    return GridBuilder().homogeneous(nodes=8, speed=2.0).named("dedicated").build(seed=0)
+
+
+@pytest.fixture
+def hetero_grid() -> GridTopology:
+    """8 heterogeneous, dedicated nodes with a 4x speed spread."""
+    return GridBuilder().heterogeneous(nodes=8, speed_spread=4.0).named("hetero").build(seed=1)
+
+
+@pytest.fixture
+def dynamic_grid() -> GridTopology:
+    """8 heterogeneous nodes with random-walk background load."""
+    return (
+        GridBuilder()
+        .heterogeneous(nodes=8, speed_spread=4.0)
+        .with_dynamic_load("randomwalk", mean_level=0.35)
+        .named("dynamic")
+        .build(seed=2)
+    )
+
+
+@pytest.fixture
+def spike_grid() -> GridTopology:
+    """Heterogeneous grid whose fastest node gets slammed at t=5."""
+    nodes = [
+        GridNode(node_id=f"s/n{i}", speed=speed, load_model=ConstantLoad(0.0), site="s")
+        for i, speed in enumerate([1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+    ]
+    # Slam the two fastest nodes with 90% external load from t=5 onwards.
+    nodes[-1] = nodes[-1].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    nodes[-2] = nodes[-2].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    return GridTopology(nodes=nodes, name="spike")
+
+
+@pytest.fixture
+def simulator(dedicated_grid: GridTopology) -> GridSimulator:
+    """A simulator over the dedicated grid."""
+    return GridSimulator(dedicated_grid)
+
+
+@pytest.fixture
+def square_farm() -> TaskFarm:
+    """A trivial squaring farm with unit task cost."""
+    return TaskFarm(worker=lambda x: x * x)
+
+
+@pytest.fixture
+def arithmetic_pipeline() -> Pipeline:
+    """Three-stage arithmetic pipeline with known reference semantics."""
+    return Pipeline(
+        [
+            Stage(lambda x: x + 1, name="inc"),
+            Stage(lambda x: x * 2, name="dbl"),
+            Stage(lambda x: x - 3, name="dec"),
+        ]
+    )

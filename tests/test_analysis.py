@@ -1,0 +1,185 @@
+"""Tests for the metrics, experiment harness and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    ExperimentTable,
+    compare_farm,
+    compare_pipeline,
+    sweep,
+)
+from repro.analysis.metrics import (
+    adaptation_overhead,
+    efficiency,
+    load_imbalance,
+    makespan,
+    speedup,
+    summarise_run,
+    throughput,
+)
+from repro.analysis.reporting import format_series, format_table, to_markdown
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.exceptions import AnalysisError
+from repro.grid.topology import GridBuilder
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.taskfarm import TaskFarm
+
+
+def make_grid(seed=0):
+    return (GridBuilder().heterogeneous(nodes=6, speed_spread=4.0)
+            .with_dynamic_load("randomwalk").build(seed=seed))
+
+
+@pytest.fixture(scope="module")
+def farm_run():
+    grid = make_grid()
+    farm = TaskFarm(worker=lambda x: x, cost_model=lambda item: 5.0)
+    result = Grasp(farm, grid).run(range(60))
+    return result, grid
+
+
+class TestMetrics:
+    def test_makespan_positive(self, farm_run):
+        result, _ = farm_run
+        assert makespan(result) > 0
+
+    def test_speedup_bounds(self, farm_run):
+        result, grid = farm_run
+        s = speedup(result, grid)
+        assert 0 < s <= len(grid)
+
+    def test_efficiency_bounds(self, farm_run):
+        result, grid = farm_run
+        e = efficiency(result, grid)
+        assert 0 < e <= 1.5  # small slack for estimate noise
+
+    def test_throughput(self, farm_run):
+        result, _ = farm_run
+        assert throughput(result) == pytest.approx(len(result.results) / result.makespan)
+
+    def test_load_imbalance_non_negative(self, farm_run):
+        result, _ = farm_run
+        assert load_imbalance(result) >= 0.0
+
+    def test_adaptation_overhead_fraction(self, farm_run):
+        result, _ = farm_run
+        overhead = adaptation_overhead(result)
+        assert 0.0 <= overhead < 1.0
+
+    def test_summarise_run(self, farm_run):
+        result, grid = farm_run
+        metrics = summarise_run(result, grid, label="adaptive")
+        assert metrics.label == "adaptive"
+        assert metrics.tasks == 60
+        assert metrics.makespan == pytest.approx(result.makespan)
+        assert set(metrics.as_dict()) >= {"makespan", "speedup", "efficiency"}
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row({"a": 1, "b": 2, "ignored": 3})
+        table.add_row({"a": 4})
+        assert len(table) == 2
+        assert table.column("a") == [1, 4]
+        assert table.column("b") == [2, None]
+
+    def test_unknown_column_rejected(self):
+        table = ExperimentTable(title="t", columns=["a"])
+        with pytest.raises(AnalysisError):
+            table.column("zzz")
+
+
+class TestSweep:
+    def test_sweep_collects_rows_in_order(self):
+        table = sweep("n", [1, 2, 3], lambda n: {"square": n * n}, title="squares")
+        assert table.column("n") == [1, 2, 3]
+        assert table.column("square") == [1, 4, 9]
+
+    def test_sweep_empty_axis_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep("n", [], lambda n: {})
+
+
+class TestComparisons:
+    def test_compare_farm_produces_all_strategies(self):
+        comparison = compare_farm(
+            skeleton_factory=lambda: TaskFarm(worker=lambda x: x,
+                                              cost_model=lambda item: 5.0),
+            inputs_factory=lambda: range(40),
+            grid_factory=lambda: make_grid(seed=2),
+            baselines=("static-block", "demand-driven"),
+        )
+        assert isinstance(comparison, ComparisonResult)
+        assert set(comparison.baselines) == {"static-block", "demand-driven"}
+        assert comparison.adaptive.makespan > 0
+        assert comparison.improvement_over("static-block") > 0
+        assert len(comparison.rows()) == 3
+
+    def test_adaptive_beats_static_block_on_dynamic_grid(self):
+        comparison = compare_farm(
+            skeleton_factory=lambda: TaskFarm(worker=lambda x: x,
+                                              cost_model=lambda item: 5.0),
+            inputs_factory=lambda: range(60),
+            grid_factory=lambda: make_grid(seed=7),
+            baselines=("static-block",),
+        )
+        assert comparison.improvement_over("static-block") > 1.0
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_farm(
+                skeleton_factory=lambda: TaskFarm(worker=lambda x: x),
+                inputs_factory=lambda: range(10),
+                grid_factory=lambda: make_grid(),
+                baselines=("quantum",),
+            )
+
+    def test_compare_pipeline(self):
+        def pipeline_factory():
+            return Pipeline([
+                Stage(lambda x: x + 1, cost_model=lambda i: 1.0),
+                Stage(lambda x: x * 2, cost_model=lambda i: 4.0),
+                Stage(lambda x: x - 3, cost_model=lambda i: 1.0),
+            ])
+
+        comparison = compare_pipeline(
+            pipeline_factory=pipeline_factory,
+            inputs_factory=lambda: range(40),
+            grid_factory=lambda: make_grid(seed=3),
+            baselines=("declaration",),
+        )
+        assert "declaration" in comparison.baselines
+        assert comparison.improvement_over("declaration") > 0
+
+
+class TestReporting:
+    def test_format_table_contains_rows(self):
+        table = ExperimentTable(title="demo", columns=["x", "y"])
+        table.add_row({"x": 1, "y": 1.23456})
+        text = format_table(table, precision=2)
+        assert "demo" in text
+        assert "1.23" in text
+
+    def test_format_empty_table(self):
+        table = ExperimentTable(title="empty", columns=["x"])
+        assert "(no rows)" in format_table(table)
+
+    def test_format_series(self):
+        text = format_series([1, 2], [10.0, 20.0], x_label="n", y_label="v", title="s")
+        assert "n" in text and "v" in text and "20.000" in text
+
+    def test_format_series_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            format_series([1], [1, 2])
+
+    def test_to_markdown(self):
+        table = ExperimentTable(title="demo", columns=["x"])
+        table.add_row({"x": None})
+        md = to_markdown(table)
+        assert md.startswith("| x |")
+        assert "| - |" in md

@@ -1,0 +1,163 @@
+"""Tests for the non-adaptive baseline executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.result import BaselineResult
+from repro.baselines.static_farm import DemandDrivenFarm, StaticFarm
+from repro.baselines.static_pipeline import StaticPipeline
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.grid.topology import GridBuilder
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.taskfarm import TaskFarm
+
+
+def square_farm(cost: float = 2.0) -> TaskFarm:
+    return TaskFarm(worker=lambda x: x * x, cost_model=lambda item: cost)
+
+
+class TestStaticFarm:
+    @pytest.mark.parametrize("strategy", ["block", "cyclic", "weighted"])
+    def test_outputs_correct_for_all_strategies(self, hetero_grid, strategy):
+        runner = StaticFarm(square_farm(), hetero_grid, strategy=strategy)
+        result = runner.run(range(40))
+        assert isinstance(result, BaselineResult)
+        assert result.outputs == [x * x for x in range(40)]
+        assert result.total_tasks == 40
+        assert result.makespan > 0
+        assert result.strategy == f"static-{strategy}"
+
+    def test_block_distribution_is_equal_count(self, dedicated_grid):
+        runner = StaticFarm(square_farm(), dedicated_grid, strategy="block")
+        result = runner.run(range(35))
+        counts = result.per_node_counts()
+        assert len(counts) == 7  # 8 nodes minus the master
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_weighted_assigns_more_to_faster_nodes(self, hetero_grid):
+        runner = StaticFarm(square_farm(), hetero_grid, strategy="weighted")
+        result = runner.run(range(70))
+        counts = result.per_node_counts()
+        speeds = hetero_grid.speeds()
+        fastest = max((n for n in counts), key=lambda n: speeds[n])
+        slowest = min((n for n in counts), key=lambda n: speeds[n])
+        assert counts[fastest] > counts[slowest]
+
+    def test_weighted_beats_block_on_heterogeneous_grid(self, hetero_grid):
+        block = StaticFarm(square_farm(5.0), hetero_grid, strategy="block").run(range(60))
+        weighted_grid = GridBuilder().heterogeneous(nodes=8, speed_spread=4.0).build(seed=1)
+        weighted = StaticFarm(square_farm(5.0), weighted_grid, strategy="weighted").run(range(60))
+        assert weighted.makespan < block.makespan
+
+    def test_master_not_used_as_worker(self, hetero_grid):
+        runner = StaticFarm(square_farm(), hetero_grid)
+        result = runner.run(range(20))
+        assert hetero_grid.node_ids[0] not in result.per_node_counts()
+
+    def test_explicit_workers(self, hetero_grid):
+        workers = hetero_grid.node_ids[2:5]
+        runner = StaticFarm(square_farm(), hetero_grid, workers=workers)
+        result = runner.run(range(30))
+        assert set(result.per_node_counts()) <= set(workers)
+
+    def test_invalid_strategy_rejected(self, hetero_grid):
+        with pytest.raises(ConfigurationError):
+            StaticFarm(square_farm(), hetero_grid, strategy="magic")
+
+    def test_unknown_worker_rejected(self, hetero_grid):
+        with pytest.raises(ConfigurationError):
+            StaticFarm(square_farm(), hetero_grid, workers=["ghost"])
+
+    def test_non_farm_skeleton_rejected(self, hetero_grid):
+        pipe = Pipeline([Stage(lambda x: x)])
+        with pytest.raises(ConfigurationError):
+            StaticFarm(pipe, hetero_grid)
+
+    def test_empty_inputs_rejected(self, hetero_grid):
+        with pytest.raises(Exception):
+            StaticFarm(square_farm(), hetero_grid).run([])
+
+
+class TestDemandDrivenFarm:
+    def test_outputs_correct(self, dynamic_grid):
+        runner = DemandDrivenFarm(square_farm(), dynamic_grid)
+        result = runner.run(range(50))
+        assert result.outputs == [x * x for x in range(50)]
+        assert result.strategy == "demand-driven"
+
+    def test_beats_static_block_under_heterogeneity(self):
+        make_grid = lambda: GridBuilder().heterogeneous(nodes=8, speed_spread=8.0).build(seed=3)
+        static = StaticFarm(square_farm(5.0), make_grid(), strategy="block").run(range(80))
+        demand = DemandDrivenFarm(square_farm(5.0), make_grid()).run(range(80))
+        assert demand.makespan < static.makespan
+
+    def test_faster_nodes_complete_more_tasks(self, hetero_grid):
+        runner = DemandDrivenFarm(square_farm(5.0), hetero_grid)
+        result = runner.run(range(100))
+        counts = result.per_node_counts()
+        speeds = hetero_grid.speeds()
+        fastest = max((n for n in counts), key=lambda n: speeds[n])
+        slowest = min((n for n in counts), key=lambda n: speeds[n])
+        assert counts[fastest] > counts[slowest]
+
+    def test_unknown_master_rejected(self, hetero_grid):
+        with pytest.raises(ConfigurationError):
+            DemandDrivenFarm(square_farm(), hetero_grid, master_node="ghost")
+
+
+class TestStaticPipeline:
+    def make_pipeline(self) -> Pipeline:
+        return Pipeline([
+            Stage(lambda x: x + 1, cost_model=lambda i: 1.0),
+            Stage(lambda x: x * 2, cost_model=lambda i: 4.0),
+            Stage(lambda x: x - 3, cost_model=lambda i: 1.0),
+        ])
+
+    def test_outputs_correct(self, hetero_grid):
+        runner = StaticPipeline(self.make_pipeline(), hetero_grid)
+        result = runner.run(range(30))
+        assert result.outputs == [((x + 1) * 2) - 3 for x in range(30)]
+        assert result.total_tasks == 30
+
+    def test_declaration_mapping_uses_worker_order(self, hetero_grid):
+        runner = StaticPipeline(self.make_pipeline(), hetero_grid, mapping="declaration")
+        assignment = runner.stage_assignment(sample_item=1)
+        workers = [n for n in hetero_grid.node_ids if n != hetero_grid.node_ids[0]]
+        assert [assignment[i] for i in range(3)] == workers[:3]
+
+    def test_speed_mapping_puts_heavy_stage_on_fastest_worker(self, hetero_grid):
+        runner = StaticPipeline(self.make_pipeline(), hetero_grid, mapping="speed")
+        assignment = runner.stage_assignment(sample_item=1)
+        speeds = hetero_grid.speeds()
+        workers = runner.workers
+        fastest_worker = max(workers, key=lambda n: speeds[n])
+        assert assignment[1] == fastest_worker  # stage 1 is the heavy stage
+
+    def test_speed_mapping_beats_declaration_on_heterogeneous_grid(self):
+        make_grid = lambda: GridBuilder().heterogeneous(nodes=6, speed_spread=8.0).build(seed=4)
+        naive = StaticPipeline(self.make_pipeline(), make_grid(), mapping="declaration").run(range(60))
+        aware = StaticPipeline(self.make_pipeline(), make_grid(), mapping="speed").run(range(60))
+        assert aware.makespan <= naive.makespan
+
+    def test_nodes_listed_per_stage(self, hetero_grid):
+        runner = StaticPipeline(self.make_pipeline(), hetero_grid)
+        result = runner.run(range(10))
+        assert len(result.nodes) == 3
+
+    def test_too_few_workers_rejected(self):
+        grid = GridBuilder().homogeneous(nodes=3).build(seed=0)
+        with pytest.raises(ConfigurationError):
+            StaticPipeline(self.make_pipeline(), grid)  # 2 workers < 3 stages
+
+    def test_invalid_mapping_rejected(self, hetero_grid):
+        with pytest.raises(ConfigurationError):
+            StaticPipeline(self.make_pipeline(), hetero_grid, mapping="oracle")
+
+    def test_non_pipeline_rejected(self, hetero_grid):
+        with pytest.raises(ConfigurationError):
+            StaticPipeline(square_farm(), hetero_grid)
+
+    def test_empty_inputs_rejected(self, hetero_grid):
+        with pytest.raises(Exception):
+            StaticPipeline(self.make_pipeline(), hetero_grid).run([])

@@ -1,0 +1,131 @@
+"""Tests for collective-operation cost algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.comm.collectives import (
+    binomial_tree_rounds,
+    broadcast_completion_times,
+    gather_completion_time,
+    scatter_completion_times,
+)
+from repro.exceptions import CommunicationError
+
+
+def constant_transfer(duration: float):
+    """A transfer-time function ignoring endpoints and size."""
+    return lambda src, dst, nbytes, t: duration
+
+
+class TestBinomialTreeRounds:
+    def test_power_of_two(self):
+        rounds = binomial_tree_rounds(8)
+        assert len(rounds) == 3
+        assert rounds[0] == [(0, 1)]
+        assert rounds[1] == [(0, 2), (1, 3)]
+        assert rounds[2] == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+    def test_non_power_of_two(self):
+        rounds = binomial_tree_rounds(5)
+        participants = {0}
+        for pairs in rounds:
+            for src, dst in pairs:
+                assert src in participants
+                participants.add(dst)
+        assert participants == set(range(5))
+
+    def test_single_rank(self):
+        assert binomial_tree_rounds(1) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(CommunicationError):
+            binomial_tree_rounds(0)
+
+
+class TestBroadcast:
+    def test_tree_broadcast_log_depth(self):
+        times = broadcast_completion_times(8, 100.0, 0.0, constant_transfer(1.0))
+        assert times[0] == 0.0
+        assert max(times.values()) == pytest.approx(3.0)  # log2(8) rounds
+        assert set(times) == set(range(8))
+
+    def test_linear_broadcast_linear_depth(self):
+        times = broadcast_completion_times(8, 100.0, 0.0, constant_transfer(1.0),
+                                           algorithm="linear")
+        assert max(times.values()) == pytest.approx(7.0)
+
+    def test_tree_faster_than_linear_for_large_groups(self):
+        tree = broadcast_completion_times(16, 1.0, 0.0, constant_transfer(1.0))
+        linear = broadcast_completion_times(16, 1.0, 0.0, constant_transfer(1.0),
+                                            algorithm="linear")
+        assert max(tree.values()) < max(linear.values())
+
+    def test_nonzero_start_time(self):
+        times = broadcast_completion_times(4, 1.0, 10.0, constant_transfer(0.5))
+        assert times[0] == 10.0
+        assert all(t >= 10.0 for t in times.values())
+
+    def test_non_default_root(self):
+        times = broadcast_completion_times(4, 1.0, 0.0, constant_transfer(1.0), root=2)
+        assert times[2] == 0.0
+        assert set(times) == {0, 1, 2, 3}
+
+    def test_single_rank(self):
+        assert broadcast_completion_times(1, 1.0, 5.0, constant_transfer(1.0)) == {0: 5.0}
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(CommunicationError):
+            broadcast_completion_times(2, 1.0, 0.0, constant_transfer(1.0),
+                                       algorithm="quantum")
+
+    def test_invalid_root(self):
+        with pytest.raises(CommunicationError):
+            broadcast_completion_times(2, 1.0, 0.0, constant_transfer(1.0), root=5)
+
+
+class TestScatter:
+    def test_sequential_sends_accumulate(self):
+        times = scatter_completion_times(4, [10.0] * 4, 0.0, constant_transfer(1.0))
+        assert times[0] == 0.0
+        others = sorted(times[r] for r in range(1, 4))
+        assert others == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_root_chunk_immediate(self):
+        times = scatter_completion_times(3, [1.0, 2.0, 3.0], 7.0, constant_transfer(0.1),
+                                         root=1)
+        assert times[1] == 7.0
+
+    def test_wrong_chunk_count_rejected(self):
+        with pytest.raises(CommunicationError):
+            scatter_completion_times(3, [1.0, 2.0], 0.0, constant_transfer(1.0))
+
+
+class TestGather:
+    def test_receives_in_ready_order(self):
+        # Rank 2 is ready first, then rank 1; root (0) receives serially.
+        finish = gather_completion_time(
+            3, [10.0, 10.0, 10.0], [0.0, 5.0, 1.0], constant_transfer(2.0)
+        )
+        # rank2 at max(0,1)+2 = 3; rank1 at max(3,5)+2 = 7
+        assert finish == pytest.approx(7.0)
+
+    def test_single_rank(self):
+        assert gather_completion_time(1, [0.0], [4.0], constant_transfer(1.0)) == 4.0
+
+    def test_receiver_serialisation(self):
+        finish = gather_completion_time(
+            5, [1.0] * 5, [0.0] * 5, constant_transfer(1.0)
+        )
+        assert finish == pytest.approx(4.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CommunicationError):
+            gather_completion_time(3, [1.0, 2.0], [0.0, 0.0, 0.0], constant_transfer(1.0))
+
+    def test_invalid_root(self):
+        with pytest.raises(CommunicationError):
+            gather_completion_time(2, [1.0, 1.0], [0.0, 0.0], constant_transfer(1.0),
+                                   root=9)

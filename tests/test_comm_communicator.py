@@ -1,0 +1,135 @@
+"""Tests for the simulated (cost-accounting) communicator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.communicator import SimulatedCommunicator
+from repro.exceptions import CommunicationError
+from repro.grid.node import GridNode
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+
+
+@pytest.fixture
+def comm() -> SimulatedCommunicator:
+    topo = GridTopology(
+        nodes=[GridNode(node_id=f"n{i}", speed=1.0) for i in range(4)],
+        wan_latency=0.01, wan_bandwidth=1e6,
+    )
+    sim = GridSimulator(topo)
+    return SimulatedCommunicator(sim, topo.node_ids)
+
+
+class TestConstruction:
+    def test_size_and_rank_mapping(self, comm):
+        assert comm.size == 4
+        assert comm.node_of(2) == "n2"
+        assert comm.rank_of("n3") == 3
+
+    def test_unknown_node_rank_rejected(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.rank_of("ghost")
+
+    def test_rank_out_of_range(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.node_of(9)
+
+    def test_duplicate_nodes_rejected(self):
+        topo = GridTopology(nodes=[GridNode(node_id="x")])
+        sim = GridSimulator(topo)
+        with pytest.raises(CommunicationError):
+            SimulatedCommunicator(sim, ["x", "x"])
+
+    def test_node_not_in_topology_rejected(self):
+        topo = GridTopology(nodes=[GridNode(node_id="x")])
+        sim = GridSimulator(topo)
+        with pytest.raises(CommunicationError):
+            SimulatedCommunicator(sim, ["x", "ghost"])
+
+    def test_empty_communicator_rejected(self):
+        topo = GridTopology(nodes=[GridNode(node_id="x")])
+        sim = GridSimulator(topo)
+        with pytest.raises(CommunicationError):
+            SimulatedCommunicator(sim, [])
+
+
+class TestPointToPoint:
+    def test_send_charges_link_time(self, comm):
+        message = comm.send(0, 1, payload=b"x" * 10_000, at_time=0.0)
+        assert message.delivered_at > message.sent_at
+        assert message.delivered_at == pytest.approx(0.01 + (10_000 + 64) / 1e6)
+
+    def test_send_records_message(self, comm):
+        comm.send(0, 1, payload="hello", at_time=0.0)
+        assert len(comm.messages) == 1
+        assert comm.total_bytes() > 0
+
+    def test_explicit_nbytes(self, comm):
+        message = comm.send(0, 1, payload=None, at_time=0.0, nbytes=2_000_000)
+        assert message.nbytes == 2_000_000
+        assert message.delivered_at == pytest.approx(0.01 + 2.0)
+
+    def test_transfer_time_probe_does_not_record(self, comm):
+        duration = comm.transfer_time(0, 1, 1e6, 0.0)
+        assert duration == pytest.approx(0.01 + 1.0)
+        assert len(comm.messages) == 0
+
+    def test_invalid_ranks(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.send(0, 9, payload=None, at_time=0.0)
+
+
+class TestCollectives:
+    def test_broadcast_returns_all_ranks(self, comm):
+        times = comm.broadcast(0, payload=b"x" * 1000, at_time=0.0)
+        assert set(times) == {0, 1, 2, 3}
+        assert times[0] == 0.0
+        assert all(t >= 0.0 for t in times.values())
+
+    def test_broadcast_records_messages(self, comm):
+        comm.broadcast(0, payload="hello", at_time=0.0)
+        assert len(comm.messages) == 3
+
+    def test_scatter(self, comm):
+        payloads = [f"chunk{i}" for i in range(4)]
+        times = comm.scatter(0, payloads, at_time=1.0)
+        assert times[0] == 1.0
+        assert all(times[r] > 1.0 for r in range(1, 4))
+
+    def test_scatter_wrong_count(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.scatter(0, ["only-one"], at_time=0.0)
+
+    def test_gather(self, comm):
+        finish = comm.gather(0, ready_times=[0.0, 1.0, 2.0, 3.0],
+                             payloads=["a", "b", "c", "d"])
+        assert finish >= 3.0
+
+    def test_gather_wrong_lengths(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.gather(0, ready_times=[0.0], payloads=["a", "b", "c", "d"])
+
+    def test_barrier_releases_after_slowest(self, comm):
+        release = comm.barrier([0.0, 5.0, 1.0, 2.0])
+        assert release >= 5.0
+
+    def test_barrier_wrong_length(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.barrier([0.0, 1.0])
+
+
+class TestSubCommunicator:
+    def test_subset_mapping(self, comm):
+        sub = comm.sub_communicator([2, 0])
+        assert sub.size == 2
+        assert sub.node_of(0) == "n2"
+        assert sub.node_of(1) == "n0"
+
+    def test_empty_subset_rejected(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.sub_communicator([])
+
+    def test_invalid_rank_rejected(self, comm):
+        with pytest.raises(CommunicationError):
+            comm.sub_communicator([7])

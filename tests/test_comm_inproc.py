@@ -1,0 +1,138 @@
+"""Tests for the in-process (thread-backed) communicator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.inproc import ThreadCommunicator, run_spmd
+from repro.exceptions import CommunicationError
+
+
+class TestRunSpmd:
+    def test_returns_per_rank_results(self):
+        results = run_spmd(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda comm: comm.size) == [1]
+
+    def test_invalid_size(self):
+        with pytest.raises(CommunicationError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_propagates_with_rank(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(CommunicationError, match="rank 2"):
+            run_spmd(4, fn)
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"value": 42}, dst=1)
+                return None
+            return comm.recv(src=0)
+
+        results = run_spmd(2, fn)
+        assert results[1] == {"value": 42}
+
+    def test_tagged_messages(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("low", dst=1, tag=1)
+                comm.send("high", dst=1, tag=2)
+                return None
+            high = comm.recv(src=0, tag=2)
+            low = comm.recv(src=0, tag=1)
+            return (low, high)
+
+        results = run_spmd(2, fn)
+        assert results[1] == ("low", "high")
+
+    def test_invalid_destination(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dst=99)
+            return None
+
+        with pytest.raises(CommunicationError):
+            run_spmd(2, fn)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"answer": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        results = run_spmd(4, fn)
+        assert all(r == {"answer": 42} for r in results)
+
+    def test_scatter(self):
+        def fn(comm):
+            data = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(4, fn) == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length_raises(self):
+        def fn(comm):
+            data = [1] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        with pytest.raises(CommunicationError):
+            run_spmd(3, fn)
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank + 1, root=0)
+
+        results = run_spmd(3, fn)
+        assert results[0] == [1, 2, 3]
+        assert results[1] is None and results[2] is None
+
+    def test_allgather(self):
+        results = run_spmd(3, lambda comm: comm.allgather(comm.rank))
+        assert all(r == [0, 1, 2] for r in results)
+
+    def test_reduce_sum(self):
+        def fn(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a + b, root=0)
+
+        results = run_spmd(4, fn)
+        assert results[0] == 10
+        assert results[1] is None
+
+    def test_barrier_synchronises(self):
+        order = []
+
+        def fn(comm):
+            order.append(("before", comm.rank))
+            comm.barrier()
+            order.append(("after", comm.rank))
+            return True
+
+        run_spmd(3, fn)
+        befores = [i for i, (phase, _) in enumerate(order) if phase == "before"]
+        afters = [i for i, (phase, _) in enumerate(order) if phase == "after"]
+        assert max(befores) < min(afters)
+
+    def test_pi_estimation_spmd(self):
+        """An end-to-end mpi4py-style mini-application over the thread backend."""
+
+        def fn(comm):
+            n = 4000
+            local = 0.0
+            for i in range(comm.rank, n, comm.size):
+                x = (i + 0.5) / n
+                local += 4.0 / (1.0 + x * x)
+            total = comm.reduce(local / n, op=lambda a, b: a + b, root=0)
+            return total
+
+        results = run_spmd(4, fn)
+        assert results[0] == pytest.approx(3.141592, abs=1e-3)

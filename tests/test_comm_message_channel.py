@@ -1,0 +1,137 @@
+"""Tests for messages, size estimation and channels."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.channel import Channel
+from repro.comm.message import ENVELOPE_BYTES, Message, estimate_size
+from repro.exceptions import CommunicationError
+
+
+class TestEstimateSize:
+    def test_none_is_envelope_only(self):
+        assert estimate_size(None) == ENVELOPE_BYTES
+
+    def test_numpy_array_uses_nbytes(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert estimate_size(arr) == arr.nbytes + ENVELOPE_BYTES
+
+    def test_bytes_and_str(self):
+        assert estimate_size(b"abcd") == 4 + ENVELOPE_BYTES
+        assert estimate_size("abcd") == 4 + ENVELOPE_BYTES
+
+    def test_numeric_list_fast_path(self):
+        assert estimate_size([1, 2, 3, 4]) == 32 + ENVELOPE_BYTES
+
+    def test_scalar(self):
+        assert estimate_size(3.14) > 0
+
+    def test_arbitrary_object_via_pickle(self):
+        size = estimate_size({"a": list(range(100))})
+        assert size > ENVELOPE_BYTES
+
+    def test_unpicklable_object_falls_back(self):
+        lock = threading.Lock()
+        assert estimate_size(lock) >= ENVELOPE_BYTES
+
+    def test_larger_payload_larger_estimate(self):
+        small = estimate_size(np.zeros(10))
+        large = estimate_size(np.zeros(10_000))
+        assert large > small
+
+
+class TestMessage:
+    def test_make_estimates_size(self):
+        message = Message.make(src=0, dst=1, payload="hello")
+        assert message.nbytes == estimate_size("hello")
+
+    def test_make_with_explicit_size(self):
+        message = Message.make(src=0, dst=1, payload="hello", nbytes=5000)
+        assert message.nbytes == 5000
+
+    def test_latency(self):
+        message = Message(src=0, dst=1, payload=None, sent_at=1.0, delivered_at=3.5)
+        assert message.latency == pytest.approx(2.5)
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel()
+        for i in range(3):
+            channel.put(Message.make(0, 1, payload=i))
+        assert [channel.get().payload for _ in range(3)] == [0, 1, 2]
+
+    def test_tag_selective_receive(self):
+        channel = Channel()
+        channel.put(Message.make(0, 1, payload="a", tag=1))
+        channel.put(Message.make(0, 1, payload="b", tag=2))
+        assert channel.get(tag=2).payload == "b"
+        assert channel.get(tag=1).payload == "a"
+
+    def test_get_timeout(self):
+        channel = Channel()
+        with pytest.raises(CommunicationError):
+            channel.get(timeout=0.05)
+
+    def test_len(self):
+        channel = Channel()
+        assert len(channel) == 0
+        channel.put(Message.make(0, 1, payload=None))
+        assert len(channel) == 1
+
+    def test_capacity_blocks_until_timeout(self):
+        channel = Channel(capacity=1)
+        channel.put(Message.make(0, 1, payload=None))
+        with pytest.raises(CommunicationError):
+            channel.put(Message.make(0, 1, payload=None), timeout=0.05)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CommunicationError):
+            Channel(capacity=0)
+
+    def test_closed_channel_rejects_put(self):
+        channel = Channel()
+        channel.close()
+        assert channel.closed
+        with pytest.raises(CommunicationError):
+            channel.put(Message.make(0, 1, payload=None))
+
+    def test_closed_channel_wakes_receiver(self):
+        channel = Channel()
+        errors = []
+
+        def receiver():
+            try:
+                channel.get(timeout=5.0)
+            except CommunicationError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        channel.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert errors
+
+    def test_threaded_producer_consumer(self):
+        channel = Channel()
+        received = []
+
+        def producer():
+            for i in range(50):
+                channel.put(Message.make(0, 1, payload=i))
+
+        def consumer():
+            for _ in range(50):
+                received.append(channel.get(timeout=5.0).payload)
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert received == list(range(50))

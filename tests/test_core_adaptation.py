@@ -1,0 +1,76 @@
+"""Tests for the adaptation decision logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptation import decide, rerank_from_history
+from repro.core.parameters import AdaptationAction, CalibrationConfig, SelectionPolicy
+from repro.exceptions import ExecutionError
+
+
+class TestDecide:
+    def test_no_breach_means_no_action(self):
+        decision = decide(False, AdaptationAction.RECALIBRATE, 0, 10)
+        assert decision.action is AdaptationAction.NONE
+
+    def test_breach_triggers_configured_action(self):
+        decision = decide(True, AdaptationAction.RECALIBRATE, 0, 10)
+        assert decision.action is AdaptationAction.RECALIBRATE
+        decision = decide(True, AdaptationAction.RERANK, 0, 10)
+        assert decision.action is AdaptationAction.RERANK
+
+    def test_disabled_adaptation_never_acts(self):
+        decision = decide(True, AdaptationAction.NONE, 0, 10)
+        assert decision.action is AdaptationAction.NONE
+        assert "disabled" in decision.reason
+
+    def test_budget_exhaustion_blocks_action(self):
+        decision = decide(True, AdaptationAction.RECALIBRATE, 5, 5)
+        assert decision.action is AdaptationAction.NONE
+        assert "budget" in decision.reason
+
+    def test_budget_not_exhausted(self):
+        decision = decide(True, AdaptationAction.RECALIBRATE, 4, 5)
+        assert decision.action is AdaptationAction.RECALIBRATE
+
+
+class TestRerankFromHistory:
+    def test_reranks_by_observed_times(self):
+        chosen = rerank_from_history(
+            unit_times_by_node={"fast": [1.0, 1.1], "slow": [3.0, 3.2]},
+            loads_by_node=None,
+            calibration_config=CalibrationConfig(
+                selection=SelectionPolicy.COUNT, select_count=1
+            ),
+            min_nodes=1,
+            pool=["fast", "slow"],
+        )
+        assert chosen == ["fast"]
+
+    def test_unobserved_pool_nodes_rank_last_but_survive_floor(self):
+        chosen = rerank_from_history(
+            unit_times_by_node={"a": [1.0], "b": [2.0]},
+            loads_by_node=None,
+            calibration_config=CalibrationConfig(
+                selection=SelectionPolicy.COUNT, select_count=3
+            ),
+            min_nodes=3,
+            pool=["a", "b", "unseen"],
+        )
+        assert chosen[:2] == ["a", "b"]
+        assert "unseen" in chosen
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ExecutionError):
+            rerank_from_history({}, None, CalibrationConfig(), 1, ["a"])
+
+    def test_nodes_with_empty_observations_ignored(self):
+        chosen = rerank_from_history(
+            unit_times_by_node={"a": [1.0], "b": []},
+            loads_by_node={"a": [0.1]},
+            calibration_config=CalibrationConfig(),
+            min_nodes=1,
+            pool=["a", "b"],
+        )
+        assert chosen[0] == "a"

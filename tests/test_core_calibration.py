@@ -1,0 +1,226 @@
+"""Tests for the calibration phase (Algorithm 1)."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.core.calibration import calibrate, select_fittest
+from repro.core.parameters import CalibrationConfig, SelectionPolicy
+from repro.core.ranking import NodeScore, RankingMode
+from repro.exceptions import CalibrationError
+from repro.grid.failures import PermanentFailure
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridBuilder
+from repro.monitor.monitor import ResourceMonitor
+from repro.skeletons.taskfarm import TaskFarm
+from repro.utils.tracing import Tracer
+
+
+def make_env(nodes=6, spread=4.0, seed=0, load=None):
+    builder = GridBuilder().heterogeneous(nodes=nodes, speed_spread=spread)
+    if load:
+        builder = builder.with_dynamic_load(load)
+    grid = builder.build(seed=seed)
+    sim = GridSimulator(grid)
+    return grid, sim
+
+
+def make_tasks(farm: TaskFarm, n: int):
+    return collections.deque(farm.make_tasks(range(n)))
+
+
+class TestSelectFittest:
+    def scores(self, values):
+        return [NodeScore(node_id=f"n{i}", score=v, mean_time=v, mean_load=0.0,
+                          mean_bandwidth=0.0, observations=1)
+                for i, v in enumerate(values)]
+
+    def test_count_policy(self):
+        config = CalibrationConfig(selection=SelectionPolicy.COUNT, select_count=2)
+        chosen = select_fittest(self.scores([3.0, 1.0, 2.0]), config, min_nodes=1)
+        assert chosen == ["n1", "n2"]
+
+    def test_fraction_policy(self):
+        config = CalibrationConfig(selection=SelectionPolicy.FRACTION, select_fraction=0.5)
+        chosen = select_fittest(self.scores([1.0, 2.0, 3.0, 4.0]), config, min_nodes=1)
+        assert chosen == ["n0", "n1"]
+
+    def test_cutoff_policy(self):
+        config = CalibrationConfig(selection=SelectionPolicy.CUTOFF, cutoff_ratio=2.0)
+        chosen = select_fittest(self.scores([1.0, 1.5, 2.5, 10.0]), config, min_nodes=1)
+        assert chosen == ["n0", "n1"]
+
+    def test_min_nodes_floor(self):
+        config = CalibrationConfig(selection=SelectionPolicy.CUTOFF, cutoff_ratio=1.01)
+        chosen = select_fittest(self.scores([1.0, 5.0, 9.0]), config, min_nodes=3)
+        assert len(chosen) == 3
+
+    def test_floor_capped_at_pool_size(self):
+        config = CalibrationConfig(selection=SelectionPolicy.COUNT, select_count=10)
+        chosen = select_fittest(self.scores([1.0, 2.0]), config, min_nodes=10)
+        assert len(chosen) == 2
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(CalibrationError):
+            select_fittest([], CalibrationConfig(), min_nodes=1)
+
+
+class TestCalibrate:
+    def test_basic_calibration_selects_and_consumes(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x * x)
+        tasks = make_tasks(farm, 50)
+        report = calibrate(
+            tasks=tasks, pool=grid.node_ids, execute_fn=farm.execute_task,
+            simulator=sim, config=CalibrationConfig(), master_node=grid.node_ids[0],
+            min_nodes=2, at_time=0.0,
+        )
+        # One sample per node was consumed from the queue.
+        assert report.consumed_tasks == len(grid.node_ids)
+        assert len(tasks) == 50 - len(grid.node_ids)
+        assert len(report.results) == report.consumed_tasks
+        assert report.finished > report.started
+        assert report.duration > 0
+
+    def test_sample_results_are_real_outputs(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x * x)
+        tasks = make_tasks(farm, 20)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid.node_ids[0], at_time=0.0)
+        for result in report.results:
+            assert result.output == result.task_id ** 2
+            assert result.during_calibration
+
+    def test_ranking_matches_heterogeneity(self):
+        grid, sim = make_env(nodes=6, spread=8.0)
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 30)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid.node_ids[0], at_time=0.0)
+        # The fittest node must be the nominally fastest one on a dedicated grid.
+        speeds = grid.speeds()
+        fastest = max(speeds, key=speeds.get)
+        assert report.chosen[0] == fastest
+        assert report.scores[0].node_id == fastest
+
+    def test_cutoff_drops_very_slow_nodes(self):
+        grid, sim = make_env(nodes=8, spread=16.0)
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 40)
+        config = CalibrationConfig(selection=SelectionPolicy.CUTOFF, cutoff_ratio=2.0)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           config, grid.node_ids[0], min_nodes=1, at_time=0.0)
+        assert len(report.chosen) < len(grid.node_ids)
+
+    def test_probe_mode_does_not_consume(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 10)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid.node_ids[0], at_time=0.0,
+                           consume=False)
+        assert report.consumed_tasks == 0
+        assert len(tasks) == 10
+        assert report.results == []
+        assert len(report.observations) == len(grid.node_ids)
+
+    def test_small_queue_pads_with_probes(self):
+        grid, sim = make_env(nodes=6)
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 3)  # fewer tasks than nodes
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid.node_ids[0], at_time=0.0)
+        assert report.consumed_tasks == 3
+        assert len(tasks) == 0
+        assert len(report.observations) == 6
+
+    def test_sample_per_node(self):
+        grid, sim = make_env(nodes=4)
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 40)
+        config = CalibrationConfig(sample_per_node=3)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           config, grid.node_ids[0], at_time=0.0)
+        assert len(report.observations) == 12
+        assert report.consumed_tasks == 12
+
+    def test_statistical_calibration_with_monitor(self):
+        grid, sim = make_env(nodes=6, load="randomwalk")
+        monitor = ResourceMonitor(sim, grid.node_ids, master_node=grid.node_ids[0])
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 30)
+        config = CalibrationConfig(ranking=RankingMode.MULTIVARIATE, sample_per_node=2)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           config, grid.node_ids[0], at_time=0.0, monitor=monitor)
+        assert report.mode is RankingMode.MULTIVARIATE
+        assert len(report.chosen) >= 1
+        assert all(obs.load >= 0.0 for obs in report.observations)
+        assert all(obs.bandwidth > 0.0 for obs in report.observations)
+
+    def test_failed_nodes_excluded_from_pool(self):
+        grid, sim = make_env(nodes=4)
+        dead = grid.node_ids[1]
+        grid_failed = grid.with_failure_model(PermanentFailure(failures={dead: 0.0}))
+        sim = GridSimulator(grid_failed)
+        farm = TaskFarm(worker=lambda x: x)
+        tasks = make_tasks(farm, 20)
+        report = calibrate(tasks, grid_failed.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid_failed.node_ids[0], at_time=1.0)
+        assert dead not in report.pool
+        assert dead not in report.chosen
+
+    def test_empty_pool_rejected(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x)
+        with pytest.raises(CalibrationError):
+            calibrate(make_tasks(farm, 5), [], farm.execute_task, sim,
+                      CalibrationConfig(), grid.node_ids[0])
+
+    def test_unknown_master_rejected(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x)
+        with pytest.raises(CalibrationError):
+            calibrate(make_tasks(farm, 5), grid.node_ids, farm.execute_task, sim,
+                      CalibrationConfig(), "ghost")
+
+    def test_empty_queue_rejected(self):
+        grid, sim = make_env()
+        farm = TaskFarm(worker=lambda x: x)
+        with pytest.raises(CalibrationError):
+            calibrate(collections.deque(), grid.node_ids, farm.execute_task, sim,
+                      CalibrationConfig(), grid.node_ids[0])
+
+    def test_unit_times_are_speed_normalised(self):
+        grid, sim = make_env(nodes=4, spread=4.0)
+        farm = TaskFarm(worker=lambda x: x, cost_model=lambda item: 10.0)
+        tasks = make_tasks(farm, 20)
+        report = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                           CalibrationConfig(), grid.node_ids[0], at_time=0.0)
+        by_node = {obs.node_id: obs.unit_time for obs in report.observations}
+        speeds = grid.speeds()
+        fastest = max(speeds, key=speeds.get)
+        slowest = min(speeds, key=speeds.get)
+        assert by_node[fastest] < by_node[slowest]
+        # unit time = 1/speed on a dedicated grid
+        assert by_node[fastest] == pytest.approx(1.0 / speeds[fastest])
+
+    def test_tracer_records_phase(self):
+        grid, sim = make_env()
+        tracer = Tracer()
+        farm = TaskFarm(worker=lambda x: x)
+        calibrate(make_tasks(farm, 10), grid.node_ids, farm.execute_task, sim,
+                  CalibrationConfig(), grid.node_ids[0], at_time=0.0, tracer=tracer)
+        assert tracer.filter("phase.calibration.start")
+        assert tracer.filter("phase.calibration.end")
+
+    def test_score_of_lookup(self):
+        grid, sim = make_env(nodes=3)
+        farm = TaskFarm(worker=lambda x: x)
+        report = calibrate(make_tasks(farm, 10), grid.node_ids, farm.execute_task,
+                           sim, CalibrationConfig(), grid.node_ids[0], at_time=0.0)
+        assert report.score_of(grid.node_ids[0]) > 0
+        with pytest.raises(CalibrationError):
+            report.score_of("ghost")

@@ -1,0 +1,183 @@
+"""Integration tests for the Grasp facade (all four phases end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grasp import Grasp, GraspResult
+from repro.core.parameters import CalibrationConfig, ExecutionConfig, GraspConfig
+from repro.core.phases import Phase
+from repro.core.program import SkeletalProgram
+from repro.core.ranking import RankingMode
+from repro.exceptions import CompilationError, SkeletonError
+from repro.grid.topology import GridBuilder
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+from repro.skeletons.divide_conquer import DivideAndConquer
+from repro.skeletons.map import MapSkeleton
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.reduce import ReduceSkeleton
+from repro.skeletons.taskfarm import TaskFarm
+
+
+class TestFarmEndToEnd:
+    def test_outputs_match_sequential_semantics(self, dynamic_grid):
+        farm = TaskFarm(worker=lambda x: x * x + 1)
+        result = Grasp(skeleton=farm, grid=dynamic_grid).run(range(80))
+        assert result.outputs == [x * x + 1 for x in range(80)]
+
+    def test_result_contents(self, hetero_grid):
+        farm = TaskFarm(worker=lambda x: x)
+        result = Grasp(skeleton=farm, grid=hetero_grid).run(range(40))
+        assert isinstance(result, GraspResult)
+        assert result.total_tasks == 40
+        assert result.makespan > 0
+        assert result.chosen_nodes
+        assert result.recalibrations >= 0
+        assert sum(result.per_node_counts().values()) == 40
+        assert result.trace.filter("phase.calibration.start")
+
+    def test_phase_timeline_is_well_formed(self, hetero_grid):
+        farm = TaskFarm(worker=lambda x: x)
+        result = Grasp(skeleton=farm, grid=hetero_grid).run(range(30))
+        result.phases.validate()
+        durations = result.phase_durations()
+        assert durations["calibration"] > 0
+        assert durations["execution"] > 0
+        sequence = result.phases.sequence()
+        assert sequence[0] is Phase.PROGRAMMING
+        assert sequence[1] is Phase.COMPILATION
+
+    def test_calibration_work_counts_toward_job(self, hetero_grid):
+        farm = TaskFarm(worker=lambda x: -x)
+        result = Grasp(skeleton=farm, grid=hetero_grid).run(range(25))
+        calibration_results = [r for r in result.results if r.during_calibration]
+        assert len(calibration_results) == result.calibration.consumed_tasks
+        assert calibration_results
+        assert result.outputs == [-x for x in range(25)]
+
+    def test_deterministic_given_same_grid_seed(self):
+        def build():
+            grid = (GridBuilder().heterogeneous(nodes=6, speed_spread=4.0)
+                    .with_dynamic_load("randomwalk").build(seed=11))
+            return Grasp(TaskFarm(worker=lambda x: x), grid).run(range(50))
+
+        a, b = build(), build()
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.chosen_nodes == b.chosen_nodes
+        assert a.outputs == b.outputs
+
+    def test_statistical_calibration_modes_run(self, dynamic_grid):
+        for mode in (RankingMode.UNIVARIATE, RankingMode.MULTIVARIATE):
+            grid = (GridBuilder().heterogeneous(nodes=6, speed_spread=4.0)
+                    .with_dynamic_load("randomwalk").build(seed=5))
+            config = GraspConfig(calibration=CalibrationConfig(ranking=mode,
+                                                               sample_per_node=2))
+            result = Grasp(TaskFarm(worker=lambda x: x), grid, config=config).run(range(60))
+            assert result.outputs == list(range(60))
+            assert result.calibration.mode is mode
+
+    def test_single_node_grid_still_works(self):
+        grid = GridBuilder().homogeneous(nodes=1, speed=1.0).build(seed=0)
+        result = Grasp(TaskFarm(worker=lambda x: x + 5), grid).run(range(10))
+        assert result.outputs == [x + 5 for x in range(10)]
+
+    def test_too_small_grid_for_pipeline_rejected(self):
+        grid = GridBuilder().homogeneous(nodes=2).build(seed=0)
+        pipe = Pipeline([Stage(lambda x: x) for _ in range(4)])
+        with pytest.raises(CompilationError):
+            Grasp(pipe, grid).run(range(10))
+
+    def test_explicit_master_node(self, hetero_grid):
+        master = hetero_grid.node_ids[3]
+        config = GraspConfig(master_node=master)
+        result = Grasp(TaskFarm(worker=lambda x: x), hetero_grid, config=config).run(range(20))
+        assert result.compiled.master_node == master
+
+    def test_unknown_master_rejected(self, hetero_grid):
+        config = GraspConfig(master_node="ghost")
+        with pytest.raises(CompilationError):
+            Grasp(TaskFarm(worker=lambda x: x), hetero_grid, config=config).run(range(5))
+
+
+class TestPipelineEndToEnd:
+    def test_outputs_match_sequential(self, dynamic_grid, arithmetic_pipeline):
+        expected = arithmetic_pipeline.run_sequential(range(40))
+        result = Grasp(arithmetic_pipeline, dynamic_grid).run(range(40))
+        assert result.outputs == expected
+
+    def test_pipeline_phase_timeline(self, hetero_grid, arithmetic_pipeline):
+        result = Grasp(arithmetic_pipeline, hetero_grid).run(range(20))
+        result.phases.validate()
+
+    def test_pipeline_needs_items_beyond_calibration(self, hetero_grid):
+        pipe = Pipeline([Stage(lambda x: x), Stage(lambda x: x)])
+        # 8 nodes consume 8 items in calibration; only inputs > 8 can stream.
+        result = Grasp(pipe, hetero_grid).run(range(12))
+        assert result.outputs == list(range(12))
+
+
+class TestExtensionSkeletonsEndToEnd:
+    def test_map_skeleton(self, hetero_grid):
+        sk = MapSkeleton(fn=lambda block: [v * 2 for v in block], blocks=12)
+        result = Grasp(sk, hetero_grid).run(range(120))
+        assert result.outputs == [v * 2 for v in range(120)]
+
+    def test_reduce_skeleton(self, hetero_grid):
+        sk = ReduceSkeleton(op=lambda a, b: a + b, identity=0, blocks=16)
+        result = Grasp(sk, hetero_grid).run(range(200))
+        assert result.outputs == sum(range(200))
+
+    def test_divide_and_conquer(self, hetero_grid):
+        sk = DivideAndConquer(
+            divide=lambda xs: [xs[:len(xs) // 2], xs[len(xs) // 2:]],
+            combine=lambda _p, subs: subs[0] + subs[1],
+            solve=lambda xs: sum(xs),
+            is_trivial=lambda xs: len(xs) <= 8,
+            parallel_depth=3,
+        )
+        problems = [list(range(50)), list(range(10, 90))]
+        result = Grasp(sk, hetero_grid).run(problems)
+        assert result.outputs == [sum(range(50)), sum(range(10, 90))]
+
+    def test_farm_of_pipelines(self, hetero_grid):
+        composed = FarmOfPipelines([Stage(lambda x: x + 1), Stage(lambda x: x * 3)])
+        result = Grasp(composed, hetero_grid).run(range(30))
+        assert result.outputs == [(x + 1) * 3 for x in range(30)]
+
+    def test_pipeline_of_farms(self, hetero_grid):
+        composed = PipelineOfFarms([Stage(lambda x: x + 1), Stage(lambda x: x * 3)])
+        config = GraspConfig(execution=ExecutionConfig(replicate_stages=True))
+        result = Grasp(composed, hetero_grid, config=config).run(range(30))
+        assert result.outputs == [(x + 1) * 3 for x in range(30)]
+
+
+class TestSkeletalProgram:
+    def test_requires_skeleton_instance(self):
+        with pytest.raises(SkeletonError):
+            SkeletalProgram("not a skeleton")
+
+    def test_pipeline_detection(self, arithmetic_pipeline):
+        program = SkeletalProgram(arithmetic_pipeline)
+        assert program.is_pipeline
+        assert program.pipeline is arithmetic_pipeline
+        assert program.min_nodes == 3
+
+    def test_farm_is_not_pipeline(self):
+        program = SkeletalProgram(TaskFarm(worker=lambda x: x))
+        assert not program.is_pipeline
+        with pytest.raises(SkeletonError):
+            _ = program.pipeline
+
+    def test_pipeline_tasks_carry_total_cost(self, arithmetic_pipeline):
+        program = SkeletalProgram(arithmetic_pipeline)
+        tasks = program.make_tasks(range(3))
+        assert all(t.cost == pytest.approx(3.0) for t in tasks)
+
+    def test_assemble_passthrough_for_farm(self):
+        program = SkeletalProgram(TaskFarm(worker=lambda x: x))
+        assert program.assemble([1, 2, 3]) == [1, 2, 3]
+
+    def test_run_sequential_delegates_to_original(self):
+        composed = FarmOfPipelines([Stage(lambda x: x + 1)])
+        program = SkeletalProgram(composed)
+        assert program.run_sequential([1, 2]) == [2, 3]

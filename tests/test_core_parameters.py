@@ -1,0 +1,105 @@
+"""Tests for the GRASP configuration objects."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    AdaptationAction,
+    CalibrationConfig,
+    ExecutionConfig,
+    GraspConfig,
+    SelectionPolicy,
+)
+from repro.core.ranking import RankingMode
+from repro.exceptions import ConfigurationError
+from repro.monitor.thresholds import AbsoluteThreshold, RelativeThreshold
+
+
+class TestCalibrationConfig:
+    def test_defaults_valid(self):
+        config = CalibrationConfig()
+        assert config.sample_per_node == 1
+        assert config.ranking is RankingMode.TIME_ONLY
+        assert config.selection is SelectionPolicy.CUTOFF
+
+    def test_count_selection_requires_count(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationConfig(selection=SelectionPolicy.COUNT)
+        config = CalibrationConfig(selection=SelectionPolicy.COUNT, select_count=3)
+        assert config.select_count == 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sample_per_node": 0},
+        {"select_fraction": 0.0},
+        {"select_fraction": 1.5},
+        {"cutoff_ratio": 0.5},
+        {"min_nodes": 0},
+        {"ranking": "time_only"},
+        {"selection": "cutoff"},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CalibrationConfig(**kwargs)
+
+
+class TestExecutionConfig:
+    def test_defaults_valid(self):
+        config = ExecutionConfig()
+        assert config.adaptation is AdaptationAction.RECALIBRATE
+        assert config.monitor_interval == 0
+
+    def test_make_threshold_default_relative(self):
+        config = ExecutionConfig(threshold_factor=2.0)
+        threshold = config.make_threshold()
+        assert isinstance(threshold, RelativeThreshold)
+        assert math.isinf(threshold.value())
+        threshold.calibrate([1.0])
+        assert threshold.value() == pytest.approx(2.0)
+
+    def test_make_threshold_explicit(self):
+        explicit = AbsoluteThreshold(z=5.0)
+        config = ExecutionConfig(threshold=explicit)
+        assert config.make_threshold() is explicit
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold_factor": 0.0},
+        {"threshold": 1.5},
+        {"monitor_interval": -1},
+        {"adaptation": "recalibrate"},
+        {"max_recalibrations": -1},
+        {"migration_bytes": -1},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(**kwargs)
+
+
+class TestGraspConfig:
+    def test_defaults(self):
+        config = GraspConfig()
+        assert isinstance(config.calibration, CalibrationConfig)
+        assert isinstance(config.execution, ExecutionConfig)
+        assert config.trace
+
+    def test_adaptive_factory(self):
+        config = GraspConfig.adaptive(threshold_factor=1.2,
+                                      ranking=RankingMode.MULTIVARIATE)
+        assert config.execution.threshold_factor == 1.2
+        assert config.calibration.ranking is RankingMode.MULTIVARIATE
+        assert config.execution.adaptation is AdaptationAction.RECALIBRATE
+
+    def test_non_adaptive_factory(self):
+        config = GraspConfig.non_adaptive()
+        assert config.execution.adaptation is AdaptationAction.NONE
+
+    @pytest.mark.parametrize("kwargs", [
+        {"calibration": "bad"},
+        {"execution": None},
+        {"name": ""},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GraspConfig(**kwargs)

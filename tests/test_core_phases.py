@@ -1,0 +1,129 @@
+"""Tests for the GRASP phase model and timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import Phase, PhaseTimeline
+from repro.exceptions import GraspError
+
+
+class TestPhase:
+    def test_static_vs_dynamic(self):
+        assert Phase.PROGRAMMING.is_static
+        assert Phase.COMPILATION.is_static
+        assert Phase.CALIBRATION.is_dynamic
+        assert Phase.EXECUTION.is_dynamic
+
+    def test_values(self):
+        assert Phase.CALIBRATION.value == "calibration"
+
+
+def well_formed_timeline() -> PhaseTimeline:
+    timeline = PhaseTimeline()
+    timeline.enter(Phase.PROGRAMMING, 0.0)
+    timeline.leave(0.0)
+    timeline.enter(Phase.COMPILATION, 0.0)
+    timeline.leave(0.0)
+    timeline.enter(Phase.CALIBRATION, 0.0)
+    timeline.leave(2.0)
+    timeline.enter(Phase.EXECUTION, 2.0)
+    timeline.leave(10.0)
+    return timeline
+
+
+class TestPhaseTimeline:
+    def test_sequence_and_durations(self):
+        timeline = well_formed_timeline()
+        assert timeline.sequence() == [Phase.PROGRAMMING, Phase.COMPILATION,
+                                       Phase.CALIBRATION, Phase.EXECUTION]
+        assert timeline.total_duration(Phase.CALIBRATION) == pytest.approx(2.0)
+        assert timeline.total_duration(Phase.EXECUTION) == pytest.approx(8.0)
+
+    def test_enter_closes_open_phase(self):
+        timeline = PhaseTimeline()
+        timeline.enter(Phase.PROGRAMMING, 0.0)
+        timeline.enter(Phase.COMPILATION, 1.0)
+        assert timeline.records[0].phase is Phase.PROGRAMMING
+        assert timeline.records[0].end == 1.0
+        assert timeline.current is Phase.COMPILATION
+
+    def test_leave_without_open_phase_raises(self):
+        with pytest.raises(GraspError):
+            PhaseTimeline().leave(1.0)
+
+    def test_leave_before_start_raises(self):
+        timeline = PhaseTimeline()
+        timeline.enter(Phase.PROGRAMMING, 5.0)
+        with pytest.raises(GraspError):
+            timeline.leave(1.0)
+
+    def test_visits_and_recalibrations(self):
+        timeline = well_formed_timeline()
+        assert timeline.visits(Phase.CALIBRATION) == 1
+        assert timeline.recalibrations() == 0
+        # add a feedback cycle
+        timeline.enter(Phase.CALIBRATION, 10.0)
+        timeline.leave(11.0)
+        timeline.enter(Phase.EXECUTION, 11.0)
+        timeline.leave(15.0)
+        assert timeline.visits(Phase.CALIBRATION) == 2
+        assert timeline.recalibrations() == 1
+
+    def test_as_dict(self):
+        durations = well_formed_timeline().as_dict()
+        assert set(durations) == {p.value for p in Phase}
+        assert durations["execution"] == pytest.approx(8.0)
+
+    def test_validate_accepts_well_formed(self):
+        well_formed_timeline().validate()
+
+    def test_validate_rejects_incomplete(self):
+        timeline = PhaseTimeline()
+        timeline.enter(Phase.PROGRAMMING, 0.0)
+        timeline.leave(0.0)
+        with pytest.raises(GraspError):
+            timeline.validate()
+
+    def test_validate_rejects_wrong_order(self):
+        timeline = PhaseTimeline()
+        for phase, (start, end) in [
+            (Phase.COMPILATION, (0.0, 0.0)),
+            (Phase.PROGRAMMING, (0.0, 0.0)),
+            (Phase.CALIBRATION, (0.0, 1.0)),
+            (Phase.EXECUTION, (1.0, 2.0)),
+        ]:
+            timeline.enter(phase, start)
+            timeline.leave(end)
+        with pytest.raises(GraspError):
+            timeline.validate()
+
+    def test_validate_rejects_execution_before_calibration(self):
+        timeline = PhaseTimeline()
+        for phase, (start, end) in [
+            (Phase.PROGRAMMING, (0.0, 0.0)),
+            (Phase.COMPILATION, (0.0, 0.0)),
+            (Phase.EXECUTION, (0.0, 1.0)),
+            (Phase.CALIBRATION, (1.0, 2.0)),
+        ]:
+            timeline.enter(phase, start)
+            timeline.leave(end)
+        with pytest.raises(GraspError):
+            timeline.validate()
+
+    def test_validate_rejects_overlap(self):
+        timeline = PhaseTimeline()
+        for phase, (start, end) in [
+            (Phase.PROGRAMMING, (0.0, 0.0)),
+            (Phase.COMPILATION, (0.0, 0.0)),
+            (Phase.CALIBRATION, (0.0, 5.0)),
+            (Phase.EXECUTION, (3.0, 8.0)),
+        ]:
+            timeline.enter(phase, start)
+            timeline.leave(end)
+        with pytest.raises(GraspError):
+            timeline.validate()
+
+    def test_record_duration(self):
+        timeline = well_formed_timeline()
+        assert timeline.records[2].duration == pytest.approx(2.0)

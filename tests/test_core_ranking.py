@@ -1,0 +1,108 @@
+"""Tests for node ranking (the statistical heart of Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import NodeScore, RankingMode, rank_nodes
+from repro.exceptions import CalibrationError
+
+
+class TestTimeOnlyRanking:
+    def test_faster_node_ranks_first(self):
+        ranked = rank_nodes({"slow": [4.0, 4.2], "fast": [1.0, 1.1]})
+        assert [s.node_id for s in ranked] == ["fast", "slow"]
+        assert ranked[0].score < ranked[1].score
+
+    def test_mean_time_recorded(self):
+        ranked = rank_nodes({"n": [2.0, 4.0]})
+        assert ranked[0].mean_time == pytest.approx(3.0)
+        assert ranked[0].observations == 2
+
+    def test_deterministic_tie_break_by_name(self):
+        ranked = rank_nodes({"b": [1.0], "a": [1.0]})
+        assert [s.node_id for s in ranked] == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            rank_nodes({})
+
+    def test_node_without_observations_rejected(self):
+        with pytest.raises(CalibrationError):
+            rank_nodes({"a": []})
+
+
+class TestUnivariateRanking:
+    def test_load_adjustment_promotes_momentarily_loaded_fast_node(self):
+        """A fast node observed under heavy transient load should outrank a
+        genuinely slow idle node once the load forecast says it will be idle."""
+        times = {
+            # fast node: intrinsically 1.0 s/unit but observed at 2.0 under 0.5 load
+            "fast-but-loaded": [2.0, 2.1],
+            # slow node: intrinsically 1.8 s/unit, idle
+            "slow-idle": [1.8, 1.8],
+            # reference nodes establishing the time~load relationship
+            "ref-idle": [1.0, 1.0],
+            "ref-loaded": [2.0, 2.0],
+        }
+        loads = {
+            "fast-but-loaded": [0.5, 0.5],
+            "slow-idle": [0.0, 0.0],
+            "ref-idle": [0.0, 0.0],
+            "ref-loaded": [0.5, 0.5],
+        }
+        forecasts = {"fast-but-loaded": 0.0, "slow-idle": 0.0,
+                     "ref-idle": 0.0, "ref-loaded": 0.5}
+        ranked = rank_nodes(times, loads=loads, forecast_loads=forecasts,
+                            mode=RankingMode.UNIVARIATE)
+        order = [s.node_id for s in ranked]
+        assert order.index("fast-but-loaded") < order.index("slow-idle")
+
+    def test_time_only_would_get_that_case_wrong(self):
+        times = {"fast-but-loaded": [2.0, 2.1], "slow-idle": [1.8, 1.8]}
+        ranked = rank_nodes(times, mode=RankingMode.TIME_ONLY)
+        assert ranked[0].node_id == "slow-idle"
+
+    def test_degenerate_load_variance_falls_back_to_time(self):
+        times = {"a": [1.0], "b": [2.0]}
+        loads = {"a": [0.3], "b": [0.3]}
+        ranked = rank_nodes(times, loads=loads, mode=RankingMode.UNIVARIATE)
+        assert [s.node_id for s in ranked] == ["a", "b"]
+
+    def test_missing_loads_fall_back_gracefully(self):
+        ranked = rank_nodes({"a": [1.0, 1.0], "b": [2.0, 2.0]},
+                            mode=RankingMode.UNIVARIATE)
+        assert [s.node_id for s in ranked] == ["a", "b"]
+
+
+class TestMultivariateRanking:
+    def test_bandwidth_aware_ranking_runs(self):
+        times = {"a": [1.0, 1.2, 0.9], "b": [2.0, 2.1, 1.9], "c": [1.5, 1.4, 1.6]}
+        loads = {"a": [0.1, 0.2, 0.0], "b": [0.5, 0.6, 0.4], "c": [0.3, 0.2, 0.4]}
+        bws = {"a": [1e7] * 3, "b": [1e6] * 3, "c": [5e6] * 3}
+        ranked = rank_nodes(times, loads=loads, bandwidths=bws,
+                            mode=RankingMode.MULTIVARIATE)
+        assert len(ranked) == 3
+        assert all(isinstance(s, NodeScore) for s in ranked)
+        assert all(s.score > 0 for s in ranked)
+
+    def test_statistical_mode_keeps_all_nodes(self):
+        times = {f"n{i}": [1.0 + i] for i in range(5)}
+        loads = {f"n{i}": [0.1 * i] for i in range(5)}
+        ranked = rank_nodes(times, loads=loads, mode=RankingMode.MULTIVARIATE)
+        assert {s.node_id for s in ranked} == {f"n{i}" for i in range(5)}
+
+    def test_mean_bandwidth_surfaced(self):
+        ranked = rank_nodes({"a": [1.0]}, bandwidths={"a": [2e6]})
+        assert ranked[0].mean_bandwidth == pytest.approx(2e6)
+
+
+class TestScoresSorted:
+    @pytest.mark.parametrize("mode", list(RankingMode))
+    def test_scores_are_non_decreasing(self, mode):
+        times = {f"n{i}": [1.0 + 0.5 * i, 1.1 + 0.5 * i] for i in range(6)}
+        loads = {f"n{i}": [0.05 * i, 0.05 * i + 0.02] for i in range(6)}
+        bws = {f"n{i}": [1e7 / (i + 1)] * 2 for i in range(6)}
+        ranked = rank_nodes(times, loads=loads, bandwidths=bws, mode=mode)
+        scores = [s.score for s in ranked]
+        assert scores == sorted(scores)

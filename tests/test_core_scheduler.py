@@ -1,0 +1,103 @@
+"""Tests for the scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import (
+    DemandDrivenScheduler,
+    StaticBlockScheduler,
+    StaticCyclicScheduler,
+    WeightedBlockScheduler,
+)
+from repro.exceptions import SchedulingError
+from repro.skeletons.base import Task
+
+
+def tasks_of(n: int):
+    return [Task(task_id=i, payload=i, cost=1.0) for i in range(n)]
+
+
+class TestDemandDriven:
+    def test_picks_earliest_free_node(self):
+        scheduler = DemandDrivenScheduler()
+        assert scheduler.next_node({"a": 5.0, "b": 1.0, "c": 3.0}) == "b"
+
+    def test_tie_break_by_name(self):
+        scheduler = DemandDrivenScheduler()
+        assert scheduler.next_node({"b": 1.0, "a": 1.0}) == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            DemandDrivenScheduler().next_node({})
+
+    def test_assign_not_supported(self):
+        with pytest.raises(SchedulingError):
+            DemandDrivenScheduler().assign(tasks_of(3), ["a"])
+
+
+class TestStaticBlock:
+    def test_equal_blocks(self):
+        assignment = StaticBlockScheduler().assign(tasks_of(9), ["a", "b", "c"])
+        assert [len(assignment[n]) for n in ("a", "b", "c")] == [3, 3, 3]
+
+    def test_blocks_are_contiguous(self):
+        assignment = StaticBlockScheduler().assign(tasks_of(6), ["a", "b"])
+        assert [t.task_id for t in assignment["a"]] == [0, 1, 2]
+        assert [t.task_id for t in assignment["b"]] == [3, 4, 5]
+
+    def test_uneven_division(self):
+        assignment = StaticBlockScheduler().assign(tasks_of(7), ["a", "b", "c"])
+        assert sum(len(v) for v in assignment.values()) == 7
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticBlockScheduler().assign(tasks_of(3), [])
+
+    def test_next_node_not_supported(self):
+        with pytest.raises(SchedulingError):
+            StaticBlockScheduler().next_node({"a": 0.0})
+
+
+class TestStaticCyclic:
+    def test_round_robin(self):
+        assignment = StaticCyclicScheduler().assign(tasks_of(5), ["a", "b"])
+        assert [t.task_id for t in assignment["a"]] == [0, 2, 4]
+        assert [t.task_id for t in assignment["b"]] == [1, 3]
+
+    def test_all_tasks_assigned_exactly_once(self):
+        assignment = StaticCyclicScheduler().assign(tasks_of(10), ["a", "b", "c"])
+        ids = sorted(t.task_id for ts in assignment.values() for t in ts)
+        assert ids == list(range(10))
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticCyclicScheduler().assign(tasks_of(1), [])
+
+
+class TestWeightedBlock:
+    def test_faster_node_gets_more_tasks(self):
+        scheduler = WeightedBlockScheduler(weights={"fast": 3.0, "slow": 1.0})
+        assignment = scheduler.assign(tasks_of(8), ["fast", "slow"])
+        assert len(assignment["fast"]) == 6
+        assert len(assignment["slow"]) == 2
+
+    def test_all_tasks_assigned(self):
+        scheduler = WeightedBlockScheduler(weights={"a": 2.0, "b": 3.0, "c": 5.0})
+        assignment = scheduler.assign(tasks_of(17), ["a", "b", "c"])
+        ids = sorted(t.task_id for ts in assignment.values() for t in ts)
+        assert ids == list(range(17))
+
+    def test_missing_weight_defaults_to_one(self):
+        scheduler = WeightedBlockScheduler(weights={"a": 1.0})
+        assignment = scheduler.assign(tasks_of(4), ["a", "b"])
+        assert sum(len(v) for v in assignment.values()) == 4
+
+    def test_non_positive_weight_rejected(self):
+        scheduler = WeightedBlockScheduler(weights={"a": 0.0})
+        with pytest.raises(SchedulingError):
+            scheduler.assign(tasks_of(2), ["a"])
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(SchedulingError):
+            WeightedBlockScheduler().assign(tasks_of(2), [])

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event queue and synthetic load traces."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, GridError
+from repro.grid.events import Event, EventQueue
+from repro.grid.load import TraceLoad
+from repro.grid.traces import (
+    LoadTrace,
+    generate_node_traces,
+    generate_trace,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+
+class TestEventQueue:
+    def test_pop_order_by_time(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(3.0, "c")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == ["a", "c", "b"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        q.schedule(2.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 2.0
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        with pytest.raises(GridError):
+            q.schedule(1.0, "y")
+
+    def test_schedule_in_relative(self):
+        q = EventQueue(start_time=10.0)
+        event = q.schedule_in(2.5, "x")
+        assert event.time == pytest.approx(12.5)
+        with pytest.raises(GridError):
+            q.schedule_in(-1.0, "y")
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        assert q.peek().kind == "x"
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(GridError):
+            EventQueue().pop()
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0)
+        assert q and len(q) == 1
+
+    def test_drain(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.schedule(t)
+        times = [e.time for e in q.drain()]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_run_until_with_handler_scheduling_more(self):
+        q = EventQueue()
+        q.schedule(1.0, "seed", payload=3)
+
+        seen = []
+
+        def handler(event: Event):
+            seen.append(event.time)
+            if event.payload and event.payload > 0:
+                q.schedule(event.time + 1.0, "chain", payload=event.payload - 1)
+
+        processed = q.run_until(handler)
+        assert processed == 4
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_stop_time(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t)
+        processed = q.run_until(lambda e: None, stop_time=2.0)
+        assert processed == 2
+        assert len(q) == 1
+
+    def test_run_until_max_events(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t)
+        assert q.run_until(lambda e: None, max_events=1) == 1
+
+
+class TestTraces:
+    def test_generate_trace_shape(self):
+        trace = generate_trace("n0", duration=100.0, step=5.0, seed=1)
+        assert len(trace.times) == 21
+        assert trace.duration == pytest.approx(100.0)
+        assert all(0.0 <= level <= 0.95 for level in trace.levels)
+
+    def test_generate_trace_deterministic(self):
+        a = generate_trace("n0", duration=50.0, seed=3)
+        b = generate_trace("n0", duration=50.0, seed=3)
+        assert a.levels == b.levels
+
+    def test_generate_trace_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace("n0", duration=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_trace("n0", duration=10.0, step=0.0)
+
+    def test_generate_node_traces_are_independent(self):
+        traces = generate_node_traces(["a", "b"], duration=100.0, seed=0)
+        assert traces["a"].levels != traces["b"].levels
+
+    def test_to_load_model(self):
+        trace = LoadTrace(node_id="n", times=(0.0, 10.0), levels=(0.1, 0.7))
+        model = trace.to_load_model()
+        assert isinstance(model, TraceLoad)
+        assert model.utilisation(5.0) == pytest.approx(0.1)
+        assert model.utilisation(15.0) == pytest.approx(0.7)
+
+    def test_mean_level(self):
+        trace = LoadTrace(node_id="n", times=(0.0, 1.0), levels=(0.2, 0.4))
+        assert trace.mean_level() == pytest.approx(0.3)
+
+    def test_invalid_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadTrace(node_id="n", times=(0.0,), levels=())
+        with pytest.raises(ConfigurationError):
+            LoadTrace(node_id="n", times=(), levels=())
+
+    def test_csv_round_trip(self):
+        traces = generate_node_traces(["a", "b"], duration=30.0, seed=2)
+        buffer = io.StringIO()
+        write_trace_csv(list(traces.values()), buffer)
+        buffer.seek(0)
+        loaded = read_trace_csv(buffer)
+        assert set(loaded) == {"a", "b"}
+        assert np.allclose(loaded["a"].levels, traces["a"].levels)
+        assert np.allclose(loaded["a"].times, traces["a"].times)
+
+    def test_csv_file_round_trip(self, tmp_path):
+        trace = generate_trace("solo", duration=20.0, seed=5)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert "solo" in loaded
+        assert np.allclose(loaded["solo"].levels, trace.levels)

@@ -1,0 +1,116 @@
+"""Tests for node failure/churn models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.failures import (
+    NoFailures,
+    PermanentFailure,
+    ScheduledFailures,
+    TransientFailure,
+)
+
+
+class TestNoFailures:
+    def test_always_available(self):
+        model = NoFailures()
+        assert model.available("any", 0.0)
+        assert model.available("any", 1e9)
+
+    def test_next_change_is_infinite(self):
+        assert math.isinf(NoFailures().next_change("n", 0.0))
+
+
+class TestPermanentFailure:
+    def test_available_before_failure(self):
+        model = PermanentFailure(failures={"n0": 10.0})
+        assert model.available("n0", 9.99)
+
+    def test_unavailable_at_and_after_failure(self):
+        model = PermanentFailure(failures={"n0": 10.0})
+        assert not model.available("n0", 10.0)
+        assert not model.available("n0", 1000.0)
+
+    def test_unlisted_nodes_never_fail(self):
+        model = PermanentFailure(failures={"n0": 10.0})
+        assert model.available("n1", 1e6)
+
+    def test_next_change(self):
+        model = PermanentFailure(failures={"n0": 10.0})
+        assert model.next_change("n0", 0.0) == 10.0
+        assert math.isinf(model.next_change("n0", 10.0))
+        assert math.isinf(model.next_change("n1", 0.0))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PermanentFailure(failures={"n0": -1.0})
+
+
+class TestScheduledFailures:
+    def test_down_within_window(self):
+        model = ScheduledFailures(windows={"n0": [(5.0, 10.0)]})
+        assert model.available("n0", 4.9)
+        assert not model.available("n0", 5.0)
+        assert not model.available("n0", 9.99)
+        assert model.available("n0", 10.0)
+
+    def test_multiple_windows(self):
+        model = ScheduledFailures(windows={"n0": [(5.0, 10.0), (20.0, 25.0)]})
+        assert model.available("n0", 15.0)
+        assert not model.available("n0", 22.0)
+
+    def test_next_change_enumerates_boundaries(self):
+        model = ScheduledFailures(windows={"n0": [(5.0, 10.0)]})
+        assert model.next_change("n0", 0.0) == 5.0
+        assert model.next_change("n0", 7.0) == 10.0
+        assert math.isinf(model.next_change("n0", 11.0))
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledFailures(windows={"n0": [(10.0, 5.0)]})
+
+    def test_unlisted_node_always_up(self):
+        model = ScheduledFailures(windows={"n0": [(5.0, 10.0)]})
+        assert model.available("other", 7.0)
+
+
+class TestTransientFailure:
+    def test_initially_up(self):
+        model = TransientFailure(seed=0)
+        assert model.available("n0", 0.0)
+        assert model.available("n0", -1.0)
+
+    def test_deterministic_per_seed_and_node(self):
+        a = TransientFailure(seed=1, p_fail=0.3, p_recover=0.5)
+        b = TransientFailure(seed=1, p_fail=0.3, p_recover=0.5)
+        times = [i * 10.0 for i in range(60)]
+        assert [a.available("n0", t) for t in times] == [b.available("n0", t) for t in times]
+
+    def test_different_nodes_get_different_patterns(self):
+        model = TransientFailure(seed=1, p_fail=0.4, p_recover=0.4)
+        times = [i * 10.0 for i in range(80)]
+        pattern0 = [model.available("n0", t) for t in times]
+        pattern1 = [model.available("n1", t) for t in times]
+        assert pattern0 != pattern1
+
+    def test_failures_do_happen(self):
+        model = TransientFailure(seed=2, p_fail=0.5, p_recover=0.2)
+        times = [i * 10.0 for i in range(200)]
+        assert not all(model.available("n0", t) for t in times)
+
+    def test_next_change_finds_a_flip(self):
+        model = TransientFailure(seed=2, p_fail=0.5, p_recover=0.5)
+        change = model.next_change("n0", 0.0)
+        assert change > 0.0
+        if not math.isinf(change):
+            before = model.available("n0", change - model.epoch / 2)
+            after = model.available("n0", change)
+            assert before != after
+
+    def test_invalid_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientFailure(epoch=0.0)

@@ -1,0 +1,172 @@
+"""Tests for the background-load models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.load import (
+    MAX_UTILISATION,
+    BurstyLoad,
+    CompositeLoad,
+    ConstantLoad,
+    RandomWalkLoad,
+    SinusoidalLoad,
+    StepLoad,
+    TraceLoad,
+)
+
+
+class TestConstantLoad:
+    def test_level_is_returned(self):
+        assert ConstantLoad(level=0.4).utilisation(123.0) == pytest.approx(0.4)
+
+    def test_default_is_dedicated(self):
+        assert ConstantLoad().utilisation(0.0) == 0.0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLoad(level=1.5)
+
+    def test_mean_utilisation(self):
+        assert ConstantLoad(level=0.3).mean_utilisation(0, 100) == pytest.approx(0.3)
+
+
+class TestStepLoad:
+    def test_before_first_step_uses_initial(self):
+        load = StepLoad(steps=[(10.0, 0.8)], initial=0.1)
+        assert load.utilisation(5.0) == pytest.approx(0.1)
+
+    def test_after_step_uses_level(self):
+        load = StepLoad(steps=[(10.0, 0.8)], initial=0.1)
+        assert load.utilisation(10.0) == pytest.approx(0.8)
+        assert load.utilisation(100.0) == pytest.approx(0.8)
+
+    def test_multiple_steps_ordered(self):
+        load = StepLoad(steps=[(20.0, 0.2), (10.0, 0.9)], initial=0.0)
+        assert load.utilisation(15.0) == pytest.approx(0.9)
+        assert load.utilisation(25.0) == pytest.approx(0.2)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepLoad(steps=[(1.0, 2.0)])
+
+
+class TestSinusoidalLoad:
+    def test_oscillates_around_base(self):
+        load = SinusoidalLoad(base=0.5, amplitude=0.2, period=10.0, phase=0.0)
+        values = [load.utilisation(t) for t in np.linspace(0, 10, 100)]
+        assert min(values) >= 0.0
+        assert max(values) <= MAX_UTILISATION
+        assert np.mean(values) == pytest.approx(0.5, abs=0.05)
+
+    def test_periodicity(self):
+        load = SinusoidalLoad(base=0.4, amplitude=0.1, period=7.0)
+        assert load.utilisation(3.0) == pytest.approx(load.utilisation(3.0 + 7.0))
+
+    def test_clipping(self):
+        load = SinusoidalLoad(base=0.9, amplitude=0.5, period=10.0)
+        assert max(load.utilisation(t) for t in np.linspace(0, 10, 50)) <= MAX_UTILISATION
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalLoad(period=0.0)
+
+
+class TestRandomWalkLoad:
+    def test_deterministic_given_seed_and_name(self):
+        a = RandomWalkLoad(seed=5, name="n0")
+        b = RandomWalkLoad(seed=5, name="n0")
+        times = np.linspace(0, 500, 40)
+        assert [a.utilisation(t) for t in times] == [b.utilisation(t) for t in times]
+
+    def test_different_names_differ(self):
+        a = RandomWalkLoad(seed=5, name="n0")
+        b = RandomWalkLoad(seed=5, name="n1")
+        times = np.linspace(0, 500, 40)
+        assert [a.utilisation(t) for t in times] != [b.utilisation(t) for t in times]
+
+    def test_constant_within_epoch(self):
+        load = RandomWalkLoad(seed=1, epoch=10.0)
+        assert load.utilisation(12.0) == load.utilisation(19.9)
+
+    def test_bounds_respected(self):
+        load = RandomWalkLoad(seed=2, volatility=0.4, max_level=0.9)
+        values = [load.utilisation(t) for t in np.linspace(0, 2000, 300)]
+        assert min(values) >= 0.0
+        assert max(values) <= 0.9
+
+    def test_negative_time_returns_start(self):
+        load = RandomWalkLoad(seed=3, start_level=0.25)
+        assert load.utilisation(-5.0) == pytest.approx(0.25)
+
+    def test_query_order_independent(self):
+        a = RandomWalkLoad(seed=9, name="x")
+        late_first = a.utilisation(400.0)
+        b = RandomWalkLoad(seed=9, name="x")
+        for t in np.linspace(0, 400, 50):
+            b.utilisation(t)
+        assert b.utilisation(400.0) == pytest.approx(late_first)
+
+
+class TestBurstyLoad:
+    def test_two_levels_only(self):
+        load = BurstyLoad(seed=4, quiet_level=0.05, busy_level=0.7)
+        values = {round(load.utilisation(t), 6) for t in np.linspace(0, 1000, 400)}
+        assert values <= {0.05, 0.7}
+
+    def test_bursts_happen_eventually(self):
+        load = BurstyLoad(seed=4, p_burst=0.3, p_calm=0.3)
+        values = [load.utilisation(t) for t in np.linspace(0, 2000, 500)]
+        assert any(v == pytest.approx(load.busy_level) for v in values)
+        assert any(v == pytest.approx(load.quiet_level) for v in values)
+
+    def test_deterministic(self):
+        a = BurstyLoad(seed=6, name="n")
+        b = BurstyLoad(seed=6, name="n")
+        times = np.linspace(0, 300, 60)
+        assert [a.utilisation(t) for t in times] == [b.utilisation(t) for t in times]
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BurstyLoad(p_burst=1.5)
+
+
+class TestTraceLoad:
+    def test_zero_order_hold(self):
+        load = TraceLoad(times=[0.0, 10.0, 20.0], levels=[0.1, 0.5, 0.2])
+        assert load.utilisation(0.0) == pytest.approx(0.1)
+        assert load.utilisation(9.9) == pytest.approx(0.1)
+        assert load.utilisation(10.0) == pytest.approx(0.5)
+        assert load.utilisation(25.0) == pytest.approx(0.2)
+
+    def test_before_first_point_clamps(self):
+        load = TraceLoad(times=[5.0, 10.0], levels=[0.3, 0.6])
+        assert load.utilisation(0.0) == pytest.approx(0.3)
+
+    def test_cyclic_replay(self):
+        load = TraceLoad(times=[0.0, 10.0, 20.0], levels=[0.1, 0.5, 0.2], cyclic=True)
+        assert load.utilisation(25.0) == pytest.approx(load.utilisation(5.0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceLoad(times=[0.0], levels=[0.1, 0.2])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceLoad(times=[], levels=[])
+
+
+class TestCompositeLoad:
+    def test_sums_components(self):
+        load = CompositeLoad([ConstantLoad(0.2), ConstantLoad(0.3)])
+        assert load.utilisation(0.0) == pytest.approx(0.5)
+
+    def test_clipped_to_ceiling(self):
+        load = CompositeLoad([ConstantLoad(0.9), ConstantLoad(0.9)])
+        assert load.utilisation(0.0) == pytest.approx(MAX_UTILISATION)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeLoad([])

@@ -1,0 +1,146 @@
+"""Tests for grid nodes, links and sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.link import MIN_BANDWIDTH_FRACTION, NetworkLink
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import MIN_AVAILABLE_FRACTION, GridNode
+from repro.grid.site import Site
+
+
+class TestGridNode:
+    def test_idle_node_full_speed(self):
+        node = GridNode(node_id="n", speed=4.0)
+        assert node.effective_speed(0.0) == pytest.approx(4.0)
+
+    def test_loaded_node_slows_down(self):
+        node = GridNode(node_id="n", speed=4.0, load_model=ConstantLoad(0.5))
+        assert node.effective_speed(0.0) == pytest.approx(2.0)
+
+    def test_speed_floor_under_saturation(self):
+        node = GridNode(node_id="n", speed=4.0, load_model=ConstantLoad(0.98))
+        assert node.effective_speed(0.0) >= 4.0 * MIN_AVAILABLE_FRACTION
+
+    def test_execution_time_scales_with_cost_and_load(self):
+        node = GridNode(node_id="n", speed=2.0)
+        assert node.execution_time(10.0, 0.0) == pytest.approx(5.0)
+        loaded = GridNode(node_id="n2", speed=2.0, load_model=ConstantLoad(0.5))
+        assert loaded.execution_time(10.0, 0.0) == pytest.approx(10.0)
+
+    def test_zero_cost_is_instant(self):
+        node = GridNode(node_id="n", speed=2.0)
+        assert node.execution_time(0.0, 0.0) == 0.0
+
+    def test_negative_cost_rejected(self):
+        node = GridNode(node_id="n", speed=2.0)
+        with pytest.raises(ConfigurationError):
+            node.execution_time(-1.0, 0.0)
+
+    def test_time_varying_load(self):
+        node = GridNode(node_id="n", speed=1.0,
+                        load_model=StepLoad(steps=[(10.0, 0.5)], initial=0.0))
+        assert node.execution_time(1.0, 0.0) == pytest.approx(1.0)
+        assert node.execution_time(1.0, 10.0) == pytest.approx(2.0)
+
+    def test_with_load_returns_copy(self):
+        node = GridNode(node_id="n", speed=2.0)
+        other = node.with_load(ConstantLoad(0.5))
+        assert other is not node
+        assert other.node_id == node.node_id
+        assert node.effective_speed(0.0) == pytest.approx(2.0)
+        assert other.effective_speed(0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"node_id": ""},
+        {"node_id": "n", "speed": 0.0},
+        {"node_id": "n", "speed": -1.0},
+        {"node_id": "n", "cores": 0},
+        {"node_id": "n", "memory_mb": 0},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GridNode(**kwargs)
+
+    def test_hashable_by_id(self):
+        a = GridNode(node_id="n", speed=1.0)
+        b = GridNode(node_id="n", speed=2.0)
+        assert hash(a) == hash(b)
+
+
+class TestNetworkLink:
+    def test_transfer_time_latency_plus_bandwidth(self):
+        link = NetworkLink(src="a", dst="b", latency=0.01, bandwidth=1000.0)
+        assert link.transfer_time(500.0, 0.0) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = NetworkLink(src="a", dst="b", latency=0.02, bandwidth=1000.0)
+        assert link.transfer_time(0.0, 0.0) == pytest.approx(0.02)
+
+    def test_negative_bytes_rejected(self):
+        link = NetworkLink(src="a", dst="b")
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(-1.0, 0.0)
+
+    def test_utilised_link_is_slower(self):
+        quiet = NetworkLink(src="a", dst="b", latency=0.0, bandwidth=1000.0)
+        busy = NetworkLink(src="a", dst="b", latency=0.0, bandwidth=1000.0,
+                           load_model=ConstantLoad(0.5))
+        assert busy.transfer_time(1000.0, 0.0) > quiet.transfer_time(1000.0, 0.0)
+
+    def test_bandwidth_floor(self):
+        link = NetworkLink(src="a", dst="b", bandwidth=1000.0,
+                           load_model=ConstantLoad(0.98))
+        assert link.effective_bandwidth(0.0) >= 1000.0 * MIN_BANDWIDTH_FRACTION
+
+    def test_symmetric_connects_both_ways(self):
+        link = NetworkLink(src="a", dst="b")
+        assert link.connects("a", "b")
+        assert link.connects("b", "a")
+
+    def test_asymmetric_connects_one_way(self):
+        link = NetworkLink(src="a", dst="b", symmetric=False)
+        assert link.connects("a", "b")
+        assert not link.connects("b", "a")
+
+    def test_key_canonical_for_symmetric(self):
+        assert NetworkLink(src="b", dst="a").key() == NetworkLink(src="a", dst="b").key()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"src": "", "dst": "b"},
+        {"src": "a", "dst": "b", "latency": -1.0},
+        {"src": "a", "dst": "b", "bandwidth": 0.0},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NetworkLink(**kwargs)
+
+
+class TestSite:
+    def test_membership(self):
+        site = Site(site_id="s", node_ids=["a", "b"])
+        assert "a" in site
+        assert "c" not in site
+        assert len(site) == 2
+
+    def test_add_node(self):
+        site = Site(site_id="s")
+        site.add_node("a")
+        assert "a" in site
+
+    def test_duplicate_add_rejected(self):
+        site = Site(site_id="s", node_ids=["a"])
+        with pytest.raises(ConfigurationError):
+            site.add_node("a")
+
+    def test_duplicate_initial_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Site(site_id="s", node_ids=["a", "a"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Site(site_id="")
+        with pytest.raises(ConfigurationError):
+            Site(site_id="s", intra_bandwidth=0.0)

@@ -1,0 +1,192 @@
+"""Tests for the virtual-time grid simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid.failures import PermanentFailure
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import GridNode
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridBuilder, GridTopology
+from repro.utils.tracing import Tracer
+
+
+def simple_topology() -> GridTopology:
+    return GridTopology(nodes=[
+        GridNode(node_id="fast", speed=4.0),
+        GridNode(node_id="slow", speed=1.0),
+        GridNode(node_id="busy", speed=4.0, load_model=ConstantLoad(0.5)),
+        GridNode(node_id="dual", speed=2.0, cores=2),
+    ], wan_latency=0.01, wan_bandwidth=1e6)
+
+
+class TestRunTask:
+    def test_duration_reflects_speed(self):
+        sim = GridSimulator(simple_topology())
+        fast = sim.run_task("fast", 8.0)
+        slow = sim.run_task("slow", 8.0)
+        assert fast.duration == pytest.approx(2.0)
+        assert slow.duration == pytest.approx(8.0)
+
+    def test_duration_reflects_external_load(self):
+        sim = GridSimulator(simple_topology())
+        busy = sim.run_task("busy", 8.0)
+        assert busy.duration == pytest.approx(4.0)
+
+    def test_tasks_on_same_node_serialise(self):
+        sim = GridSimulator(simple_topology())
+        first = sim.run_task("slow", 2.0, at_time=0.0)
+        second = sim.run_task("slow", 2.0, at_time=0.0)
+        assert second.started == pytest.approx(first.finished)
+        assert second.elapsed > second.duration
+
+    def test_multicore_node_runs_in_parallel(self):
+        sim = GridSimulator(simple_topology())
+        first = sim.run_task("dual", 2.0, at_time=0.0)
+        second = sim.run_task("dual", 2.0, at_time=0.0)
+        assert first.started == second.started == 0.0
+        assert first.core != second.core
+
+    def test_submission_time_respected(self):
+        sim = GridSimulator(simple_topology())
+        record = sim.run_task("fast", 4.0, at_time=10.0)
+        assert record.started == pytest.approx(10.0)
+        assert record.submitted == pytest.approx(10.0)
+
+    def test_zero_cost_task(self):
+        sim = GridSimulator(simple_topology())
+        record = sim.run_task("fast", 0.0)
+        assert record.duration == 0.0
+
+    def test_negative_cost_rejected(self):
+        sim = GridSimulator(simple_topology())
+        with pytest.raises(GridError):
+            sim.run_task("fast", -1.0)
+
+    def test_unknown_node_rejected(self):
+        sim = GridSimulator(simple_topology())
+        with pytest.raises(GridError):
+            sim.run_task("ghost", 1.0)
+
+    def test_unavailable_node_rejected(self):
+        topo = simple_topology().with_failure_model(
+            PermanentFailure(failures={"fast": 5.0})
+        )
+        sim = GridSimulator(topo)
+        sim.run_task("fast", 1.0, at_time=0.0)
+        with pytest.raises(GridError):
+            sim.run_task("fast", 1.0, at_time=6.0)
+
+    def test_load_sampled_at_start(self):
+        topo = GridTopology(nodes=[
+            GridNode(node_id="n", speed=1.0,
+                     load_model=StepLoad(steps=[(10.0, 0.5)], initial=0.0)),
+        ])
+        sim = GridSimulator(topo)
+        before = sim.run_task("n", 1.0, at_time=0.0)
+        after = sim.run_task("n", 1.0, at_time=20.0)
+        assert before.duration == pytest.approx(1.0)
+        assert after.duration == pytest.approx(2.0)
+
+
+class TestTransfer:
+    def test_transfer_time_uses_link(self):
+        sim = GridSimulator(simple_topology())
+        record = sim.transfer("fast", "slow", 1e6, at_time=0.0)
+        assert record.duration == pytest.approx(0.01 + 1.0)
+
+    def test_loopback_transfer_is_free(self):
+        sim = GridSimulator(simple_topology())
+        record = sim.transfer("fast", "fast", 1e9)
+        assert record.duration < 1e-3
+
+    def test_negative_bytes_rejected(self):
+        sim = GridSimulator(simple_topology())
+        with pytest.raises(GridError):
+            sim.transfer("fast", "slow", -1.0)
+
+
+class TestBookkeeping:
+    def test_node_free_at_tracks_backlog(self):
+        sim = GridSimulator(simple_topology())
+        assert sim.node_free_at("slow") == 0.0
+        record = sim.run_task("slow", 3.0)
+        assert sim.node_free_at("slow") == pytest.approx(record.finished)
+
+    def test_node_free_at_multicore_returns_earliest(self):
+        sim = GridSimulator(simple_topology())
+        sim.run_task("dual", 4.0, at_time=0.0)
+        assert sim.node_free_at("dual") == 0.0
+
+    def test_reset_queues(self):
+        sim = GridSimulator(simple_topology())
+        sim.run_task("slow", 3.0)
+        sim.reset_queues(time=0.0)
+        assert sim.node_free_at("slow") == 0.0
+
+    def test_unknown_node_free_at(self):
+        sim = GridSimulator(simple_topology())
+        with pytest.raises(GridError):
+            sim.node_free_at("ghost")
+
+    def test_history_and_makespan(self):
+        sim = GridSimulator(simple_topology())
+        sim.run_task("fast", 4.0)
+        sim.transfer("fast", "slow", 1000.0, at_time=0.0)
+        assert len(sim.executions) == 1
+        assert len(sim.transfers) == 1
+        assert sim.total_work() == pytest.approx(4.0)
+        assert sim.makespan() > 0.0
+
+    def test_busy_time_per_node(self):
+        sim = GridSimulator(simple_topology())
+        sim.run_task("fast", 4.0)
+        sim.run_task("fast", 4.0)
+        assert sim.busy_time("fast") == pytest.approx(2.0)
+        assert sim.busy_time("slow") == 0.0
+
+    def test_advance_to_never_goes_backwards(self):
+        sim = GridSimulator(simple_topology())
+        sim.advance_to(10.0)
+        sim.advance_to(5.0)
+        assert sim.now == 10.0
+
+    def test_tracer_records_tasks(self):
+        tracer = Tracer()
+        sim = GridSimulator(simple_topology(), tracer=tracer)
+        sim.run_task("fast", 1.0)
+        sim.transfer("fast", "slow", 10.0)
+        assert len(tracer.filter("simulator.task")) == 1
+        assert len(tracer.filter("simulator.transfer")) == 1
+
+
+class TestObservation:
+    def test_observe_load(self):
+        sim = GridSimulator(simple_topology())
+        assert sim.observe_load("busy") == pytest.approx(0.5)
+        assert sim.observe_load("fast") == 0.0
+
+    def test_observe_bandwidth(self):
+        sim = GridSimulator(simple_topology())
+        assert sim.observe_bandwidth("fast", "slow") == pytest.approx(1e6)
+
+    def test_is_available(self):
+        topo = simple_topology().with_failure_model(
+            PermanentFailure(failures={"fast": 5.0})
+        )
+        sim = GridSimulator(topo)
+        assert sim.is_available("fast", 0.0)
+        assert not sim.is_available("fast", 6.0)
+        with pytest.raises(GridError):
+            sim.is_available("ghost", 0.0)
+
+
+class TestEventQueueIntegration:
+    def test_builder_grid_runs_tasks(self):
+        grid = GridBuilder().heterogeneous(nodes=4, speed_spread=4.0).build(seed=0)
+        sim = GridSimulator(grid)
+        records = [sim.run_task(node_id, 10.0) for node_id in grid.node_ids]
+        durations = [r.duration for r in records]
+        assert max(durations) / min(durations) == pytest.approx(4.0, rel=1e-6)

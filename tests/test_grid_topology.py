@@ -1,0 +1,186 @@
+"""Tests for grid topologies and the fluent builder."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ConfigurationError, GridError
+from repro.grid.failures import PermanentFailure
+from repro.grid.link import NetworkLink
+from repro.grid.load import ConstantLoad, RandomWalkLoad
+from repro.grid.node import GridNode
+from repro.grid.site import Site
+from repro.grid.topology import GridBuilder, GridTopology
+
+
+def two_site_topology() -> GridTopology:
+    nodes = [GridNode(node_id=f"a/n{i}", speed=2.0) for i in range(2)]
+    nodes += [GridNode(node_id=f"b/n{i}", speed=1.0) for i in range(2)]
+    sites = [
+        Site(site_id="a", node_ids=["a/n0", "a/n1"], intra_latency=1e-4, intra_bandwidth=1e8),
+        Site(site_id="b", node_ids=["b/n0", "b/n1"], intra_latency=1e-4, intra_bandwidth=1e8),
+    ]
+    links = [NetworkLink(src="a", dst="b", latency=0.01, bandwidth=1e6)]
+    return GridTopology(nodes=nodes, sites=sites, links=links,
+                        wan_latency=0.05, wan_bandwidth=5e5)
+
+
+class TestGridTopology:
+    def test_node_lookup(self):
+        topo = two_site_topology()
+        assert topo.node("a/n0").speed == 2.0
+        assert "a/n0" in topo
+        assert len(topo) == 4
+
+    def test_unknown_node_raises(self):
+        topo = two_site_topology()
+        with pytest.raises(GridError):
+            topo.node("missing")
+
+    def test_site_of(self):
+        topo = two_site_topology()
+        assert topo.site_of("a/n0") == "a"
+        assert topo.site_of("b/n1") == "b"
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridTopology(nodes=[GridNode("x"), GridNode("x")])
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridTopology(nodes=[])
+
+    def test_site_referencing_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridTopology(nodes=[GridNode("x")],
+                         sites=[Site(site_id="s", node_ids=["y"])])
+
+    def test_node_in_two_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridTopology(
+                nodes=[GridNode("x")],
+                sites=[Site(site_id="s1", node_ids=["x"]),
+                       Site(site_id="s2", node_ids=["x"])],
+            )
+
+    def test_intra_site_link_resolution(self):
+        topo = two_site_topology()
+        link = topo.link_between("a/n0", "a/n1")
+        assert link.latency == pytest.approx(1e-4)
+        assert link.bandwidth == pytest.approx(1e8)
+
+    def test_inter_site_link_resolution_uses_declared_site_link(self):
+        topo = two_site_topology()
+        link = topo.link_between("a/n0", "b/n0")
+        assert link.latency == pytest.approx(0.01)
+        assert link.bandwidth == pytest.approx(1e6)
+
+    def test_explicit_node_link_wins(self):
+        nodes = [GridNode("x"), GridNode("y")]
+        links = [NetworkLink(src="x", dst="y", latency=0.5, bandwidth=100.0)]
+        topo = GridTopology(nodes=nodes, links=links)
+        assert topo.link_between("x", "y").latency == pytest.approx(0.5)
+
+    def test_loopback_link_is_free(self):
+        topo = two_site_topology()
+        link = topo.link_between("a/n0", "a/n0")
+        assert link.latency == 0.0
+        assert link.transfer_time(1e6, 0.0) < 1e-6
+
+    def test_wan_defaults_for_unsited_nodes(self):
+        topo = GridTopology(nodes=[GridNode("x"), GridNode("y")],
+                            wan_latency=0.02, wan_bandwidth=1e6)
+        link = topo.link_between("x", "y")
+        assert link.latency == pytest.approx(0.02)
+
+    def test_unknown_link_endpoint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridTopology(nodes=[GridNode("x")],
+                         links=[NetworkLink(src="x", dst="ghost")])
+
+    def test_heterogeneity(self):
+        topo = two_site_topology()
+        assert topo.heterogeneity() == pytest.approx(2.0)
+
+    def test_available_nodes_respects_failures(self):
+        topo = two_site_topology().with_failure_model(
+            PermanentFailure(failures={"a/n0": 5.0})
+        )
+        assert "a/n0" in topo.available_nodes(0.0)
+        assert "a/n0" not in topo.available_nodes(10.0)
+        assert len(topo.available_nodes(10.0)) == 3
+
+    def test_to_networkx(self):
+        topo = two_site_topology()
+        graph = topo.to_networkx()
+        assert isinstance(graph, nx.Graph)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 6  # complete graph over 4 nodes
+
+    def test_describe(self):
+        info = two_site_topology().describe()
+        assert info["nodes"] == 4
+        assert info["sites"] == 2
+        assert info["heterogeneity"] == pytest.approx(2.0)
+
+
+class TestGridBuilder:
+    def test_homogeneous(self):
+        grid = GridBuilder().homogeneous(nodes=4, speed=3.0).build(seed=0)
+        assert len(grid) == 4
+        assert all(node.speed == pytest.approx(3.0) for node in grid.nodes)
+
+    def test_heterogeneous_spread(self):
+        grid = GridBuilder().heterogeneous(nodes=6, speed_spread=8.0).build(seed=0)
+        assert grid.heterogeneity() == pytest.approx(8.0)
+
+    def test_with_speeds(self):
+        grid = GridBuilder().with_speeds([1.0, 2.0, 5.0]).build(seed=0)
+        assert sorted(grid.speeds().values()) == [1.0, 2.0, 5.0]
+
+    def test_multi_site(self):
+        grid = (GridBuilder().site("edi", nodes=3, speed=4.0)
+                .site("bcn", nodes=2, speed=2.0).build(seed=0))
+        assert len(grid) == 5
+        assert len(grid.sites) == 2
+        assert grid.site_of("edi/n0") == "edi"
+
+    def test_dynamic_load_attached_per_node(self):
+        grid = (GridBuilder().homogeneous(nodes=3)
+                .with_dynamic_load("randomwalk").build(seed=1))
+        models = [node.load_model for node in grid.nodes]
+        assert all(isinstance(m, RandomWalkLoad) for m in models)
+        # Per-node streams differ.
+        u = [m.utilisation(50.0) for m in models]
+        assert len(set(u)) > 1
+
+    def test_constant_load_level(self):
+        grid = (GridBuilder().homogeneous(nodes=2)
+                .with_dynamic_load("constant", level=0.4).build(seed=0))
+        assert all(node.utilisation(0.0) == pytest.approx(0.4) for node in grid.nodes)
+
+    def test_unknown_load_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridBuilder().homogeneous(nodes=2).with_dynamic_load("weather")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridBuilder().build(seed=0)
+
+    def test_builder_is_deterministic(self):
+        make = lambda: (GridBuilder().heterogeneous(nodes=5, speed_spread=4.0)
+                        .with_dynamic_load("randomwalk").build(seed=7))
+        a, b = make(), make()
+        assert a.speeds() == b.speeds()
+        assert [n.utilisation(33.0) for n in a.nodes] == [n.utilisation(33.0) for n in b.nodes]
+
+    def test_failures_attached(self):
+        grid = (GridBuilder().homogeneous(nodes=2)
+                .with_failures(PermanentFailure(failures={"site0/n0": 1.0}))
+                .build(seed=0))
+        assert "site0/n0" not in grid.available_nodes(2.0)
+
+    def test_named(self):
+        grid = GridBuilder().homogeneous(nodes=1).named("testbed").build()
+        assert grid.name == "testbed"

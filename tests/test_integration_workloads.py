@@ -1,0 +1,108 @@
+"""End-to-end integration tests: real workloads through the full GRASP stack."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarise_run
+from repro.baselines.static_farm import StaticFarm
+from repro.baselines.static_pipeline import StaticPipeline
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.core.phases import Phase
+from repro.grid.topology import GridBuilder
+from repro.workloads.imaging import ImagingWorkload
+from repro.workloads.matrix import MatrixWorkload
+from repro.workloads.montecarlo import MonteCarloWorkload
+from repro.workloads.parameter_sweep import ParameterSweep
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def dynamic_grid(seed=0, nodes=8, spread=4.0):
+    return (GridBuilder().heterogeneous(nodes=nodes, speed_spread=spread)
+            .with_dynamic_load("randomwalk", mean_level=0.3).build(seed=seed))
+
+
+class TestSyntheticFarmIntegration:
+    def test_outputs_match_reference(self):
+        workload = SyntheticWorkload(tasks=80, mean_cost=8.0, cost_cv=0.4, seed=2)
+        result = Grasp(workload.farm(), dynamic_grid(seed=2)).run(workload.items())
+        assert result.outputs == pytest.approx(workload.expected_outputs())
+
+    def test_adaptive_vs_static_shape(self):
+        """The paper's headline shape: the adaptive farm beats the static farm
+        on a dynamic heterogeneous grid."""
+        workload = SyntheticWorkload(tasks=100, mean_cost=10.0, cost_cv=0.3, seed=4)
+        adaptive = Grasp(workload.farm(), dynamic_grid(seed=4)).run(workload.items())
+        static = StaticFarm(workload.farm(), dynamic_grid(seed=4),
+                            strategy="block").run(workload.items())
+        assert adaptive.makespan < static.makespan
+        assert sorted(map(float, static.outputs)) == pytest.approx(
+            sorted(map(float, adaptive.outputs)))
+
+
+class TestMatrixIntegration:
+    def test_distributed_product_is_correct(self):
+        workload = MatrixWorkload(size=48, blocks=8, seed=1)
+        result = Grasp(workload.farm(), dynamic_grid(seed=1)).run(workload.items())
+        assert workload.verify(result.outputs)
+
+    def test_metrics_computable(self):
+        workload = MatrixWorkload(size=32, blocks=6, seed=3)
+        grid = dynamic_grid(seed=3)
+        result = Grasp(workload.farm(), grid).run(workload.items())
+        metrics = summarise_run(result, grid, label="matrix")
+        assert metrics.speedup > 0
+        assert metrics.tasks == 6
+
+
+class TestMonteCarloIntegration:
+    def test_pi_estimate_matches_sequential(self):
+        workload = MonteCarloWorkload(batches=30, samples_per_batch=2000, seed=5)
+        result = Grasp(workload.farm(), dynamic_grid(seed=5)).run(workload.items())
+        parallel_estimate = workload.combine(result.outputs)
+        assert parallel_estimate == pytest.approx(workload.expected_value())
+        assert parallel_estimate == pytest.approx(math.pi, abs=0.1)
+
+
+class TestParameterSweepIntegration:
+    def test_sweep_outputs_in_point_order(self):
+        sweep = ParameterSweep(axes={"x": [0.1 * i for i in range(12)],
+                                     "resolution": [1, 2, 4]})
+        result = Grasp(sweep.farm(), dynamic_grid(seed=6)).run(sweep.items())
+        assert result.outputs == pytest.approx(sweep.expected_outputs())
+
+
+class TestImagingPipelineIntegration:
+    def test_pipeline_counts_match_sequential(self):
+        workload = ImagingWorkload(images=24, image_side=16, seed=7)
+        grid = dynamic_grid(seed=7, nodes=6)
+        result = Grasp(workload.pipeline(), grid).run(workload.items())
+        assert result.outputs == workload.expected_outputs()
+
+    def test_adaptive_pipeline_not_slower_than_naive_static(self):
+        workload = ImagingWorkload(images=32, image_side=16, seed=8)
+        adaptive = Grasp(workload.pipeline(),
+                         dynamic_grid(seed=8, nodes=6)).run(workload.items())
+        static = StaticPipeline(workload.pipeline(), dynamic_grid(seed=8, nodes=6),
+                                mapping="declaration").run(workload.items())
+        assert adaptive.makespan <= static.makespan * 1.1
+
+
+class TestMethodologyTrace:
+    def test_figure1_phase_trace(self):
+        """E1: the run's phase trace reproduces Figure 1's structure."""
+        workload = SyntheticWorkload(tasks=60, mean_cost=6.0, seed=9)
+        result = Grasp(workload.farm(), dynamic_grid(seed=9)).run(workload.items())
+        result.phases.validate()
+        sequence = result.phases.sequence()
+        assert sequence[:4] == [Phase.PROGRAMMING, Phase.COMPILATION,
+                                Phase.CALIBRATION, Phase.EXECUTION]
+        # The trace records phase transitions for reconstruction.
+        assert result.trace.filter("phase.calibration.start")
+        assert result.trace.filter("phase.execution.start")
+        # Recalibrations (if any) appear as extra calibration intervals.
+        assert result.phases.recalibrations() == result.recalibrations

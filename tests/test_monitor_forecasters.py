@@ -1,0 +1,139 @@
+"""Tests for the load/bandwidth forecasters."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.monitor.forecasters import (
+    AdaptiveForecaster,
+    ExponentialSmoothingForecaster,
+    LastValueForecaster,
+    MeanForecaster,
+    MedianForecaster,
+    SlidingWindowForecaster,
+    make_forecaster,
+)
+from repro.monitor.history import TimeSeries
+
+
+def series_of(values) -> TimeSeries:
+    series = TimeSeries()
+    for i, v in enumerate(values):
+        series.append(float(i), float(v))
+    return series
+
+
+class TestBasicForecasters:
+    def test_last_value(self):
+        assert LastValueForecaster().predict(series_of([1, 2, 7])) == 7.0
+
+    def test_mean(self):
+        assert MeanForecaster().predict(series_of([2, 4, 6])) == pytest.approx(4.0)
+
+    def test_sliding_window(self):
+        f = SlidingWindowForecaster(window=2)
+        assert f.predict(series_of([10, 1, 3])) == pytest.approx(2.0)
+
+    def test_median_robust_to_burst(self):
+        f = MedianForecaster(window=5)
+        assert f.predict(series_of([0.1, 0.1, 0.9, 0.1, 0.1])) == pytest.approx(0.1)
+
+    def test_ewma_weights_recent_values(self):
+        f = ExponentialSmoothingForecaster(alpha=0.9)
+        prediction = f.predict(series_of([0.0, 0.0, 1.0]))
+        assert prediction > 0.8
+
+    def test_ewma_low_alpha_smooths(self):
+        f = ExponentialSmoothingForecaster(alpha=0.1)
+        prediction = f.predict(series_of([0.0, 0.0, 1.0]))
+        assert prediction < 0.2
+
+    @pytest.mark.parametrize("cls", [LastValueForecaster, MeanForecaster])
+    def test_empty_series_gives_nan(self, cls):
+        assert math.isnan(cls().predict(TimeSeries()))
+
+    def test_window_empty_series(self):
+        assert math.isnan(SlidingWindowForecaster().predict(TimeSeries()))
+        assert math.isnan(MedianForecaster().predict(TimeSeries()))
+        assert math.isnan(ExponentialSmoothingForecaster().predict(TimeSeries()))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowForecaster(window=0)
+        with pytest.raises(ConfigurationError):
+            MedianForecaster(window=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialSmoothingForecaster(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialSmoothingForecaster(alpha=1.5)
+
+
+class TestEvaluate:
+    def test_persistence_error_on_constant_series_is_zero(self):
+        assert LastValueForecaster().evaluate([3.0, 3.0, 3.0, 3.0]) == 0.0
+
+    def test_error_positive_on_varying_series(self):
+        assert LastValueForecaster().evaluate([0.0, 1.0, 0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_too_short_series_gives_nan(self):
+        assert math.isnan(MeanForecaster().evaluate([1.0]))
+
+
+class TestAdaptiveForecaster:
+    def test_picks_persistence_for_trending_series(self):
+        # A steadily increasing series: persistence beats the long mean.
+        values = list(np.linspace(0.0, 1.0, 40))
+        adaptive = AdaptiveForecaster()
+        best = adaptive.best(series_of(values))
+        prediction = adaptive.predict(series_of(values))
+        long_mean_error = MeanForecaster().evaluate(values)
+        assert best.evaluate(values) <= long_mean_error
+        assert prediction == pytest.approx(1.0, abs=0.15)
+
+    def test_errors_reports_all_candidates(self):
+        adaptive = AdaptiveForecaster()
+        errors = adaptive.errors(series_of([0.1, 0.2, 0.3, 0.4]))
+        assert len(errors) == len(adaptive.candidates)
+
+    def test_empty_series_falls_back_to_first_candidate(self):
+        adaptive = AdaptiveForecaster()
+        assert adaptive.best(TimeSeries()) is adaptive.candidates[0]
+
+    def test_custom_candidates(self):
+        adaptive = AdaptiveForecaster(candidates=[MeanForecaster()])
+        assert adaptive.predict(series_of([1.0, 3.0])) == pytest.approx(2.0)
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveForecaster(candidates=[])
+
+    def test_adaptive_never_much_worse_than_best_candidate(self):
+        rng = np.random.default_rng(0)
+        values = list(0.3 + 0.1 * rng.standard_normal(60))
+        adaptive = AdaptiveForecaster()
+        series = series_of(values)
+        best_error = min(
+            c.evaluate(values) for c in adaptive.candidates
+            if not math.isnan(c.evaluate(values))
+        )
+        chosen_error = adaptive.best(series).evaluate(values)
+        assert chosen_error <= best_error + 1e-12
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["last", "mean", "window", "median", "ewma", "adaptive"])
+    def test_factory_builds_each_kind(self, kind):
+        assert make_forecaster(kind).kind == kind
+
+    def test_factory_with_kwargs(self):
+        f = make_forecaster("ewma", alpha=0.5)
+        assert isinstance(f, ExponentialSmoothingForecaster)
+        assert f.alpha == 0.5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_forecaster("oracle")

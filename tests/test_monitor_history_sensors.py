@@ -1,0 +1,162 @@
+"""Tests for observation history and resource sensors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import GridNode
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+from repro.monitor.history import TimeSeries
+from repro.monitor.monitor import ResourceMonitor
+from repro.monitor.sensors import BandwidthSensor, CpuLoadSensor
+
+
+@pytest.fixture
+def loaded_sim() -> GridSimulator:
+    topo = GridTopology(nodes=[
+        GridNode(node_id="idle", speed=1.0),
+        GridNode(node_id="halved", speed=1.0, load_model=ConstantLoad(0.5)),
+        GridNode(node_id="stepped", speed=1.0,
+                 load_model=StepLoad(steps=[(10.0, 0.8)], initial=0.1)),
+    ], wan_bandwidth=1e6, wan_latency=0.001)
+    return GridSimulator(topo)
+
+
+class TestTimeSeries:
+    def test_append_and_values(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.values() == [1.0, 2.0]
+        assert series.times() == [0.0, 1.0]
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries()
+        assert series.last is None
+        series.append(3.0, 9.0)
+        assert series.last.value == 9.0
+
+    def test_window(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.append(i, float(i))
+        assert series.values(window=3) == [7.0, 8.0, 9.0]
+        assert series.times(window=2) == [8.0, 9.0]
+
+    def test_invalid_window(self):
+        series = TimeSeries()
+        series.append(0, 0)
+        with pytest.raises(ConfigurationError):
+            series.values(window=0)
+
+    def test_capacity_bounds_history(self):
+        series = TimeSeries(capacity=5)
+        for i in range(20):
+            series.append(i, float(i))
+        assert len(series) == 5
+        assert series.values() == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries(capacity=0)
+
+    def test_since(self):
+        series = TimeSeries()
+        for i in range(5):
+            series.append(i, float(i))
+        assert [o.value for o in series.since(3.0)] == [3.0, 4.0]
+
+    def test_mean_and_std(self):
+        series = TimeSeries()
+        assert math.isnan(series.mean())
+        for v in (1.0, 2.0, 3.0):
+            series.append(0.0, v)
+        assert series.mean() == pytest.approx(2.0)
+        assert series.std() == pytest.approx(0.816496, abs=1e-5)
+
+    def test_bool(self):
+        series = TimeSeries()
+        assert not series
+        series.append(0, 0)
+        assert series
+
+
+class TestSensors:
+    def test_cpu_sensor_reads_simulator(self, loaded_sim):
+        sensor = CpuLoadSensor(loaded_sim, "halved")
+        assert sensor.read(0.0) == pytest.approx(0.5)
+        assert sensor.last_value == pytest.approx(0.5)
+        assert len(sensor.history) == 1
+
+    def test_cpu_sensor_tracks_time_variation(self, loaded_sim):
+        sensor = CpuLoadSensor(loaded_sim, "stepped")
+        assert sensor.read(0.0) == pytest.approx(0.1)
+        assert sensor.read(20.0) == pytest.approx(0.8)
+        assert sensor.history.values() == [pytest.approx(0.1), pytest.approx(0.8)]
+
+    def test_bandwidth_sensor(self, loaded_sim):
+        sensor = BandwidthSensor(loaded_sim, "idle", "halved")
+        assert sensor.read(0.0) == pytest.approx(1e6)
+
+    def test_unknown_node_rejected(self, loaded_sim):
+        with pytest.raises(ConfigurationError):
+            CpuLoadSensor(loaded_sim, "ghost")
+        with pytest.raises(ConfigurationError):
+            BandwidthSensor(loaded_sim, "idle", "ghost")
+
+    def test_last_value_none_before_first_poll(self, loaded_sim):
+        sensor = CpuLoadSensor(loaded_sim, "idle")
+        assert sensor.last_value is None
+
+
+class TestResourceMonitor:
+    def test_poll_all_nodes(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["idle", "halved", "stepped"],
+                                  master_node="idle")
+        snapshots = monitor.poll(0.0)
+        assert set(snapshots) == {"idle", "halved", "stepped"}
+        assert snapshots["halved"].cpu_load == pytest.approx(0.5)
+        assert snapshots["idle"].bandwidth_to_master > 0
+
+    def test_snapshot_single_node(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["idle", "stepped"], master_node="idle")
+        snap = monitor.snapshot("stepped", time=20.0)
+        assert snap.cpu_load == pytest.approx(0.8)
+        assert snap.node_id == "stepped"
+
+    def test_forecast_after_polls(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["halved"], master_node="halved")
+        for t in (0.0, 1.0, 2.0):
+            monitor.poll(t)
+        assert monitor.forecast_load("halved") == pytest.approx(0.5)
+        assert monitor.forecast_all()["halved"] == pytest.approx(0.5)
+
+    def test_forecast_without_observations_is_nan(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["idle"], master_node="idle")
+        assert math.isnan(monitor.forecast_load("idle"))
+
+    def test_histories(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["idle", "halved"], master_node="idle")
+        monitor.poll(0.0)
+        monitor.poll(5.0)
+        assert len(monitor.load_history("halved")) == 2
+        assert len(monitor.bandwidth_history("halved")) == 2
+
+    def test_unknown_node_rejected(self, loaded_sim):
+        monitor = ResourceMonitor(loaded_sim, ["idle"], master_node="idle")
+        with pytest.raises(ConfigurationError):
+            monitor.forecast_load("ghost")
+        with pytest.raises(ConfigurationError):
+            monitor.snapshot("ghost")
+        with pytest.raises(ConfigurationError):
+            monitor.load_history("ghost")
+
+    def test_empty_node_list_rejected(self, loaded_sim):
+        with pytest.raises(ConfigurationError):
+            ResourceMonitor(loaded_sim, [])

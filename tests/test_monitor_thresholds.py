@@ -1,0 +1,112 @@
+"""Tests for the performance threshold Z (Algorithm 2's decision rule)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.monitor.thresholds import (
+    AbsoluteThreshold,
+    AdaptiveThreshold,
+    RelativeThreshold,
+)
+from repro.utils.validation import ConfigurationError as ValidationError
+
+
+class TestAbsoluteThreshold:
+    def test_value(self):
+        assert AbsoluteThreshold(z=2.0).value() == 2.0
+
+    def test_breached_uses_minimum(self):
+        threshold = AbsoluteThreshold(z=2.0)
+        # min is 1.5 <= 2.0: not breached even though some times are large.
+        assert not threshold.breached([1.5, 10.0, 50.0])
+        # min is 2.5 > 2.0: breached.
+        assert threshold.breached([2.5, 3.0])
+
+    def test_empty_round_never_breaches(self):
+        assert not AbsoluteThreshold(z=1.0).breached([])
+
+    def test_boundary_is_not_breach(self):
+        assert not AbsoluteThreshold(z=2.0).breached([2.0])
+
+    def test_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            AbsoluteThreshold(z=0.0)
+
+
+class TestRelativeThreshold:
+    def test_infinite_before_calibration(self):
+        threshold = RelativeThreshold(factor=1.5)
+        assert math.isinf(threshold.value())
+        assert not threshold.breached([1e9])
+
+    def test_calibrate_sets_median_reference(self):
+        threshold = RelativeThreshold(factor=2.0)
+        threshold.calibrate([1.0, 2.0, 3.0])
+        assert threshold.reference == pytest.approx(2.0)
+        assert threshold.value() == pytest.approx(4.0)
+
+    def test_breach_after_calibration(self):
+        threshold = RelativeThreshold(factor=1.5)
+        threshold.calibrate([1.0, 1.0, 1.0])
+        assert not threshold.breached([1.4, 2.0])
+        assert threshold.breached([1.6, 2.0])
+
+    def test_explicit_reference(self):
+        threshold = RelativeThreshold(factor=3.0, reference=2.0)
+        assert threshold.value() == pytest.approx(6.0)
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelativeThreshold().calibrate([])
+
+    def test_zero_times_fall_back_to_small_reference(self):
+        threshold = RelativeThreshold(factor=2.0)
+        threshold.calibrate([0.0, 0.0])
+        assert threshold.value() > 0.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValidationError):
+            RelativeThreshold(factor=0.0)
+
+    def test_observe_is_noop(self):
+        threshold = RelativeThreshold(factor=2.0)
+        threshold.calibrate([1.0])
+        threshold.observe([100.0, 200.0])
+        assert threshold.value() == pytest.approx(2.0)
+
+
+class TestAdaptiveThreshold:
+    def test_reference_drifts_toward_quantile(self):
+        threshold = AdaptiveThreshold(factor=1.5, quantile=0.0, adaptation_rate=0.5)
+        threshold.calibrate([1.0])
+        threshold.observe([3.0, 5.0])  # min quantile target = 3.0
+        assert threshold.reference == pytest.approx(2.0)  # 1 + 0.5*(3-1)
+        threshold.observe([3.0, 5.0])
+        assert threshold.reference == pytest.approx(2.5)
+
+    def test_no_drift_before_calibration(self):
+        threshold = AdaptiveThreshold()
+        threshold.observe([5.0])
+        assert threshold.reference is None
+
+    def test_empty_round_ignored(self):
+        threshold = AdaptiveThreshold()
+        threshold.calibrate([1.0])
+        threshold.observe([])
+        assert threshold.reference == pytest.approx(1.0)
+
+    def test_still_fires_on_relative_degradation(self):
+        threshold = AdaptiveThreshold(factor=1.5, quantile=0.25, adaptation_rate=0.2)
+        threshold.calibrate([1.0, 1.0, 1.0])
+        # All nodes suddenly 3x slower: min time 3 > 1.5.
+        assert threshold.breached([3.0, 3.1, 3.2])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveThreshold(quantile=1.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveThreshold(adaptation_rate=0.0)

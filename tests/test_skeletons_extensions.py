@@ -1,0 +1,198 @@
+"""Tests for the extension skeletons: map, reduce, divide-and-conquer, composition."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.exceptions import SkeletonError
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+from repro.skeletons.divide_conquer import DivideAndConquer
+from repro.skeletons.map import MapSkeleton
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.reduce import ReduceSkeleton
+from repro.skeletons.taskfarm import TaskFarm
+
+
+class TestMapSkeleton:
+    def test_partition_even(self):
+        sk = MapSkeleton(fn=lambda b: b, blocks=2)
+        blocks = sk.partition(list(range(10)))
+        assert len(blocks) == 2
+        assert sum(len(b) for b in blocks) == 10
+
+    def test_partition_more_blocks_than_items(self):
+        sk = MapSkeleton(fn=lambda b: b, blocks=10)
+        blocks = sk.partition([1, 2, 3])
+        assert sum(len(b) for b in blocks) == 3
+        assert all(blocks)
+
+    def test_partition_empty_rejected(self):
+        with pytest.raises(SkeletonError):
+            MapSkeleton(fn=lambda b: b).partition([])
+
+    def test_make_tasks_default_cost_is_block_length(self):
+        sk = MapSkeleton(fn=lambda b: b, blocks=2)
+        tasks = sk.make_tasks(range(10))
+        assert [t.cost for t in tasks] == [5.0, 5.0]
+
+    def test_execute_task_and_sequential_agree(self):
+        sk = MapSkeleton(fn=lambda block: [x * 10 for x in block], blocks=3)
+        tasks = sk.make_tasks(range(7))
+        outputs = [sk.execute_task(t) for t in tasks]
+        assert sk.combine(outputs) == sk.run_sequential(range(7))
+        assert sk.run_sequential(range(7)) == [x * 10 for x in range(7)]
+
+    def test_custom_combine(self):
+        sk = MapSkeleton(fn=lambda block: sum(block), combine=lambda rs: sum(rs), blocks=4)
+        assert sk.run_sequential(range(10)) == 45
+
+    def test_properties(self):
+        props = MapSkeleton(fn=lambda b: b).properties
+        assert props.name == "map"
+        assert props.ordered_output
+
+    def test_invalid_construction(self):
+        with pytest.raises(SkeletonError):
+            MapSkeleton(fn="nope")
+        with pytest.raises(SkeletonError):
+            MapSkeleton(fn=lambda b: b, blocks=-1)
+
+
+class TestReduceSkeleton:
+    def test_run_sequential_matches_builtin(self):
+        sk = ReduceSkeleton(op=operator.add, identity=0, blocks=4)
+        assert sk.run_sequential(range(100)) == sum(range(100))
+
+    def test_parallel_blocks_then_combine(self):
+        sk = ReduceSkeleton(op=operator.add, identity=0, blocks=4)
+        tasks = sk.make_tasks(range(100))
+        partials = [sk.execute_task(t) for t in tasks]
+        assert sk.combine_partials(partials) == sum(range(100))
+
+    def test_non_commutative_associative_op_preserved(self):
+        # String concatenation is associative but not commutative.
+        sk = ReduceSkeleton(op=operator.add, identity="", blocks=3)
+        letters = list("abcdefghij")
+        tasks = sk.make_tasks(letters)
+        partials = [sk.execute_task(t) for t in tasks]
+        assert sk.combine_partials(partials) == "abcdefghij"
+
+    def test_empty_without_identity_rejected(self):
+        sk = ReduceSkeleton(op=operator.add)
+        with pytest.raises(SkeletonError):
+            sk.run_sequential([])
+        with pytest.raises(SkeletonError):
+            sk.make_tasks([])
+
+    def test_empty_with_identity(self):
+        sk = ReduceSkeleton(op=operator.add, identity=0)
+        assert sk.run_sequential([]) == 0
+        assert sk.combine_partials([]) == 0
+
+    def test_cost_per_element(self):
+        sk = ReduceSkeleton(op=operator.add, identity=0, blocks=2, cost_per_element=0.5)
+        tasks = sk.make_tasks(range(8))
+        assert sum(t.cost for t in tasks) == pytest.approx(4.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(SkeletonError):
+            ReduceSkeleton(op="nope")
+        with pytest.raises(SkeletonError):
+            ReduceSkeleton(op=operator.add, cost_per_element=-1)
+
+
+class TestDivideAndConquer:
+    @pytest.fixture
+    def summing_dc(self) -> DivideAndConquer:
+        return DivideAndConquer(
+            divide=lambda xs: [xs[:len(xs) // 2], xs[len(xs) // 2:]],
+            combine=lambda _p, subs: subs[0] + subs[1],
+            solve=lambda xs: sum(xs),
+            is_trivial=lambda xs: len(xs) <= 4,
+            parallel_depth=2,
+        )
+
+    def test_run_sequential(self, summing_dc):
+        assert summing_dc.run_sequential([list(range(20))]) == [sum(range(20))]
+
+    def test_unroll_and_recombine(self, summing_dc):
+        leaves, plan = summing_dc.unroll(list(range(32)))
+        assert len(leaves) == 4  # depth 2 halving
+        solutions = [sum(leaf) for leaf in leaves]
+        assert summing_dc.recombine(plan, solutions) == sum(range(32))
+
+    def test_unroll_respects_triviality(self, summing_dc):
+        leaves, plan = summing_dc.unroll([1, 2, 3])
+        assert leaves == [[1, 2, 3]]
+        assert plan == 0
+
+    def test_task_roundtrip_matches_sequential(self, summing_dc):
+        problems = [list(range(16)), list(range(5)), list(range(100))]
+        tasks = summing_dc.make_tasks(problems)
+        solutions = [summing_dc.execute_task(t) for t in tasks]
+        assert summing_dc.recombine_all(solutions) == [sum(p) for p in problems]
+
+    def test_recombine_all_requires_make_tasks(self, summing_dc):
+        with pytest.raises(SkeletonError):
+            summing_dc.recombine_all([1, 2])
+
+    def test_empty_problem_list_rejected(self, summing_dc):
+        with pytest.raises(SkeletonError):
+            summing_dc.make_tasks([])
+
+    def test_divide_returning_nothing_rejected(self):
+        bad = DivideAndConquer(
+            divide=lambda xs: [],
+            combine=lambda _p, subs: subs,
+            solve=lambda xs: xs,
+            is_trivial=lambda xs: False,
+            parallel_depth=1,
+        )
+        with pytest.raises(SkeletonError):
+            bad.unroll([1, 2, 3])
+
+    def test_invalid_construction(self):
+        with pytest.raises(SkeletonError):
+            DivideAndConquer(divide="x", combine=lambda p, s: s,
+                             solve=lambda p: p, is_trivial=lambda p: True)
+        with pytest.raises(SkeletonError):
+            DivideAndConquer(divide=lambda p: [p], combine=lambda p, s: s,
+                             solve=lambda p: p, is_trivial=lambda p: True,
+                             parallel_depth=-1)
+
+
+class TestComposition:
+    def test_pipeline_of_farms_lowers_to_replicable_pipeline(self):
+        composed = PipelineOfFarms([Stage(lambda x: x + 1), Stage(lambda x: x * 2)])
+        lowered = composed.lower()
+        assert isinstance(lowered, Pipeline)
+        assert all(stage.replicable for stage in lowered.stages)
+        assert composed.run_sequential([1, 2]) == [(1 + 1) * 2, (2 + 1) * 2]
+
+    def test_pipeline_of_farms_properties(self):
+        composed = PipelineOfFarms([Stage(lambda x: x)])
+        assert composed.properties.redistributable
+        assert composed.properties.name == "pipeline_of_farms"
+
+    def test_farm_of_pipelines_lowers_to_farm(self):
+        composed = FarmOfPipelines([Stage(lambda x: x + 1), Stage(lambda x: x * 3)])
+        lowered = composed.lower()
+        assert isinstance(lowered, TaskFarm)
+        assert lowered.worker(2) == (2 + 1) * 3
+        assert composed.run_sequential([0, 1]) == [3, 6]
+
+    def test_farm_of_pipelines_cost_is_sum_of_stage_costs(self):
+        composed = FarmOfPipelines([
+            Stage(lambda x: x, cost_model=lambda i: 2.0),
+            Stage(lambda x: x, cost_model=lambda i: 3.0),
+        ])
+        tasks = composed.make_tasks([1])
+        assert tasks[0].cost == pytest.approx(5.0)
+
+    def test_empty_compositions_rejected(self):
+        with pytest.raises(SkeletonError):
+            PipelineOfFarms([])
+        with pytest.raises(SkeletonError):
+            FarmOfPipelines([])

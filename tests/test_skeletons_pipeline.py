@@ -1,0 +1,107 @@
+"""Tests for the pipeline skeleton."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SkeletonError
+from repro.skeletons.pipeline import Pipeline, Stage
+
+
+class TestStage:
+    def test_default_cost_is_one(self):
+        stage = Stage(fn=lambda x: x)
+        assert stage.cost("anything") == 1.0
+
+    def test_custom_cost_model(self):
+        stage = Stage(fn=lambda x: x, cost_model=lambda item: len(item))
+        assert stage.cost([1, 2, 3]) == 3.0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SkeletonError):
+            Stage(fn="nope")
+
+
+class TestPipelineConstruction:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(SkeletonError):
+            Pipeline([])
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(SkeletonError):
+            Pipeline([lambda x: x])
+
+    def test_stage_names_default(self):
+        pipe = Pipeline([Stage(lambda x: x), Stage(lambda x: x)])
+        assert [s.name for s in pipe.stages] == ["stage0", "stage1"]
+
+    def test_explicit_stage_names_kept(self):
+        pipe = Pipeline([Stage(lambda x: x, name="load"), Stage(lambda x: x)])
+        assert pipe.stages[0].name == "load"
+
+    def test_num_stages(self):
+        assert Pipeline([Stage(lambda x: x)] ).num_stages == 1
+
+
+class TestPipelineProperties:
+    def test_min_nodes_equals_stage_count(self):
+        pipe = Pipeline([Stage(lambda x: x) for _ in range(3)])
+        assert pipe.properties.min_nodes == 3
+
+    def test_redistributable_only_with_replicable_stage(self):
+        fixed = Pipeline([Stage(lambda x: x)])
+        flexible = Pipeline([Stage(lambda x: x, replicable=True)])
+        assert not fixed.properties.redistributable
+        assert flexible.properties.redistributable
+
+    def test_monitoring_unit(self):
+        assert Pipeline([Stage(lambda x: x)]).properties.monitoring_unit == "stage_round"
+
+
+class TestPipelineSemantics:
+    def test_run_sequential(self, arithmetic_pipeline):
+        expected = [((x + 1) * 2) - 3 for x in range(5)]
+        assert arithmetic_pipeline.run_sequential(range(5)) == expected
+
+    def test_run_item(self, arithmetic_pipeline):
+        assert arithmetic_pipeline.run_item(10) == ((10 + 1) * 2) - 3
+
+    def test_apply_stage(self, arithmetic_pipeline):
+        assert arithmetic_pipeline.apply_stage(0, 1) == 2
+        assert arithmetic_pipeline.apply_stage(1, 2) == 4
+        with pytest.raises(SkeletonError):
+            arithmetic_pipeline.apply_stage(9, 1)
+
+    def test_stage_cost_lookup(self):
+        pipe = Pipeline([
+            Stage(lambda x: x, cost_model=lambda i: 1.0),
+            Stage(lambda x: x, cost_model=lambda i: 5.0),
+        ])
+        assert pipe.stage_cost(0, "x") == 1.0
+        assert pipe.stage_cost(1, "x") == 5.0
+        with pytest.raises(SkeletonError):
+            pipe.stage_cost(2, "x")
+
+    def test_total_cost_accumulates_through_stages(self):
+        pipe = Pipeline([
+            Stage(lambda x: x * 2, cost_model=lambda item: float(item)),
+            Stage(lambda x: x, cost_model=lambda item: float(item)),
+        ])
+        # Item 3: stage0 cost 3, output 6; stage1 cost 6 → total 9.
+        assert pipe.total_cost(3) == pytest.approx(9.0)
+
+    def test_make_tasks_first_stage_cost(self):
+        pipe = Pipeline([
+            Stage(lambda x: x, cost_model=lambda item: 2.5),
+            Stage(lambda x: x, cost_model=lambda item: 100.0),
+        ])
+        tasks = pipe.make_tasks([1, 2])
+        assert all(t.cost == 2.5 for t in tasks)
+        assert [t.stage for t in tasks] == [0, 0]
+
+    def test_make_tasks_empty_rejected(self, arithmetic_pipeline):
+        with pytest.raises(SkeletonError):
+            arithmetic_pipeline.make_tasks([])
+
+    def test_ordered_by_default(self, arithmetic_pipeline):
+        assert arithmetic_pipeline.properties.ordered_output

@@ -1,0 +1,117 @@
+"""Tests for tracing and validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.tracing import TraceEvent, Tracer
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_not_empty,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestTracer:
+    def test_records_events_with_clock(self):
+        clock = {"t": 0.0}
+        tracer = Tracer(clock=lambda: clock["t"])
+        tracer.record("phase.start", "begin", detail=1)
+        clock["t"] = 2.5
+        tracer.record("phase.end", "done")
+        assert len(tracer) == 2
+        assert tracer.events[0].time == 0.0
+        assert tracer.events[1].time == 2.5
+        assert tracer.events[0].data == {"detail": 1}
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("x", "y")
+        assert len(tracer) == 0
+
+    def test_filter_matches_prefix_and_exact(self):
+        tracer = Tracer()
+        tracer.record("phase.calibration.start")
+        tracer.record("phase.calibration.end")
+        tracer.record("phase.execution")
+        tracer.record("phasex.other")
+        assert len(tracer.filter("phase.calibration")) == 2
+        assert len(tracer.filter("phase")) == 3
+        assert len(tracer.filter("phase.execution")) == 1
+
+    def test_categories_in_first_appearance_order(self):
+        tracer = Tracer()
+        tracer.record("b")
+        tracer.record("a")
+        tracer.record("b")
+        assert tracer.categories() == ["b", "a"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_bind_clock(self):
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 42.0)
+        tracer.record("x")
+        assert tracer.events[0].time == 42.0
+
+    def test_iteration(self):
+        tracer = Tracer()
+        tracer.record("x")
+        tracer.record("y")
+        assert [e.category for e in tracer] == ["x", "y"]
+
+
+class TestTraceEvent:
+    def test_matches_nested(self):
+        event = TraceEvent(time=0.0, category="a.b.c", message="")
+        assert event.matches("a.b")
+        assert event.matches("a.b.c")
+        assert not event.matches("a.bc")
+
+
+class TestValidation:
+    def test_check_positive_accepts_and_returns(self):
+        assert check_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(value, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-1e-9, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+    def test_check_in_range_inclusive_and_exclusive(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+    def test_check_not_empty(self):
+        assert check_not_empty([1], "xs") == [1]
+        with pytest.raises(ConfigurationError):
+            check_not_empty([], "xs")
+
+    def test_check_type_single_and_tuple(self):
+        assert check_type(3, "x", int) == 3
+        assert check_type("s", "x", (int, str)) == "s"
+        with pytest.raises(ConfigurationError, match="int"):
+            check_type("s", "x", int)

@@ -1,0 +1,82 @@
+"""Tests for deterministic RNG stream management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngStream, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_distinct_names_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_base_seeds_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_result_is_non_negative_63_bit(self):
+        for name in ["x", "y", "load/node0", ""]:
+            seed = derive_seed(123, name)
+            assert 0 <= seed < 2 ** 63
+
+
+class TestMakeRng:
+    def test_same_name_same_sequence(self):
+        a = make_rng(7, "stream").random(5)
+        b = make_rng(7, "stream").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_different_sequences(self):
+        a = make_rng(7, "stream-a").random(5)
+        b = make_rng(7, "stream-b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)
+
+
+class TestRngStream:
+    def test_get_is_cached(self):
+        streams = RngStream(seed=3)
+        assert streams.get("x") is streams.get("x")
+
+    def test_different_names_are_independent_objects(self):
+        streams = RngStream(seed=3)
+        assert streams.get("x") is not streams.get("y")
+
+    def test_contains_and_len(self):
+        streams = RngStream(seed=3)
+        assert "x" not in streams
+        streams.get("x")
+        assert "x" in streams
+        assert len(streams) == 1
+
+    def test_reset_single(self):
+        streams = RngStream(seed=3)
+        first = streams.get("x").random()
+        streams.reset("x")
+        again = streams.get("x").random()
+        assert first == pytest.approx(again)
+
+    def test_reset_all(self):
+        streams = RngStream(seed=3)
+        streams.get("x")
+        streams.get("y")
+        streams.reset()
+        assert len(streams) == 0
+
+    def test_spawn_is_independent(self):
+        parent = RngStream(seed=3)
+        child = parent.spawn("child")
+        a = parent.get("x").random(4)
+        b = child.get("x").random(4)
+        assert not np.allclose(a, b)
+
+    def test_spawn_deterministic(self):
+        a = RngStream(seed=3).spawn("c").get("x").random(4)
+        b = RngStream(seed=3).spawn("c").get("x").random(4)
+        assert np.allclose(a, b)

@@ -1,0 +1,154 @@
+"""Tests for the statistics primitives used by calibration and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    coefficient_of_variation,
+    multivariate_linear_regression,
+    normalise,
+    summarise,
+    univariate_linear_regression,
+    weighted_mean,
+)
+
+
+class TestSummarise:
+    def test_basic_summary(self):
+        s = summarise([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+        assert s.spread == pytest.approx(3.0)
+
+    def test_single_element(self):
+        s = summarise([7.0])
+        assert s.std == 0.0
+        assert s.spread == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestWeightedMean:
+    def test_uniform_weights_equal_mean(self):
+        assert weighted_mean([1, 2, 3], [1, 1, 1]) == pytest.approx(2.0)
+
+    def test_weights_shift_mean(self):
+        assert weighted_mean([0.0, 10.0], [3.0, 1.0]) == pytest.approx(2.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1, 2], [1])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1, 2], [0, 0])
+
+
+class TestCoefficientOfVariation:
+    def test_constant_sample_is_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_single_element_is_zero(self):
+        assert coefficient_of_variation([3]) == 0.0
+
+    def test_known_value(self):
+        values = [1.0, 3.0]
+        expected = np.std(values) / np.mean(values)
+        assert coefficient_of_variation(values) == pytest.approx(expected)
+
+
+class TestNormalise:
+    def test_range_maps_to_unit_interval(self):
+        out = normalise([2.0, 4.0, 6.0])
+        assert out[0] == 0.0
+        assert out[-1] == 1.0
+
+    def test_constant_input_maps_to_zeros(self):
+        out = normalise([3.0, 3.0])
+        assert np.all(out == 0.0)
+
+    def test_empty_input(self):
+        assert normalise([]).size == 0
+
+
+class TestUnivariateRegression:
+    def test_recovers_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 2.0 * x + 1.0
+        fit = univariate_linear_regression(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = univariate_linear_regression([0, 1, 2], [1, 3, 5])
+        assert fit.predict(10.0) == pytest.approx(21.0)
+
+    def test_constant_predictor_falls_back_to_mean(self):
+        fit = univariate_linear_regression([2, 2, 2], [1, 2, 3])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(2.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            univariate_linear_regression([1, 2], [1])
+
+    def test_single_point_raises(self):
+        with pytest.raises(ValueError):
+            univariate_linear_regression([1], [1])
+
+    def test_noisy_fit_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 50)
+        y = 3 * x + rng.normal(0, 0.5, size=50)
+        fit = univariate_linear_regression(x, y)
+        assert 0.0 < fit.r_squared < 1.0
+        assert fit.slope == pytest.approx(3.0, abs=0.8)
+
+
+class TestMultivariateRegression:
+    def test_recovers_exact_plane(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((40, 2))
+        y = 1.5 + 2.0 * x[:, 0] - 3.0 * x[:, 1]
+        fit = multivariate_linear_regression(x, y)
+        assert fit.intercept == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficients[0] == pytest.approx(2.0, abs=1e-9)
+        assert fit.coefficients[1] == pytest.approx(-3.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_shape_check(self):
+        fit = multivariate_linear_regression([[0, 0], [1, 1], [2, 0]], [0, 1, 2])
+        with pytest.raises(ValueError):
+            fit.predict([1.0])
+
+    def test_predict_value(self):
+        x = [[0.0], [1.0], [2.0]]
+        y = [1.0, 2.0, 3.0]
+        fit = multivariate_linear_regression(x, y)
+        assert fit.predict([4.0]) == pytest.approx(5.0)
+
+    def test_collinear_features_do_not_crash(self):
+        x = [[1.0, 2.0], [2.0, 4.0], [3.0, 6.0], [4.0, 8.0]]
+        y = [1.0, 2.0, 3.0, 4.0]
+        fit = multivariate_linear_regression(x, y)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_one_dimensional_features_raise(self):
+        with pytest.raises(ValueError):
+            multivariate_linear_regression([1.0, 2.0], [1.0, 2.0])
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            multivariate_linear_regression([[1.0], [2.0]], [1.0])
+
+    def test_too_few_observations_raise(self):
+        with pytest.raises(ValueError):
+            multivariate_linear_regression([[1.0]], [1.0])

@@ -1,0 +1,207 @@
+"""Tests for the experiment workloads."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.imaging import ImagingWorkload, make_imaging_pipeline
+from repro.workloads.matrix import MatrixWorkload
+from repro.workloads.montecarlo import MonteCarloWorkload, estimate_pi
+from repro.workloads.parameter_sweep import ParameterSweep, default_objective, sweep_grid
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload, spin_worker
+
+
+class TestSyntheticWorkload:
+    def test_items_deterministic(self):
+        a = SyntheticWorkload(tasks=20, seed=3).items()
+        b = SyntheticWorkload(tasks=20, seed=3).items()
+        assert [i.cost for i in a] == [i.cost for i in b]
+        assert [i.value for i in a] == [i.value for i in b]
+
+    def test_mean_cost_close_to_spec(self):
+        workload = SyntheticWorkload(tasks=500, mean_cost=10.0, cost_cv=0.3, seed=1)
+        costs = [i.cost for i in workload.items()]
+        assert np.mean(costs) == pytest.approx(10.0, rel=0.1)
+
+    def test_zero_cv_gives_identical_costs(self):
+        workload = SyntheticWorkload(tasks=10, mean_cost=5.0, cost_cv=0.0)
+        assert all(i.cost == 5.0 for i in workload.items())
+
+    @pytest.mark.parametrize("distribution", ["uniform", "normal", "lognormal"])
+    def test_distributions_produce_positive_costs(self, distribution):
+        workload = SyntheticWorkload(tasks=200, distribution=distribution,
+                                     cost_cv=0.5, seed=2)
+        assert all(i.cost > 0 for i in workload.items())
+
+    def test_comp_comm_ratio_scales_bytes(self):
+        compute_bound = SyntheticWorkload(tasks=10, comp_comm_ratio=100.0, seed=0)
+        comm_bound = SyntheticWorkload(tasks=10, comp_comm_ratio=0.1, seed=0)
+        assert (np.mean([i.nbytes for i in comm_bound.items()])
+                > np.mean([i.nbytes for i in compute_bound.items()]))
+
+    def test_farm_tasks_use_declared_sizes(self):
+        workload = SyntheticWorkload(tasks=5, comp_comm_ratio=1.0, seed=0)
+        farm = workload.farm()
+        tasks = farm.make_tasks(workload.items())
+        items = workload.items()
+        assert [t.input_bytes for t in tasks] == [i.nbytes for i in items]
+        assert [t.cost for t in tasks] == [i.cost for i in items]
+
+    def test_expected_outputs_match_worker(self):
+        workload = SyntheticWorkload(tasks=5, seed=0)
+        outputs = workload.expected_outputs()
+        assert outputs == [spin_worker(i) for i in workload.items()]
+
+    def test_describe(self):
+        info = SyntheticWorkload(tasks=15, seed=0).describe()
+        assert info["tasks"] == 15
+        assert info["total_cost"] > 0
+
+    def test_invalid_spec(self):
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(tasks=0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(distribution="exotic")
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(comp_comm_ratio=0.0)
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload(SyntheticSpec(), tasks=5)
+
+
+class TestMatrixWorkload:
+    def test_block_results_assemble_to_reference(self):
+        workload = MatrixWorkload(size=32, blocks=4, seed=1)
+        outputs = [item.a_block @ item.b for item in workload.items()]
+        assert workload.verify(outputs)
+
+    def test_farm_costs_follow_flops(self):
+        workload = MatrixWorkload(size=32, blocks=4, seed=1)
+        farm = workload.farm()
+        tasks = farm.make_tasks(workload.items())
+        expected = 2.0 * 8 * 32 * 32 / workload.flops_per_work_unit
+        assert tasks[0].cost == pytest.approx(expected)
+
+    def test_item_count(self):
+        assert len(MatrixWorkload(size=30, blocks=7).items()) == 7
+
+    def test_describe(self):
+        info = MatrixWorkload(size=16, blocks=2).describe()
+        assert info["total_flops"] == pytest.approx(2 * 16 ** 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            MatrixWorkload(size=4, blocks=8)
+        with pytest.raises(WorkloadError):
+            MatrixWorkload(size=0)
+        with pytest.raises(WorkloadError):
+            MatrixWorkload(flops_per_work_unit=0)
+
+    def test_assemble_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            MatrixWorkload(size=8, blocks=2).assemble([])
+
+
+class TestImagingWorkload:
+    def test_pipeline_has_four_stages(self):
+        pipe = make_imaging_pipeline(image_side=16)
+        assert pipe.num_stages == 4
+        assert [s.name for s in pipe.stages] == ["denoise", "convolve", "threshold", "count"]
+
+    def test_convolve_is_heaviest_stage(self):
+        pipe = make_imaging_pipeline(image_side=16)
+        costs = [pipe.stage_cost(i, None) for i in range(4)]
+        assert costs[1] == max(costs)
+
+    def test_pipeline_output_is_pixel_count(self):
+        workload = ImagingWorkload(images=3, image_side=16, seed=0)
+        outputs = workload.expected_outputs()
+        assert len(outputs) == 3
+        assert all(isinstance(v, int) for v in outputs)
+        assert all(0 <= v <= 16 * 16 for v in outputs)
+
+    def test_items_deterministic(self):
+        a = ImagingWorkload(images=2, image_side=8, seed=5).items()
+        b = ImagingWorkload(images=2, image_side=8, seed=5).items()
+        assert np.allclose(a[0], b[0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ImagingWorkload(images=0)
+        with pytest.raises(WorkloadError):
+            make_imaging_pipeline(image_side=2)
+
+    def test_describe(self):
+        info = ImagingWorkload(images=4, image_side=8).describe()
+        assert info["images"] == 4
+        assert len(info["stage_weights"]) == 4
+
+
+class TestMonteCarloWorkload:
+    def test_estimate_converges_to_pi(self):
+        workload = MonteCarloWorkload(batches=40, samples_per_batch=5000, seed=1)
+        assert workload.expected_value() == pytest.approx(math.pi, abs=0.05)
+
+    def test_batches_are_deterministic(self):
+        w = MonteCarloWorkload(batches=3, samples_per_batch=100, seed=2)
+        assert estimate_pi(w.items()[0]) == estimate_pi(w.items()[0])
+
+    def test_batches_differ_from_each_other(self):
+        w = MonteCarloWorkload(batches=2, samples_per_batch=500, seed=2)
+        items = w.items()
+        assert estimate_pi(items[0]) != estimate_pi(items[1])
+
+    def test_farm_cost_model(self):
+        w = MonteCarloWorkload(batches=2, samples_per_batch=10_000,
+                               samples_per_work_unit=5000)
+        tasks = w.farm().make_tasks(w.items())
+        assert all(t.cost == pytest.approx(2.0) for t in tasks)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            MonteCarloWorkload().combine([])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            MonteCarloWorkload(batches=0)
+        with pytest.raises(WorkloadError):
+            MonteCarloWorkload(samples_per_work_unit=0)
+
+
+class TestParameterSweep:
+    def test_sweep_grid_cartesian_product(self):
+        points = sweep_grid({"a": [1, 2, 3], "b": ["x", "y"]})
+        assert len(points) == 6
+        assert {"a": 3, "b": "y"} in points
+
+    def test_sweep_grid_empty_axis_rejected(self):
+        with pytest.raises(WorkloadError):
+            sweep_grid({"a": []})
+        with pytest.raises(WorkloadError):
+            sweep_grid({})
+
+    def test_default_cost_scales_with_resolution(self):
+        sweep = ParameterSweep(axes={"resolution": [1, 4], "x": [0.0]}, base_cost=2.0)
+        costs = {p["resolution"]: sweep.cost_fn(p) for p in sweep.items()}
+        assert costs[4] > costs[1]
+
+    def test_expected_outputs_match_objective(self):
+        sweep = ParameterSweep(axes={"x": [0.0, 1.0], "y": [2.0]})
+        assert sweep.expected_outputs() == [default_objective(p) for p in sweep.items()]
+
+    def test_farm_preserves_point_order(self):
+        sweep = ParameterSweep(axes={"x": [1, 2, 3]})
+        tasks = sweep.farm().make_tasks(sweep.items())
+        assert [t.payload["x"] for t in tasks] == [1, 2, 3]
+
+    def test_describe_and_total_cost(self):
+        sweep = ParameterSweep(axes={"x": [1, 2]}, base_cost=3.0)
+        assert sweep.total_cost() == pytest.approx(6.0)
+        assert sweep.describe()["points"] == 2
+
+    def test_invalid_base_cost(self):
+        with pytest.raises(WorkloadError):
+            ParameterSweep(axes={"x": [1]}, base_cost=0.0)
