@@ -1,0 +1,111 @@
+"""Backend benchmark: ThreadBackend wall-clock vs sequential execution.
+
+The virtual-time experiments (E1–E12) measure *simulated* grid behaviour;
+this module measures the real thing: the same Monte-Carlo π farm executed
+sequentially and on the :class:`~repro.backends.threaded.ThreadBackend`,
+comparing wall-clock times and verifying the outputs are identical.  The
+workload is multicore-friendly — each batch fills large NumPy arrays, which
+releases the GIL — so the thread backend can genuinely overlap batches.
+
+Wall-clock speedup depends on the host (core count, load, NumPy build), so
+the table reports the measured factor while the assertions only pin
+correctness and a generous sanity bound on overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.reporting import format_table
+from repro.backends import ThreadBackend
+from repro.core.grasp import Grasp
+from repro.core.parameters import GraspConfig
+from repro.workloads.montecarlo import MonteCarloWorkload, estimate_pi
+
+from bench_utils import make_dedicated_grid, publish_block
+
+BATCHES = 32
+SAMPLES_PER_BATCH = 200_000
+
+
+def make_workload() -> MonteCarloWorkload:
+    return MonteCarloWorkload(batches=BATCHES,
+                              samples_per_batch=SAMPLES_PER_BATCH, seed=7)
+
+
+def run_sequential(workload: MonteCarloWorkload):
+    start = time.perf_counter()
+    estimates = [estimate_pi(batch) for batch in workload.items()]
+    elapsed = time.perf_counter() - start
+    return workload.combine(estimates), elapsed
+
+
+def run_threaded(workload: MonteCarloWorkload, workers: int):
+    grid = make_dedicated_grid(nodes=workers)
+    start = time.perf_counter()
+    result = Grasp(skeleton=workload.farm(), grid=grid,
+                   config=GraspConfig.non_adaptive(),
+                   backend="thread").run(inputs=workload.items())
+    elapsed = time.perf_counter() - start
+    return workload.combine(result.outputs), elapsed, result
+
+
+@pytest.fixture(scope="module")
+def backend_comparison():
+    workload = make_workload()
+    workers = min(8, max(2, os.cpu_count() or 2))
+
+    sequential_pi, sequential_s = run_sequential(workload)
+    threaded_pi, threaded_s, result = run_threaded(workload, workers)
+
+    table = ExperimentTable(
+        title="EB — ThreadBackend wall-clock vs sequential, Monte-Carlo π farm",
+        columns=["mode", "workers", "wall_seconds", "speedup", "pi_estimate"],
+        notes=(f"{BATCHES} batches x {SAMPLES_PER_BATCH} samples; "
+               "speedup = sequential / threaded wall time (host dependent)"),
+    )
+    table.add_row({"mode": "sequential", "workers": 1,
+                   "wall_seconds": sequential_s, "speedup": 1.0,
+                   "pi_estimate": sequential_pi})
+    table.add_row({"mode": "thread-backend", "workers": workers,
+                   "wall_seconds": threaded_s,
+                   "speedup": sequential_s / threaded_s if threaded_s else float("inf"),
+                   "pi_estimate": threaded_pi})
+    publish_block(format_table(table))
+    return {
+        "sequential": (sequential_pi, sequential_s),
+        "threaded": (threaded_pi, threaded_s),
+        "result": result,
+        "workers": workers,
+    }
+
+
+def test_eb_outputs_identical(backend_comparison):
+    sequential_pi, _ = backend_comparison["sequential"]
+    threaded_pi, _ = backend_comparison["threaded"]
+    # Same batches, same per-batch seeds → the estimates are bit-identical.
+    assert threaded_pi == sequential_pi
+
+
+def test_eb_all_batches_ran_once(backend_comparison):
+    result = backend_comparison["result"]
+    assert result.total_tasks == BATCHES
+
+
+def test_eb_threaded_overhead_is_bounded(backend_comparison):
+    _, sequential_s = backend_comparison["sequential"]
+    _, threaded_s = backend_comparison["threaded"]
+    # A hard speedup assertion would be flaky on loaded CI hosts; require
+    # only that real threading does not catastrophically regress.
+    assert threaded_s < max(3.0 * sequential_s, 1.0)
+
+
+def test_eb_benchmark_thread_backend(benchmark, bench_rounds, backend_comparison):
+    workload = make_workload()
+    workers = backend_comparison["workers"]
+    benchmark.pedantic(lambda: run_threaded(workload, workers),
+                       rounds=bench_rounds, iterations=1)

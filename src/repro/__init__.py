@@ -13,10 +13,16 @@ Grids"* (González-Vélez & Cole, PPoPP 2007).  The package provides:
   spirit of the Network Weather Service.
 * :mod:`repro.skeletons` — algorithmic skeletons: task farm, pipeline and
   extensions (map, reduce, divide-and-conquer, composition).
+* :mod:`repro.backends` — execution backends: the
+  :class:`~repro.backends.base.ExecutionBackend` interface plus the
+  virtual-time :class:`~repro.backends.simulated.SimulatedBackend` and the
+  wall-clock :class:`~repro.backends.threaded.ThreadBackend` (real OS
+  threads).
 * :mod:`repro.core` — the GRASP methodology itself: the four phases
   (programming, compilation, calibration, execution), Algorithm 1
   (calibration / fittest-node selection) and Algorithm 2 (threshold-driven
-  adaptive execution).
+  adaptive execution, shared by all skeletons through
+  :class:`~repro.core.engine.AdaptiveEngine`).
 * :mod:`repro.baselines` — non-adaptive comparators.
 * :mod:`repro.workloads` — synthetic and kernel workloads used by the
   experiments.
@@ -50,6 +56,7 @@ from repro.exceptions import (
 )
 from repro.grid import GridBuilder, GridNode, GridTopology, NetworkLink, Site
 from repro.grid.simulator import GridSimulator
+from repro.backends import ExecutionBackend, SimulatedBackend, ThreadBackend
 from repro.skeletons import (
     DivideAndConquer,
     MapSkeleton,
@@ -90,6 +97,10 @@ __all__ = [
     "NetworkLink",
     "Site",
     "GridSimulator",
+    # backends
+    "ExecutionBackend",
+    "SimulatedBackend",
+    "ThreadBackend",
     # skeletons
     "TaskFarm",
     "Pipeline",

@@ -1,0 +1,62 @@
+"""Execution backends: the parallel environments underneath GRASP.
+
+The adaptive runtime (calibration, the adaptive engine, the baselines) is
+written against the :class:`~repro.backends.base.ExecutionBackend`
+interface; this package provides the implementations and the
+:func:`as_backend` coercion helper that keeps the historical
+``simulator=``-style APIs working.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.backends.base import (
+    ChainOutcome,
+    ChainStage,
+    CompletedHandle,
+    DispatchHandle,
+    DispatchOutcome,
+    ExecutionBackend,
+)
+from repro.backends.simulated import SimulatedBackend
+from repro.backends.threaded import ThreadBackend
+from repro.exceptions import ConfigurationError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridTopology
+
+__all__ = [
+    "ExecutionBackend",
+    "DispatchHandle",
+    "CompletedHandle",
+    "DispatchOutcome",
+    "ChainStage",
+    "ChainOutcome",
+    "SimulatedBackend",
+    "ThreadBackend",
+    "as_backend",
+]
+
+#: Names accepted by string-based backend selection (compile_program et al).
+BACKEND_NAMES = frozenset({"simulated", "thread"})
+
+
+def as_backend(
+    environment: Union[ExecutionBackend, GridSimulator, GridTopology],
+) -> ExecutionBackend:
+    """Coerce ``environment`` into an :class:`ExecutionBackend`.
+
+    Accepts a ready backend (returned as-is), a :class:`GridSimulator`
+    (wrapped in a stateless :class:`SimulatedBackend`) or a
+    :class:`GridTopology` (a fresh simulator is created over it).
+    """
+    if isinstance(environment, ExecutionBackend):
+        return environment
+    if isinstance(environment, GridSimulator):
+        return SimulatedBackend(environment)
+    if isinstance(environment, GridTopology):
+        return SimulatedBackend(GridSimulator(environment))
+    raise ConfigurationError(
+        "expected an ExecutionBackend, GridSimulator or GridTopology, "
+        f"got {type(environment).__name__}"
+    )

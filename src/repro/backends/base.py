@@ -1,0 +1,297 @@
+"""The execution-backend seam of the GRASP runtime.
+
+The paper's compilation phase "links" a skeletal program "with the GRASP
+code, the parallel environment, and, if any, the resource monitoring
+library".  :class:`ExecutionBackend` is that parallel environment as an
+interface: everything the calibration phase (Algorithm 1), the adaptive
+engine (Algorithm 2) and the baselines need from the machine underneath —
+
+* a **clock** (:attr:`ExecutionBackend.now`, :meth:`advance_to`),
+* **availability** and **queue-occupancy** queries (:meth:`is_available`,
+  :meth:`node_free_at`),
+* **observation hooks** for the monitoring layer (:meth:`observe_load`,
+  :meth:`observe_bandwidth`),
+* a **transfer-cost** primitive (:meth:`transfer`), and
+* task-level **dispatch** primitives (:meth:`dispatch` for farm-like
+  skeletons, :meth:`dispatch_chain` for pipeline stage chains).
+
+Two implementations ship with the runtime:
+:class:`~repro.backends.simulated.SimulatedBackend` (virtual time over the
+deterministic grid simulator, bit-identical to the historical executors) and
+:class:`~repro.backends.threaded.ThreadBackend` (wall-clock execution on
+real OS threads).  The control loop above this interface is identical for
+both, which is the methodology's claim of being *generic over the parallel
+environment*.
+
+Dispatches return a :class:`DispatchHandle` rather than an outcome so that
+concurrent backends can overlap task execution: the simulated backend
+resolves handles eagerly (virtual time needs no waiting), while the thread
+backend resolves them when the worker thread finishes.  Callers should
+process a handle immediately when :meth:`DispatchHandle.done` is already
+true and defer it otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.skeletons.base import Task, TaskResult
+
+__all__ = [
+    "DispatchOutcome",
+    "ChainOutcome",
+    "ChainStage",
+    "DispatchHandle",
+    "CompletedHandle",
+    "ExecutionBackend",
+]
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """Everything one farm-style task dispatch produced.
+
+    Times are in the backend's clock domain (virtual seconds for the
+    simulator, wall seconds since backend creation for threads).
+
+    Attributes
+    ----------
+    node_id:
+        The node that executed (or lost) the task.
+    output:
+        The real output of ``execute_fn`` (``None`` when the task was lost
+        or output collection was disabled).
+    submitted:
+        When the input left the master (the dispatch time).
+    exec_started, exec_finished:
+        Extent of the pure compute on the node.
+    finished:
+        When the result arrived back at the master.
+    lost:
+        The node failed while holding the task; it must be re-enqueued.
+    load, bandwidth:
+        Observations taken at ``exec_started`` (CPU load of the node and
+        effective bandwidth toward the master) for the monitoring layer.
+    """
+
+    node_id: str
+    output: Any
+    submitted: float
+    exec_started: float
+    exec_finished: float
+    finished: float
+    lost: bool = False
+    load: float = 0.0
+    bandwidth: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Pure compute time on the node."""
+        return self.exec_finished - self.exec_started
+
+    def to_task_result(self, task: Task, during_calibration: bool = False) -> TaskResult:
+        """Build the :class:`~repro.skeletons.base.TaskResult` for ``task``.
+
+        Centralises the outcome→result field mapping used by the farm
+        executor, the calibration phase and the static baselines.
+        """
+        return TaskResult(
+            task_id=task.task_id, output=self.output, node_id=self.node_id,
+            submitted=self.submitted, started=self.exec_started,
+            finished=self.finished, stage=task.stage,
+            during_calibration=during_calibration,
+        )
+
+
+@dataclass(frozen=True)
+class ChainStage:
+    """One stage of a pipeline chain, as the backend sees it.
+
+    Attributes
+    ----------
+    pick:
+        ``free_at -> node_id``; chooses the node for this stage given the
+        backend's queue-occupancy query (this is how stage replicas are
+        load-balanced).
+    cost:
+        ``value -> work units`` for the stage applied to the current value.
+    apply:
+        ``value -> value``; the stage's real computation.
+    """
+
+    pick: Callable[[Callable[[str], float]], str]
+    cost: Callable[[Any], float]
+    apply: Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class ChainOutcome:
+    """Everything one pipeline item's walk through the stages produced.
+
+    ``stage_records`` holds ``(node_id, duration, cost, started)`` per
+    stage, in stage order — exactly what the monitoring layer consumes.
+    """
+
+    output: Any
+    final_node: str
+    submitted: float
+    finished: float
+    item_cost: float
+    stage_records: List[Tuple[str, float, float, float]] = field(default_factory=list)
+
+
+class DispatchHandle:
+    """A (possibly still running) dispatch.
+
+    Attributes available immediately after dispatch, before completion:
+
+    * ``node_id`` — the node the task was sent to (farm dispatch only).
+    * ``submitted`` — when the dispatch entered the backend.
+    * ``master_free_after`` — when the master's uplink is free to send the
+      next input (serial reuse of the master link).
+    * ``next_emit`` — for chains: when the master may release the next item
+      (the first stage's input hand-off completes).
+    """
+
+    node_id: Optional[str] = None
+    submitted: float = 0.0
+    master_free_after: float = 0.0
+    next_emit: float = 0.0
+
+    def done(self) -> bool:
+        """Whether :meth:`outcome` would return without blocking."""
+        raise NotImplementedError
+
+    def outcome(self):
+        """The :class:`DispatchOutcome` / :class:`ChainOutcome` (blocking)."""
+        raise NotImplementedError
+
+
+class CompletedHandle(DispatchHandle):
+    """An already-resolved handle (used by eager, virtual-time backends)."""
+
+    def __init__(self, outcome, *, node_id: Optional[str] = None,
+                 submitted: float = 0.0, master_free_after: float = 0.0,
+                 next_emit: float = 0.0):
+        self._outcome = outcome
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = master_free_after
+        self.next_emit = next_emit
+
+    def done(self) -> bool:
+        return True
+
+    def outcome(self):
+        return self._outcome
+
+
+class ExecutionBackend:
+    """Abstract parallel environment underneath the GRASP control loop."""
+
+    #: Human-readable backend family ("simulated", "thread", ...).
+    name: str = "abstract"
+
+    #: Whether dispatch handles resolve at dispatch time (virtual-time
+    #: backends).  Eager backends are driven step-by-step by the executors;
+    #: non-eager backends get their window dispatched first and collected
+    #: afterwards, in completion order where the statistic requires it.
+    eager: bool = True
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current time in the backend's clock domain."""
+        raise NotImplementedError
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (no-op for wall clocks)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- membership
+    @property
+    def topology(self):
+        """The grid topology the backend is bound to (node naming/membership)."""
+        raise NotImplementedError
+
+    def has_node(self, node_id: str) -> bool:
+        """Whether ``node_id`` exists in this backend."""
+        return node_id in self.topology
+
+    def available_nodes(self, time: float) -> List[str]:
+        """Node ids usable at ``time`` (co-allocation candidates)."""
+        raise NotImplementedError
+
+    def is_available(self, node_id: str, time: Optional[float] = None) -> bool:
+        """Whether ``node_id`` is usable at ``time``."""
+        raise NotImplementedError
+
+    def node_free_at(self, node_id: str) -> float:
+        """Earliest time at which ``node_id`` can accept new work (estimate)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ observation
+    def observe_load(self, node_id: str, time: Optional[float] = None) -> float:
+        """External CPU utilisation of ``node_id`` in ``[0, 1)``."""
+        raise NotImplementedError
+
+    def observe_bandwidth(self, src: str, dst: str,
+                          time: Optional[float] = None) -> float:
+        """Effective bandwidth (bytes/s) between two nodes."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- transfers
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 at_time: Optional[float] = None):
+        """Charge a ``src`` → ``dst`` transfer; returns a record with
+        ``started`` and ``finished`` attributes."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch(
+        self,
+        task: Task,
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        """Ship ``task`` to ``node_id``, execute it, ship the result back.
+
+        ``collect_output=False`` signals the output is not needed (a
+        calibration probe); backends whose timing does not require running
+        the payload (the simulator) may then skip ``execute_fn`` entirely,
+        while measurement-based backends still execute it for timing but
+        drop the result.  ``check_loss=True`` enables the mid-task failure
+        check (farm dispatch); calibration passes ``False``.
+        """
+        raise NotImplementedError
+
+    def dispatch_chain(
+        self,
+        task: Task,
+        stages: Sequence[ChainStage],
+        master_node: str,
+        at_time: float,
+    ) -> DispatchHandle:
+        """Stream one item through a chain of stages (pipeline dispatch)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release backend resources (threads, processes); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- guard
+    def _require_node(self, node_id: str) -> None:
+        if not self.has_node(node_id):
+            raise ExecutionError(f"unknown node {node_id!r}")

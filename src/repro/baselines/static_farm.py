@@ -13,15 +13,19 @@ Two comparators for the adaptive GRASP farm:
   the generic benefit of demand-driven dispatch (ablation in E4/E10).
 
 Both run the same :class:`~repro.skeletons.taskfarm.TaskFarm` skeleton over
-the same simulated grid as the adaptive runtime, with the same
+the same execution backend as the adaptive runtime, with the same
 communication model (inputs shipped from the master, results shipped back).
+Like the adaptive executors they accept any
+:class:`~repro.backends.base.ExecutionBackend`, so the comparators run in
+virtual time on the simulator or in wall time on real threads.
 """
 
 from __future__ import annotations
 
 import collections
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.backends import DispatchHandle, ExecutionBackend, as_backend
 from repro.baselines.result import BaselineResult
 from repro.core.scheduler import (
     DemandDrivenScheduler,
@@ -34,7 +38,6 @@ from repro.exceptions import ConfigurationError, ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Skeleton, Task, TaskResult
-from repro.skeletons.taskfarm import TaskFarm
 
 __all__ = ["StaticFarm", "DemandDrivenFarm"]
 
@@ -68,7 +71,7 @@ class StaticFarm:
         strategy: str = "block",
         workers: Optional[Sequence[str]] = None,
         master_node: Optional[str] = None,
-        simulator: Optional[GridSimulator] = None,
+        simulator: Optional[Union[GridSimulator, ExecutionBackend]] = None,
     ):
         if strategy not in _STRATEGIES:
             raise ConfigurationError(
@@ -79,7 +82,8 @@ class StaticFarm:
         self.skeleton = skeleton
         self.grid = grid
         self.strategy = strategy
-        self.simulator = simulator or GridSimulator(grid)
+        self.backend = as_backend(simulator if simulator is not None else grid)
+        self.simulator = getattr(self.backend, "simulator", None)
         self.master_node = master_node or grid.node_ids[0]
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
@@ -105,27 +109,26 @@ class StaticFarm:
             raise ExecutionError("static farm needs at least one task")
         assignment = self._scheduler().assign(tasks, self.workers)
 
-        results: List[TaskResult] = []
-        master_free = float(start_time)
         # Inputs are shipped node by node, task by task, up front (static
         # distribution sends everything before computing starts on the
         # master side; workers start as soon as their first input arrives).
+        # Dispatches are collected after all are issued so concurrent
+        # backends overlap the whole assignment.
+        handles: List[Tuple[Task, DispatchHandle]] = []
+        master_free = float(start_time)
         for node in self.workers:
             for task in assignment.get(node, []):
-                send = self.simulator.transfer(self.master_node, node,
-                                               task.input_bytes, at_time=master_free)
-                master_free = send.finished
-                execution = self.simulator.run_task(node, task.cost,
-                                                    at_time=send.finished)
-                back = self.simulator.transfer(node, self.master_node,
-                                               task.output_bytes,
-                                               at_time=execution.finished)
-                output = self.skeleton.execute_task(task)
-                results.append(
-                    TaskResult(task_id=task.task_id, output=output, node_id=node,
-                               submitted=send.started, started=execution.started,
-                               finished=back.finished, stage=task.stage)
+                handle = self.backend.dispatch(
+                    task, node, self.skeleton.execute_task,
+                    master_node=self.master_node, at_time=master_free,
+                    check_loss=False,
                 )
+                master_free = handle.master_free_after
+                handles.append((task, handle))
+
+        results: List[TaskResult] = [
+            handle.outcome().to_task_result(task) for task, handle in handles
+        ]
 
         finished = max(r.finished for r in results)
         ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]
@@ -145,13 +148,14 @@ class DemandDrivenFarm:
         grid: GridTopology,
         workers: Optional[Sequence[str]] = None,
         master_node: Optional[str] = None,
-        simulator: Optional[GridSimulator] = None,
+        simulator: Optional[Union[GridSimulator, ExecutionBackend]] = None,
     ):
         if not hasattr(skeleton, "execute_task"):
             raise ConfigurationError("DemandDrivenFarm needs a farm-like skeleton")
         self.skeleton = skeleton
         self.grid = grid
-        self.simulator = simulator or GridSimulator(grid)
+        self.backend = as_backend(simulator if simulator is not None else grid)
+        self.simulator = getattr(self.backend, "simulator", None)
         self.master_node = master_node or grid.node_ids[0]
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
@@ -167,27 +171,26 @@ class DemandDrivenFarm:
         if not tasks:
             raise ExecutionError("demand-driven farm needs at least one task")
 
-        results: List[TaskResult] = []
+        handles: List[Tuple[Task, DispatchHandle]] = []
         master_free = float(start_time)
         while tasks:
             task = tasks.popleft()
             ready = {
-                node: max(self.simulator.node_free_at(node), master_free)
+                node: max(self.backend.node_free_at(node), master_free)
                 for node in self.workers
             }
             node = self.scheduler.next_node(ready)
-            send = self.simulator.transfer(self.master_node, node, task.input_bytes,
-                                           at_time=ready[node])
-            master_free = send.finished
-            execution = self.simulator.run_task(node, task.cost, at_time=send.finished)
-            back = self.simulator.transfer(node, self.master_node, task.output_bytes,
-                                           at_time=execution.finished)
-            output = self.skeleton.execute_task(task)
-            results.append(
-                TaskResult(task_id=task.task_id, output=output, node_id=node,
-                           submitted=send.started, started=execution.started,
-                           finished=back.finished, stage=task.stage)
+            handle = self.backend.dispatch(
+                task, node, self.skeleton.execute_task,
+                master_node=self.master_node, at_time=ready[node],
+                check_loss=False,
             )
+            master_free = handle.master_free_after
+            handles.append((task, handle))
+
+        results: List[TaskResult] = [
+            handle.outcome().to_task_result(task) for task, handle in handles
+        ]
 
         finished = max(r.finished for r in results)
         ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]

@@ -12,19 +12,23 @@ and never reconsiders the mapping.  Two mapping rules are provided:
 
 The streaming model (per-stage serialisation, inter-stage transfers, result
 return to the master) is identical to the adaptive
-:class:`~repro.core.pipeline_executor.PipelineExecutor`, so measured
-differences come from the mapping policy alone.
+:class:`~repro.core.pipeline_executor.PipelineExecutor` — both stream
+through :meth:`~repro.backends.base.ExecutionBackend.dispatch_chain` — so
+measured differences come from the mapping policy alone, and the baseline
+runs on any backend (virtual time or real threads).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.backends import DispatchHandle, ExecutionBackend, as_backend
 from repro.baselines.result import BaselineResult
 from repro.exceptions import ConfigurationError, ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.grid.topology import GridTopology
-from repro.skeletons.base import TaskResult
+from repro.core.pipeline_executor import lower_pipeline_stages
+from repro.skeletons.base import Task, TaskResult
 from repro.skeletons.pipeline import Pipeline
 
 __all__ = ["StaticPipeline"]
@@ -42,7 +46,7 @@ class StaticPipeline:
         mapping: str = "declaration",
         workers: Optional[Sequence[str]] = None,
         master_node: Optional[str] = None,
-        simulator: Optional[GridSimulator] = None,
+        simulator: Optional[Union[GridSimulator, ExecutionBackend]] = None,
     ):
         if not isinstance(pipeline, Pipeline):
             raise ConfigurationError("StaticPipeline needs a Pipeline skeleton")
@@ -53,7 +57,8 @@ class StaticPipeline:
         self.pipeline = pipeline
         self.grid = grid
         self.mapping = mapping
-        self.simulator = simulator or GridSimulator(grid)
+        self.backend = as_backend(simulator if simulator is not None else grid)
+        self.simulator = getattr(self.backend, "simulator", None)
         self.master_node = master_node or grid.node_ids[0]
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
@@ -87,37 +92,31 @@ class StaticPipeline:
         if not tasks:
             raise ExecutionError("static pipeline needs at least one item")
         assignment = self.stage_assignment(tasks[0].payload)
+        chain = lower_pipeline_stages(
+            self.pipeline,
+            lambda index: (lambda free_at, _node=assignment[index]: _node),
+        )
 
-        results: List[TaskResult] = []
+        # The master may release the next item once the previous one's input
+        # hand-off to the first stage has completed; collection happens after
+        # the whole stream is issued so concurrent backends pipeline for real.
+        handles: List[Tuple[Task, DispatchHandle]] = []
         emit_time = float(start_time)
         for task in tasks:
-            released_at = emit_time
-            value = task.payload
-            previous_node = self.master_node
-            available_at = released_at
-            payload_bytes = task.input_bytes
-            for stage_index in range(self.pipeline.num_stages):
-                node = assignment[stage_index]
-                transfer = self.simulator.transfer(previous_node, node, payload_bytes,
-                                                   at_time=available_at)
-                if stage_index == 0:
-                    # The master may release the next item once this one's
-                    # input hand-off to the first stage has completed.
-                    emit_time = transfer.finished
-                cost = self.pipeline.stage_cost(stage_index, value)
-                execution = self.simulator.run_task(node, cost, at_time=transfer.finished)
-                value = self.pipeline.apply_stage(stage_index, value)
-                previous_node = node
-                available_at = execution.finished
-                payload_bytes = task.output_bytes
-            back = self.simulator.transfer(previous_node, self.master_node,
-                                           task.output_bytes, at_time=available_at)
-            results.append(
-                TaskResult(task_id=task.task_id, output=value, node_id=previous_node,
-                           submitted=released_at, started=released_at,
-                           finished=back.finished,
-                           stage=self.pipeline.num_stages - 1)
+            handle = self.backend.dispatch_chain(
+                task, chain, master_node=self.master_node, at_time=emit_time,
             )
+            emit_time = handle.next_emit
+            handles.append((task, handle))
+
+        results: List[TaskResult] = [
+            TaskResult(task_id=task.task_id, output=outcome.output,
+                       node_id=outcome.final_node, submitted=outcome.submitted,
+                       started=outcome.submitted, finished=outcome.finished,
+                       stage=self.pipeline.num_stages - 1)
+            for task, outcome in
+            ((task, handle.outcome()) for task, handle in handles)
+        ]
 
         finished = max(r.finished for r in results)
         ordered = [r.output for r in sorted(results, key=lambda r: r.task_id)]

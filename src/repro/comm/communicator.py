@@ -25,7 +25,6 @@ from repro.comm.collectives import (
 )
 from repro.comm.message import Message, estimate_size
 from repro.exceptions import CommunicationError
-from repro.grid.simulator import GridSimulator
 
 __all__ = ["Communicator", "SimulatedCommunicator"]
 
@@ -74,14 +73,18 @@ class Communicator:
 
 
 class SimulatedCommunicator(Communicator):
-    """Cost-accounting communicator over the virtual-time grid simulator.
+    """Cost-accounting communicator over a transfer-charging environment.
 
     All operations are *time-explicit*: they take starting/ready times and
     return completion times, leaving the decision of how to interleave
-    computation to the caller (the skeleton executors).
+    computation to the caller (the skeleton executors).  The environment is
+    usually the virtual-time grid simulator, but any object with the
+    ``transfer``/``topology`` surface (e.g. an
+    :class:`~repro.backends.base.ExecutionBackend`) works; the compilation
+    phase binds one communicator per compiled program.
     """
 
-    def __init__(self, simulator: GridSimulator, node_ids: Sequence[str]):
+    def __init__(self, simulator, node_ids: Sequence[str]):
         super().__init__(node_ids)
         for node_id in node_ids:
             if node_id not in simulator.topology:

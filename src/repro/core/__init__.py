@@ -7,15 +7,18 @@ The package mirrors the paper's four phases:
 * **Programming** — :class:`repro.core.program.SkeletalProgram` binds a
   skeleton to its inputs and parameters.
 * **Compilation** — :class:`repro.core.compilation.CompiledProgram` links
-  the program with the parallel environment (grid simulator + communicator)
-  and the resource-monitoring library.
+  the program with the parallel environment (an
+  :class:`~repro.backends.base.ExecutionBackend`: the virtual-time grid
+  simulator or real OS threads, plus the communicator) and the
+  resource-monitoring library.
 * **Calibration** — :func:`repro.core.calibration.calibrate` implements
   Algorithm 1: execute a sample on every allocated node, rank nodes
   (time-only or statistically) and select the fittest.
-* **Execution** — :mod:`repro.core.execution` implements Algorithm 2 for
-  both skeletons: run on the chosen nodes, monitor execution times against
-  the performance threshold *Z* and adapt (recalibrate / reschedule) when it
-  is breached.
+* **Execution** — :class:`repro.core.engine.AdaptiveEngine` implements
+  Algorithm 2 once for every skeleton: run on the chosen nodes, monitor
+  execution times against the performance threshold *Z* and adapt
+  (recalibrate / reschedule) when it is breached.  The farm and pipeline
+  executors drive the engine through the backend interface.
 
 The :class:`repro.core.grasp.Grasp` facade orchestrates all four phases and
 is the main entry point of the library.
@@ -34,6 +37,7 @@ from repro.core.parameters import (
 from repro.core.ranking import NodeScore, RankingMode, rank_nodes
 from repro.core.calibration import CalibrationObservation, CalibrationReport, calibrate
 from repro.core.execution import ExecutionReport, MonitoringRound
+from repro.core.engine import AdaptiveEngine, MonitoringWindow
 from repro.core.program import SkeletalProgram
 from repro.core.compilation import CompiledProgram, compile_program
 from repro.core.grasp import Grasp, GraspResult
@@ -55,6 +59,8 @@ __all__ = [
     "calibrate",
     "ExecutionReport",
     "MonitoringRound",
+    "AdaptiveEngine",
+    "MonitoringWindow",
     "SkeletalProgram",
     "CompiledProgram",
     "compile_program",

@@ -24,10 +24,11 @@ different sizes remain comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, as_backend
 from repro.core.parameters import CalibrationConfig, SelectionPolicy
 from repro.core.ranking import NodeScore, RankingMode, rank_nodes
 from repro.exceptions import CalibrationError
@@ -130,14 +131,15 @@ def calibrate(
     tasks: Deque[Task],
     pool: Sequence[str],
     execute_fn: Callable[[Task], object],
-    simulator: GridSimulator,
-    config: CalibrationConfig,
-    master_node: str,
+    simulator: Optional[GridSimulator] = None,
+    config: Optional[CalibrationConfig] = None,
+    master_node: Optional[str] = None,
     min_nodes: int = 1,
     at_time: Optional[float] = None,
     monitor: Optional[ResourceMonitor] = None,
     consume: bool = True,
     tracer: Optional[Tracer] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> CalibrationReport:
     """Run Algorithm 1 and return a :class:`CalibrationReport`.
 
@@ -155,7 +157,8 @@ def calibrate(
         Produces the real output for a task (e.g. the farm worker); outputs
         go into ``report.results``.
     simulator:
-        The virtual-time grid simulator.
+        The virtual-time grid simulator (legacy spelling of ``backend``;
+        wrapped in a :class:`~repro.backends.simulated.SimulatedBackend`).
     config:
         Calibration parameters (sample size, ranking mode, selection).
     master_node:
@@ -171,18 +174,28 @@ def calibrate(
     consume:
         See ``tasks`` above; recalibration probes inside a running pipeline
         pass ``False``.
+    backend:
+        The parallel environment to sample (takes precedence over
+        ``simulator``; exactly one of the two must be provided).
     """
+    if backend is None and simulator is None:
+        raise CalibrationError("calibrate needs a backend (or simulator)")
+    env = as_backend(backend if backend is not None else simulator)
+    if config is None:
+        raise CalibrationError("calibrate needs a CalibrationConfig")
+    if master_node is None:
+        raise CalibrationError("calibrate needs a master node")
     pool = list(pool)
     if not pool:
         raise CalibrationError("calibration needs a non-empty node pool")
-    if master_node not in simulator.topology:
+    if not env.has_node(master_node):
         raise CalibrationError(f"unknown master node {master_node!r}")
-    start = simulator.now if at_time is None else float(at_time)
+    start = env.now if at_time is None else float(at_time)
     tracer = tracer if tracer is not None else Tracer(enabled=False)
     tracer.record("phase.calibration.start", "calibration started",
                   pool=list(pool), mode=config.ranking.value)
 
-    available_pool = [n for n in pool if simulator.is_available(n, start)]
+    available_pool = [n for n in pool if env.is_available(n, start)]
     if not available_pool:
         raise CalibrationError("no pool node is available at calibration time")
 
@@ -197,6 +210,14 @@ def calibrate(
 
     template: Optional[Task] = tasks[0] if tasks else None
 
+    # Ship the input from the master, compute, ship the result back — for
+    # every (node, sample) pair.  All probes are dispatched before any is
+    # collected so concurrent backends sample the whole pool in parallel;
+    # the eager simulated backend resolves each dispatch on the spot, so
+    # its virtual-time behaviour is unchanged.  Sample probes never check
+    # for mid-task loss (Algorithm 1 has no failure path) and only counted
+    # samples produce output.
+    handles = []
     for node_id in available_pool:
         for _ in range(config.sample_per_node):
             if consume and tasks:
@@ -208,40 +229,32 @@ def calibrate(
                     raise CalibrationError("cannot calibrate with an empty task queue")
                 task = template
                 counted = False
-
-            # Ship the input from the master, compute, ship the result back.
-            send = simulator.transfer(master_node, node_id, task.input_bytes, at_time=start)
-            execution = simulator.run_task(node_id, task.cost, at_time=send.finished)
-            back = simulator.transfer(node_id, master_node, task.output_bytes,
-                                      at_time=execution.finished)
-            finish_times.append(back.finished)
-
-            cost = task.cost if task.cost > 0 else 1.0
-            unit_time = execution.duration / cost
-            load = simulator.observe_load(node_id, execution.started)
-            bandwidth = simulator.observe_bandwidth(node_id, master_node, execution.started)
-
-            times[node_id].append(unit_time)
-            loads[node_id].append(load)
-            bandwidths[node_id].append(bandwidth)
-            observations.append(
-                CalibrationObservation(
-                    node_id=node_id, task_id=task.task_id, cost=task.cost,
-                    duration=execution.duration, unit_time=unit_time,
-                    load=load, bandwidth=bandwidth,
-                    started=execution.started, finished=back.finished,
-                )
+            handle = env.dispatch(
+                task, node_id, execute_fn, master_node=master_node,
+                at_time=start, check_loss=False, collect_output=counted,
             )
-            if counted:
-                output = execute_fn(task)
-                results.append(
-                    TaskResult(
-                        task_id=task.task_id, output=output, node_id=node_id,
-                        submitted=start, started=execution.started,
-                        finished=back.finished, stage=task.stage,
-                        during_calibration=True,
-                    )
-                )
+            handles.append((node_id, task, counted, handle))
+
+    for node_id, task, counted, handle in handles:
+        outcome = handle.outcome()
+        finish_times.append(outcome.finished)
+
+        cost = task.cost if task.cost > 0 else 1.0
+        unit_time = outcome.duration / cost
+
+        times[node_id].append(unit_time)
+        loads[node_id].append(outcome.load)
+        bandwidths[node_id].append(outcome.bandwidth)
+        observations.append(
+            CalibrationObservation(
+                node_id=node_id, task_id=task.task_id, cost=task.cost,
+                duration=outcome.duration, unit_time=unit_time,
+                load=outcome.load, bandwidth=outcome.bandwidth,
+                started=outcome.exec_started, finished=outcome.finished,
+            )
+        )
+        if counted:
+            results.append(outcome.to_task_result(task, during_calibration=True))
 
     finished = max(finish_times)
 

@@ -8,17 +8,30 @@ resource co-allocation, inter-domain scheduling, and other infrastructure
 matters."
 
 :func:`compile_program` performs the Python equivalent of that link step: it
-instantiates the virtual-time simulator over the topology, co-allocates the
-node pool, designates the master/monitor node, builds the communicator and
-the resource monitor, and returns a :class:`CompiledProgram` ready for the
-calibration phase.
+binds the program to an :class:`~repro.backends.base.ExecutionBackend` over
+the topology, co-allocates the node pool, designates the master/monitor
+node, builds the communicator and the resource monitor, and returns a
+:class:`CompiledProgram` ready for the calibration phase.
+
+The ``backend`` parameter is the rebinding point of the whole methodology:
+the same :class:`~repro.core.program.SkeletalProgram` compiles against the
+virtual-time grid simulator (``backend="simulated"``, the default), against
+real OS threads (``backend="thread"``), or against any
+:class:`ExecutionBackend` instance, without touching the program.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
+from repro.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    SimulatedBackend,
+    ThreadBackend,
+    as_backend,
+)
 from repro.comm.communicator import SimulatedCommunicator
 from repro.core.program import SkeletalProgram
 from repro.exceptions import CompilationError
@@ -32,21 +45,63 @@ __all__ = ["CompiledProgram", "compile_program"]
 
 @dataclass
 class CompiledProgram:
-    """A skeletal program linked with its grid, communicator and monitor."""
+    """A skeletal program linked with its environment, communicator and monitor."""
 
     program: SkeletalProgram
     topology: GridTopology
-    simulator: GridSimulator
+    simulator: Optional[GridSimulator]
     communicator: SimulatedCommunicator
     monitor: ResourceMonitor
     master_node: str
     pool: List[str]
     tracer: Tracer
+    backend: Optional[ExecutionBackend] = None
+    owns_backend: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            raise CompilationError(
+                "CompiledProgram requires an ExecutionBackend; "
+                "use compile_program() to construct one"
+            )
 
     @property
     def config(self):
         """The program's GRASP configuration."""
         return self.program.config
+
+
+def _resolve_backend(
+    backend: Union[None, str, ExecutionBackend],
+    topology: GridTopology,
+    simulator: Optional[GridSimulator],
+    tracer: Tracer,
+) -> tuple:
+    """The (backend, owns_backend) pair for a compilation request."""
+    if backend is None or backend == "simulated":
+        simulator = simulator or GridSimulator(topology, tracer=tracer)
+        return SimulatedBackend(simulator), False
+    if (simulator is not None and backend is not simulator
+            and getattr(backend, "simulator", None) is not simulator):
+        # A pre-configured simulator (failure schedules, load traces, seeded
+        # queues) cannot be honoured by a non-simulated backend; dropping it
+        # silently would misreport the experiment.
+        raise CompilationError(
+            "simulator= conflicts with backend=: pass the simulator alone "
+            "(or backend=\"simulated\") to run on it"
+        )
+    if isinstance(backend, str):
+        if backend == "thread":
+            return ThreadBackend(topology=topology, tracer=tracer), True
+        # Fail loudly for names registered elsewhere but not routed here.
+        raise CompilationError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKEND_NAMES)}"
+        )
+    if isinstance(backend, (ExecutionBackend, GridSimulator)):
+        return as_backend(backend), False
+    raise CompilationError(
+        f"backend must be a name or an ExecutionBackend, got {type(backend).__name__}"
+    )
 
 
 def compile_program(
@@ -55,20 +110,30 @@ def compile_program(
     simulator: Optional[GridSimulator] = None,
     tracer: Optional[Tracer] = None,
     at_time: float = 0.0,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> CompiledProgram:
     """Bind ``program`` to ``topology`` and co-allocate its node pool.
+
+    Parameters
+    ----------
+    backend:
+        The parallel environment to link against: ``"simulated"`` (default),
+        ``"thread"``, or a ready :class:`ExecutionBackend` instance.  The
+        legacy ``simulator=`` parameter remains supported and implies the
+        simulated backend.
 
     Raises
     ------
     CompilationError
-        When the grid cannot host the skeleton (too few nodes available) or
-        the configured master node does not exist.
+        When the environment cannot host the skeleton (too few nodes
+        available), the configured master node does not exist, or the
+        configured master is not part of the co-allocated pool.
     """
     tracer = tracer if tracer is not None else Tracer(enabled=program.config.trace)
-    simulator = simulator or GridSimulator(topology, tracer=tracer)
-    tracer.bind_clock(lambda: simulator.now)
+    env, owns_backend = _resolve_backend(backend, topology, simulator, tracer)
+    tracer.bind_clock(lambda: env.now)
 
-    pool = topology.available_nodes(at_time)
+    pool = env.available_nodes(at_time)
     if not pool:
         raise CompilationError("no grid node is available at compilation time")
     if len(pool) < program.min_nodes:
@@ -80,22 +145,32 @@ def compile_program(
     master = program.config.master_node
     if master is None:
         master = pool[0]
-    elif master not in topology:
+    elif not env.has_node(master):
         raise CompilationError(f"configured master node {master!r} does not exist")
+    elif master not in pool:
+        # The master hosts the root/monitor process; a co-allocation that
+        # silently drops it would leave the job without a coordinator.
+        raise CompilationError(
+            f"configured master node {master!r} is not available for "
+            f"co-allocation at time {at_time}"
+        )
 
-    communicator = SimulatedCommunicator(simulator, pool)
-    monitor = ResourceMonitor(simulator, pool, master_node=master)
+    communicator = SimulatedCommunicator(env, pool)
+    monitor = ResourceMonitor(env, pool, master_node=master)
 
     tracer.record("phase.compilation", "program linked with grid environment",
                   pool=list(pool), master=master,
-                  skeleton=program.properties.name)
+                  skeleton=program.properties.name,
+                  backend=env.name)
     return CompiledProgram(
         program=program,
         topology=topology,
-        simulator=simulator,
+        simulator=getattr(env, "simulator", None),
         communicator=communicator,
         monitor=monitor,
         master_node=master,
         pool=list(pool),
         tracer=tracer,
+        backend=env,
+        owns_backend=owns_backend,
     )

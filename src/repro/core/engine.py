@@ -1,0 +1,241 @@
+"""The shared adaptation machinery of Algorithm 2.
+
+Historically the farm and pipeline executors each re-implemented the same
+calibrate→execute→monitor→adapt loop.  :class:`AdaptiveEngine` is that loop
+extracted once: threshold management, monitoring-window bookkeeping, breach
+decisions, the recalibration feedback edge, history-based re-ranking, and
+the per-round reporting.  The executors keep only what is genuinely
+skeleton-specific — *how* a window of work is produced (demand-driven
+dispatch vs. stage streaming) and *how* a new fittest set is applied
+(worker set vs. stage remapping) — and hand those in as callbacks.
+
+The engine talks to the parallel environment exclusively through the
+:class:`~repro.backends.base.ExecutionBackend` interface, so the identical
+control loop runs in virtual time on the grid simulator and in wall time on
+real threads.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.backends import ExecutionBackend, as_backend
+from repro.core.adaptation import decide, rerank_from_history
+from repro.core.calibration import CalibrationReport, calibrate
+from repro.core.execution import ExecutionReport, MonitoringRound
+from repro.core.parameters import AdaptationAction, GraspConfig
+from repro.exceptions import ExecutionError
+from repro.monitor.monitor import ResourceMonitor
+from repro.skeletons.base import Task
+from repro.utils.tracing import Tracer
+
+__all__ = ["MonitoringWindow", "AdaptiveEngine"]
+
+
+class MonitoringWindow:
+    """Accumulator for one monitoring round of Algorithm 2.
+
+    Collects the normalised times the monitor judges (``unit_times``), the
+    per-node observations the re-ranking path consumes, and the virtual/wall
+    time extent of the monitored work.
+    """
+
+    def __init__(self, floor: float):
+        self.unit_times: List[float] = []
+        self.node_times: Dict[str, List[float]] = collections.defaultdict(list)
+        self.node_loads: Dict[str, List[float]] = collections.defaultdict(list)
+        self.started: float = float("inf")
+        self.finished: float = floor
+
+    @property
+    def empty(self) -> bool:
+        """Whether the monitor collected nothing this round."""
+        return not self.unit_times
+
+    def record_unit(self, unit_time: float) -> None:
+        """Add one normalised time to the round's decision statistic."""
+        self.unit_times.append(unit_time)
+
+    def record_node(self, node_id: str, unit_time: float, load: float) -> None:
+        """Add one per-node observation (feeds the re-ranking path)."""
+        self.node_times[node_id].append(unit_time)
+        self.node_loads[node_id].append(load)
+
+    def span(self, started: Optional[float] = None,
+             finished: Optional[float] = None) -> None:
+        """Extend the window's time extent."""
+        if started is not None:
+            self.started = min(self.started, started)
+        if finished is not None:
+            self.finished = max(self.finished, finished)
+
+
+class AdaptiveEngine:
+    """Backend-agnostic monitoring/adaptation loop shared by all executors."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        config: GraspConfig,
+        master_node: str,
+        pool: Sequence[str],
+        monitor: Optional[ResourceMonitor] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.backend = as_backend(backend)
+        self.config = config
+        self.master_node = master_node
+        self.pool = list(pool)
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.threshold = None
+        self.report: Optional[ExecutionReport] = None
+        self.recalibrations = 0
+        self.round_index = 0
+
+    # ------------------------------------------------------------------ setup
+    def begin(self, calibration: CalibrationReport, start: float) -> ExecutionReport:
+        """Arm the threshold from ``calibration`` and open the report."""
+        self.threshold = self.config.execution.make_threshold()
+        self.threshold.calibrate(calibration.unit_times())
+        self.recalibrations = 0
+        self.round_index = 0
+        self.report = ExecutionReport(started=start, finished=start)
+        return self.report
+
+    # ------------------------------------------------------------------ pools
+    def alive_pool(self, time: float, minimum: int = 1,
+                   insufficient_message: str = "every node in the pool has failed",
+                   ) -> List[str]:
+        """Pool nodes available at ``time``; raise when fewer than ``minimum``."""
+        alive = [n for n in self.pool if self.backend.is_available(n, time)]
+        if len(alive) < max(1, minimum):
+            raise ExecutionError(insufficient_message)
+        return alive
+
+    # ------------------------------------------------------------- monitoring
+    def observe_window(
+        self,
+        window: MonitoringWindow,
+        *,
+        has_pending: bool,
+        nodes_before: Sequence[str],
+        nodes_now: Callable[[], List[str]],
+        on_recalibrate: Callable[[], None],
+        on_rerank: Callable[[], None],
+    ) -> MonitoringRound:
+        """Judge one monitoring window and adapt on a breach (Algorithm 2).
+
+        ``nodes_before`` must be snapshotted before calling; the adaptation
+        callbacks mutate the executor's chosen set / stage mapping and may
+        extend ``window.finished`` (the farm counts recalibration time into
+        the round's extent).
+        """
+        assert self.report is not None and self.threshold is not None, \
+            "begin() must be called before observe_window()"
+        exec_cfg = self.config.execution
+        self.backend.advance_to(window.finished)
+        breached = self.threshold.breached(window.unit_times)
+        z_value = self.threshold.value()
+        self.threshold.observe(window.unit_times)
+        decision = decide(breached, exec_cfg.adaptation, self.recalibrations,
+                          exec_cfg.max_recalibrations)
+
+        if decision.action is AdaptationAction.RECALIBRATE and has_pending:
+            on_recalibrate()
+            self.recalibrations += 1
+        elif decision.action is AdaptationAction.RERANK and has_pending:
+            on_rerank()
+            self.recalibrations += 1
+
+        nodes_after = list(nodes_now())
+        if nodes_after != list(nodes_before):
+            self.report.chosen_history.append(list(nodes_after))
+
+        round_record = MonitoringRound(
+            index=self.round_index,
+            started=window.started if window.started != float("inf") else window.finished,
+            finished=window.finished,
+            unit_times=window.unit_times,
+            threshold=z_value,
+            breached=breached,
+            action=decision.action if breached else None,
+            chosen_before=list(nodes_before),
+            chosen_after=nodes_after,
+        )
+        self.report.rounds.append(round_record)
+        self.round_index += 1
+        return round_record
+
+    # --------------------------------------------------------- feedback edge
+    def recalibrate(
+        self,
+        tasks: Deque[Task],
+        *,
+        at_time: float,
+        execute_fn: Callable[[Task], object],
+        min_nodes: int,
+        consume: bool,
+        min_alive: int = 1,
+        insufficient_message: str = "every node in the pool has failed",
+    ) -> CalibrationReport:
+        """Traverse the feedback edge: re-run Algorithm 1 over the live pool.
+
+        Appends the report and re-arms the threshold from the fresh sample;
+        the caller applies the new fittest set to its skeleton.
+        """
+        assert self.report is not None and self.threshold is not None
+        recal = calibrate(
+            tasks=tasks,
+            pool=self.alive_pool(at_time, minimum=min_alive,
+                                 insufficient_message=insufficient_message),
+            execute_fn=execute_fn,
+            config=self.config.calibration,
+            master_node=self.master_node,
+            min_nodes=min_nodes,
+            at_time=at_time,
+            monitor=self.monitor,
+            consume=consume,
+            tracer=self.tracer,
+            backend=self.backend,
+        )
+        self.report.recalibration_reports.append(recal)
+        self.threshold.calibrate(recal.unit_times())
+        return recal
+
+    def rerank(
+        self,
+        window: MonitoringWindow,
+        *,
+        at_time: float,
+        min_nodes: int,
+        min_alive: int = 1,
+        insufficient_message: str = "every node in the pool has failed",
+    ) -> List[str]:
+        """The cheap adaptation path: re-rank from the window's history."""
+        return rerank_from_history(
+            window.node_times, window.node_loads, self.config.calibration,
+            min_nodes=min_nodes,
+            pool=self.alive_pool(at_time, minimum=min_alive,
+                                 insufficient_message=insufficient_message),
+        )
+
+    # --------------------------------------------------------------- wrap-up
+    def finish(self) -> ExecutionReport:
+        """Close the report.
+
+        ``finished`` accounts for recalibration reports as well as task
+        results: a trailing recalibration's probe work can outlast the last
+        counted result (its uncounted probes still occupy the grid), and a
+        pipeline probe recalibration produces no results at all.
+        """
+        assert self.report is not None
+        report = self.report
+        report.recalibrations = self.recalibrations
+        report.finished = max(
+            [report.started]
+            + [r.finished for r in report.results]
+            + [rep.finished for rep in report.recalibration_reports]
+        )
+        return report

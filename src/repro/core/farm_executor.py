@@ -1,7 +1,7 @@
 """Algorithm 2 for the task farm.
 
 The adaptive farm executor implements the execution phase for the task-farm
-skeleton over the virtual-time grid:
+skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
 
 * **Demand-driven dispatch** — the next task goes to the chosen worker that
   is free earliest (self-scheduling), with inputs shipped from the master
@@ -10,29 +10,36 @@ skeleton over the virtual-time grid:
   (default: one per chosen worker) the monitor inspects the normalised
   execution times of the round; per Algorithm 2, a round whose *minimum*
   time exceeds the threshold *Z* breaches.
-* **Adaptation** — a breach triggers the configured action: full
-  recalibration over the whole node pool (the feedback edge of Figure 1,
-  consuming pending tasks so the probe work still contributes to the job) or
-  a cheap re-ranking from monitoring history.  The new fittest set takes
-  effect for all not-yet-dispatched tasks.
+* **Adaptation** — a breach triggers the configured action via the shared
+  :class:`~repro.core.engine.AdaptiveEngine`: full recalibration over the
+  whole node pool (the feedback edge of Figure 1, consuming pending tasks
+  so the probe work still contributes to the job) or a cheap re-ranking
+  from monitoring history.  The new fittest set takes effect for all
+  not-yet-dispatched tasks.
 * **Failure handling** — a worker that becomes unavailable is dropped from
   the chosen set; a task caught on a failing node is re-enqueued.
+
+On an eager backend (the virtual-time simulator) every dispatch resolves
+immediately and the loop is step-for-step identical to the historical
+executor.  On a concurrent backend (threads) dispatches within a monitoring
+window overlap: the window is filled first and collected afterwards, which
+is where the real parallelism comes from.
 """
 
 from __future__ import annotations
 
-import collections
-from typing import Callable, Deque, Dict, List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence, Tuple, Union
 
-from repro.core.adaptation import decide, rerank_from_history
-from repro.core.calibration import CalibrationReport, calibrate
-from repro.core.execution import ExecutionReport, MonitoringRound
-from repro.core.parameters import AdaptationAction, GraspConfig
+from repro.backends import DispatchHandle, ExecutionBackend, as_backend
+from repro.core.calibration import CalibrationReport
+from repro.core.engine import AdaptiveEngine, MonitoringWindow
+from repro.core.execution import ExecutionReport
+from repro.core.parameters import GraspConfig
 from repro.core.scheduler import DemandDrivenScheduler
 from repro.exceptions import ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
-from repro.skeletons.base import Task, TaskResult
+from repro.skeletons.base import Task
 from repro.utils.tracing import Tracer
 
 __all__ = ["FarmExecutor"]
@@ -49,7 +56,7 @@ class FarmExecutor:
     def __init__(
         self,
         execute_fn: Callable[[Task], object],
-        simulator: GridSimulator,
+        simulator: Union[GridSimulator, ExecutionBackend],
         config: GraspConfig,
         master_node: str,
         pool: Sequence[str],
@@ -57,12 +64,13 @@ class FarmExecutor:
         monitor: Optional[ResourceMonitor] = None,
         tracer: Optional[Tracer] = None,
     ):
-        if master_node not in simulator.topology:
+        self.backend = as_backend(simulator)
+        if not self.backend.has_node(master_node):
             raise ExecutionError(f"unknown master node {master_node!r}")
         if not pool:
             raise ExecutionError("farm executor needs a non-empty node pool")
         self.execute_fn = execute_fn
-        self.simulator = simulator
+        self.simulator = getattr(self.backend, "simulator", None)
         self.config = config
         self.master_node = master_node
         self.pool = list(pool)
@@ -70,143 +78,117 @@ class FarmExecutor:
         self.monitor = monitor
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.scheduler = DemandDrivenScheduler()
+        self.engine = AdaptiveEngine(
+            backend=self.backend, config=config, master_node=master_node,
+            pool=self.pool, monitor=monitor, tracer=self.tracer,
+        )
 
     # ------------------------------------------------------------------ run
     def run(self, tasks: Deque[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Execute all pending ``tasks`` adaptively; return the report."""
         exec_cfg = self.config.execution
+        engine = self.engine
         start = calibration.finished if start_time is None else float(start_time)
 
         chosen = self._workers_from(calibration.chosen)
-        threshold = exec_cfg.make_threshold()
-        threshold.calibrate(calibration.unit_times())
-
-        report = ExecutionReport(started=start, finished=start)
+        report = engine.begin(calibration, start)
         report.chosen_history.append(list(chosen))
 
         master_free = start
-        round_index = 0
-        recalibrations = 0
 
         self.tracer.record("phase.execution.start", "farm execution started",
                            chosen=list(chosen), tasks=len(tasks))
 
-        while tasks:
-            window = exec_cfg.monitor_interval or len(chosen)
-            window = max(1, window)
-            window_tasks = min(window, len(tasks))
+        def collect(task: Task, handle: DispatchHandle) -> int:
+            """Fold one finished dispatch into the window; 1 on success."""
+            nonlocal chosen
+            outcome = handle.outcome()
+            if outcome.lost:
+                tasks.appendleft(task)
+                report.lost_tasks += 1
+                chosen = [n for n in chosen if n != outcome.node_id]
+                if not chosen:
+                    chosen = self._recover_pool(master_free)
+                report.chosen_history.append(list(chosen))
+                return 0
+            report.results.append(outcome.to_task_result(task))
+            cost = task.cost if task.cost > 0 else 1.0
+            unit_time = outcome.duration / cost
+            window.record_unit(unit_time)
+            window.record_node(outcome.node_id, unit_time, outcome.load)
+            window.span(outcome.submitted, outcome.finished)
+            return 1
 
-            unit_times: List[float] = []
-            node_times: Dict[str, List[float]] = collections.defaultdict(list)
-            node_loads: Dict[str, List[float]] = collections.defaultdict(list)
-            window_start = float("inf")
-            window_end = start
+        while tasks:
+            window_size = max(1, exec_cfg.monitor_interval or len(chosen))
+            window_tasks = min(window_size, len(tasks))
+            window = MonitoringWindow(floor=start)
 
             dispatched = 0
+            inflight: List[Tuple[Task, DispatchHandle]] = []
             while dispatched < window_tasks and tasks:
                 task = tasks.popleft()
-                outcome = self._dispatch(task, chosen, master_free)
-                if outcome is None:
+                handle = self._dispatch(task, chosen, master_free)
+                if handle is None:
                     # Every chosen worker is dead: force recalibration over
                     # the remaining pool (or fail if nothing is left).
                     tasks.appendleft(task)
-                    chosen = self._recover_pool(chosen, master_free)
+                    chosen = self._recover_pool(master_free)
                     report.chosen_history.append(list(chosen))
                     continue
-                result, execution, send_start, master_free_after, lost = outcome
-                master_free = master_free_after
-                if lost:
-                    tasks.appendleft(task)
-                    report.lost_tasks += 1
-                    chosen = [n for n in chosen if n != execution.node_id]
-                    if not chosen:
-                        chosen = self._recover_pool(chosen, master_free)
-                    report.chosen_history.append(list(chosen))
-                    continue
+                master_free = handle.master_free_after
+                if self.backend.eager:
+                    dispatched += collect(task, handle)
+                else:
+                    # Concurrent backend: let the window overlap; losses
+                    # cannot occur (threads do not fail like grid nodes).
+                    inflight.append((task, handle))
+                    dispatched += 1
+            for task, handle in inflight:
+                collect(task, handle)
 
-                report.results.append(result)
-                dispatched += 1
-                cost = task.cost if task.cost > 0 else 1.0
-                unit_times.append(execution.duration / cost)
-                node_times[execution.node_id].append(execution.duration / cost)
-                node_loads[execution.node_id].append(
-                    self.simulator.observe_load(execution.node_id, execution.started)
-                )
-                window_start = min(window_start, send_start)
-                window_end = max(window_end, result.finished)
-
-            if not unit_times:
+            if window.empty:
                 continue
 
             # --------------------------------------------------- monitoring
-            self.simulator.advance_to(window_end)
-            breached = threshold.breached(unit_times)
-            z_value = threshold.value()
-            threshold.observe(unit_times)
-            decision = decide(breached, exec_cfg.adaptation, recalibrations,
-                              exec_cfg.max_recalibrations)
             chosen_before = list(chosen)
 
-            if decision.action is AdaptationAction.RECALIBRATE and tasks:
-                recal = calibrate(
-                    tasks=tasks,
-                    pool=self._alive_pool(window_end),
-                    execute_fn=self.execute_fn,
-                    simulator=self.simulator,
-                    config=self.config.calibration,
-                    master_node=self.master_node,
-                    min_nodes=self.min_nodes,
-                    at_time=window_end,
-                    monitor=self.monitor,
-                    consume=True,
-                    tracer=self.tracer,
+            def on_recalibrate() -> None:
+                nonlocal chosen, master_free
+                recal = engine.recalibrate(
+                    tasks, at_time=window.finished, execute_fn=self.execute_fn,
+                    min_nodes=self.min_nodes, consume=True,
                 )
                 report.results.extend(recal.results)
-                report.recalibration_reports.append(recal)
                 chosen = self._workers_from(recal.chosen)
-                threshold.calibrate(recal.unit_times())
                 master_free = max(master_free, recal.finished)
-                window_end = max(window_end, recal.finished)
-                recalibrations += 1
+                window.span(finished=recal.finished)
                 self.tracer.record("adaptation.recalibrate", "farm recalibrated",
-                                   round=round_index, chosen=list(chosen))
-            elif decision.action is AdaptationAction.RERANK and tasks:
+                                   round=engine.round_index, chosen=list(chosen))
+
+            def on_rerank() -> None:
+                nonlocal chosen
                 chosen = self._workers_from(
-                    rerank_from_history(
-                        node_times, node_loads, self.config.calibration,
-                        min_nodes=self.min_nodes, pool=self._alive_pool(window_end),
-                    )
+                    engine.rerank(window, at_time=window.finished,
+                                  min_nodes=self.min_nodes)
                 )
-                recalibrations += 1
                 self.tracer.record("adaptation.rerank", "farm re-ranked",
-                                   round=round_index, chosen=list(chosen))
+                                   round=engine.round_index, chosen=list(chosen))
 
-            if chosen != chosen_before:
-                report.chosen_history.append(list(chosen))
-
-            report.rounds.append(
-                MonitoringRound(
-                    index=round_index,
-                    started=window_start if window_start != float("inf") else window_end,
-                    finished=window_end,
-                    unit_times=unit_times,
-                    threshold=z_value,
-                    breached=breached,
-                    action=decision.action if breached else None,
-                    chosen_before=chosen_before,
-                    chosen_after=list(chosen),
-                )
+            engine.observe_window(
+                window,
+                has_pending=bool(tasks),
+                nodes_before=chosen_before,
+                nodes_now=lambda: list(chosen),
+                on_recalibrate=on_recalibrate,
+                on_rerank=on_rerank,
             )
-            round_index += 1
 
-        report.recalibrations = recalibrations
-        report.finished = max(
-            [report.started] + [r.finished for r in report.results]
-        )
+        report = engine.finish()
         self.tracer.record("phase.execution.end", "farm execution finished",
                            results=len(report.results),
-                           recalibrations=recalibrations)
+                           recalibrations=report.recalibrations)
         return report
 
     # ------------------------------------------------------------ internals
@@ -223,52 +205,30 @@ class FarmExecutor:
             raise ExecutionError("calibration selected an empty worker set")
         return workers
 
-    def _alive_pool(self, time: float) -> List[str]:
-        alive = [n for n in self.pool if self.simulator.is_available(n, time)]
-        if not alive:
-            raise ExecutionError("every node in the pool has failed")
-        return alive
-
-    def _recover_pool(self, chosen: Sequence[str], time: float) -> List[str]:
+    def _recover_pool(self, time: float) -> List[str]:
         """Rebuild the worker set from whatever pool nodes are still alive."""
-        alive = self._alive_pool(time)
+        alive = self.engine.alive_pool(time)
         self.tracer.record("adaptation.failover", "rebuilt worker set after failures",
                            alive=list(alive))
         return self._workers_from(alive)
 
-    def _dispatch(self, task: Task, chosen: Sequence[str], master_free: float):
-        """Send one task to the earliest-free worker and execute it.
+    def _dispatch(self, task: Task, chosen: Sequence[str],
+                  master_free: float) -> Optional[DispatchHandle]:
+        """Send one task to the earliest-free chosen worker.
 
-        Returns ``None`` when no chosen worker is available, otherwise a
-        tuple ``(result, execution, send_start, new_master_free, lost)``
-        where ``lost`` indicates the node failed before completing the task.
+        Returns ``None`` when no chosen worker is available.
         """
+        backend = self.backend
         ready = {
-            node: max(self.simulator.node_free_at(node), master_free)
+            node: max(backend.node_free_at(node), master_free)
             for node in chosen
-            if self.simulator.is_available(node, max(self.simulator.node_free_at(node),
-                                                     master_free))
+            if backend.is_available(node, max(backend.node_free_at(node),
+                                              master_free))
         }
         if not ready:
             return None
         node = self.scheduler.next_node(ready)
-        send_start = ready[node]
-
-        send = self.simulator.transfer(self.master_node, node, task.input_bytes,
-                                       at_time=send_start)
-        execution = self.simulator.run_task(node, task.cost, at_time=send.finished)
-        new_master_free = send.finished
-
-        if not self.simulator.is_available(node, execution.finished):
-            # The node failed while (virtually) holding the task.
-            return (None, execution, send_start, new_master_free, True)
-
-        back = self.simulator.transfer(node, self.master_node, task.output_bytes,
-                                       at_time=execution.finished)
-        output = self.execute_fn(task)
-        result = TaskResult(
-            task_id=task.task_id, output=output, node_id=node,
-            submitted=send_start, started=execution.started,
-            finished=back.finished, stage=task.stage,
+        return backend.dispatch(
+            task, node, self.execute_fn, master_node=self.master_node,
+            at_time=ready[node], check_loss=True,
         )
-        return (result, execution, send_start, new_master_free, False)

@@ -5,8 +5,10 @@ grid topology, :meth:`Grasp.run` walks the methodology of Figure 1:
 
 1. **Programming** — wrap the skeleton and its parameterisation into a
    :class:`~repro.core.program.SkeletalProgram`.
-2. **Compilation** — bind it to the grid (simulator, communicator, monitor)
-   via :func:`~repro.core.compilation.compile_program`.
+2. **Compilation** — bind it to the parallel environment (an
+   :class:`~repro.backends.base.ExecutionBackend` — the virtual-time grid
+   simulator or real OS threads — plus communicator and monitor) via
+   :func:`~repro.core.compilation.compile_program`.
 3. **Calibration** — Algorithm 1 selects the fittest nodes (the sample work
    counts toward the job).
 4. **Execution** — Algorithm 2 runs the skeleton adaptively, feeding back to
@@ -19,9 +21,10 @@ experiments can measure exactly what the paper's evaluation measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.backends import ExecutionBackend
 from repro.core.calibration import CalibrationReport, calibrate
 from repro.core.compilation import CompiledProgram, compile_program
 from repro.core.execution import ExecutionReport
@@ -87,12 +90,22 @@ class GraspResult:
 class Grasp:
     """Adaptive structured-parallelism runtime (the paper's contribution).
 
+    ``backend`` selects the parallel environment: ``"simulated"`` (default,
+    deterministic virtual time), ``"thread"`` (real OS threads under
+    wall-clock monitoring) or any
+    :class:`~repro.backends.base.ExecutionBackend` instance.
+
     Examples
     --------
     >>> from repro import Grasp, TaskFarm, GridBuilder
     >>> grid = GridBuilder().heterogeneous(nodes=6, speed_spread=4.0).build(seed=1)
     >>> grasp = Grasp(skeleton=TaskFarm(worker=lambda x: x + 1), grid=grid)
     >>> result = grasp.run(inputs=range(32))
+    >>> result.outputs == [x + 1 for x in range(32)]
+    True
+
+    >>> result = Grasp(skeleton=TaskFarm(worker=lambda x: x + 1), grid=grid,
+    ...                backend="thread").run(inputs=range(32))
     >>> result.outputs == [x + 1 for x in range(32)]
     True
     """
@@ -103,11 +116,13 @@ class Grasp:
         grid: GridTopology,
         config: Optional[GraspConfig] = None,
         simulator: Optional[GridSimulator] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ):
         self.skeleton = skeleton
         self.grid = grid
         self.config = config or GraspConfig()
         self._external_simulator = simulator
+        self._backend = backend
 
     # ------------------------------------------------------------------ run
     def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> GraspResult:
@@ -125,7 +140,17 @@ class Grasp:
         timeline.enter(Phase.COMPILATION, start_time)
         compiled = compile_program(program, self.grid,
                                    simulator=self._external_simulator,
-                                   at_time=start_time)
+                                   at_time=start_time,
+                                   backend=self._backend)
+        try:
+            return self._run_compiled(compiled, program, tasks, expected,
+                                      timeline, start_time)
+        finally:
+            if compiled.owns_backend:
+                compiled.backend.close()
+
+    def _run_compiled(self, compiled, program, tasks, expected, timeline,
+                      start_time: float) -> GraspResult:
         compiled.tracer.record("phase.programming", "skeletal program created",
                                tasks=expected,
                                skeleton=program.properties.name)
@@ -137,7 +162,6 @@ class Grasp:
             tasks=tasks,
             pool=compiled.pool,
             execute_fn=program.execute_task,
-            simulator=compiled.simulator,
             config=self.config.calibration,
             master_node=compiled.master_node,
             min_nodes=program.min_nodes,
@@ -145,6 +169,7 @@ class Grasp:
             monitor=compiled.monitor,
             consume=True,
             tracer=compiled.tracer,
+            backend=compiled.backend,
         )
         timeline.leave(calibration.finished)
 
@@ -153,7 +178,7 @@ class Grasp:
         if program.is_pipeline:
             executor = PipelineExecutor(
                 pipeline=program.pipeline,
-                simulator=compiled.simulator,
+                simulator=compiled.backend,
                 config=self.config,
                 master_node=compiled.master_node,
                 pool=compiled.pool,
@@ -169,7 +194,7 @@ class Grasp:
         else:
             executor = FarmExecutor(
                 execute_fn=program.execute_task,
-                simulator=compiled.simulator,
+                simulator=compiled.backend,
                 config=self.config,
                 master_node=compiled.master_node,
                 pool=compiled.pool,
@@ -203,7 +228,7 @@ class Grasp:
         outputs = program.assemble(ordered_outputs)
 
         makespan = max(execution.finished, calibration.finished) - start_time
-        compiled.simulator.advance_to(execution.finished)
+        compiled.backend.advance_to(execution.finished)
 
         return GraspResult(
             outputs=outputs,

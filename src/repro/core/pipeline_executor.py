@@ -1,7 +1,7 @@
 """Algorithm 2 for the pipeline.
 
 The adaptive pipeline executor implements the execution phase for the
-pipeline skeleton:
+pipeline skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
 
 * **Stage mapping** — the calibration ranking assigns the heaviest stages
   (by estimated per-item cost) to the fittest nodes.  When
@@ -9,29 +9,39 @@ pipeline skeleton:
   stages, the spare nodes replicate the costliest *replicable* stages and
   items alternate between replicas.
 * **Streaming** — items flow through the stages in order; a stage's node
-  serialises its items (the simulator's per-core queue provides the stage
-  occupancy), and inter-stage transfers are charged on the grid links.
+  serialises its items (each node is a serial resource in every backend),
+  and inter-stage transfers are charged through the backend's transfer-cost
+  hook.
 * **Monitoring rounds** — every ``monitor_interval`` completed items
   (default: one round per chosen node count) the monitor, which receives
   every result, collects the gaps between consecutive item completions
   normalised per work unit (the pipeline's reciprocal throughput);
   ``min(T) > Z`` breaches.  Per-stage times are still recorded for the
   re-ranking path.
-* **Adaptation** — a breach triggers a probe recalibration (the probes reuse
-  a representative item and are *not* counted as job output, because an item
-  cannot leave the stream) followed by a remapping of stages onto the new
-  fittest nodes; each remapped stage is charged a state-migration transfer.
+* **Adaptation** — a breach triggers, via the shared
+  :class:`~repro.core.engine.AdaptiveEngine`, a probe recalibration (the
+  probes reuse a representative item and are *not* counted as job output,
+  because an item cannot leave the stream) followed by a remapping of
+  stages onto the new fittest nodes; each remapped stage is charged a
+  state-migration transfer.
+
+On an eager backend (the simulator) items stream synchronously and the
+result is bit-identical to the historical executor; on a concurrent backend
+the stage chains of a monitoring window execute as overlapping futures —
+genuine pipelining on real threads.
 """
 
 from __future__ import annotations
 
-import collections
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.adaptation import decide, rerank_from_history
-from repro.core.calibration import CalibrationReport, calibrate
-from repro.core.execution import ExecutionReport, MonitoringRound
-from repro.core.parameters import AdaptationAction, GraspConfig
+import collections
+
+from repro.backends import ChainStage, DispatchHandle, ExecutionBackend, as_backend
+from repro.core.calibration import CalibrationReport
+from repro.core.engine import AdaptiveEngine, MonitoringWindow
+from repro.core.execution import ExecutionReport
+from repro.core.parameters import GraspConfig
 from repro.exceptions import ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
@@ -39,7 +49,26 @@ from repro.skeletons.base import Task, TaskResult
 from repro.skeletons.pipeline import Pipeline
 from repro.utils.tracing import Tracer
 
-__all__ = ["PipelineExecutor", "StageMapping"]
+__all__ = ["PipelineExecutor", "StageMapping", "build_stage_mapping",
+           "lower_pipeline_stages"]
+
+
+def lower_pipeline_stages(pipeline: Pipeline, pick_for_stage) -> List[ChainStage]:
+    """Lower ``pipeline`` onto backend chain stages.
+
+    ``pick_for_stage(index)`` returns the node-pick callable for one stage
+    (a fixed node for static mappings, replica selection for adaptive
+    ones); cost and apply always come from the pipeline itself, so every
+    chain construction shares one lowering.
+    """
+    return [
+        ChainStage(
+            pick=pick_for_stage(index),
+            cost=(lambda value, _i=index: pipeline.stage_cost(_i, value)),
+            apply=(lambda value, _i=index: pipeline.apply_stage(_i, value)),
+        )
+        for index in range(pipeline.num_stages)
+    ]
 
 
 class StageMapping:
@@ -122,30 +151,36 @@ class PipelineExecutor:
     def __init__(
         self,
         pipeline: Pipeline,
-        simulator: GridSimulator,
+        simulator: Union[GridSimulator, ExecutionBackend],
         config: GraspConfig,
         master_node: str,
         pool: Sequence[str],
         monitor: Optional[ResourceMonitor] = None,
         tracer: Optional[Tracer] = None,
     ):
-        if master_node not in simulator.topology:
+        self.backend = as_backend(simulator)
+        if not self.backend.has_node(master_node):
             raise ExecutionError(f"unknown master node {master_node!r}")
         if not pool:
             raise ExecutionError("pipeline executor needs a non-empty node pool")
         self.pipeline = pipeline
-        self.simulator = simulator
+        self.simulator = getattr(self.backend, "simulator", None)
         self.config = config
         self.master_node = master_node
         self.pool = list(pool)
         self.monitor = monitor
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.engine = AdaptiveEngine(
+            backend=self.backend, config=config, master_node=master_node,
+            pool=self.pool, monitor=monitor, tracer=self.tracer,
+        )
 
     # ------------------------------------------------------------------ run
     def run(self, tasks: Sequence[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Stream every item through the pipeline adaptively; return the report."""
         exec_cfg = self.config.execution
+        engine = self.engine
         start = calibration.finished if start_time is None else float(start_time)
         items = list(tasks)
         if not items:
@@ -156,19 +191,16 @@ class PipelineExecutor:
             self.pipeline, calibration.chosen, sample_item,
             replicate=exec_cfg.replicate_stages,
         )
-        threshold = exec_cfg.make_threshold()
-        threshold.calibrate(calibration.unit_times())
+        chain = self._chain_stages(mapping)
 
-        report = ExecutionReport(started=start, finished=start)
+        report = engine.begin(calibration, start)
         report.chosen_history.append(mapping.all_nodes())
 
         # Results of calibration-phase items are produced by the caller
         # (Grasp.run) because the pipeline sample runs all stages per item.
-        window = exec_cfg.monitor_interval or max(len(mapping.all_nodes()), 1)
-        window = max(1, window)
+        window_size = max(1, exec_cfg.monitor_interval or
+                          max(len(mapping.all_nodes()), 1))
 
-        round_index = 0
-        recalibrations = 0
         emit_time = start  # the master releases items into the stream
         pending = collections.deque(items)
 
@@ -184,164 +216,128 @@ class PipelineExecutor:
         # is throttled by a degraded stage, so the skeleton adapts.
         last_completion: Optional[float] = None
 
-        while pending:
-            unit_times: List[float] = []
-            node_times: Dict[str, List[float]] = collections.defaultdict(list)
-            node_loads: Dict[str, List[float]] = collections.defaultdict(list)
-            window_start = float("inf")
-            window_end = emit_time
-
-            for _ in range(min(window, len(pending))):
-                task = pending.popleft()
-                result, stage_records, emit_time, item_cost = self._stream_item(
-                    task, mapping, emit_time
+        def collect(task: Task, outcome) -> None:
+            """Fold one streamed item into the window and the report."""
+            nonlocal last_completion
+            result = TaskResult(
+                task_id=task.task_id, output=outcome.output,
+                node_id=outcome.final_node, submitted=outcome.submitted,
+                started=outcome.submitted, finished=outcome.finished,
+                stage=self.pipeline.num_stages - 1,
+            )
+            report.results.append(result)
+            window.span(result.submitted, result.finished)
+            if last_completion is not None:
+                gap = max(result.finished - last_completion, 0.0)
+                window.record_unit(
+                    gap / (outcome.item_cost if outcome.item_cost > 0 else 1.0)
                 )
-                report.results.append(result)
-                window_start = min(window_start, result.submitted)
-                window_end = max(window_end, result.finished)
-                if last_completion is not None:
-                    gap = max(result.finished - last_completion, 0.0)
-                    unit_times.append(gap / (item_cost if item_cost > 0 else 1.0))
-                last_completion = result.finished
-                for node_id, duration, cost, started in stage_records:
-                    normalised = duration / (cost if cost > 0 else 1.0)
-                    node_times[node_id].append(normalised)
-                    node_loads[node_id].append(
-                        self.simulator.observe_load(node_id, started)
-                    )
+            last_completion = result.finished
+            for node_id, duration, cost, started in outcome.stage_records:
+                window.record_node(
+                    node_id,
+                    duration / (cost if cost > 0 else 1.0),
+                    self.backend.observe_load(node_id, started),
+                )
 
-            if not unit_times:
+        while pending:
+            window = MonitoringWindow(floor=emit_time)
+            inflight: List[Tuple[Task, DispatchHandle]] = []
+
+            for _ in range(min(window_size, len(pending))):
+                task = pending.popleft()
+                handle = self.backend.dispatch_chain(
+                    task, chain, master_node=self.master_node, at_time=emit_time,
+                )
+                emit_time = handle.next_emit
+                if self.backend.eager:
+                    collect(task, handle.outcome())
+                else:
+                    inflight.append((task, handle))
+            # Concurrent chains may finish out of submission order; fold them
+            # by completion time so the inter-arrival gap statistic (and its
+            # zero clamp) keeps measuring real throughput.
+            resolved = [(task, handle.outcome()) for task, handle in inflight]
+            for task, outcome in sorted(resolved, key=lambda pair: pair[1].finished):
+                collect(task, outcome)
+
+            if window.empty:
                 continue
 
-            self.simulator.advance_to(window_end)
-            breached = threshold.breached(unit_times)
-            z_value = threshold.value()
-            threshold.observe(unit_times)
-            decision = decide(breached, exec_cfg.adaptation, recalibrations,
-                              exec_cfg.max_recalibrations)
+            # --------------------------------------------------- monitoring
             nodes_before = mapping.all_nodes()
 
-            if decision.action is AdaptationAction.RECALIBRATE and pending:
+            def on_recalibrate() -> None:
+                nonlocal mapping, chain, emit_time
                 probe_queue: collections.deque = collections.deque([pending[0]])
-                recal = calibrate(
-                    tasks=probe_queue,
-                    pool=self._alive_pool(window_end),
-                    execute_fn=lambda t: None,
-                    simulator=self.simulator,
-                    config=self.config.calibration,
-                    master_node=self.master_node,
-                    min_nodes=self.pipeline.num_stages,
-                    at_time=window_end,
-                    monitor=self.monitor,
-                    consume=False,
-                    tracer=self.tracer,
+                # Probes are never counted (consume=False), so the simulator
+                # skips the payload entirely; measurement-based backends run
+                # the full stage chain to time the node on real work.
+                recal = engine.recalibrate(
+                    probe_queue, at_time=window.finished,
+                    execute_fn=lambda t: self.pipeline.run_item(t.payload),
+                    min_nodes=self.pipeline.num_stages, consume=False,
+                    min_alive=self.pipeline.num_stages,
+                    insufficient_message=(
+                        "not enough live nodes to host every pipeline stage"
+                    ),
                 )
-                report.recalibration_reports.append(recal)
                 new_mapping = build_stage_mapping(
                     self.pipeline, recal.chosen, sample_item,
                     replicate=exec_cfg.replicate_stages,
                 )
                 emit_time = self._apply_remap(mapping, new_mapping,
-                                              max(window_end, recal.finished))
+                                              max(window.finished, recal.finished))
                 mapping = new_mapping
-                threshold.calibrate(recal.unit_times())
-                recalibrations += 1
+                chain = self._chain_stages(mapping)
                 self.tracer.record("adaptation.recalibrate", "pipeline remapped",
-                                   round=round_index, mapping=mapping.as_dict())
-            elif decision.action is AdaptationAction.RERANK and pending:
-                ranked = rerank_from_history(
-                    node_times, node_loads, self.config.calibration,
+                                   round=engine.round_index,
+                                   mapping=mapping.as_dict())
+
+            def on_rerank() -> None:
+                nonlocal mapping, chain, emit_time
+                ranked = engine.rerank(
+                    window, at_time=window.finished,
                     min_nodes=self.pipeline.num_stages,
-                    pool=self._alive_pool(window_end),
+                    min_alive=self.pipeline.num_stages,
+                    insufficient_message=(
+                        "not enough live nodes to host every pipeline stage"
+                    ),
                 )
                 new_mapping = build_stage_mapping(
                     self.pipeline, ranked, sample_item,
                     replicate=exec_cfg.replicate_stages,
                 )
-                emit_time = self._apply_remap(mapping, new_mapping, window_end)
+                emit_time = self._apply_remap(mapping, new_mapping, window.finished)
                 mapping = new_mapping
-                recalibrations += 1
+                chain = self._chain_stages(mapping)
                 self.tracer.record("adaptation.rerank", "pipeline re-ranked",
-                                   round=round_index, mapping=mapping.as_dict())
+                                   round=engine.round_index,
+                                   mapping=mapping.as_dict())
 
-            if mapping.all_nodes() != nodes_before:
-                report.chosen_history.append(mapping.all_nodes())
-
-            report.rounds.append(
-                MonitoringRound(
-                    index=round_index,
-                    started=window_start if window_start != float("inf") else window_end,
-                    finished=window_end,
-                    unit_times=unit_times,
-                    threshold=z_value,
-                    breached=breached,
-                    action=decision.action if breached else None,
-                    chosen_before=nodes_before,
-                    chosen_after=mapping.all_nodes(),
-                )
+            engine.observe_window(
+                window,
+                has_pending=bool(pending),
+                nodes_before=nodes_before,
+                nodes_now=lambda: mapping.all_nodes(),
+                on_recalibrate=on_recalibrate,
+                on_rerank=on_rerank,
             )
-            round_index += 1
 
-        report.recalibrations = recalibrations
-        report.finished = max(
-            [report.started] + [r.finished for r in report.results]
-        )
+        report = engine.finish()
         self.tracer.record("phase.execution.end", "pipeline execution finished",
                            results=len(report.results),
-                           recalibrations=recalibrations)
+                           recalibrations=report.recalibrations)
         return report
 
     # ------------------------------------------------------------ internals
-    def _alive_pool(self, time: float) -> List[str]:
-        alive = [n for n in self.pool if self.simulator.is_available(n, time)]
-        if len(alive) < self.pipeline.num_stages:
-            raise ExecutionError(
-                "not enough live nodes to host every pipeline stage"
-            )
-        return alive
-
-    def _stream_item(
-        self, task: Task, mapping: StageMapping, emit_time: float
-    ) -> Tuple[TaskResult, List[Tuple[str, float, float, float]], float, float]:
-        """Push one item through every stage; return its result and stage records.
-
-        Returns ``(result, stage_records, next_emit_time, item_cost)`` where
-        each stage record is ``(node_id, duration, cost, started)``,
-        ``next_emit_time`` is when the master may release the next item (the
-        first stage's input hand-off completes) and ``item_cost`` is the
-        item's total compute cost across all stages.
-        """
-        value = task.payload
-        stage_records: List[Tuple[str, float, float, float]] = []
-        previous_node = self.master_node
-        available_at = emit_time
-        payload_bytes = task.input_bytes
-        first_handoff = emit_time
-        item_cost = 0.0
-
-        for stage_index in range(self.pipeline.num_stages):
-            node = mapping.pick_node(stage_index, self.simulator.node_free_at)
-            transfer = self.simulator.transfer(previous_node, node, payload_bytes,
-                                               at_time=available_at)
-            if stage_index == 0:
-                first_handoff = transfer.finished
-            cost = self.pipeline.stage_cost(stage_index, value)
-            item_cost += cost
-            execution = self.simulator.run_task(node, cost, at_time=transfer.finished)
-            value = self.pipeline.apply_stage(stage_index, value)
-            stage_records.append((node, execution.duration, cost, execution.started))
-            previous_node = node
-            available_at = execution.finished
-            payload_bytes = task.output_bytes
-
-        back = self.simulator.transfer(previous_node, self.master_node,
-                                       task.output_bytes, at_time=available_at)
-        result = TaskResult(
-            task_id=task.task_id, output=value, node_id=previous_node,
-            submitted=emit_time, started=emit_time, finished=back.finished,
-            stage=self.pipeline.num_stages - 1,
+    def _chain_stages(self, mapping: StageMapping) -> List[ChainStage]:
+        """Lower the current stage mapping onto backend chain stages."""
+        return lower_pipeline_stages(
+            self.pipeline,
+            lambda index: (lambda free_at, _i=index, _m=mapping:
+                           _m.pick_node(_i, free_at)),
         )
-        return result, stage_records, first_handoff, item_cost
 
     def _apply_remap(self, old: StageMapping, new: StageMapping, at_time: float) -> float:
         """Charge state migration for every stage whose node changed.
@@ -355,7 +351,7 @@ class PipelineExecutor:
         for stage, new_nodes in new.as_dict().items():
             old_nodes = old.as_dict().get(stage, [])
             if old_nodes and new_nodes and old_nodes[0] != new_nodes[0]:
-                transfer = self.simulator.transfer(old_nodes[0], new_nodes[0],
-                                                   migration_bytes, at_time=at_time)
+                transfer = self.backend.transfer(old_nodes[0], new_nodes[0],
+                                                 migration_bytes, at_time=at_time)
                 resume = max(resume, transfer.finished)
         return resume

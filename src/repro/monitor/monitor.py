@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.grid.simulator import GridSimulator
 from repro.monitor.forecasters import AdaptiveForecaster, Forecaster
 from repro.monitor.sensors import BandwidthSensor, CpuLoadSensor
 
@@ -38,7 +37,8 @@ class ResourceMonitor:
     Parameters
     ----------
     simulator:
-        The grid simulator supplying the observables.
+        The environment supplying the observables: the grid simulator or
+        any :class:`~repro.backends.base.ExecutionBackend`.
     node_ids:
         Nodes to monitor.
     master_node:
@@ -52,7 +52,7 @@ class ResourceMonitor:
 
     def __init__(
         self,
-        simulator: GridSimulator,
+        simulator,
         node_ids: Sequence[str],
         master_node: Optional[str] = None,
         forecaster: Optional[Forecaster] = None,

@@ -1,9 +1,12 @@
 """Resource sensors.
 
-Sensors bridge the grid simulator's observables (external CPU utilisation and
-effective link bandwidth) into the monitoring layer's time series.  Each
-sensor owns its own :class:`repro.monitor.history.TimeSeries` and can be
-polled at arbitrary virtual times.
+Sensors bridge an execution environment's observables (external CPU
+utilisation and effective link bandwidth) into the monitoring layer's time
+series.  Each sensor owns its own
+:class:`repro.monitor.history.TimeSeries` and can be polled at arbitrary
+times.  The environment may be the virtual-time grid simulator or any
+:class:`~repro.backends.base.ExecutionBackend` — sensors only require the
+``observe_load`` / ``observe_bandwidth`` / ``topology`` surface.
 """
 
 from __future__ import annotations
@@ -11,7 +14,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
-from repro.grid.simulator import GridSimulator
 from repro.monitor.history import TimeSeries
 
 __all__ = ["Sensor", "CpuLoadSensor", "BandwidthSensor"]
@@ -45,7 +47,7 @@ class Sensor:
 class CpuLoadSensor(Sensor):
     """External CPU utilisation of one grid node (fraction in [0, 1))."""
 
-    def __init__(self, simulator: GridSimulator, node_id: str, capacity: int = 1024):
+    def __init__(self, simulator, node_id: str, capacity: int = 1024):
         super().__init__(name=f"cpu/{node_id}", capacity=capacity)
         if node_id not in simulator.topology:
             raise ConfigurationError(f"unknown node {node_id!r}")
@@ -59,7 +61,7 @@ class CpuLoadSensor(Sensor):
 class BandwidthSensor(Sensor):
     """Effective bandwidth (bytes/s) between two grid nodes."""
 
-    def __init__(self, simulator: GridSimulator, src: str, dst: str, capacity: int = 1024):
+    def __init__(self, simulator, src: str, dst: str, capacity: int = 1024):
         super().__init__(name=f"bw/{src}->{dst}", capacity=capacity)
         for node_id in (src, dst):
             if node_id not in simulator.topology:

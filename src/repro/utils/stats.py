@@ -91,12 +91,17 @@ def summarise(values: Iterable[float]) -> Summary:
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sample")
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # Pairwise summation can put the mean an ulp outside [min, max] for
+    # near-identical samples; clamp so Summary invariants always hold.
+    mean = min(max(float(arr.mean()), minimum), maximum)
     return Summary(
         count=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         std=float(arr.std(ddof=0)),
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        minimum=minimum,
+        maximum=maximum,
         median=float(np.median(arr)),
     )
 

@@ -1,0 +1,117 @@
+"""Capture golden virtual-time results from the current executors.
+
+Run manually (PYTHONPATH=src python tests/_golden_capture.py) to print the
+scenario table embedded in tests/test_backends_equivalence.py.  The values
+pin the simulated execution path: any refactor of the executors/backends
+must reproduce them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import (
+    DivideAndConquer,
+    Grasp,
+    GraspConfig,
+    MapSkeleton,
+    Pipeline,
+    ReduceSkeleton,
+    Stage,
+    TaskFarm,
+)
+from repro.core.parameters import AdaptationAction
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridBuilder, GridTopology
+
+
+def hetero_grid() -> GridTopology:
+    return GridBuilder().heterogeneous(nodes=8, speed_spread=4.0).named("hetero").build(seed=1)
+
+
+def dynamic_grid() -> GridTopology:
+    return (
+        GridBuilder()
+        .heterogeneous(nodes=8, speed_spread=4.0)
+        .with_dynamic_load("randomwalk", mean_level=0.35)
+        .named("dynamic")
+        .build(seed=2)
+    )
+
+
+def spike_grid() -> GridTopology:
+    nodes = [
+        GridNode(node_id=f"s/n{i}", speed=speed, load_model=ConstantLoad(0.0), site="s")
+        for i, speed in enumerate([1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+    ]
+    nodes[-1] = nodes[-1].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    nodes[-2] = nodes[-2].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    return GridTopology(nodes=nodes, name="spike")
+
+
+def scenarios():
+    yield "farm_hetero", hetero_grid(), TaskFarm(worker=lambda x: x * x, cost_model=lambda _:
+                                                 3.0), list(range(40)), GraspConfig.adaptive()
+    yield "farm_spike", spike_grid(), TaskFarm(worker=lambda x: x + 7, cost_model=lambda _:
+                                               5.0), list(range(60)), GraspConfig.adaptive()
+    yield "farm_dynamic", dynamic_grid(), TaskFarm(worker=lambda x: 2 * x), list(range(50)), \
+        GraspConfig.adaptive()
+    yield "pipeline_hetero", hetero_grid(), Pipeline(stages=[
+        Stage(fn=lambda x: x + 1, cost_model=lambda _: 2.0),
+        Stage(fn=lambda x: x * 3, cost_model=lambda _: 4.0),
+        Stage(fn=lambda x: x - 5, cost_model=lambda _: 1.0),
+    ]), list(range(30)), GraspConfig.adaptive()
+    yield "map_dynamic", dynamic_grid(), MapSkeleton(fn=lambda block: [v * 10 for v in block],
+                                                     blocks=12), list(range(48)), GraspConfig.adaptive()
+    yield "reduce_hetero", hetero_grid(), ReduceSkeleton(op=lambda a, b: a + b, identity=0,
+                                                         blocks=8), list(range(64)), GraspConfig.adaptive()
+    yield "farm_recal", spike_grid(), TaskFarm(worker=lambda x: x + 7, cost_model=lambda _:
+                                               5.0), list(range(60)), \
+        GraspConfig.adaptive(threshold_factor=0.3)
+    rerank_cfg = GraspConfig.adaptive(threshold_factor=0.3)
+    rerank_cfg.execution.adaptation = AdaptationAction.RERANK
+    yield "farm_rerank", spike_grid(), TaskFarm(worker=lambda x: x * 2, cost_model=lambda _:
+                                                5.0), list(range(60)), rerank_cfg
+    yield "pipeline_recal", spike_grid(), Pipeline(stages=[
+        Stage(fn=lambda x: x + 1, cost_model=lambda _: 2.0),
+        Stage(fn=lambda x: x * 3, cost_model=lambda _: 4.0),
+        Stage(fn=lambda x: x - 5, cost_model=lambda _: 1.0),
+    ]), list(range(40)), GraspConfig.adaptive(threshold_factor=1.02)
+    yield "dc_hetero", hetero_grid(), DivideAndConquer(
+        divide=lambda xs: [xs[:len(xs) // 2], xs[len(xs) // 2:]],
+        combine=lambda _p, subs: subs[0] + subs[1],
+        solve=lambda xs: sum(xs),
+        is_trivial=lambda xs: len(xs) <= 4,
+        parallel_depth=3,
+    ), [list(range(64)), list(range(32))], GraspConfig.adaptive()
+
+
+def main() -> None:
+    table = {}
+    for name, grid, skeleton, inputs, config in scenarios():
+        try:
+            result = Grasp(skeleton=skeleton, grid=grid, config=config).run(inputs=inputs)
+        except Exception as exc:  # the seed executors crash on trailing recalibrations
+            table[name] = {"error": f"{type(exc).__name__}: {exc}"}
+            continue
+        table[name] = {
+            "outputs": repr(result.outputs),
+            "makespan": result.makespan,
+            "execution_finished": result.execution.finished,
+            "recalibrations": result.recalibrations,
+            "chosen": result.chosen_nodes,
+            "rounds": len(result.execution.rounds),
+            "round_thresholds": [r.threshold for r in result.execution.rounds],
+            "per_node": result.per_node_counts(),
+            "last_result_finished": max(
+                (r.finished for r in result.execution.results),
+                default=result.execution.started,
+            ),
+            "n_results": len(result.results),
+        }
+    print(json.dumps(table, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

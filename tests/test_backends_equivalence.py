@@ -1,0 +1,340 @@
+"""Backend equivalence and virtual-time regression suite.
+
+Two guarantees are pinned here:
+
+1. **Semantic equivalence** — every skeleton produces
+   ``Skeleton.run_sequential``'s outputs on *both* backends (the simulated
+   grid and real threads), including ordered pipelines and
+   divide-and-conquer recombination.  This is the "clear and consistent
+   meaning across platforms" the paper attributes to structured
+   parallelism.
+2. **Bit-identical virtual time** — the simulated backend reproduces the
+   pre-backend executors exactly.  ``GOLDEN`` below was captured from the
+   seed runtime (see ``tests/_golden_capture.py``); every virtual-time
+   number must match to the last bit.  The one blessed exception is
+   ``farm_recal``: the seed crashed on it ("cannot close phase ... before
+   it opened") because ``ExecutionReport.finished`` ignored trailing
+   recalibrations; its task-level values were captured from the seed's
+   FarmExecutor directly and its ``finished``/``makespan`` now correctly
+   include the final recalibration report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DivideAndConquer,
+    Grasp,
+    GraspConfig,
+    MapSkeleton,
+    Pipeline,
+    ReduceSkeleton,
+    Stage,
+    TaskFarm,
+    ThreadBackend,
+)
+from repro.core.parameters import AdaptationAction
+from repro.exceptions import CompilationError
+from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.node import GridNode
+from repro.grid.topology import GridBuilder, GridTopology
+
+
+def hetero_grid() -> GridTopology:
+    return GridBuilder().heterogeneous(nodes=8, speed_spread=4.0).named("hetero").build(seed=1)
+
+
+def dynamic_grid() -> GridTopology:
+    return (
+        GridBuilder()
+        .heterogeneous(nodes=8, speed_spread=4.0)
+        .with_dynamic_load("randomwalk", mean_level=0.35)
+        .named("dynamic")
+        .build(seed=2)
+    )
+
+
+def spike_grid() -> GridTopology:
+    nodes = [
+        GridNode(node_id=f"s/n{i}", speed=speed, load_model=ConstantLoad(0.0), site="s")
+        for i, speed in enumerate([1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+    ]
+    nodes[-1] = nodes[-1].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    nodes[-2] = nodes[-2].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    return GridTopology(nodes=nodes, name="spike")
+
+
+def three_stage_pipeline() -> Pipeline:
+    return Pipeline(stages=[
+        Stage(fn=lambda x: x + 1, cost_model=lambda _: 2.0),
+        Stage(fn=lambda x: x * 3, cost_model=lambda _: 4.0),
+        Stage(fn=lambda x: x - 5, cost_model=lambda _: 1.0),
+    ])
+
+
+def rerank_config() -> GraspConfig:
+    config = GraspConfig.adaptive(threshold_factor=0.3)
+    config.execution.adaptation = AdaptationAction.RERANK
+    return config
+
+
+def make_dc() -> DivideAndConquer:
+    return DivideAndConquer(
+        divide=lambda xs: [xs[:len(xs) // 2], xs[len(xs) // 2:]],
+        combine=lambda _p, subs: subs[0] + subs[1],
+        solve=lambda xs: sum(xs),
+        is_trivial=lambda xs: len(xs) <= 4,
+        parallel_depth=3,
+    )
+
+
+#: name -> (grid factory, skeleton factory, inputs factory, config factory)
+SCENARIOS = {
+    "farm_hetero": (hetero_grid,
+                    lambda: TaskFarm(worker=lambda x: x * x, cost_model=lambda _: 3.0),
+                    lambda: list(range(40)), GraspConfig.adaptive),
+    "farm_spike": (spike_grid,
+                   lambda: TaskFarm(worker=lambda x: x + 7, cost_model=lambda _: 5.0),
+                   lambda: list(range(60)), GraspConfig.adaptive),
+    "farm_dynamic": (dynamic_grid,
+                     lambda: TaskFarm(worker=lambda x: 2 * x),
+                     lambda: list(range(50)), GraspConfig.adaptive),
+    "farm_recal": (spike_grid,
+                   lambda: TaskFarm(worker=lambda x: x + 7, cost_model=lambda _: 5.0),
+                   lambda: list(range(60)),
+                   lambda: GraspConfig.adaptive(threshold_factor=0.3)),
+    "farm_rerank": (spike_grid,
+                    lambda: TaskFarm(worker=lambda x: x * 2, cost_model=lambda _: 5.0),
+                    lambda: list(range(60)), rerank_config),
+    "pipeline_hetero": (hetero_grid, three_stage_pipeline,
+                        lambda: list(range(30)), GraspConfig.adaptive),
+    "pipeline_recal": (spike_grid, three_stage_pipeline,
+                       lambda: list(range(40)),
+                       lambda: GraspConfig.adaptive(threshold_factor=1.02)),
+    "map_dynamic": (dynamic_grid,
+                    lambda: MapSkeleton(fn=lambda block: [v * 10 for v in block], blocks=12),
+                    lambda: list(range(48)), GraspConfig.adaptive),
+    "reduce_hetero": (hetero_grid,
+                      lambda: ReduceSkeleton(op=lambda a, b: a + b, identity=0, blocks=8),
+                      lambda: list(range(64)), GraspConfig.adaptive),
+    "dc_hetero": (hetero_grid, make_dc,
+                  lambda: [list(range(64)), list(range(32))], GraspConfig.adaptive),
+}
+
+#: Captured from the seed runtime; see module docstring.
+GOLDEN = {
+    "dc_hetero": {
+        "makespan": 1.8204368920078937,
+        "execution_finished": 1.8204368920078937,
+        "last_result_finished": 1.8204368920078937,
+        "recalibrations": 0,
+        "rounds": 2,
+        "chosen": ['site0/n7', 'site0/n6', 'site0/n5', 'site0/n4', 'site0/n3', 'site0/n2', 'site0/n1', 'site0/n0'],
+        "round_thresholds": [0.7536799417266447, 0.7536799417266447],
+        "per_node": {'site0/n0': 1, 'site0/n1': 2, 'site0/n2': 2, 'site0/n3': 2, 'site0/n4': 2, 'site0/n5': 2, 'site0/n6': 2, 'site0/n7': 3},
+        "outputs": '[2016, 496]',
+    },
+    "farm_dynamic": {
+        "makespan": 5.1290323949420875,
+        "execution_finished": 5.1290323949420875,
+        "last_result_finished": 5.1290323949420875,
+        "recalibrations": 0,
+        "rounds": 7,
+        "chosen": ['site0/n7', 'site0/n5', 'site0/n6', 'site0/n4', 'site0/n2', 'site0/n3'],
+        "round_thresholds": [0.9107999748036469, 0.9107999748036469, 0.9107999748036469, 0.9107999748036469, 0.9107999748036469, 0.9107999748036469, 0.9107999748036469],
+        "per_node": {'site0/n0': 1, 'site0/n1': 1, 'site0/n2': 6, 'site0/n3': 5, 'site0/n4': 8, 'site0/n5': 9, 'site0/n6': 8, 'site0/n7': 12},
+        "outputs": '[0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36, 38, 40, 42, 44, 46, 48, 50, 52, 54, 56, 58, 60, 62, 64, 66, 68, 70, 72, 74, 76, 78, 80, 82, 84, 86, 88, 90, 92, 94, 96, 98]',
+    },
+    "farm_hetero": {
+        "makespan": 10.383221148068927,
+        "execution_finished": 10.383221148068927,
+        "last_result_finished": 10.383221148068927,
+        "recalibrations": 0,
+        "rounds": 5,
+        "chosen": ['site0/n7', 'site0/n6', 'site0/n5', 'site0/n4', 'site0/n3', 'site0/n2', 'site0/n1', 'site0/n0'],
+        "round_thresholds": [0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447],
+        "per_node": {'site0/n0': 1, 'site0/n1': 4, 'site0/n2': 4, 'site0/n3': 5, 'site0/n4': 5, 'site0/n5': 6, 'site0/n6': 7, 'site0/n7': 8},
+        "outputs": '[0, 1, 4, 9, 16, 25, 36, 49, 64, 81, 100, 121, 144, 169, 196, 225, 256, 289, 324, 361, 400, 441, 484, 529, 576, 625, 676, 729, 784, 841, 900, 961, 1024, 1089, 1156, 1225, 1296, 1369, 1444, 1521]',
+    },
+    "farm_recal": {
+        "makespan": 109.30186538666679,
+        "execution_finished": 109.30186538666679,
+        "last_result_finished": 101.79185066666697,
+        "recalibrations": 6,
+        "rounds": 6,
+        "chosen": ['s/n5', 's/n4', 's/n3', 's/n2', 's/n1'],
+        "round_thresholds": [0.125, 0.24999999999999997, 0.25000000000000006, 0.25000000000000006, 0.24999999999999983, 0.24999999999999983],
+        "per_node": {'s/n0': 7, 's/n1': 13, 's/n2': 13, 's/n3': 13, 's/n4': 7, 's/n5': 7},
+        "outputs": '[7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66]',
+    },
+    "farm_rerank": {
+        "makespan": 47.56509568000019,
+        "execution_finished": 47.56509568000019,
+        "last_result_finished": 47.56509568000019,
+        "recalibrations": 12,
+        "rounds": 13,
+        "chosen": ['s/n5', 's/n4', 's/n3', 's/n2', 's/n1'],
+        "round_thresholds": [0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125],
+        "per_node": {'s/n0': 1, 's/n1': 12, 's/n2': 15, 's/n3': 22, 's/n4': 4, 's/n5': 6},
+        "outputs": '[0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36, 38, 40, 42, 44, 46, 48, 50, 52, 54, 56, 58, 60, 62, 64, 66, 68, 70, 72, 74, 76, 78, 80, 82, 84, 86, 88, 90, 92, 94, 96, 98, 100, 102, 104, 106, 108, 110, 112, 114, 116, 118]',
+    },
+    "farm_spike": {
+        "makespan": 46.71674026666687,
+        "execution_finished": 46.71674026666687,
+        "last_result_finished": 46.71674026666687,
+        "recalibrations": 0,
+        "rounds": 11,
+        "chosen": ['s/n5', 's/n4', 's/n3', 's/n2', 's/n1'],
+        "round_thresholds": [0.625, 0.625, 0.625, 0.625, 0.625, 0.625, 0.625, 0.625, 0.625, 0.625, 0.625],
+        "per_node": {'s/n0': 1, 's/n1': 12, 's/n2': 15, 's/n3': 22, 's/n4': 4, 's/n5': 6},
+        "outputs": '[7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66]',
+    },
+    "map_dynamic": {
+        "makespan": 9.196904533162174,
+        "execution_finished": 9.196904533162174,
+        "last_result_finished": 9.196904533162174,
+        "recalibrations": 0,
+        "rounds": 1,
+        "chosen": ['site0/n7', 'site0/n5', 'site0/n6', 'site0/n4', 'site0/n2', 'site0/n3'],
+        "round_thresholds": [0.9107999748036469],
+        "per_node": {'site0/n0': 1, 'site0/n1': 1, 'site0/n2': 2, 'site0/n3': 2, 'site0/n4': 2, 'site0/n5': 2, 'site0/n6': 1, 'site0/n7': 1},
+        "outputs": '[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 260, 270, 280, 290, 300, 310, 320, 330, 340, 350, 360, 370, 380, 390, 400, 410, 420, 430, 440, 450, 460, 470]',
+    },
+    "pipeline_hetero": {
+        "makespan": 29.98120834338666,
+        "execution_finished": 29.98120834338666,
+        "last_result_finished": 29.98120834338666,
+        "recalibrations": 0,
+        "rounds": 8,
+        "chosen": ['site0/n7', 'site0/n6', 'site0/n5', 'site0/n4', 'site0/n3', 'site0/n2', 'site0/n1', 'site0/n0'],
+        "round_thresholds": [0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447, 0.7536799417266447],
+        "per_node": {'site0/n0': 1, 'site0/n1': 1, 'site0/n2': 1, 'site0/n3': 1, 'site0/n4': 1, 'site0/n5': 23, 'site0/n6': 1, 'site0/n7': 1},
+        "outputs": '[-2, 1, 4, 7, 10, 13, 16, 19, 22, 25, 28, 31, 34, 37, 40, 43, 46, 49, 52, 55, 58, 61, 64, 67, 70, 73, 76, 79, 82, 85]',
+    },
+    "pipeline_recal": {
+        "makespan": 92.88340693333343,
+        "execution_finished": 92.88340693333343,
+        "last_result_finished": 92.88340693333343,
+        "recalibrations": 1,
+        "rounds": 12,
+        "chosen": ['s/n5', 's/n4', 's/n3', 's/n2', 's/n1'],
+        "round_thresholds": [0.42500000000000004, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999, 0.8499999999999999],
+        "per_node": {'s/n0': 1, 's/n1': 32, 's/n2': 1, 's/n3': 4, 's/n4': 1, 's/n5': 1},
+        "outputs": '[-2, 1, 4, 7, 10, 13, 16, 19, 22, 25, 28, 31, 34, 37, 40, 43, 46, 49, 52, 55, 58, 61, 64, 67, 70, 73, 76, 79, 82, 85, 88, 91, 94, 97, 100, 103, 106, 109, 112, 115]',
+    },
+    "reduce_hetero": {
+        "makespan": 8.000000000000144,
+        "execution_finished": 8.000000000000144,
+        "last_result_finished": 8.000000000000144,
+        "recalibrations": 0,
+        "rounds": 0,
+        "chosen": ['site0/n7', 'site0/n6', 'site0/n5', 'site0/n4', 'site0/n3', 'site0/n2', 'site0/n1'],
+        "round_thresholds": [],
+        "per_node": {'site0/n0': 1, 'site0/n1': 1, 'site0/n2': 1, 'site0/n3': 1, 'site0/n4': 1, 'site0/n5': 1, 'site0/n6': 1, 'site0/n7': 1},
+        "outputs": '2016',
+    },
+}
+
+
+def run_scenario(name: str, backend):
+    grid_fn, skeleton_fn, inputs_fn, config_fn = SCENARIOS[name]
+    grasp = Grasp(skeleton=skeleton_fn(), grid=grid_fn(), config=config_fn(),
+                  backend=backend)
+    return grasp.run(inputs=inputs_fn())
+
+
+class TestSimulatedBitIdentity:
+    """The simulated backend reproduces the seed executors bit-for-bit."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_golden(self, name):
+        result = run_scenario(name, backend="simulated")
+        expected = GOLDEN[name]
+        assert repr(result.outputs) == expected["outputs"]
+        assert result.makespan == expected["makespan"]
+        assert result.execution.finished == expected["execution_finished"]
+        assert result.recalibrations == expected["recalibrations"]
+        assert len(result.execution.rounds) == expected["rounds"]
+        assert [r.threshold for r in result.execution.rounds] == \
+            expected["round_thresholds"]
+        assert result.chosen_nodes == expected["chosen"]
+        assert result.per_node_counts() == expected["per_node"]
+        assert max(
+            (r.finished for r in result.execution.results),
+            default=result.execution.started,
+        ) == expected["last_result_finished"]
+
+    def test_default_backend_is_simulated(self):
+        """Omitting backend= keeps the historical behaviour."""
+        a = run_scenario("farm_hetero", backend=None)
+        b = run_scenario("farm_hetero", backend="simulated")
+        assert a.makespan == b.makespan
+        assert a.outputs == b.outputs
+
+    def test_finished_covers_trailing_recalibration(self):
+        """ExecutionReport.finished accounts for recalibration reports."""
+        result = run_scenario("farm_recal", backend="simulated")
+        report = result.execution
+        assert report.recalibration_reports
+        assert report.finished >= max(r.finished for r in report.recalibration_reports)
+        assert report.finished >= max(r.finished for r in report.results)
+
+
+class TestBackendEquivalence:
+    """Both backends reproduce run_sequential for every skeleton."""
+
+    @pytest.mark.parametrize("backend", ["simulated", "thread"])
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_matches_sequential(self, name, backend):
+        grid_fn, skeleton_fn, inputs_fn, config_fn = SCENARIOS[name]
+        reference = skeleton_fn().run_sequential(inputs_fn())
+        result = run_scenario(name, backend=backend)
+        assert result.outputs == reference
+
+    def test_thread_backend_instance(self):
+        """A caller-owned ThreadBackend works and survives close()."""
+        grid = hetero_grid()
+        with ThreadBackend(topology=grid) as backend:
+            farm = TaskFarm(worker=lambda x: x * x)
+            result = Grasp(skeleton=farm, grid=grid, backend=backend).run(
+                inputs=range(32)
+            )
+            assert result.outputs == [x * x for x in range(32)]
+        backend.close()  # idempotent
+
+    def test_thread_pipeline_preserves_order(self):
+        grid = hetero_grid()
+        pipeline = three_stage_pipeline()
+        result = Grasp(skeleton=pipeline, grid=grid, backend="thread").run(
+            inputs=range(64)
+        )
+        assert result.outputs == [(x + 1) * 3 - 5 for x in range(64)]
+
+
+class TestCompilationMasterValidation:
+    """compile_program rejects a master outside the co-allocated pool."""
+
+    def test_unavailable_master_rejected(self):
+        from repro.grid.failures import ScheduledFailures
+
+        grid = (
+            GridBuilder().homogeneous(nodes=4).named("flaky").build(seed=0)
+        )
+        down = grid.node_ids[1]
+        grid = grid.with_failure_model(
+            ScheduledFailures(windows={down: [(0.0, 10.0)]})
+        )
+        config = GraspConfig()
+        config.master_node = down
+        farm = TaskFarm(worker=lambda x: x)
+        with pytest.raises(CompilationError, match="not available"):
+            Grasp(skeleton=farm, grid=grid, config=config).run(inputs=range(4))
+
+    def test_missing_master_still_rejected(self):
+        grid = GridBuilder().homogeneous(nodes=4).build(seed=0)
+        config = GraspConfig()
+        config.master_node = "ghost"
+        farm = TaskFarm(worker=lambda x: x)
+        with pytest.raises(CompilationError, match="does not exist"):
+            Grasp(skeleton=farm, grid=grid, config=config).run(inputs=range(4))

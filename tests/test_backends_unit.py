@@ -1,0 +1,162 @@
+"""Unit tests for the execution-backend layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    ChainStage,
+    SimulatedBackend,
+    ThreadBackend,
+    as_backend,
+)
+from repro.exceptions import ConfigurationError, GridError
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridBuilder
+from repro.skeletons.base import Task
+
+
+def small_grid():
+    return GridBuilder().homogeneous(nodes=3, speed=2.0).named("unit").build(seed=0)
+
+
+class TestAsBackend:
+    def test_backend_passthrough(self):
+        backend = SimulatedBackend(GridSimulator(small_grid()))
+        assert as_backend(backend) is backend
+
+    def test_simulator_wrapped(self):
+        sim = GridSimulator(small_grid())
+        backend = as_backend(sim)
+        assert isinstance(backend, SimulatedBackend)
+        assert backend.simulator is sim
+
+    def test_topology_wrapped(self):
+        backend = as_backend(small_grid())
+        assert isinstance(backend, SimulatedBackend)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            as_backend(object())
+
+
+class TestSimulatedBackend:
+    def test_forwards_clock_and_observation(self):
+        sim = GridSimulator(small_grid())
+        backend = SimulatedBackend(sim)
+        node = sim.topology.node_ids[0]
+        assert backend.now == sim.now
+        backend.advance_to(5.0)
+        assert sim.now == 5.0
+        assert backend.observe_load(node, 1.0) == sim.observe_load(node, 1.0)
+        assert backend.is_available(node, 1.0)
+        assert backend.has_node(node)
+        assert not backend.has_node("ghost")
+
+    def test_dispatch_matches_manual_sequence(self):
+        grid = small_grid()
+        sim_a, sim_b = GridSimulator(grid), GridSimulator(grid)
+        backend = SimulatedBackend(sim_a)
+        master, worker = grid.node_ids[0], grid.node_ids[1]
+        task = Task(task_id=0, payload=3, cost=4.0, input_bytes=100, output_bytes=50)
+
+        handle = backend.dispatch(task, worker, lambda t: t.payload * 2,
+                                  master_node=master, at_time=0.0)
+        outcome = handle.outcome()
+
+        send = sim_b.transfer(master, worker, 100, at_time=0.0)
+        execution = sim_b.run_task(worker, 4.0, at_time=send.finished)
+        back = sim_b.transfer(worker, master, 50, at_time=execution.finished)
+
+        assert handle.done()
+        assert outcome.output == 6
+        assert not outcome.lost
+        assert handle.master_free_after == send.finished
+        assert outcome.exec_started == execution.started
+        assert outcome.exec_finished == execution.finished
+        assert outcome.finished == back.finished
+
+    def test_probe_skips_payload_execution(self):
+        grid = small_grid()
+        backend = SimulatedBackend(GridSimulator(grid))
+        calls = []
+        task = Task(task_id=0, payload=1, cost=1.0)
+        outcome = backend.dispatch(
+            task, grid.node_ids[1], lambda t: calls.append(t),
+            master_node=grid.node_ids[0], at_time=0.0, collect_output=False,
+        ).outcome()
+        assert outcome.output is None
+        assert calls == []  # virtual timing never needs the real payload
+
+
+class TestThreadBackend:
+    def test_synthesised_topology(self):
+        with ThreadBackend(workers=3) as backend:
+            assert len(backend.available_nodes(0.0)) == 3
+            for node in backend.available_nodes(0.0):
+                assert backend.is_available(node)
+
+    def test_unknown_node_raises(self):
+        with ThreadBackend(workers=2) as backend:
+            with pytest.raises(GridError):
+                backend.node_free_at("ghost")
+            with pytest.raises(GridError):
+                backend.observe_load("ghost")
+
+    def test_transfers_are_free(self):
+        with ThreadBackend(topology=small_grid()) as backend:
+            nodes = backend.available_nodes(0.0)
+            record = backend.transfer(nodes[0], nodes[1], 1 << 20, at_time=2.5)
+            assert record.started == record.finished == 2.5
+            assert backend.observe_bandwidth(nodes[0], nodes[1]) > 0
+
+    def test_dispatch_runs_payload_for_real(self):
+        with ThreadBackend(workers=2) as backend:
+            node = backend.available_nodes(0.0)[0]
+            task = Task(task_id=0, payload=21, cost=1.0)
+            outcome = backend.dispatch(
+                task, node, lambda t: t.payload * 2, master_node=node,
+                at_time=0.0,
+            ).outcome()
+            assert outcome.output == 42
+            assert not outcome.lost
+            assert outcome.exec_finished >= outcome.exec_started
+
+    def test_probe_executes_but_discards_output(self):
+        with ThreadBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            calls = []
+            task = Task(task_id=0, payload=1, cost=1.0)
+            outcome = backend.dispatch(
+                task, node, lambda t: calls.append(t) or "x", master_node=node,
+                at_time=0.0, collect_output=False,
+            ).outcome()
+            assert outcome.output is None
+            assert calls  # wall-clock timing requires executing the payload
+
+    def test_chain_preserves_stage_order(self):
+        with ThreadBackend(workers=3) as backend:
+            nodes = backend.available_nodes(0.0)
+            stages = [
+                ChainStage(pick=lambda free_at, n=nodes[i % len(nodes)]: n,
+                           cost=lambda value: 1.0,
+                           apply=fn)
+                for i, fn in enumerate([lambda v: v + 1, lambda v: v * 10,
+                                        lambda v: v - 3])
+            ]
+            task = Task(task_id=0, payload=4, cost=3.0)
+            outcome = backend.dispatch_chain(
+                task, stages, master_node=nodes[0], at_time=0.0
+            ).outcome()
+            assert outcome.output == (4 + 1) * 10 - 3
+            assert len(outcome.stage_records) == 3
+            assert outcome.item_cost == 3.0
+
+    def test_close_is_idempotent_and_final(self):
+        backend = ThreadBackend(workers=1)
+        node = backend.available_nodes(0.0)[0]
+        backend.close()
+        backend.close()
+        with pytest.raises(GridError):
+            backend.dispatch(Task(task_id=0, payload=1, cost=1.0), node,
+                             lambda t: t.payload, master_node=node, at_time=0.0)
