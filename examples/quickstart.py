@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quickstart: one adaptive task farm, two parallel environments.
+"""Quickstart: one adaptive task farm, three parallel environments.
 
 This is the smallest end-to-end GRASP program:
 
@@ -9,16 +9,58 @@ This is the smallest end-to-end GRASP program:
 
 The runtime walks the paper's four phases (programming, compilation,
 calibration, execution).  The compilation phase links the *same* program
-against a chosen execution backend: the default ``"simulated"`` backend
-runs in deterministic virtual time on the grid simulator, while the
-``"thread"`` backend executes the task payloads on real OS threads under
-wall-clock monitoring — no change to the skeleton, the configuration or
-the inputs.
+against a chosen execution backend:
+
+* ``"simulated"`` (default) — deterministic virtual time on the grid
+  simulator;
+* ``"thread"`` — real OS threads under wall-clock monitoring;
+* ``"process"`` — one serial worker process per node, escaping the GIL
+  for CPU-bound work.  Payloads cross process boundaries, so worker
+  functions must be picklable (module-level ``def``, not a lambda) —
+  which is why ``square`` below is a top-level function.
+
+No change to the skeleton, the configuration or the inputs.  Two extra
+knobs appear at the end:
+
+* **chunked dispatch** (``config.execution.chunk_size``) batches k tasks
+  per dispatch to amortise IPC overhead on the process backend;
+* **fault injection** (:class:`repro.FaultInjectingBackend`) replays
+  node-death/slowdown schedules from ``repro.grid.failures`` against the
+  concurrent backends, so the adaptation loop's failover paths run on
+  real hardware.
 """
 
 from __future__ import annotations
 
-from repro import Grasp, GraspConfig, GridBuilder, TaskFarm
+from repro import (
+    FaultInjectingBackend,
+    Grasp,
+    GraspConfig,
+    GridBuilder,
+    TaskFarm,
+    ThreadBackend,
+)
+from repro.grid.failures import PermanentFailure
+
+
+def square(x: int) -> int:
+    # The sequential computation.  Module-level so every backend —
+    # including the process backend, which pickles it — can ship it.
+    return x * x
+
+
+def slow_square(x: int) -> int:
+    # A worker with measurable wall-clock duration, so the fault-injection
+    # demo's scheduled node death lands mid-run instead of after the job.
+    import time
+    time.sleep(0.002)
+    return x * x
+
+
+def item_cost(item) -> float:
+    # Tells the simulator how much virtual work each item represents (the
+    # wall-clock backends measure real durations instead).
+    return 5.0
 
 
 def build_grid():
@@ -34,20 +76,11 @@ def build_grid():
 
 
 def build_farm() -> TaskFarm:
-    # The sequential computation: anything picklable works.  The cost model
-    # tells the simulator how much virtual work each item represents (the
-    # thread backend measures real durations instead).
-    return TaskFarm(worker=lambda x: x * x, cost_model=lambda item: 5.0)
+    return TaskFarm(worker=square, cost_model=item_cost)
 
 
-def run_on(backend: str) -> None:
-    grid = build_grid()
-    grasp = Grasp(skeleton=build_farm(), grid=grid,
-                  config=GraspConfig.adaptive(), backend=backend)
-    result = grasp.run(inputs=range(100))
-
-    unit = "virtual" if backend == "simulated" else "wall-clock"
-    print(f"--- backend={backend} ---")
+def report(result, grid, backend_label: str, unit: str) -> None:
+    print(f"--- backend={backend_label} ---")
     print("outputs (first 10):", result.outputs[:10])
     print(f"makespan:           {result.makespan:.2f} {unit} seconds")
     print(f"nodes chosen:       {len(result.chosen_nodes)} of {len(grid)}")
@@ -57,9 +90,41 @@ def run_on(backend: str) -> None:
     print("tasks per node:     ", result.per_node_counts())
 
 
+def run_on(backend: str, chunk_size: int = 1) -> None:
+    grid = build_grid()
+    config = GraspConfig.adaptive()
+    config.execution.chunk_size = chunk_size  # tasks per dispatch (IPC knob)
+    grasp = Grasp(skeleton=build_farm(), grid=grid, config=config,
+                  backend=backend)
+    result = grasp.run(inputs=range(100))
+    unit = "virtual" if backend == "simulated" else "wall-clock"
+    label = backend if chunk_size == 1 else f"{backend}, chunk_size={chunk_size}"
+    report(result, grid, label, unit)
+
+
+def run_with_fault_injection() -> None:
+    # Kill one node 20 ms into the run: tasks caught on it are lost and
+    # re-enqueued, the chosen set shrinks, and the job still completes.
+    grid = build_grid()
+    victim = grid.node_ids[2]
+    backend = FaultInjectingBackend(
+        ThreadBackend(topology=grid),
+        failures=PermanentFailure.at(0.02, victim),
+    )
+    with backend:
+        result = Grasp(skeleton=TaskFarm(worker=slow_square, cost_model=item_cost),
+                       grid=grid, config=GraspConfig.adaptive(),
+                       backend=backend).run(inputs=range(100))
+    report(result, grid, f"thread+faults ({victim} dies at t=0.02s)",
+           "wall-clock")
+    print("lost tasks:         ", result.execution.lost_tasks)
+
+
 def main() -> None:
     run_on("simulated")
     run_on("thread")
+    run_on("process", chunk_size=4)
+    run_with_fault_injection()
 
 
 if __name__ == "__main__":

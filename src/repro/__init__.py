@@ -15,9 +15,13 @@ Grids"* (González-Vélez & Cole, PPoPP 2007).  The package provides:
   extensions (map, reduce, divide-and-conquer, composition).
 * :mod:`repro.backends` — execution backends: the
   :class:`~repro.backends.base.ExecutionBackend` interface plus the
-  virtual-time :class:`~repro.backends.simulated.SimulatedBackend` and the
+  virtual-time :class:`~repro.backends.simulated.SimulatedBackend`, the
   wall-clock :class:`~repro.backends.threaded.ThreadBackend` (real OS
-  threads).
+  threads), the GIL-escaping
+  :class:`~repro.backends.process.ProcessBackend` (one serial worker
+  process per node) and the
+  :class:`~repro.backends.faults.FaultInjectingBackend` decorator that
+  drives node-loss/slowdown schedules against any of them.
 * :mod:`repro.core` — the GRASP methodology itself: the four phases
   (programming, compilation, calibration, execution), Algorithm 1
   (calibration / fittest-node selection) and Algorithm 2 (threshold-driven
@@ -56,7 +60,13 @@ from repro.exceptions import (
 )
 from repro.grid import GridBuilder, GridNode, GridTopology, NetworkLink, Site
 from repro.grid.simulator import GridSimulator
-from repro.backends import ExecutionBackend, SimulatedBackend, ThreadBackend
+from repro.backends import (
+    ExecutionBackend,
+    FaultInjectingBackend,
+    ProcessBackend,
+    SimulatedBackend,
+    ThreadBackend,
+)
 from repro.skeletons import (
     DivideAndConquer,
     MapSkeleton,
@@ -101,6 +111,8 @@ __all__ = [
     "ExecutionBackend",
     "SimulatedBackend",
     "ThreadBackend",
+    "ProcessBackend",
+    "FaultInjectingBackend",
     # skeletons
     "TaskFarm",
     "Pipeline",

@@ -14,11 +14,15 @@ from typing import Union
 from repro.backends.base import (
     ChainOutcome,
     ChainStage,
+    ChunkOutcome,
     CompletedHandle,
     DispatchHandle,
     DispatchOutcome,
     ExecutionBackend,
+    FanInChunkHandle,
 )
+from repro.backends.faults import FaultInjectingBackend
+from repro.backends.process import ProcessBackend
 from repro.backends.simulated import SimulatedBackend
 from repro.backends.threaded import ThreadBackend
 from repro.exceptions import ConfigurationError
@@ -29,16 +33,20 @@ __all__ = [
     "ExecutionBackend",
     "DispatchHandle",
     "CompletedHandle",
+    "FanInChunkHandle",
     "DispatchOutcome",
+    "ChunkOutcome",
     "ChainStage",
     "ChainOutcome",
     "SimulatedBackend",
     "ThreadBackend",
+    "ProcessBackend",
+    "FaultInjectingBackend",
     "as_backend",
 ]
 
 #: Names accepted by string-based backend selection (compile_program et al).
-BACKEND_NAMES = frozenset({"simulated", "thread"})
+BACKEND_NAMES = frozenset({"simulated", "thread", "process"})
 
 
 def as_backend(

@@ -1,0 +1,252 @@
+"""Shared machinery of the wall-clock (concurrent) backends.
+
+:class:`~repro.backends.threaded.ThreadBackend` and
+:class:`~repro.backends.process.ProcessBackend` differ only in *where* a
+payload runs (an OS thread vs. a worker process); everything else — the
+monotonic clock, node membership, the free in-process transfer model, host
+load observation, per-node queue-occupancy accounting and the
+close-once lifecycle — is identical and lives here in
+:class:`LocalConcurrentBackend`.
+
+Queue-occupancy estimation (:meth:`LocalConcurrentBackend.node_free_at`)
+keeps, per node, a count of submitted-but-unfinished tasks and an
+exponentially weighted average of observed task durations.  A node that has
+not completed anything yet borrows the backend-wide seed estimate taken
+from the *first* completed dispatch anywhere (normally a calibration
+probe), so a freshly started node with a deep queue is not mistaken for a
+free one — the historical ``1e-6`` placeholder made exactly that mistake.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+from concurrent.futures import Executor, Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.backends.base import DispatchHandle, ExecutionBackend
+from repro.exceptions import GridError
+from repro.grid.topology import GridBuilder, GridTopology
+
+__all__ = ["LocalConcurrentBackend"]
+
+#: Reported node-to-node bandwidth: an in-process hand-off (bytes/s).
+_INPROC_BANDWIDTH = 1e9
+
+#: Last-resort duration estimate before *any* dispatch has completed.
+_MIN_DURATION_ESTIMATE = 1e-6
+
+
+@dataclass(frozen=True)
+class _Transfer:
+    """Zero-cost in-process transfer record (mirrors the simulator's)."""
+
+    src: str
+    dst: str
+    nbytes: float
+    started: float
+    finished: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+class _FutureHandle(DispatchHandle):
+    """Handle over a single future resolving to the dispatch outcome."""
+
+    def __init__(self, future: Future, *, node_id: Optional[str] = None,
+                 submitted: float = 0.0, master_free_after: float = 0.0,
+                 next_emit: float = 0.0):
+        self._future = future
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = master_free_after
+        self.next_emit = next_emit
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def outcome(self):
+        return self._future.result()
+
+
+class LocalConcurrentBackend(ExecutionBackend):
+    """Base class for backends executing payloads on this machine's clock.
+
+    Parameters
+    ----------
+    topology:
+        Grid topology supplying node identifiers (speeds/links are ignored —
+        real workers run as fast as the hardware allows).  When omitted, a
+        homogeneous topology with ``workers`` nodes is synthesised.
+    workers:
+        Number of worker queues when no topology is given; defaults to the
+        machine's CPU count.
+    """
+
+    name = "local"
+    eager = False
+
+    #: Name given to a synthesised topology when none is supplied.
+    _synth_topology_name = "local"
+
+    def __init__(self, topology: Optional[GridTopology] = None,
+                 workers: Optional[int] = None, tracer=None):
+        if topology is None:
+            count = workers or os.cpu_count() or 4
+            topology = (
+                GridBuilder().homogeneous(nodes=count, speed=1.0)
+                .named(self._synth_topology_name).build(seed=0)
+            )
+        self._topology = topology
+        self._origin = _time.perf_counter()
+        self._lock = threading.Lock()
+        self._executors: Dict[str, Executor] = {}
+        self._pending: Dict[str, int] = {n: 0 for n in topology.node_ids}
+        self._avg_duration: Dict[str, float] = {n: 0.0 for n in topology.node_ids}
+        self._seed_duration: float = 0.0
+        self._closed = False
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        return _time.perf_counter() - self._origin
+
+    def advance_to(self, time: float) -> None:
+        """Wall time advances on its own; nothing to do."""
+
+    # ------------------------------------------------------------- membership
+    @property
+    def topology(self) -> GridTopology:
+        return self._topology
+
+    def available_nodes(self, time: float) -> List[str]:
+        return list(self._topology.node_ids)
+
+    def is_available(self, node_id: str, time: Optional[float] = None) -> bool:
+        self._check_node(node_id)
+        return True
+
+    def node_free_at(self, node_id: str) -> float:
+        self._check_node(node_id)
+        with self._lock:
+            pending = self._pending[node_id]
+            estimate = self._avg_duration[node_id] or self._seed_duration \
+                or _MIN_DURATION_ESTIMATE
+        return self.now + pending * estimate
+
+    # ------------------------------------------------------------ observation
+    def observe_load(self, node_id: str, time: Optional[float] = None) -> float:
+        self._check_node(node_id)
+        try:
+            load = os.getloadavg()[0] / max(os.cpu_count() or 1, 1)
+        except (AttributeError, OSError):  # pragma: no cover - platform dependent
+            return 0.0
+        return min(max(load, 0.0), 0.999)
+
+    def observe_bandwidth(self, src: str, dst: str,
+                          time: Optional[float] = None) -> float:
+        self._check_node(src)
+        self._check_node(dst)
+        return _INPROC_BANDWIDTH
+
+    # -------------------------------------------------------------- transfers
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 at_time: Optional[float] = None) -> _Transfer:
+        self._check_node_or_master(src)
+        self._check_node_or_master(dst)
+        started = self.now if at_time is None else float(at_time)
+        return _Transfer(src=src, dst=dst, nbytes=float(nbytes),
+                         started=started, finished=started)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.shutdown(wait=True)
+
+    # -------------------------------------------------------------- internals
+    def _make_executor(self, node_id: str) -> Executor:
+        """Create the serial worker queue for one node (subclass hook)."""
+        raise NotImplementedError
+
+    def _executor_locked(self, node_id: str) -> Executor:
+        """The node's executor, created on first use (caller holds the lock)."""
+        if self._closed:
+            raise GridError(f"{self.name} backend is closed")
+        executor = self._executors.get(node_id)
+        if executor is None:
+            executor = self._make_executor(node_id)
+            self._executors[node_id] = executor
+        return executor
+
+    def _ensure_executor(self, node_id: str) -> Executor:
+        """The node's executor, created on first use (caller holds no lock)."""
+        with self._lock:
+            return self._executor_locked(node_id)
+
+    def _discard_executor(self, node_id: str) -> Optional[Executor]:
+        """Forget a node's executor (it broke); a fresh one spawns on demand."""
+        with self._lock:
+            return self._executors.pop(node_id, None)
+
+    def _submit(self, node_id: str, fn, *args) -> Future:
+        with self._lock:
+            executor = self._executor_locked(node_id)
+            self._pending[node_id] += 1
+        started_at = self.now
+        try:
+            future = executor.submit(fn, *args)
+        except BaseException:
+            # A broken/shut-down executor raises synchronously: no future
+            # will ever fire the done-callback, so undo the queue count.
+            with self._lock:
+                self._pending[node_id] = max(0, self._pending[node_id] - 1)
+            raise
+        future.add_done_callback(
+            lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
+        )
+        return future
+
+    def _note_done(self, node_id: str, submitted_at: float,
+                   future: Optional[Future] = None) -> None:
+        elapsed = max(self.now - submitted_at, _MIN_DURATION_ESTIMATE)
+        # A future that failed (payload raised, worker process died) did not
+        # observe a task duration: its elapsed time measures the crash, not
+        # the node's speed, and must not seed or skew the EWMA estimates.
+        failed = False
+        if future is not None:
+            try:
+                failed = future.exception() is not None
+            except BaseException:  # cancelled: no duration either
+                failed = True
+        with self._lock:
+            self._pending[node_id] = max(0, self._pending[node_id] - 1)
+            if failed:
+                return
+            if self._seed_duration == 0.0:
+                self._seed_duration = elapsed
+            previous = self._avg_duration[node_id]
+            self._avg_duration[node_id] = (
+                elapsed if previous == 0.0 else 0.7 * previous + 0.3 * elapsed
+            )
+
+    def _check_node(self, node_id: str) -> None:
+        if node_id not in self._pending:
+            raise GridError(f"unknown node {node_id!r}")
+
+    def _check_node_or_master(self, node_id: str) -> None:
+        if node_id not in self._topology:
+            raise GridError(f"unknown node {node_id!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(nodes={len(self._pending)})"

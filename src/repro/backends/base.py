@@ -41,10 +41,12 @@ from repro.skeletons.base import Task, TaskResult
 
 __all__ = [
     "DispatchOutcome",
+    "ChunkOutcome",
     "ChainOutcome",
     "ChainStage",
     "DispatchHandle",
     "CompletedHandle",
+    "FanInChunkHandle",
     "ExecutionBackend",
 ]
 
@@ -103,6 +105,34 @@ class DispatchOutcome:
             finished=self.finished, stage=task.stage,
             during_calibration=during_calibration,
         )
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Everything one *chunked* farm dispatch produced.
+
+    A chunk is ``k`` tasks shipped to the same node in one dispatch so
+    message-passing/IPC overhead is paid once per chunk instead of once per
+    task.  ``outcomes`` holds one :class:`DispatchOutcome` per task, in task
+    order; the monitoring layer consumes the chunk-level normalised time
+    (total compute duration over total task cost), which keeps the decision
+    statistic comparable across chunk sizes.
+    """
+
+    node_id: str
+    outcomes: Tuple[DispatchOutcome, ...]
+    submitted: float
+    finished: float
+
+    @property
+    def lost_any(self) -> bool:
+        """Whether at least one task of the chunk was lost."""
+        return any(outcome.lost for outcome in self.outcomes)
+
+    @property
+    def duration(self) -> float:
+        """Total pure compute time of the chunk's surviving tasks."""
+        return sum(o.duration for o in self.outcomes if not o.lost)
 
 
 @dataclass(frozen=True)
@@ -188,6 +218,35 @@ class CompletedHandle(DispatchHandle):
         return self._outcome
 
 
+class FanInChunkHandle(DispatchHandle):
+    """Chunk handle over per-task handles (the generic chunking strategy).
+
+    Backends without a cheaper bulk path dispatch each task of the chunk
+    individually and fan the handles back into one :class:`ChunkOutcome`.
+    Eager backends resolve immediately; concurrent backends resolve when the
+    last per-task handle does (the per-node queues serialise the tasks).
+    """
+
+    def __init__(self, handles: List[DispatchHandle], *, node_id: str,
+                 submitted: float, master_free_after: float):
+        if not handles:
+            raise ExecutionError("a chunk needs at least one task")
+        self._handles = handles
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = master_free_after
+
+    def done(self) -> bool:
+        return all(handle.done() for handle in self._handles)
+
+    def outcome(self) -> ChunkOutcome:
+        outcomes = tuple(handle.outcome() for handle in self._handles)
+        return ChunkOutcome(
+            node_id=self.node_id, outcomes=outcomes, submitted=self.submitted,
+            finished=max(o.finished for o in outcomes),
+        )
+
+
 class ExecutionBackend:
     """Abstract parallel environment underneath the GRASP control loop."""
 
@@ -270,6 +329,39 @@ class ExecutionBackend:
         check (farm dispatch); calibration passes ``False``.
         """
         raise NotImplementedError
+
+    def dispatch_chunk(
+        self,
+        tasks: Sequence[Task],
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        """Ship a chunk of tasks to ``node_id`` in one dispatch.
+
+        The handle resolves to a :class:`ChunkOutcome` with one
+        :class:`DispatchOutcome` per task.  The default implementation
+        dispatches the tasks individually back-to-back (serial master
+        uplink), which preserves the per-task semantics of every backend;
+        backends with a real bulk transport (one IPC round-trip per chunk)
+        override it.
+        """
+        handles: List[DispatchHandle] = []
+        free = at_time
+        for task in tasks:
+            handle = self.dispatch(
+                task, node_id, execute_fn, master_node=master_node,
+                at_time=free, check_loss=check_loss,
+                collect_output=collect_output,
+            )
+            free = max(free, handle.master_free_after)
+            handles.append(handle)
+        return FanInChunkHandle(handles, node_id=node_id,
+                                submitted=handles[0].submitted,
+                                master_free_after=free)
 
     def dispatch_chain(
         self,

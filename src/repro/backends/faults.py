@@ -1,0 +1,278 @@
+"""Fault injection over any execution backend.
+
+The wall-clock backends never fail on their own — threads and local worker
+processes are reliable in a way grid nodes are not — so the adaptation
+loop's failure paths (task loss, failover, recalibration off dead nodes)
+would only ever run in virtual time.  :class:`FaultInjectingBackend` closes
+that gap: it decorates any :class:`~repro.backends.base.ExecutionBackend`
+and drives node availability from the *existing* failure schedules of
+:mod:`repro.grid.failures`, evaluated against the wrapped backend's own
+clock.
+
+Injected effects:
+
+* **Node death** — a node whose :class:`~repro.grid.failures.FailureModel`
+  says "down" disappears from ``available_nodes``/``is_available`` (so the
+  engine's recalibrate/re-rank paths route work off it), and a farm task
+  dispatched to — or caught mid-flight on — a dead node resolves as *lost*
+  exactly like a vanished grid node's (the payload's side effects still
+  happen in the worker; the runtime discards the result and re-enqueues the
+  task, which is also what a real grid master would observe).
+* **Slowdown** — per-node extra seconds added to every farm task executed
+  on that node (the decorator wraps ``execute_fn`` in a picklable sleeve,
+  so it works across process boundaries too), degrading the node's measured
+  unit times until the threshold breaches and the skeleton adapts.
+
+Calibration probes (``check_loss=False``) are never converted to losses —
+Algorithm 1 has no failure path — but a dead node is excluded from the pool
+by the availability queries before probes are sent.  Pipeline chains follow
+the simulator's semantics: chains do not lose items; deaths act on chain
+scheduling through the availability queries and the remap/recalibrate path.
+
+The decorator owns the backend it wraps: closing it closes the inner
+backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.backends.base import (
+    ChainStage,
+    ChunkOutcome,
+    CompletedHandle,
+    DispatchHandle,
+    DispatchOutcome,
+    ExecutionBackend,
+)
+from repro.exceptions import ConfigurationError
+from repro.grid.failures import FailureModel, NoFailures
+from repro.skeletons.base import Task
+
+__all__ = ["FaultInjectingBackend"]
+
+
+@dataclass(frozen=True)
+class _SlowedExecute:
+    """Picklable sleeve adding a fixed delay before the real payload."""
+
+    fn: Optional[Callable[[Task], Any]]
+    delay: float
+
+    def __call__(self, task: Task) -> Any:
+        _time.sleep(self.delay)
+        return self.fn(task) if self.fn is not None else None
+
+
+class _FaultHandle(DispatchHandle):
+    """Converts a resolved dispatch to *lost* when the schedule killed the node."""
+
+    def __init__(self, inner: DispatchHandle, backend: "FaultInjectingBackend"):
+        self._inner = inner
+        self._backend = backend
+        self.node_id = inner.node_id
+        self.submitted = inner.submitted
+        self.master_free_after = inner.master_free_after
+        self.next_emit = inner.next_emit
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def outcome(self) -> DispatchOutcome:
+        return self._backend._convert(self._inner.outcome())
+
+
+class _FaultChunkHandle(_FaultHandle):
+    def outcome(self) -> ChunkOutcome:
+        chunk = self._inner.outcome()
+        outcomes = tuple(self._backend._convert(o) for o in chunk.outcomes)
+        return dataclasses.replace(chunk, outcomes=outcomes)
+
+
+class FaultInjectingBackend(ExecutionBackend):
+    """Decorator backend injecting scheduled node deaths and slowdowns.
+
+    Parameters
+    ----------
+    inner:
+        The backend to decorate (typically a
+        :class:`~repro.backends.threaded.ThreadBackend` or
+        :class:`~repro.backends.process.ProcessBackend`).
+    failures:
+        A :class:`~repro.grid.failures.FailureModel` evaluated on the inner
+        backend's clock (wall seconds since backend creation for the
+        concurrent backends).
+    slowdowns:
+        Optional ``node_id -> extra seconds`` added to every farm task the
+        node executes.
+
+    Examples
+    --------
+    >>> from repro.backends import FaultInjectingBackend, ThreadBackend
+    >>> from repro.grid.failures import PermanentFailure
+    >>> backend = FaultInjectingBackend(
+    ...     ThreadBackend(workers=4),
+    ...     failures=PermanentFailure(failures={"threads/n0": 0.05}),
+    ... )
+    >>> backend.name
+    'thread+faults'
+    """
+
+    def __init__(self, inner: ExecutionBackend,
+                 failures: Optional[FailureModel] = None,
+                 slowdowns: Optional[Dict[str, float]] = None):
+        if not isinstance(inner, ExecutionBackend):
+            raise ConfigurationError(
+                "FaultInjectingBackend wraps an ExecutionBackend, "
+                f"got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self.failures = failures if failures is not None else NoFailures()
+        self.slowdowns = dict(slowdowns or {})
+        for node_id, delay in self.slowdowns.items():
+            if delay < 0:
+                raise ConfigurationError(
+                    f"slowdown for {node_id!r} must be >= 0, got {delay}"
+                )
+        self.eager = inner.eager
+        self.name = f"{inner.name}+faults"
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        return self.inner.now
+
+    def advance_to(self, time: float) -> None:
+        self.inner.advance_to(time)
+
+    # ------------------------------------------------------------- membership
+    @property
+    def topology(self):
+        return self.inner.topology
+
+    @property
+    def simulator(self):
+        """The wrapped simulator, when the inner backend has one."""
+        return getattr(self.inner, "simulator", None)
+
+    def available_nodes(self, time: float) -> List[str]:
+        return [n for n in self.inner.available_nodes(time)
+                if self.failures.available(n, time)]
+
+    def is_available(self, node_id: str, time: Optional[float] = None) -> bool:
+        when = self.now if time is None else float(time)
+        return (self.inner.is_available(node_id, time)
+                and self.failures.available(node_id, when))
+
+    def node_free_at(self, node_id: str) -> float:
+        return self.inner.node_free_at(node_id)
+
+    # ------------------------------------------------------------ observation
+    def observe_load(self, node_id: str, time: Optional[float] = None) -> float:
+        return self.inner.observe_load(node_id, time)
+
+    def observe_bandwidth(self, src: str, dst: str,
+                          time: Optional[float] = None) -> float:
+        return self.inner.observe_bandwidth(src, dst, time)
+
+    # -------------------------------------------------------------- transfers
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 at_time: Optional[float] = None):
+        return self.inner.transfer(src, dst, nbytes, at_time=at_time)
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch(
+        self,
+        task: Task,
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        if check_loss and not self.failures.available(node_id, self.now):
+            return self._lost_at_dispatch(node_id)
+        handle = self.inner.dispatch(
+            task, node_id, self._wrap_fn(execute_fn, node_id),
+            master_node=master_node, at_time=at_time, check_loss=check_loss,
+            collect_output=collect_output,
+        )
+        return _FaultHandle(handle, self) if check_loss else handle
+
+    def dispatch_chunk(
+        self,
+        tasks: Sequence[Task],
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        if check_loss and not self.failures.available(node_id, self.now):
+            now = self.now
+            outcomes = tuple(self._lost_at_dispatch(node_id).outcome()
+                             for _ in tasks)
+            chunk = ChunkOutcome(node_id=node_id, outcomes=outcomes,
+                                 submitted=now, finished=now)
+            return CompletedHandle(chunk, node_id=node_id, submitted=now,
+                                   master_free_after=now)
+        handle = self.inner.dispatch_chunk(
+            tasks, node_id, self._wrap_fn(execute_fn, node_id),
+            master_node=master_node, at_time=at_time, check_loss=check_loss,
+            collect_output=collect_output,
+        )
+        return _FaultChunkHandle(handle, self) if check_loss else handle
+
+    def dispatch_chain(
+        self,
+        task: Task,
+        stages: Sequence[ChainStage],
+        master_node: str,
+        at_time: float,
+    ) -> DispatchHandle:
+        return self.inner.dispatch_chain(task, stages, master_node=master_node,
+                                         at_time=at_time)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self.inner.close()
+
+    # -------------------------------------------------------------- internals
+    def _wrap_fn(self, execute_fn, node_id: str):
+        delay = self.slowdowns.get(node_id, 0.0)
+        if delay <= 0.0:
+            return execute_fn
+        return _SlowedExecute(fn=execute_fn, delay=delay)
+
+    def _lost_at_dispatch(self, node_id: str) -> CompletedHandle:
+        """The node is already dead: the task is lost in transit."""
+        now = self.now
+        outcome = DispatchOutcome(
+            node_id=node_id, output=None, submitted=now, exec_started=now,
+            exec_finished=now, finished=now, lost=True,
+        )
+        return CompletedHandle(outcome, node_id=node_id, submitted=now,
+                               master_free_after=now)
+
+    def _convert(self, outcome: DispatchOutcome) -> DispatchOutcome:
+        """Lose a task whose node died before its result was delivered.
+
+        The check uses ``finished`` — when the result reached the master —
+        not ``exec_finished``: a chunked process dispatch back-fills
+        per-task compute intervals as estimates before the single IPC
+        receipt, and a master must never accept a result that only arrived
+        after the schedule killed the node.
+        """
+        if outcome.lost:
+            return outcome
+        if self.failures.available(outcome.node_id, outcome.finished):
+            return outcome
+        return dataclasses.replace(outcome, output=None, lost=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjectingBackend({self.inner!r})"

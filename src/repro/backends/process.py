@@ -1,0 +1,436 @@
+"""Wall-clock execution backend on worker processes (GIL escape).
+
+:class:`ProcessBackend` implements the
+:class:`~repro.backends.base.ExecutionBackend` interface over
+``multiprocessing``: every grid node becomes one *serial worker process* (a
+single-worker ``ProcessPoolExecutor``), so CPU-bound payloads run truly in
+parallel — the speedup the GIL denies the thread backend.  Clock,
+membership, transfer and queue-occupancy semantics are shared with
+:class:`~repro.backends.threaded.ThreadBackend` via
+:class:`~repro.backends._concurrent.LocalConcurrentBackend`.
+
+**Picklable payload contract.**  Task payloads, outputs, ``execute_fn`` and
+pipeline stage functions cross a process boundary and therefore must be
+picklable: module-level functions, ``functools.partial`` over them, or
+callable class instances — not lambdas or closures.  The runtime's own
+plumbing honours the contract (cost models and lowered pipeline stages are
+picklable callables); what the *user* hands to a skeleton must too.
+
+**Timing model.**  Pure compute durations are measured inside the worker
+process; the parent anchors them at result-receipt time, so
+``DispatchOutcome.duration`` excludes IPC while ``finished - submitted``
+includes it.  This is exactly the split the adaptive monitor needs: unit
+times reflect node compute speed, while makespans reflect what the user
+waited for.  Because one round-trip per task makes IPC dominate small
+tasks, :meth:`ProcessBackend.dispatch_chunk` ships ``k`` tasks per
+round-trip (one pickle each way per *chunk*); the adaptive engine feeds it
+via ``ExecutionConfig.chunk_size``.
+
+**Fault tolerance.**  A worker process that dies mid-task (killed, OOM,
+crash) resolves its dispatches as *lost* instead of raising, and the node's
+pool is discarded so a fresh worker respawns on the next dispatch — the
+adaptive loop re-enqueues the task and routes around the incident, the same
+path a vanished grid node takes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time as _time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.backends._concurrent import (
+    _INPROC_BANDWIDTH,
+    LocalConcurrentBackend,
+    _FutureHandle,
+)
+from repro.backends.base import (
+    ChainOutcome,
+    ChainStage,
+    ChunkOutcome,
+    CompletedHandle,
+    DispatchHandle,
+    DispatchOutcome,
+)
+from repro.exceptions import GridError
+from repro.grid.topology import GridTopology
+from repro.skeletons.base import Task
+
+__all__ = ["ProcessBackend"]
+
+
+def _forkserver_main_safe() -> bool:
+    """Whether spawn-style worker preparation can handle ``__main__``.
+
+    Spawn/forkserver children re-import the parent's main module.  A main
+    that is importable by name (``python -m``), a real script file, or an
+    interactive session without ``__file__`` (REPL, notebook) all survive
+    that; a pseudo-file main such as ``<stdin>`` (here-doc scripts) makes
+    every worker crash in ``spawn.prepare`` — those parents must use
+    ``fork``.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return True
+    if getattr(getattr(main, "__spec__", None), "name", None):
+        return True
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return True
+    return os.path.exists(path)
+
+
+def _mp_context(start_method: Optional[str]):
+    """The multiprocessing context to build worker pools from.
+
+    ``forkserver`` is preferred where available: workers fork from a
+    dedicated single-threaded server, so spawning (and *re*-spawning after
+    a worker death) is safe even once the parent has grown pool-manager
+    and chain-driver threads — plain ``fork`` from a multi-threaded parent
+    can deadlock the child and is deprecated on Python >= 3.12.  Parents
+    whose ``__main__`` cannot be re-imported by a spawned child (see
+    :func:`_forkserver_main_safe`), and platforms without ``forkserver``,
+    fall back to ``fork``, then to the platform default.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    if not _forkserver_main_safe():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform dependent
+            return multiprocessing.get_context()
+    try:
+        context = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform dependent
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context()
+    # The server imports the runtime (and with it numpy) once; every forked
+    # worker inherits those modules instead of re-importing per spawn.
+    # get_context("forkserver") hands out the process-global context, so
+    # merge into the existing preload list (default: ["__main__"]) rather
+    # than replacing it — other forkserver users keep their preloads (the
+    # addition persists for the process lifetime: the server, once started,
+    # cannot unload modules, so there is deliberately no undo on close()).
+    try:
+        from multiprocessing import forkserver as _forkserver_module
+        preload = list(getattr(_forkserver_module._forkserver,
+                               "_preload_modules", None) or ["__main__"])
+    except Exception:  # pragma: no cover - implementation detail moved
+        preload = ["__main__"]
+    if "repro" not in preload:
+        context.set_forkserver_preload(preload + ["repro"])
+    return context
+
+
+# ---------------------------------------------------------------- child side
+# Everything below runs inside a worker process and must stay module-level
+# (picklable by reference).
+
+def _run_payload(execute_fn, task: Task, collect: bool):
+    """Execute one task in the worker; return (output, compute seconds)."""
+    started = _time.perf_counter()
+    output = execute_fn(task) if execute_fn is not None else None
+    duration = _time.perf_counter() - started
+    return (output if collect else None), duration
+
+
+def _run_chunk(execute_fn, tasks: Sequence[Task], collect: bool):
+    """Execute a chunk of tasks back-to-back in the worker."""
+    return [_run_payload(execute_fn, task, collect) for task in tasks]
+
+
+def _run_stage(cost_fn, apply_fn, value):
+    """Execute one pipeline stage in the worker."""
+    cost = float(cost_fn(value))
+    started = _time.perf_counter()
+    output = apply_fn(value)
+    duration = _time.perf_counter() - started
+    return output, duration, cost
+
+
+def _warmup():
+    """No-op shipped at construction to fork the worker eagerly."""
+    return None
+
+
+def _consume_warmup(future: Future) -> None:
+    """Retrieve a warm-up future's outcome so spawn failures are not silent.
+
+    A worker that cannot start (preload import failure, resource limits)
+    breaks its pool here already; retrieving the exception avoids Python's
+    "exception was never retrieved" noise, and the breakage then surfaces
+    deterministically as lost tasks on the first real dispatch (which the
+    farm executor's loss cap turns into a clear error if it persists).
+    """
+    exc = future.exception()
+    if exc is not None:  # pragma: no cover - spawn-environment dependent
+        import warnings
+        warnings.warn(f"process backend worker failed to start: {exc!r}",
+                      RuntimeWarning, stacklevel=2)
+
+
+# --------------------------------------------------------------- parent side
+class _ProcessHandle(DispatchHandle):
+    """Handle over one single-task worker-process future."""
+
+    def __init__(self, backend: "ProcessBackend", future: Future, *,
+                 node_id: str, submitted: float):
+        self._backend = backend
+        self._future = future
+        self._received: Optional[float] = None
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = submitted
+        future.add_done_callback(self._mark_received)
+
+    def _mark_received(self, _future: Future) -> None:
+        self._received = self._backend.now
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def outcome(self) -> DispatchOutcome:
+        try:
+            output, duration = self._future.result()
+        except BrokenProcessPool:
+            return self._backend._lost_outcome(self.node_id, self.submitted)
+        finished = self._received if self._received is not None else self._backend.now
+        started = max(self.submitted, finished - duration)
+        return DispatchOutcome(
+            node_id=self.node_id, output=output, submitted=self.submitted,
+            exec_started=started, exec_finished=finished, finished=finished,
+            lost=False, load=self._backend.observe_load(self.node_id),
+            bandwidth=_INPROC_BANDWIDTH,
+        )
+
+
+class _ProcessChunkHandle(DispatchHandle):
+    """Handle over one chunked worker-process future (k tasks, one IPC)."""
+
+    def __init__(self, backend: "ProcessBackend", future: Future, *,
+                 node_id: str, tasks: Sequence[Task], submitted: float):
+        self._backend = backend
+        self._future = future
+        self._tasks = list(tasks)
+        self._received: Optional[float] = None
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = submitted
+        future.add_done_callback(self._mark_received)
+
+    def _mark_received(self, _future: Future) -> None:
+        self._received = self._backend.now
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def outcome(self) -> ChunkOutcome:
+        backend = self._backend
+        try:
+            pairs = self._future.result()
+        except BrokenProcessPool:
+            lost = tuple(
+                backend._lost_outcome(self.node_id, self.submitted)
+                for _ in self._tasks
+            )
+            now = backend.now
+            return ChunkOutcome(node_id=self.node_id, outcomes=lost,
+                                submitted=self.submitted, finished=now)
+        finished = self._received if self._received is not None else backend.now
+        total = sum(duration for _, duration in pairs)
+        # Anchor the chunk's compute interval at receipt and stack the
+        # per-task durations inside it (the worker ran them back-to-back).
+        cursor = max(self.submitted, finished - total)
+        load = backend.observe_load(self.node_id)
+        outcomes: List[DispatchOutcome] = []
+        for output, duration in pairs:
+            outcomes.append(DispatchOutcome(
+                node_id=self.node_id, output=output, submitted=self.submitted,
+                exec_started=cursor, exec_finished=cursor + duration,
+                finished=finished, lost=False, load=load,
+                bandwidth=_INPROC_BANDWIDTH,
+            ))
+            cursor += duration
+        return ChunkOutcome(node_id=self.node_id, outcomes=tuple(outcomes),
+                            submitted=self.submitted, finished=finished)
+
+
+class ProcessBackend(LocalConcurrentBackend):
+    """Adaptive-runtime backend executing on serial worker processes.
+
+    Parameters
+    ----------
+    topology:
+        Grid topology supplying node identifiers; one worker process per
+        node.  When omitted, a homogeneous topology with ``workers`` nodes
+        is synthesised.
+    workers:
+        Number of worker processes when no topology is given; defaults to
+        the machine's CPU count.
+    start_method:
+        ``multiprocessing`` start method (default: ``forkserver`` where
+        available — safe to respawn workers from a threaded parent; see
+        :func:`_mp_context`).
+    """
+
+    name = "process"
+    _synth_topology_name = "processes"
+
+    def __init__(self, topology: Optional[GridTopology] = None,
+                 workers: Optional[int] = None, tracer=None,
+                 start_method: Optional[str] = None):
+        super().__init__(topology=topology, workers=workers, tracer=tracer)
+        self._context = _mp_context(start_method)
+        # Spawn every worker up front, keeping startup cost out of the
+        # measured dispatches.
+        for node_id in self._topology.node_ids:
+            future = self._ensure_executor(node_id).submit(_warmup)
+            future.add_done_callback(_consume_warmup)
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch(
+        self,
+        task: Task,
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        self._check_node(node_id)
+        submitted = self.now
+        try:
+            future = self._submit(node_id, _run_payload, execute_fn, task,
+                                  collect_output)
+        except BrokenProcessPool:
+            # The pool broke between the previous dispatch and this one:
+            # same contract as a mid-task death — lost, then respawn.
+            outcome = self._lost_outcome(node_id, submitted)
+            return CompletedHandle(outcome, node_id=node_id,
+                                   submitted=submitted,
+                                   master_free_after=submitted)
+        return _ProcessHandle(self, future, node_id=node_id,
+                              submitted=submitted)
+
+    def dispatch_chunk(
+        self,
+        tasks: Sequence[Task],
+        node_id: str,
+        execute_fn: Optional[Callable[[Task], Any]],
+        master_node: str,
+        at_time: float,
+        check_loss: bool = True,
+        collect_output: bool = True,
+    ) -> DispatchHandle:
+        self._check_node(node_id)
+        submitted = self.now
+        try:
+            future = self._submit(node_id, _run_chunk, execute_fn,
+                                  list(tasks), collect_output)
+        except BrokenProcessPool:
+            outcome = self._lost_outcome(node_id, submitted)
+            chunk = ChunkOutcome(
+                node_id=node_id,
+                outcomes=tuple(outcome for _ in tasks),
+                submitted=submitted, finished=outcome.finished,
+            )
+            return CompletedHandle(chunk, node_id=node_id,
+                                   submitted=submitted,
+                                   master_free_after=submitted)
+        return _ProcessChunkHandle(self, future, node_id=node_id, tasks=tasks,
+                                   submitted=submitted)
+
+    def dispatch_chain(
+        self,
+        task: Task,
+        stages: Sequence[ChainStage],
+        master_node: str,
+        at_time: float,
+    ) -> DispatchHandle:
+        submitted = self.now
+        # The first stage is submitted from the caller's thread so stage-0
+        # queue order equals the master's emit order; the remaining stages
+        # are walked by a driver thread (a worker process cannot wait on a
+        # future owned by the parent).
+        first = stages[0]
+        node0 = first.pick(self.node_free_at)
+        self._check_node(node0)
+        future0 = self._submit(node0, _run_stage, first.cost, first.apply,
+                               task.payload)
+        result: Future = Future()
+        driver = threading.Thread(
+            target=self._drive_chain,
+            args=(future0, node0, stages, submitted, result),
+            name="grasp-chain-driver", daemon=True,
+        )
+        driver.start()
+        return _FutureHandle(result, node_id=node0, submitted=submitted,
+                             master_free_after=submitted, next_emit=submitted)
+
+    def _drive_chain(self, future0: Future, node0: str,
+                     stages: Sequence[ChainStage], submitted: float,
+                     result: Future) -> None:
+        current_node = node0
+        try:
+            records: List[Tuple[str, float, float, float]] = []
+            item_cost = 0.0
+            value, duration, cost = future0.result()
+            records.append((node0, duration, cost, self.now - duration))
+            item_cost += cost
+            for stage in stages[1:]:
+                node = stage.pick(self.node_free_at)
+                self._check_node(node)
+                current_node = node
+                future = self._submit(node, _run_stage, stage.cost,
+                                      stage.apply, value)
+                value, duration, cost = future.result()
+                records.append((node, duration, cost, self.now - duration))
+                item_cost += cost
+            last_node, last_duration, _, last_started = records[-1]
+            result.set_result(ChainOutcome(
+                output=value, final_node=last_node, submitted=submitted,
+                finished=last_started + last_duration, item_cost=item_cost,
+                stage_records=records,
+            ))
+        except BrokenProcessPool:
+            # A pipeline item cannot leave the stream half-processed, so a
+            # chain has no lost-task path (the simulator's chains cannot
+            # fail either); surface an actionable error and discard the
+            # broken pool so the node respawns for subsequent work.
+            broken = self._discard_executor(current_node)
+            if broken is not None:
+                broken.shutdown(wait=False)
+            result.set_exception(GridError(
+                f"worker process for node {current_node!r} died "
+                "mid-pipeline-stage; pipeline chains cannot re-enqueue "
+                "partial items"
+            ))
+        except BaseException as exc:  # propagate through the handle
+            result.set_exception(exc)
+
+    # -------------------------------------------------------------- internals
+    def _lost_outcome(self, node_id: str, submitted: float) -> DispatchOutcome:
+        """A worker process died mid-task: surface the loss, respawn later."""
+        broken = self._discard_executor(node_id)
+        if broken is not None:
+            broken.shutdown(wait=False)
+        now = self.now
+        return DispatchOutcome(
+            node_id=node_id, output=None, submitted=submitted,
+            exec_started=submitted, exec_finished=now, finished=now,
+            lost=True,
+        )
+
+    def _make_executor(self, node_id: str) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=1, mp_context=self._context)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(nodes={len(self._pending)})"

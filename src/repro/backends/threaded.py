@@ -12,15 +12,20 @@ compilation phase, rebound.
 Semantics compared to the simulator:
 
 * **Clock** — ``now`` is seconds since backend creation;
-  :meth:`advance_to` is a no-op (wall time cannot be advanced).
+  :meth:`~repro.backends._concurrent.LocalConcurrentBackend.advance_to` is
+  a no-op (wall time cannot be advanced).
 * **Transfers** — in-process hand-offs are free: ``transfer`` returns a
   zero-duration record, and the reported bandwidth is a large constant.
-* **Availability** — nodes do not fail; ``is_available`` is always true.
-* **Queue occupancy** — :meth:`node_free_at` estimates each node's
+* **Availability** — threads do not fail on their own; ``is_available`` is
+  always true.  Wrap the backend in
+  :class:`~repro.backends.faults.FaultInjectingBackend` to run node-loss
+  and slowdown scenarios against real threads.
+* **Queue occupancy** — ``node_free_at`` estimates each node's
   earliest-free time from its queued task count and an exponentially
-  weighted average of observed task durations, which is what demand-driven
-  self-scheduling needs to balance load.
-* **Monitoring** — :meth:`observe_load` reads the host's 1-minute load
+  weighted average of observed task durations; before a node has completed
+  anything it borrows the estimate of the first completed dispatch (see
+  :mod:`repro.backends._concurrent`).
+* **Monitoring** — ``observe_load`` reads the host's 1-minute load
   average normalised by core count (0.0 where unsupported), so calibration
   ranks nodes by *measured* unit times under real machine load.
 * **Probes** — a dispatch with ``collect_output=False`` still executes the
@@ -31,65 +36,23 @@ Semantics compared to the simulator:
 
 from __future__ import annotations
 
-import itertools
-import os
-import threading
-import time as _time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
+from repro.backends._concurrent import (
+    _INPROC_BANDWIDTH,
+    LocalConcurrentBackend,
+    _FutureHandle,
+)
 from repro.backends.base import (
     ChainOutcome,
     ChainStage,
     DispatchHandle,
     DispatchOutcome,
-    ExecutionBackend,
 )
-from repro.exceptions import GridError
-from repro.grid.topology import GridBuilder, GridTopology
 from repro.skeletons.base import Task
 
 __all__ = ["ThreadBackend"]
-
-#: Reported node-to-node bandwidth: an in-process hand-off (bytes/s).
-_INPROC_BANDWIDTH = 1e9
-
-#: Seed estimate for a queued task's duration before any has completed.
-_MIN_DURATION_ESTIMATE = 1e-6
-
-
-@dataclass(frozen=True)
-class _Transfer:
-    """Zero-cost in-process transfer record (mirrors the simulator's)."""
-
-    src: str
-    dst: str
-    nbytes: float
-    started: float
-    finished: float
-
-    @property
-    def duration(self) -> float:
-        return self.finished - self.started
-
-
-class _FutureHandle(DispatchHandle):
-    """Handle over a single worker-thread future."""
-
-    def __init__(self, future: Future, *, node_id: str, submitted: float,
-                 master_free_after: float, next_emit: float = 0.0):
-        self._future = future
-        self.node_id = node_id
-        self.submitted = submitted
-        self.master_free_after = master_free_after
-        self.next_emit = next_emit
-
-    def done(self) -> bool:
-        return self._future.done()
-
-    def outcome(self) -> DispatchOutcome:
-        return self._future.result()
 
 
 class _ChainHandle(DispatchHandle):
@@ -121,91 +84,11 @@ class _ChainHandle(DispatchHandle):
         )
 
 
-class ThreadBackend(ExecutionBackend):
-    """Adaptive-runtime backend executing on real OS threads.
-
-    Parameters
-    ----------
-    topology:
-        Grid topology supplying node identifiers (speeds/links are ignored —
-        real threads run as fast as the hardware allows).  When omitted, a
-        homogeneous topology with ``workers`` nodes is synthesised.
-    workers:
-        Number of worker queues when no topology is given; defaults to the
-        machine's CPU count.
-    """
+class ThreadBackend(LocalConcurrentBackend):
+    """Adaptive-runtime backend executing on real OS threads."""
 
     name = "thread"
-    eager = False
-
-    def __init__(self, topology: Optional[GridTopology] = None,
-                 workers: Optional[int] = None, tracer=None):
-        if topology is None:
-            count = workers or os.cpu_count() or 4
-            topology = (
-                GridBuilder().homogeneous(nodes=count, speed=1.0)
-                .named("threads").build(seed=0)
-            )
-        self._topology = topology
-        self._origin = _time.perf_counter()
-        self._lock = threading.Lock()
-        self._executors: Dict[str, ThreadPoolExecutor] = {}
-        self._pending: Dict[str, int] = {n: 0 for n in topology.node_ids}
-        self._avg_duration: Dict[str, float] = {n: 0.0 for n in topology.node_ids}
-        self._counter = itertools.count()
-        self._closed = False
-        self.tracer = tracer
-
-    # ------------------------------------------------------------------ clock
-    @property
-    def now(self) -> float:
-        return _time.perf_counter() - self._origin
-
-    def advance_to(self, time: float) -> None:
-        """Wall time advances on its own; nothing to do."""
-
-    # ------------------------------------------------------------- membership
-    @property
-    def topology(self) -> GridTopology:
-        return self._topology
-
-    def available_nodes(self, time: float) -> List[str]:
-        return list(self._topology.node_ids)
-
-    def is_available(self, node_id: str, time: Optional[float] = None) -> bool:
-        self._check_node(node_id)
-        return True
-
-    def node_free_at(self, node_id: str) -> float:
-        self._check_node(node_id)
-        with self._lock:
-            pending = self._pending[node_id]
-            estimate = max(self._avg_duration[node_id], _MIN_DURATION_ESTIMATE)
-        return self.now + pending * estimate
-
-    # ------------------------------------------------------------ observation
-    def observe_load(self, node_id: str, time: Optional[float] = None) -> float:
-        self._check_node(node_id)
-        try:
-            load = os.getloadavg()[0] / max(os.cpu_count() or 1, 1)
-        except (AttributeError, OSError):  # pragma: no cover - platform dependent
-            return 0.0
-        return min(max(load, 0.0), 0.999)
-
-    def observe_bandwidth(self, src: str, dst: str,
-                          time: Optional[float] = None) -> float:
-        self._check_node(src)
-        self._check_node(dst)
-        return _INPROC_BANDWIDTH
-
-    # -------------------------------------------------------------- transfers
-    def transfer(self, src: str, dst: str, nbytes: float,
-                 at_time: Optional[float] = None) -> _Transfer:
-        self._check_node_or_master(src)
-        self._check_node_or_master(dst)
-        started = self.now if at_time is None else float(at_time)
-        return _Transfer(src=src, dst=dst, nbytes=float(nbytes),
-                         started=started, finished=started)
+    _synth_topology_name = "threads"
 
     # --------------------------------------------------------------- dispatch
     def dispatch(
@@ -272,53 +155,12 @@ class ThreadBackend(ExecutionBackend):
         finished = self.now
         return output, (node, finished - started, cost, started), cost
 
-    # -------------------------------------------------------------- lifecycle
-    def close(self) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            executors = list(self._executors.values())
-            self._executors.clear()
-        for executor in executors:
-            executor.shutdown(wait=True)
-
     # -------------------------------------------------------------- internals
-    def _submit(self, node_id: str, fn, *args) -> Future:
-        with self._lock:
-            if self._closed:
-                raise GridError("thread backend is closed")
-            executor = self._executors.get(node_id)
-            if executor is None:
-                executor = ThreadPoolExecutor(
-                    max_workers=1,
-                    thread_name_prefix=f"grasp-{node_id.replace('/', '-')}",
-                )
-                self._executors[node_id] = executor
-            self._pending[node_id] += 1
-        started_at = self.now
-        future = executor.submit(fn, *args)
-        future.add_done_callback(
-            lambda _f, node=node_id, t0=started_at: self._note_done(node, t0)
+    def _make_executor(self, node_id: str) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=1,
+            thread_name_prefix=f"grasp-{node_id.replace('/', '-')}",
         )
-        return future
-
-    def _note_done(self, node_id: str, submitted_at: float) -> None:
-        elapsed = max(self.now - submitted_at, _MIN_DURATION_ESTIMATE)
-        with self._lock:
-            self._pending[node_id] = max(0, self._pending[node_id] - 1)
-            previous = self._avg_duration[node_id]
-            self._avg_duration[node_id] = (
-                elapsed if previous == 0.0 else 0.7 * previous + 0.3 * elapsed
-            )
-
-    def _check_node(self, node_id: str) -> None:
-        if node_id not in self._pending:
-            raise GridError(f"unknown node {node_id!r}")
-
-    def _check_node_or_master(self, node_id: str) -> None:
-        if node_id not in self._topology:
-            raise GridError(f"unknown node {node_id!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadBackend(nodes={len(self._pending)})"

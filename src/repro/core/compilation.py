@@ -16,8 +16,10 @@ node, builds the communicator and the resource monitor, and returns a
 The ``backend`` parameter is the rebinding point of the whole methodology:
 the same :class:`~repro.core.program.SkeletalProgram` compiles against the
 virtual-time grid simulator (``backend="simulated"``, the default), against
-real OS threads (``backend="thread"``), or against any
-:class:`ExecutionBackend` instance, without touching the program.
+real OS threads (``backend="thread"``), against worker processes
+(``backend="process"``), or against any :class:`ExecutionBackend` instance
+— including a :class:`~repro.backends.faults.FaultInjectingBackend`
+wrapping one of the above — without touching the program.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from typing import List, Optional, Union
 from repro.backends import (
     BACKEND_NAMES,
     ExecutionBackend,
+    ProcessBackend,
     SimulatedBackend,
     ThreadBackend,
     as_backend,
@@ -93,6 +96,8 @@ def _resolve_backend(
     if isinstance(backend, str):
         if backend == "thread":
             return ThreadBackend(topology=topology, tracer=tracer), True
+        if backend == "process":
+            return ProcessBackend(topology=topology, tracer=tracer), True
         # Fail loudly for names registered elsewhere but not routed here.
         raise CompilationError(
             f"unknown backend {backend!r}; expected one of {sorted(BACKEND_NAMES)}"
@@ -118,9 +123,11 @@ def compile_program(
     ----------
     backend:
         The parallel environment to link against: ``"simulated"`` (default),
-        ``"thread"``, or a ready :class:`ExecutionBackend` instance.  The
-        legacy ``simulator=`` parameter remains supported and implies the
-        simulated backend.
+        ``"thread"``, ``"process"``, or a ready :class:`ExecutionBackend`
+        instance.  The legacy ``simulator=`` parameter remains supported and
+        implies the simulated backend.  A backend created here (string
+        names) is owned by the returned program and is closed by the caller
+        — or by this function itself when compilation fails partway.
 
     Raises
     ------
@@ -131,6 +138,25 @@ def compile_program(
     """
     tracer = tracer if tracer is not None else Tracer(enabled=program.config.trace)
     env, owns_backend = _resolve_backend(backend, topology, simulator, tracer)
+    try:
+        return _link(program, topology, env, owns_backend, tracer, at_time)
+    except BaseException:
+        # A backend created here (backend="thread"/"process") holds real
+        # worker threads/processes; a failed link step must not leak them.
+        if owns_backend:
+            env.close()
+        raise
+
+
+def _link(
+    program: SkeletalProgram,
+    topology: GridTopology,
+    env: ExecutionBackend,
+    owns_backend: bool,
+    tracer: Tracer,
+    at_time: float,
+) -> CompiledProgram:
+    """The fallible part of compilation (see :func:`compile_program`)."""
     tracer.bind_clock(lambda: env.now)
 
     pool = env.available_nodes(at_time)

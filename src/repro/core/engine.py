@@ -62,6 +62,25 @@ class MonitoringWindow:
         self.node_times[node_id].append(unit_time)
         self.node_loads[node_id].append(load)
 
+    def record_chunk(self, node_id: str, outcomes: Sequence,
+                     costs: Sequence[float]) -> float:
+        """Fold one chunked dispatch into the round as a *single* sample.
+
+        The chunk's normalised time is its total compute duration over the
+        total cost of its tasks — one decision-statistic entry per chunk,
+        so the threshold judges the same quantity whatever the batching.
+        Returns the recorded unit time.
+        """
+        total_cost = sum(costs)
+        unit_time = (sum(o.duration for o in outcomes)
+                     / (total_cost if total_cost > 0 else 1.0))
+        self.record_unit(unit_time)
+        self.record_node(node_id, unit_time,
+                         max(o.load for o in outcomes))
+        for outcome in outcomes:
+            self.span(outcome.submitted, outcome.finished)
+        return unit_time
+
     def span(self, started: Optional[float] = None,
              finished: Optional[float] = None) -> None:
         """Extend the window's time extent."""

@@ -5,7 +5,10 @@ skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
 
 * **Demand-driven dispatch** — the next task goes to the chosen worker that
   is free earliest (self-scheduling), with inputs shipped from the master
-  through a serially reused master uplink and results shipped back.
+  through a serially reused master uplink and results shipped back.  With
+  ``ExecutionConfig.chunk_size > 1`` the unit of dispatch becomes a *chunk*
+  of k tasks (one backend dispatch, one decision-statistic sample),
+  amortising per-dispatch IPC overhead on the process backend.
 * **Monitoring rounds** — after every ``monitor_interval`` completed tasks
   (default: one per chosen worker) the monitor inspects the normalised
   execution times of the round; per Algorithm 2, a round whose *minimum*
@@ -17,20 +20,29 @@ skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
   from monitoring history.  The new fittest set takes effect for all
   not-yet-dispatched tasks.
 * **Failure handling** — a worker that becomes unavailable is dropped from
-  the chosen set; a task caught on a failing node is re-enqueued.
+  the chosen set; a task caught on a failing node is re-enqueued.  On the
+  simulator failures come from the topology's failure model; on the
+  wall-clock backends they come from
+  :class:`~repro.backends.faults.FaultInjectingBackend` (or a genuinely
+  dead worker process).
 
 On an eager backend (the virtual-time simulator) every dispatch resolves
 immediately and the loop is step-for-step identical to the historical
-executor.  On a concurrent backend (threads) dispatches within a monitoring
-window overlap: the window is filled first and collected afterwards, which
-is where the real parallelism comes from.
+executor.  On a concurrent backend (threads, processes) dispatches within a
+monitoring window overlap: the window is filled first and collected
+afterwards, which is where the real parallelism comes from.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Deque, List, Optional, Sequence, Tuple, Union
 
-from repro.backends import DispatchHandle, ExecutionBackend, as_backend
+from repro.backends import (
+    DispatchHandle,
+    DispatchOutcome,
+    ExecutionBackend,
+    as_backend,
+)
 from repro.core.calibration import CalibrationReport
 from repro.core.engine import AdaptiveEngine, MonitoringWindow
 from repro.core.execution import ExecutionReport
@@ -96,57 +108,91 @@ class FarmExecutor:
         report.chosen_history.append(list(chosen))
 
         master_free = start
+        chunk_size = max(1, exec_cfg.chunk_size)
+        # A node that loses every task it is given (a worker that can never
+        # run, e.g. persistently failing to spawn) would otherwise be
+        # re-dispatched forever on backends whose availability query cannot
+        # see the breakage; cap total losses so a livelock becomes an error.
+        lost_task_limit = max(64, 8 * (len(tasks) + len(self.pool)))
 
         self.tracer.record("phase.execution.start", "farm execution started",
-                           chosen=list(chosen), tasks=len(tasks))
+                           chosen=list(chosen), tasks=len(tasks),
+                           chunk_size=chunk_size)
 
-        def collect(task: Task, handle: DispatchHandle) -> int:
-            """Fold one finished dispatch into the window; 1 on success."""
+        def collect(chunk: List[Task], handle: DispatchHandle) -> int:
+            """Fold one finished chunk dispatch into the window.
+
+            Handles per-task losses (a node died while holding work — the
+            fault-injection path on concurrent backends, the failure models
+            on the simulator): lost tasks are re-enqueued in order and the
+            dead node leaves the chosen set.  Returns the number of tasks
+            that completed.
+            """
             nonlocal chosen
             outcome = handle.outcome()
-            if outcome.lost:
-                tasks.appendleft(task)
-                report.lost_tasks += 1
+            survived: List[Tuple[Task, DispatchOutcome]] = []
+            lost: List[Task] = []
+            for task, task_outcome in zip(chunk, outcome.outcomes):
+                if task_outcome.lost:
+                    lost.append(task)
+                else:
+                    survived.append((task, task_outcome))
+            if lost:
+                tasks.extendleft(reversed(lost))
+                report.lost_tasks += len(lost)
+                if report.lost_tasks > lost_task_limit:
+                    raise ExecutionError(
+                        f"{report.lost_tasks} tasks lost (limit "
+                        f"{lost_task_limit}): a node appears to lose every "
+                        "task it is given; aborting instead of thrashing"
+                    )
                 chosen = [n for n in chosen if n != outcome.node_id]
                 if not chosen:
                     chosen = self._recover_pool(master_free)
                 report.chosen_history.append(list(chosen))
+            if not survived:
                 return 0
-            report.results.append(outcome.to_task_result(task))
-            cost = task.cost if task.cost > 0 else 1.0
-            unit_time = outcome.duration / cost
-            window.record_unit(unit_time)
-            window.record_node(outcome.node_id, unit_time, outcome.load)
-            window.span(outcome.submitted, outcome.finished)
-            return 1
+            for task, task_outcome in survived:
+                report.results.append(task_outcome.to_task_result(task))
+            window.record_chunk(
+                outcome.node_id,
+                [task_outcome for _, task_outcome in survived],
+                [task.cost if task.cost > 0 else 1.0 for task, _ in survived],
+            )
+            return len(survived)
 
         while tasks:
+            # The window budget is monitor units × chunk size: one round
+            # still collects ~one decision sample per chosen worker, and
+            # chunking cannot shrink the number of concurrent dispatches
+            # (chunk_size=1 keeps the historical task-per-unit budget).
             window_size = max(1, exec_cfg.monitor_interval or len(chosen))
-            window_tasks = min(window_size, len(tasks))
+            window_tasks = min(window_size * chunk_size, len(tasks))
             window = MonitoringWindow(floor=start)
 
             dispatched = 0
-            inflight: List[Tuple[Task, DispatchHandle]] = []
+            inflight: List[Tuple[List[Task], DispatchHandle]] = []
             while dispatched < window_tasks and tasks:
-                task = tasks.popleft()
-                handle = self._dispatch(task, chosen, master_free)
+                take = min(chunk_size, window_tasks - dispatched, len(tasks))
+                chunk = [tasks.popleft() for _ in range(max(1, take))]
+                handle = self._dispatch(chunk, chosen, master_free)
                 if handle is None:
                     # Every chosen worker is dead: force recalibration over
                     # the remaining pool (or fail if nothing is left).
-                    tasks.appendleft(task)
+                    tasks.extendleft(reversed(chunk))
                     chosen = self._recover_pool(master_free)
                     report.chosen_history.append(list(chosen))
                     continue
                 master_free = handle.master_free_after
                 if self.backend.eager:
-                    dispatched += collect(task, handle)
+                    dispatched += collect(chunk, handle)
                 else:
-                    # Concurrent backend: let the window overlap; losses
-                    # cannot occur (threads do not fail like grid nodes).
-                    inflight.append((task, handle))
-                    dispatched += 1
-            for task, handle in inflight:
-                collect(task, handle)
+                    # Concurrent backend: let the window's chunks overlap
+                    # across the workers and fan them in afterwards.
+                    inflight.append((chunk, handle))
+                    dispatched += len(chunk)
+            for chunk, handle in inflight:
+                collect(chunk, handle)
 
             if window.empty:
                 continue
@@ -212,23 +258,22 @@ class FarmExecutor:
                            alive=list(alive))
         return self._workers_from(alive)
 
-    def _dispatch(self, task: Task, chosen: Sequence[str],
+    def _dispatch(self, chunk: Sequence[Task], chosen: Sequence[str],
                   master_free: float) -> Optional[DispatchHandle]:
-        """Send one task to the earliest-free chosen worker.
+        """Send one chunk of tasks to the earliest-free chosen worker.
 
         Returns ``None`` when no chosen worker is available.
         """
         backend = self.backend
-        ready = {
-            node: max(backend.node_free_at(node), master_free)
-            for node in chosen
-            if backend.is_available(node, max(backend.node_free_at(node),
-                                              master_free))
-        }
+        ready = {}
+        for node in chosen:
+            free_at = max(backend.node_free_at(node), master_free)
+            if backend.is_available(node, free_at):
+                ready[node] = free_at
         if not ready:
             return None
         node = self.scheduler.next_node(ready)
-        return backend.dispatch(
-            task, node, self.execute_fn, master_node=self.master_node,
+        return backend.dispatch_chunk(
+            chunk, node, self.execute_fn, master_node=self.master_node,
             at_time=ready[node], check_loss=True,
         )

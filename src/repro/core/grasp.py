@@ -92,8 +92,11 @@ class Grasp:
 
     ``backend`` selects the parallel environment: ``"simulated"`` (default,
     deterministic virtual time), ``"thread"`` (real OS threads under
-    wall-clock monitoring) or any
-    :class:`~repro.backends.base.ExecutionBackend` instance.
+    wall-clock monitoring), ``"process"`` (serial worker processes — true
+    parallelism for CPU-bound, picklable payloads) or any
+    :class:`~repro.backends.base.ExecutionBackend` instance, e.g. a
+    :class:`~repro.backends.faults.FaultInjectingBackend` wrapping one of
+    the concurrent backends.
 
     Examples
     --------

@@ -145,6 +145,11 @@ class ExecutionConfig:
     max_recalibrations:
         Upper bound on feedback-edge traversals, protecting against
         thrashing when the grid is persistently hostile.
+    chunk_size:
+        Number of farm tasks batched into one backend dispatch.  ``1``
+        (the default) preserves task-at-a-time self-scheduling; larger
+        chunks amortise per-dispatch IPC overhead on the process backend
+        (the monitor then judges per-chunk normalised times).
     master_computes:
         Whether the master/monitor node also executes tasks.
     replicate_stages:
@@ -159,6 +164,7 @@ class ExecutionConfig:
     monitor_interval: int = 0
     adaptation: AdaptationAction = AdaptationAction.RECALIBRATE
     max_recalibrations: int = 16
+    chunk_size: int = 1
     master_computes: bool = False
     replicate_stages: bool = False
     migration_bytes: int = 0
@@ -168,6 +174,10 @@ class ExecutionConfig:
         if self.threshold is not None and not isinstance(self.threshold, PerformanceThreshold):
             raise ConfigurationError("threshold must be a PerformanceThreshold")
         check_non_negative(self.monitor_interval, "monitor_interval")
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
         if not isinstance(self.adaptation, AdaptationAction):
             raise ConfigurationError("adaptation must be an AdaptationAction")
         check_non_negative(self.max_recalibrations, "max_recalibrations")

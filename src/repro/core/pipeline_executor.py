@@ -33,6 +33,7 @@ genuine pipelining on real threads.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import collections
@@ -46,11 +47,49 @@ from repro.exceptions import ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
 from repro.skeletons.base import Task, TaskResult
-from repro.skeletons.pipeline import Pipeline
+from repro.skeletons.pipeline import Pipeline, Stage
 from repro.utils.tracing import Tracer
 
 __all__ = ["PipelineExecutor", "StageMapping", "build_stage_mapping",
            "lower_pipeline_stages"]
+
+
+@dataclass(frozen=True)
+class _StageCost:
+    """Picklable ``value -> work units`` for one pipeline stage.
+
+    Chain stage ``cost``/``apply`` callables cross a process boundary on
+    the process backend, so they must pickle; a closure over the pipeline
+    would not.  Each carries only its own :class:`~repro.skeletons.pipeline.Stage`
+    — shipping the whole pipeline would serialise every stage's captured
+    state on every stage hop.  ``pick`` always runs master-side and may
+    stay a closure.
+    """
+
+    stage: Stage
+
+    def __call__(self, value):
+        return self.stage.cost(value)
+
+
+@dataclass(frozen=True)
+class _StageApply:
+    """Picklable ``value -> value`` for one pipeline stage."""
+
+    stage: Stage
+
+    def __call__(self, value):
+        return self.stage.fn(value)
+
+
+@dataclass(frozen=True)
+class _RunItem:
+    """Picklable whole-chain probe payload (recalibration dispatches it)."""
+
+    pipeline: Pipeline
+
+    def __call__(self, task: Task):
+        return self.pipeline.run_item(task.payload)
 
 
 def lower_pipeline_stages(pipeline: Pipeline, pick_for_stage) -> List[ChainStage]:
@@ -64,8 +103,8 @@ def lower_pipeline_stages(pipeline: Pipeline, pick_for_stage) -> List[ChainStage
     return [
         ChainStage(
             pick=pick_for_stage(index),
-            cost=(lambda value, _i=index: pipeline.stage_cost(_i, value)),
-            apply=(lambda value, _i=index: pipeline.apply_stage(_i, value)),
+            cost=_StageCost(pipeline.stages[index]),
+            apply=_StageApply(pipeline.stages[index]),
         )
         for index in range(pipeline.num_stages)
     ]
@@ -275,7 +314,7 @@ class PipelineExecutor:
                 # the full stage chain to time the node on real work.
                 recal = engine.recalibrate(
                     probe_queue, at_time=window.finished,
-                    execute_fn=lambda t: self.pipeline.run_item(t.payload),
+                    execute_fn=_RunItem(self.pipeline),
                     min_nodes=self.pipeline.num_stages, consume=False,
                     min_alive=self.pipeline.num_stages,
                     insufficient_message=(

@@ -66,6 +66,16 @@ class PermanentFailure(FailureModel):
         for node_id, when in self.failures.items():
             check_non_negative(when, f"failure time for {node_id}")
 
+    @classmethod
+    def at(cls, when: float, *node_ids: str) -> "PermanentFailure":
+        """Kill every listed node permanently at ``when``.
+
+        Convenience for the common fault-injection scenario ("these nodes
+        die t seconds into the run"), usable against the simulator's clock
+        or a wall-clock backend's seconds-since-creation clock.
+        """
+        return cls(failures={node_id: float(when) for node_id in node_ids})
+
     def available(self, node_id: str, time: float) -> bool:
         when = self.failures.get(node_id)
         return when is None or time < when

@@ -8,6 +8,7 @@ observations) because adaptation decisions only ever look at recent history.
 from __future__ import annotations
 
 import collections
+import itertools
 from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional
 
@@ -34,16 +35,28 @@ class TimeSeries:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._observations: Deque[Observation] = collections.deque(maxlen=capacity)
+        self._total_appends = 0
 
     def append(self, time: float, value: float) -> Observation:
         """Record a new observation and return it."""
         obs = Observation(time=float(time), value=float(value))
         self._observations.append(obs)
+        self._total_appends += 1
         return obs
 
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def total_appends(self) -> int:
+        """How many observations were ever appended (monotone).
+
+        Exceeds ``len(self)`` once the ring has evicted old observations;
+        incremental consumers (forecaster caches) use it to detect both new
+        data and eviction.
+        """
+        return self._total_appends
 
     def __len__(self) -> int:
         return len(self._observations)
@@ -59,23 +72,30 @@ class TimeSeries:
         """The most recent observation, or ``None`` when empty."""
         return self._observations[-1] if self._observations else None
 
+    def _tail(self, window: int) -> List[Observation]:
+        """The most recent ``window`` observations in order, in O(window).
+
+        A deque slice from the left would walk the whole ring; iterating
+        ``reversed`` touches only the tail, which is what incremental
+        consumers (windowed forecasters, forecaster caches) need.
+        """
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        tail = list(itertools.islice(reversed(self._observations), window))
+        tail.reverse()
+        return tail
+
     def values(self, window: Optional[int] = None) -> List[float]:
         """The most recent ``window`` values (all when ``window`` is ``None``)."""
-        values = [obs.value for obs in self._observations]
-        if window is not None:
-            if window < 1:
-                raise ConfigurationError(f"window must be >= 1, got {window}")
-            values = values[-window:]
-        return values
+        if window is None:
+            return [obs.value for obs in self._observations]
+        return [obs.value for obs in self._tail(window)]
 
     def times(self, window: Optional[int] = None) -> List[float]:
         """The most recent ``window`` timestamps (all when ``window`` is ``None``)."""
-        times = [obs.time for obs in self._observations]
-        if window is not None:
-            if window < 1:
-                raise ConfigurationError(f"window must be >= 1, got {window}")
-            times = times[-window:]
-        return times
+        if window is None:
+            return [obs.time for obs in self._observations]
+        return [obs.time for obs in self._tail(window)]
 
     def since(self, time: float) -> List[Observation]:
         """Observations with timestamp ``>= time``."""

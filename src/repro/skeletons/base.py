@@ -36,23 +36,46 @@ __all__ = [
 CostModel = Callable[[Any], float]
 
 
-def constant_cost(cost: float) -> CostModel:
-    """A cost model charging the same ``cost`` for every item."""
-    if cost < 0:
-        raise SkeletonError(f"cost must be >= 0, got {cost}")
-    return lambda _item: float(cost)
+@dataclass(frozen=True)
+class _ConstantCost:
+    """Picklable cost model charging the same cost for every item."""
+
+    cost: float
+
+    def __call__(self, _item: Any) -> float:
+        return self.cost
 
 
-def callable_cost(fn: Callable[[Any], float]) -> CostModel:
-    """Wrap an arbitrary callable as a cost model with validation on use."""
+@dataclass(frozen=True)
+class _ValidatedCost:
+    """Picklable wrapper validating an arbitrary cost callable on use."""
 
-    def model(item: Any) -> float:
-        value = float(fn(item))
+    fn: Callable[[Any], float]
+
+    def __call__(self, item: Any) -> float:
+        value = float(self.fn(item))
         if value < 0:
             raise SkeletonError(f"cost model returned a negative cost: {value}")
         return value
 
-    return model
+
+def constant_cost(cost: float) -> CostModel:
+    """A cost model charging the same ``cost`` for every item.
+
+    The returned callable is picklable (the process backend ships cost
+    models across worker boundaries).
+    """
+    if cost < 0:
+        raise SkeletonError(f"cost must be >= 0, got {cost}")
+    return _ConstantCost(float(cost))
+
+
+def callable_cost(fn: Callable[[Any], float]) -> CostModel:
+    """Wrap an arbitrary callable as a cost model with validation on use.
+
+    Picklable whenever ``fn`` itself is.
+    """
+    return _ValidatedCost(fn)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,16 @@ class MonteCarloBatch:
     seed: int
 
 
+@dataclass(frozen=True)
+class _SamplesCost:
+    """Picklable cost model: samples per batch over samples per work unit."""
+
+    samples_per_work_unit: float
+
+    def __call__(self, batch: MonteCarloBatch) -> float:
+        return batch.samples / self.samples_per_work_unit
+
+
 def estimate_pi(batch: MonteCarloBatch) -> float:
     """Estimate π from one batch (the farm worker)."""
     rng = make_rng(batch.seed, f"montecarlo/{batch.batch_index}")
@@ -76,10 +86,10 @@ class MonteCarloWorkload:
         ]
 
     def farm(self) -> TaskFarm:
-        """The π-estimation task farm."""
+        """The π-estimation task farm (fully picklable: runs on any backend)."""
         return TaskFarm(
             worker=estimate_pi,
-            cost_model=lambda b: b.samples / self.samples_per_work_unit,
+            cost_model=_SamplesCost(self.samples_per_work_unit),
             name="montecarlo-farm",
         )
 

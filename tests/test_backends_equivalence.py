@@ -21,14 +21,19 @@ Two guarantees are pinned here:
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro import (
     DivideAndConquer,
+    FaultInjectingBackend,
     Grasp,
     GraspConfig,
     MapSkeleton,
     Pipeline,
+    ProcessBackend,
     ReduceSkeleton,
     Stage,
     TaskFarm,
@@ -36,6 +41,7 @@ from repro import (
 )
 from repro.core.parameters import AdaptationAction
 from repro.exceptions import CompilationError
+from repro.grid.failures import PermanentFailure
 from repro.grid.load import ConstantLoad, StepLoad
 from repro.grid.node import GridNode
 from repro.grid.topology import GridBuilder, GridTopology
@@ -310,6 +316,270 @@ class TestBackendEquivalence:
             inputs=range(64)
         )
         assert result.outputs == [(x + 1) * 3 - 5 for x in range(64)]
+
+
+# --------------------------------------------------------------------------
+# Process-backend column.  Worker processes pickle payload functions by
+# reference, so these scenarios use module-level functions instead of the
+# lambdas of SCENARIOS (whose golden timings must stay untouched).
+
+def _square(x):
+    return x * x
+
+
+def _busy_square(x):
+    # A touch of real compute so wall-clock monitoring sees non-zero times.
+    total = 0
+    for i in range(200):
+        total += i
+    return x * x
+
+
+def _stage_inc(x):
+    return x + 1
+
+
+def _stage_triple(x):
+    return x * 3
+
+
+def _stage_dec(x):
+    return x - 5
+
+
+def _map_tens(block):
+    return [v * 10 for v in block]
+
+
+def _add(a, b):
+    return a + b
+
+
+def _dc_divide(xs):
+    return [xs[:len(xs) // 2], xs[len(xs) // 2:]]
+
+
+def _dc_combine(_parent, subs):
+    return subs[0] + subs[1]
+
+
+def _dc_solve(xs):
+    return sum(xs)
+
+
+def _dc_trivial(xs):
+    return len(xs) <= 4
+
+
+def process_grid() -> GridTopology:
+    # Small pool: each node is one real worker process.
+    return GridBuilder().homogeneous(nodes=4, speed=1.0).named("proc").build(seed=3)
+
+
+#: name -> (skeleton factory, inputs factory) — everything picklable.
+PROCESS_SCENARIOS = {
+    "farm": (lambda: TaskFarm(worker=_busy_square), lambda: list(range(24))),
+    "pipeline": (lambda: Pipeline(stages=[Stage(fn=_stage_inc),
+                                          Stage(fn=_stage_triple),
+                                          Stage(fn=_stage_dec)]),
+                 lambda: list(range(16))),
+    "map": (lambda: MapSkeleton(fn=_map_tens, blocks=6),
+            lambda: list(range(24))),
+    "reduce": (lambda: ReduceSkeleton(op=_add, identity=0, blocks=6),
+               lambda: list(range(32))),
+    "dc": (lambda: DivideAndConquer(
+        divide=_dc_divide, combine=_dc_combine, solve=_dc_solve,
+        is_trivial=_dc_trivial, parallel_depth=2,
+    ), lambda: [list(range(32)), list(range(16))]),
+}
+
+
+class TestProcessBackendEquivalence:
+    """The process backend reproduces run_sequential for every skeleton."""
+
+    @pytest.mark.parametrize("name", sorted(PROCESS_SCENARIOS))
+    def test_matches_sequential(self, name):
+        skeleton_fn, inputs_fn = PROCESS_SCENARIOS[name]
+        reference = skeleton_fn().run_sequential(inputs_fn())
+        result = Grasp(skeleton=skeleton_fn(), grid=process_grid(),
+                       config=GraspConfig.adaptive(),
+                       backend="process").run(inputs=inputs_fn())
+        assert result.outputs == reference
+
+    @pytest.mark.parametrize("backend", ["simulated", "thread", "process"])
+    def test_chunked_dispatch_matches_sequential(self, backend):
+        skeleton_fn, inputs_fn = PROCESS_SCENARIOS["farm"]
+        reference = skeleton_fn().run_sequential(inputs_fn())
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = 4
+        result = Grasp(skeleton=skeleton_fn(), grid=process_grid(),
+                       config=config, backend=backend).run(inputs=inputs_fn())
+        assert result.outputs == reference
+        assert result.total_tasks == len(inputs_fn())
+
+    def test_chunked_dispatch_with_simulated_failures_recovers(self):
+        # Eager (simulated) chunk path + mid-chunk node death: lost tasks
+        # re-enqueue and the run completes off the dead node.
+        grid = process_grid().with_failure_model(
+            PermanentFailure.at(5.0, process_grid().node_ids[1]))
+        skeleton = TaskFarm(worker=_square, cost_model=lambda _: 4.0)
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = 3
+        result = Grasp(skeleton=skeleton, grid=grid, config=config,
+                       backend="simulated").run(inputs=range(30))
+        assert result.outputs == [x * x for x in range(30)]
+
+    def test_process_backend_instance(self):
+        grid = process_grid()
+        with ProcessBackend(topology=grid) as backend:
+            result = Grasp(skeleton=TaskFarm(worker=_square), grid=grid,
+                           backend=backend).run(inputs=range(16))
+            assert result.outputs == [x * x for x in range(16)]
+        backend.close()  # idempotent
+
+
+def _slow_square(x):
+    time.sleep(0.004)
+    return x * x
+
+
+class TestFaultInjectedRuns:
+    """A mid-run node death on a concurrent backend still completes the job."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3])
+    @pytest.mark.parametrize("make_inner", [
+        pytest.param(lambda grid: ThreadBackend(topology=grid), id="thread"),
+        pytest.param(lambda grid: ProcessBackend(topology=grid), id="process"),
+    ])
+    def test_mid_run_death_completes(self, make_inner, chunk_size):
+        grid = process_grid()
+        victim = grid.node_ids[1]
+        inner = make_inner(grid)
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(inner.now + 0.03, victim))
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = chunk_size
+        with backend:
+            result = Grasp(skeleton=TaskFarm(worker=_slow_square), grid=grid,
+                           config=config,
+                           backend=backend).run(inputs=range(48))
+        assert result.outputs == [x * x for x in range(48)]
+        assert result.total_tasks == 48
+        # Once the schedule kills the node, no completed result may have
+        # been accepted from it (in-flight work is converted to losses).
+        death = backend.failures.failures[victim]
+        for record in result.execution.results:
+            # Recalibration probes are exempt from the loss check
+            # (Algorithm 1 has no failure path); farm results are not.
+            if record.node_id == victim and not record.during_calibration:
+                assert record.finished <= death + 1e-6
+
+    def test_chunked_window_still_uses_every_worker(self):
+        # Regression: the monitoring-window budget is counted in monitor
+        # units × chunk_size, so chunking must not serialise the farm onto
+        # one node per round.
+        grid = process_grid()
+        config = GraspConfig.non_adaptive()
+        config.execution.chunk_size = 4
+        config.execution.master_computes = True
+        with ThreadBackend(topology=grid) as backend:
+            result = Grasp(skeleton=TaskFarm(worker=_slow_square), grid=grid,
+                           config=config, backend=backend).run(inputs=range(32))
+        assert result.outputs == [x * x for x in range(32)]
+        # 32 tasks in chunks of 4 over 4 workers: execution-phase work must
+        # land on several nodes, not pile onto whichever was dispatched first.
+        execution_nodes = {r.node_id for r in result.execution.results}
+        assert len(execution_nodes) >= 3
+
+    def test_node_losing_every_task_aborts_instead_of_livelocking(self):
+        import dataclasses
+
+        class _AllLostHandle:
+            def __init__(self, inner):
+                self._inner = inner
+                self.node_id = inner.node_id
+                self.submitted = inner.submitted
+                self.master_free_after = inner.master_free_after
+                self.next_emit = inner.next_emit
+
+            def done(self):
+                return self._inner.done()
+
+            def outcome(self):
+                chunk = self._inner.outcome()
+                return dataclasses.replace(chunk, outcomes=tuple(
+                    dataclasses.replace(o, output=None, lost=True)
+                    for o in chunk.outcomes
+                ))
+
+        class AlwaysLosingBackend(ThreadBackend):
+            """Loses every farm task while staying 'available' — the shape
+            of a worker that can never run work but cannot be seen dead."""
+
+            def dispatch_chunk(self, tasks, node_id, execute_fn, master_node,
+                               at_time, check_loss=True, collect_output=True):
+                handle = super().dispatch_chunk(
+                    tasks, node_id, execute_fn, master_node=master_node,
+                    at_time=at_time, check_loss=check_loss,
+                    collect_output=collect_output)
+                return _AllLostHandle(handle) if check_loss else handle
+
+        from repro.exceptions import ExecutionError
+
+        grid = GridBuilder().homogeneous(nodes=2).named("lossy").build(seed=0)
+        with AlwaysLosingBackend(topology=grid) as backend:
+            with pytest.raises(ExecutionError, match="lost"):
+                Grasp(skeleton=TaskFarm(worker=_square), grid=grid,
+                      backend=backend).run(inputs=range(8))
+
+    def test_slowdown_run_completes(self):
+        grid = process_grid()
+        dragged = grid.node_ids[-1]
+        backend = FaultInjectingBackend(ThreadBackend(topology=grid),
+                                        slowdowns={dragged: 0.01})
+        with backend:
+            result = Grasp(skeleton=TaskFarm(worker=_slow_square), grid=grid,
+                           config=GraspConfig.adaptive(),
+                           backend=backend).run(inputs=range(24))
+        assert result.outputs == [x * x for x in range(24)]
+
+
+class TestLifecycleOnErrorPaths:
+    """Internally-created backends must not leak workers when a run fails."""
+
+    @staticmethod
+    def _grasp_threads():
+        return [t for t in threading.enumerate()
+                if t.name.startswith("grasp-") and t.is_alive()]
+
+    def test_failing_worker_closes_thread_backend(self):
+        def boom(x):
+            raise RuntimeError("payload exploded")
+
+        grid = GridBuilder().homogeneous(nodes=3).named("err").build(seed=0)
+        with pytest.raises(RuntimeError, match="payload exploded"):
+            Grasp(skeleton=TaskFarm(worker=boom), grid=grid,
+                  backend="thread").run(inputs=range(8))
+        assert self._grasp_threads() == []
+
+    def test_compilation_failure_closes_created_backend(self, monkeypatch):
+        from repro.core import compilation
+
+        closed = []
+
+        class SpyBackend(ThreadBackend):
+            def close(self):
+                closed.append(True)
+                super().close()
+
+        monkeypatch.setattr(compilation, "ThreadBackend", SpyBackend)
+        grid = GridBuilder().homogeneous(nodes=3).named("err").build(seed=0)
+        config = GraspConfig()
+        config.master_node = "ghost"
+        with pytest.raises(CompilationError, match="does not exist"):
+            Grasp(skeleton=TaskFarm(worker=_square), grid=grid, config=config,
+                  backend="thread").run(inputs=range(4))
+        assert closed
 
 
 class TestCompilationMasterValidation:

@@ -2,15 +2,22 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.backends import (
     ChainStage,
+    ChunkOutcome,
+    FaultInjectingBackend,
+    ProcessBackend,
     SimulatedBackend,
     ThreadBackend,
     as_backend,
 )
 from repro.exceptions import ConfigurationError, GridError
+from repro.grid.failures import PermanentFailure
 from repro.grid.simulator import GridSimulator
 from repro.grid.topology import GridBuilder
 from repro.skeletons.base import Task
@@ -18,6 +25,38 @@ from repro.skeletons.base import Task
 
 def small_grid():
     return GridBuilder().homogeneous(nodes=3, speed=2.0).named("unit").build(seed=0)
+
+
+# Process workers pickle their payload functions by reference, so everything
+# shipped to a ProcessBackend below must be module-level.
+
+def _double_payload(task: Task):
+    return task.payload * 2
+
+
+def _sleepy_payload(task: Task):
+    time.sleep(0.01)
+    return task.payload
+
+
+def _kill_worker(task: Task):  # pragma: no cover - runs in the child
+    os._exit(13)
+
+
+def _plus_one(value):
+    return value + 1
+
+
+def _times_ten(value):
+    return value * 10
+
+
+def _minus_three(value):
+    return value - 3
+
+
+def _unit_cost(value):
+    return 1.0
 
 
 class TestAsBackend:
@@ -160,3 +199,287 @@ class TestThreadBackend:
         with pytest.raises(GridError):
             backend.dispatch(Task(task_id=0, payload=1, cost=1.0), node,
                              lambda t: t.payload, master_node=node, at_time=0.0)
+
+    def test_context_manager_closes(self):
+        with ThreadBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+        with pytest.raises(GridError):
+            backend.dispatch(Task(task_id=0, payload=1, cost=1.0), node,
+                             lambda t: t.payload, master_node=node, at_time=0.0)
+
+
+class TestNodeFreeAtSeeding:
+    """node_free_at must not mistake a queued-up unseen node for a free one."""
+
+    def test_unseen_node_borrows_first_observed_duration(self):
+        with ThreadBackend(workers=2) as backend:
+            n0, n1 = backend.available_nodes(0.0)
+            # First completion anywhere (a calibration probe took ~50 ms).
+            backend._note_done(n0, backend.now - 0.05)
+            with backend._lock:
+                backend._pending[n1] = 3  # unseen node, deep queue
+            slack = backend.node_free_at(n1) - backend.now
+            # The historical 1e-6 placeholder would give ~3e-6 here and the
+            # scheduler would pile everything onto the queued node.
+            assert slack > 0.1
+
+    def test_queue_ranking_mixes_seen_and_unseen_nodes(self):
+        with ThreadBackend(workers=2) as backend:
+            n0, n1 = backend.available_nodes(0.0)
+            backend._note_done(n0, backend.now - 0.05)
+            with backend._lock:
+                backend._pending[n1] = 4   # unseen but deeply queued
+                backend._pending[n0] = 1   # seen, nearly free
+            assert backend.node_free_at(n0) < backend.node_free_at(n1)
+
+    def test_untouched_backend_still_answers(self):
+        with ThreadBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            assert backend.node_free_at(node) >= 0.0
+
+
+class TestDispatchChunk:
+    """The generic chunk path over simulated and thread backends."""
+
+    def test_simulated_chunk_matches_individual_dispatches(self):
+        grid = small_grid()
+        sim_a, sim_b = GridSimulator(grid), GridSimulator(grid)
+        chunk_backend = SimulatedBackend(sim_a)
+        single_backend = SimulatedBackend(sim_b)
+        master, worker = grid.node_ids[0], grid.node_ids[1]
+        tasks = [Task(task_id=i, payload=i, cost=2.0, input_bytes=64,
+                      output_bytes=32) for i in range(3)]
+
+        chunk = chunk_backend.dispatch_chunk(
+            tasks, worker, lambda t: t.payload + 1, master_node=master,
+            at_time=0.0,
+        ).outcome()
+
+        free = 0.0
+        singles = []
+        for task in tasks:
+            handle = single_backend.dispatch(
+                task, worker, lambda t: t.payload + 1, master_node=master,
+                at_time=free,
+            )
+            free = max(free, handle.master_free_after)
+            singles.append(handle.outcome())
+
+        assert isinstance(chunk, ChunkOutcome)
+        assert [o.output for o in chunk.outcomes] == [o.output for o in singles]
+        assert [o.exec_started for o in chunk.outcomes] == \
+            [o.exec_started for o in singles]
+        assert chunk.finished == max(o.finished for o in singles)
+        assert not chunk.lost_any
+
+    def test_thread_chunk_runs_all_tasks(self):
+        with ThreadBackend(workers=2) as backend:
+            node = backend.available_nodes(0.0)[0]
+            tasks = [Task(task_id=i, payload=i, cost=1.0) for i in range(4)]
+            outcome = backend.dispatch_chunk(
+                tasks, node, _double_payload, master_node=node, at_time=0.0,
+            ).outcome()
+            assert [o.output for o in outcome.outcomes] == [0, 2, 4, 6]
+            assert outcome.duration >= 0.0
+
+
+class TestProcessBackend:
+    def test_synthesised_topology(self):
+        with ProcessBackend(workers=2) as backend:
+            assert len(backend.available_nodes(0.0)) == 2
+            for node in backend.available_nodes(0.0):
+                assert backend.is_available(node)
+
+    def test_dispatch_runs_payload_in_worker_process(self):
+        with ProcessBackend(workers=2) as backend:
+            node = backend.available_nodes(0.0)[0]
+            task = Task(task_id=0, payload=21, cost=1.0)
+            outcome = backend.dispatch(
+                task, node, _double_payload, master_node=node, at_time=0.0,
+            ).outcome()
+            assert outcome.output == 42
+            assert not outcome.lost
+            assert outcome.exec_finished >= outcome.exec_started >= outcome.submitted
+
+    def test_probe_executes_but_discards_output(self):
+        with ProcessBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            task = Task(task_id=0, payload=5, cost=1.0)
+            outcome = backend.dispatch(
+                task, node, _sleepy_payload, master_node=node, at_time=0.0,
+                collect_output=False,
+            ).outcome()
+            assert outcome.output is None
+            assert outcome.duration > 0.0  # the payload really ran
+
+    def test_chunk_is_one_round_trip(self):
+        with ProcessBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            tasks = [Task(task_id=i, payload=i, cost=1.0) for i in range(5)]
+            outcome = backend.dispatch_chunk(
+                tasks, node, _double_payload, master_node=node, at_time=0.0,
+            ).outcome()
+            assert [o.output for o in outcome.outcomes] == [0, 2, 4, 6, 8]
+            # Per-task compute intervals stack inside the chunk extent.
+            for before, after in zip(outcome.outcomes, outcome.outcomes[1:]):
+                assert after.exec_started >= before.exec_finished - 1e-9
+            assert outcome.finished >= outcome.submitted
+
+    def test_chain_preserves_stage_order(self):
+        with ProcessBackend(workers=3) as backend:
+            nodes = backend.available_nodes(0.0)
+            stages = [
+                ChainStage(pick=lambda free_at, n=nodes[i % len(nodes)]: n,
+                           cost=_unit_cost, apply=fn)
+                for i, fn in enumerate([_plus_one, _times_ten, _minus_three])
+            ]
+            task = Task(task_id=0, payload=4, cost=3.0)
+            outcome = backend.dispatch_chain(
+                task, stages, master_node=nodes[0], at_time=0.0
+            ).outcome()
+            assert outcome.output == (4 + 1) * 10 - 3
+            assert len(outcome.stage_records) == 3
+            assert outcome.item_cost == 3.0
+
+    def test_dead_worker_surfaces_as_lost_task_and_respawns(self):
+        with ProcessBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            lost = backend.dispatch(
+                Task(task_id=0, payload=1, cost=1.0), node, _kill_worker,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert lost.lost
+            assert lost.output is None
+            # The node's pool respawns: the next dispatch succeeds.
+            ok = backend.dispatch(
+                Task(task_id=1, payload=3, cost=1.0), node, _double_payload,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert ok.output == 6
+            assert not ok.lost
+
+    def test_start_method_falls_back_to_fork_for_pseudofile_main(self, monkeypatch):
+        # A parent whose __main__ is a pseudo-file (python - <<heredoc)
+        # cannot be re-imported by spawn-style children; the backend must
+        # not pick forkserver there or every worker crashes at spawn.
+        import sys
+        import types
+
+        from repro.backends import process as process_module
+
+        fake_main = types.ModuleType("__main__")
+        fake_main.__file__ = "<stdin>"
+        fake_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        assert not process_module._forkserver_main_safe()
+        context = process_module._mp_context(None)
+        assert context.get_start_method() != "forkserver"
+
+    def test_close_is_idempotent_and_final(self):
+        backend = ProcessBackend(workers=1)
+        node = backend.available_nodes(0.0)[0]
+        backend.close()
+        backend.close()
+        with pytest.raises(GridError):
+            backend.dispatch(Task(task_id=0, payload=1, cost=1.0), node,
+                             _double_payload, master_node=node, at_time=0.0)
+
+
+class TestFaultInjectingBackend:
+    def test_rejects_non_backend(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjectingBackend(object())
+
+    def test_rejects_negative_slowdown(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjectingBackend(ThreadBackend(workers=1),
+                                  slowdowns={"threads/n0": -1.0})
+
+    def test_availability_follows_schedule(self):
+        inner = ThreadBackend(workers=2)
+        nodes = inner.available_nodes(0.0)
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(0.0, nodes[0]))
+        with backend:
+            assert not backend.is_available(nodes[0])
+            assert backend.is_available(nodes[1])
+            assert backend.available_nodes(backend.now) == [nodes[1]]
+            assert backend.name == "thread+faults"
+
+    def test_dispatch_to_dead_node_is_lost_in_transit(self):
+        inner = ThreadBackend(workers=2)
+        nodes = inner.available_nodes(0.0)
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(0.0, nodes[0]))
+        with backend:
+            outcome = backend.dispatch(
+                Task(task_id=0, payload=1, cost=1.0), nodes[0],
+                lambda t: t.payload, master_node=nodes[1], at_time=0.0,
+            ).outcome()
+            assert outcome.lost
+
+    def test_mid_task_death_converts_outcome_to_lost(self):
+        inner = ThreadBackend(workers=1)
+        node = inner.available_nodes(0.0)[0]
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(inner.now + 0.01, node))
+        with backend:
+            outcome = backend.dispatch(
+                Task(task_id=0, payload=7, cost=1.0), node,
+                lambda t: time.sleep(0.2) or t.payload,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert outcome.lost
+            assert outcome.output is None
+
+    def test_calibration_probes_are_never_lost(self):
+        inner = ThreadBackend(workers=1)
+        node = inner.available_nodes(0.0)[0]
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(inner.now + 0.01, node))
+        with backend:
+            outcome = backend.dispatch(
+                Task(task_id=0, payload=7, cost=1.0), node,
+                lambda t: time.sleep(0.05) or t.payload,
+                master_node=node, at_time=0.0, check_loss=False,
+            ).outcome()
+            assert not outcome.lost
+
+    def test_chunk_tasks_on_dead_node_all_lost(self):
+        inner = ThreadBackend(workers=2)
+        nodes = inner.available_nodes(0.0)
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(0.0, nodes[0]))
+        with backend:
+            tasks = [Task(task_id=i, payload=i, cost=1.0) for i in range(3)]
+            outcome = backend.dispatch_chunk(
+                tasks, nodes[0], lambda t: t.payload, master_node=nodes[1],
+                at_time=0.0,
+            ).outcome()
+            assert outcome.lost_any
+            assert all(o.lost for o in outcome.outcomes)
+
+    def test_slowdown_stretches_measured_duration(self):
+        inner = ThreadBackend(workers=2)
+        fast, slow = inner.available_nodes(0.0)
+        backend = FaultInjectingBackend(inner, slowdowns={slow: 0.05})
+        with backend:
+            quick = backend.dispatch(
+                Task(task_id=0, payload=1, cost=1.0), fast,
+                lambda t: t.payload, master_node=fast, at_time=0.0,
+            ).outcome()
+            dragged = backend.dispatch(
+                Task(task_id=1, payload=1, cost=1.0), slow,
+                lambda t: t.payload, master_node=fast, at_time=0.0,
+            ).outcome()
+            assert dragged.output == 1  # payload still runs
+            assert dragged.duration > quick.duration + 0.03
+
+    def test_close_closes_inner_backend(self):
+        inner = ThreadBackend(workers=1)
+        node = inner.available_nodes(0.0)[0]
+        backend = FaultInjectingBackend(inner)
+        backend.close()
+        with pytest.raises(GridError):
+            inner.dispatch(Task(task_id=0, payload=1, cost=1.0), node,
+                           lambda t: t.payload, master_node=node, at_time=0.0)

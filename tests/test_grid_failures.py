@@ -45,6 +45,14 @@ class TestPermanentFailure:
         assert math.isinf(model.next_change("n0", 10.0))
         assert math.isinf(model.next_change("n1", 0.0))
 
+    def test_at_convenience_kills_listed_nodes(self):
+        model = PermanentFailure.at(2.5, "n0", "n1")
+        assert model.failures == {"n0": 2.5, "n1": 2.5}
+        assert model.available("n0", 2.0)
+        assert not model.available("n0", 2.5)
+        assert not model.available("n1", 3.0)
+        assert model.available("n2", 1e6)
+
     def test_negative_time_rejected(self):
         with pytest.raises(ConfigurationError):
             PermanentFailure(failures={"n0": -1.0})

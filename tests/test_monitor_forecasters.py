@@ -124,6 +124,86 @@ class TestAdaptiveForecaster:
         assert chosen_error <= best_error + 1e-12
 
 
+def naive_ewma(values, alpha: float) -> float:
+    """The historical O(n) replay the incremental predict must reproduce."""
+    estimate = values[0]
+    for value in values[1:]:
+        estimate = alpha * value + (1.0 - alpha) * estimate
+    return float(estimate)
+
+
+class NaiveAdaptive(AdaptiveForecaster):
+    """The historical replay-everything spelling of predict."""
+
+    def predict(self, series: TimeSeries) -> float:
+        return self.best(series).predict(series)
+
+
+class TestIncrementalStateRegression:
+    """Incremental predicts must equal the naive full-history replays.
+
+    The naive implementations replayed the whole series on every call —
+    O(n²) across a run; the incremental state keyed on the series' append
+    counter must be an invisible optimisation.
+    """
+
+    def test_ewma_matches_naive_at_every_length(self):
+        rng = np.random.default_rng(42)
+        forecaster = ExponentialSmoothingForecaster(alpha=0.3)
+        series = TimeSeries(capacity=64)
+        for step, value in enumerate(rng.random(200)):
+            series.append(float(step), float(value))
+            assert forecaster.predict(series) == naive_ewma(
+                series.values(), 0.3
+            ), f"diverged at length {step + 1}"
+
+    def test_ewma_repeated_predicts_are_stable(self):
+        forecaster = ExponentialSmoothingForecaster(alpha=0.5)
+        series = series_of([1.0, 2.0, 4.0])
+        first = forecaster.predict(series)
+        assert forecaster.predict(series) == first
+        series.append(3.0, 8.0)
+        assert forecaster.predict(series) == naive_ewma(series.values(), 0.5)
+
+    def test_ewma_interleaved_series_keep_separate_state(self):
+        forecaster = ExponentialSmoothingForecaster(alpha=0.3)
+        a = series_of([1.0, 2.0])
+        b = series_of([10.0, 20.0, 40.0])
+        assert forecaster.predict(a) == naive_ewma(a.values(), 0.3)
+        assert forecaster.predict(b) == naive_ewma(b.values(), 0.3)
+        a.append(2.0, 4.0)
+        assert forecaster.predict(a) == naive_ewma(a.values(), 0.3)
+
+    def test_adaptive_matches_naive_at_every_length(self):
+        rng = np.random.default_rng(7)
+        incremental = AdaptiveForecaster()
+        naive = NaiveAdaptive()
+        series = TimeSeries(capacity=256)
+        # A regime change so the best candidate flips mid-series.
+        values = np.concatenate([rng.normal(1.0, 0.05, 40),
+                                 np.linspace(1.0, 5.0, 40)])
+        for step, value in enumerate(values):
+            series.append(float(step), float(value))
+            got = incremental.predict(series)
+            want = naive.predict(series)
+            assert got == want, f"diverged at length {step + 1}"
+
+    def test_adaptive_matches_naive_under_eviction(self):
+        rng = np.random.default_rng(11)
+        incremental = AdaptiveForecaster()
+        naive = NaiveAdaptive()
+        series = TimeSeries(capacity=24)
+        for step, value in enumerate(rng.random(60)):
+            series.append(float(step), float(value))
+            assert incremental.predict(series) == naive.predict(series)
+
+    def test_adaptive_constant_series_ties_fall_to_first_candidate(self):
+        incremental = AdaptiveForecaster()
+        naive = NaiveAdaptive()
+        series = series_of([0.4] * 12)
+        assert incremental.predict(series) == naive.predict(series) == 0.4
+
+
 class TestFactory:
     @pytest.mark.parametrize("kind", ["last", "mean", "window", "median", "ewma", "adaptive"])
     def test_factory_builds_each_kind(self, kind):
