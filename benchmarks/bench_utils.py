@@ -2,17 +2,59 @@
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Optional
 
 from repro.grid.topology import GridBuilder, GridTopology
 
 __all__ = [
     "make_dynamic_grid",
     "make_dedicated_grid",
+    "physical_cores",
     "print_block",
     "publish_block",
     "PUBLISHED_BLOCKS",
 ]
+
+
+def physical_cores(cpuinfo_path: str = "/proc/cpuinfo",
+                   logical: Optional[int] = None) -> int:
+    """Physical core count (SMT threads excluded) where detectable.
+
+    A 4-vCPU CI runner is often 2 physical cores with hyperthreading; k
+    NumPy-bound worker processes cannot reach the speedup floor there, so
+    hard speedup gates must count real cores, not logical ones.  Distinct
+    cores are ``(physical id, core id)`` pairs from ``cpuinfo_path``;
+    without a readable cpuinfo (macOS, Windows) the logical count is halved
+    — assume SMT, so floors are only enforced where real parallel capacity
+    is certain.
+
+    ``cpuinfo_path`` and ``logical`` exist for deterministic unit testing;
+    production callers use the defaults.
+    """
+    logical = (os.cpu_count() or 1) if logical is None else logical
+    try:
+        with open(cpuinfo_path) as handle:
+            cores = set()
+            physical_id = core_id = None
+            for line in handle:
+                key, _, value = line.partition(":")
+                key = key.strip()
+                if key == "physical id":
+                    physical_id = value.strip()
+                elif key == "core id":
+                    core_id = value.strip()
+                elif not line.strip():
+                    if core_id is not None:
+                        cores.add((physical_id, core_id))
+                    physical_id = core_id = None
+            if core_id is not None:
+                cores.add((physical_id, core_id))
+            if cores:
+                return min(logical, len(cores))
+    except OSError:
+        pass
+    return max(1, logical // 2)
 
 #: Reproduced tables/series registered by the experiment modules.  The
 #: ``pytest_terminal_summary`` hook in ``conftest.py`` prints them after the

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quickstart: one adaptive task farm, three parallel environments.
+"""Quickstart: one adaptive task farm, four parallel environments.
 
 This is the smallest end-to-end GRASP program:
 
@@ -17,17 +17,23 @@ against a chosen execution backend:
 * ``"process"`` — one serial worker process per node, escaping the GIL
   for CPU-bound work.  Payloads cross process boundaries, so worker
   functions must be picklable (module-level ``def``, not a lambda) —
-  which is why ``square`` below is a top-level function.
+  which is why ``square`` below is a top-level function;
+* ``"asyncio"`` — one serial virtual queue per node on a shared event
+  loop, for I/O-bound coroutine workers (``async def``) whose waits
+  overlap instead of occupying threads.
 
-No change to the skeleton, the configuration or the inputs.  Two extra
-knobs appear at the end:
+No change to the skeleton, the configuration or the inputs.  Three extra
+patterns appear at the end:
 
 * **chunked dispatch** (``config.execution.chunk_size``) batches k tasks
   per dispatch to amortise IPC overhead on the process backend;
 * **fault injection** (:class:`repro.FaultInjectingBackend`) replays
   node-death/slowdown schedules from ``repro.grid.failures`` against the
   concurrent backends, so the adaptation loop's failover paths run on
-  real hardware.
+  real hardware;
+* **streaming results** (``Grasp.as_completed``) yields each completed
+  task as the adaptive loop collects it, instead of blocking for the
+  whole :class:`repro.GraspResult`.
 """
 
 from __future__ import annotations
@@ -46,6 +52,14 @@ from repro.grid.failures import PermanentFailure
 def square(x: int) -> int:
     # The sequential computation.  Module-level so every backend —
     # including the process backend, which pickles it — can ship it.
+    return x * x
+
+
+async def fetch_square(x: int) -> int:
+    # An I/O-bound worker: the await stands in for an HTTP call.  On the
+    # asyncio backend these waits overlap across all node queues.
+    import asyncio
+    await asyncio.sleep(0.002)
     return x * x
 
 
@@ -102,6 +116,32 @@ def run_on(backend: str, chunk_size: int = 1) -> None:
     report(result, grid, label, unit)
 
 
+def run_asyncio_io_bound() -> None:
+    # The same farm shape with a coroutine worker: 100 simulated requests
+    # whose service times overlap on one event loop.
+    grid = build_grid()
+    result = Grasp(skeleton=TaskFarm(worker=fetch_square, cost_model=item_cost),
+                   grid=grid, config=GraspConfig.adaptive(),
+                   backend="asyncio").run(inputs=range(100))
+    report(result, grid, "asyncio (coroutine worker)", "wall-clock")
+
+
+def run_streaming() -> None:
+    # Consume results as they land instead of waiting for the whole report.
+    grid = build_grid()
+    run = Grasp(skeleton=build_farm(), grid=grid,
+                config=GraspConfig.adaptive()).as_completed(inputs=range(100))
+    seen = 0
+    for task_result in run:
+        seen += 1
+        if seen in (1, 50, 100):
+            phase = "calibration" if task_result.during_calibration else "execution"
+            print(f"streamed result #{seen}: task {task_result.task_id} "
+                  f"on {task_result.node_id} ({phase})")
+    print(f"--- backend=simulated, streaming: {seen} results, "
+          f"makespan {run.result.makespan:.2f} virtual seconds ---")
+
+
 def run_with_fault_injection() -> None:
     # Kill one node 20 ms into the run: tasks caught on it are lost and
     # re-enqueued, the chosen set shrinks, and the job still completes.
@@ -124,6 +164,8 @@ def main() -> None:
     run_on("simulated")
     run_on("thread")
     run_on("process", chunk_size=4)
+    run_asyncio_io_bound()
+    run_streaming()
     run_with_fault_injection()
 
 

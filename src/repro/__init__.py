@@ -19,7 +19,9 @@ Grids"* (González-Vélez & Cole, PPoPP 2007).  The package provides:
   wall-clock :class:`~repro.backends.threaded.ThreadBackend` (real OS
   threads), the GIL-escaping
   :class:`~repro.backends.process.ProcessBackend` (one serial worker
-  process per node) and the
+  process per node), the coroutine-native
+  :class:`~repro.backends.async_.AsyncBackend` (one asyncio event loop,
+  I/O waits overlapped across per-node queues) and the
   :class:`~repro.backends.faults.FaultInjectingBackend` decorator that
   drives node-loss/slowdown schedules against any of them.
 * :mod:`repro.core` — the GRASP methodology itself: the four phases
@@ -61,6 +63,7 @@ from repro.exceptions import (
 from repro.grid import GridBuilder, GridNode, GridTopology, NetworkLink, Site
 from repro.grid.simulator import GridSimulator
 from repro.backends import (
+    AsyncBackend,
     ExecutionBackend,
     FaultInjectingBackend,
     ProcessBackend,
@@ -85,6 +88,7 @@ from repro.core import (
     GraspResult,
     Phase,
     RankingMode,
+    StreamingRun,
 )
 from repro.baselines import StaticFarm, StaticPipeline
 from repro.monitor import PerformanceThreshold, ResourceMonitor
@@ -112,6 +116,7 @@ __all__ = [
     "SimulatedBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "AsyncBackend",
     "FaultInjectingBackend",
     # skeletons
     "TaskFarm",
@@ -124,6 +129,7 @@ __all__ = [
     "Grasp",
     "GraspConfig",
     "GraspResult",
+    "StreamingRun",
     "Phase",
     "RankingMode",
     "CalibrationConfig",

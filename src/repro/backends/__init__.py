@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from repro.backends.async_ import AsyncBackend
 from repro.backends.base import (
     ChainOutcome,
     ChainStage,
@@ -41,12 +42,13 @@ __all__ = [
     "SimulatedBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "AsyncBackend",
     "FaultInjectingBackend",
     "as_backend",
 ]
 
 #: Names accepted by string-based backend selection (compile_program et al).
-BACKEND_NAMES = frozenset({"simulated", "thread", "process"})
+BACKEND_NAMES = frozenset({"simulated", "thread", "process", "asyncio"})
 
 
 def as_backend(

@@ -24,11 +24,17 @@ import threading
 import time as _time
 from concurrent.futures import Executor, Future
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.backends.base import DispatchHandle, ExecutionBackend
+from repro.backends.base import (
+    ChainOutcome,
+    ChainStage,
+    DispatchHandle,
+    ExecutionBackend,
+)
 from repro.exceptions import GridError
 from repro.grid.topology import GridBuilder, GridTopology
+from repro.skeletons.base import Task
 
 __all__ = ["LocalConcurrentBackend"]
 
@@ -71,6 +77,39 @@ class _FutureHandle(DispatchHandle):
 
     def outcome(self):
         return self._future.result()
+
+
+class _ChainHandle(DispatchHandle):
+    """Handle over a chain of per-stage futures.
+
+    Each future resolves to ``(value, (node, duration, cost, started),
+    cost)`` — the tuple contract of the backends' ``_stage_work`` hooks.
+    """
+
+    def __init__(self, stage_futures: List[Future], *, submitted: float,
+                 master_free_after: float, next_emit: float):
+        self._stage_futures = stage_futures
+        self.submitted = submitted
+        self.master_free_after = master_free_after
+        self.next_emit = next_emit
+
+    def done(self) -> bool:
+        return self._stage_futures[-1].done()
+
+    def outcome(self) -> ChainOutcome:
+        records = []
+        item_cost = 0.0
+        value = None
+        for future in self._stage_futures:
+            value, record, cost = future.result()
+            records.append(record)
+            item_cost += cost
+        last_node, last_duration, _, last_started = records[-1]
+        return ChainOutcome(
+            output=value, final_node=last_node, submitted=self.submitted,
+            finished=last_started + last_duration, item_cost=item_cost,
+            stage_records=records,
+        )
 
 
 class LocalConcurrentBackend(ExecutionBackend):
@@ -162,6 +201,41 @@ class LocalConcurrentBackend(ExecutionBackend):
         started = self.now if at_time is None else float(at_time)
         return _Transfer(src=src, dst=dst, nbytes=float(nbytes),
                          started=started, finished=started)
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch_chain(
+        self,
+        task: Task,
+        stages: Sequence[ChainStage],
+        master_node: str,
+        at_time: float,
+    ) -> DispatchHandle:
+        """Stream one item through the stages on this backend's queues.
+
+        Shared by the thread and asyncio backends (their only difference
+        is the :meth:`_stage_work` hook: a blocking function vs. a
+        coroutine).  The process backend overrides this wholesale — its
+        workers cannot wait on parent-owned futures.
+        """
+        submitted = self.now
+        stage_futures: List[Future] = []
+        previous: Optional[Future] = None
+        for stage in stages:
+            # Replicas are picked at submission from queue-depth estimates;
+            # the chain is then pinned so per-stage serial order holds.
+            node = stage.pick(self.node_free_at)
+            self._check_node(node)
+            previous = self._submit(
+                node, self._stage_work, node, stage, previous, task
+            )
+            stage_futures.append(previous)
+        return _ChainHandle(stage_futures, submitted=submitted,
+                            master_free_after=submitted, next_emit=submitted)
+
+    def _stage_work(self, node: str, stage: ChainStage,
+                    prev_future: Optional[Future], task: Task):
+        """One stage's payload; returns ``(value, record, cost)`` (hook)."""
+        raise NotImplementedError
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -15,13 +15,19 @@ engine (Algorithm 2) and the baselines need from the machine underneath —
 * task-level **dispatch** primitives (:meth:`dispatch` for farm-like
   skeletons, :meth:`dispatch_chain` for pipeline stage chains).
 
-Two implementations ship with the runtime:
+Four implementations ship with the runtime —
 :class:`~repro.backends.simulated.SimulatedBackend` (virtual time over the
-deterministic grid simulator, bit-identical to the historical executors) and
+deterministic grid simulator, bit-identical to the historical executors),
 :class:`~repro.backends.threaded.ThreadBackend` (wall-clock execution on
-real OS threads).  The control loop above this interface is identical for
-both, which is the methodology's claim of being *generic over the parallel
-environment*.
+real OS threads), :class:`~repro.backends.process.ProcessBackend` (serial
+worker processes escaping the GIL) and
+:class:`~repro.backends.async_.AsyncBackend` (coroutine payloads on an
+asyncio event loop) — plus the
+:class:`~repro.backends.faults.FaultInjectingBackend` decorator over any of
+them.  The control loop above this interface is identical for all, which is
+the methodology's claim of being *generic over the parallel environment*;
+the contract itself is pinned by the reusable conformance kit in
+``tests/conformance/``.
 
 Dispatches return a :class:`DispatchHandle` rather than an outcome so that
 concurrent backends can overlap task execution: the simulated backend

@@ -30,12 +30,18 @@ the simulator's semantics: chains do not lose items; deaths act on chain
 scheduling through the availability queries and the remap/recalibrate path.
 
 The decorator owns the backend it wraps: closing it closes the inner
-backend.
+backend, and every dispatch path on the closed decorator raises.  (The
+conformance kit flagged the historical behaviour here: a dispatch to an
+already-dead node short-circuits to a *lost* outcome without touching the
+inner backend, so a closed composite would silently keep accepting work on
+dead nodes forever instead of erroring like its live nodes do.)
 """
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
+import inspect
 import time as _time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -48,7 +54,7 @@ from repro.backends.base import (
     DispatchOutcome,
     ExecutionBackend,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, GridError
 from repro.grid.failures import FailureModel, NoFailures
 from repro.skeletons.base import Task
 
@@ -57,14 +63,33 @@ __all__ = ["FaultInjectingBackend"]
 
 @dataclass(frozen=True)
 class _SlowedExecute:
-    """Picklable sleeve adding a fixed delay before the real payload."""
+    """Picklable sleeve adding a fixed delay before the real payload.
+
+    On thread/process workers the delay is a blocking sleep — the worker
+    *is* the slowed resource.  Inside a running event loop (the asyncio
+    backend's per-node drain) the sleeve hands back a coroutine that
+    awaits the delay instead: a blocking sleep there would stall the
+    shared loop and slow *every* node, when the injected fault is meant
+    to degrade exactly one.
+    """
 
     fn: Optional[Callable[[Task], Any]]
     delay: float
 
     def __call__(self, task: Task) -> Any:
-        _time.sleep(self.delay)
-        return self.fn(task) if self.fn is not None else None
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            _time.sleep(self.delay)
+            return self.fn(task) if self.fn is not None else None
+        return self._slowed(task)
+
+    async def _slowed(self, task: Task) -> Any:
+        await asyncio.sleep(self.delay)
+        output = self.fn(task) if self.fn is not None else None
+        if inspect.isawaitable(output):
+            output = await output
+        return output
 
 
 class _FaultHandle(DispatchHandle):
@@ -139,6 +164,7 @@ class FaultInjectingBackend(ExecutionBackend):
                 )
         self.eager = inner.eager
         self.name = f"{inner.name}+faults"
+        self._closed = False
 
     # ------------------------------------------------------------------ clock
     @property
@@ -194,6 +220,7 @@ class FaultInjectingBackend(ExecutionBackend):
         check_loss: bool = True,
         collect_output: bool = True,
     ) -> DispatchHandle:
+        self._check_open()
         if check_loss and not self.failures.available(node_id, self.now):
             return self._lost_at_dispatch(node_id)
         handle = self.inner.dispatch(
@@ -213,6 +240,7 @@ class FaultInjectingBackend(ExecutionBackend):
         check_loss: bool = True,
         collect_output: bool = True,
     ) -> DispatchHandle:
+        self._check_open()
         if check_loss and not self.failures.available(node_id, self.now):
             now = self.now
             outcomes = tuple(self._lost_at_dispatch(node_id).outcome()
@@ -235,14 +263,20 @@ class FaultInjectingBackend(ExecutionBackend):
         master_node: str,
         at_time: float,
     ) -> DispatchHandle:
+        self._check_open()
         return self.inner.dispatch_chain(task, stages, master_node=master_node,
                                          at_time=at_time)
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
+        self._closed = True
         self.inner.close()
 
     # -------------------------------------------------------------- internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise GridError(f"{self.name} backend is closed")
+
     def _wrap_fn(self, execute_fn, node_id: str):
         delay = self.slowdowns.get(node_id, 0.0)
         if delay <= 0.0:

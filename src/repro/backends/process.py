@@ -60,6 +60,7 @@ from repro.backends.base import (
 from repro.exceptions import GridError
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Task
+from repro.utils.awaitables import resolve_awaitable
 
 __all__ = ["ProcessBackend"]
 
@@ -136,7 +137,8 @@ def _mp_context(start_method: Optional[str]):
 def _run_payload(execute_fn, task: Task, collect: bool):
     """Execute one task in the worker; return (output, compute seconds)."""
     started = _time.perf_counter()
-    output = execute_fn(task) if execute_fn is not None else None
+    output = (resolve_awaitable(execute_fn(task))
+              if execute_fn is not None else None)
     duration = _time.perf_counter() - started
     return (output if collect else None), duration
 
@@ -150,7 +152,7 @@ def _run_stage(cost_fn, apply_fn, value):
     """Execute one pipeline stage in the worker."""
     cost = float(cost_fn(value))
     started = _time.perf_counter()
-    output = apply_fn(value)
+    output = resolve_awaitable(apply_fn(value))
     duration = _time.perf_counter() - started
     return output, duration, cost
 

@@ -27,6 +27,7 @@ from repro.backends.base import (
 )
 from repro.grid.simulator import GridSimulator
 from repro.skeletons.base import Task
+from repro.utils.awaitables import resolve_awaitable
 
 __all__ = ["SimulatedBackend"]
 
@@ -107,7 +108,7 @@ class SimulatedBackend(ExecutionBackend):
         bandwidth = sim.observe_bandwidth(node_id, master_node, execution.started)
         output = None
         if execute_fn is not None and collect_output:
-            output = execute_fn(task)
+            output = resolve_awaitable(execute_fn(task))
         outcome = DispatchOutcome(
             node_id=node_id, output=output, submitted=at_time,
             exec_started=execution.started, exec_finished=execution.finished,
@@ -143,7 +144,7 @@ class SimulatedBackend(ExecutionBackend):
             cost = stage.cost(value)
             item_cost += cost
             execution = sim.run_task(node, cost, at_time=transfer.finished)
-            value = stage.apply(value)
+            value = resolve_awaitable(stage.apply(value))
             stage_records.append((node, execution.duration, cost, execution.started))
             previous_node = node
             available_at = execution.finished

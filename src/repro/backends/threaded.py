@@ -37,7 +37,7 @@ Semantics compared to the simulator:
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Optional
 
 from repro.backends._concurrent import (
     _INPROC_BANDWIDTH,
@@ -45,43 +45,14 @@ from repro.backends._concurrent import (
     _FutureHandle,
 )
 from repro.backends.base import (
-    ChainOutcome,
     ChainStage,
     DispatchHandle,
     DispatchOutcome,
 )
 from repro.skeletons.base import Task
+from repro.utils.awaitables import resolve_awaitable
 
 __all__ = ["ThreadBackend"]
-
-
-class _ChainHandle(DispatchHandle):
-    """Handle over a chain of per-stage futures."""
-
-    def __init__(self, stage_futures: List[Future], *, submitted: float,
-                 master_free_after: float, next_emit: float):
-        self._stage_futures = stage_futures
-        self.submitted = submitted
-        self.master_free_after = master_free_after
-        self.next_emit = next_emit
-
-    def done(self) -> bool:
-        return self._stage_futures[-1].done()
-
-    def outcome(self) -> ChainOutcome:
-        records = []
-        item_cost = 0.0
-        value = None
-        for future in self._stage_futures:
-            value, record, cost = future.result()
-            records.append(record)
-            item_cost += cost
-        last_node, last_duration, _, last_started = records[-1]
-        return ChainOutcome(
-            output=value, final_node=last_node, submitted=self.submitted,
-            finished=last_started + last_duration, item_cost=item_cost,
-            stage_records=records,
-        )
 
 
 class ThreadBackend(LocalConcurrentBackend):
@@ -106,7 +77,8 @@ class ThreadBackend(LocalConcurrentBackend):
 
         def work() -> DispatchOutcome:
             started = self.now
-            output = execute_fn(task) if execute_fn is not None else None
+            output = (resolve_awaitable(execute_fn(task))
+                      if execute_fn is not None else None)
             finished = self.now
             return DispatchOutcome(
                 node_id=node_id,
@@ -121,28 +93,8 @@ class ThreadBackend(LocalConcurrentBackend):
         return _FutureHandle(future, node_id=node_id, submitted=submitted,
                              master_free_after=submitted)
 
-    def dispatch_chain(
-        self,
-        task: Task,
-        stages: Sequence[ChainStage],
-        master_node: str,
-        at_time: float,
-    ) -> DispatchHandle:
-        submitted = self.now
-        stage_futures: List[Future] = []
-        previous: Optional[Future] = None
-        for stage in stages:
-            # Replicas are picked at submission from queue-depth estimates;
-            # the chain is then pinned so per-stage serial order holds.
-            node = stage.pick(self.node_free_at)
-            self._check_node(node)
-            previous = self._submit(
-                node, self._stage_work, node, stage, previous, task
-            )
-            stage_futures.append(previous)
-        return _ChainHandle(stage_futures, submitted=submitted,
-                            master_free_after=submitted, next_emit=submitted)
-
+    # dispatch_chain comes from LocalConcurrentBackend; only the per-stage
+    # payload is thread-specific.
     def _stage_work(self, node: str, stage: ChainStage,
                     prev_future: Optional[Future], task: Task):
         if prev_future is None:
@@ -151,7 +103,7 @@ class ThreadBackend(LocalConcurrentBackend):
             value, _, _ = prev_future.result()
         started = self.now
         cost = float(stage.cost(value))
-        output = stage.apply(value)
+        output = resolve_awaitable(stage.apply(value))
         finished = self.now
         return output, (node, finished - started, cost, started), cost
 

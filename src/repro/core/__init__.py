@@ -40,7 +40,7 @@ from repro.core.execution import ExecutionReport, MonitoringRound
 from repro.core.engine import AdaptiveEngine, MonitoringWindow
 from repro.core.program import SkeletalProgram
 from repro.core.compilation import CompiledProgram, compile_program
-from repro.core.grasp import Grasp, GraspResult
+from repro.core.grasp import Grasp, GraspResult, StreamingRun
 
 __all__ = [
     "Phase",
@@ -66,4 +66,5 @@ __all__ = [
     "compile_program",
     "Grasp",
     "GraspResult",
+    "StreamingRun",
 ]

@@ -17,7 +17,9 @@ The ``backend`` parameter is the rebinding point of the whole methodology:
 the same :class:`~repro.core.program.SkeletalProgram` compiles against the
 virtual-time grid simulator (``backend="simulated"``, the default), against
 real OS threads (``backend="thread"``), against worker processes
-(``backend="process"``), or against any :class:`ExecutionBackend` instance
+(``backend="process"``), against an asyncio event loop for coroutine
+payloads (``backend="asyncio"``), or against any :class:`ExecutionBackend`
+instance
 — including a :class:`~repro.backends.faults.FaultInjectingBackend`
 wrapping one of the above — without touching the program.
 """
@@ -29,6 +31,7 @@ from typing import List, Optional, Union
 
 from repro.backends import (
     BACKEND_NAMES,
+    AsyncBackend,
     ExecutionBackend,
     ProcessBackend,
     SimulatedBackend,
@@ -98,6 +101,8 @@ def _resolve_backend(
             return ThreadBackend(topology=topology, tracer=tracer), True
         if backend == "process":
             return ProcessBackend(topology=topology, tracer=tracer), True
+        if backend == "asyncio":
+            return AsyncBackend(topology=topology, tracer=tracer), True
         # Fail loudly for names registered elsewhere but not routed here.
         raise CompilationError(
             f"unknown backend {backend!r}; expected one of {sorted(BACKEND_NAMES)}"

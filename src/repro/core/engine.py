@@ -30,7 +30,48 @@ from repro.monitor.monitor import ResourceMonitor
 from repro.skeletons.base import Task
 from repro.utils.tracing import Tracer
 
-__all__ = ["MonitoringWindow", "AdaptiveEngine"]
+__all__ = ["MonitoringWindow", "AdaptiveEngine", "ResultCursor",
+           "drain_stream"]
+
+
+def drain_stream(stream):
+    """Exhaust an ``as_completed`` generator; return its final report.
+
+    The blocking ``run()`` form of both executors: iterate the stream for
+    its side effects and surface the generator's return value (the
+    :class:`~repro.core.execution.ExecutionReport`).
+    """
+    while True:
+        try:
+            next(stream)
+        except StopIteration as stop:
+            return stop.value
+
+
+class ResultCursor:
+    """Yields each :class:`~repro.skeletons.base.TaskResult` appended to a
+    report exactly once.
+
+    The streaming executors (``FarmExecutor.as_completed``,
+    ``PipelineExecutor.as_completed``) interleave dispatch, monitoring and
+    adaptation; results enter ``report.results`` at several of those points
+    (window collection, recalibration probes that consume pending tasks).
+    A cursor over the report lets the stream surface every new result right
+    after the step that produced it, without threading emit bookkeeping
+    through the adaptation callbacks.
+    """
+
+    def __init__(self, report: ExecutionReport):
+        self._report = report
+        self._emitted = 0
+
+    def drain(self):
+        """Iterate over results appended since the previous drain."""
+        results = self._report.results
+        while self._emitted < len(results):
+            result = results[self._emitted]
+            self._emitted += 1
+            yield result
 
 
 class MonitoringWindow:

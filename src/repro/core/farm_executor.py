@@ -35,7 +35,7 @@ afterwards, which is where the real parallelism comes from.
 
 from __future__ import annotations
 
-from typing import Callable, Deque, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.backends import (
     DispatchHandle,
@@ -44,14 +44,19 @@ from repro.backends import (
     as_backend,
 )
 from repro.core.calibration import CalibrationReport
-from repro.core.engine import AdaptiveEngine, MonitoringWindow
+from repro.core.engine import (
+    AdaptiveEngine,
+    MonitoringWindow,
+    ResultCursor,
+    drain_stream,
+)
 from repro.core.execution import ExecutionReport
 from repro.core.parameters import GraspConfig
 from repro.core.scheduler import DemandDrivenScheduler
 from repro.exceptions import ExecutionError
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
-from repro.skeletons.base import Task
+from repro.skeletons.base import Task, TaskResult
 from repro.utils.tracing import Tracer
 
 __all__ = ["FarmExecutor"]
@@ -99,6 +104,26 @@ class FarmExecutor:
     def run(self, tasks: Deque[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Execute all pending ``tasks`` adaptively; return the report."""
+        return drain_stream(self.as_completed(tasks, calibration, start_time))
+
+    def as_completed(self, tasks: Deque[Task], calibration: CalibrationReport,
+                     start_time: Optional[float] = None,
+                     ) -> Iterator[TaskResult]:
+        """Execute adaptively, yielding each result as it lands.
+
+        The streaming form of :meth:`run`: the same dispatch/monitor/adapt
+        loop, but every completed :class:`~repro.skeletons.base.TaskResult`
+        (including results of recalibration probes, which count toward the
+        job) is yielded as soon as the loop *collects* it, so callers can
+        consume output while later windows are still executing.  On
+        concurrent backends a monitoring window's dispatches are collected
+        in fan-in (submission) order, so within one window a slow early
+        chunk delays the yield of faster later ones — lower
+        ``ExecutionConfig.monitor_interval`` for tighter streaming.  The
+        generator's return value is the final
+        :class:`~repro.core.execution.ExecutionReport` (also reachable as
+        ``self.engine.report`` once the stream is exhausted).
+        """
         exec_cfg = self.config.execution
         engine = self.engine
         start = calibration.finished if start_time is None else float(start_time)
@@ -106,6 +131,7 @@ class FarmExecutor:
         chosen = self._workers_from(calibration.chosen)
         report = engine.begin(calibration, start)
         report.chosen_history.append(list(chosen))
+        cursor = ResultCursor(report)
 
         master_free = start
         chunk_size = max(1, exec_cfg.chunk_size)
@@ -186,6 +212,7 @@ class FarmExecutor:
                 master_free = handle.master_free_after
                 if self.backend.eager:
                     dispatched += collect(chunk, handle)
+                    yield from cursor.drain()
                 else:
                     # Concurrent backend: let the window's chunks overlap
                     # across the workers and fan them in afterwards.
@@ -193,6 +220,7 @@ class FarmExecutor:
                     dispatched += len(chunk)
             for chunk, handle in inflight:
                 collect(chunk, handle)
+                yield from cursor.drain()
 
             if window.empty:
                 continue
@@ -230,6 +258,8 @@ class FarmExecutor:
                 on_recalibrate=on_recalibrate,
                 on_rerank=on_rerank,
             )
+            # Recalibration consumed pending tasks; their results stream too.
+            yield from cursor.drain()
 
         report = engine.finish()
         self.tracer.record("phase.execution.end", "farm execution finished",

@@ -21,8 +21,9 @@ experiments can measure exactly what the paper's evaluation measured.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.backends import ExecutionBackend
 from repro.core.calibration import CalibrationReport, calibrate
@@ -39,7 +40,7 @@ from repro.grid.topology import GridTopology
 from repro.skeletons.base import Skeleton, TaskResult
 from repro.utils.tracing import Tracer
 
-__all__ = ["Grasp", "GraspResult"]
+__all__ = ["Grasp", "GraspResult", "StreamingRun"]
 
 
 @dataclass
@@ -87,6 +88,60 @@ class GraspResult:
         return self.compiled.tracer
 
 
+class StreamingRun:
+    """A GRASP run consumed result-by-result.
+
+    Iterating yields every :class:`~repro.skeletons.base.TaskResult` the
+    run produces — calibration samples first (their work counts toward the
+    job), then execution results in the order the adaptive loop collects
+    them.  On concurrent backends collection proceeds one monitoring
+    window at a time (farm windows fan in by submission order, pipeline
+    windows by completion time); lower ``ExecutionConfig.monitor_interval``
+    for tighter streaming.  After the iterator is exhausted,
+    :attr:`result` holds the complete :class:`GraspResult`.
+
+    The run advances only as the caller iterates: an abandoned stream stops
+    dispatching.  Call :meth:`close` (or exhaust the stream) to release an
+    internally created backend.
+    """
+
+    def __init__(self, stream: Iterator[TaskResult],
+                 cleanup: Optional[Any] = None):
+        self._stream = stream
+        # The backend exists before the generator first runs (compilation
+        # is eager), but GC of a *never-started* generator skips its
+        # finally blocks — so a dropped, never-iterated run would leak the
+        # backend's workers.  A finalizer closes it on GC; backend close
+        # is idempotent, so the normal exhaustion path closing first is
+        # fine.  (cleanup must not reference this object, or it would
+        # never become collectable.)
+        self._cleanup = (weakref.finalize(self, cleanup)
+                         if cleanup is not None else None)
+        #: The full :class:`GraspResult`; ``None`` until the stream is
+        #: exhausted.
+        self.result: Optional[GraspResult] = None
+
+    def __iter__(self) -> "StreamingRun":
+        return self
+
+    def __next__(self) -> TaskResult:
+        try:
+            return next(self._stream)
+        except StopIteration as stop:
+            if self.result is None and stop.value is not None:
+                self.result = stop.value
+            raise StopIteration from None
+
+    def close(self) -> None:
+        """Abandon the run early, releasing internally created backends."""
+        self._stream.close()
+        # Closing a never-started generator skips its finally blocks, so
+        # release the eagerly-compiled backend explicitly (close is
+        # idempotent — a normally-exhausted stream already released it).
+        if self._cleanup is not None:
+            self._cleanup()
+
+
 class Grasp:
     """Adaptive structured-parallelism runtime (the paper's contribution).
 
@@ -130,6 +185,35 @@ class Grasp:
     # ------------------------------------------------------------------ run
     def run(self, inputs: Iterable[Any], start_time: float = 0.0) -> GraspResult:
         """Run the skeleton on ``inputs`` over the grid; return the result."""
+        stream = self.as_completed(inputs, start_time=start_time)
+        for _ in stream:
+            pass
+        assert stream.result is not None
+        return stream.result
+
+    def as_completed(self, inputs: Iterable[Any],
+                     start_time: float = 0.0) -> StreamingRun:
+        """Run the skeleton, yielding each result as it lands.
+
+        The streaming form of :meth:`run`: returns a :class:`StreamingRun`
+        whose iteration drives the four phases and yields every completed
+        :class:`~repro.skeletons.base.TaskResult` as the adaptive loop
+        collects it — calibration samples first, then execution results —
+        instead of blocking until the whole :class:`GraspResult` is ready.
+
+        Examples
+        --------
+        >>> from repro import Grasp, TaskFarm, GridBuilder
+        >>> grid = GridBuilder().homogeneous(nodes=4).build(seed=0)
+        >>> run = Grasp(skeleton=TaskFarm(worker=lambda x: x + 1),
+        ...             grid=grid).as_completed(inputs=range(8))
+        >>> seen = [r.output for r in run]      # results as they land
+        >>> sorted(seen) == list(range(1, 9)) and run.result.makespan > 0
+        True
+        """
+        # Programming and compilation run eagerly so misconfiguration
+        # (unknown backend, master outside the pool, empty inputs) raises
+        # here, at the call site, not at the first next().
         timeline = PhaseTimeline()
 
         # ---------------------------------------------------- 1. programming
@@ -145,15 +229,29 @@ class Grasp:
                                    simulator=self._external_simulator,
                                    at_time=start_time,
                                    backend=self._backend)
+
+        def cleanup() -> None:
+            if compiled.owns_backend:
+                compiled.backend.close()
+
+        return StreamingRun(
+            self._stream(compiled, program, tasks, expected, timeline,
+                         start_time),
+            cleanup=cleanup,
+        )
+
+    def _stream(self, compiled, program, tasks, expected, timeline,
+                start_time: float) -> Iterator[TaskResult]:
         try:
-            return self._run_compiled(compiled, program, tasks, expected,
-                                      timeline, start_time)
+            result = yield from self._stream_compiled(
+                compiled, program, tasks, expected, timeline, start_time)
+            return result
         finally:
             if compiled.owns_backend:
                 compiled.backend.close()
 
-    def _run_compiled(self, compiled, program, tasks, expected, timeline,
-                      start_time: float) -> GraspResult:
+    def _stream_compiled(self, compiled, program, tasks, expected, timeline,
+                         start_time: float) -> Iterator[TaskResult]:
         compiled.tracer.record("phase.programming", "skeletal program created",
                                tasks=expected,
                                skeleton=program.properties.name)
@@ -175,6 +273,8 @@ class Grasp:
             backend=compiled.backend,
         )
         timeline.leave(calibration.finished)
+        # Calibration samples count toward the job; stream them first.
+        yield from calibration.results
 
         # ------------------------------------------------------ 4. execution
         timeline.enter(Phase.EXECUTION, calibration.finished)
@@ -193,7 +293,7 @@ class Grasp:
                     "the calibration sample consumed every pipeline item; "
                     "reduce sample_per_node or supply more inputs"
                 )
-            execution = executor.run(list(tasks), calibration)
+            execution = yield from executor.as_completed(list(tasks), calibration)
         else:
             executor = FarmExecutor(
                 execute_fn=program.execute_task,
@@ -205,7 +305,7 @@ class Grasp:
                 monitor=compiled.monitor,
                 tracer=compiled.tracer,
             )
-            execution = executor.run(tasks, calibration)
+            execution = yield from executor.as_completed(tasks, calibration)
 
         # Interleave the feedback edge (recalibrations) into the timeline so
         # the Figure-1 trace shows execution → calibration → execution cycles.

@@ -34,13 +34,18 @@ genuine pipelining on real threads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import collections
 
 from repro.backends import ChainStage, DispatchHandle, ExecutionBackend, as_backend
 from repro.core.calibration import CalibrationReport
-from repro.core.engine import AdaptiveEngine, MonitoringWindow
+from repro.core.engine import (
+    AdaptiveEngine,
+    MonitoringWindow,
+    ResultCursor,
+    drain_stream,
+)
 from repro.core.execution import ExecutionReport
 from repro.core.parameters import GraspConfig
 from repro.exceptions import ExecutionError
@@ -218,6 +223,24 @@ class PipelineExecutor:
     def run(self, tasks: Sequence[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Stream every item through the pipeline adaptively; return the report."""
+        return drain_stream(self.as_completed(tasks, calibration, start_time))
+
+    def as_completed(self, tasks: Sequence[Task],
+                     calibration: CalibrationReport,
+                     start_time: Optional[float] = None,
+                     ) -> Iterator[TaskResult]:
+        """Stream items through the pipeline, yielding results as they land.
+
+        The streaming form of :meth:`run`: each item's final
+        :class:`~repro.skeletons.base.TaskResult` is yielded as soon as the
+        monitor folds its completion into the current window.  On
+        concurrent backends a window's chains are resolved together and
+        folded by completion time (the inter-arrival statistic requires
+        it), so yields arrive window-by-window in completion order within
+        each window; lower ``ExecutionConfig.monitor_interval`` for
+        tighter streaming.  The generator's return value is the final
+        :class:`~repro.core.execution.ExecutionReport`.
+        """
         exec_cfg = self.config.execution
         engine = self.engine
         start = calibration.finished if start_time is None else float(start_time)
@@ -234,6 +257,7 @@ class PipelineExecutor:
 
         report = engine.begin(calibration, start)
         report.chosen_history.append(mapping.all_nodes())
+        cursor = ResultCursor(report)
 
         # Results of calibration-phase items are produced by the caller
         # (Grasp.run) because the pipeline sample runs all stages per item.
@@ -291,6 +315,7 @@ class PipelineExecutor:
                 emit_time = handle.next_emit
                 if self.backend.eager:
                     collect(task, handle.outcome())
+                    yield from cursor.drain()
                 else:
                     inflight.append((task, handle))
             # Concurrent chains may finish out of submission order; fold them
@@ -299,6 +324,7 @@ class PipelineExecutor:
             resolved = [(task, handle.outcome()) for task, handle in inflight]
             for task, outcome in sorted(resolved, key=lambda pair: pair[1].finished):
                 collect(task, outcome)
+                yield from cursor.drain()
 
             if window.empty:
                 continue
@@ -362,6 +388,7 @@ class PipelineExecutor:
                 on_recalibrate=on_recalibrate,
                 on_rerank=on_rerank,
             )
+            yield from cursor.drain()
 
         report = engine.finish()
         self.tracer.record("phase.execution.end", "pipeline execution finished",

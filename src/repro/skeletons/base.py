@@ -182,6 +182,34 @@ class Skeleton:
         """
         raise NotImplementedError
 
+    # -- adaptive runs ---------------------------------------------------------
+    def as_completed(self, grid, inputs: Iterable[Any], config=None,
+                     backend=None, start_time: float = 0.0):
+        """Run this skeleton adaptively on ``grid``, streaming results.
+
+        Convenience front door to
+        :meth:`repro.core.grasp.Grasp.as_completed`: returns a
+        :class:`~repro.core.grasp.StreamingRun` yielding every
+        :class:`TaskResult` as the adaptive loop collects it; after
+        exhaustion its ``result`` attribute holds the full
+        :class:`~repro.core.grasp.GraspResult`.
+
+        Examples
+        --------
+        >>> from repro import GridBuilder, TaskFarm
+        >>> grid = GridBuilder().homogeneous(nodes=4).build(seed=0)
+        >>> farm = TaskFarm(worker=lambda x: x * 2)
+        >>> outputs = sorted(r.output for r in
+        ...                  farm.as_completed(grid, inputs=range(6)))
+        >>> outputs == [x * 2 for x in range(6)]
+        True
+        """
+        from repro.core.grasp import Grasp  # local: core layers on skeletons
+
+        return Grasp(skeleton=self, grid=grid, config=config,
+                     backend=backend).as_completed(inputs,
+                                                   start_time=start_time)
+
     # -- helpers ---------------------------------------------------------------
     def _next_task_id(self) -> int:
         return next(self._task_counter)

@@ -26,6 +26,7 @@ from repro.skeletons.base import (
     Task,
     constant_cost,
 )
+from repro.utils.awaitables import resolve_awaitable
 
 __all__ = ["Stage", "Pipeline"]
 
@@ -135,7 +136,7 @@ class Pipeline(Skeleton):
         """Run one stage function on one item (real computation)."""
         if not (0 <= stage_index < self.num_stages):
             raise SkeletonError(f"stage index {stage_index} out of range")
-        return self.stages[stage_index].fn(item)
+        return resolve_awaitable(self.stages[stage_index].fn(item))
 
     def stage_cost(self, stage_index: int, item: Any) -> float:
         """Compute cost of ``item`` at stage ``stage_index``."""
@@ -154,14 +155,14 @@ class Pipeline(Skeleton):
         value = item
         for stage in self.stages:
             total += stage.cost(value)
-            value = stage.fn(value)
+            value = resolve_awaitable(stage.fn(value))
         return total
 
     def run_item(self, item: Any) -> Any:
         """Thread a single item through every stage (real computation)."""
         value = item
         for stage in self.stages:
-            value = stage.fn(value)
+            value = resolve_awaitable(stage.fn(value))
         return value
 
     def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:
@@ -170,6 +171,6 @@ class Pipeline(Skeleton):
         for item in inputs:
             value = item
             for stage in self.stages:
-                value = stage.fn(value)
+                value = resolve_awaitable(stage.fn(value))
             outputs.append(value)
         return outputs

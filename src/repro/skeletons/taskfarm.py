@@ -17,6 +17,7 @@ from typing import Any, Callable, Iterable, List, Optional
 
 from repro.comm.message import estimate_size
 from repro.exceptions import SkeletonError
+from repro.utils.awaitables import resolve_awaitable
 from repro.skeletons.base import (
     CostModel,
     Skeleton,
@@ -123,4 +124,4 @@ class TaskFarm(Skeleton):
 
     def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:
         """Reference semantics: map the worker over the inputs in order."""
-        return [self.worker(item) for item in inputs]
+        return [resolve_awaitable(self.worker(item)) for item in inputs]

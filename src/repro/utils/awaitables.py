@@ -1,0 +1,85 @@
+"""Resolving possibly-awaitable payload results in synchronous contexts.
+
+The asyncio backend awaits coroutine payloads natively on its event loop;
+every *synchronous* context that can meet a coroutine worker — sequential
+reference runs, pipeline cost threading on the master, the simulated
+backend's eager dispatch, thread/process worker bodies — funnels through
+:func:`resolve_awaitable` instead, so an ``async def`` worker means the
+same thing on every backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+__all__ = ["resolve_awaitable"]
+
+#: One cached private loop per thread: the dispatch paths resolve one
+#: payload per call, and paying asyncio.run's loop setup/teardown per task
+#: would tax every coroutine worker on the thread/process/simulated
+#: backends.  The loop lives as long as its (long-lived worker) thread.
+_thread_loops = threading.local()
+
+#: One shared resolver thread for the inside-a-running-loop fallback, so
+#: repeated nested resolutions (pipeline probes on the asyncio backend run
+#: one per stage) reuse a thread + loop instead of building both per call.
+_resolver_pool: Optional[ThreadPoolExecutor] = None
+_resolver_lock = threading.Lock()
+
+
+async def _consume(awaitable) -> Any:
+    return await awaitable
+
+
+def _private_loop() -> asyncio.AbstractEventLoop:
+    loop = getattr(_thread_loops, "loop", None)
+    if loop is None or loop.is_closed():
+        loop = asyncio.new_event_loop()
+        _thread_loops.loop = loop
+    return loop
+
+
+def _resolver() -> ThreadPoolExecutor:
+    global _resolver_pool
+    with _resolver_lock:
+        if _resolver_pool is None:
+            # Deliberately NOT "grasp-" prefixed: backend lifecycle tests
+            # treat lingering grasp-* threads as leaks, and this resolver
+            # is a process-lifetime singleton, not backend state.
+            _resolver_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-awaitable-resolver")
+        return _resolver_pool
+
+
+def _resolve_on_resolver(value: Any) -> Any:
+    _thread_loops.is_resolver = True
+    return _private_loop().run_until_complete(_consume(value))
+
+
+def resolve_awaitable(value: Any) -> Any:
+    """Return ``value``, running it to completion first if it is awaitable.
+
+    Non-awaitable values pass through untouched, so call sites can wrap
+    every payload invocation unconditionally.  Awaitables run to completion
+    on the calling thread's cached private event loop.  When the caller is
+    itself inside a running loop (a synchronous helper like
+    ``Pipeline.run_item`` executing as an asyncio-backend payload), the
+    resolution hops to a throwaway thread instead — blocking the calling
+    loop exactly as any synchronous payload on it would.
+    """
+    if not inspect.isawaitable(value):
+        return value
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return _private_loop().run_until_complete(_consume(value))
+    if getattr(_thread_loops, "is_resolver", False):
+        # Doubly-nested (a sync helper inside the resolver's own loop):
+        # a throwaway thread avoids deadlocking the single resolver.
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(asyncio.run, _consume(value)).result()
+    return _resolver().submit(_resolve_on_resolver, value).result()

@@ -18,7 +18,15 @@ sweep them deterministically:
 
 from __future__ import annotations
 
-from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload, spin_worker
+from repro.workloads.synthetic import (
+    IOBoundSpec,
+    IOBoundWorkload,
+    SyntheticSpec,
+    SyntheticWorkload,
+    blocking_fetch_worker,
+    fetch_worker,
+    spin_worker,
+)
 from repro.workloads.matrix import MatrixWorkload, matmul_blocks
 from repro.workloads.imaging import ImagingWorkload, make_imaging_pipeline
 from repro.workloads.montecarlo import MonteCarloWorkload, estimate_pi
@@ -28,6 +36,10 @@ __all__ = [
     "SyntheticSpec",
     "SyntheticWorkload",
     "spin_worker",
+    "IOBoundSpec",
+    "IOBoundWorkload",
+    "fetch_worker",
+    "blocking_fetch_worker",
     "MatrixWorkload",
     "matmul_blocks",
     "ImagingWorkload",

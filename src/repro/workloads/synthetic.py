@@ -8,10 +8,20 @@ knob is the **compute/communication ratio**: the ratio between the virtual
 time a task's computation takes on a reference node and the virtual time its
 data movement takes on a reference link.  Experiment E8 sweeps it to locate
 where adaptation pays off.
+
+The module also hosts the **I/O-bound scenario family**
+(:class:`IOBoundWorkload`): an HTTP-like fan of requests whose "service
+time" is spent *waiting*, not computing — the workload the asyncio backend
+exists for.  Each request carries a deterministic per-request latency; the
+coroutine worker awaits it (``asyncio.sleep`` standing in for the network
+round-trip), so a backend that overlaps waits finishes in roughly the
+longest queue's total latency instead of the sum of all latencies.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time as _time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -22,7 +32,15 @@ from repro.skeletons.base import CostModel
 from repro.skeletons.taskfarm import TaskFarm
 from repro.utils.rng import make_rng
 
-__all__ = ["SyntheticSpec", "SyntheticWorkload", "spin_worker"]
+__all__ = [
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "spin_worker",
+    "IOBoundSpec",
+    "IOBoundWorkload",
+    "fetch_worker",
+    "blocking_fetch_worker",
+]
 
 
 def spin_worker(item: "SyntheticItem") -> float:
@@ -177,4 +195,186 @@ class SyntheticWorkload:
             "distribution": self.spec.distribution,
             "comp_comm_ratio": self.spec.comp_comm_ratio,
             "total_cost": float(np.sum(costs)),
+        }
+
+
+# --------------------------------------------------------------------------
+# I/O-bound scenario family: an HTTP-like request fan.
+
+@dataclass(frozen=True)
+class IORequest:
+    """Payload of one simulated HTTP-like request."""
+
+    index: int
+    value: float
+    latency: float
+    nbytes: int
+
+
+async def fetch_worker(request: IORequest) -> float:
+    """Coroutine worker: await the request's service time, return the body.
+
+    ``asyncio.sleep`` stands in for the network round-trip; the returned
+    "body" is the same checkable transform :func:`spin_worker` uses, so
+    tests verify outputs without knowing latencies.
+    """
+    await asyncio.sleep(request.latency)
+    return request.value * 2.0 + 1.0
+
+
+def blocking_fetch_worker(request: IORequest) -> float:
+    """Synchronous twin of :func:`fetch_worker` (``time.sleep`` blocks).
+
+    For comparing the asyncio backend against thread/process backends on
+    the same workload: blocking workers occupy their whole worker for the
+    latency, coroutine workers only occupy the event loop while runnable.
+    """
+    _time.sleep(request.latency)
+    return request.value * 2.0 + 1.0
+
+
+# Module-level cost/size models: the I/O farm explicitly supports the
+# process backend (coroutine payloads resolve in the child), so everything
+# the farm ships must pickle — lambdas here would break that contract.
+
+def _request_latency_cost(request: IORequest) -> float:
+    return request.latency
+
+
+def _request_input_size(request: IORequest) -> int:
+    return 256
+
+
+def _request_output_size(request: IORequest) -> int:
+    return request.nbytes
+
+
+@dataclass
+class IOBoundSpec:
+    """Parameters of an I/O-bound (HTTP-like) workload.
+
+    Attributes
+    ----------
+    requests:
+        Number of requests in the fan.
+    mean_latency:
+        Mean per-request service time in seconds.
+    latency_cv:
+        Coefficient of variation of the latency distribution (0 = uniform
+        service times).
+    response_bytes:
+        Mean response size (charged on links when run in virtual time).
+    seed:
+        Stream seed.
+    """
+
+    requests: int = 64
+    mean_latency: float = 0.01
+    latency_cv: float = 0.5
+    response_bytes: int = 4096
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise WorkloadError(f"requests must be >= 1, got {self.requests}")
+        if self.mean_latency <= 0:
+            raise WorkloadError(
+                f"mean_latency must be > 0, got {self.mean_latency}"
+            )
+        if self.latency_cv < 0:
+            raise WorkloadError(
+                f"latency_cv must be >= 0, got {self.latency_cv}"
+            )
+        if self.response_bytes < 1:
+            raise WorkloadError(
+                f"response_bytes must be >= 1, got {self.response_bytes}"
+            )
+
+
+class IOBoundWorkload:
+    """Generates HTTP-like requests and the matching :class:`TaskFarm`.
+
+    The farm's cost model declares each request's latency as its work
+    units, so calibration and monitoring normalise against service time —
+    a slow *service* is indistinguishable from a slow *node*, which is
+    exactly the signal an adaptive client wants.
+    """
+
+    def __init__(self, spec: Optional[IOBoundSpec] = None, **kwargs):
+        if spec is not None and kwargs:
+            raise WorkloadError("pass either a spec or keyword arguments, not both")
+        self.spec = spec or IOBoundSpec(**kwargs)
+
+    # ------------------------------------------------------------- sampling
+    def items(self) -> List[IORequest]:
+        """The request payloads (deterministic for a given spec)."""
+        spec = self.spec
+        rng = make_rng(spec.seed, "workload/io/latencies")
+        if spec.latency_cv == 0:
+            latencies = np.full(spec.requests, spec.mean_latency)
+        else:
+            sigma = spec.mean_latency * spec.latency_cv
+            mu = np.log(spec.mean_latency ** 2
+                        / np.sqrt(sigma ** 2 + spec.mean_latency ** 2))
+            s = np.sqrt(np.log(1.0 + (sigma / spec.mean_latency) ** 2))
+            latencies = rng.lognormal(mu, s, size=spec.requests)
+        latencies = np.clip(latencies, 0.1 * spec.mean_latency,
+                            10.0 * spec.mean_latency)
+        values = make_rng(spec.seed, "workload/io/values").uniform(
+            0.0, 100.0, size=spec.requests)
+        # Uniform around the documented mean (±50%), floored at 1 byte.
+        half = spec.response_bytes // 2
+        sizes = make_rng(spec.seed, "workload/io/sizes").integers(
+            max(1, spec.response_bytes - half), spec.response_bytes + half + 1,
+            size=spec.requests)
+        return [
+            IORequest(index=i, value=float(values[i]),
+                      latency=float(latencies[i]), nbytes=int(sizes[i]))
+            for i in range(spec.requests)
+        ]
+
+    # ------------------------------------------------------------ skeletons
+    def farm(self, worker: Optional[Callable[[IORequest], Any]] = None) -> TaskFarm:
+        """A :class:`TaskFarm` over the request fan (coroutine worker)."""
+        return TaskFarm(
+            worker=worker or fetch_worker,
+            cost_model=_request_latency_cost,
+            input_size_model=_request_input_size,
+            output_size_model=_request_output_size,
+            name="io-farm",
+        )
+
+    # ------------------------------------------------------------ reference
+    def expected_outputs(self) -> List[float]:
+        """Reference response bodies for the generated requests."""
+        return [item.value * 2.0 + 1.0 for item in self.items()]
+
+    def total_latency(self) -> float:
+        """Sum of all service times — the sequential client's wall time."""
+        return float(sum(item.latency for item in self.items()))
+
+    def run_sequential(self) -> Tuple[List[float], float]:
+        """One-at-a-time client: awaits each request in turn.
+
+        Returns ``(outputs, wall seconds)`` — the honest non-overlapping
+        baseline the asyncio backend is benchmarked against.
+        """
+
+        async def drain() -> List[float]:
+            return [await fetch_worker(item) for item in self.items()]
+
+        start = _time.perf_counter()
+        outputs = asyncio.run(drain())
+        return outputs, _time.perf_counter() - start
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary used by the experiment reports."""
+        items = self.items()
+        latencies = [item.latency for item in items]
+        return {
+            "requests": len(items),
+            "mean_latency": float(np.mean(latencies)),
+            "latency_cv": (float(np.std(latencies) / np.mean(latencies))
+                           if np.mean(latencies) else 0.0),
+            "total_latency": float(np.sum(latencies)),
         }

@@ -1,0 +1,1 @@
+"""Reusable backend-conformance kit (see ``kit.py``)."""

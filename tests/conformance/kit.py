@@ -1,0 +1,332 @@
+"""Reusable backend-conformance kit.
+
+Any :class:`~repro.backends.base.ExecutionBackend` — shipped or third-party
+— must satisfy the contract the adaptive runtime is written against.  This
+module captures that contract as a parametrized test suite: subclass
+:class:`BackendConformance` in a test module, provide a ``backend`` fixture
+yielding a fresh instance, and every contract check runs against it.
+
+Checked contract surface:
+
+* **Clock** — ``now`` is non-decreasing; ``advance_to`` never moves it
+  backwards (and reaches the target on eager/virtual-time backends).
+* **Membership** — ``topology``/``has_node`` consistency; unknown node ids
+  raise a :class:`~repro.exceptions.GraspError` subclass from every query.
+* **Availability filtering** — ``available_nodes(t)`` is a subset of the
+  topology and agrees pointwise with ``is_available``; the runtime routes
+  dispatch, recalibration and re-ranking through these queries, so a
+  backend that disagrees with itself strands work on dead nodes.
+* **Dispatch** — outcome field semantics (node, output, loss flag, the
+  ``submitted <= exec_started <= exec_finished <= finished`` timeline),
+  probe dispatches (``collect_output=False``) dropping outputs.
+* **Chunked dispatch** — one outcome per task, task order preserved, chunk
+  extent covering its tasks.
+* **Chain dispatch** — stage order, one stage record per stage, output of
+  the composed stages, item cost accounting.
+* **Queue occupancy** — ``node_free_at`` returns a finite estimate and
+  never runs backwards past the clock by more than the pending work.
+* **Observation** — load in ``[0, 1)``, positive bandwidth, transfer
+  records with a ``started <= finished`` extent.
+* **Lifecycle** — ``close()`` is idempotent; the context-manager protocol
+  closes; backends that reject post-close dispatch (``rejects_after_close``)
+  do so with a :class:`~repro.exceptions.GraspError` subclass.
+
+Usage::
+
+    from conformance.kit import BackendConformance
+
+    class TestMyBackendConformance(BackendConformance):
+        rejects_after_close = True      # post-close dispatch must raise
+
+        @pytest.fixture
+        def backend(self):
+            with MyBackend(topology=conformance_grid()) as backend:
+                yield backend
+
+Everything the kit ships to a backend is picklable (module-level payloads,
+dataclass stage callables), so process-pool backends pass unmodified.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.backends.base import (
+    ChainOutcome,
+    ChainStage,
+    ChunkOutcome,
+    DispatchOutcome,
+    ExecutionBackend,
+)
+from repro.exceptions import GraspError
+from repro.grid.topology import GridBuilder, GridTopology
+from repro.skeletons.base import Task
+
+__all__ = ["BackendConformance", "conformance_grid"]
+
+
+def conformance_grid(nodes: int = 3) -> GridTopology:
+    """The small homogeneous topology conformance backends are built over."""
+    return (GridBuilder().homogeneous(nodes=nodes, speed=1.0)
+            .named("conf").build(seed=0))
+
+
+# ---------------------------------------------------------------- payloads
+# Module-level and dataclass-based: they cross process boundaries on
+# process-pool backends, so they must pickle by reference/by value.
+
+def double_payload(task: Task):
+    """The kit's farm payload: a checkable transform of the task payload."""
+    return task.payload * 2
+
+
+def _stage_inc(value):
+    return value + 1
+
+
+def _stage_triple(value):
+    return value * 3
+
+
+@dataclass(frozen=True)
+class _ConstCost:
+    cost: float
+
+    def __call__(self, _value) -> float:
+        return self.cost
+
+
+@dataclass(frozen=True)
+class _PickFixed:
+    """Stage picker pinning a chain stage to one node (master-side only)."""
+
+    node_id: str
+
+    def __call__(self, _free_at) -> str:
+        return self.node_id
+
+
+class BackendConformance:
+    """Contract suite any :class:`ExecutionBackend` must pass.
+
+    Subclasses provide a ``backend`` fixture (fresh instance per test,
+    closed afterwards) and may override:
+
+    * ``rejects_after_close`` — whether dispatching on a closed backend
+      must raise (wall-clock backends holding real workers: yes; the
+      stateless virtual-time wrapper: no).
+    """
+
+    rejects_after_close: bool = True
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def alive_nodes(backend: ExecutionBackend):
+        nodes = backend.available_nodes(backend.now)
+        assert nodes, "conformance needs at least one available node"
+        return nodes
+
+    def dispatch_one(self, backend: ExecutionBackend, payload=21,
+                     task_id: int = 0, **kwargs) -> DispatchOutcome:
+        nodes = self.alive_nodes(backend)
+        handle = backend.dispatch(
+            Task(task_id=task_id, payload=payload), nodes[-1], double_payload,
+            master_node=nodes[0], at_time=backend.now, **kwargs,
+        )
+        outcome = handle.outcome()
+        assert handle.done(), "a handle must report done() after outcome()"
+        return outcome
+
+    # ------------------------------------------------------------- clock
+    def test_clock_is_monotonic(self, backend):
+        readings = [backend.now for _ in range(5)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+        assert all(math.isfinite(r) for r in readings)
+
+    def test_advance_to_never_rewinds(self, backend):
+        before = backend.now
+        backend.advance_to(before)          # same-time advance: always legal
+        assert backend.now >= before
+        target = backend.now + 0.25
+        backend.advance_to(target)
+        assert backend.now >= before
+        if backend.eager:
+            # Virtual-time backends must actually reach the target.
+            assert backend.now >= target
+
+    # -------------------------------------------------------- membership
+    def test_topology_membership(self, backend):
+        for node_id in backend.topology.node_ids:
+            assert backend.has_node(node_id)
+        assert not backend.has_node("conformance/ghost")
+
+    def test_unknown_node_queries_raise(self, backend):
+        nodes = self.alive_nodes(backend)
+        with pytest.raises(GraspError):
+            backend.node_free_at("conformance/ghost")
+        with pytest.raises(GraspError):
+            backend.observe_load("conformance/ghost")
+        with pytest.raises(GraspError):
+            backend.observe_bandwidth(nodes[0], "conformance/ghost")
+        with pytest.raises(GraspError):
+            backend.dispatch(
+                Task(task_id=99, payload=1), "conformance/ghost",
+                double_payload, master_node=nodes[0], at_time=backend.now,
+            )
+
+    # ------------------------------------------------------ availability
+    def test_available_nodes_agree_with_is_available(self, backend):
+        now = backend.now
+        available = set(backend.available_nodes(now))
+        all_nodes = set(backend.topology.node_ids)
+        assert available <= all_nodes
+        for node_id in all_nodes:
+            assert backend.is_available(node_id, now) == (node_id in available)
+
+    def test_is_available_defaults_to_now(self, backend):
+        # time=None must mean "at the backend's current time", not crash.
+        for node_id in self.alive_nodes(backend):
+            assert backend.is_available(node_id) is True
+
+    # ---------------------------------------------------------- dispatch
+    def test_dispatch_roundtrip(self, backend):
+        nodes = self.alive_nodes(backend)
+        outcome = self.dispatch_one(backend, payload=21)
+        assert outcome.output == 42
+        assert outcome.node_id == nodes[-1]
+        assert outcome.lost is False
+        assert (outcome.submitted <= outcome.exec_started
+                <= outcome.exec_finished <= outcome.finished)
+        assert outcome.duration >= 0.0
+
+    def test_dispatch_probe_discards_output(self, backend):
+        outcome = self.dispatch_one(backend, payload=21, task_id=1,
+                                    check_loss=False, collect_output=False)
+        assert outcome.output is None
+        assert outcome.lost is False
+
+    def test_dispatch_without_execute_fn(self, backend):
+        nodes = self.alive_nodes(backend)
+        handle = backend.dispatch(
+            Task(task_id=2, payload=5), nodes[0], None,
+            master_node=nodes[0], at_time=backend.now,
+        )
+        outcome = handle.outcome()
+        assert outcome.output is None
+        assert outcome.lost is False
+
+    # ---------------------------------------------------------- chunking
+    def test_dispatch_chunk_preserves_task_order(self, backend):
+        nodes = self.alive_nodes(backend)
+        tasks = [Task(task_id=10 + i, payload=i) for i in range(4)]
+        handle = backend.dispatch_chunk(
+            tasks, nodes[-1], double_payload, master_node=nodes[0],
+            at_time=backend.now,
+        )
+        chunk = handle.outcome()
+        assert isinstance(chunk, ChunkOutcome)
+        assert handle.done()
+        assert chunk.node_id == nodes[-1]
+        assert len(chunk.outcomes) == len(tasks)
+        assert [o.output for o in chunk.outcomes] == [i * 2 for i in range(4)]
+        assert not chunk.lost_any
+        assert chunk.duration >= 0.0
+        # The chunk's extent covers every task it carried.
+        for outcome in chunk.outcomes:
+            assert chunk.submitted <= outcome.finished <= chunk.finished + 1e-9
+
+    def test_single_task_chunk_matches_dispatch_semantics(self, backend):
+        nodes = self.alive_nodes(backend)
+        handle = backend.dispatch_chunk(
+            [Task(task_id=20, payload=7)], nodes[-1], double_payload,
+            master_node=nodes[0], at_time=backend.now,
+        )
+        chunk = handle.outcome()
+        assert len(chunk.outcomes) == 1
+        assert chunk.outcomes[0].output == 14
+
+    # ------------------------------------------------------------ chains
+    def test_dispatch_chain_applies_stages_in_order(self, backend):
+        nodes = self.alive_nodes(backend)
+        stages = [
+            ChainStage(pick=_PickFixed(nodes[0]), cost=_ConstCost(2.0),
+                       apply=_stage_inc),
+            ChainStage(pick=_PickFixed(nodes[-1]), cost=_ConstCost(3.0),
+                       apply=_stage_triple),
+        ]
+        handle = backend.dispatch_chain(
+            Task(task_id=30, payload=4), stages, master_node=nodes[0],
+            at_time=backend.now,
+        )
+        outcome = handle.outcome()
+        assert isinstance(outcome, ChainOutcome)
+        assert outcome.output == (4 + 1) * 3
+        assert outcome.final_node == nodes[-1]
+        assert outcome.item_cost == pytest.approx(5.0)
+        assert len(outcome.stage_records) == 2
+        assert [record[0] for record in outcome.stage_records] == \
+            [nodes[0], nodes[-1]]
+        for _node, duration, cost, _started in outcome.stage_records:
+            assert duration >= 0.0
+            assert cost in (2.0, 3.0)
+        assert outcome.finished >= outcome.submitted
+
+    # --------------------------------------------------- queue occupancy
+    def test_node_free_at_returns_finite_estimate(self, backend):
+        for node_id in self.alive_nodes(backend):
+            estimate = backend.node_free_at(node_id)
+            assert math.isfinite(estimate)
+        # Dispatching work must never make the estimate infinite/NaN.
+        self.dispatch_one(backend, payload=1, task_id=40)
+        for node_id in self.alive_nodes(backend):
+            assert math.isfinite(backend.node_free_at(node_id))
+
+    # ------------------------------------------------------- observation
+    def test_observe_load_in_unit_range(self, backend):
+        for node_id in self.alive_nodes(backend):
+            load = backend.observe_load(node_id)
+            assert 0.0 <= load < 1.0
+
+    def test_observe_bandwidth_positive(self, backend):
+        nodes = self.alive_nodes(backend)
+        assert backend.observe_bandwidth(nodes[0], nodes[-1]) > 0.0
+
+    def test_transfer_record_extent(self, backend):
+        nodes = self.alive_nodes(backend)
+        record = backend.transfer(nodes[0], nodes[-1], 1024,
+                                  at_time=backend.now)
+        assert record.finished >= record.started
+
+    # --------------------------------------------------------- lifecycle
+    def test_close_is_idempotent(self, backend):
+        self.dispatch_one(backend, payload=3, task_id=50)
+        backend.close()
+        backend.close()     # second close must be a no-op, not an error
+
+    def test_context_manager_closes(self, backend):
+        with backend as entered:
+            assert entered is backend
+            self.dispatch_one(backend, payload=3, task_id=51)
+        backend.close()     # close after __exit__ stays idempotent
+
+    def test_dispatch_after_close(self, backend):
+        # Snapshot alive nodes before closing: availability queries need not
+        # survive close(), and a fault-injected backend's dead nodes would
+        # short-circuit the dispatch under test.
+        nodes = self.alive_nodes(backend)
+        backend.close()
+        if self.rejects_after_close:
+            with pytest.raises(GraspError):
+                backend.dispatch(
+                    Task(task_id=60, payload=1), nodes[-1], double_payload,
+                    master_node=nodes[0], at_time=backend.now,
+                ).outcome()
+        else:
+            outcome = backend.dispatch(
+                Task(task_id=60, payload=1), nodes[-1], double_payload,
+                master_node=nodes[0], at_time=backend.now,
+            ).outcome()
+            assert outcome.output == 2

@@ -1,0 +1,165 @@
+"""Backend-conformance kit instantiated for every shipped backend.
+
+One conformance class per backend family: the virtual-time simulator
+wrapper, real OS threads, worker processes, the asyncio event loop, and
+the fault-injection decorator over both an eager (simulated) and a
+concurrent (thread) inner backend — the decorator must be exactly as
+conformant as what it wraps, plus its availability filtering.
+
+Third-party backends should do the same: subclass
+:class:`conformance.kit.BackendConformance`, provide the ``backend``
+fixture, and fix whatever fails (see README, "Testing your own backend").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    AsyncBackend,
+    FaultInjectingBackend,
+    ProcessBackend,
+    SimulatedBackend,
+    ThreadBackend,
+)
+from repro.grid.failures import PermanentFailure
+from repro.grid.simulator import GridSimulator
+from repro.skeletons.base import Task
+
+from conformance.kit import BackendConformance, conformance_grid, double_payload
+
+
+class TestSimulatedBackendConformance(BackendConformance):
+    # The wrapper is stateless; close() releases nothing, dispatch after
+    # close stays legal (all state lives in the simulator).
+    rejects_after_close = False
+
+    @pytest.fixture
+    def backend(self):
+        yield SimulatedBackend(GridSimulator(conformance_grid()))
+
+
+class TestThreadBackendConformance(BackendConformance):
+    @pytest.fixture
+    def backend(self):
+        backend = ThreadBackend(topology=conformance_grid())
+        yield backend
+        backend.close()
+
+
+class TestProcessBackendConformance(BackendConformance):
+    @pytest.fixture
+    def backend(self):
+        backend = ProcessBackend(topology=conformance_grid())
+        yield backend
+        backend.close()
+
+
+class TestAsyncBackendConformance(BackendConformance):
+    @pytest.fixture
+    def backend(self):
+        backend = AsyncBackend(topology=conformance_grid())
+        yield backend
+        backend.close()
+
+
+# --------------------------------------------------------------------------
+# Fault-injection decorator: as conformant as its inner backend, with one
+# node scheduled dead from t=0 so availability filtering is exercised by
+# the kit's consistency checks (the dead node must vanish from
+# available_nodes AND report is_available False).
+
+def _dead_last_node(grid):
+    return PermanentFailure(failures={grid.node_ids[-1]: 0.0})
+
+
+class TestFaultInjectedSimulatedConformance(BackendConformance):
+    # Unlike the bare simulated wrapper, the decorator *owns* a lifecycle:
+    # a closed composite rejects all dispatch paths, even to dead nodes
+    # (the close-semantics gap this kit originally flagged).
+    rejects_after_close = True
+
+    @pytest.fixture
+    def backend(self):
+        grid = conformance_grid()
+        yield FaultInjectingBackend(
+            SimulatedBackend(GridSimulator(grid)),
+            failures=_dead_last_node(grid),
+        )
+
+
+class TestFaultInjectedThreadConformance(BackendConformance):
+    @pytest.fixture
+    def backend(self):
+        grid = conformance_grid()
+        backend = FaultInjectingBackend(ThreadBackend(topology=grid),
+                                        failures=_dead_last_node(grid))
+        yield backend
+        backend.close()
+
+
+class TestFaultInjectionSpecifics:
+    """Semantics only the decorator provides (beyond the base contract)."""
+
+    @pytest.fixture
+    def backend(self):
+        grid = conformance_grid()
+        yield FaultInjectingBackend(
+            SimulatedBackend(GridSimulator(grid)),
+            failures=_dead_last_node(grid),
+        )
+
+    def test_dead_node_filtered_from_availability(self, backend):
+        victim = backend.topology.node_ids[-1]
+        assert victim not in backend.available_nodes(backend.now)
+        assert backend.is_available(victim, backend.now) is False
+        # The inner backend still knows the node exists.
+        assert backend.has_node(victim)
+
+    def test_dispatch_to_dead_node_is_lost(self, backend):
+        nodes = list(backend.topology.node_ids)
+        victim = nodes[-1]
+        handle = backend.dispatch(
+            Task(task_id=0, payload=1), victim, double_payload,
+            master_node=nodes[0], at_time=backend.now,
+        )
+        outcome = handle.outcome()
+        assert outcome.lost is True
+        assert outcome.output is None
+
+    def test_chunk_to_dead_node_loses_every_task(self, backend):
+        nodes = list(backend.topology.node_ids)
+        victim = nodes[-1]
+        tasks = [Task(task_id=i, payload=i) for i in range(3)]
+        chunk = backend.dispatch_chunk(
+            tasks, victim, double_payload, master_node=nodes[0],
+            at_time=backend.now,
+        ).outcome()
+        assert len(chunk.outcomes) == len(tasks)
+        assert chunk.lost_any
+        assert all(o.lost for o in chunk.outcomes)
+
+    def test_probe_dispatch_ignores_schedule(self, backend):
+        # Calibration probes (check_loss=False) have no failure path; the
+        # pool is filtered by availability *before* probes are sent.
+        nodes = list(backend.topology.node_ids)
+        outcome = backend.dispatch(
+            Task(task_id=1, payload=3), nodes[-1], double_payload,
+            master_node=nodes[0], at_time=backend.now,
+            check_loss=False,
+        ).outcome()
+        assert outcome.lost is False
+        assert outcome.output == 6
+
+    def test_close_closes_inner_backend(self):
+        grid = conformance_grid()
+        inner = ThreadBackend(topology=grid)
+        backend = FaultInjectingBackend(inner, failures=_dead_last_node(grid))
+        backend.close()
+        backend.close()     # idempotent through the decorator too
+        from repro.exceptions import GraspError
+        with pytest.raises(GraspError):
+            inner.dispatch(
+                Task(task_id=0, payload=1), grid.node_ids[0], double_payload,
+                master_node=grid.node_ids[0], at_time=inner.now,
+            )

@@ -288,9 +288,9 @@ class TestSimulatedBitIdentity:
 
 
 class TestBackendEquivalence:
-    """Both backends reproduce run_sequential for every skeleton."""
+    """Every wall-clock backend reproduces run_sequential for every skeleton."""
 
-    @pytest.mark.parametrize("backend", ["simulated", "thread"])
+    @pytest.mark.parametrize("backend", ["simulated", "thread", "asyncio"])
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_matches_sequential(self, name, backend):
         grid_fn, skeleton_fn, inputs_fn, config_fn = SCENARIOS[name]
@@ -436,6 +436,187 @@ class TestProcessBackendEquivalence:
                            backend=backend).run(inputs=range(16))
             assert result.outputs == [x * x for x in range(16)]
         backend.close()  # idempotent
+
+
+# --------------------------------------------------------------------------
+# Asyncio-backend column: coroutine payloads on the event loop.  Coroutine
+# workers are awaited natively by the asyncio backend and resolved via a
+# private loop everywhere else (run_sequential included), so the same async
+# program means the same thing on every backend.
+
+import asyncio
+
+
+async def _async_square(x):
+    await asyncio.sleep(0)
+    return x * x
+
+
+async def _async_fetchlike(x):
+    await asyncio.sleep(0.005)
+    return x + 100
+
+
+class TestAsyncBackendEquivalence:
+    """Coroutine payloads: same semantics, overlapped waits."""
+
+    def test_coroutine_farm_matches_sequential(self):
+        farm = TaskFarm(worker=_async_square)
+        reference = farm.run_sequential(range(24))
+        assert reference == [x * x for x in range(24)]
+        result = Grasp(skeleton=TaskFarm(worker=_async_square),
+                       grid=hetero_grid(), backend="asyncio").run(inputs=range(24))
+        assert result.outputs == reference
+
+    @pytest.mark.parametrize("backend", ["simulated", "thread", "asyncio"])
+    def test_coroutine_payloads_run_on_every_backend(self, backend):
+        result = Grasp(skeleton=TaskFarm(worker=_async_square),
+                       grid=hetero_grid(), backend=backend).run(inputs=range(12))
+        assert result.outputs == [x * x for x in range(12)]
+
+    def test_coroutine_pipeline_stage(self):
+        pipeline = Pipeline(stages=[Stage(fn=_async_fetchlike),
+                                    Stage(fn=lambda x: x - 100)])
+        result = Grasp(skeleton=pipeline, grid=hetero_grid(),
+                       backend="asyncio").run(inputs=range(10))
+        assert result.outputs == list(range(10))
+
+    def test_async_backend_instance(self):
+        from repro import AsyncBackend
+
+        grid = hetero_grid()
+        with AsyncBackend(topology=grid) as backend:
+            result = Grasp(skeleton=TaskFarm(worker=_async_square), grid=grid,
+                           backend=backend).run(inputs=range(16))
+            assert result.outputs == [x * x for x in range(16)]
+        backend.close()  # idempotent
+
+    def test_waits_overlap_across_node_queues(self):
+        # 24 x 5ms awaits on 8 serial queues must take far less than the
+        # 120ms a non-overlapping runtime would need (bound is generous:
+        # the point is overlap, not a tight benchmark).
+        grid = hetero_grid()
+        config = GraspConfig.non_adaptive()
+        config.execution.master_computes = True
+        start = time.perf_counter()
+        result = Grasp(skeleton=TaskFarm(worker=_async_fetchlike), grid=grid,
+                       config=config, backend="asyncio").run(inputs=range(24))
+        elapsed = time.perf_counter() - start
+        assert result.outputs == [x + 100 for x in range(24)]
+        assert elapsed < 0.100, f"no overlap: {elapsed:.3f}s for 24x5ms waits"
+
+    def test_close_from_payload_raises_instead_of_deadlocking(self):
+        # A payload closing its own backend would block the loop thread on
+        # work only that thread can run; it must fail loudly instead.
+        from repro import AsyncBackend
+        from repro.exceptions import GridError
+        from repro.skeletons.base import Task
+
+        grid = process_grid()
+        with AsyncBackend(topology=grid) as backend:
+            handle = backend.dispatch(
+                Task(task_id=0, payload=1), grid.node_ids[0],
+                lambda t: backend.close(),
+                master_node=grid.node_ids[0], at_time=backend.now,
+            )
+            with pytest.raises(GridError, match="event-loop thread"):
+                handle.outcome()
+            # The backend survives the rejected close and keeps working.
+            ok = backend.dispatch(
+                Task(task_id=1, payload=2), grid.node_ids[0],
+                lambda t: t.payload * 2,
+                master_node=grid.node_ids[0], at_time=backend.now,
+            ).outcome()
+            assert ok.output == 4
+
+    def test_concurrent_close_is_safe(self):
+        # An explicit close racing a StreamingRun finalizer (GC thread)
+        # must stop the event loop exactly once, with neither closer
+        # raising nor hanging — including with payloads still in flight
+        # (a finer-grained close could stop the loop under a closer still
+        # waiting for a queue to drain).
+        from repro import AsyncBackend
+        from repro.skeletons.base import Task
+
+        grid = process_grid()
+        backend = AsyncBackend(topology=grid)
+        handles = [
+            backend.dispatch(
+                Task(task_id=i, payload=i),
+                grid.node_ids[i % len(grid.node_ids)],
+                lambda t: _async_fetchlike(t.payload),
+                master_node=grid.node_ids[0], at_time=backend.now,
+            )
+            for i in range(8)
+        ]
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def racer():
+            barrier.wait()
+            try:
+                backend.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads), "a closer hung"
+        assert errors == []
+        # close() waits for queued work: every dispatch resolved.
+        assert [h.outcome().output for h in handles] == \
+            [i + 100 for i in range(8)]
+
+    def test_slowdown_does_not_stall_other_queues(self):
+        # An injected slowdown must degrade only its node: on the asyncio
+        # backend the delay is awaited, not slept, so other node queues on
+        # the shared loop keep draining while the slowed node waits.
+        from repro import AsyncBackend
+        from repro.skeletons.base import Task
+
+        grid = process_grid()
+        slowed, fast = grid.node_ids[0], grid.node_ids[1]
+        inner = AsyncBackend(topology=grid)
+        backend = FaultInjectingBackend(inner, slowdowns={slowed: 0.3})
+        with backend:
+            slow_handle = backend.dispatch(
+                Task(task_id=0, payload=1), slowed,
+                lambda t: _async_fetchlike(t.payload),
+                master_node=fast, at_time=backend.now,
+            )
+            start = time.perf_counter()
+            fast_outcome = backend.dispatch(
+                Task(task_id=1, payload=2), fast,
+                lambda t: _async_fetchlike(t.payload),
+                master_node=fast, at_time=backend.now,
+            ).outcome()
+            fast_elapsed = time.perf_counter() - start
+            slow_outcome = slow_handle.outcome()
+        assert fast_outcome.output == 102
+        assert slow_outcome.output == 101
+        assert fast_elapsed < 0.15, (
+            f"unslowed node took {fast_elapsed:.3f}s: the slowdown sleeve "
+            "stalled the shared event loop"
+        )
+        assert slow_outcome.duration >= 0.3
+
+    def test_fault_injected_asyncio_run_completes(self):
+        grid = process_grid()
+        victim = grid.node_ids[1]
+        from repro import AsyncBackend
+
+        inner = AsyncBackend(topology=grid)
+        backend = FaultInjectingBackend(
+            inner, failures=PermanentFailure.at(inner.now + 0.02, victim))
+        with backend:
+            result = Grasp(skeleton=TaskFarm(worker=_async_fetchlike),
+                           grid=grid, config=GraspConfig.adaptive(),
+                           backend=backend).run(inputs=range(32))
+        assert result.outputs == [x + 100 for x in range(32)]
+        assert result.total_tasks == 32
 
 
 def _slow_square(x):

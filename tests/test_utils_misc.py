@@ -115,3 +115,70 @@ class TestValidation:
         assert check_type("s", "x", (int, str)) == "s"
         with pytest.raises(ConfigurationError, match="int"):
             check_type("s", "x", int)
+
+
+class TestResolveAwaitable:
+    def test_plain_values_pass_through(self):
+        from repro.utils.awaitables import resolve_awaitable
+
+        marker = object()
+        assert resolve_awaitable(marker) is marker
+        assert resolve_awaitable(None) is None
+        assert resolve_awaitable([1, 2]) == [1, 2]
+
+    def test_coroutine_runs_to_completion(self):
+        import asyncio
+
+        from repro.utils.awaitables import resolve_awaitable
+
+        async def work():
+            await asyncio.sleep(0)
+            return 42
+
+        assert resolve_awaitable(work()) == 42
+
+    def test_exceptions_propagate(self):
+        from repro.utils.awaitables import resolve_awaitable
+
+        async def boom():
+            raise ValueError("payload exploded")
+
+        with pytest.raises(ValueError, match="payload exploded"):
+            resolve_awaitable(boom())
+
+    def test_private_loop_is_reused_across_calls(self):
+        # The sync-context path caches one loop per thread; repeated
+        # payload resolutions must not build/tear down loops per call.
+        import asyncio
+
+        from repro.utils.awaitables import resolve_awaitable
+
+        seen_loops = set()
+
+        async def probe():
+            seen_loops.add(id(asyncio.get_running_loop()))
+            return len(seen_loops)
+
+        for _ in range(3):
+            resolve_awaitable(probe())
+        assert len(seen_loops) == 1
+
+    def test_resolves_from_inside_a_running_loop(self):
+        # A sync helper invoked as an asyncio-backend payload sits inside a
+        # running loop; resolution must hop to a throwaway thread, not
+        # crash on the nested asyncio.run.
+        import asyncio
+
+        from repro.utils.awaitables import resolve_awaitable
+
+        async def inner():
+            await asyncio.sleep(0)
+            return "nested"
+
+        def sync_helper():
+            return resolve_awaitable(inner())
+
+        async def driver():
+            return sync_helper()
+
+        assert asyncio.run(driver()) == "nested"

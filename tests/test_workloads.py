@@ -205,3 +205,79 @@ class TestParameterSweep:
     def test_invalid_base_cost(self):
         with pytest.raises(WorkloadError):
             ParameterSweep(axes={"x": [1]}, base_cost=0.0)
+
+
+class TestIOBoundWorkload:
+    def test_items_deterministic(self):
+        from repro.workloads.synthetic import IOBoundWorkload
+
+        a = IOBoundWorkload(requests=32, mean_latency=0.01, seed=4).items()
+        b = IOBoundWorkload(requests=32, mean_latency=0.01, seed=4).items()
+        assert a == b
+        assert len(a) == 32
+        assert all(item.latency > 0 for item in a)
+        # Latencies are clipped into a sane band around the mean.
+        assert all(0.001 <= item.latency <= 0.1 for item in a)
+
+    def test_zero_cv_gives_uniform_latencies(self):
+        from repro.workloads.synthetic import IOBoundWorkload
+
+        items = IOBoundWorkload(requests=8, mean_latency=0.02,
+                                latency_cv=0.0).items()
+        assert all(item.latency == pytest.approx(0.02) for item in items)
+
+    def test_spec_validation(self):
+        from repro.workloads.synthetic import IOBoundSpec
+
+        with pytest.raises(WorkloadError):
+            IOBoundSpec(requests=0)
+        with pytest.raises(WorkloadError):
+            IOBoundSpec(mean_latency=0.0)
+        with pytest.raises(WorkloadError):
+            IOBoundSpec(latency_cv=-0.1)
+        with pytest.raises(WorkloadError):
+            IOBoundSpec(response_bytes=0)
+
+    def test_expected_outputs_match_workers(self):
+        import asyncio
+
+        from repro.workloads.synthetic import (
+            IOBoundWorkload,
+            blocking_fetch_worker,
+            fetch_worker,
+        )
+
+        wl = IOBoundWorkload(requests=6, mean_latency=0.001, seed=1)
+        expected = wl.expected_outputs()
+        assert [blocking_fetch_worker(i) for i in wl.items()] == expected
+        assert [asyncio.run(fetch_worker(i)) for i in wl.items()] == expected
+        assert wl.total_latency() == pytest.approx(
+            sum(i.latency for i in wl.items()))
+
+    def test_farm_is_fully_picklable(self):
+        # The I/O farm explicitly supports the process backend, so the
+        # worker AND every cost/size model must pickle (a lambda in any of
+        # them only surfaces as a worker-side crash at dispatch time).
+        import pickle
+
+        from repro.workloads.synthetic import IOBoundWorkload
+
+        farm = IOBoundWorkload(requests=4, mean_latency=0.001).farm()
+        for attr in ("worker", "cost_model", "input_size_model",
+                     "output_size_model"):
+            pickle.dumps(getattr(farm, attr))
+
+    def test_run_sequential_baseline(self):
+        from repro.workloads.synthetic import IOBoundWorkload
+
+        wl = IOBoundWorkload(requests=5, mean_latency=0.002, seed=2)
+        outputs, elapsed = wl.run_sequential()
+        assert outputs == wl.expected_outputs()
+        assert elapsed >= wl.total_latency() * 0.5
+
+    def test_describe(self):
+        from repro.workloads.synthetic import IOBoundWorkload
+
+        info = IOBoundWorkload(requests=16, mean_latency=0.01).describe()
+        assert info["requests"] == 16
+        assert info["total_latency"] > 0
