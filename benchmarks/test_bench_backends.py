@@ -4,7 +4,9 @@ The virtual-time experiments (E1–E12) measure *simulated* grid behaviour;
 this module measures the real thing: the same Monte-Carlo π farm executed
 sequentially, on the :class:`~repro.backends.threaded.ThreadBackend` and on
 the :class:`~repro.backends.process.ProcessBackend`, plus an HTTP-like
-I/O-bound fan on the :class:`~repro.backends.async_.AsyncBackend`,
+I/O-bound fan on the :class:`~repro.backends.async_.AsyncBackend` and the
+π farm again on a localhost 2-worker cluster
+(:class:`~repro.cluster.backend.ClusterBackend`, EB-cluster below),
 comparing wall-clock times and verifying the outputs are identical.
 
 Three regimes are measured:
@@ -306,6 +308,83 @@ def test_eb_benchmark_asyncio_backend(benchmark, bench_rounds, io_comparison):
     workload = io_comparison["workload"]
     benchmark.pedantic(lambda: run_io_on_backend(workload, "asyncio"),
                        rounds=bench_rounds, iterations=1)
+
+
+# --------------------------------------------------------------------------
+# EB-cluster — the distributed backend on a localhost LocalCluster vs the
+# process backend on the same Monte-Carlo workload and worker count.  Both
+# escape the GIL with one serial worker per node; the cluster pays TCP
+# framing instead of ProcessPoolExecutor IPC.  CI hosts vary wildly, so the
+# acceptance bound is a generous overhead factor, not a speedup.
+
+CLUSTER_WORKERS = 2
+CLUSTER_BATCHES = 12 if MANY_CORES else 8
+CLUSTER_SAMPLES = 400_000 if MANY_CORES else 100_000
+
+#: Generous acceptance factor: a localhost cluster must stay in the same
+#: league as the process backend (TCP on loopback is cheap), but CI noise
+#: and worker-boot cost forbid anything tight.
+CLUSTER_OVERHEAD_FACTOR = 6.0
+CLUSTER_OVERHEAD_SLACK_S = 5.0
+
+
+@pytest.fixture(scope="module")
+def cluster_comparison():
+    workload = make_workload(CLUSTER_BATCHES, CLUSTER_SAMPLES)
+    sequential_pi, sequential_s = run_sequential(workload)
+    process_pi, process_s, _ = run_on_backend(
+        workload, "process", CLUSTER_WORKERS, chunk_size=PROC_CHUNK)
+    cluster_pi, cluster_s, cluster_result = run_on_backend(
+        workload, "cluster", CLUSTER_WORKERS, chunk_size=PROC_CHUNK)
+
+    table = ExperimentTable(
+        title="EB-cluster — localhost LocalCluster vs process backend, "
+              "Monte-Carlo π farm",
+        columns=["mode", "workers", "wall_seconds", "speedup", "pi_estimate"],
+        notes=(f"{CLUSTER_BATCHES}x{CLUSTER_SAMPLES} samples, chunk="
+               f"{PROC_CHUNK}; speedup = sequential wall time / backend "
+               "wall time (cluster time includes worker-agent boot)"),
+    )
+    table.add_row({"mode": "sequential", "workers": 1,
+                   "wall_seconds": sequential_s, "speedup": 1.0,
+                   "pi_estimate": sequential_pi})
+    table.add_row({"mode": "process-backend", "workers": CLUSTER_WORKERS,
+                   "wall_seconds": process_s,
+                   "speedup": sequential_s / process_s if process_s else float("inf"),
+                   "pi_estimate": process_pi})
+    table.add_row({"mode": "cluster-backend", "workers": CLUSTER_WORKERS,
+                   "wall_seconds": cluster_s,
+                   "speedup": sequential_s / cluster_s if cluster_s else float("inf"),
+                   "pi_estimate": cluster_pi})
+    publish_block(format_table(table))
+    return {
+        "sequential": (sequential_pi, sequential_s),
+        "process": (process_pi, process_s),
+        "cluster": (cluster_pi, cluster_s),
+        "cluster_result": cluster_result,
+    }
+
+
+def test_eb_cluster_outputs_identical(cluster_comparison):
+    sequential_pi, _ = cluster_comparison["sequential"]
+    process_pi, _ = cluster_comparison["process"]
+    cluster_pi, _ = cluster_comparison["cluster"]
+    # Same batches, same per-batch seeds → bit-identical estimates across
+    # machines and transports.
+    assert cluster_pi == sequential_pi
+    assert cluster_pi == process_pi
+    assert cluster_comparison["cluster_result"].total_tasks == CLUSTER_BATCHES
+
+
+def test_eb_cluster_overhead_is_bounded(cluster_comparison):
+    """Acceptance: loopback TCP stays within a generous factor of local IPC."""
+    _, process_s = cluster_comparison["process"]
+    _, cluster_s = cluster_comparison["cluster"]
+    bound = CLUSTER_OVERHEAD_FACTOR * process_s + CLUSTER_OVERHEAD_SLACK_S
+    assert cluster_s < bound, (
+        f"cluster backend took {cluster_s:.2f}s vs {process_s:.2f}s on the "
+        f"process backend (bound {bound:.2f}s)"
+    )
 
 
 # --------------------------------------------------------------------------

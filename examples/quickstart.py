@@ -20,7 +20,11 @@ against a chosen execution backend:
   which is why ``square`` below is a top-level function;
 * ``"asyncio"`` — one serial virtual queue per node on a shared event
   loop, for I/O-bound coroutine workers (``async def``) whose waits
-  overlap instead of occupying threads.
+  overlap instead of occupying threads;
+* ``"cluster"`` — one TCP worker-agent subprocess per node (a localhost
+  :class:`repro.cluster.LocalCluster`).  The same agents can run on other
+  machines (``python -m repro.cluster.worker --connect HOST:PORT --node
+  NAME``) — see the README's "Running on multiple machines".
 
 No change to the skeleton, the configuration or the inputs.  Three extra
 patterns appear at the end:
@@ -142,6 +146,25 @@ def run_streaming() -> None:
           f"makespan {run.result.makespan:.2f} virtual seconds ---")
 
 
+def run_local_cluster() -> None:
+    # The distributed backend, demoed on one machine: a LocalCluster spawns
+    # one worker-agent subprocess per node, the farm runs over real TCP,
+    # and kill -9 on any agent mid-run would be routed around (see
+    # tests/test_cluster.py for the murder scene).  Agents import payloads
+    # by reference, so `square` must live in an importable module —
+    # LocalCluster ships this script's path to the workers automatically.
+    from repro.cluster import LocalCluster
+
+    with LocalCluster(workers=4) as cluster:
+        backend = cluster.backend()
+        result = Grasp(skeleton=build_farm(), grid=backend.topology,
+                       config=GraspConfig.adaptive(),
+                       backend=backend).run(inputs=range(100))
+        report(result, backend.topology, "cluster (4 localhost TCP agents)",
+               "wall-clock")
+        backend.close()
+
+
 def run_with_fault_injection() -> None:
     # Kill one node 20 ms into the run: tasks caught on it are lost and
     # re-enqueued, the chosen set shrinks, and the job still completes.
@@ -165,6 +188,7 @@ def main() -> None:
     run_on("thread")
     run_on("process", chunk_size=4)
     run_asyncio_io_bound()
+    run_local_cluster()
     run_streaming()
     run_with_fault_injection()
 

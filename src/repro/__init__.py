@@ -24,6 +24,11 @@ Grids"* (González-Vélez & Cole, PPoPP 2007).  The package provides:
   I/O waits overlapped across per-node queues) and the
   :class:`~repro.backends.faults.FaultInjectingBackend` decorator that
   drives node-loss/slowdown schedules against any of them.
+* :mod:`repro.cluster` — the distributed layer: TCP worker agents
+  (``python -m repro.cluster.worker``), a coordinator, and the
+  :class:`~repro.cluster.backend.ClusterBackend` that runs the adaptive
+  loop on a real multi-host grid (``backend="cluster"`` spawns a
+  localhost :class:`~repro.cluster.local.LocalCluster`).
 * :mod:`repro.core` — the GRASP methodology itself: the four phases
   (programming, compilation, calibration, execution), Algorithm 1
   (calibration / fittest-node selection) and Algorithm 2 (threshold-driven
@@ -53,10 +58,12 @@ from repro._version import __version__
 from repro.exceptions import (
     GraspError,
     CalibrationError,
+    ClusterError,
     CompilationError,
     ConfigurationError,
     ExecutionError,
     GridError,
+    ProtocolError,
     SchedulingError,
     SkeletonError,
 )
@@ -90,6 +97,7 @@ from repro.core import (
     RankingMode,
     StreamingRun,
 )
+from repro.cluster import ClusterBackend, ClusterCoordinator, LocalCluster
 from repro.baselines import StaticFarm, StaticPipeline
 from repro.monitor import PerformanceThreshold, ResourceMonitor
 
@@ -98,10 +106,12 @@ __all__ = [
     # exceptions
     "GraspError",
     "CalibrationError",
+    "ClusterError",
     "CompilationError",
     "ConfigurationError",
     "ExecutionError",
     "GridError",
+    "ProtocolError",
     "SchedulingError",
     "SkeletonError",
     # grid
@@ -118,6 +128,10 @@ __all__ = [
     "ProcessBackend",
     "AsyncBackend",
     "FaultInjectingBackend",
+    # cluster
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "LocalCluster",
     # skeletons
     "TaskFarm",
     "Pipeline",

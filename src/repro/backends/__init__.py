@@ -48,7 +48,11 @@ __all__ = [
 ]
 
 #: Names accepted by string-based backend selection (compile_program et al).
-BACKEND_NAMES = frozenset({"simulated", "thread", "process", "asyncio"})
+#: "cluster" resolves to repro.cluster.ClusterBackend, which lives outside
+#: this package (the cluster subsystem layers on top of it, not the other
+#: way around) — the compilation phase routes the name.
+BACKEND_NAMES = frozenset({"simulated", "thread", "process", "asyncio",
+                           "cluster"})
 
 
 def as_backend(

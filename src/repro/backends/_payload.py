@@ -1,0 +1,194 @@
+"""The picklable-payload contract, shared by every out-of-process worker.
+
+:class:`~repro.backends.process.ProcessBackend` workers and the TCP worker
+agents of :mod:`repro.cluster` execute the same three payload shapes — a
+single farm task, a chunk of tasks, one pipeline stage — on the far side of
+a serialisation boundary, and their parents anchor the child-measured
+compute durations at result-receipt time in exactly the same way.  This
+module holds both halves once so the two substrates cannot drift:
+
+* **Child side** (:func:`run_payload`, :func:`run_chunk`, :func:`run_stage`)
+  — module-level functions (picklable by reference) that execute a payload
+  and measure its pure compute time with a local ``perf_counter``.
+* **Parent side** (:func:`anchored_outcome`, :func:`anchored_chunk`) — turn
+  ``(output, duration)`` pairs into
+  :class:`~repro.backends.base.DispatchOutcome` records whose compute
+  interval is anchored at the parent's receipt time.  Child clocks are
+  never compared with the parent's: only the measured *duration* crosses
+  the boundary, so ``DispatchOutcome.duration`` excludes IPC/network time
+  while ``finished - submitted`` includes it — the split the adaptive
+  monitor needs (unit times reflect node compute speed, makespans reflect
+  what the user waited for).
+
+The contract itself: payloads, outputs, ``execute_fn`` and pipeline stage
+functions must be picklable — module-level functions, ``functools.partial``
+over them, or callable class instances; not lambdas or closures.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.backends.base import ChunkOutcome, DispatchHandle, DispatchOutcome
+from repro.skeletons.base import Task
+from repro.utils.awaitables import resolve_awaitable
+
+__all__ = [
+    "run_payload",
+    "run_chunk",
+    "run_stage",
+    "anchored_outcome",
+    "anchored_chunk",
+    "AnchoredHandle",
+    "AnchoredChunkHandle",
+]
+
+
+# ---------------------------------------------------------------- child side
+# Everything here runs inside a worker (process or remote agent) and must
+# stay module-level so it pickles by reference.
+
+def run_payload(execute_fn: Optional[Callable[[Task], Any]], task: Task,
+                collect: bool) -> Tuple[Any, float]:
+    """Execute one task in the worker; return ``(output, compute seconds)``."""
+    started = _time.perf_counter()
+    output = (resolve_awaitable(execute_fn(task))
+              if execute_fn is not None else None)
+    duration = _time.perf_counter() - started
+    return (output if collect else None), duration
+
+
+def run_chunk(execute_fn: Optional[Callable[[Task], Any]],
+              tasks: Sequence[Task], collect: bool) -> List[Tuple[Any, float]]:
+    """Execute a chunk of tasks back-to-back in the worker."""
+    return [run_payload(execute_fn, task, collect) for task in tasks]
+
+
+def run_stage(cost_fn: Callable[[Any], float], apply_fn: Callable[[Any], Any],
+              value: Any) -> Tuple[Any, float, float]:
+    """Execute one pipeline stage in the worker; return ``(output, duration, cost)``."""
+    cost = float(cost_fn(value))
+    started = _time.perf_counter()
+    output = resolve_awaitable(apply_fn(value))
+    duration = _time.perf_counter() - started
+    return output, duration, cost
+
+
+# --------------------------------------------------------------- parent side
+
+def anchored_outcome(node_id: str, output: Any, duration: float, *,
+                     submitted: float, received: float, load: float,
+                     bandwidth: float) -> DispatchOutcome:
+    """One task's outcome with its compute interval anchored at receipt.
+
+    ``received`` is the parent-clock time the result arrived; the compute
+    interval ``[received - duration, received]`` is clamped so it never
+    starts before the dispatch was submitted.
+    """
+    started = max(submitted, received - duration)
+    return DispatchOutcome(
+        node_id=node_id, output=output, submitted=submitted,
+        exec_started=started, exec_finished=received, finished=received,
+        lost=False, load=load, bandwidth=bandwidth,
+    )
+
+
+def anchored_chunk(node_id: str, pairs: Sequence[Tuple[Any, float]], *,
+                   submitted: float, received: float, load: float,
+                   bandwidth: float) -> ChunkOutcome:
+    """A chunk's outcomes, durations stacked back-to-back before receipt.
+
+    The worker ran the chunk's tasks serially, so the chunk's total compute
+    interval is anchored at receipt and the per-task durations are stacked
+    inside it in task order.
+    """
+    total = sum(duration for _, duration in pairs)
+    cursor = max(submitted, received - total)
+    outcomes: List[DispatchOutcome] = []
+    for output, duration in pairs:
+        outcomes.append(DispatchOutcome(
+            node_id=node_id, output=output, submitted=submitted,
+            exec_started=cursor, exec_finished=cursor + duration,
+            finished=received, lost=False, load=load, bandwidth=bandwidth,
+        ))
+        cursor += duration
+    return ChunkOutcome(node_id=node_id, outcomes=tuple(outcomes),
+                        submitted=submitted, finished=received)
+
+
+class AnchoredHandle(DispatchHandle):
+    """Handle over one out-of-process future resolving to (output, duration).
+
+    Shared by the process backend and the cluster backend: receipt time is
+    captured the instant the future resolves, the outcome anchors the
+    child-measured duration at that receipt, and the backend's
+    worker-death exception(s) resolve as a *lost* outcome via the
+    backend's ``_lost_outcome`` hook.
+    """
+
+    #: Exceptions meaning "the worker died holding this task" (subclasses
+    #: set this to BrokenProcessPool, WorkerLost, ...).
+    lost_exceptions: Tuple[Type[BaseException], ...] = ()
+    #: Bandwidth reported in the outcome (substrate-specific constant).
+    bandwidth: float = 0.0
+
+    def __init__(self, backend, future: Future, *, node_id: str,
+                 submitted: float):
+        self._backend = backend
+        self._future = future
+        self._received: Optional[float] = None
+        self.node_id = node_id
+        self.submitted = submitted
+        self.master_free_after = submitted
+        future.add_done_callback(self._mark_received)
+
+    def _mark_received(self, _future: Future) -> None:
+        self._received = self._backend.now
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def _receipt(self) -> float:
+        return self._received if self._received is not None \
+            else self._backend.now
+
+    def outcome(self) -> DispatchOutcome:
+        try:
+            output, duration = self._future.result()
+        except self.lost_exceptions:
+            return self._backend._lost_outcome(self.node_id, self.submitted)
+        return anchored_outcome(
+            self.node_id, output, duration, submitted=self.submitted,
+            received=self._receipt(),
+            load=self._backend.observe_load(self.node_id),
+            bandwidth=self.bandwidth,
+        )
+
+
+class AnchoredChunkHandle(AnchoredHandle):
+    """Chunked sibling of :class:`AnchoredHandle` (k tasks, one round-trip)."""
+
+    def __init__(self, backend, future: Future, *, node_id: str,
+                 tasks: Sequence[Task], submitted: float):
+        super().__init__(backend, future, node_id=node_id,
+                         submitted=submitted)
+        self._tasks = list(tasks)
+
+    def outcome(self) -> ChunkOutcome:
+        backend = self._backend
+        try:
+            pairs = self._future.result()
+        except self.lost_exceptions:
+            lost = tuple(backend._lost_outcome(self.node_id, self.submitted)
+                         for _ in self._tasks)
+            return ChunkOutcome(node_id=self.node_id, outcomes=lost,
+                                submitted=self.submitted,
+                                finished=backend.now)
+        return anchored_chunk(
+            self.node_id, pairs, submitted=self.submitted,
+            received=self._receipt(),
+            load=backend.observe_load(self.node_id),
+            bandwidth=self.bandwidth,
+        )

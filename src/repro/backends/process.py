@@ -39,7 +39,6 @@ import multiprocessing
 import os
 import sys
 import threading
-import time as _time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
@@ -48,6 +47,13 @@ from repro.backends._concurrent import (
     _INPROC_BANDWIDTH,
     LocalConcurrentBackend,
     _FutureHandle,
+)
+from repro.backends._payload import (
+    AnchoredChunkHandle,
+    AnchoredHandle,
+    run_chunk,
+    run_payload,
+    run_stage,
 )
 from repro.backends.base import (
     ChainOutcome,
@@ -60,7 +66,6 @@ from repro.backends.base import (
 from repro.exceptions import GridError
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Task
-from repro.utils.awaitables import resolve_awaitable
 
 __all__ = ["ProcessBackend"]
 
@@ -131,31 +136,9 @@ def _mp_context(start_method: Optional[str]):
 
 
 # ---------------------------------------------------------------- child side
-# Everything below runs inside a worker process and must stay module-level
-# (picklable by reference).
-
-def _run_payload(execute_fn, task: Task, collect: bool):
-    """Execute one task in the worker; return (output, compute seconds)."""
-    started = _time.perf_counter()
-    output = (resolve_awaitable(execute_fn(task))
-              if execute_fn is not None else None)
-    duration = _time.perf_counter() - started
-    return (output if collect else None), duration
-
-
-def _run_chunk(execute_fn, tasks: Sequence[Task], collect: bool):
-    """Execute a chunk of tasks back-to-back in the worker."""
-    return [_run_payload(execute_fn, task, collect) for task in tasks]
-
-
-def _run_stage(cost_fn, apply_fn, value):
-    """Execute one pipeline stage in the worker."""
-    cost = float(cost_fn(value))
-    started = _time.perf_counter()
-    output = resolve_awaitable(apply_fn(value))
-    duration = _time.perf_counter() - started
-    return output, duration, cost
-
+# The task/chunk/stage payload runners live in repro.backends._payload
+# (module-level, picklable by reference) and are shared with the cluster
+# worker agents, so the two out-of-process substrates cannot drift.
 
 def _warmup():
     """No-op shipped at construction to fork the worker eagerly."""
@@ -179,89 +162,18 @@ def _consume_warmup(future: Future) -> None:
 
 
 # --------------------------------------------------------------- parent side
-class _ProcessHandle(DispatchHandle):
+class _ProcessHandle(AnchoredHandle):
     """Handle over one single-task worker-process future."""
 
-    def __init__(self, backend: "ProcessBackend", future: Future, *,
-                 node_id: str, submitted: float):
-        self._backend = backend
-        self._future = future
-        self._received: Optional[float] = None
-        self.node_id = node_id
-        self.submitted = submitted
-        self.master_free_after = submitted
-        future.add_done_callback(self._mark_received)
-
-    def _mark_received(self, _future: Future) -> None:
-        self._received = self._backend.now
-
-    def done(self) -> bool:
-        return self._future.done()
-
-    def outcome(self) -> DispatchOutcome:
-        try:
-            output, duration = self._future.result()
-        except BrokenProcessPool:
-            return self._backend._lost_outcome(self.node_id, self.submitted)
-        finished = self._received if self._received is not None else self._backend.now
-        started = max(self.submitted, finished - duration)
-        return DispatchOutcome(
-            node_id=self.node_id, output=output, submitted=self.submitted,
-            exec_started=started, exec_finished=finished, finished=finished,
-            lost=False, load=self._backend.observe_load(self.node_id),
-            bandwidth=_INPROC_BANDWIDTH,
-        )
+    lost_exceptions = (BrokenProcessPool,)
+    bandwidth = _INPROC_BANDWIDTH
 
 
-class _ProcessChunkHandle(DispatchHandle):
+class _ProcessChunkHandle(AnchoredChunkHandle):
     """Handle over one chunked worker-process future (k tasks, one IPC)."""
 
-    def __init__(self, backend: "ProcessBackend", future: Future, *,
-                 node_id: str, tasks: Sequence[Task], submitted: float):
-        self._backend = backend
-        self._future = future
-        self._tasks = list(tasks)
-        self._received: Optional[float] = None
-        self.node_id = node_id
-        self.submitted = submitted
-        self.master_free_after = submitted
-        future.add_done_callback(self._mark_received)
-
-    def _mark_received(self, _future: Future) -> None:
-        self._received = self._backend.now
-
-    def done(self) -> bool:
-        return self._future.done()
-
-    def outcome(self) -> ChunkOutcome:
-        backend = self._backend
-        try:
-            pairs = self._future.result()
-        except BrokenProcessPool:
-            lost = tuple(
-                backend._lost_outcome(self.node_id, self.submitted)
-                for _ in self._tasks
-            )
-            now = backend.now
-            return ChunkOutcome(node_id=self.node_id, outcomes=lost,
-                                submitted=self.submitted, finished=now)
-        finished = self._received if self._received is not None else backend.now
-        total = sum(duration for _, duration in pairs)
-        # Anchor the chunk's compute interval at receipt and stack the
-        # per-task durations inside it (the worker ran them back-to-back).
-        cursor = max(self.submitted, finished - total)
-        load = backend.observe_load(self.node_id)
-        outcomes: List[DispatchOutcome] = []
-        for output, duration in pairs:
-            outcomes.append(DispatchOutcome(
-                node_id=self.node_id, output=output, submitted=self.submitted,
-                exec_started=cursor, exec_finished=cursor + duration,
-                finished=finished, lost=False, load=load,
-                bandwidth=_INPROC_BANDWIDTH,
-            ))
-            cursor += duration
-        return ChunkOutcome(node_id=self.node_id, outcomes=tuple(outcomes),
-                            submitted=self.submitted, finished=finished)
+    lost_exceptions = (BrokenProcessPool,)
+    bandwidth = _INPROC_BANDWIDTH
 
 
 class ProcessBackend(LocalConcurrentBackend):
@@ -310,7 +222,7 @@ class ProcessBackend(LocalConcurrentBackend):
         self._check_node(node_id)
         submitted = self.now
         try:
-            future = self._submit(node_id, _run_payload, execute_fn, task,
+            future = self._submit(node_id, run_payload, execute_fn, task,
                                   collect_output)
         except BrokenProcessPool:
             # The pool broke between the previous dispatch and this one:
@@ -335,7 +247,7 @@ class ProcessBackend(LocalConcurrentBackend):
         self._check_node(node_id)
         submitted = self.now
         try:
-            future = self._submit(node_id, _run_chunk, execute_fn,
+            future = self._submit(node_id, run_chunk, execute_fn,
                                   list(tasks), collect_output)
         except BrokenProcessPool:
             outcome = self._lost_outcome(node_id, submitted)
@@ -365,7 +277,7 @@ class ProcessBackend(LocalConcurrentBackend):
         first = stages[0]
         node0 = first.pick(self.node_free_at)
         self._check_node(node0)
-        future0 = self._submit(node0, _run_stage, first.cost, first.apply,
+        future0 = self._submit(node0, run_stage, first.cost, first.apply,
                                task.payload)
         result: Future = Future()
         driver = threading.Thread(
@@ -391,7 +303,7 @@ class ProcessBackend(LocalConcurrentBackend):
                 node = stage.pick(self.node_free_at)
                 self._check_node(node)
                 current_node = node
-                future = self._submit(node, _run_stage, stage.cost,
+                future = self._submit(node, run_stage, stage.cost,
                                       stage.apply, value)
                 value, duration, cost = future.result()
                 records.append((node, duration, cost, self.now - duration))

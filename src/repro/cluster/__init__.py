@@ -1,0 +1,59 @@
+"""The distributed cluster subsystem: GRASP on a real multi-host grid.
+
+The paper's parallel environment is a metacomputer — many heterogeneous,
+non-dedicated machines — yet the other wall-clock backends all live inside
+one OS process.  This package is the missing layer:
+
+* :mod:`repro.cluster.protocol` — the length-prefixed, versioned wire
+  protocol (HELLO / DISPATCH / RESULT / HEARTBEAT / GOODBYE frames).
+* :mod:`repro.cluster.worker` — the worker agent
+  (``python -m repro.cluster.worker --connect HOST:PORT --node NAME``):
+  one grid node on one host, executing tasks serially and streaming
+  results back.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`:
+  registration, future-based dispatch, heartbeat/disconnect death
+  detection, rejoin.
+* :mod:`repro.cluster.backend` — :class:`ClusterBackend`, the
+  :class:`~repro.backends.base.ExecutionBackend` the adaptive runtime
+  drives (``backend="cluster"`` in ``compile_program``/``Grasp``).
+* :mod:`repro.cluster.local` — :class:`LocalCluster`: coordinator plus
+  localhost worker subprocesses, for tests/examples/benchmarks.
+
+**Security**: the wire protocol carries pickles — running a worker or a
+coordinator on an untrusted network is remote code execution by design.
+Trusted networks only.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.coordinator import ClusterCoordinator, WorkerInfo, WorkerLost
+from repro.cluster.local import LocalCluster
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    Dispatch,
+    FrameDecoder,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Result,
+    Welcome,
+    encode,
+)
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "LocalCluster",
+    "WorkerInfo",
+    "WorkerLost",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "encode",
+    "Hello",
+    "Welcome",
+    "Dispatch",
+    "Result",
+    "Heartbeat",
+    "Goodbye",
+]

@@ -1,0 +1,482 @@
+"""The cluster coordinator: registration, dispatch and death detection.
+
+:class:`ClusterCoordinator` is the master-side endpoint of the cluster
+subsystem.  It listens on a TCP port, accepts worker-agent connections
+(:mod:`repro.cluster.worker`), registers each agent under its node id on
+:class:`~repro.cluster.protocol.Hello`, and exposes a future-based
+``submit`` primitive the :class:`~repro.cluster.backend.ClusterBackend`
+builds its dispatch paths on.
+
+**Liveness.**  A worker is *live* from its registration until its
+connection drops, it says :class:`~repro.cluster.protocol.Goodbye`, or its
+heartbeats go quiet for longer than ``heartbeat_timeout``.  Death fails
+every pending request of that worker with :class:`WorkerLost` — the backend
+converts those into *lost* task outcomes, which is exactly the signal the
+adaptive engine's recalibrate/re-rank path needs to route traffic off the
+dead machine.  Because a dead connection's reader stops and its pending map
+is cleared atomically with the death mark, **no result is ever accepted
+after a worker is declared dead** — a late frame resolves nothing.
+
+**Rejoin.**  A worker that reconnects under the same node id (a restarted
+agent on the same machine, or a replacement host adopting the name) simply
+re-registers and re-enters the live set; the availability queries pick it
+up on the next scheduling decision.  A still-live duplicate of the same
+name is superseded: the old connection is declared dead first.
+
+Security: the wire protocol carries pickles (see
+:mod:`repro.cluster.protocol`) — bind the coordinator to trusted networks
+only.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time as _time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    Dispatch,
+    FrameDecoder,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Result,
+    Welcome,
+    encode,
+)
+from repro.exceptions import ClusterError, ProtocolError
+
+__all__ = ["ClusterCoordinator", "WorkerInfo", "WorkerLost"]
+
+_RECV_BYTES = 1 << 16
+
+
+class WorkerLost(ClusterError):
+    """A dispatch could not complete because its worker agent is gone."""
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """Node descriptor of one registered worker agent."""
+
+    node_id: str
+    host: str
+    pid: int
+    cpus: int
+    connected_at: float
+
+
+class _WorkerConn:
+    """One worker agent's TCP connection and in-flight request table."""
+
+    def __init__(self, sock: socket.socket, peer: Tuple[str, int]):
+        self.sock = sock
+        self.peer = peer
+        self.node_id: Optional[str] = None
+        self.info: Optional[WorkerInfo] = None
+        self.decoder = FrameDecoder()
+        self.send_lock = threading.Lock()
+        #: request_id -> Future, guarded by the coordinator lock.
+        self.pending: Dict[int, Future] = {}
+        self.last_beat = _time.monotonic()
+        self.load = 0.0
+        self.alive = True
+
+    def send(self, message) -> None:
+        self.send_bytes(encode(message))
+
+    def send_bytes(self, payload: bytes) -> None:
+        with self.send_lock:
+            self.sock.sendall(payload)
+
+    def try_send(self, message, timeout: float) -> None:
+        """Best-effort bounded send (shutdown paths must never block
+        forever behind a stalled peer holding the send lock)."""
+        if not self.send_lock.acquire(timeout=timeout):
+            return
+        try:
+            self.sock.settimeout(timeout)
+            self.sock.sendall(encode(message))
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            self.send_lock.release()
+
+
+class ClusterCoordinator:
+    """TCP endpoint mapping grid node ids onto live worker agents.
+
+    Parameters
+    ----------
+    host, port:
+        Listening address.  ``port=0`` (the default) picks an ephemeral
+        port; read :attr:`address` afterwards.  Bind to a private interface
+        — the protocol is trusted-network-only.
+    heartbeat_timeout:
+        Seconds of heartbeat silence after which a connected-but-mute
+        worker is declared dead.  Socket-level disconnects (including a
+        SIGKILLed worker's) are detected immediately, independent of this.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_timeout: float = 10.0):
+        if heartbeat_timeout <= 0:
+            raise ClusterError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self._lock = threading.Lock()
+        self._registered = threading.Condition(self._lock)
+        #: node_id -> live connection (dead ones are removed).
+        self._workers: Dict[str, _WorkerConn] = {}
+        #: every accepted, not-yet-dead connection — including ones still
+        #: mid-handshake, which close() must tear down too.
+        self._conns: set = set()
+        self._infos: Dict[str, WorkerInfo] = {}
+        self._request_ids = itertools.count(1)
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(128)
+        except OSError as exc:
+            self._listener.close()
+            raise ClusterError(
+                f"cannot listen on {host}:{port} ({exc})"
+            ) from exc
+        self._host, self._port = self._listener.getsockname()[:2]
+        # A blocked accept() is not reliably woken by close() from another
+        # thread; a short timeout lets the accept loop poll the stop flag.
+        self._listener.settimeout(0.25)
+
+        self._stop = threading.Event()
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="grasp-cluster-accept", daemon=True)
+        monitor = threading.Thread(target=self._monitor_loop,
+                                   name="grasp-cluster-monitor", daemon=True)
+        self._threads += [accept, monitor]
+        accept.start()
+        monitor.start()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` workers should ``--connect`` to."""
+        return (self._host, self._port)
+
+    def live_nodes(self) -> List[str]:
+        """Node ids with a live worker agent right now."""
+        with self._lock:
+            return sorted(self._workers)
+
+    def is_live(self, node_id: str) -> bool:
+        """Whether ``node_id`` has a live worker agent right now."""
+        with self._lock:
+            return node_id in self._workers
+
+    def worker_info(self, node_id: str) -> Optional[WorkerInfo]:
+        """Descriptor of the most recent agent registered as ``node_id``."""
+        with self._lock:
+            return self._infos.get(node_id)
+
+    def node_load(self, node_id: str) -> float:
+        """Last heartbeat-reported CPU load of ``node_id`` (0.0 if unknown)."""
+        with self._lock:
+            conn = self._workers.get(node_id)
+            return conn.load if conn is not None else 0.0
+
+    def wait_for_workers(self, node_ids, timeout: float = 30.0) -> None:
+        """Block until every id in ``node_ids`` has a live agent.
+
+        Raises :class:`~repro.exceptions.ClusterError` naming the missing
+        nodes when ``timeout`` elapses first.
+        """
+        expected = set(node_ids)
+        deadline = _time.monotonic() + timeout
+        with self._registered:
+            while not expected <= set(self._workers):
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0 or self._closed:
+                    missing = sorted(expected - set(self._workers))
+                    raise ClusterError(
+                        f"workers {missing} did not register within "
+                        f"{timeout:.1f}s"
+                    )
+                self._registered.wait(remaining)
+
+    # --------------------------------------------------------------- dispatch
+    def submit(self, node_id: str, kind: str, payload: tuple) -> Future:
+        """Ship one unit of work to ``node_id``; resolve on its Result.
+
+        The future resolves to the Result's ``value``, raises the payload's
+        exception when the worker reported a failure, or raises
+        :class:`WorkerLost` when the agent dies before answering.  Raises
+        :class:`WorkerLost` synchronously when ``node_id`` has no live
+        agent, :class:`~repro.exceptions.ProtocolError` when the payload
+        violates the picklable-payload contract (the worker is *not*
+        penalised for the caller's unpicklable lambda), and
+        :class:`~repro.exceptions.ClusterError` when the coordinator is
+        closed.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster coordinator is closed")
+            conn = self._workers.get(node_id)
+            if conn is None or not conn.alive:
+                raise WorkerLost(f"node {node_id!r} has no live worker agent")
+            request_id = next(self._request_ids)
+            conn.pending[request_id] = future
+        # Encode before touching the socket: a local pickling failure is the
+        # *caller's* error and must surface as such — treating it as a send
+        # failure would kill a healthy worker (and then the next one, and
+        # the next) over a lambda.
+        try:
+            frame = encode(Dispatch(request_id=request_id, kind=kind,
+                                    payload=payload))
+        except ProtocolError:
+            with self._lock:
+                conn.pending.pop(request_id, None)
+            raise
+        try:
+            conn.send_bytes(frame)
+        except OSError as exc:
+            self._mark_dead(conn, f"send failed ({exc})")
+        return future
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Say goodbye to every worker and stop all service threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+            self._registered.notify_all()
+        self._stop.set()
+        for conn in conns:
+            # Bounded: a stalled peer (SIGSTOPped worker, full TCP buffer)
+            # must not hang close() — the monitor that would have reaped it
+            # is already stopping, and _mark_dead's shutdown() below breaks
+            # any sendall still stuck in a submit.
+            conn.try_send(Goodbye(node_id=conn.node_id or "",
+                                  reason="close"), timeout=1.0)
+            self._mark_dead(conn, "coordinator closed")
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- service loops
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, peer = self._listener.accept()
+            except socket.timeout:
+                continue    # poll the stop flag
+            except OSError:
+                return      # listener closed: shutting down
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _WorkerConn(sock, peer)
+            reader = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"grasp-cluster-reader-{peer[0]}:{peer[1]}", daemon=True,
+            )
+            with self._lock:
+                if self._closed:
+                    sock.close()
+                    return
+                self._conns.add(conn)
+                # Prune threads of long-dead connections while appending so
+                # a churn-heavy coordinator (kill/rejoin cycles) stays O(live).
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(reader)
+            reader.start()
+
+    def _reader_loop(self, conn: _WorkerConn) -> None:
+        try:
+            while True:
+                data = conn.sock.recv(_RECV_BYTES)
+                if not data:
+                    conn.decoder.at_eof()
+                    self._mark_dead(conn, "connection closed")
+                    return
+                # Any arriving byte proves a *registered* worker alive — a
+                # large Result crawling over a slow link must not let the
+                # heartbeat timer (starved behind the worker's send lock)
+                # declare a mid-transfer worker dead.  Pre-HELLO bytes do
+                # NOT count: an unregistered client drip-feeding frames
+                # must still hit the handshake deadline.
+                with self._lock:
+                    if conn.node_id is not None:
+                        conn.last_beat = _time.monotonic()
+                for message in conn.decoder.feed(data):
+                    self._handle(conn, message)
+        except ProtocolError as exc:
+            self._mark_dead(conn, f"protocol error ({exc})")
+        except OSError as exc:
+            self._mark_dead(conn, f"connection lost ({exc})")
+
+    def _monitor_loop(self) -> None:
+        interval = min(1.0, self.heartbeat_timeout / 4.0)
+        while not self._stop.wait(interval):
+            now = _time.monotonic()
+            with self._lock:
+                # Scan every accepted connection, registered or not: a
+                # client that connects and never says HELLO (crashed
+                # worker, port scanner) must not pin a reader thread and
+                # a socket for the coordinator's lifetime.
+                quiet = [conn for conn in self._conns
+                         if now - conn.last_beat > self.heartbeat_timeout]
+            for conn in quiet:
+                reason = ("heartbeat timeout" if conn.node_id is not None
+                          else "no HELLO within the heartbeat timeout")
+                self._mark_dead(conn, reason)
+
+    # ----------------------------------------------------------- frame routing
+    def _handle(self, conn: _WorkerConn, message) -> None:
+        if isinstance(message, Hello):
+            self._register(conn, message)
+        elif conn.node_id is None:
+            # Registration first: heartbeats/results from an anonymous
+            # connection would otherwise keep refreshing its liveness and
+            # pin the socket forever without it ever becoming dispatchable.
+            raise ProtocolError(
+                f"{type(message).__name__} before HELLO"
+            )
+        elif isinstance(message, Result):
+            self._resolve(conn, message)
+        elif isinstance(message, Heartbeat):
+            with self._lock:
+                conn.last_beat = _time.monotonic()
+                conn.load = float(message.load)
+        elif isinstance(message, Goodbye):
+            self._mark_dead(conn, f"worker said goodbye ({message.reason})")
+        else:
+            raise ProtocolError(
+                f"unexpected {type(message).__name__} from worker"
+            )
+
+    def _register(self, conn: _WorkerConn, hello: Hello) -> None:
+        if not hello.node_id:
+            raise ProtocolError("HELLO with an empty node id")
+        if conn.node_id is not None:
+            # A connection registers exactly once; a second HELLO would
+            # leave the first node id mapped to this conn forever (death
+            # cleanup only removes the *current* node_id's mapping).
+            raise ProtocolError(
+                f"second HELLO ({hello.node_id!r}) on a connection already "
+                f"registered as {conn.node_id!r}"
+            )
+        if hello.protocol != PROTOCOL_VERSION:
+            # The frame layer already rejects foreign frame versions; this
+            # rejects a matching frame format carrying a newer message
+            # vocabulary, at registration time where the error is clear.
+            raise ProtocolError(
+                f"worker {hello.node_id!r} speaks message protocol "
+                f"{hello.protocol}, this coordinator speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+        info = WorkerInfo(node_id=hello.node_id, host=hello.host,
+                          pid=hello.pid, cpus=max(1, hello.cpus),
+                          connected_at=_time.monotonic())
+        # Acknowledge BEFORE publishing the worker as live: once it is in
+        # ``_workers`` a racing ``submit`` may send a Dispatch, and the
+        # agent requires WELCOME to be the first frame it sees.
+        conn.node_id = hello.node_id
+        conn.info = info
+        conn.send(Welcome(node_id=hello.node_id))
+        superseded: Optional[_WorkerConn] = None
+        with self._registered:
+            closed = self._closed
+            if not closed:
+                # Check-and-swap under ONE lock hold: two simultaneous
+                # same-name HELLOs must each see the other, or the loser
+                # becomes a welcomed-but-never-serviced orphan.
+                superseded = self._workers.get(hello.node_id)
+                if superseded is conn:
+                    superseded = None
+                conn.last_beat = _time.monotonic()
+                self._workers[hello.node_id] = conn
+                self._infos[hello.node_id] = info
+                self._registered.notify_all()
+        if superseded is not None:
+            # Same-name rejoin while the old connection lingered: the
+            # latest registration wins, the stale agent is declared dead.
+            self._mark_dead(superseded, "superseded by a rejoining worker")
+        if closed:
+            # Registration raced close(): tell the agent to go away rather
+            # than leave it welcomed but never serviced (a remote worker
+            # would otherwise heartbeat into a dead coordinator forever).
+            conn.try_send(Goodbye(node_id=hello.node_id,
+                                  reason="coordinator closed"), timeout=1.0)
+            self._mark_dead(conn, "coordinator closed during registration")
+
+    def _resolve(self, conn: _WorkerConn, result: Result) -> None:
+        with self._lock:
+            future = conn.pending.pop(result.request_id, None)
+        if future is None:
+            # Unknown id: the request was already failed by a death mark, or
+            # the frame is stale.  Either way the result is not accepted.
+            return
+        if result.ok:
+            future.set_result(result.value)
+        else:
+            error = result.error
+            if not isinstance(error, BaseException):
+                error = ClusterError(f"worker payload failed: {error!r}")
+            future.set_exception(error)
+
+    # ----------------------------------------------------------------- death
+    def _mark_dead(self, conn: _WorkerConn, reason: str) -> None:
+        with self._lock:
+            if not conn.alive:
+                return
+            conn.alive = False
+            # Atomically drop the live mapping (unless a rejoin already
+            # replaced it) and fail every in-flight request: after this
+            # point no result from this incarnation can resolve anything.
+            if conn.node_id and self._workers.get(conn.node_id) is conn:
+                del self._workers[conn.node_id]
+            self._conns.discard(conn)
+            pending = list(conn.pending.values())
+            conn.pending.clear()
+        label = conn.node_id or f"{conn.peer[0]}:{conn.peer[1]}"
+        for future in pending:
+            future.set_exception(
+                WorkerLost(f"worker {label!r} died: {reason}")
+            )
+        # shutdown() before close(): close() alone does NOT wake a thread
+        # blocked in recv(), so a heartbeat-timeout death (socket open,
+        # worker mute) would otherwise strand the reader thread forever.
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass        # already disconnected
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ClusterCoordinator({self._host}:{self._port}, "
+                f"live={self.live_nodes()})")

@@ -1,0 +1,215 @@
+"""A localhost cluster: coordinator + worker subprocesses, one call.
+
+:class:`LocalCluster` exists so tests, examples and benchmarks can exercise
+the *real* distributed machinery — TCP sockets, the framed wire protocol,
+worker processes that can be ``kill -9``-ed — without provisioning actual
+machines.  It starts a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+on an ephemeral loopback port, spawns one ``python -m repro.cluster.worker``
+subprocess per node name, and waits for every agent to register.
+
+The spawned workers inherit this interpreter's ``sys.path`` (via
+``PYTHONPATH``), so by-reference pickles of functions importable here
+resolve there too; when the driving script itself is ``__main__`` its path
+is handed to the workers (``--main``) so even top-level script functions
+ship, mirroring ``multiprocessing``'s spawn semantics.
+
+For a real multi-host grid, run the coordinator in your driver process and
+start agents on each machine by hand (or via your scheduler)::
+
+    coord = ClusterCoordinator(host="0.0.0.0", port=7777)
+    # on each machine:  python -m repro.cluster.worker \\
+    #                       --connect coordhost:7777 --node cell3/n0
+    coord.wait_for_workers(["cell3/n0", ...])
+    backend = ClusterBackend(coordinator=coord)
+
+Remember: the wire protocol carries pickles — trusted networks only.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.exceptions import ClusterError
+
+__all__ = ["LocalCluster"]
+
+
+def _worker_environment() -> Dict[str, str]:
+    """Subprocess env whose ``PYTHONPATH`` mirrors this process's ``sys.path``.
+
+    Guarantees the worker can import both ``repro`` and whatever modules
+    the caller's payload functions live in, however this process acquired
+    them (editable install, ``PYTHONPATH=src``, pytest rootdir insertion).
+    """
+    env = dict(os.environ)
+    entries = [p for p in sys.path if p]
+    env["PYTHONPATH"] = os.pathsep.join(entries)
+    return env
+
+
+def _main_script_path() -> Optional[str]:
+    """The driving script's path, when ``__main__`` is a plain script.
+
+    ``python -m``-style mains (pytest included) are importable by name and
+    need no help; REPLs and pseudo-files (``<stdin>``) cannot be shipped.
+
+    When a path is returned the driver also gains a ``__grasp_main__``
+    alias for its own ``__main__``: the workers adopt the script under
+    that name, so classes defined in it pickle as ``__grasp_main__.X`` in
+    *results* coming back — which this process must be able to resolve,
+    exactly as the workers resolve the driver's ``__main__.X`` pickles.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return None
+    if getattr(getattr(main, "__spec__", None), "name", None):
+        return None
+    path = getattr(main, "__file__", None)
+    if path is None or not os.path.exists(path):
+        return None
+    sys.modules.setdefault("__grasp_main__", main)
+    return os.path.abspath(path)
+
+
+class LocalCluster:
+    """Coordinator plus localhost worker subprocesses, as one lifecycle.
+
+    Parameters
+    ----------
+    workers:
+        Either a node count (names become ``cluster/n0..``) or the exact
+        node names to spawn — one worker subprocess per name.
+    heartbeat_interval:
+        Seconds between each worker's liveness beacons.
+    heartbeat_timeout:
+        Coordinator-side silence threshold before declaring a worker dead.
+    start_timeout:
+        Seconds to wait for every worker to register before failing.
+
+    Examples
+    --------
+    >>> from repro.cluster import LocalCluster
+    >>> with LocalCluster(workers=2) as cluster:      # doctest: +SKIP
+    ...     backend = cluster.backend()
+    ...     ...
+    """
+
+    def __init__(self, workers: Union[int, Sequence[str]] = 2,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_timeout: float = 10.0,
+                 start_timeout: float = 120.0):
+        if isinstance(workers, int):
+            if workers < 1:
+                raise ClusterError(f"need at least 1 worker, got {workers}")
+            names = [f"cluster/n{i}" for i in range(workers)]
+        else:
+            names = list(workers)
+            if not names:
+                raise ClusterError("need at least 1 worker name")
+            if len(set(names)) != len(names):
+                raise ClusterError(f"duplicate worker names in {names}")
+        self._names = names
+        self._heartbeat_interval = heartbeat_interval
+        self._closed = False
+        self.coordinator = ClusterCoordinator(
+            host="127.0.0.1", port=0, heartbeat_timeout=heartbeat_timeout)
+        #: node name -> the worker's subprocess handle (the most recent one
+        #: when a worker was respawned).
+        self.processes: Dict[str, subprocess.Popen] = {}
+        try:
+            for name in names:
+                self.processes[name] = self._spawn(name)
+            self.coordinator.wait_for_workers(names, timeout=start_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def node_names(self) -> List[str]:
+        """The node names this cluster was asked to run (spawn order)."""
+        return list(self._names)
+
+    # --------------------------------------------------------------- spawning
+    def _spawn(self, name: str) -> subprocess.Popen:
+        host, port = self.coordinator.address
+        command = [
+            sys.executable, "-m", "repro.cluster.worker",
+            "--connect", f"{host}:{port}",
+            "--node", name,
+            "--heartbeat", str(self._heartbeat_interval),
+        ]
+        main_path = _main_script_path()
+        if main_path is not None:
+            command += ["--main", main_path]
+        # stderr is inherited so a crashing worker explains itself; healthy
+        # agents are silent.
+        return subprocess.Popen(command, env=_worker_environment(),
+                                stdin=subprocess.DEVNULL,
+                                stdout=subprocess.DEVNULL)
+
+    def start_worker(self, name: str, timeout: float = 120.0) -> None:
+        """(Re)spawn the agent for ``name`` and wait for it to register.
+
+        Used to bring a killed worker back: the rejoining agent re-enters
+        the coordinator's availability set under the same node id.
+        """
+        if self._closed:
+            raise ClusterError("cluster is closed")
+        if name not in self._names:
+            self._names.append(name)
+        self.processes[name] = self._spawn(name)
+        self.coordinator.wait_for_workers([name], timeout=timeout)
+
+    def kill_worker(self, name: str, sig: int = signal.SIGKILL) -> None:
+        """Send ``sig`` to the agent serving ``name`` (default: SIGKILL).
+
+        The fault-tolerance story in one call: the worker vanishes without
+        any goodbye, the coordinator notices the dropped connection, marks
+        the node dead, and in-flight tasks resolve as lost.
+        """
+        process = self.processes.get(name)
+        if process is None:
+            raise ClusterError(f"no worker process for {name!r}")
+        process.send_signal(sig)
+
+    # ---------------------------------------------------------------- backend
+    def backend(self, topology=None, tracer=None):
+        """A fresh :class:`~repro.cluster.backend.ClusterBackend` over this
+        cluster (the cluster's lifecycle stays owned by the caller)."""
+        from repro.cluster.backend import ClusterBackend
+        return ClusterBackend(coordinator=self.coordinator,
+                              topology=topology, tracer=tracer)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the coordinator and terminate every worker; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        # The coordinator's Goodbye lets agents exit on their own ...
+        self.coordinator.close()
+        # ... and the process handles are the backstop for any that don't.
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes.values():
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck agent
+                process.kill()
+                process.wait(timeout=5.0)
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalCluster(nodes={self._names})"

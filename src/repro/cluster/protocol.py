@@ -1,0 +1,258 @@
+"""Length-prefixed, versioned wire protocol of the cluster subsystem.
+
+Every byte that crosses a cluster TCP connection is a **frame**:
+
+.. code-block:: text
+
+    +-------+---------+------------------+---------------------------+
+    | magic | version | body length (u32)| body (pickled message)    |
+    | GRSP  |   1 B   |    big-endian    |                           |
+    +-------+---------+------------------+---------------------------+
+
+The body is one **typed message** — a frozen dataclass from the registry
+below, serialised as ``pickle((type_code, field_values))``.  Messages carry
+the runtime's existing picklable-payload contract (see
+:mod:`repro.backends._payload`): tasks, worker functions and outputs are
+pickled by reference/value exactly as the process backend ships them, which
+is also why the protocol is **trusted-network-only** — unpickling is
+arbitrary code execution, so never expose a coordinator or worker port to
+an untrusted network.
+
+Message vocabulary (coordinator ⇄ worker):
+
+* :class:`Hello` — worker → coordinator registration, with the node
+  descriptor (node id, host, pid, cpus) and the worker's protocol version.
+* :class:`Welcome` — coordinator → worker registration acknowledgement.
+* :class:`Dispatch` — coordinator → worker: one task (``kind="task"``), a
+  chunk of tasks (``"chunk"``) or one pipeline stage (``"stage"``), tagged
+  with a request id.
+* :class:`Result` — worker → coordinator: the child-measured
+  ``(output, duration)`` payload for a request, or the payload's exception.
+* :class:`Heartbeat` — worker → coordinator liveness beacon, carrying the
+  worker host's observed CPU load for the monitoring layer.
+* :class:`Goodbye` — either side announces an orderly shutdown.
+
+Framing is handled by :func:`encode` and :class:`FrameDecoder`.  The
+decoder is incremental (feed it arbitrary byte slices, complete messages
+fall out) and *strict*: bad magic, an unsupported version, an oversized
+length, an undecodable body or a truncated frame at end-of-stream all raise
+:class:`~repro.exceptions.ProtocolError` instead of hanging or guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "Hello",
+    "Welcome",
+    "Dispatch",
+    "Result",
+    "Heartbeat",
+    "Goodbye",
+    "Message",
+    "encode",
+    "FrameDecoder",
+]
+
+#: Wire-format version; bumped on any incompatible frame/message change.
+PROTOCOL_VERSION = 1
+
+#: Refuse frames larger than this (a corrupt length header must not make
+#: the decoder try to buffer gigabytes before failing).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_MAGIC = b"GRSP"
+_HEADER = struct.Struct(">4sBI")
+
+
+# ------------------------------------------------------------------ messages
+@dataclass(frozen=True)
+class Hello:
+    """Worker registration: the node descriptor of one agent."""
+
+    node_id: str
+    host: str
+    pid: int
+    cpus: int
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Coordinator acknowledgement of a :class:`Hello`."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One unit of work shipped to a worker.
+
+    ``kind`` selects the payload shape (mirroring the backend dispatch
+    primitives): ``"task"`` → ``(execute_fn, task, collect_output)``,
+    ``"chunk"`` → ``(execute_fn, [tasks], collect_output)``, ``"stage"`` →
+    ``(cost_fn, apply_fn, value)``.
+    """
+
+    request_id: int
+    kind: str
+    payload: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Result:
+    """A worker's answer to one :class:`Dispatch`.
+
+    ``value`` holds the child-measured payload — ``(output, duration)`` for
+    tasks, ``[(output, duration), ...]`` for chunks, ``(output, duration,
+    cost)`` for stages.  When the payload raised, ``ok`` is False and
+    ``error`` carries the exception (or a stringified stand-in when the
+    original does not pickle).
+    """
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    error: Any = None
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon, with the worker host's CPU load.
+
+    Liveness is stamped with the *coordinator's* clock on receipt — worker
+    clocks are not comparable across hosts, so no send timestamp is
+    carried.
+    """
+
+    node_id: str
+    load: float = 0.0
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Orderly shutdown announcement (either direction)."""
+
+    node_id: str
+    reason: str = ""
+
+
+#: Union alias for documentation; the registry below is authoritative.
+Message = Any
+
+_MESSAGE_TYPES: Dict[int, Type[Any]] = {
+    1: Hello,
+    2: Welcome,
+    3: Dispatch,
+    4: Result,
+    5: Heartbeat,
+    6: Goodbye,
+}
+_TYPE_CODES = {cls: code for code, cls in _MESSAGE_TYPES.items()}
+
+
+# ------------------------------------------------------------------- framing
+def encode(message: Message) -> bytes:
+    """Serialise ``message`` into one complete frame."""
+    code = _TYPE_CODES.get(type(message))
+    if code is None:
+        raise ProtocolError(
+            f"cannot encode {type(message).__name__}: not a protocol message"
+        )
+    values = tuple(getattr(message, f.name)
+                   for f in dataclasses.fields(message))
+    try:
+        body = pickle.dumps((code, values), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ProtocolError(
+            f"message payload does not pickle ({exc!r}); cluster payloads "
+            "must honour the picklable-payload contract"
+        ) from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit"
+        )
+    return _HEADER.pack(_MAGIC, PROTOCOL_VERSION, len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed bytes, receive complete messages.
+
+    Raises :class:`~repro.exceptions.ProtocolError` on anything malformed;
+    once an error is raised the stream is unrecoverable (framing is lost)
+    and the connection should be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Absorb ``data``; return every message it completed, in order."""
+        self._buffer.extend(data)
+        messages: List[Message] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            magic, version, length = _HEADER.unpack_from(self._buffer)
+            if magic != _MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {bytes(magic)!r} (expected {_MAGIC!r})"
+                )
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version} "
+                    f"(this runtime speaks {PROTOCOL_VERSION})"
+                )
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the {MAX_FRAME_BYTES}-"
+                    "byte limit"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                return messages
+            body = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+            del self._buffer[:_HEADER.size + length]
+            messages.append(self._decode_body(body))
+
+    def at_eof(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Call when the peer closes the connection: leftover buffered bytes
+        mean a frame was cut off mid-flight.
+        """
+        if self._buffer:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(self._buffer)} "
+                "buffered bytes do not form a complete frame)"
+            )
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buffer)
+
+    @staticmethod
+    def _decode_body(body: bytes) -> Message:
+        try:
+            code, values = pickle.loads(body)
+        except Exception as exc:
+            raise ProtocolError(f"undecodable frame body ({exc!r})") from exc
+        cls = _MESSAGE_TYPES.get(code)
+        if cls is None:
+            raise ProtocolError(f"unknown message type code {code!r}")
+        try:
+            return cls(*values)
+        except TypeError as exc:
+            raise ProtocolError(
+                f"malformed {cls.__name__} message ({exc})"
+            ) from exc

@@ -1,0 +1,371 @@
+"""The cluster worker agent: one grid node on one host.
+
+Run on any machine that can reach the coordinator::
+
+    python -m repro.cluster.worker --connect HOST:PORT --node NAME
+
+The agent connects over TCP, registers as grid node ``NAME`` with a
+:class:`~repro.cluster.protocol.Hello` (host, pid, cpu count), then
+executes :class:`~repro.cluster.protocol.Dispatch` requests **serially** —
+one task at a time, the paper's process-per-node model — streaming each
+:class:`~repro.cluster.protocol.Result` back the moment it completes.
+Payload execution and compute-time measurement use the same helpers as the
+process backend's workers (:mod:`repro.backends._payload`), so a cluster
+node's unit times mean the same thing a local worker process's do.
+
+Three threads cooperate:
+
+* the **reader** drains the socket and queues dispatches (so a long task
+  never stops Goodbye/shutdown frames from being seen),
+* the **heartbeat** sender beacons liveness (plus the host's CPU load for
+  the monitoring layer) even while a task is running,
+* the **main loop** executes queued work serially and sends results.
+
+The agent exits when the coordinator says Goodbye, the connection drops, or
+the process is killed.  Payload exceptions are *not* fatal: they are
+reported in the Result (pickled when possible) and the agent keeps serving.
+
+Payloads arrive as by-reference pickles, so the modules defining them must
+be importable on the worker host (deploy your code to the workers; for
+localhost clusters :class:`~repro.cluster.local.LocalCluster` propagates
+the parent's ``sys.path`` automatically).  And because unpickling runs
+arbitrary code, only ever connect an agent to a coordinator you trust, over
+a network you trust.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import pickle
+import queue
+import socket
+import sys
+import threading
+import warnings
+from typing import Optional, Tuple
+
+from repro.backends._payload import run_chunk, run_payload, run_stage
+from repro.cluster.protocol import (
+    Dispatch,
+    FrameDecoder,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Result,
+    Welcome,
+    encode,
+)
+from repro.exceptions import ClusterError, ProtocolError
+
+__all__ = ["WorkerAgent", "run_worker", "main"]
+
+_RECV_BYTES = 1 << 16
+
+#: Default seconds between heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+
+def _observed_load() -> float:
+    """This host's normalised 1-minute load average, clamped to [0, 0.999)."""
+    try:
+        load = os.getloadavg()[0] / max(os.cpu_count() or 1, 1)
+    except (AttributeError, OSError):  # pragma: no cover - platform dependent
+        return 0.0
+    return min(max(load, 0.0), 0.999)
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """An exception safe to ship in a Result frame.
+
+    The original exception is preferred; one that does not survive a
+    pickle round-trip (custom ``__init__`` signatures, unpicklable
+    attributes) is replaced by a :class:`ClusterError` carrying its repr.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ClusterError(
+            f"worker payload raised an unpicklable exception: {exc!r}"
+        )
+
+
+class WorkerAgent:
+    """One connected worker agent (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator address.
+    node_id:
+        Grid node id this agent serves.
+    heartbeat_interval:
+        Seconds between liveness beacons.
+    connect_timeout:
+        Bound on both the TCP connect and the registration handshake.
+    """
+
+    def __init__(self, host: str, port: int, node_id: str,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 connect_timeout: float = 30.0):
+        if not node_id:
+            raise ClusterError("worker agents need a non-empty node id")
+        self.node_id = node_id
+        self.heartbeat_interval = max(0.05, float(heartbeat_interval))
+        self._connect_timeout = float(connect_timeout)
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=connect_timeout)
+        except OSError as exc:
+            raise ClusterError(
+                f"cannot reach coordinator at {host}:{port} ({exc})"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._inbox: "queue.SimpleQueue[Optional[Dispatch]]" = queue.SimpleQueue()
+        self._stop = threading.Event()
+        # One decoder for the connection's whole life: a Dispatch racing in
+        # right behind the WELCOME (the coordinator registers the node
+        # before acknowledging) must not be lost between the handshake and
+        # the reader loop.
+        self._decoder = FrameDecoder()
+
+    # -------------------------------------------------------------- lifecycle
+    def serve_forever(self) -> None:
+        """Register, then execute dispatches until told to stop."""
+        try:
+            self._handshake()
+            reader = threading.Thread(target=self._reader_loop,
+                                      name="cluster-worker-reader",
+                                      daemon=True)
+            beats = threading.Thread(target=self._heartbeat_loop,
+                                     name="cluster-worker-heartbeat",
+                                     daemon=True)
+            reader.start()
+            beats.start()
+            self._execute_loop()
+        finally:
+            self._stop.set()
+            try:
+                self._send(Goodbye(node_id=self.node_id, reason="exiting"))
+            except (OSError, ProtocolError):
+                pass
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def _handshake(self) -> None:
+        self._sock.settimeout(self._connect_timeout)
+        self._send(Hello(node_id=self.node_id, host=socket.gethostname(),
+                         pid=os.getpid(), cpus=os.cpu_count() or 1))
+        welcomed = False
+        while not welcomed:
+            try:
+                data = self._sock.recv(_RECV_BYTES)
+            except socket.timeout:
+                raise ClusterError(
+                    "coordinator did not answer the registration HELLO "
+                    "(is that really a GRASP coordinator port?)"
+                ) from None
+            except OSError as exc:
+                raise ClusterError(
+                    f"connection lost during registration ({exc})"
+                ) from exc
+            if not data:
+                raise ClusterError(
+                    "coordinator closed the connection during registration"
+                )
+            for message in self._decoder.feed(data):
+                if isinstance(message, Welcome):
+                    if message.node_id != self.node_id:
+                        raise ProtocolError(
+                            f"coordinator welcomed {message.node_id!r}, "
+                            f"this agent is {self.node_id!r}"
+                        )
+                    welcomed = True
+                elif isinstance(message, Goodbye):
+                    if welcomed:
+                        # Shutdown racing in right behind the ack (a
+                        # short-lived cluster): serve out and exit cleanly.
+                        self._inbox.put(None)
+                    else:
+                        raise ClusterError(
+                            "coordinator rejected registration: "
+                            f"{message.reason}"
+                        )
+                elif isinstance(message, Dispatch):
+                    if not welcomed:
+                        raise ProtocolError("DISPATCH before WELCOME")
+                    # Work racing in right behind the acknowledgement.
+                    self._inbox.put(message)
+                else:
+                    raise ProtocolError(
+                        f"expected WELCOME, got {type(message).__name__}"
+                    )
+        self._sock.settimeout(None)
+
+    # ------------------------------------------------------------------ loops
+    def _reader_loop(self) -> None:
+        try:
+            while not self._stop.is_set():
+                data = self._sock.recv(_RECV_BYTES)
+                if not data:
+                    break
+                for message in self._decoder.feed(data):
+                    if isinstance(message, Dispatch):
+                        self._inbox.put(message)
+                    elif isinstance(message, Goodbye):
+                        self._inbox.put(None)
+                        return
+                    # Anything else from the coordinator is ignorable noise.
+        except (OSError, ProtocolError):
+            pass
+        self._inbox.put(None)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self._send(Heartbeat(node_id=self.node_id,
+                                     load=_observed_load()))
+            except (OSError, ProtocolError):
+                return
+
+    def _execute_loop(self) -> None:
+        while True:
+            request = self._inbox.get()
+            if request is None:
+                return
+            try:
+                if request.kind == "task":
+                    execute_fn, task, collect = request.payload
+                    value = run_payload(execute_fn, task, collect)
+                elif request.kind == "chunk":
+                    execute_fn, tasks, collect = request.payload
+                    value = run_chunk(execute_fn, tasks, collect)
+                elif request.kind == "stage":
+                    cost_fn, apply_fn, stage_value = request.payload
+                    value = run_stage(cost_fn, apply_fn, stage_value)
+                else:
+                    raise ProtocolError(
+                        f"unknown dispatch kind {request.kind!r}"
+                    )
+            except Exception as exc:
+                # Payload failures are reported, not fatal.  Exit signals
+                # (KeyboardInterrupt, SystemExit) must NOT be converted
+                # into a Result — shipping them would crash the *driver's*
+                # run; propagating kills this agent, the connection drops,
+                # and the task resolves as lost and is re-enqueued.
+                answer = Result(request_id=request.request_id, ok=False,
+                                error=_portable_error(exc))
+            else:
+                answer = Result(request_id=request.request_id, ok=True,
+                                value=value)
+            try:
+                try:
+                    self._send(answer)
+                except ProtocolError as exc:
+                    # The *result* cannot be shipped (output does not
+                    # pickle, or the frame exceeds the size cap): tell the
+                    # coordinator the actual cause instead of silently
+                    # dropping the request.
+                    self._send(Result(
+                        request_id=request.request_id, ok=False,
+                        error=ClusterError(
+                            f"worker result cannot be shipped: {exc}"
+                        ),
+                    ))
+            except OSError:
+                # The coordinator vanished mid-task (driver killed): an
+                # orderly exit, not a traceback-worthy failure.
+                return
+
+    # -------------------------------------------------------------- plumbing
+    def _send(self, message) -> None:
+        payload = encode(message)
+        with self._send_lock:
+            self._sock.sendall(payload)
+
+
+# ----------------------------------------------------------------- CLI entry
+def _adopt_main(path: str) -> None:
+    """Make the coordinator's ``__main__`` importable, like spawn does.
+
+    Payload functions defined at the top level of the driving script pickle
+    as ``__main__.<name>``; executing that script here (under a non-main
+    ``__name__``, so its ``if __name__ == "__main__"`` guard stays cold)
+    and aliasing it as ``__main__`` lets those pickles resolve — the same
+    trick ``multiprocessing``'s spawn start method uses.
+    """
+    try:
+        spec = importlib.util.spec_from_file_location("__grasp_main__", path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot load {path!r}")
+        module = importlib.util.module_from_spec(spec)
+        module.__name__ = "__grasp_main__"
+        sys.modules["__grasp_main__"] = module
+        spec.loader.exec_module(module)
+        sys.modules["__main__"] = module
+    except BaseException as exc:
+        warnings.warn(
+            f"worker could not adopt the coordinator's __main__ ({path!r}: "
+            f"{exc!r}); payloads defined there will fail to unpickle",
+            RuntimeWarning, stacklevel=2,
+        )
+
+
+def _parse_address(value: str) -> Tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad port in {value!r}") from None
+
+
+def run_worker(host: str, port: int, node_id: str,
+               heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+    """Connect to ``host:port`` and serve as node ``node_id`` until stopped."""
+    WorkerAgent(host, port, node_id,
+                heartbeat_interval=heartbeat_interval).serve_forever()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="GRASP cluster worker agent: serves one grid node "
+                    "over TCP (trusted networks only — the wire protocol "
+                    "carries pickles).",
+    )
+    parser.add_argument("--connect", type=_parse_address, required=True,
+                        metavar="HOST:PORT",
+                        help="coordinator address to register with")
+    parser.add_argument("--node", required=True, metavar="NAME",
+                        help="grid node id this agent serves")
+    parser.add_argument("--heartbeat", type=float,
+                        default=DEFAULT_HEARTBEAT_INTERVAL, metavar="SECONDS",
+                        help="interval between liveness beacons "
+                             "(default: %(default)s)")
+    parser.add_argument("--main", default=None, metavar="PATH",
+                        help="driving script whose top-level payload "
+                             "definitions should be importable here "
+                             "(set automatically by LocalCluster)")
+    args = parser.parse_args(argv)
+    if args.main:
+        _adopt_main(args.main)
+    host, port = args.connect
+    try:
+        run_worker(host, port, args.node, heartbeat_interval=args.heartbeat)
+    except ClusterError as exc:
+        print(f"worker {args.node!r}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

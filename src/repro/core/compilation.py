@@ -18,8 +18,10 @@ the same :class:`~repro.core.program.SkeletalProgram` compiles against the
 virtual-time grid simulator (``backend="simulated"``, the default), against
 real OS threads (``backend="thread"``), against worker processes
 (``backend="process"``), against an asyncio event loop for coroutine
-payloads (``backend="asyncio"``), or against any :class:`ExecutionBackend`
-instance
+payloads (``backend="asyncio"``), against a grid of TCP worker agents
+(``backend="cluster"`` — localhost agents; pass a ready
+:class:`~repro.cluster.backend.ClusterBackend` for real multi-host grids),
+or against any :class:`ExecutionBackend` instance
 — including a :class:`~repro.backends.faults.FaultInjectingBackend`
 wrapping one of the above — without touching the program.
 """
@@ -103,6 +105,12 @@ def _resolve_backend(
             return ProcessBackend(topology=topology, tracer=tracer), True
         if backend == "asyncio":
             return AsyncBackend(topology=topology, tracer=tracer), True
+        if backend == "cluster":
+            # Imported here, not at module top: the cluster subsystem
+            # layers on top of core/backends, and this registry branch is
+            # the only place either layer reaches up into it.
+            from repro.cluster.backend import ClusterBackend
+            return ClusterBackend.local(topology=topology, tracer=tracer), True
         # Fail loudly for names registered elsewhere but not routed here.
         raise CompilationError(
             f"unknown backend {backend!r}; expected one of {sorted(BACKEND_NAMES)}"
@@ -128,11 +136,13 @@ def compile_program(
     ----------
     backend:
         The parallel environment to link against: ``"simulated"`` (default),
-        ``"thread"``, ``"process"``, or a ready :class:`ExecutionBackend`
-        instance.  The legacy ``simulator=`` parameter remains supported and
-        implies the simulated backend.  A backend created here (string
-        names) is owned by the returned program and is closed by the caller
-        — or by this function itself when compilation fails partway.
+        ``"thread"``, ``"process"``, ``"asyncio"``, ``"cluster"`` (spawns
+        one localhost worker agent per grid node), or a ready
+        :class:`ExecutionBackend` instance.  The legacy ``simulator=``
+        parameter remains supported and implies the simulated backend.  A
+        backend created here (string names) is owned by the returned
+        program and is closed by the caller — or by this function itself
+        when compilation fails partway.
 
     Raises
     ------

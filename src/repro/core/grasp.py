@@ -148,7 +148,11 @@ class Grasp:
     ``backend`` selects the parallel environment: ``"simulated"`` (default,
     deterministic virtual time), ``"thread"`` (real OS threads under
     wall-clock monitoring), ``"process"`` (serial worker processes — true
-    parallelism for CPU-bound, picklable payloads) or any
+    parallelism for CPU-bound, picklable payloads), ``"asyncio"`` (one
+    event loop for coroutine workers), ``"cluster"`` (one localhost TCP
+    worker agent per grid node — pass a
+    :class:`~repro.cluster.backend.ClusterBackend` instance instead to run
+    on real remote machines) or any
     :class:`~repro.backends.base.ExecutionBackend` instance, e.g. a
     :class:`~repro.backends.faults.FaultInjectingBackend` wrapping one of
     the concurrent backends.

@@ -30,6 +30,26 @@ class GridError(GraspError):
     """
 
 
+class ClusterError(GridError):
+    """Raised by the distributed cluster substrate (:mod:`repro.cluster`).
+
+    Covers coordinator lifecycle problems (listening socket failures,
+    registration timeouts), dispatches to nodes with no live worker agent
+    and worker connections lost mid-task.  Subclasses :class:`GridError`
+    because a cluster of TCP worker agents is one concrete parallel
+    environment, exactly like the simulated grid.
+    """
+
+
+class ProtocolError(ClusterError):
+    """Raised by the cluster wire protocol (:mod:`repro.cluster.protocol`).
+
+    Covers malformed frames (bad magic, unsupported protocol version,
+    oversized lengths), truncated frames at end-of-stream and payloads that
+    do not decode to a known message type.
+    """
+
+
 class CommunicationError(GraspError):
     """Raised by the message-passing environment.
 

@@ -1,7 +1,8 @@
 """Backend-conformance kit instantiated for every shipped backend.
 
 One conformance class per backend family: the virtual-time simulator
-wrapper, real OS threads, worker processes, the asyncio event loop, and
+wrapper, real OS threads, worker processes, the asyncio event loop, the
+distributed cluster backend over real TCP worker agents, and
 the fault-injection decorator over both an eager (simulated) and a
 concurrent (thread) inner backend — the decorator must be exactly as
 conformant as what it wraps, plus its availability filtering.
@@ -59,6 +60,34 @@ class TestAsyncBackendConformance(BackendConformance):
     @pytest.fixture
     def backend(self):
         backend = AsyncBackend(topology=conformance_grid())
+        yield backend
+        backend.close()
+
+
+class TestClusterBackendConformance(BackendConformance):
+    """The distributed backend over real TCP worker agents.
+
+    One LocalCluster per class (worker subprocesses are expensive to
+    boot); each test gets a fresh backend over it.  Closing a non-owned
+    backend leaves the shared cluster running, which is exactly the
+    lifecycle split ``rejects_after_close`` exercises.
+    """
+
+    @pytest.fixture(scope="class")
+    def cluster_and_grid(self):
+        from repro.cluster import LocalCluster
+
+        grid = conformance_grid()
+        with LocalCluster(workers=list(grid.node_ids)) as cluster:
+            yield cluster, grid
+
+    @pytest.fixture
+    def backend(self, cluster_and_grid):
+        from repro.cluster import ClusterBackend
+
+        cluster, grid = cluster_and_grid
+        backend = ClusterBackend(coordinator=cluster.coordinator,
+                                 topology=grid)
         yield backend
         backend.close()
 

@@ -619,6 +619,55 @@ class TestAsyncBackendEquivalence:
         assert result.total_tasks == 32
 
 
+# --------------------------------------------------------------------------
+# Cluster-backend column: the same skeletons on real TCP worker agents.
+# One 2-worker LocalCluster for the whole class (agents are subprocesses
+# and boot cost is real); payloads are the module-level process-scenario
+# functions, which the agents can import because LocalCluster propagates
+# this interpreter's sys.path.
+
+class TestClusterBackendEquivalence:
+    """A 2-worker localhost cluster reproduces run_sequential exactly."""
+
+    @pytest.fixture(scope="class")
+    def cluster_backend(self):
+        from repro.cluster import LocalCluster
+
+        grid = GridBuilder().homogeneous(nodes=2, speed=1.0).named(
+            "cluster-eq").build(seed=4)
+        with LocalCluster(workers=list(grid.node_ids)) as cluster:
+            backend = cluster.backend(topology=grid)
+            yield backend
+            backend.close()
+
+    def test_farm_matches_sequential(self, cluster_backend):
+        farm = TaskFarm(worker=_busy_square)
+        reference = farm.run_sequential(range(24))
+        result = Grasp(skeleton=TaskFarm(worker=_busy_square),
+                       grid=cluster_backend.topology,
+                       config=GraspConfig.adaptive(),
+                       backend=cluster_backend).run(inputs=range(24))
+        assert result.outputs == reference
+        assert result.total_tasks == 24
+
+    def test_pipeline_matches_sequential(self, cluster_backend):
+        # Two stages on two workers (a pipeline needs one node per stage).
+        make = lambda: Pipeline(stages=[Stage(fn=_stage_inc),
+                                        Stage(fn=_stage_triple)])
+        reference = make().run_sequential(range(20))
+        result = Grasp(skeleton=make(), grid=cluster_backend.topology,
+                       backend=cluster_backend).run(inputs=range(20))
+        assert result.outputs == reference
+
+    def test_chunked_farm_matches_sequential(self, cluster_backend):
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = 3
+        result = Grasp(skeleton=TaskFarm(worker=_busy_square),
+                       grid=cluster_backend.topology, config=config,
+                       backend=cluster_backend).run(inputs=range(18))
+        assert result.outputs == [_busy_square(x) for x in range(18)]
+
+
 def _slow_square(x):
     time.sleep(0.004)
     return x * x

@@ -1,0 +1,646 @@
+"""The distributed cluster subsystem, end to end.
+
+Everything here runs against *real* TCP sockets and *real* worker
+subprocesses via :class:`repro.cluster.LocalCluster` — including the
+flagship fault-tolerance guarantee: SIGKILL a worker mid-farm and the run
+still completes, with the dead node filtered from availability and no
+result accepted after its death.
+
+Payload functions are module-level (the picklable-payload contract) and
+this module is importable on the workers because LocalCluster propagates
+the parent's ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro import (
+    ClusterBackend,
+    ClusterError,
+    Grasp,
+    GraspConfig,
+    LocalCluster,
+    Pipeline,
+    Stage,
+    TaskFarm,
+)
+from repro.cluster.coordinator import WorkerLost
+from repro.exceptions import GraspError, GridError
+from repro.grid.topology import GridBuilder
+from repro.skeletons.base import Task
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    # Enough wall time that a mid-run SIGKILL reliably catches tasks in
+    # flight on the victim.
+    time.sleep(0.004)
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError("payload exploded remotely")
+
+
+def _stage_inc(x):
+    return x + 1
+
+
+def _stage_triple(x):
+    return x * 3
+
+
+def _double_task(task):
+    # Backend-level dispatch hands the execute_fn a Task, not a payload.
+    return task.payload * 2
+
+
+def _slow_task(task):
+    time.sleep(0.05)
+    return task.payload
+
+
+def _interrupt_task(task):
+    # Simulates an operator's Ctrl-C landing inside the payload.
+    raise KeyboardInterrupt
+
+
+@dataclass(frozen=True)
+class _ConstCost:
+    cost: float
+
+    def __call__(self, _value) -> float:
+        return self.cost
+
+
+def _no_grasp_threads():
+    return [t.name for t in threading.enumerate()
+            if t.name.startswith("grasp-") and t.is_alive()]
+
+
+def small_grid(nodes: int = 2):
+    return (GridBuilder().homogeneous(nodes=nodes, speed=1.0)
+            .named("clustergrid").build(seed=0))
+
+
+# --------------------------------------------------------------------------
+# Smoke: the CI cluster step runs exactly these (boot, run, clean teardown).
+
+class TestClusterSmoke:
+    def test_smoke_two_worker_farm_via_registered_name(self):
+        # backend="cluster" spawns a LocalCluster matching the topology and
+        # owns it: after the run no worker processes or service threads may
+        # linger (the repo's grasp-* leak-check convention).
+        grid = small_grid(2)
+        result = Grasp(skeleton=TaskFarm(worker=_square), grid=grid,
+                       config=GraspConfig.adaptive(),
+                       backend="cluster").run(inputs=range(12))
+        assert result.outputs == [x * x for x in range(12)]
+        assert result.total_tasks == 12
+        deadline = time.monotonic() + 5.0
+        while _no_grasp_threads() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert _no_grasp_threads() == []
+
+    def test_smoke_teardown_reaps_workers_and_sockets(self):
+        import socket
+
+        with LocalCluster(workers=2) as cluster:
+            host, port = cluster.coordinator.address
+            backend = cluster.backend()
+            result = Grasp(skeleton=TaskFarm(worker=_square),
+                           grid=backend.topology,
+                           backend=backend).run(inputs=range(8))
+            assert result.outputs == [x * x for x in range(8)]
+            backend.close()
+        # Every worker subprocess has been reaped ...
+        for name, process in cluster.processes.items():
+            assert process.poll() is not None, f"worker {name} leaked"
+        # ... the coordinator's port no longer accepts connections ...
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5).close()
+        # ... and no coordinator service threads survive.
+        assert _no_grasp_threads() == []
+
+
+# --------------------------------------------------------------------------
+# One shared cluster for the cheap semantic checks (worker subprocesses are
+# expensive to boot; the fault tests below spawn their own victims).
+
+@pytest.fixture(scope="module")
+def shared_cluster():
+    grid = small_grid(3)
+    with LocalCluster(workers=list(grid.node_ids)) as cluster:
+        yield cluster, grid
+
+
+@pytest.fixture
+def shared_backend(shared_cluster):
+    cluster, grid = shared_cluster
+    backend = cluster.backend(topology=grid)
+    yield backend
+    backend.close()
+
+
+class TestClusterBackendSemantics:
+    def test_farm_matches_sequential(self, shared_backend):
+        reference = TaskFarm(worker=_square).run_sequential(range(20))
+        result = Grasp(skeleton=TaskFarm(worker=_square),
+                       grid=shared_backend.topology,
+                       config=GraspConfig.adaptive(),
+                       backend=shared_backend).run(inputs=range(20))
+        assert result.outputs == reference
+
+    def test_chunked_farm_matches_sequential(self, shared_backend):
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = 4
+        result = Grasp(skeleton=TaskFarm(worker=_square),
+                       grid=shared_backend.topology, config=config,
+                       backend=shared_backend).run(inputs=range(24))
+        assert result.outputs == [x * x for x in range(24)]
+        assert result.total_tasks == 24
+
+    def test_pipeline_matches_sequential(self, shared_backend):
+        pipeline = Pipeline(stages=[Stage(fn=_stage_inc),
+                                    Stage(fn=_stage_triple)])
+        reference = pipeline.run_sequential(range(16))
+        result = Grasp(skeleton=Pipeline(stages=[Stage(fn=_stage_inc),
+                                                 Stage(fn=_stage_triple)]),
+                       grid=shared_backend.topology,
+                       backend=shared_backend).run(inputs=range(16))
+        assert result.outputs == reference
+
+    def test_unpicklable_payload_raises_without_killing_worker(self, shared_cluster, shared_backend):
+        # A lambda violates the picklable-payload contract: the error must
+        # surface at the dispatch site as a ProtocolError — NOT be treated
+        # as a send failure that executes a healthy worker for the caller's
+        # mistake (regression: a lambda farm used to cascade-kill every
+        # worker in the cluster, one lost dispatch at a time).
+        from repro.exceptions import ProtocolError
+
+        cluster, grid = shared_cluster
+        node = grid.node_ids[0]
+        with pytest.raises(ProtocolError, match="pickle"):
+            shared_backend.dispatch(
+                Task(task_id=0, payload=1), node, lambda t: t.payload,
+                master_node=node, at_time=shared_backend.now,
+            )
+        assert cluster.coordinator.is_live(node)
+        # And the worker still serves picklable work afterwards.
+        outcome = shared_backend.dispatch(
+            Task(task_id=1, payload=5), node, _double_task,
+            master_node=node, at_time=shared_backend.now,
+        ).outcome()
+        assert outcome.output == 10
+
+    def test_payload_exception_propagates(self, shared_backend):
+        with pytest.raises(RuntimeError, match="payload exploded remotely"):
+            Grasp(skeleton=TaskFarm(worker=_boom),
+                  grid=shared_backend.topology,
+                  backend=shared_backend).run(inputs=range(4))
+
+    def test_heartbeat_load_reaches_observe_load(self):
+        # The full load-plumbing path: a Heartbeat's load value must come
+        # out of the backend's observe_load (clamped into [0, 1)).  Driven
+        # over a raw socket so the injected load is known, not whatever
+        # this host's loadavg happens to be.
+        import socket as socketlib
+
+        from repro.cluster import (
+            ClusterCoordinator,
+            FrameDecoder,
+            Heartbeat,
+            Hello,
+            encode,
+        )
+
+        with ClusterCoordinator() as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.sendall(encode(Hello(node_id="loady/n0", host="t",
+                                          pid=1, cpus=1)))
+                decoder = FrameDecoder()
+                while not decoder.feed(sock.recv(65536)):
+                    pass        # the WELCOME
+                sock.sendall(encode(Heartbeat(node_id="loady/n0", load=0.5)))
+                deadline = time.monotonic() + 5.0
+                while coordinator.node_load("loady/n0") != 0.5 \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert coordinator.node_load("loady/n0") == 0.5
+                backend = ClusterBackend(coordinator=coordinator)
+                assert backend.observe_load("loady/n0") == 0.5
+                backend.close()
+            finally:
+                sock.close()
+
+    def test_worker_info_describes_agent(self, shared_cluster):
+        cluster, grid = shared_cluster
+        info = cluster.coordinator.worker_info(grid.node_ids[0])
+        assert info is not None
+        assert info.node_id == grid.node_ids[0]
+        assert info.pid > 0
+        assert info.cpus >= 1
+
+    def test_closed_backend_rejects_dispatch(self, shared_cluster):
+        cluster, grid = shared_cluster
+        backend = cluster.backend(topology=grid)
+        backend.close()
+        with pytest.raises(GraspError):
+            backend.dispatch(
+                Task(task_id=0, payload=1), grid.node_ids[0], _double_task,
+                master_node=grid.node_ids[0], at_time=backend.now,
+            )
+        # Closing a non-owned backend leaves the shared cluster running.
+        assert cluster.coordinator.live_nodes()
+
+    def test_backend_without_topology_adopts_live_workers(self, shared_cluster):
+        cluster, grid = shared_cluster
+        backend = ClusterBackend(coordinator=cluster.coordinator)
+        try:
+            assert set(backend.topology.node_ids) == set(grid.node_ids)
+            assert set(backend.available_nodes(backend.now)) == \
+                set(grid.node_ids)
+        finally:
+            backend.close()
+
+
+# --------------------------------------------------------------------------
+# The flagship guarantee: kill -9 a worker mid-farm.
+
+class TestClusterFaultTolerance:
+    def test_sigkill_mid_farm_completes_and_filters_dead_node(self):
+        names = [f"fault/n{i}" for i in range(3)]
+        with LocalCluster(workers=names) as cluster:
+            backend = cluster.backend()
+            # pool[0] hosts the master; kill a plain worker.
+            victim = names[-1]
+            run = Grasp(skeleton=TaskFarm(worker=_slow_square),
+                        grid=backend.topology, config=GraspConfig.adaptive(),
+                        backend=backend).as_completed(inputs=range(48))
+            death_at = None
+            for count, _ in enumerate(run):
+                if count == 5:
+                    cluster.kill_worker(victim, sig=signal.SIGKILL)
+                    death_at = backend.now
+            result = run.result
+            assert death_at is not None
+
+            # The run completed, correctly, despite the murder.
+            assert result.outputs == [x * x for x in range(48)]
+            assert result.total_tasks == 48
+
+            # The dead node is filtered from the availability set ...
+            assert victim not in backend.available_nodes(backend.now)
+            assert backend.is_available(victim) is False
+            # ... but still *exists* (it may rejoin).
+            assert backend.has_node(victim)
+
+            # No result was accepted from the victim after its death
+            # (in-flight work resolved as lost and was re-enqueued; the
+            # margin covers frames already queued at the coordinator).
+            for record in result.execution.results:
+                if record.node_id == victim and not record.during_calibration:
+                    assert record.finished <= death_at + 0.5
+                    assert record.submitted <= death_at + 0.5
+            backend.close()
+
+    def test_killed_worker_tasks_resolve_as_lost(self):
+        with LocalCluster(workers=["lost/n0"]) as cluster:
+            backend = cluster.backend()
+            handle = backend.dispatch(
+                Task(task_id=0, payload=1), "lost/n0", _slow_task,
+                master_node="lost/n0", at_time=backend.now,
+            )
+            cluster.kill_worker("lost/n0")
+            outcome = handle.outcome()
+            assert outcome.lost is True
+            assert outcome.output is None
+            # Dead at dispatch: subsequent sends are lost in transit too.
+            again = backend.dispatch(
+                Task(task_id=1, payload=2), "lost/n0", _slow_task,
+                master_node="lost/n0", at_time=backend.now,
+            ).outcome()
+            assert again.lost is True
+            backend.close()
+
+    def test_keyboard_interrupt_in_payload_is_a_lost_task_not_a_result(self):
+        # An exit signal raised mid-payload must kill the *agent* (task
+        # lost, node dead) — shipping KeyboardInterrupt back as a Result
+        # would crash the driver's whole run.
+        with LocalCluster(workers=["intr/n0"]) as cluster:
+            backend = cluster.backend()
+            outcome = backend.dispatch(
+                Task(task_id=0, payload=1), "intr/n0", _interrupt_task,
+                master_node="intr/n0", at_time=backend.now,
+            ).outcome()
+            assert outcome.lost is True
+            assert outcome.output is None
+            deadline = time.monotonic() + 5.0
+            while cluster.coordinator.is_live("intr/n0") \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not cluster.coordinator.is_live("intr/n0")
+            backend.close()
+
+    def test_rejoining_worker_reenters_availability(self):
+        names = ["rejoin/n0", "rejoin/n1"]
+        with LocalCluster(workers=names) as cluster:
+            backend = cluster.backend()
+            victim = names[1]
+            cluster.kill_worker(victim)
+            deadline = time.monotonic() + 10.0
+            while cluster.coordinator.is_live(victim) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert victim not in backend.available_nodes(backend.now)
+
+            cluster.start_worker(victim)
+            assert victim in backend.available_nodes(backend.now)
+            # And it actually serves work again.
+            outcome = backend.dispatch(
+                Task(task_id=7, payload=6), victim, _double_task,
+                master_node=names[0], at_time=backend.now,
+            ).outcome()
+            assert outcome.output == 12
+            assert outcome.lost is False
+            backend.close()
+
+    def test_chain_on_killed_worker_raises_instead_of_losing_items(self):
+        from repro.backends.base import ChainStage
+
+        names = ["chain/n0"]
+        with LocalCluster(workers=names) as cluster:
+            backend = cluster.backend()
+            cluster.kill_worker(names[0])
+            deadline = time.monotonic() + 10.0
+            while cluster.coordinator.is_live(names[0]) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+
+            def pick(_free_at):
+                return names[0]
+
+            handle = backend.dispatch_chain(
+                Task(task_id=0, payload=1),
+                [ChainStage(pick=pick, cost=_ConstCost(1.0),
+                            apply=_stage_inc)],
+                master_node=names[0], at_time=backend.now,
+            )
+            with pytest.raises(GridError, match="died\\s+mid-pipeline-stage"):
+                handle.outcome()
+            backend.close()
+
+
+class TestCoordinatorLiveness:
+    def test_heartbeat_timeout_reaps_mute_worker_and_its_reader(self):
+        # A worker whose connection stays open but whose heartbeats stop
+        # (hung process, SIGSTOP) must be declared dead — and the death
+        # must wake its reader thread (shutdown before close; a bare
+        # close() leaves a thread blocked in recv() forever).
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator, FrameDecoder, Hello, encode
+
+        def reader_threads():
+            return {t for t in threading.enumerate()
+                    if t.name.startswith("grasp-cluster-reader")
+                    and t.is_alive()}
+
+        # Other fixtures (the module-scoped shared cluster) own readers too;
+        # only threads created by *this* coordinator count.
+        preexisting = reader_threads()
+        with ClusterCoordinator(heartbeat_timeout=0.4) as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.sendall(encode(Hello(node_id="mute/n0", host="t",
+                                          pid=1, cpus=1)))
+                decoder = FrameDecoder()
+                while not decoder.feed(sock.recv(65536)):
+                    pass        # the WELCOME
+                # WELCOME is sent *before* the worker is published (so a
+                # racing dispatch can never precede it); poll for liveness.
+                deadline = time.monotonic() + 5.0
+                while not coordinator.is_live("mute/n0") \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert coordinator.is_live("mute/n0")
+
+                deadline = time.monotonic() + 5.0
+                while coordinator.is_live("mute/n0") \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert not coordinator.is_live("mute/n0")
+
+                # The dead connection's reader thread exited (it was woken,
+                # not stranded in recv).
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    readers = reader_threads() - preexisting
+                    if not readers:
+                        break
+                    time.sleep(0.05)
+                assert readers == set()
+            finally:
+                sock.close()
+        # close() above returned with no threads of its own left behind.
+        assert reader_threads() - preexisting == set()
+
+    def test_silent_connection_without_hello_is_reaped(self):
+        # A client that connects and never registers (crashed worker, port
+        # scanner) must not pin a socket and reader thread forever.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator
+
+        with ClusterCoordinator(heartbeat_timeout=0.4) as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.settimeout(5.0)
+                # The coordinator shuts the silent connection down within
+                # the handshake deadline: recv observes EOF.
+                assert sock.recv(65536) == b""
+            finally:
+                sock.close()
+
+    def test_heartbeats_before_hello_do_not_keep_a_connection_alive(self):
+        # A client sending valid frames without ever registering must not
+        # pin the socket by refreshing its own liveness: anything but
+        # HELLO from an anonymous connection is a protocol violation.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator, Heartbeat, encode
+
+        with ClusterCoordinator(heartbeat_timeout=0.4) as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.settimeout(5.0)
+                sock.sendall(encode(Heartbeat(node_id="anon/n0", load=0.1)))
+                # The coordinator drops the connection (protocol error or
+                # handshake deadline): recv observes EOF.
+                while True:
+                    if sock.recv(65536) == b"":
+                        break
+            finally:
+                sock.close()
+
+    def test_slow_transfer_counts_as_liveness(self):
+        # A worker dribbling a large Result over a slow link may have its
+        # heartbeats starved behind the in-progress send; arriving bytes
+        # must keep it alive past the heartbeat timeout.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator, FrameDecoder, Hello, encode
+        from repro.cluster.protocol import Goodbye as _Goodbye
+        from repro.cluster.protocol import encode as _encode
+
+        with ClusterCoordinator(heartbeat_timeout=0.4) as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.sendall(encode(Hello(node_id="slow/n0", host="t",
+                                          pid=1, cpus=1)))
+                decoder = FrameDecoder()
+                while not decoder.feed(sock.recv(65536)):
+                    pass        # the WELCOME
+                deadline = time.monotonic() + 5.0
+                while not coordinator.is_live("slow/n0") \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                # Dribble one frame byte-by-byte for 3x the heartbeat
+                # timeout, never sending an actual heartbeat.
+                frame = _encode(_Goodbye(node_id="slow/n0", reason="x" * 64))
+                until = time.monotonic() + 1.2
+                for byte in frame[:-1]:
+                    if time.monotonic() >= until:
+                        break
+                    assert coordinator.is_live("slow/n0"), (
+                        "mid-transfer worker was declared dead"
+                    )
+                    sock.sendall(bytes([byte]))
+                    time.sleep(1.2 / len(frame))
+            finally:
+                sock.close()
+
+
+class TestScriptMainRoundTrip:
+    def test_script_defined_class_survives_the_result_direction(self, tmp_path):
+        # Workers adopt a plain-script driver as __grasp_main__, so a class
+        # defined in the script pickles as __grasp_main__.X in *results*;
+        # the driver must resolve that (regression: it couldn't, so a farm
+        # returning a script-defined dataclass cascade-killed every healthy
+        # worker via ProtocolError at the coordinator's decoder).
+        import os
+        import subprocess
+        import sys
+
+        script = tmp_path / "driver.py"
+        script.write_text(
+            "from dataclasses import dataclass\n"
+            "from repro import Grasp, GridBuilder, TaskFarm\n"
+            "\n"
+            "@dataclass\n"
+            "class Boxed:\n"
+            "    value: int\n"
+            "\n"
+            "def work(x):\n"
+            "    return Boxed(x * 2)\n"
+            "\n"
+            "if __name__ == '__main__':\n"
+            "    grid = (GridBuilder().homogeneous(nodes=2)\n"
+            "            .named('scripted').build(seed=0))\n"
+            "    result = Grasp(skeleton=TaskFarm(worker=work), grid=grid,\n"
+            "                   backend='cluster').run(inputs=range(6))\n"
+            "    assert [b.value for b in result.outputs] == \\\n"
+            "        [x * 2 for x in range(6)], result.outputs\n"
+            "    print('ROUNDTRIP-OK')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        done = subprocess.run([sys.executable, str(script)], env=env,
+                              capture_output=True, text=True, timeout=240)
+        assert done.returncode == 0, done.stderr
+        assert "ROUNDTRIP-OK" in done.stdout
+
+
+class TestSupersede:
+    def test_same_name_reregistration_supersedes_live_connection(self):
+        # A second agent claiming an already-live node id wins; the stale
+        # connection is declared dead (its socket closes) rather than
+        # lingering as a welcomed-but-never-serviced orphan.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator, FrameDecoder, Hello, encode
+
+        def register(coordinator, node_id):
+            sock = socketlib.create_connection(coordinator.address)
+            sock.sendall(encode(Hello(node_id=node_id, host="t", pid=1,
+                                      cpus=1)))
+            decoder = FrameDecoder()
+            while not decoder.feed(sock.recv(65536)):
+                pass            # the WELCOME
+            return sock
+
+        with ClusterCoordinator() as coordinator:
+            first = register(coordinator, "dup/n0")
+            second = register(coordinator, "dup/n0")
+            try:
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    # The superseded connection's socket is shut down by
+                    # the coordinator: its recv returns EOF.
+                    first.settimeout(0.2)
+                    try:
+                        if first.recv(65536) == b"":
+                            break
+                    except socketlib.timeout:
+                        continue
+                    except OSError:
+                        break
+                else:
+                    pytest.fail("stale connection was never torn down")
+                assert coordinator.is_live("dup/n0")
+            finally:
+                first.close()
+                second.close()
+
+
+# --------------------------------------------------------------------------
+# Construction-time validation.
+
+class TestClusterConstruction:
+    def test_backend_needs_a_coordinator(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="coordinator"):
+            ClusterBackend()
+
+    def test_local_cluster_rejects_bad_worker_specs(self):
+        with pytest.raises(ClusterError):
+            LocalCluster(workers=0)
+        with pytest.raises(ClusterError):
+            LocalCluster(workers=[])
+        with pytest.raises(ClusterError):
+            LocalCluster(workers=["a", "a"])
+
+    def test_submit_to_unknown_node_raises_worker_lost(self):
+        from repro.cluster import ClusterCoordinator
+
+        with ClusterCoordinator() as coordinator:
+            with pytest.raises(WorkerLost):
+                coordinator.submit("ghost/n0", "task", (None, None, True))
+
+    def test_registration_timeout_names_missing_workers(self):
+        from repro.cluster import ClusterCoordinator
+
+        with ClusterCoordinator() as coordinator:
+            with pytest.raises(ClusterError, match="ghost/n1"):
+                coordinator.wait_for_workers(["ghost/n1"], timeout=0.1)

@@ -1,0 +1,173 @@
+"""Property tests for the cluster wire protocol.
+
+The codec's contract, pinned with Hypothesis:
+
+* **Round-trip identity** — any sequence of protocol messages, encoded,
+  concatenated and re-fed to a :class:`repro.cluster.protocol.FrameDecoder`
+  at *arbitrary byte boundaries* (one byte at a time, random splits, one
+  giant buffer — TCP guarantees none of them), decodes to the identical
+  message sequence.
+* **Clean failure** — truncated streams, corrupt magic, unsupported
+  versions, oversized lengths, garbage bodies and unknown type codes all
+  raise :class:`repro.exceptions.ProtocolError` instead of hanging,
+  guessing or returning partial nonsense.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Dispatch,
+    FrameDecoder,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Result,
+    Welcome,
+    encode,
+)
+from repro.exceptions import ProtocolError
+
+# Pickle round-trips must preserve equality, so keep payload atoms to
+# types with well-defined ==; no NaNs.
+_atoms = (st.none() | st.booleans() | st.integers()
+          | st.floats(allow_nan=False, allow_infinity=True)
+          | st.text(max_size=40) | st.binary(max_size=40))
+_payloads = st.recursive(
+    _atoms,
+    lambda inner: st.lists(inner, max_size=4).map(tuple)
+    | st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=12,
+)
+
+_node_ids = st.text(min_size=1, max_size=24)
+
+_messages = st.one_of(
+    st.builds(Hello, node_id=_node_ids, host=st.text(max_size=24),
+              pid=st.integers(1, 2**31 - 1), cpus=st.integers(1, 4096),
+              protocol=st.just(PROTOCOL_VERSION)),
+    st.builds(Welcome, node_id=_node_ids),
+    st.builds(Dispatch, request_id=st.integers(0, 2**62),
+              kind=st.sampled_from(["task", "chunk", "stage"]),
+              payload=st.lists(_payloads, max_size=3).map(tuple)),
+    st.builds(Result, request_id=st.integers(0, 2**62), ok=st.booleans(),
+              value=_payloads, error=st.none() | st.text(max_size=40)),
+    st.builds(Heartbeat, node_id=_node_ids,
+              load=st.floats(0, 1, allow_nan=False)),
+    st.builds(Goodbye, node_id=_node_ids, reason=st.text(max_size=40)),
+)
+
+
+class TestRoundTrip:
+    @given(messages=st.lists(_messages, max_size=8), data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_encode_frame_split_decode_is_identity(self, messages, data):
+        blob = b"".join(encode(m) for m in messages)
+        # Split the byte stream at arbitrary boundaries, like TCP would.
+        cuts = sorted(data.draw(
+            st.lists(st.integers(0, len(blob)), max_size=12),
+            label="split points",
+        ))
+        decoder = FrameDecoder()
+        decoded = []
+        previous = 0
+        for cut in cuts + [len(blob)]:
+            decoded.extend(decoder.feed(blob[previous:cut]))
+            previous = cut
+        decoder.at_eof()        # the stream ended on a frame boundary
+        assert decoded == messages
+
+    @given(message=_messages)
+    @settings(max_examples=100, deadline=None)
+    def test_byte_at_a_time_feeding(self, message):
+        blob = encode(message)
+        decoder = FrameDecoder()
+        decoded = []
+        for i in range(len(blob)):
+            decoded.extend(decoder.feed(blob[i:i + 1]))
+        assert decoded == [message]
+        assert decoder.pending_bytes == 0
+
+
+class TestCleanFailure:
+    @given(message=_messages, drop=st.integers(min_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_stream_raises_at_eof(self, message, drop):
+        blob = encode(message)
+        # Keep at least one byte: an empty stream is legitimately clean.
+        truncated = blob[:-min(drop, len(blob) - 1)]
+        decoder = FrameDecoder()
+        assert decoder.feed(truncated) == []    # never a partial message
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            decoder.at_eof()
+
+    @given(message=_messages, flip=st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_corrupt_magic_raises(self, message, flip):
+        blob = bytearray(encode(message))
+        blob[flip] ^= 0xFF
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(bytes(blob))
+
+    @given(message=_messages,
+           version=st.integers(0, 255).filter(lambda v: v != PROTOCOL_VERSION))
+    @settings(max_examples=50, deadline=None)
+    def test_unsupported_version_raises(self, message, version):
+        blob = bytearray(encode(message))
+        blob[4] = version
+        with pytest.raises(ProtocolError, match="version"):
+            FrameDecoder().feed(bytes(blob))
+
+    def test_oversized_length_raises_before_buffering(self):
+        header = struct.pack(">4sBI", b"GRSP", PROTOCOL_VERSION,
+                             MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            FrameDecoder().feed(header)
+
+    @given(garbage=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_garbage_body_raises(self, garbage):
+        frame = struct.pack(">4sBI", b"GRSP", PROTOCOL_VERSION,
+                            len(garbage)) + garbage
+        decoder = FrameDecoder()
+        try:
+            messages = decoder.feed(frame)
+        except ProtocolError:
+            return      # the common case: undecodable/unknown-type body
+        # Astronomically unlikely: random bytes that pickle to a valid
+        # (code, values) pair must still yield real protocol messages.
+        assert all(type(m).__module__ == "repro.cluster.protocol"
+                   for m in messages)
+
+    def test_unknown_type_code_raises(self):
+        body = pickle.dumps((250, ("nope",)))
+        frame = struct.pack(">4sBI", b"GRSP", PROTOCOL_VERSION,
+                            len(body)) + body
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            FrameDecoder().feed(frame)
+
+    def test_wrong_arity_raises(self):
+        body = pickle.dumps((2, ("a", "b", "c")))    # Welcome takes 1 field
+        frame = struct.pack(">4sBI", b"GRSP", PROTOCOL_VERSION,
+                            len(body)) + body
+        with pytest.raises(ProtocolError, match="malformed Welcome"):
+            FrameDecoder().feed(frame)
+
+    def test_unpicklable_payload_raises_on_encode(self):
+        message = Dispatch(request_id=1, kind="task",
+                           payload=(lambda x: x,))
+        with pytest.raises(ProtocolError, match="pickle"):
+            encode(message)
+
+    def test_non_message_raises_on_encode(self):
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            encode(("tuple", "is", "not", "a", "message"))
