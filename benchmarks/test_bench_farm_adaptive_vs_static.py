@@ -15,7 +15,7 @@ from repro.analysis.experiments import ExperimentTable, compare_farm
 from repro.analysis.reporting import format_table
 from repro.workloads.parameter_sweep import ParameterSweep
 
-from bench_utils import make_dynamic_grid, publish_block
+from bench_utils import publish_block
 
 NODE_COUNTS = (4, 8, 16, 32)
 
@@ -65,7 +65,8 @@ def farm_scaling():
         title="E4 — adaptive vs static farm, parameter-sweep workload, dynamic grid",
         columns=["nodes", "adaptive_makespan", "static_block", "static_weighted",
                  "demand_driven", "speedup_vs_block", "adaptive_recalibrations"],
-        notes="speedup_vs_block = static-block makespan / adaptive makespan (>1 ⇒ adaptive wins)",
+        notes=("speedup_vs_block = static-block makespan / adaptive "
+               "makespan (>1 ⇒ adaptive wins)"),
     )
     for nodes, comparison in comparisons.items():
         table.add_row({

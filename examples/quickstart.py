@@ -43,10 +43,12 @@ patterns appear at the end:
 from __future__ import annotations
 
 from repro import (
+    FarmOfPipelines,
     FaultInjectingBackend,
     Grasp,
     GraspConfig,
     GridBuilder,
+    Stage,
     TaskFarm,
     ThreadBackend,
 )
@@ -165,6 +167,44 @@ def run_local_cluster() -> None:
         backend.close()
 
 
+def normalise(x: float) -> float:
+    # Stage 1 of the nested demo: bring the raw value into [0, 1).
+    return (x % 97) / 97.0
+
+
+def enrich(x: float) -> float:
+    # Stage 2: a heavier transformation.
+    return x * x + 0.5
+
+
+def render(x: float) -> float:
+    # Stage 3: final formatting.
+    return round(x, 4)
+
+
+def run_nested_composition() -> None:
+    # A *nested* composition: a farm whose worker is itself a pipeline.
+    # Skeletons lower onto the execution-plan IR (repro.core.plan), so the
+    # composition keeps its structure — each item is dispatched as a
+    # three-stage *chain*, every stage picking the earliest-free chosen
+    # node, instead of collapsing into one opaque worker callable.  The
+    # same adaptive loop (threshold, windows, recalibration) runs over it.
+    grid = build_grid()
+    composed = FarmOfPipelines([
+        Stage(normalise, cost_model=lambda _: 1.0, name="normalise"),
+        Stage(enrich, cost_model=lambda _: 4.0, name="enrich"),
+        Stage(render, cost_model=lambda _: 1.0, name="render"),
+    ])
+    plan = composed.lower()
+    print(f"--- nested composition: FarmOfPipelines lowers to "
+          f"{type(plan).__name__}(body={type(plan.body).__name__}, "
+          f"{plan.body.num_stages} stages) ---")
+    result = Grasp(skeleton=composed, grid=grid,
+                   config=GraspConfig.adaptive()).run(inputs=range(100))
+    assert result.outputs == composed.run_sequential(range(100))
+    report(result, grid, "simulated (nested farm-of-pipelines)", "virtual")
+
+
 def run_with_fault_injection() -> None:
     # Kill one node 20 ms into the run: tasks caught on it are lost and
     # re-enqueued, the chosen set shrinks, and the job still completes.
@@ -190,6 +230,7 @@ def main() -> None:
     run_asyncio_io_bound()
     run_local_cluster()
     run_streaming()
+    run_nested_composition()
     run_with_fault_injection()
 
 

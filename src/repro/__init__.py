@@ -79,8 +79,10 @@ from repro.backends import (
 )
 from repro.skeletons import (
     DivideAndConquer,
+    FarmOfPipelines,
     MapSkeleton,
     Pipeline,
+    PipelineOfFarms,
     ReduceSkeleton,
     Stage,
     TaskFarm,
@@ -88,12 +90,16 @@ from repro.skeletons import (
 from repro.core import (
     CalibrationConfig,
     CalibrationReport,
+    ChainPlan,
     ExecutionConfig,
     ExecutionReport,
+    FanPlan,
     Grasp,
     GraspConfig,
     GraspResult,
     Phase,
+    PlanExecutor,
+    PlanStage,
     RankingMode,
     StreamingRun,
 )
@@ -139,6 +145,8 @@ __all__ = [
     "MapSkeleton",
     "ReduceSkeleton",
     "DivideAndConquer",
+    "FarmOfPipelines",
+    "PipelineOfFarms",
     # core
     "Grasp",
     "GraspConfig",
@@ -150,6 +158,10 @@ __all__ = [
     "CalibrationReport",
     "ExecutionConfig",
     "ExecutionReport",
+    "PlanStage",
+    "FanPlan",
+    "ChainPlan",
+    "PlanExecutor",
     # baselines
     "StaticFarm",
     "StaticPipeline",

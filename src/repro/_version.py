@@ -3,7 +3,8 @@
 __version__ = "1.0.0"
 
 #: Version of the PPoPP 2007 paper reproduced by this package.
-PAPER = "González-Vélez & Cole, 'Adaptive Structured Parallelism for Computational Grids', PPoPP 2007"
+PAPER = ("González-Vélez & Cole, 'Adaptive Structured Parallelism "
+         "for Computational Grids', PPoPP 2007")
 
 #: DOI of the reproduced paper.
 PAPER_DOI = "10.1145/1229428.1229456"

@@ -11,7 +11,7 @@ single-node runs are impractical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 

@@ -8,7 +8,7 @@ fragments pasted into ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.analysis.experiments import ExperimentTable
 from repro.exceptions import AnalysisError

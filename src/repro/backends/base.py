@@ -168,6 +168,10 @@ class ChainOutcome:
 
     ``stage_records`` holds ``(node_id, duration, cost, started)`` per
     stage, in stage order — exactly what the monitoring layer consumes.
+    ``lost=True`` means a node failed while holding the item somewhere
+    along the chain: the item produced no output and must be
+    re-dispatched (the plan executor re-enqueues it under the same
+    lost-task cap that protects farm dispatch from livelock).
     """
 
     output: Any
@@ -176,6 +180,7 @@ class ChainOutcome:
     finished: float
     item_cost: float
     stage_records: List[Tuple[str, float, float, float]] = field(default_factory=list)
+    lost: bool = False
 
 
 class DispatchHandle:

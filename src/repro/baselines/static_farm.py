@@ -88,7 +88,8 @@ class StaticFarm:
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
         default_workers = [n for n in grid.node_ids if n != self.master_node]
-        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        self.workers = (list(workers) if workers is not None
+                        else (default_workers or [self.master_node]))
         if not self.workers:
             raise ConfigurationError("StaticFarm needs at least one worker")
         for node in self.workers:
@@ -160,7 +161,8 @@ class DemandDrivenFarm:
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
         default_workers = [n for n in grid.node_ids if n != self.master_node]
-        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        self.workers = (list(workers) if workers is not None
+                        else (default_workers or [self.master_node]))
         if not self.workers:
             raise ConfigurationError("DemandDrivenFarm needs at least one worker")
         self.scheduler = DemandDrivenScheduler()

@@ -63,7 +63,8 @@ class StaticPipeline:
         if self.master_node not in grid:
             raise ConfigurationError(f"unknown master node {self.master_node!r}")
         default_workers = [n for n in grid.node_ids if n != self.master_node]
-        self.workers = list(workers) if workers is not None else (default_workers or [self.master_node])
+        self.workers = (list(workers) if workers is not None
+                        else (default_workers or [self.master_node]))
         for node in self.workers:
             if node not in grid:
                 raise ConfigurationError(f"unknown worker node {node!r}")

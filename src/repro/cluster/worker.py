@@ -44,7 +44,7 @@ import socket
 import sys
 import threading
 import warnings
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.backends._payload import run_chunk, run_payload, run_stage
 from repro.cluster.protocol import (

@@ -14,7 +14,6 @@ rank.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, List, Sequence
 
 from repro.exceptions import CommunicationError

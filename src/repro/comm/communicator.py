@@ -59,7 +59,9 @@ class Communicator:
         try:
             return self._node_ids.index(node_id)
         except ValueError:
-            raise CommunicationError(f"node {node_id!r} is not part of this communicator") from None
+            raise CommunicationError(
+                f"node {node_id!r} is not part of this communicator"
+            ) from None
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pickle
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np

@@ -17,8 +17,11 @@ The package mirrors the paper's four phases:
 * **Execution** — :class:`repro.core.engine.AdaptiveEngine` implements
   Algorithm 2 once for every skeleton: run on the chosen nodes, monitor
   execution times against the performance threshold *Z* and adapt
-  (recalibrate / reschedule) when it is breached.  The farm and pipeline
-  executors drive the engine through the backend interface.
+  (recalibrate / reschedule) when it is breached.  Every skeleton lowers
+  onto the execution-plan IR (:mod:`repro.core.plan`) and one
+  :class:`repro.core.plan_executor.PlanExecutor` drives the engine
+  through the backend interface for any plan shape (the historical farm
+  and pipeline executors remain as shims over it).
 
 The :class:`repro.core.grasp.Grasp` facade orchestrates all four phases and
 is the main entry point of the library.
@@ -38,6 +41,8 @@ from repro.core.ranking import NodeScore, RankingMode, rank_nodes
 from repro.core.calibration import CalibrationObservation, CalibrationReport, calibrate
 from repro.core.execution import ExecutionReport, MonitoringRound
 from repro.core.engine import AdaptiveEngine, MonitoringWindow
+from repro.core.plan import ChainPlan, FanPlan, Plan, PlanStage, walk_sequential
+from repro.core.plan_executor import PlanExecutor, StageMapping
 from repro.core.program import SkeletalProgram
 from repro.core.compilation import CompiledProgram, compile_program
 from repro.core.grasp import Grasp, GraspResult, StreamingRun
@@ -61,6 +66,13 @@ __all__ = [
     "MonitoringRound",
     "AdaptiveEngine",
     "MonitoringWindow",
+    "Plan",
+    "PlanStage",
+    "FanPlan",
+    "ChainPlan",
+    "walk_sequential",
+    "PlanExecutor",
+    "StageMapping",
     "SkeletalProgram",
     "CompiledProgram",
     "compile_program",

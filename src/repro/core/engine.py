@@ -4,10 +4,12 @@ Historically the farm and pipeline executors each re-implemented the same
 calibrate→execute→monitor→adapt loop.  :class:`AdaptiveEngine` is that loop
 extracted once: threshold management, monitoring-window bookkeeping, breach
 decisions, the recalibration feedback edge, history-based re-ranking, and
-the per-round reporting.  The executors keep only what is genuinely
-skeleton-specific — *how* a window of work is produced (demand-driven
-dispatch vs. stage streaming) and *how* a new fittest set is applied
-(worker set vs. stage remapping) — and hand those in as callbacks.
+the per-round reporting.  The plan executor
+(:class:`~repro.core.plan_executor.PlanExecutor`) keeps only what is
+genuinely plan-shape-specific — *how* a window of work is produced
+(demand-driven dispatch vs. stage streaming) and *how* a new fittest set
+is applied (worker set vs. stage remapping) — and hands those in as
+callbacks.
 
 The engine talks to the parallel environment exclusively through the
 :class:`~repro.backends.base.ExecutionBackend` interface, so the identical
@@ -52,8 +54,8 @@ class ResultCursor:
     """Yields each :class:`~repro.skeletons.base.TaskResult` appended to a
     report exactly once.
 
-    The streaming executors (``FarmExecutor.as_completed``,
-    ``PipelineExecutor.as_completed``) interleave dispatch, monitoring and
+    The streaming plan walks (``PlanExecutor.as_completed``, behind the
+    farm/pipeline shims) interleave dispatch, monitoring and
     adaptation; results enter ``report.results`` at several of those points
     (window collection, recalibration probes that consume pending tasks).
     A cursor over the report lets the stream surface every new result right

@@ -1,59 +1,26 @@
-"""Algorithm 2 for the task farm.
+"""Algorithm 2 for the task farm (compatibility shim).
 
-The adaptive farm executor implements the execution phase for the task-farm
-skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
-
-* **Demand-driven dispatch** — the next task goes to the chosen worker that
-  is free earliest (self-scheduling), with inputs shipped from the master
-  through a serially reused master uplink and results shipped back.  With
-  ``ExecutionConfig.chunk_size > 1`` the unit of dispatch becomes a *chunk*
-  of k tasks (one backend dispatch, one decision-statistic sample),
-  amortising per-dispatch IPC overhead on the process backend.
-* **Monitoring rounds** — after every ``monitor_interval`` completed tasks
-  (default: one per chosen worker) the monitor inspects the normalised
-  execution times of the round; per Algorithm 2, a round whose *minimum*
-  time exceeds the threshold *Z* breaches.
-* **Adaptation** — a breach triggers the configured action via the shared
-  :class:`~repro.core.engine.AdaptiveEngine`: full recalibration over the
-  whole node pool (the feedback edge of Figure 1, consuming pending tasks
-  so the probe work still contributes to the job) or a cheap re-ranking
-  from monitoring history.  The new fittest set takes effect for all
-  not-yet-dispatched tasks.
-* **Failure handling** — a worker that becomes unavailable is dropped from
-  the chosen set; a task caught on a failing node is re-enqueued.  On the
-  simulator failures come from the topology's failure model; on the
-  wall-clock backends they come from
-  :class:`~repro.backends.faults.FaultInjectingBackend` (or a genuinely
-  dead worker process).
-
-On an eager backend (the virtual-time simulator) every dispatch resolves
-immediately and the loop is step-for-step identical to the historical
-executor.  On a concurrent backend (threads, processes) dispatches within a
-monitoring window overlap: the window is filled first and collected
-afterwards, which is where the real parallelism comes from.
+The adaptive farm loop used to live here; it now lives once in
+:class:`~repro.core.plan_executor.PlanExecutor`, which walks the
+execution-plan IR (:mod:`repro.core.plan`) for every skeleton.
+:class:`FarmExecutor` is kept as a thin, behaviour-identical facade: it
+lowers its arguments onto a leaf :class:`~repro.core.plan.FanPlan`
+(independent units, demand-driven dispatch, chunked, loss-capped) and
+delegates both the blocking and the streaming form to the plan executor.
+Reports are bit-identical to the historical executor — pinned by the
+goldens in ``tests/test_backends_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Deque, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Iterator, Optional, Sequence, Union
 
-from repro.backends import (
-    DispatchHandle,
-    DispatchOutcome,
-    ExecutionBackend,
-    as_backend,
-)
+from repro.backends import ExecutionBackend
 from repro.core.calibration import CalibrationReport
-from repro.core.engine import (
-    AdaptiveEngine,
-    MonitoringWindow,
-    ResultCursor,
-    drain_stream,
-)
 from repro.core.execution import ExecutionReport
 from repro.core.parameters import GraspConfig
-from repro.core.scheduler import DemandDrivenScheduler
-from repro.exceptions import ExecutionError
+from repro.core.plan import FanPlan
+from repro.core.plan_executor import PlanExecutor
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
 from repro.skeletons.base import Task, TaskResult
@@ -65,9 +32,12 @@ __all__ = ["FarmExecutor"]
 class FarmExecutor:
     """Adaptive execution engine for farm-like skeletons.
 
-    Any skeleton whose tasks are independent (task farm, map, reduce blocks,
-    divide-and-conquer leaves) is executed by this engine; the caller
-    supplies ``execute_fn`` to produce each task's real output.
+    Any skeleton whose tasks are independent (task farm, map, reduce
+    blocks, divide-and-conquer leaves) is executed by this engine; the
+    caller supplies ``execute_fn`` to produce each task's real output.
+    Since the plan-IR refactor this class contains no adaptive-loop
+    logic of its own: it is ``PlanExecutor`` over
+    ``FanPlan(body=execute_fn)``.
     """
 
     def __init__(
@@ -81,229 +51,37 @@ class FarmExecutor:
         monitor: Optional[ResourceMonitor] = None,
         tracer: Optional[Tracer] = None,
     ):
-        self.backend = as_backend(simulator)
-        if not self.backend.has_node(master_node):
-            raise ExecutionError(f"unknown master node {master_node!r}")
-        if not pool:
-            raise ExecutionError("farm executor needs a non-empty node pool")
         self.execute_fn = execute_fn
-        self.simulator = getattr(self.backend, "simulator", None)
+        self._executor = PlanExecutor(
+            plan=FanPlan(body=execute_fn, min_nodes=max(1, min_nodes)),
+            simulator=simulator, config=config, master_node=master_node,
+            pool=pool, min_nodes=max(1, min_nodes), monitor=monitor,
+            tracer=tracer,
+        )
+        self.backend = self._executor.backend
+        self.simulator = self._executor.simulator
         self.config = config
         self.master_node = master_node
-        self.pool = list(pool)
-        self.min_nodes = max(1, min_nodes)
+        self.pool = self._executor.pool
+        self.min_nodes = self._executor.min_nodes
         self.monitor = monitor
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self.scheduler = DemandDrivenScheduler()
-        self.engine = AdaptiveEngine(
-            backend=self.backend, config=config, master_node=master_node,
-            pool=self.pool, monitor=monitor, tracer=self.tracer,
-        )
+        self.tracer = self._executor.tracer
+        self.scheduler = self._executor.scheduler
+        self.engine = self._executor.engine
 
     # ------------------------------------------------------------------ run
     def run(self, tasks: Deque[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Execute all pending ``tasks`` adaptively; return the report."""
-        return drain_stream(self.as_completed(tasks, calibration, start_time))
+        return self._executor.run(tasks, calibration, start_time)
 
     def as_completed(self, tasks: Deque[Task], calibration: CalibrationReport,
                      start_time: Optional[float] = None,
                      ) -> Iterator[TaskResult]:
         """Execute adaptively, yielding each result as it lands.
 
-        The streaming form of :meth:`run`: the same dispatch/monitor/adapt
-        loop, but every completed :class:`~repro.skeletons.base.TaskResult`
-        (including results of recalibration probes, which count toward the
-        job) is yielded as soon as the loop *collects* it, so callers can
-        consume output while later windows are still executing.  On
-        concurrent backends a monitoring window's dispatches are collected
-        in fan-in (submission) order, so within one window a slow early
-        chunk delays the yield of faster later ones — lower
-        ``ExecutionConfig.monitor_interval`` for tighter streaming.  The
-        generator's return value is the final
-        :class:`~repro.core.execution.ExecutionReport` (also reachable as
-        ``self.engine.report`` once the stream is exhausted).
+        See :meth:`PlanExecutor.as_completed`; the generator's return
+        value is the final :class:`~repro.core.execution.ExecutionReport`
+        (also reachable as ``self.engine.report``).
         """
-        exec_cfg = self.config.execution
-        engine = self.engine
-        start = calibration.finished if start_time is None else float(start_time)
-
-        chosen = self._workers_from(calibration.chosen)
-        report = engine.begin(calibration, start)
-        report.chosen_history.append(list(chosen))
-        cursor = ResultCursor(report)
-
-        master_free = start
-        chunk_size = max(1, exec_cfg.chunk_size)
-        # A node that loses every task it is given (a worker that can never
-        # run, e.g. persistently failing to spawn) would otherwise be
-        # re-dispatched forever on backends whose availability query cannot
-        # see the breakage; cap total losses so a livelock becomes an error.
-        lost_task_limit = max(64, 8 * (len(tasks) + len(self.pool)))
-
-        self.tracer.record("phase.execution.start", "farm execution started",
-                           chosen=list(chosen), tasks=len(tasks),
-                           chunk_size=chunk_size)
-
-        def collect(chunk: List[Task], handle: DispatchHandle) -> int:
-            """Fold one finished chunk dispatch into the window.
-
-            Handles per-task losses (a node died while holding work — the
-            fault-injection path on concurrent backends, the failure models
-            on the simulator): lost tasks are re-enqueued in order and the
-            dead node leaves the chosen set.  Returns the number of tasks
-            that completed.
-            """
-            nonlocal chosen
-            outcome = handle.outcome()
-            survived: List[Tuple[Task, DispatchOutcome]] = []
-            lost: List[Task] = []
-            for task, task_outcome in zip(chunk, outcome.outcomes):
-                if task_outcome.lost:
-                    lost.append(task)
-                else:
-                    survived.append((task, task_outcome))
-            if lost:
-                tasks.extendleft(reversed(lost))
-                report.lost_tasks += len(lost)
-                if report.lost_tasks > lost_task_limit:
-                    raise ExecutionError(
-                        f"{report.lost_tasks} tasks lost (limit "
-                        f"{lost_task_limit}): a node appears to lose every "
-                        "task it is given; aborting instead of thrashing"
-                    )
-                chosen = [n for n in chosen if n != outcome.node_id]
-                if not chosen:
-                    chosen = self._recover_pool(master_free)
-                report.chosen_history.append(list(chosen))
-            if not survived:
-                return 0
-            for task, task_outcome in survived:
-                report.results.append(task_outcome.to_task_result(task))
-            window.record_chunk(
-                outcome.node_id,
-                [task_outcome for _, task_outcome in survived],
-                [task.cost if task.cost > 0 else 1.0 for task, _ in survived],
-            )
-            return len(survived)
-
-        while tasks:
-            # The window budget is monitor units × chunk size: one round
-            # still collects ~one decision sample per chosen worker, and
-            # chunking cannot shrink the number of concurrent dispatches
-            # (chunk_size=1 keeps the historical task-per-unit budget).
-            window_size = max(1, exec_cfg.monitor_interval or len(chosen))
-            window_tasks = min(window_size * chunk_size, len(tasks))
-            window = MonitoringWindow(floor=start)
-
-            dispatched = 0
-            inflight: List[Tuple[List[Task], DispatchHandle]] = []
-            while dispatched < window_tasks and tasks:
-                take = min(chunk_size, window_tasks - dispatched, len(tasks))
-                chunk = [tasks.popleft() for _ in range(max(1, take))]
-                handle = self._dispatch(chunk, chosen, master_free)
-                if handle is None:
-                    # Every chosen worker is dead: force recalibration over
-                    # the remaining pool (or fail if nothing is left).
-                    tasks.extendleft(reversed(chunk))
-                    chosen = self._recover_pool(master_free)
-                    report.chosen_history.append(list(chosen))
-                    continue
-                master_free = handle.master_free_after
-                if self.backend.eager:
-                    dispatched += collect(chunk, handle)
-                    yield from cursor.drain()
-                else:
-                    # Concurrent backend: let the window's chunks overlap
-                    # across the workers and fan them in afterwards.
-                    inflight.append((chunk, handle))
-                    dispatched += len(chunk)
-            for chunk, handle in inflight:
-                collect(chunk, handle)
-                yield from cursor.drain()
-
-            if window.empty:
-                continue
-
-            # --------------------------------------------------- monitoring
-            chosen_before = list(chosen)
-
-            def on_recalibrate() -> None:
-                nonlocal chosen, master_free
-                recal = engine.recalibrate(
-                    tasks, at_time=window.finished, execute_fn=self.execute_fn,
-                    min_nodes=self.min_nodes, consume=True,
-                )
-                report.results.extend(recal.results)
-                chosen = self._workers_from(recal.chosen)
-                master_free = max(master_free, recal.finished)
-                window.span(finished=recal.finished)
-                self.tracer.record("adaptation.recalibrate", "farm recalibrated",
-                                   round=engine.round_index, chosen=list(chosen))
-
-            def on_rerank() -> None:
-                nonlocal chosen
-                chosen = self._workers_from(
-                    engine.rerank(window, at_time=window.finished,
-                                  min_nodes=self.min_nodes)
-                )
-                self.tracer.record("adaptation.rerank", "farm re-ranked",
-                                   round=engine.round_index, chosen=list(chosen))
-
-            engine.observe_window(
-                window,
-                has_pending=bool(tasks),
-                nodes_before=chosen_before,
-                nodes_now=lambda: list(chosen),
-                on_recalibrate=on_recalibrate,
-                on_rerank=on_rerank,
-            )
-            # Recalibration consumed pending tasks; their results stream too.
-            yield from cursor.drain()
-
-        report = engine.finish()
-        self.tracer.record("phase.execution.end", "farm execution finished",
-                           results=len(report.results),
-                           recalibrations=report.recalibrations)
-        return report
-
-    # ------------------------------------------------------------ internals
-    def _workers_from(self, chosen: Sequence[str]) -> List[str]:
-        """The worker set derived from a chosen-node list.
-
-        The master only computes when configured to (or when it is the only
-        chosen node).
-        """
-        workers = list(chosen)
-        if not self.config.execution.master_computes and len(workers) > 1:
-            workers = [n for n in workers if n != self.master_node] or workers
-        if not workers:
-            raise ExecutionError("calibration selected an empty worker set")
-        return workers
-
-    def _recover_pool(self, time: float) -> List[str]:
-        """Rebuild the worker set from whatever pool nodes are still alive."""
-        alive = self.engine.alive_pool(time)
-        self.tracer.record("adaptation.failover", "rebuilt worker set after failures",
-                           alive=list(alive))
-        return self._workers_from(alive)
-
-    def _dispatch(self, chunk: Sequence[Task], chosen: Sequence[str],
-                  master_free: float) -> Optional[DispatchHandle]:
-        """Send one chunk of tasks to the earliest-free chosen worker.
-
-        Returns ``None`` when no chosen worker is available.
-        """
-        backend = self.backend
-        ready = {}
-        for node in chosen:
-            free_at = max(backend.node_free_at(node), master_free)
-            if backend.is_available(node, free_at):
-                ready[node] = free_at
-        if not ready:
-            return None
-        node = self.scheduler.next_node(ready)
-        return backend.dispatch_chunk(
-            chunk, node, self.execute_fn, master_node=self.master_node,
-            at_time=ready[node], check_loss=True,
-        )
+        return self._executor.as_completed(tasks, calibration, start_time)

@@ -29,10 +29,10 @@ from repro.backends import ExecutionBackend
 from repro.core.calibration import CalibrationReport, calibrate
 from repro.core.compilation import CompiledProgram, compile_program
 from repro.core.execution import ExecutionReport
-from repro.core.farm_executor import FarmExecutor
 from repro.core.parameters import GraspConfig
 from repro.core.phases import Phase, PhaseTimeline
-from repro.core.pipeline_executor import PipelineExecutor
+from repro.core.plan import ChainPlan
+from repro.core.plan_executor import PlanExecutor
 from repro.core.program import SkeletalProgram
 from repro.exceptions import ExecutionError, GraspError
 from repro.grid.simulator import GridSimulator
@@ -281,35 +281,25 @@ class Grasp:
         yield from calibration.results
 
         # ------------------------------------------------------ 4. execution
+        # Every skeleton lowered onto the plan IR during the programming
+        # phase; one executor walks any plan shape adaptively.
         timeline.enter(Phase.EXECUTION, calibration.finished)
-        if program.is_pipeline:
-            executor = PipelineExecutor(
-                pipeline=program.pipeline,
-                simulator=compiled.backend,
-                config=self.config,
-                master_node=compiled.master_node,
-                pool=compiled.pool,
-                monitor=compiled.monitor,
-                tracer=compiled.tracer,
+        if isinstance(program.plan, ChainPlan) and not tasks:
+            raise ExecutionError(
+                "the calibration sample consumed every pipeline item; "
+                "reduce sample_per_node or supply more inputs"
             )
-            if not tasks:
-                raise ExecutionError(
-                    "the calibration sample consumed every pipeline item; "
-                    "reduce sample_per_node or supply more inputs"
-                )
-            execution = yield from executor.as_completed(list(tasks), calibration)
-        else:
-            executor = FarmExecutor(
-                execute_fn=program.execute_task,
-                simulator=compiled.backend,
-                config=self.config,
-                master_node=compiled.master_node,
-                pool=compiled.pool,
-                min_nodes=program.min_nodes,
-                monitor=compiled.monitor,
-                tracer=compiled.tracer,
-            )
-            execution = yield from executor.as_completed(tasks, calibration)
+        executor = PlanExecutor(
+            plan=program.plan,
+            simulator=compiled.backend,
+            config=self.config,
+            master_node=compiled.master_node,
+            pool=compiled.pool,
+            min_nodes=program.min_nodes,
+            monitor=compiled.monitor,
+            tracer=compiled.tracer,
+        )
+        execution = yield from executor.as_completed(tasks, calibration)
 
         # Interleave the feedback edge (recalibrations) into the timeline so
         # the Figure-1 trace shows execution → calibration → execution cycles.

@@ -11,7 +11,7 @@ inspects to reproduce the figure as a machine-checkable trace.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.exceptions import GraspError

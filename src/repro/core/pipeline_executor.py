@@ -1,100 +1,42 @@
-"""Algorithm 2 for the pipeline.
+"""Algorithm 2 for the pipeline (compatibility shim).
 
-The adaptive pipeline executor implements the execution phase for the
-pipeline skeleton over any :class:`~repro.backends.base.ExecutionBackend`:
+The adaptive pipeline loop used to live here; it now lives once in
+:class:`~repro.core.plan_executor.PlanExecutor`, which walks the
+execution-plan IR (:mod:`repro.core.plan`) for every skeleton.
+:class:`PipelineExecutor` is kept as a thin, behaviour-identical facade:
+it lowers the pipeline onto a :class:`~repro.core.plan.ChainPlan` and
+delegates both the blocking and the streaming form to the plan executor.
+Reports are bit-identical to the historical executor — pinned by the
+goldens in ``tests/test_backends_equivalence.py``.
 
-* **Stage mapping** — the calibration ranking assigns the heaviest stages
-  (by estimated per-item cost) to the fittest nodes.  When
-  ``replicate_stages`` is enabled and more nodes were chosen than there are
-  stages, the spare nodes replicate the costliest *replicable* stages and
-  items alternate between replicas.
-* **Streaming** — items flow through the stages in order; a stage's node
-  serialises its items (each node is a serial resource in every backend),
-  and inter-stage transfers are charged through the backend's transfer-cost
-  hook.
-* **Monitoring rounds** — every ``monitor_interval`` completed items
-  (default: one round per chosen node count) the monitor, which receives
-  every result, collects the gaps between consecutive item completions
-  normalised per work unit (the pipeline's reciprocal throughput);
-  ``min(T) > Z`` breaches.  Per-stage times are still recorded for the
-  re-ranking path.
-* **Adaptation** — a breach triggers, via the shared
-  :class:`~repro.core.engine.AdaptiveEngine`, a probe recalibration (the
-  probes reuse a representative item and are *not* counted as job output,
-  because an item cannot leave the stream) followed by a remapping of
-  stages onto the new fittest nodes; each remapped stage is charged a
-  state-migration transfer.
-
-On an eager backend (the simulator) items stream synchronously and the
-result is bit-identical to the historical executor; on a concurrent backend
-the stage chains of a monitoring window execute as overlapping futures —
-genuine pipelining on real threads.
+``StageMapping`` and the stage-mapping/lowering helpers also moved to
+:mod:`repro.core.plan_executor`; the pipeline-typed spellings here stay
+for callers holding a :class:`~repro.skeletons.pipeline.Pipeline`
+(the static baselines, historical tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
-import collections
-
-from repro.backends import ChainStage, DispatchHandle, ExecutionBackend, as_backend
+from repro.backends import ChainStage, ExecutionBackend
 from repro.core.calibration import CalibrationReport
-from repro.core.engine import (
-    AdaptiveEngine,
-    MonitoringWindow,
-    ResultCursor,
-    drain_stream,
-)
 from repro.core.execution import ExecutionReport
 from repro.core.parameters import GraspConfig
-from repro.exceptions import ExecutionError
+from repro.core.plan_executor import (
+    PlanExecutor,
+    StageMapping,
+    build_plan_mapping,
+    lower_chain_stages,
+)
 from repro.grid.simulator import GridSimulator
 from repro.monitor.monitor import ResourceMonitor
 from repro.skeletons.base import Task, TaskResult
-from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.pipeline import Pipeline
 from repro.utils.tracing import Tracer
 
 __all__ = ["PipelineExecutor", "StageMapping", "build_stage_mapping",
            "lower_pipeline_stages"]
-
-
-@dataclass(frozen=True)
-class _StageCost:
-    """Picklable ``value -> work units`` for one pipeline stage.
-
-    Chain stage ``cost``/``apply`` callables cross a process boundary on
-    the process backend, so they must pickle; a closure over the pipeline
-    would not.  Each carries only its own :class:`~repro.skeletons.pipeline.Stage`
-    — shipping the whole pipeline would serialise every stage's captured
-    state on every stage hop.  ``pick`` always runs master-side and may
-    stay a closure.
-    """
-
-    stage: Stage
-
-    def __call__(self, value):
-        return self.stage.cost(value)
-
-
-@dataclass(frozen=True)
-class _StageApply:
-    """Picklable ``value -> value`` for one pipeline stage."""
-
-    stage: Stage
-
-    def __call__(self, value):
-        return self.stage.fn(value)
-
-
-@dataclass(frozen=True)
-class _RunItem:
-    """Picklable whole-chain probe payload (recalibration dispatches it)."""
-
-    pipeline: Pipeline
-
-    def __call__(self, task: Task):
-        return self.pipeline.run_item(task.payload)
 
 
 def lower_pipeline_stages(pipeline: Pipeline, pick_for_stage) -> List[ChainStage]:
@@ -105,54 +47,7 @@ def lower_pipeline_stages(pipeline: Pipeline, pick_for_stage) -> List[ChainStage
     ones); cost and apply always come from the pipeline itself, so every
     chain construction shares one lowering.
     """
-    return [
-        ChainStage(
-            pick=pick_for_stage(index),
-            cost=_StageCost(pipeline.stages[index]),
-            apply=_StageApply(pipeline.stages[index]),
-        )
-        for index in range(pipeline.num_stages)
-    ]
-
-
-class StageMapping:
-    """Assignment of pipeline stages to grid nodes (with optional replicas)."""
-
-    def __init__(self, assignment: Dict[int, List[str]]):
-        if not assignment:
-            raise ExecutionError("stage mapping cannot be empty")
-        for stage, nodes in assignment.items():
-            if not nodes:
-                raise ExecutionError(f"stage {stage} has no nodes assigned")
-        self.assignment: Dict[int, List[str]] = {
-            stage: list(nodes) for stage, nodes in assignment.items()
-        }
-        self._next_replica: Dict[int, int] = {stage: 0 for stage in assignment}
-
-    def nodes_for(self, stage: int) -> List[str]:
-        """All nodes serving ``stage`` (one unless the stage is replicated)."""
-        return list(self.assignment[stage])
-
-    def pick_node(self, stage: int, free_at) -> str:
-        """Choose the replica with the earliest availability for the next item."""
-        nodes = self.assignment[stage]
-        if len(nodes) == 1:
-            return nodes[0]
-        return min(nodes, key=lambda n: (free_at(n), n))
-
-    def all_nodes(self) -> List[str]:
-        """Every distinct node used by the mapping, in stage order."""
-        seen: Dict[str, None] = {}
-        for stage in sorted(self.assignment):
-            for node in self.assignment[stage]:
-                seen.setdefault(node, None)
-        return list(seen)
-
-    def as_dict(self) -> Dict[int, List[str]]:
-        return {stage: list(nodes) for stage, nodes in self.assignment.items()}
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, StageMapping) and self.assignment == other.assignment
+    return lower_chain_stages(pipeline.lower(), pick_for_stage)
 
 
 def build_stage_mapping(
@@ -163,34 +58,21 @@ def build_stage_mapping(
 ) -> StageMapping:
     """Map stages onto ranked nodes, heaviest stage to fittest node.
 
-    ``ranked_nodes`` must contain at least ``pipeline.num_stages`` entries;
-    extra nodes are used as replicas of the costliest replicable stages when
-    ``replicate`` is enabled (otherwise they are left unused).
+    ``ranked_nodes`` must contain at least ``pipeline.num_stages``
+    entries; extra nodes are used as replicas of the costliest
+    replicable stages when ``replicate`` is enabled (otherwise they are
+    left unused).
     """
-    stages = pipeline.num_stages
-    if len(ranked_nodes) < stages:
-        raise ExecutionError(
-            f"pipeline needs {stages} nodes, calibration chose {len(ranked_nodes)}"
-        )
-    costs = [pipeline.stage_cost(i, sample_item) for i in range(stages)]
-    order = sorted(range(stages), key=lambda i: -costs[i])
-    assignment: Dict[int, List[str]] = {}
-    for position, stage_index in enumerate(order):
-        assignment[stage_index] = [ranked_nodes[position]]
-
-    if replicate and len(ranked_nodes) > stages:
-        spares = list(ranked_nodes[stages:])
-        replicable = [i for i in order if pipeline.stages[i].replicable]
-        if replicable:
-            cursor = 0
-            for spare in spares:
-                assignment[replicable[cursor % len(replicable)]].append(spare)
-                cursor += 1
-    return StageMapping(assignment)
+    return build_plan_mapping(pipeline.lower(), ranked_nodes, sample_item,
+                              replicate=replicate)
 
 
 class PipelineExecutor:
-    """Adaptive execution engine for the pipeline skeleton."""
+    """Adaptive execution engine for the pipeline skeleton.
+
+    Since the plan-IR refactor this class contains no adaptive-loop
+    logic of its own: it is ``PlanExecutor`` over ``pipeline.lower()``.
+    """
 
     def __init__(
         self,
@@ -202,28 +84,26 @@ class PipelineExecutor:
         monitor: Optional[ResourceMonitor] = None,
         tracer: Optional[Tracer] = None,
     ):
-        self.backend = as_backend(simulator)
-        if not self.backend.has_node(master_node):
-            raise ExecutionError(f"unknown master node {master_node!r}")
-        if not pool:
-            raise ExecutionError("pipeline executor needs a non-empty node pool")
         self.pipeline = pipeline
-        self.simulator = getattr(self.backend, "simulator", None)
+        self._executor = PlanExecutor(
+            plan=pipeline.lower(), simulator=simulator, config=config,
+            master_node=master_node, pool=pool, monitor=monitor,
+            tracer=tracer,
+        )
+        self.backend = self._executor.backend
+        self.simulator = self._executor.simulator
         self.config = config
         self.master_node = master_node
-        self.pool = list(pool)
+        self.pool = self._executor.pool
         self.monitor = monitor
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self.engine = AdaptiveEngine(
-            backend=self.backend, config=config, master_node=master_node,
-            pool=self.pool, monitor=monitor, tracer=self.tracer,
-        )
+        self.tracer = self._executor.tracer
+        self.engine = self._executor.engine
 
     # ------------------------------------------------------------------ run
     def run(self, tasks: Sequence[Task], calibration: CalibrationReport,
             start_time: Optional[float] = None) -> ExecutionReport:
         """Stream every item through the pipeline adaptively; return the report."""
-        return drain_stream(self.as_completed(tasks, calibration, start_time))
+        return self._executor.run(tasks, calibration, start_time)
 
     def as_completed(self, tasks: Sequence[Task],
                      calibration: CalibrationReport,
@@ -231,193 +111,7 @@ class PipelineExecutor:
                      ) -> Iterator[TaskResult]:
         """Stream items through the pipeline, yielding results as they land.
 
-        The streaming form of :meth:`run`: each item's final
-        :class:`~repro.skeletons.base.TaskResult` is yielded as soon as the
-        monitor folds its completion into the current window.  On
-        concurrent backends a window's chains are resolved together and
-        folded by completion time (the inter-arrival statistic requires
-        it), so yields arrive window-by-window in completion order within
-        each window; lower ``ExecutionConfig.monitor_interval`` for
-        tighter streaming.  The generator's return value is the final
-        :class:`~repro.core.execution.ExecutionReport`.
+        See :meth:`PlanExecutor.as_completed`; the generator's return
+        value is the final :class:`~repro.core.execution.ExecutionReport`.
         """
-        exec_cfg = self.config.execution
-        engine = self.engine
-        start = calibration.finished if start_time is None else float(start_time)
-        items = list(tasks)
-        if not items:
-            raise ExecutionError("pipeline execution needs at least one item")
-
-        sample_item = items[0].payload
-        mapping = build_stage_mapping(
-            self.pipeline, calibration.chosen, sample_item,
-            replicate=exec_cfg.replicate_stages,
-        )
-        chain = self._chain_stages(mapping)
-
-        report = engine.begin(calibration, start)
-        report.chosen_history.append(mapping.all_nodes())
-        cursor = ResultCursor(report)
-
-        # Results of calibration-phase items are produced by the caller
-        # (Grasp.run) because the pipeline sample runs all stages per item.
-        window_size = max(1, exec_cfg.monitor_interval or
-                          max(len(mapping.all_nodes()), 1))
-
-        emit_time = start  # the master releases items into the stream
-        pending = collections.deque(items)
-
-        self.tracer.record("phase.execution.start", "pipeline execution started",
-                           mapping=mapping.as_dict(), items=len(pending))
-
-        # The monitor node observes the stream of results it receives.  Its
-        # decision statistic T is the gap between consecutive item
-        # completions, normalised per work unit of the completing item —
-        # i.e. the reciprocal throughput of the whole pipeline.  A window
-        # whose *minimum* normalised gap exceeds Z (Algorithm 2's rule)
-        # means even the best recent inter-arrival is too slow: the stream
-        # is throttled by a degraded stage, so the skeleton adapts.
-        last_completion: Optional[float] = None
-
-        def collect(task: Task, outcome) -> None:
-            """Fold one streamed item into the window and the report."""
-            nonlocal last_completion
-            result = TaskResult(
-                task_id=task.task_id, output=outcome.output,
-                node_id=outcome.final_node, submitted=outcome.submitted,
-                started=outcome.submitted, finished=outcome.finished,
-                stage=self.pipeline.num_stages - 1,
-            )
-            report.results.append(result)
-            window.span(result.submitted, result.finished)
-            if last_completion is not None:
-                gap = max(result.finished - last_completion, 0.0)
-                window.record_unit(
-                    gap / (outcome.item_cost if outcome.item_cost > 0 else 1.0)
-                )
-            last_completion = result.finished
-            for node_id, duration, cost, started in outcome.stage_records:
-                window.record_node(
-                    node_id,
-                    duration / (cost if cost > 0 else 1.0),
-                    self.backend.observe_load(node_id, started),
-                )
-
-        while pending:
-            window = MonitoringWindow(floor=emit_time)
-            inflight: List[Tuple[Task, DispatchHandle]] = []
-
-            for _ in range(min(window_size, len(pending))):
-                task = pending.popleft()
-                handle = self.backend.dispatch_chain(
-                    task, chain, master_node=self.master_node, at_time=emit_time,
-                )
-                emit_time = handle.next_emit
-                if self.backend.eager:
-                    collect(task, handle.outcome())
-                    yield from cursor.drain()
-                else:
-                    inflight.append((task, handle))
-            # Concurrent chains may finish out of submission order; fold them
-            # by completion time so the inter-arrival gap statistic (and its
-            # zero clamp) keeps measuring real throughput.
-            resolved = [(task, handle.outcome()) for task, handle in inflight]
-            for task, outcome in sorted(resolved, key=lambda pair: pair[1].finished):
-                collect(task, outcome)
-                yield from cursor.drain()
-
-            if window.empty:
-                continue
-
-            # --------------------------------------------------- monitoring
-            nodes_before = mapping.all_nodes()
-
-            def on_recalibrate() -> None:
-                nonlocal mapping, chain, emit_time
-                probe_queue: collections.deque = collections.deque([pending[0]])
-                # Probes are never counted (consume=False), so the simulator
-                # skips the payload entirely; measurement-based backends run
-                # the full stage chain to time the node on real work.
-                recal = engine.recalibrate(
-                    probe_queue, at_time=window.finished,
-                    execute_fn=_RunItem(self.pipeline),
-                    min_nodes=self.pipeline.num_stages, consume=False,
-                    min_alive=self.pipeline.num_stages,
-                    insufficient_message=(
-                        "not enough live nodes to host every pipeline stage"
-                    ),
-                )
-                new_mapping = build_stage_mapping(
-                    self.pipeline, recal.chosen, sample_item,
-                    replicate=exec_cfg.replicate_stages,
-                )
-                emit_time = self._apply_remap(mapping, new_mapping,
-                                              max(window.finished, recal.finished))
-                mapping = new_mapping
-                chain = self._chain_stages(mapping)
-                self.tracer.record("adaptation.recalibrate", "pipeline remapped",
-                                   round=engine.round_index,
-                                   mapping=mapping.as_dict())
-
-            def on_rerank() -> None:
-                nonlocal mapping, chain, emit_time
-                ranked = engine.rerank(
-                    window, at_time=window.finished,
-                    min_nodes=self.pipeline.num_stages,
-                    min_alive=self.pipeline.num_stages,
-                    insufficient_message=(
-                        "not enough live nodes to host every pipeline stage"
-                    ),
-                )
-                new_mapping = build_stage_mapping(
-                    self.pipeline, ranked, sample_item,
-                    replicate=exec_cfg.replicate_stages,
-                )
-                emit_time = self._apply_remap(mapping, new_mapping, window.finished)
-                mapping = new_mapping
-                chain = self._chain_stages(mapping)
-                self.tracer.record("adaptation.rerank", "pipeline re-ranked",
-                                   round=engine.round_index,
-                                   mapping=mapping.as_dict())
-
-            engine.observe_window(
-                window,
-                has_pending=bool(pending),
-                nodes_before=nodes_before,
-                nodes_now=lambda: mapping.all_nodes(),
-                on_recalibrate=on_recalibrate,
-                on_rerank=on_rerank,
-            )
-            yield from cursor.drain()
-
-        report = engine.finish()
-        self.tracer.record("phase.execution.end", "pipeline execution finished",
-                           results=len(report.results),
-                           recalibrations=report.recalibrations)
-        return report
-
-    # ------------------------------------------------------------ internals
-    def _chain_stages(self, mapping: StageMapping) -> List[ChainStage]:
-        """Lower the current stage mapping onto backend chain stages."""
-        return lower_pipeline_stages(
-            self.pipeline,
-            lambda index: (lambda free_at, _i=index, _m=mapping:
-                           _m.pick_node(_i, free_at)),
-        )
-
-    def _apply_remap(self, old: StageMapping, new: StageMapping, at_time: float) -> float:
-        """Charge state migration for every stage whose node changed.
-
-        Returns the time at which the stream may resume.
-        """
-        migration_bytes = self.config.execution.migration_bytes
-        resume = at_time
-        if migration_bytes <= 0:
-            return resume
-        for stage, new_nodes in new.as_dict().items():
-            old_nodes = old.as_dict().get(stage, [])
-            if old_nodes and new_nodes and old_nodes[0] != new_nodes[0]:
-                transfer = self.backend.transfer(old_nodes[0], new_nodes[0],
-                                                 migration_bytes, at_time=at_time)
-                resume = max(resume, transfer.finished)
-        return resume
+        return self._executor.as_completed(tasks, calibration, start_time)

@@ -1,0 +1,263 @@
+"""The execution-plan IR: what every skeleton lowers onto.
+
+The paper's claim is that *one* adaptive methodology serves all
+commonly-used skeletons.  Historically this runtime still hardwired two
+near-duplicate adaptive loops (farm and pipeline) with drifting feature
+sets; compositions could only run by collapsing onto one primitive.  The
+plan IR is the fix: every skeleton's :meth:`~repro.skeletons.base.Skeleton.lower`
+targets this small intermediate representation, and one executor
+(:mod:`repro.core.plan_executor`) walks any plan through the shared
+:class:`~repro.core.engine.AdaptiveEngine`.
+
+Two plan forms exist:
+
+* :class:`FanPlan` — independent work units dispatched demand-driven
+  (task farm, map, reduce blocks, divide-and-conquer leaves).  Its
+  ``body`` is either a plain ``Task -> output`` callable (a leaf fan) or
+  a nested :class:`ChainPlan` — a farm whose worker is a whole pipeline,
+  dispatched through the backend's *chain* primitive stage-by-stage
+  instead of being flattened into one opaque callable.
+* :class:`ChainPlan` — an ordered sequence of :class:`PlanStage` steps
+  every item streams through (pipeline), with per-stage replication
+  flags and plan-level replication/chunking hints.
+
+Plans are pure data plus picklable callables: they cross process and
+cluster boundaries exactly like task payloads do.  The reference
+semantics of any plan is :func:`walk_sequential`, which the Hypothesis
+suite pins against ``Skeleton.run_sequential`` for random skeleton
+shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SkeletonError
+from repro.skeletons.base import Task
+from repro.utils.awaitables import resolve_awaitable
+
+__all__ = [
+    "PlanStage",
+    "ChainPlan",
+    "FanPlan",
+    "Plan",
+    "UnitRunner",
+    "stage_from_pipeline_stage",
+    "walk_sequential",
+]
+
+
+@dataclass(frozen=True)
+class _PipelineStageCost:
+    """Picklable ``value -> work units`` for one pipeline stage.
+
+    Chain stage ``cost``/``apply`` callables cross a process boundary on
+    the process and cluster backends, so they must pickle; a closure
+    over the pipeline would not.  Each carries only its own
+    :class:`~repro.skeletons.pipeline.Stage` — shipping the whole
+    pipeline would serialise every stage's captured state on every
+    stage hop.
+    """
+
+    stage: Any
+
+    def __call__(self, value):
+        return self.stage.cost(value)
+
+
+@dataclass(frozen=True)
+class _PipelineStageApply:
+    """Picklable ``value -> value`` for one pipeline stage."""
+
+    stage: Any
+
+    def __call__(self, value):
+        return self.stage.fn(value)
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One chained step of a plan, as the adaptive executor sees it.
+
+    Attributes
+    ----------
+    apply:
+        ``value -> value``; the stage's real computation.  Must be
+        picklable for the process/cluster backends.
+    cost:
+        ``value -> work units`` charged for the stage at the current
+        value (drives virtual time and sample normalisation).
+    name:
+        Label used in traces.
+    replicable:
+        Whether this stage may be farmed over several nodes (it must
+        then be stateless across items).
+    """
+
+    apply: Callable[[Any], Any]
+    cost: Callable[[Any], float]
+    name: str = ""
+    replicable: bool = False
+
+    def __post_init__(self) -> None:
+        if not callable(self.apply):
+            raise SkeletonError("plan stage apply must be callable")
+        if not callable(self.cost):
+            raise SkeletonError("plan stage cost must be callable")
+
+
+def stage_from_pipeline_stage(stage) -> PlanStage:
+    """Lower one :class:`~repro.skeletons.pipeline.Stage` onto the IR."""
+    return PlanStage(
+        apply=_PipelineStageApply(stage),
+        cost=_PipelineStageCost(stage),
+        name=stage.name,
+        replicable=stage.replicable,
+    )
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """Items stream through ``stages`` in order (the pipeline shape).
+
+    ``replicate`` and ``chunk_size`` are *hints*: ``None`` defers to the
+    run's :class:`~repro.core.parameters.ExecutionConfig`
+    (``replicate_stages`` / ``chunk_size``), a concrete value overrides
+    it.  ``PipelineOfFarms`` lowers with ``replicate=True`` so spare
+    chosen nodes farm its stages without extra configuration.
+    """
+
+    stages: Tuple[PlanStage, ...]
+    replicate: Optional[bool] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.stages:
+            raise SkeletonError("a chain plan needs at least one stage")
+        for index, stage in enumerate(self.stages):
+            if not isinstance(stage, PlanStage):
+                raise SkeletonError(
+                    f"chain stage {index} is not a PlanStage "
+                    f"(got {type(stage).__name__})"
+                )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SkeletonError(
+                f"chain chunk_size hint must be >= 1, got {self.chunk_size}"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def unit_cost(self, item: Any) -> float:
+        """Total work of threading ``item`` through every stage.
+
+        Mirrors ``Pipeline.total_cost``: the payload (and hence its
+        cost) may change at every stage, so the item is actually
+        threaded through.
+        """
+        total = 0.0
+        value = item
+        for stage in self.stages:
+            total += float(stage.cost(value))
+            value = resolve_awaitable(stage.apply(value))
+        return total
+
+    def run_unit(self, item: Any) -> Any:
+        """Thread one item through every stage (real computation)."""
+        value = item
+        for stage in self.stages:
+            value = resolve_awaitable(stage.apply(value))
+        return value
+
+
+@dataclass(frozen=True)
+class FanPlan:
+    """Independent work units dispatched demand-driven (the farm shape).
+
+    Attributes
+    ----------
+    body:
+        How one unit executes: a picklable ``Task -> output`` callable
+        (leaf fan), or a nested :class:`ChainPlan` — each unit is then
+        dispatched through the backend's chain primitive, stage by
+        stage, over the currently chosen nodes.
+    min_nodes:
+        Structural minimum node count of the originating skeleton.
+    chunk_size:
+        Chunking hint; ``None`` defers to
+        ``ExecutionConfig.chunk_size``.  Ignored for nested bodies
+        (chains dispatch item-at-a-time).
+    """
+
+    body: Union[Callable[[Task], Any], ChainPlan]
+    min_nodes: int = 1
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, ChainPlan) and not callable(self.body):
+            raise SkeletonError(
+                "fan body must be a callable or a nested ChainPlan "
+                f"(got {type(self.body).__name__})"
+            )
+        if self.min_nodes < 1:
+            raise SkeletonError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SkeletonError(
+                f"fan chunk_size hint must be >= 1, got {self.chunk_size}"
+            )
+
+    @property
+    def nested(self) -> bool:
+        """Whether each unit is itself a chained sub-plan."""
+        return isinstance(self.body, ChainPlan)
+
+    def run_unit(self, task: Task) -> Any:
+        """Execute one unit (calibration probes, the reference walk).
+
+        A leaf body's return value is handed back raw — a coroutine
+        worker stays a coroutine so the asyncio backend can await it
+        natively; sequential contexts resolve it themselves (as
+        :func:`walk_sequential` does).
+        """
+        if self.nested:
+            return self.body.run_unit(task.payload)
+        return self.body(task)
+
+
+#: A plan is one of the two shapes; nesting happens through ``FanPlan.body``.
+Plan = Union[FanPlan, ChainPlan]
+
+
+@dataclass(frozen=True)
+class UnitRunner:
+    """Picklable whole-unit payload (``Task -> output``) for any plan.
+
+    Recalibration probes and calibration samples dispatch this: on the
+    simulator only its cost matters, on measurement backends it runs the
+    real unit to time the node on real work.
+    """
+
+    plan: Plan
+
+    def __call__(self, task: Task) -> Any:
+        if isinstance(self.plan, ChainPlan):
+            return self.plan.run_unit(task.payload)
+        return self.plan.run_unit(task)
+
+
+def walk_sequential(plan: Plan, tasks: Sequence[Task]) -> List[Any]:
+    """Reference semantics of ``plan``: per-task outputs, in task order.
+
+    This is the IR-level analogue of ``Skeleton.run_sequential`` (minus
+    the skeleton's own output assembly): every executor, adaptive or
+    static, on any backend, must produce exactly these outputs for
+    these tasks.
+    """
+    if isinstance(plan, ChainPlan):
+        return [plan.run_unit(task.payload) for task in tasks]
+    if isinstance(plan, FanPlan):
+        return [resolve_awaitable(plan.run_unit(task)) for task in tasks]
+    raise SkeletonError(f"not an execution plan: {type(plan).__name__}")

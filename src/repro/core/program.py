@@ -6,8 +6,9 @@ GRASP through standard application programming interfaces."
 
 A :class:`SkeletalProgram` is the object produced by that phase: a skeleton,
 the runtime parameterisation (:class:`~repro.core.parameters.GraspConfig`)
-and the knowledge of which execution engine the skeleton lowers onto.  It is
-still platform-independent — binding to a concrete grid happens in the
+and the skeleton's lowering onto the execution-plan IR
+(:mod:`repro.core.plan`) that every executor walks.  It is still
+platform-independent — binding to a concrete grid happens in the
 compilation phase (:mod:`repro.core.compilation`).
 """
 
@@ -15,17 +16,16 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Any, Callable, Deque, Iterable, List, Optional
+from typing import Any, Deque, Iterable, List, Optional
 
 from repro.core.parameters import GraspConfig
+from repro.core.plan import ChainPlan, Plan
 from repro.exceptions import SkeletonError
 from repro.skeletons.base import Skeleton, Task
-from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
 from repro.skeletons.divide_conquer import DivideAndConquer
 from repro.skeletons.map import MapSkeleton
 from repro.skeletons.pipeline import Pipeline
 from repro.skeletons.reduce import ReduceSkeleton
-from repro.skeletons.taskfarm import TaskFarm
 
 __all__ = ["SkeletalProgram"]
 
@@ -35,7 +35,9 @@ class SkeletalProgram:
 
     The program knows how to
 
-    * lower composition skeletons onto the primitive farm/pipeline engines,
+    * lower the skeleton onto the execution-plan IR (``plan``) —
+      compositions lower to nested or hinted plans instead of collapsing
+      onto one primitive skeleton,
     * build the task list for a given input collection,
     * produce each task's real output (``execute_task``), and
     * post-process completed task outputs into the skeleton's final result
@@ -47,27 +49,25 @@ class SkeletalProgram:
             raise SkeletonError("SkeletalProgram requires a Skeleton instance")
         self.original_skeleton = skeleton
         self.config = config or GraspConfig()
-        # Lower compositions onto their primitive skeleton.
-        if isinstance(skeleton, FarmOfPipelines):
-            self.skeleton: Skeleton = skeleton.lower()
-        elif isinstance(skeleton, PipelineOfFarms):
-            self.skeleton = skeleton.lower()
-        else:
-            self.skeleton = skeleton
+        self.skeleton: Skeleton = skeleton
+        #: The skeleton lowered onto the execution-plan IR.
+        self.plan: Plan = skeleton.lower()
 
     # ---------------------------------------------------------------- nature
     @property
     def is_pipeline(self) -> bool:
-        """Whether the program executes on the pipeline engine."""
-        return isinstance(self.skeleton, Pipeline)
+        """Whether the program executes as a chained stream of stages."""
+        return isinstance(self.plan, ChainPlan)
 
     @property
     def pipeline(self) -> Pipeline:
         """The underlying pipeline (raises for farm-like programs)."""
-        if not self.is_pipeline:
-            raise SkeletonError("this program is not a pipeline")
-        assert isinstance(self.skeleton, Pipeline)
-        return self.skeleton
+        if isinstance(self.skeleton, Pipeline):
+            return self.skeleton
+        inner = getattr(self.skeleton, "pipeline", None)
+        if self.is_pipeline and isinstance(inner, Pipeline):
+            return inner
+        raise SkeletonError("this program is not a pipeline")
 
     @property
     def min_nodes(self) -> int:
@@ -76,22 +76,22 @@ class SkeletalProgram:
 
     @property
     def properties(self):
-        """Intrinsic properties of the (lowered) skeleton."""
+        """Intrinsic properties of the skeleton."""
         return self.skeleton.properties
 
     # ----------------------------------------------------------------- tasks
     def make_tasks(self, inputs: Iterable[Any]) -> Deque[Task]:
         """Build the task queue for ``inputs``.
 
-        Pipeline tasks carry the item's *total* per-item cost so calibration
-        samples are normalised consistently; the pipeline executor charges
-        per-stage costs itself.
+        Chain-plan tasks carry the item's *total* per-item cost so
+        calibration samples are normalised consistently; the plan
+        executor charges per-stage costs itself.
         """
         tasks = list(self.skeleton.make_tasks(inputs))
-        if self.is_pipeline:
-            pipeline = self.pipeline
+        if isinstance(self.plan, ChainPlan):
+            plan = self.plan
             tasks = [
-                dataclasses.replace(task, cost=pipeline.total_cost(task.payload))
+                dataclasses.replace(task, cost=plan.unit_cost(task.payload))
                 for task in tasks
             ]
         return collections.deque(tasks)
@@ -99,18 +99,13 @@ class SkeletalProgram:
     def execute_task(self, task: Task) -> Any:
         """Produce the real output of one task.
 
-        For pipelines this runs the whole stage chain on the item (used by
-        the calibration sample); farm-like skeletons delegate to their own
-        ``execute_task``.
+        One plan unit: for chain plans this runs the whole stage chain on
+        the item (used by the calibration sample); fan plans run their
+        body — for a nested fan that is the full inner chain.
         """
-        if self.is_pipeline:
-            return self.pipeline.run_item(task.payload)
-        execute = getattr(self.skeleton, "execute_task", None)
-        if execute is None:
-            raise SkeletonError(
-                f"skeleton {type(self.skeleton).__name__} does not define execute_task"
-            )
-        return execute(task)
+        if isinstance(self.plan, ChainPlan):
+            return self.plan.run_unit(task.payload)
+        return self.plan.run_unit(task)
 
     # --------------------------------------------------------------- results
     def assemble(self, ordered_outputs: List[Any]) -> Any:

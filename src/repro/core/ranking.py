@@ -155,7 +155,8 @@ def rank_nodes(
                 )
                 inv_bw = (
                     1.0 / mean_bws[node_id]
-                    if mean_bws[node_id] and not np.isnan(mean_bws[node_id]) and mean_bws[node_id] > 0
+                    if (mean_bws[node_id] and not np.isnan(mean_bws[node_id])
+                        and mean_bws[node_id] > 0)
                     else 0.0
                 )
                 residual = mean_times[node_id] - fit.predict(

@@ -11,7 +11,6 @@ paper's statistical calibration consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.grid.load import ConstantLoad, LoadModel

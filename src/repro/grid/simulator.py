@@ -23,7 +23,7 @@ Semantics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.exceptions import GridError
@@ -98,7 +98,8 @@ class GridSimulator:
             self._now = float(time)
 
     # ------------------------------------------------------------------ tasks
-    def run_task(self, node_id: str, cost: float, at_time: Optional[float] = None) -> TaskExecution:
+    def run_task(self, node_id: str, cost: float,
+                 at_time: Optional[float] = None) -> TaskExecution:
         """Execute a task of ``cost`` work units on ``node_id``.
 
         The task is submitted at ``at_time`` (default: the current clock) and

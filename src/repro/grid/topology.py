@@ -15,8 +15,7 @@ available for structural analysis and visualisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 import numpy as np

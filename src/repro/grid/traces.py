@@ -13,7 +13,7 @@ import csv
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,7 +21,8 @@ from repro.exceptions import ConfigurationError
 from repro.grid.load import TraceLoad
 from repro.utils.rng import make_rng
 
-__all__ = ["LoadTrace", "generate_trace", "generate_node_traces", "read_trace_csv", "write_trace_csv"]
+__all__ = ["LoadTrace", "generate_trace", "generate_node_traces",
+           "read_trace_csv", "write_trace_csv"]
 
 
 @dataclass(frozen=True)

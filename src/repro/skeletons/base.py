@@ -16,8 +16,8 @@ communication model.  :class:`TaskResult` records where and when it ran.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.comm.message import estimate_size
 from repro.exceptions import SkeletonError
@@ -170,6 +170,32 @@ class Skeleton:
     def make_tasks(self, inputs: Iterable[Any]) -> List[Task]:
         """Turn an input collection into a list of :class:`Task` objects."""
         raise NotImplementedError
+
+    # -- lowering --------------------------------------------------------------
+    def lower(self):
+        """Lower this skeleton onto the execution-plan IR.
+
+        Every skeleton targets the same small IR
+        (:mod:`repro.core.plan`): a :class:`~repro.core.plan.FanPlan`
+        of independent units, a :class:`~repro.core.plan.ChainPlan` of
+        streamed stages, or a fan whose unit is itself a chained
+        sub-plan.  One executor
+        (:class:`~repro.core.plan_executor.PlanExecutor`) then walks
+        any plan adaptively on any backend.
+
+        The default lowering covers every farm-shaped skeleton — one
+        independent unit per task, executed by ``execute_task``;
+        skeletons with chained or nested structure override it.
+        """
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
+
+        execute = getattr(self, "execute_task", None)
+        if execute is None:
+            raise SkeletonError(
+                f"skeleton {type(self).__name__} defines neither lower() "
+                "nor execute_task"
+            )
+        return FanPlan(body=execute, min_nodes=self.properties.min_nodes)
 
     # -- sequential reference --------------------------------------------------
     def run_sequential(self, inputs: Iterable[Any]) -> List[Any]:

@@ -11,30 +11,66 @@ structured-parallelism literature uses most:
   applied per item (useful when items are independent but internally
   multi-phase).
 
-Both lower onto the primitive skeletons: composition objects *generate* a
-configured :class:`~repro.skeletons.pipeline.Pipeline` or
-:class:`~repro.skeletons.taskfarm.TaskFarm`, so every executor (adaptive or
-static) handles them without special cases.
+Both lower onto the execution-plan IR (:mod:`repro.core.plan`), so the
+one adaptive plan executor runs them *as compositions*:
+``PipelineOfFarms`` becomes a chain whose stages carry a standing
+replication hint (spare chosen nodes farm its stages without extra
+configuration), and ``FarmOfPipelines`` becomes a **nested** plan — a
+fan whose unit is the inner chain, dispatched stage-by-stage through the
+backend chain primitive instead of being flattened into one opaque
+worker callable.  The collapsed primitive forms remain reachable as
+``.pipeline`` / ``.farm`` for callers that want them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, List, Sequence
 
 from repro.exceptions import SkeletonError
 from repro.skeletons.pipeline import Pipeline, Stage
 from repro.skeletons.taskfarm import TaskFarm
-from repro.skeletons.base import CostModel, Skeleton, SkeletonProperties, Task
+from repro.skeletons.base import Skeleton, SkeletonProperties, Task
 
 __all__ = ["PipelineOfFarms", "FarmOfPipelines"]
+
+
+@dataclass(frozen=True)
+class _InnerPipelineWorker:
+    """Picklable farm worker threading one item through an inner pipeline.
+
+    The collapsed (``.farm``) form of :class:`FarmOfPipelines` ships this
+    across process/cluster boundaries, so it must not be a closure.
+    """
+
+    pipeline: Pipeline
+
+    def __call__(self, item: Any) -> Any:
+        return self.pipeline.run_item(item)
+
+
+@dataclass(frozen=True)
+class _InnerPipelineCost:
+    """Picklable per-item cost of a whole inner pipeline.
+
+    Intermediate values are recomputed; cost models are expected to be
+    cheap relative to the workloads they describe.
+    """
+
+    pipeline: Pipeline
+
+    def __call__(self, item: Any) -> float:
+        return self.pipeline.total_cost(item)
 
 
 class PipelineOfFarms(Skeleton):
     """A pipeline in which every stage is marked replicable (farmable).
 
-    The composition is expressed by lowering to a :class:`Pipeline` whose
-    stages carry ``replicable=True``; the adaptive executor may then assign
-    several nodes to one stage.
+    The composition lowers to a chain plan whose stages carry
+    ``replicable=True`` *and* a standing ``replicate=True`` hint; the
+    adaptive executor then assigns the spare chosen nodes as stage
+    replicas without the run having to set
+    ``ExecutionConfig.replicate_stages``.
     """
 
     def __init__(self, stages: Sequence[Stage], name: str = "pipeline_of_farms"):
@@ -48,9 +84,9 @@ class PipelineOfFarms(Skeleton):
         ]
         self.pipeline = Pipeline(replicated, name=name)
 
-    def lower(self) -> Pipeline:
-        """The equivalent primitive :class:`Pipeline`."""
-        return self.pipeline
+    def lower(self):
+        """Lower onto the IR: the inner chain with a replication hint."""
+        return replace(self.pipeline.lower(), replicate=True)
 
     @property
     def properties(self) -> SkeletonProperties:
@@ -74,9 +110,12 @@ class PipelineOfFarms(Skeleton):
 class FarmOfPipelines(Skeleton):
     """A farm whose worker threads each item through an inner pipeline.
 
-    The composition is expressed by lowering to a :class:`TaskFarm` whose
-    worker runs the inner pipeline sequentially on one item, and whose cost
-    model is the sum of the inner stages' per-item costs.
+    The composition lowers to a **nested** plan: a fan of independent
+    items whose unit is the inner chain, dispatched through the backend
+    chain primitive with every stage picking the earliest-free chosen
+    node.  The collapsed form — a plain :class:`TaskFarm` whose worker
+    runs the inner pipeline on one node — remains available as
+    ``.farm``.
     """
 
     def __init__(self, stages: Sequence[Stage], ordered: bool = False,
@@ -85,30 +124,19 @@ class FarmOfPipelines(Skeleton):
         if len(stages) == 0:
             raise SkeletonError("FarmOfPipelines needs at least one stage")
         self.inner = Pipeline(list(stages), name=f"{name}/inner")
+        self.farm = TaskFarm(
+            worker=_InnerPipelineWorker(self.inner),
+            cost_model=_InnerPipelineCost(self.inner),
+            ordered=ordered,
+            name=name,
+        )
 
-        def worker(item: Any) -> Any:
-            value = item
-            for stage in self.inner.stages:
-                value = stage.fn(value)
-            return value
+    def lower(self):
+        """Lower onto the IR: a fan whose unit is the inner chain."""
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
 
-        def cost(item: Any) -> float:
-            # The per-item cost of the whole inner pipeline.  Intermediate
-            # values are recomputed; cost models are expected to be cheap
-            # relative to the workloads they describe.
-            total = 0.0
-            value = item
-            for stage in self.inner.stages:
-                total += stage.cost(value)
-                value = stage.fn(value)
-            return total
-
-        self.farm = TaskFarm(worker=worker, cost_model=cost, ordered=ordered,
-                             name=name)
-
-    def lower(self) -> TaskFarm:
-        """The equivalent primitive :class:`TaskFarm`."""
-        return self.farm
+        return FanPlan(body=self.inner.lower(),
+                       min_nodes=self.properties.min_nodes)
 
     @property
     def properties(self) -> SkeletonProperties:

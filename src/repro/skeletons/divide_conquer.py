@@ -146,6 +146,13 @@ class DivideAndConquer(Skeleton):
                 )
         return tasks
 
+    def lower(self):
+        """Lower onto the IR: a leaf fan with one unit per unrolled leaf."""
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
+
+        return FanPlan(body=self.execute_task,
+                       min_nodes=self.properties.min_nodes)
+
     def execute_task(self, task: Task) -> Any:
         """Solve one leaf sequentially (recursing below the unroll depth)."""
         return self.solve_recursive(task.payload)

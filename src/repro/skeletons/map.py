@@ -120,6 +120,13 @@ class MapSkeleton(Skeleton):
             )
         return tasks
 
+    def lower(self):
+        """Lower onto the IR: a leaf fan with one unit per block."""
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
+
+        return FanPlan(body=self.execute_task,
+                       min_nodes=self.properties.min_nodes)
+
     def execute_task(self, task: Task) -> Any:
         """Apply the block function to one block (real computation)."""
         return self.fn(task.payload)

@@ -132,6 +132,23 @@ class Pipeline(Skeleton):
             raise SkeletonError("a pipeline needs at least one input item")
         return tasks
 
+    def lower(self):
+        """Lower onto the IR: a chain with one plan stage per stage.
+
+        Replication and chunking hints are left unset so the run's
+        :class:`~repro.core.parameters.ExecutionConfig` decides
+        (``replicate_stages`` / ``chunk_size``).
+        """
+        from repro.core.plan import (  # local: core layers on skeletons
+            ChainPlan,
+            stage_from_pipeline_stage,
+        )
+
+        return ChainPlan(
+            stages=tuple(stage_from_pipeline_stage(stage)
+                         for stage in self.stages)
+        )
+
     def apply_stage(self, stage_index: int, item: Any) -> Any:
         """Run one stage function on one item (real computation)."""
         if not (0 <= stage_index < self.num_stages):

@@ -17,7 +17,7 @@ from typing import Any, Callable, Iterable, List, Optional
 
 from repro.comm.message import estimate_size
 from repro.exceptions import SkeletonError
-from repro.skeletons.base import CostModel, Skeleton, SkeletonProperties, Task
+from repro.skeletons.base import Skeleton, SkeletonProperties, Task
 
 __all__ = ["ReduceSkeleton"]
 
@@ -96,6 +96,13 @@ class ReduceSkeleton(Skeleton):
                      input_bytes=size, output_bytes=max(1, size // max(1, len(block)))),
             )
         return tasks
+
+    def lower(self):
+        """Lower onto the IR: a leaf fan with one unit per reduced block."""
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
+
+        return FanPlan(body=self.execute_task,
+                       min_nodes=self.properties.min_nodes)
 
     def execute_task(self, task: Task) -> Any:
         """Reduce one block locally (real computation)."""

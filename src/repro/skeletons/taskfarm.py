@@ -118,6 +118,13 @@ class TaskFarm(Skeleton):
             raise SkeletonError("a task farm needs at least one input item")
         return tasks
 
+    def lower(self):
+        """Lower onto the IR: a leaf fan of independent worker units."""
+        from repro.core.plan import FanPlan  # local: core layers on skeletons
+
+        return FanPlan(body=self.execute_task,
+                       min_nodes=self.properties.min_nodes)
+
     def execute_task(self, task: Task) -> Any:
         """Run the worker on one task's payload (real computation)."""
         return self.worker(task.payload)

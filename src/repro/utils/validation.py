@@ -8,7 +8,7 @@ scripted experiment sweeps.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sized, Tuple, Type, Union
+from typing import Any, Sized, Tuple, Type, Union
 
 from repro.exceptions import ConfigurationError
 

@@ -16,8 +16,7 @@ remapping is meant to fix (experiment E5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

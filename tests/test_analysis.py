@@ -22,7 +22,6 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.reporting import format_series, format_table, to_markdown
 from repro.core.grasp import Grasp
-from repro.core.parameters import GraspConfig
 from repro.exceptions import AnalysisError
 from repro.grid.topology import GridBuilder
 from repro.skeletons.pipeline import Pipeline, Stage

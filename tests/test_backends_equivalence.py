@@ -28,11 +28,13 @@ import pytest
 
 from repro import (
     DivideAndConquer,
+    FarmOfPipelines,
     FaultInjectingBackend,
     Grasp,
     GraspConfig,
     MapSkeleton,
     Pipeline,
+    PipelineOfFarms,
     ProcessBackend,
     ReduceSkeleton,
     Stage,
@@ -126,6 +128,15 @@ SCENARIOS = {
                       lambda: list(range(64)), GraspConfig.adaptive),
     "dc_hetero": (hetero_grid, make_dc,
                   lambda: [list(range(64)), list(range(32))], GraspConfig.adaptive),
+    # Composition columns: both compositions lower onto the plan IR (a
+    # nested fan-of-chain and a replication-hinted chain) and must still
+    # mean exactly what their sequential reference means on every backend.
+    "farm_of_pipelines": (hetero_grid,
+                          lambda: FarmOfPipelines(three_stage_pipeline().stages),
+                          lambda: list(range(24)), GraspConfig.adaptive),
+    "pipeline_of_farms": (hetero_grid,
+                          lambda: PipelineOfFarms(three_stage_pipeline().stages),
+                          lambda: list(range(24)), GraspConfig.adaptive),
 }
 
 #: Captured from the seed runtime; see module docstring.
@@ -391,6 +402,17 @@ PROCESS_SCENARIOS = {
         divide=_dc_divide, combine=_dc_combine, solve=_dc_solve,
         is_trivial=_dc_trivial, parallel_depth=2,
     ), lambda: [list(range(32)), list(range(16))]),
+    # Compositions cross the process boundary as plans: nested chain
+    # stages (farm_of_pipelines) and a replication-hinted chain
+    # (pipeline_of_farms) must both pickle and match the reference.
+    "farm_of_pipelines": (lambda: FarmOfPipelines([Stage(fn=_stage_inc),
+                                                   Stage(fn=_stage_triple),
+                                                   Stage(fn=_stage_dec)]),
+                          lambda: list(range(12))),
+    "pipeline_of_farms": (lambda: PipelineOfFarms([Stage(fn=_stage_inc),
+                                                   Stage(fn=_stage_triple),
+                                                   Stage(fn=_stage_dec)]),
+                          lambda: list(range(12))),
 }
 
 
@@ -666,6 +688,30 @@ class TestClusterBackendEquivalence:
                        grid=cluster_backend.topology, config=config,
                        backend=cluster_backend).run(inputs=range(18))
         assert result.outputs == [_busy_square(x) for x in range(18)]
+
+    def test_nested_farm_of_pipelines_matches_sequential(self, cluster_backend):
+        # A *nested* composition on the distributed backend: each unit of
+        # the fan is dispatched as a chain through the TCP agents, and the
+        # adaptive loop (threshold, windows, recalibration budget) runs
+        # over it exactly as for the primitives.
+        make = lambda: FarmOfPipelines([Stage(fn=_stage_inc),
+                                        Stage(fn=_stage_triple)])
+        reference = make().run_sequential(range(16))
+        result = Grasp(skeleton=make(), grid=cluster_backend.topology,
+                       config=GraspConfig.adaptive(),
+                       backend=cluster_backend).run(inputs=range(16))
+        assert result.outputs == reference
+        assert result.total_tasks == 16
+
+    def test_pipeline_of_farms_matches_sequential(self, cluster_backend):
+        # Two replicable stages over two workers (the replication hint has
+        # no spares to use here; the mapping still needs one node each).
+        make = lambda: PipelineOfFarms([Stage(fn=_stage_inc),
+                                        Stage(fn=_stage_triple)])
+        reference = make().run_sequential(range(14))
+        result = Grasp(skeleton=make(), grid=cluster_backend.topology,
+                       backend=cluster_backend).run(inputs=range(14))
+        assert result.outputs == reference
 
 
 def _slow_square(x):

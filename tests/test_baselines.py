@@ -7,7 +7,7 @@ import pytest
 from repro.baselines.result import BaselineResult
 from repro.baselines.static_farm import DemandDrivenFarm, StaticFarm
 from repro.baselines.static_pipeline import StaticPipeline
-from repro.exceptions import ConfigurationError, ExecutionError
+from repro.exceptions import ConfigurationError
 from repro.grid.topology import GridBuilder
 from repro.skeletons.pipeline import Pipeline, Stage
 from repro.skeletons.taskfarm import TaskFarm
@@ -136,7 +136,8 @@ class TestStaticPipeline:
 
     def test_speed_mapping_beats_declaration_on_heterogeneous_grid(self):
         make_grid = lambda: GridBuilder().heterogeneous(nodes=6, speed_spread=8.0).build(seed=4)
-        naive = StaticPipeline(self.make_pipeline(), make_grid(), mapping="declaration").run(range(60))
+        naive = StaticPipeline(self.make_pipeline(), make_grid(),
+                               mapping="declaration").run(range(60))
         aware = StaticPipeline(self.make_pipeline(), make_grid(), mapping="speed").run(range(60))
         assert aware.makespan <= naive.makespan
 

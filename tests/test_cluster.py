@@ -179,7 +179,8 @@ class TestClusterBackendSemantics:
                        backend=shared_backend).run(inputs=range(16))
         assert result.outputs == reference
 
-    def test_unpicklable_payload_raises_without_killing_worker(self, shared_cluster, shared_backend):
+    def test_unpicklable_payload_raises_without_killing_worker(
+            self, shared_cluster, shared_backend):
         # A lambda violates the picklable-payload contract: the error must
         # surface at the dispatch site as a ProtocolError — NOT be treated
         # as a send failure that executes a healthy worker for the caller's

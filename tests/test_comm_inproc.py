@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.comm.inproc import ThreadCommunicator, run_spmd
+from repro.comm.inproc import run_spmd
 from repro.exceptions import CommunicationError
 
 

@@ -16,10 +16,10 @@ from repro.core.parameters import (
 )
 from repro.exceptions import ExecutionError
 from repro.grid.failures import PermanentFailure
-from repro.grid.load import ConstantLoad, StepLoad
+from repro.grid.load import StepLoad
 from repro.grid.node import GridNode
 from repro.grid.simulator import GridSimulator
-from repro.grid.topology import GridBuilder, GridTopology
+from repro.grid.topology import GridTopology
 from repro.skeletons.taskfarm import TaskFarm
 
 

@@ -23,7 +23,7 @@ from repro.exceptions import ExecutionError
 from repro.grid.load import StepLoad
 from repro.grid.node import GridNode
 from repro.grid.simulator import GridSimulator
-from repro.grid.topology import GridBuilder, GridTopology
+from repro.grid.topology import GridTopology
 from repro.skeletons.pipeline import Pipeline, Stage
 
 

@@ -8,7 +8,7 @@ import pytest
 from repro.exceptions import ConfigurationError, GridError
 from repro.grid.failures import PermanentFailure
 from repro.grid.link import NetworkLink
-from repro.grid.load import ConstantLoad, RandomWalkLoad
+from repro.grid.load import RandomWalkLoad
 from repro.grid.node import GridNode
 from repro.grid.site import Site
 from repro.grid.topology import GridBuilder, GridTopology

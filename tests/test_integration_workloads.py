@@ -4,14 +4,12 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import summarise_run
 from repro.baselines.static_farm import StaticFarm
 from repro.baselines.static_pipeline import StaticPipeline
 from repro.core.grasp import Grasp
-from repro.core.parameters import GraspConfig
 from repro.core.phases import Phase
 from repro.grid.topology import GridBuilder
 from repro.workloads.imaging import ImagingWorkload

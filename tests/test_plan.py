@@ -1,0 +1,274 @@
+"""Tests for the execution-plan IR (`repro.core.plan`).
+
+Two layers are pinned here:
+
+1. **Construction invariants** — plan dataclasses validate their shapes
+   (empty chains, non-callable stages/bodies, bad hints) and the
+   lowering of each skeleton produces the expected plan form.
+2. **Reference semantics** (Hypothesis) — for random skeleton shapes and
+   inputs, ``lower()`` → plan → :func:`repro.core.plan.walk_sequential`
+   → ``SkeletalProgram.assemble`` is identical to the skeleton's own
+   ``run_sequential``.  This is the property every executor relies on:
+   the IR means exactly what the skeleton means.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import (
+    ChainPlan,
+    FanPlan,
+    PlanStage,
+    UnitRunner,
+    stage_from_pipeline_stage,
+    walk_sequential,
+)
+from repro.core.program import SkeletalProgram
+from repro.exceptions import SkeletonError
+from repro.skeletons.base import Task
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+from repro.skeletons.divide_conquer import DivideAndConquer
+from repro.skeletons.map import MapSkeleton
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.reduce import ReduceSkeleton
+from repro.skeletons.taskfarm import TaskFarm
+
+
+def _inc(x):
+    return x + 1
+
+
+def _triple(x):
+    return x * 3
+
+
+def _stage_cost_two(_item):
+    return 2.0
+
+
+class TestPlanConstruction:
+    def test_plan_stage_requires_callables(self):
+        with pytest.raises(SkeletonError):
+            PlanStage(apply="nope", cost=lambda v: 1.0)
+        with pytest.raises(SkeletonError):
+            PlanStage(apply=lambda v: v, cost="nope")
+
+    def test_chain_plan_rejects_empty_and_non_stages(self):
+        with pytest.raises(SkeletonError):
+            ChainPlan(stages=())
+        with pytest.raises(SkeletonError):
+            ChainPlan(stages=(lambda v: v,))
+
+    def test_chain_plan_rejects_bad_chunk_hint(self):
+        stage = PlanStage(apply=_inc, cost=_stage_cost_two)
+        with pytest.raises(SkeletonError):
+            ChainPlan(stages=(stage,), chunk_size=0)
+
+    def test_fan_plan_rejects_bad_body_and_hints(self):
+        with pytest.raises(SkeletonError):
+            FanPlan(body="nope")
+        with pytest.raises(SkeletonError):
+            FanPlan(body=lambda t: t.payload, min_nodes=0)
+        with pytest.raises(SkeletonError):
+            FanPlan(body=lambda t: t.payload, chunk_size=0)
+
+    def test_chain_unit_cost_threads_the_value(self):
+        # Costs are charged against the value *entering* each stage.
+        chain = Pipeline([
+            Stage(_inc, cost_model=lambda v: float(v)),
+            Stage(_triple, cost_model=lambda v: float(v)),
+        ]).lower()
+        # item=2: stage0 cost 2 (value 2), stage1 cost 3 (value 3).
+        assert chain.unit_cost(2) == pytest.approx(5.0)
+        assert chain.run_unit(2) == (2 + 1) * 3
+
+    def test_unit_runner_covers_both_shapes(self):
+        chain = Pipeline([Stage(_inc), Stage(_triple)]).lower()
+        fan = TaskFarm(worker=_triple).lower()
+        task = Task(task_id=0, payload=4)
+        assert UnitRunner(chain)(task) == (4 + 1) * 3
+        assert UnitRunner(fan)(task) == 12
+        nested = FarmOfPipelines([Stage(_inc), Stage(_triple)]).lower()
+        assert UnitRunner(nested)(task) == (4 + 1) * 3
+
+    def test_walk_sequential_rejects_non_plans(self):
+        with pytest.raises(SkeletonError):
+            walk_sequential("nope", [])
+
+    def test_lowered_plans_pickle(self):
+        # Plans cross process/cluster boundaries like payloads do, so a
+        # lowering over module-level callables must pickle round-trip.
+        for skeleton in (
+            TaskFarm(worker=_triple),
+            Pipeline([Stage(_inc), Stage(_triple)]),
+            FarmOfPipelines([Stage(_inc), Stage(_triple)]),
+            PipelineOfFarms([Stage(_inc), Stage(_triple)]),
+        ):
+            plan = skeleton.lower()
+            clone = pickle.loads(pickle.dumps(plan))
+            task = Task(task_id=0, payload=3)
+            assert UnitRunner(clone)(task) == UnitRunner(plan)(task)
+
+    def test_stage_from_pipeline_stage_carries_metadata(self):
+        stage = Stage(_inc, cost_model=_stage_cost_two, name="inc",
+                      replicable=True)
+        lowered = stage_from_pipeline_stage(stage)
+        assert lowered.name == "inc"
+        assert lowered.replicable
+        assert lowered.apply(1) == 2
+        assert lowered.cost(1) == 2.0
+
+
+class TestLoweringShapes:
+    def test_every_primitive_lowers(self):
+        assert isinstance(TaskFarm(worker=_inc).lower(), FanPlan)
+        assert isinstance(MapSkeleton(fn=_inc, blocks=2).lower(), FanPlan)
+        assert isinstance(
+            ReduceSkeleton(op=lambda a, b: a + b, identity=0).lower(), FanPlan
+        )
+        dc = DivideAndConquer(
+            divide=lambda xs: [xs[:1], xs[1:]],
+            combine=lambda _p, subs: subs[0] + subs[1],
+            solve=lambda xs: xs,
+            is_trivial=lambda xs: len(xs) <= 1,
+        )
+        assert isinstance(dc.lower(), FanPlan)
+        chain = Pipeline([Stage(_inc)]).lower()
+        assert isinstance(chain, ChainPlan)
+        assert chain.replicate is None  # defer to ExecutionConfig
+
+    def test_base_default_lowering_needs_execute_task(self):
+        from repro.skeletons.base import Skeleton, SkeletonProperties
+
+        class Bare(Skeleton):
+            @property
+            def properties(self):
+                return SkeletonProperties(name="bare", min_nodes=1)
+
+        with pytest.raises(SkeletonError, match="execute_task"):
+            Bare(name="bare").lower()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: lower() -> plan -> sequential walk == Skeleton.run_sequential
+# for random skeleton shapes and inputs.
+
+_UNARY_OPS = [
+    ("inc", lambda x: x + 1),
+    ("triple", lambda x: x * 3),
+    ("neg", lambda x: -x),
+    ("square", lambda x: x * x),
+    ("halve", lambda x: x // 2),
+]
+
+
+@st.composite
+def farm_skeletons(draw):
+    _, op = draw(st.sampled_from(_UNARY_OPS))
+    cost = draw(st.sampled_from([None, lambda _i: 3.0]))
+    ordered = draw(st.booleans())
+    return TaskFarm(worker=op, cost_model=cost, ordered=ordered)
+
+
+@st.composite
+def stage_lists(draw):
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    stages = []
+    for index in range(n_stages):
+        _, op = draw(st.sampled_from(_UNARY_OPS))
+        cost = draw(st.sampled_from([1.0, 2.0, 5.0]))
+        replicable = draw(st.booleans())
+        stages.append(Stage(op, cost_model=lambda _i, _c=cost: _c,
+                            name=f"s{index}", replicable=replicable))
+    return stages
+
+
+@st.composite
+def pipeline_skeletons(draw):
+    return Pipeline(draw(stage_lists()))
+
+
+@st.composite
+def map_skeletons(draw):
+    _, op = draw(st.sampled_from(_UNARY_OPS))
+    blocks = draw(st.integers(min_value=1, max_value=6))
+    return MapSkeleton(fn=lambda block, _op=op: [_op(v) for v in block],
+                       blocks=blocks)
+
+
+@st.composite
+def reduce_skeletons(draw):
+    blocks = draw(st.integers(min_value=1, max_value=6))
+    return ReduceSkeleton(op=lambda a, b: a + b, identity=0, blocks=blocks)
+
+
+@st.composite
+def dc_skeletons(draw):
+    depth = draw(st.integers(min_value=0, max_value=3))
+    leaf = draw(st.integers(min_value=1, max_value=4))
+    return DivideAndConquer(
+        divide=lambda xs: [xs[:len(xs) // 2], xs[len(xs) // 2:]],
+        combine=lambda _p, subs: subs[0] + subs[1],
+        solve=lambda xs: sum(xs),
+        is_trivial=lambda xs, _leaf=leaf: len(xs) <= _leaf,
+        parallel_depth=depth,
+    )
+
+
+@st.composite
+def composition_skeletons(draw):
+    stages = draw(stage_lists())
+    if draw(st.booleans()):
+        return FarmOfPipelines(stages, ordered=draw(st.booleans()))
+    return PipelineOfFarms(stages)
+
+
+@st.composite
+def skeletons_and_inputs(draw):
+    kind = draw(st.sampled_from(
+        ["farm", "pipeline", "map", "reduce", "dc", "composition"]
+    ))
+    items = draw(st.lists(st.integers(min_value=-50, max_value=50),
+                          min_size=1, max_size=16))
+    if kind == "farm":
+        return draw(farm_skeletons()), items
+    if kind == "pipeline":
+        return draw(pipeline_skeletons()), items
+    if kind == "map":
+        return draw(map_skeletons()), items
+    if kind == "reduce":
+        return draw(reduce_skeletons()), items
+    if kind == "dc":
+        # D&C inputs are whole problems (lists), not scalars.
+        n_problems = draw(st.integers(min_value=1, max_value=3))
+        problems = [items[i::n_problems] or [0] for i in range(n_problems)]
+        return draw(dc_skeletons()), problems
+    return draw(composition_skeletons()), items
+
+
+class TestPlanWalkProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(skeletons_and_inputs())
+    def test_lowered_walk_matches_run_sequential(self, scenario):
+        skeleton, inputs = scenario
+        reference = skeleton.run_sequential(list(inputs))
+        program = SkeletalProgram(skeleton)
+        tasks = list(program.make_tasks(list(inputs)))
+        outputs = walk_sequential(program.plan, tasks)
+        assert program.assemble(outputs) == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(skeletons_and_inputs())
+    def test_walk_agrees_with_program_execute_task(self, scenario):
+        # The plan's per-unit runner (what calibration dispatches) must
+        # agree with the reference walk unit-for-unit.
+        skeleton, inputs = scenario
+        program = SkeletalProgram(skeleton)
+        tasks = list(program.make_tasks(list(inputs)))
+        assert walk_sequential(program.plan, tasks) == \
+            [program.execute_task(task) for task in tasks]

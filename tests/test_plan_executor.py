@@ -1,0 +1,416 @@
+"""Tests for the unified plan executor (`repro.core.plan_executor`).
+
+The farm/pipeline-specific behaviour is pinned by the goldens and the
+historical executor suites (which now exercise the shims); this file
+covers what only the plan IR makes possible:
+
+* true **nested compositions** — a ``FarmOfPipelines`` dispatched as a
+  chain per unit, adaptively, instead of collapsing onto one opaque
+  worker callable;
+* the **lost-task cap on chains** — a never-succeeding-but-available
+  node in a pipeline raises ``ExecutionError`` instead of livelocking
+  (previously the cap was farm-only);
+* **chunked chain dispatch** — ``chunk_size`` now also widens the
+  pipeline window budget and folds k consecutive completions into one
+  decision sample, without changing what the pipeline computes;
+* the ``PipelineOfFarms`` standing **replication hint**;
+* thread hygiene: a nested-composition run leaves no leaked ``grasp-*``
+  threads (the CI leak step drives this test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import Grasp, GraspConfig, ThreadBackend
+from repro.core.plan import ChainPlan, FanPlan
+from repro.core.plan_executor import PlanExecutor
+from repro.exceptions import ExecutionError
+from repro.grid.load import StepLoad
+from repro.grid.node import GridNode
+from repro.grid.simulator import GridSimulator
+from repro.grid.topology import GridBuilder, GridTopology
+from repro.skeletons.composition import FarmOfPipelines, PipelineOfFarms
+from repro.skeletons.pipeline import Pipeline, Stage
+from repro.skeletons.taskfarm import TaskFarm
+
+
+def three_stage() -> list:
+    return [
+        Stage(lambda x: x + 1, cost_model=lambda _: 2.0, name="inc"),
+        Stage(lambda x: x * 3, cost_model=lambda _: 4.0, name="tri"),
+        Stage(lambda x: x - 5, cost_model=lambda _: 1.0, name="dec"),
+    ]
+
+
+def hetero_grid() -> GridTopology:
+    return (GridBuilder().heterogeneous(nodes=8, speed_spread=4.0)
+            .named("plan-hetero").build(seed=1))
+
+
+def spike_grid() -> GridTopology:
+    """Fast nodes that get slammed at t=5, to force adaptation."""
+    from repro.grid.load import ConstantLoad
+
+    nodes = [
+        GridNode(node_id=f"p/n{i}", speed=speed,
+                 load_model=ConstantLoad(0.0), site="p")
+        for i, speed in enumerate([1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+    ]
+    nodes[-1] = nodes[-1].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    nodes[-2] = nodes[-2].with_load(StepLoad(steps=[(5.0, 0.9)], initial=0.0))
+    return GridTopology(nodes=nodes, name="plan-spike")
+
+
+class TestNestedComposition:
+    """FarmOfPipelines runs as a fan of chains, not a flattened farm."""
+
+    def test_nested_outputs_match_sequential_on_simulator(self):
+        composed = FarmOfPipelines(three_stage())
+        reference = composed.run_sequential(range(24))
+        result = Grasp(skeleton=FarmOfPipelines(three_stage()),
+                       grid=hetero_grid(),
+                       config=GraspConfig.adaptive()).run(inputs=range(24))
+        assert result.outputs == reference
+        assert result.total_tasks == 24
+
+    def test_nested_units_execute_stage_by_stage(self):
+        # The simulator's chain records show every unit walking all three
+        # stages — the composition is dispatched as a chain, not as one
+        # opaque farm payload on a single node.
+        grid = hetero_grid()
+        sim = GridSimulator(grid)
+        from repro.backends import SimulatedBackend
+
+        captured = []
+        backend = SimulatedBackend(sim)
+        original = backend.dispatch_chain
+
+        def spy(task, stages, master_node, at_time):
+            handle = original(task, stages, master_node=master_node,
+                              at_time=at_time)
+            captured.append(handle.outcome().stage_records)
+            return handle
+
+        backend.dispatch_chain = spy
+        result = Grasp(skeleton=FarmOfPipelines(three_stage()), grid=grid,
+                       config=GraspConfig.adaptive(),
+                       backend=backend).run(inputs=range(12))
+        assert result.outputs == [((x + 1) * 3) - 5 for x in range(12)]
+        assert captured, "no unit was dispatched through the chain primitive"
+        assert all(len(records) == 3 for records in captured)
+
+    def test_nested_adapts_under_load_spike(self):
+        composed = FarmOfPipelines(three_stage())
+        reference = composed.run_sequential(range(60))
+        result = Grasp(skeleton=FarmOfPipelines(three_stage()),
+                       grid=spike_grid(),
+                       config=GraspConfig.adaptive(threshold_factor=0.3),
+                       ).run(inputs=range(60))
+        assert result.outputs == reference
+        assert result.recalibrations >= 1
+        assert len(result.execution.rounds) >= 1
+
+    def test_nested_runs_on_threads(self):
+        composed = FarmOfPipelines(three_stage())
+        reference = composed.run_sequential(range(16))
+        grid = GridBuilder().homogeneous(nodes=4).named("plan-t").build(seed=0)
+        result = Grasp(skeleton=FarmOfPipelines(three_stage()), grid=grid,
+                       config=GraspConfig.adaptive(),
+                       backend="thread").run(inputs=range(16))
+        assert result.outputs == reference
+
+    def test_nested_composition_leaves_no_leaked_threads(self):
+        # Leak-check convention: every service thread the runtime spawns
+        # is named grasp-*; after a nested-composition run over an
+        # internally created backend, none may survive.
+        grid = GridBuilder().homogeneous(nodes=4).named("plan-l").build(seed=0)
+        result = Grasp(skeleton=FarmOfPipelines(three_stage()), grid=grid,
+                       config=GraspConfig.adaptive(),
+                       backend="thread").run(inputs=range(12))
+        assert result.outputs == [((x + 1) * 3) - 5 for x in range(12)]
+        leaked = [t for t in threading.enumerate()
+                  if t.name.startswith("grasp-") and t.is_alive()]
+        assert leaked == []
+
+
+class TestNestedFaultTolerance:
+    """Mid-chain node death on a nested fan re-enqueues the unit.
+
+    The pre-IR FarmOfPipelines collapsed onto a farm whose dispatches
+    resolved as *lost* when a worker died; chain dispatch surfaces the
+    same death as a GridError (the process/cluster behaviour).  The
+    nested walk must fold that into the fan's loss path instead of
+    aborting the run.
+    """
+
+    class _GridErrorHandle:
+        def __init__(self, inner):
+            self._inner = inner
+            self.node_id = inner.node_id
+            self.submitted = inner.submitted
+            self.master_free_after = inner.master_free_after
+            self.next_emit = inner.next_emit
+
+        def done(self):
+            return self._inner.done()
+
+        def outcome(self):
+            from repro.exceptions import GridError
+
+            self._inner.outcome()  # let the real work finish first
+            raise GridError("worker died mid-pipeline-stage")
+
+    def test_mid_chain_grid_error_is_a_loss_not_an_abort(self):
+        outer = self
+
+        class DiesFirstTwoChains(ThreadBackend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._deaths = 2
+
+            def dispatch_chain(self, task, stages, master_node, at_time):
+                handle = super().dispatch_chain(
+                    task, stages, master_node=master_node, at_time=at_time)
+                if self._deaths > 0:
+                    self._deaths -= 1
+                    return outer._GridErrorHandle(handle)
+                return handle
+
+        grid = GridBuilder().homogeneous(nodes=3).named("ncf").build(seed=0)
+        composed = FarmOfPipelines([Stage(lambda x: x + 1),
+                                    Stage(lambda x: x * 2)])
+        with DiesFirstTwoChains(topology=grid) as backend:
+            result = Grasp(skeleton=composed, grid=grid,
+                           backend=backend).run(inputs=range(8))
+        assert result.outputs == [(x + 1) * 2 for x in range(8)]
+        assert result.execution.lost_tasks == 2
+
+    def test_chain_dying_forever_hits_the_loss_cap(self):
+        outer = self
+
+        class AlwaysDyingChains(ThreadBackend):
+            def dispatch_chain(self, task, stages, master_node, at_time):
+                handle = super().dispatch_chain(
+                    task, stages, master_node=master_node, at_time=at_time)
+                return outer._GridErrorHandle(handle)
+
+        grid = GridBuilder().homogeneous(nodes=3).named("ncx").build(seed=0)
+        composed = FarmOfPipelines([Stage(lambda x: x + 1)])
+        with AlwaysDyingChains(topology=grid) as backend:
+            with pytest.raises(ExecutionError, match="lost"):
+                Grasp(skeleton=composed, grid=grid,
+                      backend=backend).run(inputs=range(6))
+
+    def test_payload_exceptions_still_propagate(self):
+        # Only infrastructure death converts to a loss; a unit whose own
+        # stage function raises must surface that exception unchanged.
+        def boom(x):
+            raise RuntimeError("stage exploded")
+
+        grid = GridBuilder().homogeneous(nodes=3).named("ncp").build(seed=0)
+        composed = FarmOfPipelines([Stage(lambda x: x + 1), Stage(boom)])
+        with pytest.raises(RuntimeError, match="stage exploded"):
+            Grasp(skeleton=composed, grid=grid,
+                  backend="thread").run(inputs=range(4))
+
+
+class TestPipelineOfFarmsHint:
+    def test_replication_hint_farms_stages_over_spares(self):
+        # Default config (replicate_stages=False): the standing hint on
+        # the lowered chain still replicates stages over spare chosen
+        # nodes, so the initial mapping uses more nodes than stages.
+        composed = PipelineOfFarms(three_stage())
+        reference = composed.run_sequential(range(30))
+        grid = GridBuilder().homogeneous(nodes=8).named("pof").build(seed=0)
+        result = Grasp(skeleton=PipelineOfFarms(three_stage()), grid=grid,
+                       config=GraspConfig.adaptive()).run(inputs=range(30))
+        assert result.outputs == reference
+        first_mapping = result.execution.chosen_history[0]
+        assert len(first_mapping) > 3
+
+    def test_plain_pipeline_still_defers_to_config(self):
+        # An ordinary Pipeline must keep ignoring spare nodes unless
+        # ExecutionConfig.replicate_stages asks for replication.
+        grid = GridBuilder().homogeneous(nodes=8).named("pp").build(seed=0)
+        result = Grasp(skeleton=Pipeline(three_stage()), grid=grid,
+                       config=GraspConfig.non_adaptive()).run(inputs=range(12))
+        assert len(result.execution.chosen_history[0]) == 3
+
+
+class _LostChainHandle:
+    """Wraps a chain handle, reporting its item as lost."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.node_id = inner.node_id
+        self.submitted = inner.submitted
+        self.master_free_after = inner.master_free_after
+        self.next_emit = inner.next_emit
+
+    def done(self):
+        return self._inner.done()
+
+    def outcome(self):
+        return dataclasses.replace(self._inner.outcome(), output=None,
+                                   lost=True)
+
+
+class AlwaysLosingChainBackend(ThreadBackend):
+    """Loses every chain dispatch while every node stays 'available' —
+    the shape of a pipeline stage host that can never complete an item
+    but cannot be seen dead."""
+
+    def dispatch_chain(self, task, stages, master_node, at_time):
+        handle = super().dispatch_chain(task, stages,
+                                        master_node=master_node,
+                                        at_time=at_time)
+        return _LostChainHandle(handle)
+
+
+class TestChainLossCap:
+    def test_pipeline_losing_every_item_aborts_instead_of_livelocking(self):
+        # Regression for the farm-only livelock cap: a chain whose items
+        # are all lost by an available node must raise, not spin forever.
+        grid = GridBuilder().homogeneous(nodes=3).named("lossy").build(seed=0)
+        pipeline = Pipeline([Stage(lambda x: x + 1), Stage(lambda x: x * 2)])
+        with AlwaysLosingChainBackend(topology=grid) as backend:
+            with pytest.raises(ExecutionError, match="lost"):
+                Grasp(skeleton=pipeline, grid=grid,
+                      backend=backend).run(inputs=range(6))
+
+    def test_lost_chain_item_is_reenqueued_and_completes(self):
+        # A *bounded* loss: the first two chain dispatches are lost, then
+        # the backend behaves; every item must still complete exactly once.
+        class DropsFirstTwo(ThreadBackend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._drops = 2
+
+            def dispatch_chain(self, task, stages, master_node, at_time):
+                handle = super().dispatch_chain(
+                    task, stages, master_node=master_node, at_time=at_time)
+                if self._drops > 0:
+                    self._drops -= 1
+                    return _LostChainHandle(handle)
+                return handle
+
+        grid = GridBuilder().homogeneous(nodes=3).named("flaky").build(seed=0)
+        pipeline = Pipeline([Stage(lambda x: x + 1), Stage(lambda x: x * 2)])
+        with DropsFirstTwo(topology=grid) as backend:
+            result = Grasp(skeleton=pipeline, grid=grid,
+                           backend=backend).run(inputs=range(8))
+        assert result.outputs == [(x + 1) * 2 for x in range(8)]
+        assert result.execution.lost_tasks == 2
+
+
+class TestChunkedChains:
+    @pytest.mark.parametrize("backend", ["simulated", "thread"])
+    def test_chunked_pipeline_matches_sequential(self, backend):
+        pipeline = Pipeline(three_stage())
+        reference = pipeline.run_sequential(range(24))
+        config = GraspConfig.adaptive()
+        config.execution.chunk_size = 3
+        result = Grasp(skeleton=Pipeline(three_stage()), grid=hetero_grid(),
+                       config=config, backend=backend).run(inputs=range(24))
+        assert result.outputs == reference
+        assert result.total_tasks == 24
+
+    def test_chunking_folds_decision_samples(self):
+        # chunk_size=k folds k consecutive completions into one decision
+        # sample, so a chunked run judges fewer (coarser) samples while
+        # computing exactly the same stream.
+        def run(chunk):
+            config = GraspConfig.non_adaptive()
+            config.execution.chunk_size = chunk
+            return Grasp(skeleton=Pipeline(three_stage()),
+                         grid=hetero_grid(), config=config,
+                         ).run(inputs=range(25))
+
+        plain, chunked = run(1), run(3)
+        assert chunked.outputs == plain.outputs
+        samples = lambda res: sum(len(r.unit_times)
+                                  for r in res.execution.rounds)
+        assert 0 < samples(chunked) < samples(plain)
+
+
+class TestPlanExecutorValidation:
+    def test_rejects_non_plan(self):
+        grid = GridBuilder().homogeneous(nodes=2).build(seed=0)
+        sim = GridSimulator(grid)
+        with pytest.raises(ExecutionError, match="not an execution plan"):
+            PlanExecutor("nope", sim, GraspConfig(), grid.node_ids[0],
+                         grid.node_ids)
+
+    def test_rejects_unknown_master_and_empty_pool(self):
+        grid = GridBuilder().homogeneous(nodes=2).build(seed=0)
+        plan = TaskFarm(worker=lambda x: x).lower()
+        with pytest.raises(ExecutionError, match="unknown master"):
+            PlanExecutor(plan, GridSimulator(grid), GraspConfig(), "ghost",
+                         grid.node_ids)
+        with pytest.raises(ExecutionError, match="non-empty"):
+            PlanExecutor(plan, GridSimulator(grid), GraspConfig(),
+                         grid.node_ids[0], [])
+
+    def test_fan_accepts_any_task_sequence(self):
+        # Regression: fan walks consume the queue with popleft/extendleft;
+        # the public as_completed must normalise a plain list first.
+        import collections
+
+        from repro.core.calibration import calibrate
+
+        grid = GridBuilder().homogeneous(nodes=3).build(seed=0)
+        sim = GridSimulator(grid)
+        farm = TaskFarm(worker=lambda x: x * 2)
+        tasks = collections.deque(farm.make_tasks(range(8)))
+        calibration = calibrate(tasks, grid.node_ids, farm.execute_task, sim,
+                                GraspConfig().calibration, grid.node_ids[0],
+                                at_time=0.0)
+        executor = PlanExecutor(farm.lower(), sim, GraspConfig(),
+                                grid.node_ids[0], grid.node_ids)
+        report = executor.run(list(tasks), calibration)
+        assert sorted(r.output for r in report.results) == \
+            sorted(t.payload * 2 for t in tasks)
+
+    def test_min_nodes_resolution(self):
+        grid = GridBuilder().homogeneous(nodes=4).build(seed=0)
+        sim = GridSimulator(grid)
+        chain = Pipeline(three_stage()).lower()
+        assert PlanExecutor(chain, sim, GraspConfig(), grid.node_ids[0],
+                            grid.node_ids).min_nodes == 3
+        fan = FanPlan(body=lambda t: t.payload, min_nodes=2)
+        assert PlanExecutor(fan, sim, GraspConfig(), grid.node_ids[0],
+                            grid.node_ids).min_nodes == 2
+
+    def test_chain_plan_hint_overrides_config_chunk(self):
+        # A plan-level chunk hint wins over the config's chunk_size.
+        chain = dataclasses.replace(Pipeline(three_stage()).lower(),
+                                    chunk_size=2)
+        assert isinstance(chain, ChainPlan)
+        config = GraspConfig.non_adaptive()
+        config.execution.chunk_size = 1
+        grid = GridBuilder().homogeneous(nodes=4).named("hint").build(seed=0)
+        from repro.backends import SimulatedBackend
+
+        backend = SimulatedBackend(GridSimulator(grid))
+        import collections
+
+        from repro.core.calibration import calibrate
+        from repro.core.program import SkeletalProgram
+
+        program = SkeletalProgram(Pipeline(three_stage()), config)
+        tasks = program.make_tasks(range(13))
+        calibration = calibrate(
+            tasks=tasks, pool=list(grid.node_ids),
+            execute_fn=program.execute_task, config=config.calibration,
+            master_node=grid.node_ids[0], min_nodes=3, at_time=0.0,
+            consume=True, backend=backend,
+        )
+        executor = PlanExecutor(chain, backend, config, grid.node_ids[0],
+                                grid.node_ids)
+        report = executor.run(collections.deque(tasks), calibration)
+        # 13 - calibration sample, all completed despite the hinted chunking.
+        assert len(report.results) == 13 - calibration.consumed_tasks

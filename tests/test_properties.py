@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -13,12 +12,12 @@ from repro.comm.collectives import (
     binomial_tree_rounds,
     broadcast_completion_times,
     gather_completion_time,
-    scatter_completion_times,
-)
+    )
 from repro.core.calibration import select_fittest
 from repro.core.parameters import CalibrationConfig, SelectionPolicy
 from repro.core.ranking import NodeScore, RankingMode, rank_nodes
-from repro.core.scheduler import StaticBlockScheduler, StaticCyclicScheduler, WeightedBlockScheduler
+from repro.core.scheduler import (StaticBlockScheduler, StaticCyclicScheduler,
+                                  WeightedBlockScheduler)
 from repro.grid.load import BurstyLoad, RandomWalkLoad, SinusoidalLoad
 from repro.grid.node import GridNode
 from repro.grid.simulator import GridSimulator

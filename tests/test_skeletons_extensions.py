@@ -164,24 +164,37 @@ class TestDivideAndConquer:
 
 
 class TestComposition:
-    def test_pipeline_of_farms_lowers_to_replicable_pipeline(self):
+    def test_pipeline_of_farms_lowers_to_replicated_chain(self):
+        from repro.core.plan import ChainPlan
+
         composed = PipelineOfFarms([Stage(lambda x: x + 1), Stage(lambda x: x * 2)])
         lowered = composed.lower()
-        assert isinstance(lowered, Pipeline)
+        assert isinstance(lowered, ChainPlan)
         assert all(stage.replicable for stage in lowered.stages)
+        assert lowered.replicate is True  # farmed stages without config
+        assert lowered.run_unit(1) == (1 + 1) * 2
         assert composed.run_sequential([1, 2]) == [(1 + 1) * 2, (2 + 1) * 2]
+        # The collapsed primitive form stays reachable.
+        assert isinstance(composed.pipeline, Pipeline)
 
     def test_pipeline_of_farms_properties(self):
         composed = PipelineOfFarms([Stage(lambda x: x)])
         assert composed.properties.redistributable
         assert composed.properties.name == "pipeline_of_farms"
 
-    def test_farm_of_pipelines_lowers_to_farm(self):
+    def test_farm_of_pipelines_lowers_to_nested_fan(self):
+        from repro.core.plan import ChainPlan, FanPlan
+
         composed = FarmOfPipelines([Stage(lambda x: x + 1), Stage(lambda x: x * 3)])
         lowered = composed.lower()
-        assert isinstance(lowered, TaskFarm)
-        assert lowered.worker(2) == (2 + 1) * 3
+        assert isinstance(lowered, FanPlan)
+        assert lowered.nested
+        assert isinstance(lowered.body, ChainPlan)
+        assert lowered.body.run_unit(2) == (2 + 1) * 3
         assert composed.run_sequential([0, 1]) == [3, 6]
+        # The collapsed primitive form stays reachable (and picklable).
+        assert isinstance(composed.farm, TaskFarm)
+        assert composed.farm.worker(2) == (2 + 1) * 3
 
     def test_farm_of_pipelines_cost_is_sum_of_stage_costs(self):
         composed = FarmOfPipelines([
