@@ -23,13 +23,24 @@ module holds both halves once so the two substrates cannot drift:
 The contract itself: payloads, outputs, ``execute_fn`` and pipeline stage
 functions must be picklable — module-level functions, ``functools.partial``
 over them, or callable class instances; not lambdas or closures.
+
+**Shared-payload split.**  Every farm dispatch of one run repeats the same
+``(execute_fn, collect)`` pair and every pipeline item repeats its stage's
+``(cost_fn, apply_fn)`` pair; only the task / task list / stage value
+varies.  :func:`split_payload` / :func:`join_payload` define that split
+once for both out-of-process substrates: the cluster transport ships the
+shared part per *node* (PUT_PAYLOAD + DISPATCH_REF frames), and the
+process backend ships it per *worker process* into the module-level cache
+below (:func:`store_shared` + the ``run_shared_*`` runners), so the
+per-dispatch serialisation cost stops scaling with the payload.
 """
 
 from __future__ import annotations
 
+import pickle
 import time as _time
 from concurrent.futures import Future
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.backends.base import ChunkOutcome, DispatchHandle, DispatchOutcome
 from repro.skeletons.base import Task
@@ -39,6 +50,12 @@ __all__ = [
     "run_payload",
     "run_chunk",
     "run_stage",
+    "split_payload",
+    "join_payload",
+    "store_shared",
+    "run_shared_payload",
+    "run_shared_chunk",
+    "run_shared_stage",
     "anchored_outcome",
     "anchored_chunk",
     "AnchoredHandle",
@@ -74,6 +91,98 @@ def run_stage(cost_fn: Callable[[Any], float], apply_fn: Callable[[Any], Any],
     output = resolve_awaitable(apply_fn(value))
     duration = _time.perf_counter() - started
     return output, duration, cost
+
+
+# ---------------------------------------------------- shared-payload split
+# The canonical decomposition of a dispatch payload into its run-constant
+# shared part and its per-task arguments — one definition, so the cluster
+# wire format and the process-worker cache cannot disagree about it.
+
+def split_payload(kind: str, payload: Tuple[Any, ...]) -> Tuple[tuple, Any]:
+    """Split a ``kind`` payload tuple into ``(shared, args)``.
+
+    Farm tasks and chunks share the same ``(execute_fn, collect)`` pair —
+    one registered payload serves both dispatch shapes.
+    """
+    if kind in ("task", "chunk"):
+        execute_fn, args, collect = payload
+        return (execute_fn, collect), args
+    if kind == "stage":
+        cost_fn, apply_fn, value = payload
+        return (cost_fn, apply_fn), value
+    raise ValueError(f"unknown dispatch kind {kind!r}")
+
+
+def join_payload(kind: str, shared: tuple, args: Any) -> Tuple[Any, ...]:
+    """Inverse of :func:`split_payload`: rebuild the full payload tuple."""
+    if kind in ("task", "chunk"):
+        execute_fn, collect = shared
+        return execute_fn, args, collect
+    if kind == "stage":
+        cost_fn, apply_fn = shared
+        return cost_fn, apply_fn, args
+    raise ValueError(f"unknown dispatch kind {kind!r}")
+
+
+# ------------------------------------------------------ child payload cache
+# Per-worker-process store of shared payloads.  Only the worker's single
+# serial thread touches it, and parents never populate their own copy, so
+# fork-started children always inherit it empty.
+
+class _BrokenShared:
+    """Marker for a shared payload that failed to load in this worker."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+_SHARED_CACHE: Dict[int, Any] = {}
+
+
+def store_shared(token: int, blob: bytes) -> None:
+    """Install one preserialised shared payload in this worker's cache.
+
+    A blob that fails to unpickle (module missing in the worker, …) must
+    fail the *referencing dispatches* with its cause, not crash the store
+    job silently — the failure is remembered and re-raised per use.
+    """
+    try:
+        _SHARED_CACHE[token] = pickle.loads(blob)
+    except Exception as exc:
+        _SHARED_CACHE[token] = _BrokenShared(
+            f"shared payload {token} failed to load in the worker: {exc!r}"
+        )
+
+
+def _shared(token: int) -> tuple:
+    entry = _SHARED_CACHE.get(token)
+    if entry is None:
+        raise RuntimeError(
+            f"shared payload {token} is not in this worker's cache (no "
+            "store_shared preceded the reference on this worker's queue)"
+        )
+    if isinstance(entry, _BrokenShared):
+        raise RuntimeError(entry.reason)
+    return entry
+
+
+def run_shared_payload(token: int, task: Task) -> Tuple[Any, float]:
+    """:func:`run_payload` against the cached shared payload ``token``."""
+    execute_fn, collect = _shared(token)
+    return run_payload(execute_fn, task, collect)
+
+
+def run_shared_chunk(token: int,
+                     tasks: Sequence[Task]) -> List[Tuple[Any, float]]:
+    """:func:`run_chunk` against the cached shared payload ``token``."""
+    execute_fn, collect = _shared(token)
+    return run_chunk(execute_fn, tasks, collect)
+
+
+def run_shared_stage(token: int, value: Any) -> Tuple[Any, float, float]:
+    """:func:`run_stage` against the cached shared payload ``token``."""
+    cost_fn, apply_fn = _shared(token)
+    return run_stage(cost_fn, apply_fn, value)
 
 
 # --------------------------------------------------------------- parent side

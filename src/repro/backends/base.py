@@ -338,6 +338,18 @@ class ExecutionBackend:
         while measurement-based backends still execute it for timing but
         drop the result.  ``check_loss=True`` enables the mid-task failure
         check (farm dispatch); calibration passes ``False``.
+
+        **Shared-payload contract.**  The executors call every dispatch of
+        one farm with the *same* ``execute_fn`` object (and every stage of
+        one pipeline with stable ``cost``/``apply`` objects — they come
+        from the lowered plan, not from per-item closures).  Backends that
+        ship payloads across a process or machine boundary may therefore
+        serialise the shared part once, keyed on object identity, and
+        reference it on subsequent dispatches (the process backend's
+        payload cache, the cluster backend's payload registry).  Custom
+        executors that synthesise a fresh callable per task forfeit that
+        reuse but remain correct — an unseen identity simply ships by
+        value.
         """
         raise NotImplementedError
 

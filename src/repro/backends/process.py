@@ -26,6 +26,16 @@ tasks, :meth:`ProcessBackend.dispatch_chunk` ships ``k`` tasks per
 round-trip (one pickle each way per *chunk*); the adaptive engine feeds it
 via ``ExecutionConfig.chunk_size``.
 
+**Payload cache.**  The run-constant part of each payload — ``(execute_fn,
+collect)`` for farm work, ``(cost_fn, apply_fn)`` for pipeline stages — is
+pickled once and installed in each worker process a single time (a
+``store_shared`` job queued ahead of the first reference on that worker's
+serial queue), so per-dispatch IPC carries only the task arguments.  A
+respawned worker starts with an empty cache, and the parent's shipped-set
+for that node is cleared with the broken pool, so payloads are re-shipped
+automatically.  ``payload_cache=False`` reverts to by-value payloads per
+dispatch (results are identical; the flag exists for overhead comparison).
+
 **Fault tolerance.**  A worker process that dies mid-task (killed, OOM,
 crash) resolves its dispatches as *lost* instead of raising, and the node's
 pool is discarded so a fresh worker respawns on the next dispatch — the
@@ -35,8 +45,10 @@ path a vanished grid node takes.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import pickle
 import sys
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -53,7 +65,11 @@ from repro.backends._payload import (
     AnchoredHandle,
     run_chunk,
     run_payload,
+    run_shared_chunk,
+    run_shared_payload,
+    run_shared_stage,
     run_stage,
+    store_shared,
 )
 from repro.backends.base import (
     ChainOutcome,
@@ -145,6 +161,20 @@ def _warmup():
     return None
 
 
+def _consume_install(future: Future) -> None:
+    """Retrieve a payload-install future quietly.
+
+    An install can only fail with a broken pool (store_shared itself never
+    raises); the referencing dispatch queued right behind it reports the
+    same breakage as a lost task, so the install's copy is just retrieved
+    to silence "exception was never retrieved" noise.
+    """
+    try:
+        future.exception()
+    except BaseException:  # pragma: no cover - cancelled during shutdown
+        pass
+
+
 def _consume_warmup(future: Future) -> None:
     """Retrieve a warm-up future's outcome so spawn failures are not silent.
 
@@ -192,6 +222,11 @@ class ProcessBackend(LocalConcurrentBackend):
         ``multiprocessing`` start method (default: ``forkserver`` where
         available — safe to respawn workers from a threaded parent; see
         :func:`_mp_context`).
+    payload_cache:
+        When True (the default), the shared part of each payload is
+        pickled once and installed per worker process a single time, so
+        per-dispatch IPC carries only task arguments (see module
+        docstring).  False reverts to by-value payloads per dispatch.
     """
 
     name = "process"
@@ -199,8 +234,18 @@ class ProcessBackend(LocalConcurrentBackend):
 
     def __init__(self, topology: Optional[GridTopology] = None,
                  workers: Optional[int] = None, tracer=None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 payload_cache: bool = True):
         super().__init__(topology=topology, workers=workers, tracer=tracer)
+        self._payload_cache = bool(payload_cache)
+        #: shared-part identity -> (token, preserialised blob); keys are
+        #: id() tuples, so ``_shared_refs`` pins the objects alive.
+        self._shared_payloads: dict = {}
+        self._shared_refs: List[tuple] = []
+        self._shared_tokens = itertools.count(1)
+        #: node_id -> set of tokens already installed on that node's
+        #: current worker (cleared with the executor on respawn).
+        self._shipped: dict = {}
         self._context = _mp_context(start_method)
         # Spawn every worker up front, keeping startup cost out of the
         # measured dispatches.
@@ -222,8 +267,8 @@ class ProcessBackend(LocalConcurrentBackend):
         self._check_node(node_id)
         submitted = self.now
         try:
-            future = self._submit(node_id, run_payload, execute_fn, task,
-                                  collect_output)
+            future = self._submit_farm(node_id, "task", execute_fn, task,
+                                       collect_output)
         except BrokenProcessPool:
             # The pool broke between the previous dispatch and this one:
             # same contract as a mid-task death — lost, then respawn.
@@ -247,8 +292,8 @@ class ProcessBackend(LocalConcurrentBackend):
         self._check_node(node_id)
         submitted = self.now
         try:
-            future = self._submit(node_id, run_chunk, execute_fn,
-                                  list(tasks), collect_output)
+            future = self._submit_farm(node_id, "chunk", execute_fn,
+                                       list(tasks), collect_output)
         except BrokenProcessPool:
             outcome = self._lost_outcome(node_id, submitted)
             chunk = ChunkOutcome(
@@ -277,8 +322,7 @@ class ProcessBackend(LocalConcurrentBackend):
         first = stages[0]
         node0 = first.pick(self.node_free_at)
         self._check_node(node0)
-        future0 = self._submit(node0, run_stage, first.cost, first.apply,
-                               task.payload)
+        future0 = self._submit_stage(node0, first, task.payload)
         result: Future = Future()
         driver = threading.Thread(
             target=self._drive_chain,
@@ -303,8 +347,7 @@ class ProcessBackend(LocalConcurrentBackend):
                 node = stage.pick(self.node_free_at)
                 self._check_node(node)
                 current_node = node
-                future = self._submit(node, run_stage, stage.cost,
-                                      stage.apply, value)
+                future = self._submit_stage(node, stage, value)
                 value, duration, cost = future.result()
                 records.append((node, duration, cost, self.now - duration))
                 item_cost += cost
@@ -331,6 +374,83 @@ class ProcessBackend(LocalConcurrentBackend):
             result.set_exception(exc)
 
     # -------------------------------------------------------------- internals
+    def _submit_farm(self, node_id: str, kind: str, execute_fn,
+                     work, collect: bool) -> Future:
+        """Submit one task or chunk, through the payload cache when on."""
+        if self._payload_cache:
+            runner = (run_shared_payload if kind == "task"
+                      else run_shared_chunk)
+            future = self._submit_shared(
+                node_id, ("farm", id(execute_fn), bool(collect)),
+                (execute_fn, collect), runner, (work,),
+            )
+            if future is not None:
+                return future
+        runner = run_payload if kind == "task" else run_chunk
+        return self._submit(node_id, runner, execute_fn, work, collect)
+
+    def _submit_stage(self, node_id: str, stage: ChainStage,
+                      value: Any) -> Future:
+        """Submit one pipeline stage, through the payload cache when on."""
+        if self._payload_cache:
+            future = self._submit_shared(
+                node_id, ("stage", id(stage.cost), id(stage.apply)),
+                (stage.cost, stage.apply), run_shared_stage, (value,),
+            )
+            if future is not None:
+                return future
+        return self._submit(node_id, run_stage, stage.cost, stage.apply,
+                            value)
+
+    def _submit_shared(self, node_id: str, key: tuple, shared: tuple,
+                       runner, args: tuple) -> Optional[Future]:
+        """Submit a cached-shared-payload job; None = caller falls back.
+
+        The install job and the referencing job are queued under one lock
+        hold: the executor is serial, so queue order alone guarantees the
+        worker installs a payload before any job references it — the same
+        ordering property the cluster transport gets from its TCP stream.
+        A shared part that fails to preserialise returns None and the
+        caller takes the by-value path, where the pickling error surfaces
+        through the future exactly as it always has.
+        """
+        with self._lock:
+            entry = self._shared_payloads.get(key)
+            if entry is None:
+                try:
+                    blob = pickle.dumps(shared, protocol=5)
+                except Exception:
+                    return None
+                entry = (next(self._shared_tokens), blob)
+                self._shared_payloads[key] = entry
+                self._shared_refs.append(shared)
+            token, blob = entry
+            executor = self._executor_locked(node_id)
+            shipped = self._shipped.setdefault(node_id, set())
+            self._pending[node_id] += 1
+            started_at = self.now
+            try:
+                if token not in shipped:
+                    install = executor.submit(store_shared, token, blob)
+                    install.add_done_callback(_consume_install)
+                    shipped.add(token)
+                future = executor.submit(runner, token, *args)
+            except BaseException:
+                self._pending[node_id] = max(0, self._pending[node_id] - 1)
+                raise
+        future.add_done_callback(
+            lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
+        )
+        return future
+
+    def _discard_executor(self, node_id: str):
+        # The shipped-set must die with the executor under ONE lock hold:
+        # a racing dispatch that saw the fresh executor but the stale
+        # shipped-set would skip the install its respawned worker needs.
+        with self._lock:
+            self._shipped.pop(node_id, None)
+            return self._executors.pop(node_id, None)
+
     def _lost_outcome(self, node_id: str, submitted: float) -> DispatchOutcome:
         """A worker process died mid-task: surface the loss, respawn later."""
         broken = self._discard_executor(node_id)

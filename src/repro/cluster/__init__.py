@@ -5,7 +5,9 @@ non-dedicated machines — yet the other wall-clock backends all live inside
 one OS process.  This package is the missing layer:
 
 * :mod:`repro.cluster.protocol` — the length-prefixed, versioned wire
-  protocol (HELLO / DISPATCH / RESULT / HEARTBEAT / GOODBYE frames).
+  protocol (HELLO / DISPATCH / RESULT / HEARTBEAT / GOODBYE frames, plus
+  the v2 hot path: binary RESULT/HEARTBEAT codecs and the PUT_PAYLOAD /
+  DISPATCH_REF payload registry).
 * :mod:`repro.cluster.worker` — the worker agent
   (``python -m repro.cluster.worker --connect HOST:PORT --node NAME``):
   one grid node on one host, executing tasks serially and streaming
@@ -32,10 +34,12 @@ from repro.cluster.local import LocalCluster
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
     Dispatch,
+    DispatchRef,
     FrameDecoder,
     Goodbye,
     Heartbeat,
     Hello,
+    PutPayload,
     Result,
     Welcome,
     encode,
@@ -53,6 +57,8 @@ __all__ = [
     "Hello",
     "Welcome",
     "Dispatch",
+    "DispatchRef",
+    "PutPayload",
     "Result",
     "Heartbeat",
     "Goodbye",

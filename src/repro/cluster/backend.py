@@ -38,7 +38,11 @@ from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backends._concurrent import _FutureHandle, _Transfer
-from repro.backends._payload import AnchoredChunkHandle, AnchoredHandle
+from repro.backends._payload import (
+    AnchoredChunkHandle,
+    AnchoredHandle,
+    split_payload,
+)
 from repro.backends.base import (
     ChainOutcome,
     ChainStage,
@@ -50,6 +54,7 @@ from repro.backends.base import (
 )
 from repro.cluster.coordinator import ClusterCoordinator, WorkerLost
 from repro.cluster.local import LocalCluster
+from repro.cluster.protocol import dumps_payload
 from repro.exceptions import ClusterError, ConfigurationError, GridError
 from repro.grid.node import GridNode
 from repro.grid.topology import GridTopology
@@ -112,6 +117,13 @@ class ClusterBackend(ExecutionBackend):
         A :class:`~repro.cluster.local.LocalCluster` to run over.  With
         ``owns_cluster=True`` the backend closes it (workers and all) on
         :meth:`close` — this is how ``backend="cluster"`` wires up.
+    payload_registry:
+        When True (the default), the shared part of each dispatch payload
+        is preserialised once and shipped to each node a single time
+        (PUT_PAYLOAD), so per-task frames carry only the task arguments —
+        the dispatch hot path.  False reverts to by-value DISPATCH frames
+        (one full payload pickle per dispatch); results are bit-identical
+        either way, the flag exists for overhead comparisons.
     """
 
     name = "cluster"
@@ -120,7 +132,8 @@ class ClusterBackend(ExecutionBackend):
     def __init__(self, coordinator: Optional[ClusterCoordinator] = None,
                  topology: Optional[GridTopology] = None, tracer=None, *,
                  cluster: Optional[LocalCluster] = None,
-                 owns_cluster: bool = False):
+                 owns_cluster: bool = False,
+                 payload_registry: bool = True):
         if cluster is not None:
             coordinator = cluster.coordinator
         if coordinator is None:
@@ -140,11 +153,18 @@ class ClusterBackend(ExecutionBackend):
         self._seed_duration = 0.0
         self._closed = False
         self.tracer = tracer
+        self._use_registry = bool(payload_registry)
+        #: shared-part identity -> registered payload id; the keys are id()
+        #: tuples, so ``_payload_refs`` pins the objects alive to keep the
+        #: ids from being recycled.
+        self._payload_ids: Dict[tuple, int] = {}
+        self._payload_refs: List[tuple] = []
 
     # --------------------------------------------------------------- spawning
     @classmethod
     def local(cls, topology: Optional[GridTopology] = None,
               workers: Optional[int] = None, tracer=None,
+              payload_registry: bool = True,
               **cluster_kwargs) -> "ClusterBackend":
         """A backend over a freshly-spawned localhost cluster it owns.
 
@@ -157,7 +177,7 @@ class ClusterBackend(ExecutionBackend):
             names = workers if workers is not None else 2
         cluster = LocalCluster(workers=names, **cluster_kwargs)
         return cls(topology=topology, tracer=tracer, cluster=cluster,
-                   owns_cluster=True)
+                   owns_cluster=True, payload_registry=payload_registry)
 
     # ------------------------------------------------------------------ clock
     @property
@@ -364,7 +384,12 @@ class ClusterBackend(ExecutionBackend):
             self._pending[node_id] += 1
         started_at = self.now
         try:
-            future = self._coordinator.submit(node_id, kind, payload)
+            if self._use_registry:
+                payload_id, args = self._registered(kind, payload)
+                future = self._coordinator.submit_ref(node_id, kind,
+                                                      payload_id, args)
+            else:
+                future = self._coordinator.submit(node_id, kind, payload)
         except BaseException:
             with self._lock:
                 self._pending[node_id] = max(0, self._pending[node_id] - 1)
@@ -373,6 +398,35 @@ class ClusterBackend(ExecutionBackend):
             lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
         )
         return future
+
+    def _registered(self, kind: str, payload: tuple) -> Tuple[int, Any]:
+        """The coordinator payload id for this payload's shared part.
+
+        The shared part (``(execute_fn, collect)`` for farms, ``(cost_fn,
+        apply_fn)`` for stages) is pickled **once** per distinct identity
+        and registered with the coordinator; every subsequent dispatch of
+        the run reuses the id.  An unpicklable shared part raises
+        :class:`~repro.exceptions.ProtocolError` here, at the caller —
+        same contract as the legacy path.
+        """
+        shared, args = split_payload(kind, payload)
+        group = "farm" if kind in ("task", "chunk") else "stage"
+        key = (group,) + tuple(id(part) for part in shared)
+        with self._lock:
+            payload_id = self._payload_ids.get(key)
+        if payload_id is None:
+            blob = dumps_payload(shared)
+            payload_id = self._coordinator.register_payload(blob)
+            with self._lock:
+                existing = self._payload_ids.get(key)
+                if existing is not None:
+                    # A racing dispatch registered the same shared part
+                    # first; its id wins, our orphan blob is harmless.
+                    payload_id = existing
+                else:
+                    self._payload_ids[key] = payload_id
+                    self._payload_refs.append(shared)
+        return payload_id, args
 
     def _note_done(self, node_id: str, submitted_at: float,
                    future: Future) -> None:

@@ -3,9 +3,12 @@
 :class:`ClusterCoordinator` is the master-side endpoint of the cluster
 subsystem.  It listens on a TCP port, accepts worker-agent connections
 (:mod:`repro.cluster.worker`), registers each agent under its node id on
-:class:`~repro.cluster.protocol.Hello`, and exposes a future-based
-``submit`` primitive the :class:`~repro.cluster.backend.ClusterBackend`
-builds its dispatch paths on.
+:class:`~repro.cluster.protocol.Hello`, and exposes two future-based
+dispatch primitives the :class:`~repro.cluster.backend.ClusterBackend`
+builds its paths on: ``submit`` ships a payload by value (legacy), while
+``register_payload`` + ``submit_ref`` preserialise the shared part of a
+payload once and ship each node one PUT_PAYLOAD plus per-task
+DISPATCH_REF frames — the dispatch hot path.
 
 **Liveness.**  A worker is *live* from its registration until its
 connection drops, it says :class:`~repro.cluster.protocol.Goodbye`, or its
@@ -41,10 +44,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
     Dispatch,
+    DispatchRef,
     FrameDecoder,
     Goodbye,
     Heartbeat,
     Hello,
+    PutPayload,
     Result,
     Welcome,
     encode,
@@ -83,6 +88,12 @@ class _WorkerConn:
         self.send_lock = threading.Lock()
         #: request_id -> Future, guarded by the coordinator lock.
         self.pending: Dict[int, Future] = {}
+        #: payload ids already PUT on this connection; guarded by
+        #: ``send_lock`` (the PUT-before-REF ordering is a property of the
+        #: byte stream, so the check-and-ship must be atomic with the
+        #: sends).  Grows only — a rejoin gets a fresh connection, and with
+        #: it an empty set, so shared payloads are re-shipped naturally.
+        self.sent_payloads: set = set()
         self.last_beat = _time.monotonic()
         self.load = 0.0
         self.alive = True
@@ -139,6 +150,10 @@ class ClusterCoordinator:
         self._conns: set = set()
         self._infos: Dict[str, WorkerInfo] = {}
         self._request_ids = itertools.count(1)
+        #: payload_id -> preserialised blob (the payload registry); each
+        #: blob is pickled once, here, and shipped verbatim per node.
+        self._payloads: Dict[int, bytes] = {}
+        self._payload_ids = itertools.count(1)
         self._closed = False
         self._threads: List[threading.Thread] = []
 
@@ -252,6 +267,69 @@ class ClusterCoordinator:
             self._mark_dead(conn, f"send failed ({exc})")
         return future
 
+    def register_payload(self, blob: bytes) -> int:
+        """Install a preserialised shared payload in the registry.
+
+        ``blob`` must come from
+        :func:`repro.cluster.protocol.dumps_payload` — the registry ships
+        it verbatim, once per connection, ahead of the first
+        :meth:`submit_ref` that references it.  Returns the payload id.
+        """
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster coordinator is closed")
+            payload_id = next(self._payload_ids)
+            self._payloads[payload_id] = bytes(blob)
+        return payload_id
+
+    def submit_ref(self, node_id: str, kind: str, payload_id: int,
+                   args) -> Future:
+        """Ship one unit of work referencing a registered shared payload.
+
+        Same future semantics as :meth:`submit`, but the wire carries only
+        ``args`` (plus, on the first reference per connection, the shared
+        blob itself as a PUT_PAYLOAD).  The check-and-ship happens under
+        the connection's send lock, so a DISPATCH_REF can never overtake
+        the PUT_PAYLOAD it depends on.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster coordinator is closed")
+            conn = self._workers.get(node_id)
+            if conn is None or not conn.alive:
+                raise WorkerLost(f"node {node_id!r} has no live worker agent")
+            blob = self._payloads.get(payload_id)
+            if blob is None:
+                raise ClusterError(
+                    f"payload {payload_id} is not registered"
+                )
+            request_id = next(self._request_ids)
+            conn.pending[request_id] = future
+        # Encode before touching the socket (see submit): unpicklable args
+        # and over-limit blobs are the *caller's* errors.  The sent set
+        # only grows, so a pre-lock peek can only over-encode, never skip
+        # a required PUT.
+        try:
+            ref_frame = encode(DispatchRef(request_id=request_id,
+                                           payload_id=payload_id,
+                                           kind=kind, args=args))
+            put_frame = (encode(PutPayload(payload_id=payload_id, blob=blob))
+                         if payload_id not in conn.sent_payloads else None)
+        except ProtocolError:
+            with self._lock:
+                conn.pending.pop(request_id, None)
+            raise
+        try:
+            with conn.send_lock:
+                if payload_id not in conn.sent_payloads:
+                    conn.sock.sendall(put_frame)
+                    conn.sent_payloads.add(payload_id)
+                conn.sock.sendall(ref_frame)
+        except OSError as exc:
+            self._mark_dead(conn, f"send failed ({exc})")
+        return future
+
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Say goodbye to every worker and stop all service threads."""
@@ -260,6 +338,7 @@ class ClusterCoordinator:
                 return
             self._closed = True
             conns = list(self._conns)
+            self._payloads.clear()
             self._registered.notify_all()
         self._stop.set()
         for conn in conns:
@@ -433,6 +512,11 @@ class ClusterCoordinator:
 
     def _resolve(self, conn: _WorkerConn, result: Result) -> None:
         with self._lock:
+            # Results piggyback the worker's load observation (a negative
+            # value means "not carried"), so an active worker keeps the
+            # monitoring layer current without separate heartbeat beacons.
+            if result.load >= 0.0:
+                conn.load = float(result.load)
             future = conn.pending.pop(result.request_id, None)
         if future is None:
             # Unknown id: the request was already failed by a death mark, or

@@ -1,41 +1,63 @@
-"""Length-prefixed, versioned wire protocol of the cluster subsystem.
+"""Length-prefixed, versioned wire protocol of the cluster subsystem (v2).
 
 Every byte that crosses a cluster TCP connection is a **frame**:
 
 .. code-block:: text
 
     +-------+---------+------------------+---------------------------+
-    | magic | version | body length (u32)| body (pickled message)    |
+    | magic | version | body length (u32)| body (typed message)      |
     | GRSP  |   1 B   |    big-endian    |                           |
     +-------+---------+------------------+---------------------------+
 
-The body is one **typed message** — a frozen dataclass from the registry
-below, serialised as ``pickle((type_code, field_values))``.  Messages carry
-the runtime's existing picklable-payload contract (see
-:mod:`repro.backends._payload`): tasks, worker functions and outputs are
-pickled by reference/value exactly as the process backend ships them, which
-is also why the protocol is **trusted-network-only** — unpickling is
-arbitrary code execution, so never expose a coordinator or worker port to
-an untrusted network.
+The first body byte is the **message type code**; the rest is that type's
+encoding.  Cold control messages stay pickled; the hot per-task messages
+(RESULT, HEARTBEAT, DISPATCH_REF, PUT_PAYLOAD) use fixed ``struct``
+envelopes so the dispatch hot path never pays a pickle for its framing:
 
-Message vocabulary (coordinator ⇄ worker):
+====  ==============  ==========================================================
+code  message         body encoding after the code byte
+====  ==============  ==========================================================
+1     HELLO           pickle of the field tuple
+2     WELCOME         pickle of the field tuple
+3     DISPATCH        pickle of the field tuple (legacy by-value dispatch)
+4     RESULT          ``>QBd`` request_id, ok, load · oob block (value/error)
+5     HEARTBEAT       ``>H`` node-id length · node-id utf-8 · ``>d`` load
+6     GOODBYE         pickle of the field tuple
+7     PUT_PAYLOAD     ``>Q`` payload_id · raw preserialised payload blob
+8     DISPATCH_REF    ``>QQB`` request_id, payload_id, kind · oob block (args)
+====  ==============  ==========================================================
 
-* :class:`Hello` — worker → coordinator registration, with the node
-  descriptor (node id, host, pid, cpus) and the worker's protocol version.
-* :class:`Welcome` — coordinator → worker registration acknowledgement.
-* :class:`Dispatch` — coordinator → worker: one task (``kind="task"``), a
-  chunk of tasks (``"chunk"``) or one pipeline stage (``"stage"``), tagged
-  with a request id.
-* :class:`Result` — worker → coordinator: the child-measured
-  ``(output, duration)`` payload for a request, or the payload's exception.
-* :class:`Heartbeat` — worker → coordinator liveness beacon, carrying the
-  worker host's observed CPU load for the monitoring layer.
-* :class:`Goodbye` — either side announces an orderly shutdown.
+An **oob block** is a pickle-protocol-5 serialisation with out-of-band
+buffers: ``>I`` buffer count, one ``>I`` length per buffer, ``>I`` pickle
+length, the pickle bytes, then the raw buffer bytes back to back.  Decoding
+hands the pickle :class:`memoryview` slices of the frame, so a large
+bytes-like result body (a numpy block, a bytearray) is never copied through
+the pickler on either side.
+
+**Payload registry.**  A shared task payload — the worker function and its
+companions, identical across every task of a run — is preserialised once,
+shipped to each agent a single time as PUT_PAYLOAD, and referenced by
+``payload_id`` in every subsequent DISPATCH_REF, which carries only the
+per-task arguments.  The legacy DISPATCH message (payload by value, pickled
+per dispatch) remains for comparison benchmarks and one-off sends.
+
+Messages carry the runtime's existing picklable-payload contract (see
+:mod:`repro.backends._payload`), which is also why the protocol is
+**trusted-network-only** — unpickling is arbitrary code execution, so never
+expose a coordinator or worker port to an untrusted network.
+
+Version negotiation is explicit: the frame header carries the wire version
+(a v1 peer's first frame raises a clean :class:`ProtocolError` naming both
+versions), :class:`Hello` carries the worker's message protocol (checked at
+registration) and :class:`Welcome` echoes the coordinator's (checked by the
+agent before it serves work).
 
 Framing is handled by :func:`encode` and :class:`FrameDecoder`.  The
 decoder is incremental (feed it arbitrary byte slices, complete messages
-fall out) and *strict*: bad magic, an unsupported version, an oversized
-length, an undecodable body or a truncated frame at end-of-stream all raise
+fall out), compacts its buffer lazily via a read offset — many small frames
+arriving in one burst cost O(bytes), not O(bytes × frames) — and is
+*strict*: bad magic, an unsupported version, an oversized length, an
+undecodable body or a truncated frame at end-of-stream all raise
 :class:`~repro.exceptions.ProtocolError` instead of hanging or guessing.
 """
 
@@ -45,7 +67,7 @@ import dataclasses
 import pickle
 import struct
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple, Type
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from repro.exceptions import ProtocolError
 
@@ -58,13 +80,18 @@ __all__ = [
     "Result",
     "Heartbeat",
     "Goodbye",
+    "PutPayload",
+    "DispatchRef",
     "Message",
     "encode",
     "FrameDecoder",
+    "dumps_payload",
+    "KIND_CODES",
 ]
 
 #: Wire-format version; bumped on any incompatible frame/message change.
-PROTOCOL_VERSION = 1
+#: v2: code-byte bodies, binary RESULT/HEARTBEAT, payload registry.
+PROTOCOL_VERSION = 2
 
 #: Refuse frames larger than this (a corrupt length header must not make
 #: the decoder try to buffer gigabytes before failing).
@@ -72,6 +99,21 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _MAGIC = b"GRSP"
 _HEADER = struct.Struct(">4sBI")
+
+#: Compact the decoder buffer once this many consumed bytes accumulate
+#: ahead of the read offset (lazy compaction; see :class:`FrameDecoder`).
+_COMPACT_BYTES = 1 << 16
+
+_U32 = struct.Struct(">I")
+_RESULT_FIXED = struct.Struct(">QBd")      # request_id, ok, load
+_HEARTBEAT_LEN = struct.Struct(">H")       # node-id byte length
+_F64 = struct.Struct(">d")
+_PAYLOAD_ID = struct.Struct(">Q")
+_DISPATCH_REF_FIXED = struct.Struct(">QQB")  # request_id, payload_id, kind
+
+#: Dispatch kinds get one byte on the wire (and back).
+KIND_CODES: Dict[str, int] = {"task": 1, "chunk": 2, "stage": 3}
+_KIND_NAMES = {code: kind for kind, code in KIND_CODES.items()}
 
 
 # ------------------------------------------------------------------ messages
@@ -88,19 +130,25 @@ class Hello:
 
 @dataclass(frozen=True)
 class Welcome:
-    """Coordinator acknowledgement of a :class:`Hello`."""
+    """Coordinator acknowledgement of a :class:`Hello`.
+
+    Echoes the coordinator's message protocol so the agent can verify it
+    is talking to a same-generation coordinator before serving work.
+    """
 
     node_id: str
+    protocol: int = PROTOCOL_VERSION
 
 
 @dataclass(frozen=True)
 class Dispatch:
-    """One unit of work shipped to a worker.
+    """One unit of work shipped by value (the legacy, cold path).
 
     ``kind`` selects the payload shape (mirroring the backend dispatch
     primitives): ``"task"`` → ``(execute_fn, task, collect_output)``,
     ``"chunk"`` → ``(execute_fn, [tasks], collect_output)``, ``"stage"`` →
-    ``(cost_fn, apply_fn, value)``.
+    ``(cost_fn, apply_fn, value)``.  The hot path ships the shared part of
+    the payload once (:class:`PutPayload`) and uses :class:`DispatchRef`.
     """
 
     request_id: int
@@ -110,19 +158,27 @@ class Dispatch:
 
 @dataclass(frozen=True)
 class Result:
-    """A worker's answer to one :class:`Dispatch`.
+    """A worker's answer to one dispatch (binary-encoded; no pickle
+    envelope — only the value/error body itself is pickled, protocol 5
+    with out-of-band buffers).
 
     ``value`` holds the child-measured payload — ``(output, duration)`` for
     tasks, ``[(output, duration), ...]`` for chunks, ``(output, duration,
     cost)`` for stages.  When the payload raised, ``ok`` is False and
     ``error`` carries the exception (or a stringified stand-in when the
     original does not pickle).
+
+    ``load`` piggybacks the worker host's observed CPU load on result
+    traffic, so an actively-serving agent needs no separate heartbeat
+    beacons; ``-1.0`` means "not carried" and leaves the coordinator's
+    last-known load untouched.
     """
 
     request_id: int
     ok: bool
     value: Any = None
     error: Any = None
+    load: float = -1.0
 
 
 @dataclass(frozen=True)
@@ -131,7 +187,8 @@ class Heartbeat:
 
     Liveness is stamped with the *coordinator's* clock on receipt — worker
     clocks are not comparable across hosts, so no send timestamp is
-    carried.
+    carried.  Only sent while an agent is idle: results carry the same
+    load observation, so active workers beacon implicitly.
     """
 
     node_id: str
@@ -146,6 +203,36 @@ class Goodbye:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class PutPayload:
+    """Install one preserialised shared payload on an agent.
+
+    ``blob`` is the pickle (protocol 5) of the shared payload tuple,
+    produced **once** by the coordinator's registry and shipped verbatim —
+    the coordinator never re-pickles it per node or per task.  Subsequent
+    :class:`DispatchRef` frames reference it by ``payload_id``.
+    """
+
+    payload_id: int
+    blob: bytes
+
+
+@dataclass(frozen=True)
+class DispatchRef:
+    """One unit of work referencing a registered shared payload.
+
+    Carries only the per-task arguments — the task (``kind="task"``), the
+    task list (``"chunk"``) or the stage input value (``"stage"``); the
+    worker joins them with the :class:`PutPayload` blob installed earlier
+    on the same connection.
+    """
+
+    request_id: int
+    payload_id: int
+    kind: str
+    args: Any
+
+
 #: Union alias for documentation; the registry below is authoritative.
 Message = Any
 
@@ -156,8 +243,220 @@ _MESSAGE_TYPES: Dict[int, Type[Any]] = {
     4: Result,
     5: Heartbeat,
     6: Goodbye,
+    7: PutPayload,
+    8: DispatchRef,
 }
 _TYPE_CODES = {cls: code for code, cls in _MESSAGE_TYPES.items()}
+_PICKLED_TYPES = (Hello, Welcome, Dispatch, Goodbye)
+
+
+# ------------------------------------------------------- payload serialising
+def dumps_payload(obj: Any) -> bytes:
+    """Preserialise a shared payload for the registry (pickle protocol 5).
+
+    Raises :class:`~repro.exceptions.ProtocolError` when ``obj`` violates
+    the picklable-payload contract, so registration failures surface at
+    the caller — never as a dead worker.
+    """
+    try:
+        return pickle.dumps(obj, protocol=5)
+    except Exception as exc:
+        raise ProtocolError(
+            f"shared payload does not pickle ({exc!r}); cluster payloads "
+            "must honour the picklable-payload contract"
+        ) from exc
+
+
+# ------------------------------------------------- out-of-band pickle blocks
+def _pack_oob(obj: Any) -> bytes:
+    """Serialise ``obj`` as an oob block (see module docstring).
+
+    Pickle protocol 5 hands large bytes-like objects (bytearray, numpy
+    arrays, memoryviews) to ``buffer_callback`` instead of copying them
+    into the pickle stream; their raw bytes ride behind the pickle.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    try:
+        body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    except Exception as exc:
+        raise ProtocolError(
+            f"message payload does not pickle ({exc!r}); cluster payloads "
+            "must honour the picklable-payload contract"
+        ) from exc
+    raws = [buffer.raw() for buffer in buffers]
+    parts = [_U32.pack(len(raws))]
+    parts += [_U32.pack(raw.nbytes) for raw in raws]
+    parts.append(_U32.pack(len(body)))
+    parts.append(body)
+    parts += raws
+    return b"".join(parts)
+
+
+def _unpack_oob(view: memoryview, what: str) -> Any:
+    """Decode one oob block occupying all of ``view``."""
+    try:
+        nbuf, = _U32.unpack_from(view, 0)
+        offset = _U32.size
+        lengths = []
+        for _ in range(nbuf):
+            length, = _U32.unpack_from(view, offset)
+            lengths.append(length)
+            offset += _U32.size
+        body_len, = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        body = view[offset:offset + body_len]
+        if len(body) != body_len:
+            raise ProtocolError(f"truncated {what} body")
+        offset += body_len
+        buffers = []
+        for length in lengths:
+            buffer = view[offset:offset + length]
+            if len(buffer) != length:
+                raise ProtocolError(f"truncated {what} buffer")
+            buffers.append(buffer)
+            offset += length
+        if offset != len(view):
+            raise ProtocolError(f"trailing bytes after {what}")
+        return pickle.loads(body, buffers=buffers)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable {what} ({exc!r})") from exc
+
+
+# ------------------------------------------------------------------ encoders
+def _encode_pickled(message: Message) -> bytes:
+    values = tuple(getattr(message, f.name)
+                   for f in dataclasses.fields(message))
+    try:
+        return pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ProtocolError(
+            f"message payload does not pickle ({exc!r}); cluster payloads "
+            "must honour the picklable-payload contract"
+        ) from exc
+
+
+def _encode_result(message: Result) -> bytes:
+    fixed = _RESULT_FIXED.pack(message.request_id, 1 if message.ok else 0,
+                               float(message.load))
+    body = message.value if message.ok else message.error
+    return fixed + _pack_oob(body)
+
+
+def _encode_heartbeat(message: Heartbeat) -> bytes:
+    name = message.node_id.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ProtocolError(f"node id of {len(name)} bytes is too long")
+    return (_HEARTBEAT_LEN.pack(len(name)) + name
+            + _F64.pack(float(message.load)))
+
+
+def _encode_put_payload(message: PutPayload) -> bytes:
+    blob = message.blob
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise ProtocolError(
+            f"PUT_PAYLOAD blob must be bytes, got {type(blob).__name__}"
+        )
+    return _PAYLOAD_ID.pack(message.payload_id) + bytes(blob)
+
+
+def _encode_dispatch_ref(message: DispatchRef) -> bytes:
+    kind_code = KIND_CODES.get(message.kind)
+    if kind_code is None:
+        raise ProtocolError(f"unknown dispatch kind {message.kind!r}")
+    fixed = _DISPATCH_REF_FIXED.pack(message.request_id, message.payload_id,
+                                     kind_code)
+    return fixed + _pack_oob(message.args)
+
+
+_ENCODERS: Dict[Type[Any], Callable[[Any], bytes]] = {
+    Hello: _encode_pickled,
+    Welcome: _encode_pickled,
+    Dispatch: _encode_pickled,
+    Goodbye: _encode_pickled,
+    Result: _encode_result,
+    Heartbeat: _encode_heartbeat,
+    PutPayload: _encode_put_payload,
+    DispatchRef: _encode_dispatch_ref,
+}
+
+
+# ------------------------------------------------------------------ decoders
+def _decode_pickled(cls: Type[Any], view: memoryview) -> Message:
+    try:
+        values = pickle.loads(view)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame body ({exc!r})") from exc
+    if not isinstance(values, tuple):
+        raise ProtocolError(
+            f"malformed {cls.__name__} message (body is not a field tuple)"
+        )
+    try:
+        return cls(*values)
+    except TypeError as exc:
+        raise ProtocolError(
+            f"malformed {cls.__name__} message ({exc})"
+        ) from exc
+
+
+def _decode_result(view: memoryview) -> Result:
+    try:
+        request_id, ok, load = _RESULT_FIXED.unpack_from(view, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed RESULT frame ({exc})") from exc
+    payload = _unpack_oob(view[_RESULT_FIXED.size:], "RESULT payload")
+    if ok:
+        return Result(request_id=request_id, ok=True, value=payload,
+                      load=load)
+    return Result(request_id=request_id, ok=False, error=payload, load=load)
+
+
+def _decode_heartbeat(view: memoryview) -> Heartbeat:
+    try:
+        name_len, = _HEARTBEAT_LEN.unpack_from(view, 0)
+        name = bytes(view[_HEARTBEAT_LEN.size:_HEARTBEAT_LEN.size + name_len])
+        if len(name) != name_len:
+            raise ProtocolError("truncated HEARTBEAT node id")
+        load, = _F64.unpack_from(view, _HEARTBEAT_LEN.size + name_len)
+        if len(view) != _HEARTBEAT_LEN.size + name_len + _F64.size:
+            raise ProtocolError("trailing bytes after HEARTBEAT")
+        return Heartbeat(node_id=name.decode("utf-8"), load=load)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed HEARTBEAT frame ({exc})") from exc
+
+
+def _decode_put_payload(view: memoryview) -> PutPayload:
+    try:
+        payload_id, = _PAYLOAD_ID.unpack_from(view, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed PUT_PAYLOAD frame ({exc})") from exc
+    return PutPayload(payload_id=payload_id,
+                      blob=bytes(view[_PAYLOAD_ID.size:]))
+
+
+def _decode_dispatch_ref(view: memoryview) -> DispatchRef:
+    try:
+        request_id, payload_id, kind_code = \
+            _DISPATCH_REF_FIXED.unpack_from(view, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed DISPATCH_REF frame ({exc})") from exc
+    kind = _KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise ProtocolError(f"unknown dispatch kind code {kind_code}")
+    args = _unpack_oob(view[_DISPATCH_REF_FIXED.size:], "DISPATCH_REF args")
+    return DispatchRef(request_id=request_id, payload_id=payload_id,
+                       kind=kind, args=args)
+
+
+_DECODERS: Dict[int, Callable[[memoryview], Message]] = {
+    4: _decode_result,
+    5: _decode_heartbeat,
+    7: _decode_put_payload,
+    8: _decode_dispatch_ref,
+}
 
 
 # ------------------------------------------------------------------- framing
@@ -168,25 +467,24 @@ def encode(message: Message) -> bytes:
         raise ProtocolError(
             f"cannot encode {type(message).__name__}: not a protocol message"
         )
-    values = tuple(getattr(message, f.name)
-                   for f in dataclasses.fields(message))
-    try:
-        body = pickle.dumps((code, values), protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
+    body = _ENCODERS[type(message)](message)
+    if len(body) + 1 > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"message payload does not pickle ({exc!r}); cluster payloads "
-            "must honour the picklable-payload contract"
-        ) from exc
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
-            "limit"
+            f"frame of {len(body) + 1} bytes exceeds the {MAX_FRAME_BYTES}-"
+            "byte limit"
         )
-    return _HEADER.pack(_MAGIC, PROTOCOL_VERSION, len(body)) + body
+    return (_HEADER.pack(_MAGIC, PROTOCOL_VERSION, len(body) + 1)
+            + bytes((code,)) + body)
 
 
 class FrameDecoder:
     """Incremental frame decoder: feed bytes, receive complete messages.
+
+    The buffer is consumed through a read offset and compacted *lazily*
+    (only once :data:`_COMPACT_BYTES` of consumed prefix accumulate, or
+    when everything buffered has been consumed) — the historical
+    compact-per-frame ``del buffer[:k]`` made a burst of n small frames
+    cost O(n²) byte moves.
 
     Raises :class:`~repro.exceptions.ProtocolError` on anything malformed;
     once an error is raised the stream is unrecoverable (framing is lost)
@@ -195,34 +493,53 @@ class FrameDecoder:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._offset = 0
 
     def feed(self, data: bytes) -> List[Message]:
         """Absorb ``data``; return every message it completed, in order."""
         self._buffer.extend(data)
         messages: List[Message] = []
-        while True:
-            if len(self._buffer) < _HEADER.size:
-                return messages
-            magic, version, length = _HEADER.unpack_from(self._buffer)
-            if magic != _MAGIC:
-                raise ProtocolError(
-                    f"bad frame magic {bytes(magic)!r} (expected {_MAGIC!r})"
-                )
-            if version != PROTOCOL_VERSION:
-                raise ProtocolError(
-                    f"unsupported protocol version {version} "
-                    f"(this runtime speaks {PROTOCOL_VERSION})"
-                )
-            if length > MAX_FRAME_BYTES:
-                raise ProtocolError(
-                    f"frame length {length} exceeds the {MAX_FRAME_BYTES}-"
-                    "byte limit"
-                )
-            if len(self._buffer) < _HEADER.size + length:
-                return messages
-            body = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
-            del self._buffer[:_HEADER.size + length]
-            messages.append(self._decode_body(body))
+        buffer = self._buffer
+        offset = self._offset
+        try:
+            while True:
+                if len(buffer) - offset < _HEADER.size:
+                    return messages
+                magic, version, length = _HEADER.unpack_from(buffer, offset)
+                if magic != _MAGIC:
+                    raise ProtocolError(
+                        f"bad frame magic {bytes(magic)!r} "
+                        f"(expected {_MAGIC!r})"
+                    )
+                if version != PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"unsupported protocol version {version} "
+                        f"(this runtime speaks {PROTOCOL_VERSION})"
+                    )
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame length {length} exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte limit"
+                    )
+                if len(buffer) - offset < _HEADER.size + length:
+                    return messages
+                start = offset + _HEADER.size
+                # One copy out of the receive buffer; decoded out-of-band
+                # buffers alias this immutable bytes object, so the
+                # mutable decode buffer is never pinned by a result.
+                body = bytes(buffer[start:start + length])
+                offset = start + length
+                messages.append(self._decode_body(body))
+        finally:
+            # Persist progress even when a decode raises mid-burst, then
+            # compact if the consumed prefix got large (or is everything).
+            if offset >= len(buffer):
+                del buffer[:]
+                offset = 0
+            elif offset >= _COMPACT_BYTES:
+                del buffer[:offset]
+                offset = 0
+            self._offset = offset
 
     def at_eof(self) -> None:
         """Assert the stream ended on a frame boundary.
@@ -230,29 +547,28 @@ class FrameDecoder:
         Call when the peer closes the connection: leftover buffered bytes
         mean a frame was cut off mid-flight.
         """
-        if self._buffer:
+        pending = self.pending_bytes
+        if pending:
             raise ProtocolError(
-                f"connection closed mid-frame ({len(self._buffer)} "
+                f"connection closed mid-frame ({pending} "
                 "buffered bytes do not form a complete frame)"
             )
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered toward a not-yet-complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
     @staticmethod
     def _decode_body(body: bytes) -> Message:
-        try:
-            code, values = pickle.loads(body)
-        except Exception as exc:
-            raise ProtocolError(f"undecodable frame body ({exc!r})") from exc
+        if not body:
+            raise ProtocolError("empty frame body")
+        code = body[0]
+        view = memoryview(body)[1:]
+        decoder = _DECODERS.get(code)
+        if decoder is not None:
+            return decoder(view)
         cls = _MESSAGE_TYPES.get(code)
         if cls is None:
             raise ProtocolError(f"unknown message type code {code!r}")
-        try:
-            return cls(*values)
-        except TypeError as exc:
-            raise ProtocolError(
-                f"malformed {cls.__name__} message ({exc})"
-            ) from exc
+        return _decode_pickled(cls, view)

@@ -6,19 +6,29 @@ Run on any machine that can reach the coordinator::
 
 The agent connects over TCP, registers as grid node ``NAME`` with a
 :class:`~repro.cluster.protocol.Hello` (host, pid, cpu count), then
-executes :class:`~repro.cluster.protocol.Dispatch` requests **serially** —
-one task at a time, the paper's process-per-node model — streaming each
+executes dispatch requests **serially** — one task at a time, the paper's
+process-per-node model — streaming each
 :class:`~repro.cluster.protocol.Result` back the moment it completes.
 Payload execution and compute-time measurement use the same helpers as the
 process backend's workers (:mod:`repro.backends._payload`), so a cluster
 node's unit times mean the same thing a local worker process's do.
+
+Work arrives two ways: a legacy :class:`~repro.cluster.protocol.Dispatch`
+carries its whole payload by value, while the hot path installs each shared
+payload once (:class:`~repro.cluster.protocol.PutPayload`, unpickled to a
+per-connection store) and then ships only per-task arguments in
+:class:`~repro.cluster.protocol.DispatchRef` frames.  Install and dispatch
+frames are executed in arrival order off one queue, so a reference can
+never observe a missing payload the coordinator already sent.
 
 Three threads cooperate:
 
 * the **reader** drains the socket and queues dispatches (so a long task
   never stops Goodbye/shutdown frames from being seen),
 * the **heartbeat** sender beacons liveness (plus the host's CPU load for
-  the monitoring layer) even while a task is running,
+  the monitoring layer) — but only while the agent is *idle*: every Result
+  piggybacks the same load observation, so an actively-serving agent sends
+  no separate beacons,
 * the **main loop** executes queued work serially and sends results.
 
 The agent exits when the coordinator says Goodbye, the connection drops, or
@@ -43,16 +53,25 @@ import queue
 import socket
 import sys
 import threading
+import time as _time
 import warnings
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
-from repro.backends._payload import run_chunk, run_payload, run_stage
+from repro.backends._payload import (
+    join_payload,
+    run_chunk,
+    run_payload,
+    run_stage,
+)
 from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
     Dispatch,
+    DispatchRef,
     FrameDecoder,
     Goodbye,
     Heartbeat,
     Hello,
+    PutPayload,
     Result,
     Welcome,
     encode,
@@ -65,6 +84,13 @@ _RECV_BYTES = 1 << 16
 
 #: Default seconds between heartbeats.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+
+class _BrokenPayload:
+    """Marker for a shared payload that failed to unpickle on this agent."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
 
 
 def _observed_load() -> float:
@@ -124,8 +150,17 @@ class WorkerAgent:
             ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._send_lock = threading.Lock()
-        self._inbox: "queue.SimpleQueue[Optional[Dispatch]]" = queue.SimpleQueue()
+        #: Dispatch | DispatchRef | PutPayload | None (= stop), in arrival
+        #: order — which is what guarantees install-before-reference.
+        self._inbox: "queue.SimpleQueue" = queue.SimpleQueue()
         self._stop = threading.Event()
+        #: payload_id -> unpickled shared payload tuple; only the execute
+        #: loop touches it, so no lock.
+        self._payloads: Dict[int, Any] = {}
+        #: monotonic time of the last Result sent; results carry the load
+        #: observation, so the heartbeat loop stays quiet while recent
+        #: result traffic already proved this agent alive.
+        self._last_result = -float("inf")
         # One decoder for the connection's whole life: a Dispatch racing in
         # right behind the WELCOME (the coordinator registers the node
         # before acknowledging) must not be lost between the handshake and
@@ -185,6 +220,12 @@ class WorkerAgent:
                             f"coordinator welcomed {message.node_id!r}, "
                             f"this agent is {self.node_id!r}"
                         )
+                    if message.protocol != PROTOCOL_VERSION:
+                        raise ProtocolError(
+                            f"coordinator speaks message protocol "
+                            f"{message.protocol}, this agent speaks "
+                            f"{PROTOCOL_VERSION}"
+                        )
                     welcomed = True
                 elif isinstance(message, Goodbye):
                     if welcomed:
@@ -196,9 +237,11 @@ class WorkerAgent:
                             "coordinator rejected registration: "
                             f"{message.reason}"
                         )
-                elif isinstance(message, Dispatch):
+                elif isinstance(message, (Dispatch, DispatchRef, PutPayload)):
                     if not welcomed:
-                        raise ProtocolError("DISPATCH before WELCOME")
+                        raise ProtocolError(
+                            f"{type(message).__name__} before WELCOME"
+                        )
                     # Work racing in right behind the acknowledgement.
                     self._inbox.put(message)
                 else:
@@ -215,7 +258,8 @@ class WorkerAgent:
                 if not data:
                     break
                 for message in self._decoder.feed(data):
-                    if isinstance(message, Dispatch):
+                    if isinstance(message, (Dispatch, DispatchRef,
+                                            PutPayload)):
                         self._inbox.put(message)
                     elif isinstance(message, Goodbye):
                         self._inbox.put(None)
@@ -227,6 +271,11 @@ class WorkerAgent:
 
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.heartbeat_interval):
+            if (_time.monotonic() - self._last_result
+                    < self.heartbeat_interval):
+                # A recent Result already carried the load observation and
+                # proved this agent alive: piggybacked heartbeat, no beacon.
+                continue
             try:
                 self._send(Heartbeat(node_id=self.node_id,
                                      load=_observed_load()))
@@ -238,15 +287,19 @@ class WorkerAgent:
             request = self._inbox.get()
             if request is None:
                 return
+            if isinstance(request, PutPayload):
+                self._install_payload(request)
+                continue
             try:
+                payload = self._request_payload(request)
                 if request.kind == "task":
-                    execute_fn, task, collect = request.payload
+                    execute_fn, task, collect = payload
                     value = run_payload(execute_fn, task, collect)
                 elif request.kind == "chunk":
-                    execute_fn, tasks, collect = request.payload
+                    execute_fn, tasks, collect = payload
                     value = run_chunk(execute_fn, tasks, collect)
                 elif request.kind == "stage":
-                    cost_fn, apply_fn, stage_value = request.payload
+                    cost_fn, apply_fn, stage_value = payload
                     value = run_stage(cost_fn, apply_fn, stage_value)
                 else:
                     raise ProtocolError(
@@ -259,34 +312,67 @@ class WorkerAgent:
                 # run; propagating kills this agent, the connection drops,
                 # and the task resolves as lost and is re-enqueued.
                 answer = Result(request_id=request.request_id, ok=False,
-                                error=_portable_error(exc))
+                                error=_portable_error(exc),
+                                load=_observed_load())
             else:
                 answer = Result(request_id=request.request_id, ok=True,
-                                value=value)
+                                value=value, load=_observed_load())
             try:
                 try:
-                    self._send(answer)
+                    self._send_result(answer)
                 except ProtocolError as exc:
                     # The *result* cannot be shipped (output does not
                     # pickle, or the frame exceeds the size cap): tell the
                     # coordinator the actual cause instead of silently
                     # dropping the request.
-                    self._send(Result(
+                    self._send_result(Result(
                         request_id=request.request_id, ok=False,
                         error=ClusterError(
                             f"worker result cannot be shipped: {exc}"
                         ),
+                        load=_observed_load(),
                     ))
             except OSError:
                 # The coordinator vanished mid-task (driver killed): an
                 # orderly exit, not a traceback-worthy failure.
                 return
 
+    # ------------------------------------------------------- payload registry
+    def _install_payload(self, put: PutPayload) -> None:
+        try:
+            self._payloads[put.payload_id] = pickle.loads(put.blob)
+        except Exception as exc:
+            # An uninstallable payload (module missing on this host, …)
+            # must fail the *referencing tasks*, not the agent: remember
+            # the failure so every DispatchRef naming it gets the cause.
+            self._payloads[put.payload_id] = _BrokenPayload(
+                f"shared payload {put.payload_id} failed to load on "
+                f"{self.node_id!r}: {exc!r}"
+            )
+
+    def _request_payload(self, request) -> tuple:
+        """The payload tuple for one Dispatch or DispatchRef."""
+        if isinstance(request, Dispatch):
+            return request.payload
+        shared = self._payloads.get(request.payload_id)
+        if shared is None:
+            raise ClusterError(
+                f"DISPATCH_REF names unknown payload {request.payload_id} "
+                "(no PUT_PAYLOAD preceded it on this connection)"
+            )
+        if isinstance(shared, _BrokenPayload):
+            raise ClusterError(shared.reason)
+        return join_payload(request.kind, shared, request.args)
+
     # -------------------------------------------------------------- plumbing
     def _send(self, message) -> None:
         payload = encode(message)
         with self._send_lock:
             self._sock.sendall(payload)
+
+    def _send_result(self, message: Result) -> None:
+        self._send(message)
+        self._last_result = _time.monotonic()
 
 
 # ----------------------------------------------------------------- CLI entry

@@ -56,6 +56,21 @@ class TestProcessBackendConformance(BackendConformance):
         backend.close()
 
 
+class TestProcessBackendLegacyConformance(BackendConformance):
+    """ProcessBackend with the shared-payload cache disabled.
+
+    The by-value fallback path must honour the exact same contract as the
+    default cache-on configuration.
+    """
+
+    @pytest.fixture
+    def backend(self):
+        backend = ProcessBackend(topology=conformance_grid(),
+                                 payload_cache=False)
+        yield backend
+        backend.close()
+
+
 class TestAsyncBackendConformance(BackendConformance):
     @pytest.fixture
     def backend(self):
@@ -88,6 +103,25 @@ class TestClusterBackendConformance(BackendConformance):
         cluster, grid = cluster_and_grid
         backend = ClusterBackend(coordinator=cluster.coordinator,
                                  topology=grid)
+        yield backend
+        backend.close()
+
+
+class TestClusterBackendLegacyConformance(TestClusterBackendConformance):
+    """ClusterBackend with the payload registry disabled.
+
+    Every dispatch ships its full payload by value (the pre-v2 wire
+    behaviour); the contract must be indistinguishable from registry mode.
+    """
+
+    @pytest.fixture
+    def backend(self, cluster_and_grid):
+        from repro.cluster import ClusterBackend
+
+        cluster, grid = cluster_and_grid
+        backend = ClusterBackend(coordinator=cluster.coordinator,
+                                 topology=grid,
+                                 payload_registry=False)
         yield backend
         backend.close()
 

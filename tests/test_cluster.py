@@ -615,6 +615,250 @@ class TestSupersede:
 
 
 # --------------------------------------------------------------------------
+# The dispatch hot path: payload registry, binary results, piggybacked
+# heartbeats, Nagle suppression.
+
+def _register_fake_worker(coordinator, node_id):
+    """Raw-socket stand-in for a worker agent: registered, decodable."""
+    import socket as socketlib
+
+    from repro.cluster import FrameDecoder, Hello, encode
+
+    sock = socketlib.create_connection(coordinator.address)
+    sock.sendall(encode(Hello(node_id=node_id, host="t", pid=1, cpus=1)))
+    decoder = FrameDecoder()
+    while not decoder.feed(sock.recv(65536)):
+        pass                    # the WELCOME
+    deadline = time.monotonic() + 5.0
+    while not coordinator.is_live(node_id) and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert coordinator.is_live(node_id)
+    return sock, decoder
+
+
+def _drain_messages(sock, decoder, count, timeout=5.0):
+    messages = []
+    sock.settimeout(timeout)
+    while len(messages) < count:
+        messages.extend(decoder.feed(sock.recv(65536)))
+    return messages
+
+
+class TestDispatchHotPath:
+    def test_put_payload_ships_once_per_connection(self):
+        # Two submit_refs naming the same payload: the wire carries ONE
+        # PUT_PAYLOAD then two DISPATCH_REFs, in that order — the shared
+        # blob never repeats on a connection.
+        from repro.cluster import ClusterCoordinator, DispatchRef, PutPayload
+        from repro.cluster.protocol import dumps_payload
+
+        with ClusterCoordinator() as coordinator:
+            sock, decoder = _register_fake_worker(coordinator, "reg/n0")
+            try:
+                blob = dumps_payload((_double_task, True))
+                payload_id = coordinator.register_payload(blob)
+                coordinator.submit_ref("reg/n0", "task", payload_id,
+                                       Task(task_id=0, payload=1))
+                coordinator.submit_ref("reg/n0", "task", payload_id,
+                                       Task(task_id=1, payload=2))
+                first, second, third = _drain_messages(sock, decoder, 3)
+                assert isinstance(first, PutPayload)
+                assert first.payload_id == payload_id
+                assert first.blob == blob
+                assert isinstance(second, DispatchRef)
+                assert isinstance(third, DispatchRef)
+                assert {second.args.payload, third.args.payload} == {1, 2}
+            finally:
+                sock.close()
+
+    def test_rejoin_gets_the_payload_reshipped(self):
+        # A reconnecting agent is a fresh connection with an empty store:
+        # the first reference after the rejoin must re-ship the blob.
+        from repro.cluster import ClusterCoordinator, PutPayload
+        from repro.cluster.protocol import dumps_payload
+
+        with ClusterCoordinator() as coordinator:
+            sock, decoder = _register_fake_worker(coordinator, "reship/n0")
+            payload_id = coordinator.register_payload(
+                dumps_payload((_double_task, True)))
+            coordinator.submit_ref("reship/n0", "task", payload_id,
+                                   Task(task_id=0, payload=1))
+            put, _ref = _drain_messages(sock, decoder, 2)
+            assert isinstance(put, PutPayload)
+            sock.close()
+            deadline = time.monotonic() + 5.0
+            while coordinator.is_live("reship/n0") \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+
+            sock2, decoder2 = _register_fake_worker(coordinator, "reship/n0")
+            try:
+                coordinator.submit_ref("reship/n0", "task", payload_id,
+                                       Task(task_id=1, payload=2))
+                put2, _ref2 = _drain_messages(sock2, decoder2, 2)
+                assert isinstance(put2, PutPayload)
+                assert put2.payload_id == payload_id
+            finally:
+                sock2.close()
+
+    def test_submit_ref_with_unregistered_payload_raises(self):
+        from repro.cluster import ClusterCoordinator
+
+        with ClusterCoordinator() as coordinator:
+            sock, _decoder = _register_fake_worker(coordinator, "unreg/n0")
+            try:
+                with pytest.raises(ClusterError, match="not registered"):
+                    coordinator.submit_ref("unreg/n0", "task", 424242, None)
+            finally:
+                sock.close()
+
+    def test_unpicklable_ref_args_raise_without_killing_worker(self):
+        # The registry path keeps the legacy guarantee: per-task args that
+        # do not pickle surface at the caller, the worker stays live.
+        from repro.cluster import ClusterCoordinator
+        from repro.cluster.protocol import dumps_payload
+        from repro.exceptions import ProtocolError
+
+        with ClusterCoordinator() as coordinator:
+            sock, _decoder = _register_fake_worker(coordinator, "args/n0")
+            try:
+                payload_id = coordinator.register_payload(
+                    dumps_payload((_double_task, True)))
+                with pytest.raises(ProtocolError, match="pickle"):
+                    coordinator.submit_ref("args/n0", "task", payload_id,
+                                           lambda t: t)
+                assert coordinator.is_live("args/n0")
+            finally:
+                sock.close()
+
+    def test_result_load_piggybacks_onto_node_load(self):
+        # A binary Result carrying load >= 0 updates the coordinator's
+        # last-known load; the -1.0 sentinel leaves it untouched.
+        from repro.cluster import ClusterCoordinator, Result, encode
+
+        with ClusterCoordinator() as coordinator:
+            sock, _decoder = _register_fake_worker(coordinator, "piggy/n0")
+            try:
+                sock.sendall(encode(Result(request_id=999, ok=True,
+                                           value=(None, 0.0), load=0.25)))
+                deadline = time.monotonic() + 5.0
+                while coordinator.node_load("piggy/n0") != 0.25 \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert coordinator.node_load("piggy/n0") == 0.25
+                sock.sendall(encode(Result(request_id=998, ok=True,
+                                           value=(None, 0.0), load=-1.0)))
+                time.sleep(0.2)
+                assert coordinator.node_load("piggy/n0") == 0.25
+            finally:
+                sock.close()
+
+    def test_active_worker_suppresses_heartbeat_beacons(self):
+        # While results flow, the agent sends no separate heartbeats — so
+        # with beacons suppressed NO bytes arrive and the coordinator's
+        # last-beat stamp freezes; once the suppression window passes, the
+        # beacons resume and the stamp moves again.
+        from repro.cluster import ClusterCoordinator
+        from repro.cluster.worker import WorkerAgent
+
+        with ClusterCoordinator(heartbeat_timeout=30.0) as coordinator:
+            host, port = coordinator.address
+            agent = WorkerAgent(host, port, "sup/n0",
+                                heartbeat_interval=0.1)
+            beats = None
+            try:
+                agent._handshake()
+                deadline = time.monotonic() + 5.0
+                while not coordinator.is_live("sup/n0") \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                conn = coordinator._workers["sup/n0"]
+                # Simulate steady result traffic: the piggyback window
+                # stays open, so the heartbeat loop must stay mute.
+                agent._last_result = time.monotonic() + 60.0
+                beats = threading.Thread(target=agent._heartbeat_loop,
+                                         daemon=True)
+                beats.start()
+                stamp = conn.last_beat
+                time.sleep(0.5)
+                assert conn.last_beat == stamp, (
+                    "suppressed heartbeat still sent bytes"
+                )
+                # Traffic stops: beacons resume within an interval or two.
+                agent._last_result = -float("inf")
+                deadline = time.monotonic() + 5.0
+                while conn.last_beat == stamp \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert conn.last_beat > stamp
+            finally:
+                agent._stop.set()
+                agent._sock.close()
+                if beats is not None:
+                    beats.join(timeout=5.0)
+
+    def test_tcp_nodelay_on_both_ends(self):
+        # Small RESULT/HEARTBEAT frames must not be Nagle-delayed behind
+        # each other: both the accepted coordinator socket and the agent's
+        # connecting socket disable Nagle.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator
+        from repro.cluster.worker import WorkerAgent
+
+        with ClusterCoordinator() as coordinator:
+            sock, _decoder = _register_fake_worker(coordinator, "nagle/n0")
+            try:
+                conn = coordinator._workers["nagle/n0"]
+                assert conn.sock.getsockopt(socketlib.IPPROTO_TCP,
+                                            socketlib.TCP_NODELAY) != 0
+                host, port = coordinator.address
+                agent = WorkerAgent(host, port, "nagle/n1")
+                try:
+                    assert agent._sock.getsockopt(
+                        socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY) != 0
+                finally:
+                    agent._sock.close()
+            finally:
+                sock.close()
+
+    def test_legacy_by_value_mode_matches_registry_mode(self, shared_cluster):
+        # payload_registry=False reverts to one full payload pickle per
+        # DISPATCH; results must be identical to the hot path (this is the
+        # comparison the dispatch-overhead benchmark builds on).
+        cluster, grid = shared_cluster
+        legacy = ClusterBackend(coordinator=cluster.coordinator,
+                                topology=grid, payload_registry=False)
+        try:
+            result = Grasp(skeleton=TaskFarm(worker=_square), grid=grid,
+                           config=GraspConfig.adaptive(),
+                           backend=legacy).run(inputs=range(20))
+            assert result.outputs == [x * x for x in range(20)]
+        finally:
+            legacy.close()
+
+    def test_worker_speaking_old_protocol_is_rejected_cleanly(self):
+        # An agent announcing a foreign message protocol in HELLO gets a
+        # clean rejection (its connection is dropped), never garbage.
+        import socket as socketlib
+
+        from repro.cluster import ClusterCoordinator, Hello, encode
+
+        with ClusterCoordinator() as coordinator:
+            sock = socketlib.create_connection(coordinator.address)
+            try:
+                sock.sendall(encode(Hello(node_id="old/n0", host="t", pid=1,
+                                          cpus=1, protocol=1)))
+                sock.settimeout(5.0)
+                while True:
+                    if sock.recv(65536) == b"":
+                        break       # dropped, not welcomed
+                assert not coordinator.is_live("old/n0")
+            finally:
+                sock.close()
+
+
+# --------------------------------------------------------------------------
 # Construction-time validation.
 
 class TestClusterConstruction:
