@@ -20,7 +20,6 @@ free one — the historical ``1e-6`` placeholder made exactly that mistake.
 from __future__ import annotations
 
 import os
-import threading
 import time as _time
 from concurrent.futures import Executor, Future
 from dataclasses import dataclass
@@ -33,6 +32,7 @@ from repro.backends.base import (
     ExecutionBackend,
 )
 from repro.exceptions import GridError
+from repro.sanitizers.locks import make_lock
 from repro.grid.topology import GridBuilder, GridTopology
 from repro.skeletons.base import Task
 
@@ -142,7 +142,7 @@ class LocalConcurrentBackend(ExecutionBackend):
             )
         self._topology = topology
         self._origin = _time.perf_counter()
-        self._lock = threading.Lock()
+        self._lock = make_lock("local-backend.state")
         self._executors: Dict[str, Executor] = {}
         self._pending: Dict[str, int] = {n: 0 for n in topology.node_ids}
         self._avg_duration: Dict[str, float] = {n: 0.0 for n in topology.node_ids}

@@ -53,6 +53,7 @@ from repro.backends.base import (
     DispatchOutcome,
 )
 from repro.exceptions import GridError
+from repro.sanitizers.locks import make_lock
 from repro.skeletons.base import Task
 
 __all__ = ["AsyncBackend"]
@@ -123,7 +124,7 @@ class _SerialQueueExecutor:
         # Guards the shutdown-check + enqueue pair: without it a submit
         # racing close() could land its entry *behind* the shutdown
         # sentinel, where the drain never reaches it and its future hangs.
-        self._submit_lock = threading.Lock()
+        self._submit_lock = make_lock("async-backend.submit")
         # Safe to construct off-loop on Python >= 3.10: asyncio.Queue binds
         # its loop lazily on first await.  All puts still happen on the loop
         # thread (via post), so waiter wake-ups stay loop-affine.
@@ -201,7 +202,7 @@ class AsyncBackend(LocalConcurrentBackend):
                  tracer=None):
         super().__init__(topology=topology, workers=workers, tracer=tracer)
         self._runner = _EventLoopRunner()
-        self._close_lock = threading.Lock()
+        self._close_lock = make_lock("async-backend.close")
 
     # --------------------------------------------------------------- dispatch
     def dispatch(

@@ -53,7 +53,7 @@ import sys
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.backends._concurrent import (
     _INPROC_BANDWIDTH,
@@ -240,12 +240,12 @@ class ProcessBackend(LocalConcurrentBackend):
         self._payload_cache = bool(payload_cache)
         #: shared-part identity -> (token, preserialised blob); keys are
         #: id() tuples, so ``_shared_refs`` pins the objects alive.
-        self._shared_payloads: dict = {}
+        self._shared_payloads: Dict[tuple, Tuple[int, bytes]] = {}
         self._shared_refs: List[tuple] = []
         self._shared_tokens = itertools.count(1)
         #: node_id -> set of tokens already installed on that node's
         #: current worker (cleared with the executor on respawn).
-        self._shipped: dict = {}
+        self._shipped: Dict[str, Set[int]] = {}
         self._context = _mp_context(start_method)
         # Spawn every worker up front, keeping startup cost out of the
         # measured dispatches.

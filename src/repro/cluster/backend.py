@@ -56,6 +56,7 @@ from repro.cluster.coordinator import ClusterCoordinator, WorkerLost
 from repro.cluster.local import LocalCluster
 from repro.cluster.protocol import dumps_payload
 from repro.exceptions import ClusterError, ConfigurationError, GridError
+from repro.sanitizers.locks import make_lock
 from repro.grid.node import GridNode
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Task
@@ -146,7 +147,7 @@ class ClusterBackend(ExecutionBackend):
         self._topology = (topology if topology is not None
                           else _topology_from_workers(coordinator))
         self._origin = _time.perf_counter()
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster-backend.state")
         self._pending: Dict[str, int] = {n: 0 for n in self._topology.node_ids}
         self._avg_duration: Dict[str, float] = \
             {n: 0.0 for n in self._topology.node_ids}
@@ -373,7 +374,7 @@ class ClusterBackend(ExecutionBackend):
             if self._closed:
                 return
             self._closed = True
-        if self._owns_cluster:
+        if self._owns_cluster and self._cluster is not None:
             self._cluster.close()
 
     # -------------------------------------------------------------- internals

@@ -39,7 +39,7 @@ import threading
 import time as _time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
@@ -55,6 +55,7 @@ from repro.cluster.protocol import (
     encode,
 )
 from repro.exceptions import ClusterError, ProtocolError
+from repro.sanitizers.locks import make_lock
 
 __all__ = ["ClusterCoordinator", "WorkerInfo", "WorkerLost"]
 
@@ -85,7 +86,7 @@ class _WorkerConn:
         self.node_id: Optional[str] = None
         self.info: Optional[WorkerInfo] = None
         self.decoder = FrameDecoder()
-        self.send_lock = threading.Lock()
+        self.send_lock = make_lock("coordinator.worker-send")
         #: request_id -> Future, guarded by the coordinator lock.
         self.pending: Dict[int, Future] = {}
         #: payload ids already PUT on this connection; guarded by
@@ -93,7 +94,7 @@ class _WorkerConn:
         #: byte stream, so the check-and-ship must be atomic with the
         #: sends).  Grows only — a rejoin gets a fresh connection, and with
         #: it an empty set, so shared payloads are re-shipped naturally.
-        self.sent_payloads: set = set()
+        self.sent_payloads: Set[int] = set()
         self.last_beat = _time.monotonic()
         self.load = 0.0
         self.alive = True
@@ -108,12 +109,18 @@ class _WorkerConn:
     def try_send(self, message, timeout: float) -> None:
         """Best-effort bounded send (shutdown paths must never block
         forever behind a stalled peer holding the send lock)."""
+        try:
+            # Encode before touching the socket: a serialization failure
+            # must not burn the bounded send window or hold the lock.
+            payload = encode(message)
+        except ProtocolError:
+            return
         if not self.send_lock.acquire(timeout=timeout):
             return
         try:
             self.sock.settimeout(timeout)
-            self.sock.sendall(encode(message))
-        except (OSError, ProtocolError):
+            self.sock.sendall(payload)
+        except OSError:
             pass
         finally:
             self.send_lock.release()
@@ -141,7 +148,7 @@ class ClusterCoordinator:
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
             )
         self.heartbeat_timeout = float(heartbeat_timeout)
-        self._lock = threading.Lock()
+        self._lock = make_lock("coordinator.state")
         self._registered = threading.Condition(self._lock)
         #: node_id -> live connection (dead ones are removed).
         self._workers: Dict[str, _WorkerConn] = {}
@@ -382,6 +389,13 @@ class ClusterCoordinator:
             )
             with self._lock:
                 if self._closed:
+                    # Raced accept during close(): shutdown first so the
+                    # agent's blocked recv() sees EOF immediately rather
+                    # than timing out against a half-dead coordinator.
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
                     sock.close()
                     return
                 self._conns.add(conn)

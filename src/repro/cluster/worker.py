@@ -77,6 +77,7 @@ from repro.cluster.protocol import (
     encode,
 )
 from repro.exceptions import ClusterError, ProtocolError
+from repro.sanitizers.locks import make_lock
 
 __all__ = ["WorkerAgent", "run_worker", "main"]
 
@@ -149,7 +150,7 @@ class WorkerAgent:
                 f"cannot reach coordinator at {host}:{port} ({exc})"
             ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._send_lock = threading.Lock()
+        self._send_lock = make_lock("worker.send")
         #: Dispatch | DispatchRef | PutPayload | None (= stop), in arrival
         #: order — which is what guarantees install-before-reference.
         self._inbox: "queue.SimpleQueue" = queue.SimpleQueue()
@@ -173,10 +174,10 @@ class WorkerAgent:
         try:
             self._handshake()
             reader = threading.Thread(target=self._reader_loop,
-                                      name="cluster-worker-reader",
+                                      name="grasp-cluster-worker-reader",
                                       daemon=True)
             beats = threading.Thread(target=self._heartbeat_loop,
-                                     name="cluster-worker-heartbeat",
+                                     name="grasp-cluster-worker-heartbeat",
                                      daemon=True)
             reader.start()
             beats.start()
@@ -186,6 +187,12 @@ class WorkerAgent:
             try:
                 self._send(Goodbye(node_id=self.node_id, reason="exiting"))
             except (OSError, ProtocolError):
+                pass
+            try:
+                # Shutdown first so the reader thread blocked in recv()
+                # wakes with EOF instead of waiting out the OS timeout.
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
                 pass
             try:
                 self._sock.close()

@@ -153,7 +153,8 @@ def run_spmd(size: int, fn: Callable[[ThreadCommunicator], Any],
             # Unblock peers stuck in the barrier.
             state.barrier.abort()
 
-    threads = [threading.Thread(target=runner, args=(rank,), daemon=True)
+    threads = [threading.Thread(target=runner, args=(rank,),
+                                name=f"grasp-spmd-rank-{rank}", daemon=True)
                for rank in range(size)]
     for thread in threads:
         thread.start()

@@ -101,6 +101,23 @@ class SchedulingError(GraspError):
     """
 
 
+class LockOrderError(GraspError):
+    """Raised by the lock-order sanitizer (:mod:`repro.sanitizers.locks`).
+
+    Signals that two threads have been observed acquiring the same pair of
+    instrumented locks in opposite orders — a potential deadlock, even if
+    this particular run never interleaved into one.
+    """
+
+
+class LintError(GraspError):
+    """Raised by the static-analysis engine (:mod:`repro.lint`).
+
+    Covers unknown rule identifiers, unreadable target paths and source
+    files that fail to parse.
+    """
+
+
 class WorkloadError(GraspError):
     """Raised by workload generators when parameters are invalid."""
 

@@ -1,0 +1,24 @@
+"""graspcheck: repo-specific static analysis for the GRASP runtime.
+
+Six PRs of review hardening fixed the same classes of concurrency bug by
+hand (see CHANGES.md): sockets closed without ``shutdown()`` stranding
+reader threads, unnamed threads escaping the ``grasp-*`` leak checks,
+unpicklable callables reaching dispatch, ``BaseException`` capture
+swallowing interrupts, raw wall-clock reads threatening simulated
+bit-identity.  This package turns those invariants into enforced rules.
+
+Run it as::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+
+Findings can be suppressed inline with ``# graspcheck: disable=GCxxx``
+on the offending line.  See :mod:`repro.lint.rules` for the rule registry
+and per-rule documentation.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.rules import all_rules, get_rule
+
+__all__ = ["Finding", "all_rules", "get_rule", "lint_paths", "lint_source"]

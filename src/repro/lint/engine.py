@@ -1,0 +1,161 @@
+"""The graspcheck analysis engine.
+
+Parses each target file once, runs every (selected) rule over the AST,
+filters findings through inline ``# graspcheck: disable=...`` suppression
+comments, and renders the result as text or JSON.
+
+Kept free of rule imports at module level: rules import
+:class:`Finding` from here, and the registry is resolved lazily inside
+:func:`lint_source` / :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import LintError
+
+__all__ = ["Finding", "lint_source", "lint_paths", "render_text", "render_json"]
+
+#: Inline suppression syntax: ``# graspcheck: disable=GC001`` (one rule),
+#: ``# graspcheck: disable=GC001,GC002`` (several), or a bare
+#: ``# graspcheck: disable`` (every rule on that line).
+_SUPPRESS_RE = re.compile(r"graspcheck:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions: line -> set of rule ids, or None for "all"."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            line = tok.start[0]
+            ids = match.group("ids")
+            if ids is None:
+                out[line] = None
+            else:
+                wanted = {part.strip() for part in ids.split(",") if part.strip()}
+                existing = out.get(line, set())
+                if existing is None:
+                    continue
+                out[line] = existing | wanted
+    except tokenize.TokenError:
+        # Unterminated strings etc.; the ast parse will report the real error.
+        pass
+    return out
+
+
+def _scope_parts(path: str) -> Tuple[str, ...]:
+    parts = Path(path).parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        scoped = parts[idx + 1 :]
+        if scoped:
+            return scoped
+    return parts
+
+
+def _resolve_rules(select: Optional[Sequence[str]]):
+    from repro.lint.rules import all_rules, get_rule
+
+    if select is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in select]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over one source string."""
+    from repro.lint.rules.base import FileContext
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: failed to parse: {exc}") from exc
+    ctx = FileContext(
+        path=path, source=source, tree=tree, scope_parts=_scope_parts(path)
+    )
+    suppressed = _suppressions(source)
+    findings: List[Finding] = []
+    for rule in _resolve_rules(select):
+        for finding in rule.check(ctx):
+            if finding.line in suppressed:
+                ids = suppressed[finding.line]
+                if ids is None or finding.rule_id in ids:
+                    continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def _iter_target_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over files and directories."""
+    findings: List[Finding] = []
+    for path in _iter_target_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(path), select=select))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"graspcheck: {len(findings)} finding(s)"
+        if findings
+        else "graspcheck: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [asdict(finding) for finding in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,60 @@
+"""The graspcheck rule registry.
+
+Every rule ships with a stable ``GCxxx`` identifier, a one-line summary
+and a rationale naming the historical bug class it encodes (the README's
+"Static analysis & sanitizers" table is generated from the same
+metadata).  Add new rules by defining a :class:`~repro.lint.rules.base.Rule`
+subclass and listing it in :data:`_RULE_CLASSES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import LintError
+from repro.lint.rules.base import Rule
+from repro.lint.rules.gc001_threads import ThreadNamingRule
+from repro.lint.rules.gc002_sockets import SocketShutdownRule
+from repro.lint.rules.gc003_picklable import PicklableDispatchRule
+from repro.lint.rules.gc004_excepts import PayloadExceptRule
+from repro.lint.rules.gc005_clocks import SimulatedClockRule
+from repro.lint.rules.gc006_async import EventLoopBlockingRule
+from repro.lint.rules.gc007_encode import EncodeBeforeSendRule
+from repro.lint.rules.gc008_decode import DecodeProgressRule
+
+__all__ = ["Rule", "all_rules", "get_rule", "rule_table"]
+
+_RULE_CLASSES = [
+    ThreadNamingRule,
+    SocketShutdownRule,
+    PicklableDispatchRule,
+    PayloadExceptRule,
+    SimulatedClockRule,
+    EventLoopBlockingRule,
+    EncodeBeforeSendRule,
+    DecodeProgressRule,
+]
+
+_REGISTRY: Dict[str, Rule] = {cls.id: cls() for cls in _RULE_CLASSES}
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by its ``GCxxx`` identifier."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise LintError(f"unknown rule id {rule_id!r} (known: {known})") from None
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """Registry metadata for ``--list-rules`` and documentation."""
+    return [
+        {"id": rule.id, "summary": rule.summary, "rationale": rule.rationale}
+        for rule in all_rules()
+    ]

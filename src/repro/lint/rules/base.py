@@ -1,0 +1,107 @@
+"""Shared infrastructure for graspcheck rules.
+
+Each rule is a subclass of :class:`Rule` with a stable ``id`` (``GCxxx``),
+a one-line ``summary``, a ``rationale`` naming the historical bug class it
+encodes, and a ``check`` method that walks a parsed module and yields
+:class:`~repro.lint.engine.Finding` objects.
+
+Rules receive a :class:`FileContext` describing the file under analysis.
+Path scoping uses *directory components* (``ctx.scope_parts``), taken
+relative to the last ``repro`` component when present — so both
+``src/repro/cluster/worker.py`` and a test fixture at
+``tmp/cluster/worker.py`` scope as ``cluster``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = ["FileContext", "Rule", "dotted", "own_nodes", "iter_functions"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Path components used for scoping, relative to the package root when
+    #: the path contains a ``repro`` component (e.g. ``("cluster", "worker.py")``).
+    scope_parts: Tuple[str, ...]
+
+    def in_dir(self, name: str) -> bool:
+        """Whether any *directory* component of the scoped path equals ``name``."""
+        return name in self.scope_parts[:-1]
+
+    @property
+    def basename(self) -> str:
+        return self.scope_parts[-1] if self.scope_parts else self.path
+
+
+class Rule:
+    """Base class for graspcheck rules."""
+
+    id: str = "GC000"
+    summary: str = ""
+    #: The historical bug class this rule encodes (shown by ``--list-rules``).
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted(expr: ast.AST) -> Optional[str]:
+    """The dotted-name string of an attribute/name chain, else None.
+
+    ``self.sock.close`` -> ``"self.sock.close"``; anything containing a
+    call or subscript along the chain returns None.
+    """
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """All descendant nodes of ``fn`` excluding nested function/class bodies.
+
+    The roots of nested defs are still yielded (so a rule can notice them);
+    their subtrees are not.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterable[Tuple[ast.AST, bool]]:
+    """Every function/async-function in the module, with an is-async flag."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node, False
+        elif isinstance(node, ast.AsyncFunctionDef):
+            yield node, True

@@ -1,0 +1,54 @@
+"""GC002: in cluster code, sockets must be shutdown() before close()."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, dotted, iter_functions, own_nodes
+
+
+def _is_socket_receiver(name: str) -> bool:
+    last = name.rsplit(".", 1)[-1]
+    return "sock" in last.lower()
+
+
+class SocketShutdownRule(Rule):
+    id = "GC002"
+    summary = "socket.close() in cluster/ requires a shutdown() on the same socket"
+    rationale = (
+        "close() alone does not wake a peer thread blocked in recv(); the "
+        "coordinator's _mark_dead had to learn shutdown-before-close after "
+        "reader threads stranded on dead workers (PR 4).  Listening sockets "
+        "(accept loops) are exempt via naming: this rule keys on receivers "
+        "whose final attribute mentions 'sock'."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dir("cluster"):
+            return
+        for fn, _ in iter_functions(ctx.tree):
+            shutdown_receivers: Set[str] = set()
+            closes = []
+            for node in own_nodes(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                receiver = dotted(node.func.value)
+                if receiver is None or not _is_socket_receiver(receiver):
+                    continue
+                if node.func.attr == "shutdown":
+                    shutdown_receivers.add(receiver)
+                elif node.func.attr == "close":
+                    closes.append((node, receiver))
+            for node, receiver in closes:
+                if receiver not in shutdown_receivers:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{receiver}.close() without a {receiver}.shutdown() in the "
+                        "same function; a blocked reader on the peer side will "
+                        "not wake",
+                    )

@@ -1,0 +1,87 @@
+"""GC003: no lambdas or nested defs flowing into dispatch/payload positions."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, dotted
+
+#: Callables whose arguments cross a pickling boundary.
+_SINK_NAMES = {"register_payload", "dumps_payload", "submit_ref", "dispatch"}
+
+
+def _sink_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Attribute):
+        if node.func.attr in _SINK_NAMES:
+            return True
+        if node.func.attr == "submit":
+            receiver = dotted(node.func.value)
+            return receiver is not None and "coordinator" in receiver.lower()
+        return False
+    if isinstance(node.func, ast.Name):
+        return node.func.id in _SINK_NAMES
+    return False
+
+
+class _NestedDefCollector(ast.NodeVisitor):
+    """Names bound to defs that are nested inside another function."""
+
+    def __init__(self) -> None:
+        self.nested: Set[str] = set()
+        self._depth = 0
+
+    def _visit_fn(self, node: ast.AST, name: str) -> None:
+        if self._depth > 0:
+            self.nested.add(name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_fn(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_fn(node, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+
+class PicklableDispatchRule(Rule):
+    id = "GC003"
+    summary = "no lambdas/nested defs in dispatch or payload-registry arguments"
+    rationale = (
+        "Dispatch arguments are pickled onto the wire; a lambda or closure "
+        "fails to pickle at send time and historically cascade-killed "
+        "healthy workers before encode-before-send landed (PR 6).  Static "
+        "rejection keeps the failure at the author's desk."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        collector = _NestedDefCollector()
+        collector.visit(ctx.tree)
+        nested = collector.nested
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _sink_call(node):
+                continue
+            args: List[ast.expr] = list(node.args)
+            args.extend(kw.value for kw in node.keywords)
+            for arg in args:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        "lambda passed into a dispatch/payload position; "
+                        "lambdas do not pickle",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"nested function {arg.id!r} passed into a dispatch/"
+                        "payload position; closures do not pickle",
+                    )

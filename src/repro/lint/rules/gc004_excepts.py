@@ -1,0 +1,84 @@
+"""GC004: payload-execution excepts must catch Exception, never BaseException."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, own_nodes
+
+#: The payload-execution entry points.  A ``try`` whose body calls one of
+#: these is capturing user-code failure for shipment back to the driver.
+_PAYLOAD_CALLS = {
+    "run_payload",
+    "run_chunk",
+    "run_stage",
+    "run_shared_payload",
+    "run_shared_chunk",
+    "run_shared_stage",
+}
+
+
+def _callee_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _stmt_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The statement plus its own (non-nested-def) descendants."""
+    yield stmt
+    yield from own_nodes(stmt)
+
+
+def _handler_too_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in types:
+        name = expr.id if isinstance(expr, ast.Name) else getattr(expr, "attr", "")
+        if name == "BaseException":
+            return True
+    return False
+
+
+class PayloadExceptRule(Rule):
+    id = "GC004"
+    summary = "payload-execution except clauses must catch Exception, not BaseException"
+    rationale = (
+        "Capturing BaseException around run_payload() ships KeyboardInterrupt/"
+        "SystemExit back to the driver as a task *result* instead of killing "
+        "the worker agent; the capture was narrowed to Exception in PR 4 and "
+        "must stay that way."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            body_calls_payload = any(
+                isinstance(sub, ast.Call) and _callee_name(sub) in _PAYLOAD_CALLS
+                for stmt in node.body
+                for sub in _stmt_nodes(stmt)
+            )
+            if not body_calls_payload:
+                continue
+            for handler in node.handlers:
+                if _handler_too_broad(handler):
+                    label = (
+                        "bare except"
+                        if handler.type is None
+                        else "except BaseException"
+                    )
+                    yield self.finding(
+                        ctx,
+                        handler,
+                        f"{label} around a payload-execution call; catch "
+                        "Exception so interrupts kill the agent instead of "
+                        "being shipped to the driver as results",
+                    )

@@ -1,0 +1,71 @@
+"""GC005: no raw wall-clock reads in core/, monitor/ or skeletons/."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+_CLOCK_FNS = {
+    "time",
+    "monotonic",
+    "perf_counter",
+    "time_ns",
+    "monotonic_ns",
+    "perf_counter_ns",
+}
+
+_SCOPED_DIRS = ("core", "monitor", "skeletons")
+
+
+class SimulatedClockRule(Rule):
+    id = "GC005"
+    summary = "no time.time()/time.monotonic() in core/, monitor/, skeletons/"
+    rationale = (
+        "The simulated grid promises bit-identical replays; a raw wall-clock "
+        "read in scheduling/monitoring code silently breaks determinism.  "
+        "Timing in these layers must route through the backend/simulator "
+        "clock abstraction."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(ctx.in_dir(d) for d in _SCOPED_DIRS):
+            return
+        module_aliases: Set[str] = set()
+        fn_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FNS:
+                        fn_aliases.add(alias.asname or alias.name)
+        if not module_aliases and not fn_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr in _CLOCK_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.value.id}.{func.attr}() in a simulated-clock layer; "
+                    "route timing through the backend clock",
+                )
+            elif isinstance(func, ast.Name) and func.id in fn_aliases:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.id}() (imported from time) in a simulated-clock "
+                    "layer; route timing through the backend clock",
+                )

@@ -1,0 +1,70 @@
+"""GC006: no blocking round-trips on the event-loop thread."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, dotted, own_nodes
+
+_POST_NAMES = {"post", "call_soon_threadsafe"}
+
+
+def _lockish(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    return "lock" in name.rsplit(".", 1)[-1].lower()
+
+
+def _blocking_in(nodes, ctx: FileContext, rule: Rule) -> Iterator[Finding]:
+    for node in nodes:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "result":
+                yield rule.finding(
+                    ctx,
+                    node,
+                    "blocking Future.result() on the event-loop thread; await "
+                    "the future or hop off the loop first",
+                )
+            elif node.func.attr == "acquire" and _lockish(dotted(node.func.value)):
+                yield rule.finding(
+                    ctx,
+                    node,
+                    "blocking lock.acquire() on the event-loop thread; a held "
+                    "lock plus a parked coroutine deadlocks the loop",
+                )
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if _lockish(dotted(item.context_expr)):
+                    yield rule.finding(
+                        ctx,
+                        node,
+                        "sync 'with <lock>' inside a coroutine; use a loop-safe "
+                        "primitive or hop off the loop",
+                    )
+
+
+class EventLoopBlockingRule(Rule):
+    id = "GC006"
+    summary = "no blocking Future.result()/lock acquisition on the event-loop thread"
+    rationale = (
+        "backends/async_.py runs a private loop on a grasp-asyncio-loop "
+        "thread; any synchronous wait posted onto it (Future.result(), a "
+        "thread lock) parks the only thread that could ever satisfy the "
+        "wait.  Applies to coroutine bodies and to callbacks handed to "
+        "post()/call_soon_threadsafe()."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.basename.startswith("async"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from _blocking_in(own_nodes(node), ctx, self)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _POST_NAMES:
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        yield from _blocking_in(ast.walk(arg.body), ctx, self)

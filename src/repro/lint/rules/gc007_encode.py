@@ -1,0 +1,53 @@
+"""GC007: encode before send — no inline serialization inside sendall()."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+_SERIALIZERS = {"encode", "dumps", "dumps_payload", "pack"}
+
+
+def _serializer_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _SERIALIZERS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SERIALIZERS
+    return False
+
+
+class EncodeBeforeSendRule(Rule):
+    id = "GC007"
+    summary = "sendall() arguments must be pre-encoded frames"
+    rationale = (
+        "sock.sendall(encode(msg)) serializes while holding the send lock "
+        "and, worse, lets a pickling failure escape *mid-protocol*: PR 6 "
+        "moved all encoding ahead of the socket write so a bad payload "
+        "fails before any bytes hit a healthy worker's stream."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dir("cluster"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("sendall", "send"):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if _serializer_call(sub):
+                        yield self.finding(
+                            ctx,
+                            sub,
+                            "inline serialization inside a socket send; encode "
+                            "the frame first, then send the finished bytes",
+                        )

@@ -1,0 +1,71 @@
+"""GC008: stateful decode loops must persist progress in ``finally``."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, own_nodes
+
+
+def _self_attr_assigns(node: ast.AST) -> Iterator[ast.Assign]:
+    for sub in own_nodes(node):
+        if not isinstance(sub, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield sub  # type: ignore[misc]
+                break
+
+
+class DecodeProgressRule(Rule):
+    id = "GC008"
+    summary = "decoder-state write-backs after a loop must sit in a finally block"
+    rationale = (
+        "FrameDecoder.feed consumes a shared buffer in a loop; if the "
+        "consumed-offset write-back runs only on the fall-through path, a "
+        "ProtocolError mid-batch rewinds the stream and the next feed() "
+        "re-decodes (or half-decodes) frames already delivered.  Progress "
+        "must be persisted in a finally."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef) or "Decoder" not in cls.name:
+                continue
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                loops = [
+                    n for n in own_nodes(method) if isinstance(n, (ast.While, ast.For))
+                ]
+                if not loops:
+                    continue
+                protected: Set[int] = set()
+                for sub in ast.walk(method):
+                    if isinstance(sub, ast.Try) and sub.finalbody:
+                        for stmt in sub.finalbody:
+                            protected.update(id(n) for n in ast.walk(stmt))
+                    if isinstance(sub, (ast.While, ast.For)):
+                        for stmt in sub.body + sub.orelse:
+                            protected.update(id(n) for n in ast.walk(stmt))
+                for assign in _self_attr_assigns(method):
+                    if id(assign) in protected:
+                        continue
+                    max_loop_line = max(loop.lineno for loop in loops)
+                    if assign.lineno <= max_loop_line:
+                        # Pre-loop initialisation is not a progress write-back.
+                        continue
+                    yield self.finding(
+                        ctx,
+                        assign,
+                        "decoder state written back after the decode loop "
+                        "outside a finally; an exception mid-batch loses or "
+                        "replays progress",
+                    )

@@ -1,0 +1,35 @@
+"""Opt-in runtime sanitizers for the concurrent runtime.
+
+Static analysis (:mod:`repro.lint`) catches what is visible in the source;
+the sanitizers catch what only shows up while the runtime is actually
+interleaving threads.  They are **off by default** — production and normal
+test runs pay nothing — and are enabled per-process via the
+``GRASP_SANITIZE`` environment variable (a comma-separated list of
+sanitizer names) or programmatically per sanitizer module.
+
+Available sanitizers:
+
+* ``locks`` (:mod:`repro.sanitizers.locks`) — records the per-thread lock
+  acquisition-order graph of every instrumented lock site and reports
+  cycles (potential deadlocks) with the stacks that witnessed both sides
+  of the inversion.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["requested_sanitizers", "locks"]
+
+#: Environment variable naming the sanitizers to enable, comma-separated
+#: (e.g. ``GRASP_SANITIZE=locks``).
+ENV_VAR = "GRASP_SANITIZE"
+
+
+def requested_sanitizers() -> frozenset:
+    """The sanitizer names requested via ``GRASP_SANITIZE``."""
+    raw = os.environ.get(ENV_VAR, "")
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+from repro.sanitizers import locks  # noqa: E402  (re-export for discoverability)

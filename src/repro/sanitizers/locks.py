@@ -1,0 +1,302 @@
+"""Lock-order sanitizer: runtime detection of potential deadlocks.
+
+The concurrent runtime takes several locks (coordinator state, per-worker
+send locks, backend state, the async submit/close locks).  A deadlock
+needs two threads acquiring the same pair of locks in opposite orders —
+something no single test run is guaranteed to interleave, but whose
+*potential* is visible the moment both orders have ever been observed.
+
+This module implements the classic lockdep idea: every instrumented lock
+acquisition, while other instrumented locks are already held by the same
+thread, records a directed edge ``held -> acquired`` in a global graph
+keyed by lock *name* (not instance, so per-worker send locks aggregate
+into one node).  If adding an edge closes a cycle, a
+:class:`~repro.exceptions.LockOrderError`-worthy violation is recorded
+carrying the acquisition stacks that witnessed both sides of the
+inversion.
+
+Everything is opt-in: :func:`make_lock` returns a plain
+:class:`threading.Lock` unless the sanitizer is enabled (via
+``GRASP_SANITIZE=locks`` or :func:`enable`), so the hot path is untouched
+by default.  Violations are recorded, not raised at the acquisition site —
+raising inside arbitrary runtime code would corrupt the very state the
+test is exercising; call :func:`assert_clean` (or use the pytest fixture
+in ``tests/conftest.py``) to fail the test afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import LockOrderError
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderGraph",
+    "LockOrderViolation",
+    "assert_clean",
+    "default_graph",
+    "disable",
+    "enable",
+    "enabled",
+    "make_lock",
+    "reset",
+    "violations",
+]
+
+
+@dataclass
+class LockOrderViolation:
+    """One observed lock-order inversion.
+
+    ``first_order`` / ``second_order`` are the (held, acquired) name pairs
+    that together close a cycle; the stacks are the formatted acquisition
+    stacks that witnessed each edge.
+    """
+
+    first_order: Tuple[str, str]
+    second_order: Tuple[str, str]
+    cycle: Tuple[str, ...]
+    first_stack: str
+    second_stack: str
+
+    def describe(self) -> str:
+        chain = " -> ".join(self.cycle)
+        return (
+            f"lock-order inversion: {self.first_order[0]} -> {self.first_order[1]} "
+            f"conflicts with {self.second_order[0]} -> {self.second_order[1]} "
+            f"(cycle: {chain})\n"
+            f"--- stack that acquired {self.first_order[1]} "
+            f"while holding {self.first_order[0]}:\n{self.first_stack}"
+            f"--- stack that acquired {self.second_order[1]} "
+            f"while holding {self.second_order[0]}:\n{self.second_stack}"
+        )
+
+
+def _capture_stack() -> str:
+    # Drop the two innermost frames (this helper + the sanitizer hook) so
+    # the stack ends at the runtime code that actually took the lock.
+    return "".join(traceback.format_list(traceback.extract_stack()[:-2]))
+
+
+@dataclass
+class _Edge:
+    stack: str
+
+
+class LockOrderGraph:
+    """Global acquisition-order graph shared by all instrumented locks.
+
+    Thread-safe: the graph itself is protected by a plain (uninstrumented)
+    mutex, and per-thread held-lock stacks live in ``threading.local``.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: Dict[Tuple[str, str], _Edge] = {}
+        self._violations: List[LockOrderViolation] = []
+        self._held = threading.local()
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _stack(self) -> List[Tuple[str, "InstrumentedLock"]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- recording hooks (called by InstrumentedLock) --------------------
+
+    def note_acquired(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        held_names = [name for name, inst in stack if inst is not lock]
+        stack.append((lock.name, lock))
+        if not held_names:
+            return
+        acquired_stack: Optional[str] = None
+        with self._mutex:
+            for held in held_names:
+                if held == lock.name:
+                    # Two same-named locks (e.g. two workers' send locks)
+                    # held together is fine as long as no *other* lock
+                    # class sits between them; a self-edge would be noise.
+                    continue
+                edge = (held, lock.name)
+                if edge in self._edges:
+                    continue
+                if acquired_stack is None:
+                    acquired_stack = _capture_stack()
+                path = self._find_path(lock.name, held)
+                if path is not None:
+                    prior = self._edges.get((path[0], path[1]))
+                    self._violations.append(
+                        LockOrderViolation(
+                            first_order=(path[0], path[1]),
+                            second_order=edge,
+                            cycle=tuple(path) + (lock.name,),
+                            first_stack=prior.stack if prior else "<unknown>\n",
+                            second_stack=acquired_stack,
+                        )
+                    )
+                self._edges[edge] = _Edge(stack=acquired_stack)
+
+    def note_released(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] is lock:
+                del stack[i]
+                return
+
+    def _find_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """DFS for a path src -> ... -> dst over recorded edges.
+
+        Caller holds ``self._mutex``.
+        """
+        adjacency: Dict[str, List[str]] = {}
+        for a, b in self._edges:
+            adjacency.setdefault(a, []).append(b)
+        seen = {src}
+        trail = [src]
+
+        def walk(node: str) -> Optional[List[str]]:
+            if node == dst:
+                return list(trail)
+            for nxt in adjacency.get(node, ()):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                trail.append(nxt)
+                found = walk(nxt)
+                if found is not None:
+                    return found
+                trail.pop()
+            return None
+
+        return walk(src)
+
+    # -- inspection ------------------------------------------------------
+
+    def violations(self) -> List[LockOrderViolation]:
+        with self._mutex:
+            return list(self._violations)
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        with self._mutex:
+            return {pair: edge.stack for pair, edge in self._edges.items()}
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+
+    def assert_clean(self) -> None:
+        found = self.violations()
+        if found:
+            report = "\n\n".join(v.describe() for v in found)
+            raise LockOrderError(
+                f"{len(found)} lock-order violation(s) detected:\n{report}"
+            )
+
+
+class InstrumentedLock:
+    """A ``threading.Lock`` stand-in that reports to a :class:`LockOrderGraph`.
+
+    Implements the subset of the lock protocol the runtime (and
+    ``threading.Condition``) relies on: ``acquire(blocking, timeout)``,
+    ``release``, ``locked``, and the context-manager protocol.  Edges are
+    recorded only after a *successful* acquire, so Condition's
+    ``acquire(False)`` ownership probe records nothing when it fails.
+    """
+
+    __slots__ = ("name", "_graph", "_lock")
+
+    def __init__(self, name: str, graph: Optional[LockOrderGraph] = None) -> None:
+        self.name = name
+        self._graph = graph if graph is not None else default_graph()
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._graph.note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._graph.note_released(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<InstrumentedLock {self.name!r} {state}>"
+
+
+# -- module-level state ---------------------------------------------------
+
+_DEFAULT_GRAPH = LockOrderGraph()
+_FORCED = False
+
+
+def default_graph() -> LockOrderGraph:
+    """The process-wide graph new :class:`InstrumentedLock`\\ s report to."""
+    return _DEFAULT_GRAPH
+
+
+def enabled() -> bool:
+    """Whether lock instrumentation is active for this process."""
+    if _FORCED:
+        return True
+    raw = os.environ.get("GRASP_SANITIZE", "")
+    return "locks" in (part.strip() for part in raw.split(","))
+
+
+def enable() -> None:
+    """Force the sanitizer on regardless of ``GRASP_SANITIZE``."""
+    global _FORCED
+    _FORCED = True
+
+
+def disable() -> None:
+    """Undo :func:`enable` (the environment variable still applies)."""
+    global _FORCED
+    _FORCED = False
+
+
+def make_lock(name: str):
+    """A lock for runtime hot paths: instrumented only when enabled.
+
+    Call sites name their lock role (``"coordinator.state"``,
+    ``"worker.send"``, ...); same-named locks share a graph node so the
+    order discipline is checked per *role*, not per instance.
+    """
+    if enabled():
+        return InstrumentedLock(name)
+    return threading.Lock()
+
+
+def violations() -> List[LockOrderViolation]:
+    """Violations recorded on the default graph so far."""
+    return _DEFAULT_GRAPH.violations()
+
+
+def reset() -> None:
+    """Clear the default graph's recorded edges and violations."""
+    _DEFAULT_GRAPH.reset()
+
+
+def assert_clean() -> None:
+    """Raise :class:`~repro.exceptions.LockOrderError` if violations exist."""
+    _DEFAULT_GRAPH.assert_clean()

@@ -2,14 +2,48 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.grid.load import ConstantLoad, StepLoad
 from repro.grid.node import GridNode
 from repro.grid.topology import GridBuilder, GridTopology
 from repro.grid.simulator import GridSimulator
+from repro.sanitizers import locks as _locks
 from repro.skeletons.pipeline import Pipeline, Stage
 from repro.skeletons.taskfarm import TaskFarm
+
+
+@pytest.fixture
+def lock_sanitizer():
+    """Force the lock-order sanitizer on for one test.
+
+    Yields the default graph (reset on entry) so the test can inspect
+    edges/violations; restores the forced-off state afterwards.  Note the
+    instrumentation decision happens at lock *creation*, so runtime
+    objects must be constructed inside the test for this to bite.
+    """
+    _locks.enable()
+    _locks.reset()
+    try:
+        yield _locks.default_graph()
+    finally:
+        _locks.disable()
+        _locks.reset()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer_session_check():
+    """Under ``GRASP_SANITIZE=locks``, fail the run on any recorded inversion.
+
+    This is the CI hook: the instrumented cluster/thread test subsets run
+    with the env var set, and a lock-order violation anywhere in the run
+    surfaces here even if no individual test asserted on it.
+    """
+    yield
+    if "locks" in os.environ.get("GRASP_SANITIZE", ""):
+        _locks.assert_clean()
 
 
 @pytest.fixture

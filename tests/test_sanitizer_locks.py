@@ -1,0 +1,249 @@
+"""Lock-order sanitizer tests.
+
+The central scenario: thread 1 takes A then B, thread 2 takes B then A.
+No deadlock occurs in the test (acquisitions are sequenced), but the
+sanitizer must flag the inversion anyway — that is the whole point of
+order-graph analysis over "run it and hope".
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import LockOrderError
+from repro.sanitizers import locks as locks_mod
+from repro.sanitizers.locks import InstrumentedLock, LockOrderGraph
+
+
+def run_in_thread(fn):
+    worker = threading.Thread(target=fn, name="grasp-test-locker", daemon=True)
+    worker.start()
+    worker.join(5)
+    assert not worker.is_alive()
+
+
+@pytest.fixture
+def graph():
+    return LockOrderGraph()
+
+
+def make_pair(graph):
+    return (
+        InstrumentedLock("A", graph=graph),
+        InstrumentedLock("B", graph=graph),
+    )
+
+
+def test_seeded_inversion_is_detected(graph):
+    a, b = make_pair(graph)
+
+    with a:
+        with b:
+            pass
+
+    def inverted():
+        with b:
+            with a:
+                pass
+
+    run_in_thread(inverted)
+    found = graph.violations()
+    assert len(found) == 1
+    violation = found[0]
+    assert violation.first_order == ("A", "B")
+    assert violation.second_order == ("B", "A")
+    assert set(violation.cycle) == {"A", "B"}
+    # Both witness stacks point at real acquisition sites in this file.
+    assert "test_sanitizer_locks" in violation.first_stack
+    assert "inverted" in violation.second_stack
+    with pytest.raises(LockOrderError) as excinfo:
+        graph.assert_clean()
+    assert "A -> B" in str(excinfo.value)
+
+
+def test_consistent_order_is_quiet(graph):
+    a, b = make_pair(graph)
+
+    with a:
+        with b:
+            pass
+
+    def same_order_again():
+        with a:
+            with b:
+                pass
+
+    run_in_thread(same_order_again)
+    assert graph.violations() == []
+    graph.assert_clean()
+
+
+def test_three_lock_cycle_through_intermediate(graph):
+    a, b = make_pair(graph)
+    c = InstrumentedLock("C", graph=graph)
+
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+
+    def closes_cycle():
+        with c:
+            with a:
+                pass
+
+    run_in_thread(closes_cycle)
+    found = graph.violations()
+    assert len(found) == 1
+    assert found[0].cycle[0] == "A"
+    assert found[0].cycle[-1] == "A" or found[0].second_order == ("C", "A")
+
+
+def test_same_named_locks_do_not_self_edge(graph):
+    # Two per-worker send locks share the graph node; nesting them must
+    # not record an A->A edge (broadcast loops legitimately do this).
+    first = InstrumentedLock("worker-send", graph=graph)
+    second = InstrumentedLock("worker-send", graph=graph)
+    with first:
+        with second:
+            pass
+    assert graph.edges() == {}
+    assert graph.violations() == []
+
+
+def test_nonblocking_probe_failure_records_nothing(graph):
+    # threading.Condition probes ownership via acquire(False); a failed
+    # probe must not pollute the order graph.
+    a, b = make_pair(graph)
+    with a:
+        held = b.acquire(blocking=False)
+        assert held
+        b.release()
+
+    # The edge A->B exists; a *successful* B-then-A acquisition would be
+    # the inversion.  Hold A so the probe fails, and verify the failed
+    # probe records no B->A edge.
+    a.acquire()
+    outcome = {}
+
+    def failing_probe():
+        with b:
+            outcome["got"] = a.acquire(blocking=False)
+
+    run_in_thread(failing_probe)
+    a.release()
+    assert outcome["got"] is False
+    assert graph.violations() == []
+
+
+def test_release_out_of_order_keeps_stack_consistent(graph):
+    a, b = make_pair(graph)
+    a.acquire()
+    b.acquire()
+    a.release()    # hand-over-hand: release outer first
+    c = InstrumentedLock("C", graph=graph)
+    c.acquire()    # held: B -> records B->C only
+    c.release()
+    b.release()
+    assert set(graph.edges()) == {("A", "B"), ("B", "C")}
+
+
+def test_reset_clears_edges_and_violations(graph):
+    a, b = make_pair(graph)
+    with a:
+        with b:
+            pass
+
+    def inverted():
+        with b:
+            with a:
+                pass
+
+    run_in_thread(inverted)
+    assert graph.violations()
+    graph.reset()
+    assert graph.violations() == []
+    assert graph.edges() == {}
+    graph.assert_clean()
+
+
+def test_condition_works_over_instrumented_lock(graph):
+    lock = InstrumentedLock("cond-lock", graph=graph)
+    cond = threading.Condition(lock)
+    ready = []
+
+    def waiter():
+        with cond:
+            while not ready:
+                cond.wait(timeout=5)
+
+    worker = threading.Thread(target=waiter, name="grasp-test-cond", daemon=True)
+    worker.start()
+    with cond:
+        ready.append(True)
+        cond.notify()
+    worker.join(5)
+    assert not worker.is_alive()
+    assert graph.violations() == []
+
+
+def test_make_lock_plain_when_disabled(monkeypatch):
+    monkeypatch.delenv("GRASP_SANITIZE", raising=False)
+    locks_mod.disable()
+    lock = locks_mod.make_lock("x")
+    assert not isinstance(lock, InstrumentedLock)
+
+
+def test_make_lock_instrumented_via_env(monkeypatch):
+    monkeypatch.setenv("GRASP_SANITIZE", "locks")
+    assert locks_mod.enabled()
+    lock = locks_mod.make_lock("x")
+    assert isinstance(lock, InstrumentedLock)
+
+
+def test_make_lock_instrumented_via_enable(monkeypatch):
+    monkeypatch.delenv("GRASP_SANITIZE", raising=False)
+    locks_mod.enable()
+    try:
+        assert locks_mod.enabled()
+        assert isinstance(locks_mod.make_lock("x"), InstrumentedLock)
+    finally:
+        locks_mod.disable()
+
+
+def test_env_list_parsing(monkeypatch):
+    monkeypatch.setenv("GRASP_SANITIZE", "asan, locks ,tsan")
+    assert locks_mod.enabled()
+    monkeypatch.setenv("GRASP_SANITIZE", "asan,tsan")
+    locks_mod.disable()
+    assert not locks_mod.enabled()
+
+
+def _triple(task):
+    return task.payload * 3
+
+
+def test_instrumented_cluster_roundtrip_is_clean(lock_sanitizer):
+    """Acceptance: a real cluster dispatch under instrumentation is quiet."""
+    from repro.cluster.backend import ClusterBackend
+    from repro.skeletons.base import Task
+
+    backend = ClusterBackend.local(workers=2)
+    try:
+        nodes = backend.available_nodes(0.0)
+        assert nodes
+        outcomes = [
+            backend.dispatch(
+                Task(task_id=i, payload=i), node, _triple,
+                master_node=nodes[0], at_time=backend.now,
+            ).outcome()
+            for i, node in enumerate(nodes)
+        ]
+        assert [o.output for o in outcomes] == [i * 3 for i in range(len(nodes))]
+    finally:
+        backend.close()
+    lock_sanitizer.assert_clean()
