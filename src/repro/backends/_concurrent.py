@@ -278,6 +278,10 @@ class LocalConcurrentBackend(ExecutionBackend):
             executor = self._executor_locked(node_id)
             self._pending[node_id] += 1
         started_at = self.now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.issue", "payload submitted",
+                          node=node_id, backend=self.name)
         try:
             future = executor.submit(fn, *args)
         except BaseException:
@@ -303,6 +307,11 @@ class LocalConcurrentBackend(ExecutionBackend):
                 failed = future.exception() is not None
             except BaseException:  # cancelled: no duration either
                 failed = True
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.resolve", "payload finished",
+                          node=node_id, backend=self.name, ok=not failed,
+                          elapsed=elapsed)
         with self._lock:
             self._pending[node_id] = max(0, self._pending[node_id] - 1)
             if failed:

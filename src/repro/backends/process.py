@@ -429,6 +429,12 @@ class ProcessBackend(LocalConcurrentBackend):
             shipped = self._shipped.setdefault(node_id, set())
             self._pending[node_id] += 1
             started_at = self.now
+            tracer = self.tracer
+            if tracer is not None:
+                # Before the submit, as in _submit: the done-callback's
+                # dispatch.resolve must not outrace its dispatch.issue.
+                tracer.record("dispatch.issue", "payload submitted",
+                              node=node_id, backend=self.name)
             try:
                 if token not in shipped:
                     install = executor.submit(store_shared, token, blob)

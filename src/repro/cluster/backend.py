@@ -154,6 +154,12 @@ class ClusterBackend(ExecutionBackend):
         self._seed_duration = 0.0
         self._closed = False
         self.tracer = tracer
+        # Forward the coordinator's membership/payload events into the run
+        # tracer.  Registered unconditionally: the tracer is re-checked at
+        # event time, so a backend built before its run's tracer existed
+        # (compile_program adopts it into ``self.tracer``) still traces.
+        self._cluster_listener = self._on_cluster_event
+        coordinator.add_listener(self._cluster_listener)
         self._use_registry = bool(payload_registry)
         #: shared-part identity -> registered payload id; the keys are id()
         #: tuples, so ``_payload_refs`` pins the objects alive to keep the
@@ -374,16 +380,28 @@ class ClusterBackend(ExecutionBackend):
             if self._closed:
                 return
             self._closed = True
+        self._coordinator.remove_listener(self._cluster_listener)
         if self._owns_cluster and self._cluster is not None:
             self._cluster.close()
 
     # -------------------------------------------------------------- internals
+    def _on_cluster_event(self, category: str, message: str,
+                          data: Dict[str, Any]) -> None:
+        """Coordinator listener: membership events land in the run tracer."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(category, message, **data)
+
     def _submit(self, node_id: str, kind: str, payload: tuple) -> Future:
         with self._lock:
             if self._closed:
                 raise GridError("cluster backend is closed")
             self._pending[node_id] += 1
         started_at = self.now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.issue", "payload submitted",
+                          node=node_id, backend=self.name, kind=kind)
         try:
             if self._use_registry:
                 payload_id, args = self._registered(kind, payload)
@@ -434,10 +452,23 @@ class ClusterBackend(ExecutionBackend):
         elapsed = max(self.now - submitted_at, _MIN_DURATION_ESTIMATE)
         # A failed future (payload raised, worker died) measured the crash,
         # not the node's speed; it must not seed or skew the estimates.
+        lost = False
         try:
-            failed = future.exception() is not None
+            error = future.exception()
+            failed = error is not None
+            lost = isinstance(error, WorkerLost)
         except BaseException:       # cancelled: no duration either
             failed = True
+        tracer = self.tracer
+        if tracer is not None:
+            if lost:
+                tracer.record("dispatch.lost", "worker died holding the task",
+                              node=node_id, backend=self.name,
+                              elapsed=elapsed)
+            else:
+                tracer.record("dispatch.resolve", "payload finished",
+                              node=node_id, backend=self.name, ok=not failed,
+                              elapsed=elapsed)
         with self._lock:
             self._pending[node_id] = max(0, self._pending[node_id] - 1)
             if failed:
@@ -452,6 +483,11 @@ class ClusterBackend(ExecutionBackend):
     def _lost_outcome(self, node_id: str, submitted: float) -> DispatchOutcome:
         """A worker died holding the task: surface the loss for re-enqueue."""
         now = self.now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.lost", "node dead at dispatch",
+                          node=node_id, backend=self.name,
+                          elapsed=now - submitted)
         return DispatchOutcome(
             node_id=node_id, output=None, submitted=submitted,
             exec_started=submitted, exec_finished=now, finished=now,

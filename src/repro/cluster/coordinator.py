@@ -39,7 +39,7 @@ import threading
 import time as _time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
@@ -60,6 +60,11 @@ from repro.sanitizers.locks import make_lock
 __all__ = ["ClusterCoordinator", "WorkerInfo", "WorkerLost"]
 
 _RECV_BYTES = 1 << 16
+
+#: Listener signature: ``(category, message, data)`` — the cluster-layer
+#: event stream (``cluster.register`` / ``cluster.rejoin`` /
+#: ``cluster.death`` / ``cluster.payload_ship``).
+ClusterListener = Callable[[str, str, Dict[str, Any]], None]
 
 
 class WorkerLost(ClusterError):
@@ -163,6 +168,9 @@ class ClusterCoordinator:
         self._payload_ids = itertools.count(1)
         self._closed = False
         self._threads: List[threading.Thread] = []
+        #: cluster-event listeners (see :meth:`add_listener`); guarded by
+        #: the coordinator lock, invoked outside it.
+        self._listeners: List[ClusterListener] = []
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -214,6 +222,38 @@ class ClusterCoordinator:
         with self._lock:
             conn = self._workers.get(node_id)
             return conn.load if conn is not None else 0.0
+
+    # -------------------------------------------------------- cluster events
+    def add_listener(self, listener: ClusterListener) -> None:
+        """Subscribe to the cluster-layer event stream.
+
+        ``listener(category, message, data)`` is called for every
+        membership / payload event: ``cluster.register``,
+        ``cluster.rejoin`` (same node id seen before), ``cluster.death``
+        (with the reason), and ``cluster.payload_ship`` (a registered
+        payload blob crossed the wire to one node).  Listeners run on
+        coordinator service threads, *outside* the coordinator lock, and
+        exceptions they raise are swallowed — a broken listener must not
+        take the dispatch path down with it.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: ClusterListener) -> None:
+        """Unsubscribe ``listener`` (no-op when not subscribed)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, category: str, message: str, **data: Any) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(category, message, dict(data))
+            except Exception:
+                # Observability must never break the transport.
+                pass
 
     def wait_for_workers(self, node_ids, timeout: float = 30.0) -> None:
         """Block until every id in ``node_ids`` has a live agent.
@@ -327,14 +367,22 @@ class ClusterCoordinator:
             with self._lock:
                 conn.pending.pop(request_id, None)
             raise
+        shipped = False
         try:
             with conn.send_lock:
                 if payload_id not in conn.sent_payloads:
                     conn.sock.sendall(put_frame)
                     conn.sent_payloads.add(payload_id)
+                    shipped = True
                 conn.sock.sendall(ref_frame)
         except OSError as exc:
             self._mark_dead(conn, f"send failed ({exc})")
+        if shipped:
+            self._notify("cluster.payload_ship",
+                         f"shared payload {payload_id} shipped to "
+                         f"{node_id!r}",
+                         node=node_id, payload_id=payload_id,
+                         nbytes=len(blob))
         return future
 
     # -------------------------------------------------------------- lifecycle
@@ -499,6 +547,7 @@ class ClusterCoordinator:
         conn.info = info
         conn.send(Welcome(node_id=hello.node_id))
         superseded: Optional[_WorkerConn] = None
+        rejoin = False
         with self._registered:
             closed = self._closed
             if not closed:
@@ -508,6 +557,10 @@ class ClusterCoordinator:
                 superseded = self._workers.get(hello.node_id)
                 if superseded is conn:
                     superseded = None
+                # Infos persist across deaths, so a previously-seen node
+                # id registering again is a rejoin (restarted agent, or a
+                # replacement host adopting the name).
+                rejoin = hello.node_id in self._infos
                 conn.last_beat = _time.monotonic()
                 self._workers[hello.node_id] = conn
                 self._infos[hello.node_id] = info
@@ -516,6 +569,14 @@ class ClusterCoordinator:
             # Same-name rejoin while the old connection lingered: the
             # latest registration wins, the stale agent is declared dead.
             self._mark_dead(superseded, "superseded by a rejoining worker")
+        if not closed:
+            self._notify(
+                "cluster.rejoin" if rejoin else "cluster.register",
+                f"worker {hello.node_id!r} "
+                + ("rejoined" if rejoin else "registered"),
+                node=hello.node_id, host=hello.host, pid=hello.pid,
+                cpus=info.cpus,
+            )
         if closed:
             # Registration raced close(): tell the agent to go away rather
             # than leave it welcomed but never serviced (a remote worker
@@ -559,6 +620,13 @@ class ClusterCoordinator:
             pending = list(conn.pending.values())
             conn.pending.clear()
         label = conn.node_id or f"{conn.peer[0]}:{conn.peer[1]}"
+        if conn.node_id is not None:
+            # Death first, *then* the in-flight failures: the trace reads
+            # causally (cluster.death precedes the dispatch.lost /
+            # task.requeue cascade its WorkerLost futures trigger).
+            self._notify("cluster.death", f"worker {label!r} died: {reason}",
+                         node=conn.node_id, reason=reason,
+                         pending_failed=len(pending))
         for future in pending:
             future.set_exception(
                 WorkerLost(f"worker {label!r} died: {reason}")

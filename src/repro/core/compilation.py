@@ -28,6 +28,7 @@ wrapping one of the above — without touching the program.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -46,7 +47,7 @@ from repro.exceptions import CompilationError
 from repro.grid.simulator import GridSimulator
 from repro.grid.topology import GridTopology
 from repro.monitor.monitor import ResourceMonitor
-from repro.utils.tracing import Tracer
+from repro.utils.tracing import DEFAULT_MAX_EVENTS, JsonlTraceSink, Tracer
 
 __all__ = ["CompiledProgram", "compile_program"]
 
@@ -151,16 +152,40 @@ def compile_program(
         available), the configured master node does not exist, or the
         configured master is not part of the co-allocated pool.
     """
-    tracer = tracer if tracer is not None else Tracer(enabled=program.config.trace)
+    owns_tracer = tracer is None
+    if tracer is None:
+        tracer = _make_tracer(program.config)
     env, owns_backend = _resolve_backend(backend, topology, simulator, tracer)
     try:
         return _link(program, topology, env, owns_backend, tracer, at_time)
     except BaseException:
         # A backend created here (backend="thread"/"process") holds real
         # worker threads/processes; a failed link step must not leak them.
+        # A trace sink opened here must not leak its file handle either.
         if owns_backend:
             env.close()
+        if owns_tracer:
+            tracer.close()
         raise
+
+
+def _make_tracer(config) -> Tracer:
+    """The run tracer for one compilation, with any configured JSONL sink.
+
+    ``config.trace_path`` (or, failing that, the ``GRASP_TRACE``
+    environment variable) attaches a line-buffered
+    :class:`~repro.utils.tracing.JsonlTraceSink`; the sink's lifetime is
+    tied to the run — :class:`~repro.core.grasp.Grasp` closes it when
+    the stream finishes (or is abandoned).
+    """
+    max_events = (config.trace_max_events
+                  if config.trace_max_events is not None
+                  else DEFAULT_MAX_EVENTS)
+    tracer = Tracer(enabled=config.trace, max_events=max_events)
+    trace_path = config.trace_path or os.environ.get("GRASP_TRACE") or None
+    if trace_path and config.trace:
+        tracer.attach(JsonlTraceSink(trace_path))
+    return tracer
 
 
 def _link(
@@ -173,6 +198,16 @@ def _link(
 ) -> CompiledProgram:
     """The fallible part of compilation (see :func:`compile_program`)."""
     tracer.bind_clock(lambda: env.now)
+    # A backend *instance* handed in by the caller (cluster.backend(), a
+    # fault-injection wrapper, ...) was constructed before this run's
+    # tracer existed; adopt it so dispatch/cluster events reach the same
+    # event stream as the engine's.  A tracer the caller already wired in
+    # is respected.
+    if getattr(env, "tracer", None) is None:
+        try:
+            env.tracer = tracer
+        except AttributeError:  # read-only backend attribute
+            pass
 
     pool = env.available_nodes(at_time)
     if not pool:

@@ -204,6 +204,24 @@ class AdaptiveEngine:
         decision = decide(breached, exec_cfg.adaptation, self.recalibrations,
                           exec_cfg.max_recalibrations)
 
+        # The window-close event carries the observed-vs-threshold numbers
+        # so a recorded trace shows *why* each round did (or did not)
+        # adapt.  Recorded before the adaptation callbacks run, so the
+        # resulting adaptation.* events follow it in seq order.
+        unit_times = window.unit_times
+        self.tracer.record(
+            "adaptation.window", "monitoring window judged",
+            round=self.round_index,
+            samples=len(unit_times),
+            observed_min=min(unit_times) if unit_times else None,
+            observed_mean=(sum(unit_times) / len(unit_times)
+                           if unit_times else None),
+            threshold=z_value,
+            breached=breached,
+            action=decision.action.name if breached else None,
+            pending=has_pending,
+        )
+
         if decision.action is AdaptationAction.RECALIBRATE and has_pending:
             on_recalibrate()
             self.recalibrations += 1

@@ -21,6 +21,7 @@ experiments can measure exactly what the paper's evaluation measured.
 
 from __future__ import annotations
 
+import dataclasses
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
@@ -179,10 +180,16 @@ class Grasp:
         config: Optional[GraspConfig] = None,
         simulator: Optional[GridSimulator] = None,
         backend: Union[None, str, ExecutionBackend] = None,
+        trace_path: Optional[str] = None,
     ):
         self.skeleton = skeleton
         self.grid = grid
         self.config = config or GraspConfig()
+        if trace_path is not None:
+            # Shorthand for GraspConfig(trace_path=...): every run of this
+            # Grasp writes its JSONL event stream to the given path.
+            self.config = dataclasses.replace(self.config,
+                                              trace_path=trace_path)
         self._external_simulator = simulator
         self._backend = backend
 
@@ -237,6 +244,9 @@ class Grasp:
         def cleanup() -> None:
             if compiled.owns_backend:
                 compiled.backend.close()
+            # Flush and release any trace sinks even when the run is
+            # abandoned before its first next() (the finalizer path).
+            compiled.tracer.close()
 
         return StreamingRun(
             self._stream(compiled, program, tasks, expected, timeline,
@@ -253,6 +263,10 @@ class Grasp:
         finally:
             if compiled.owns_backend:
                 compiled.backend.close()
+            # The run is over (or abandoned): flush and close the trace
+            # sinks so the JSONL file is complete the moment the stream
+            # ends.  The tracer itself stays readable (result.trace).
+            compiled.tracer.close()
 
     def _stream_compiled(self, compiled, program, tasks, expected, timeline,
                          start_time: float) -> Iterator[TaskResult]:

@@ -192,12 +192,31 @@ class ExecutionConfig:
 
 @dataclass
 class GraspConfig:
-    """Top-level runtime configuration: one calibration + one execution config."""
+    """Top-level runtime configuration: one calibration + one execution config.
+
+    Attributes
+    ----------
+    trace:
+        Whether the run records :class:`~repro.utils.tracing.TraceEvent`
+        records at all (disable to strip recording overhead entirely).
+    trace_path:
+        When set, the run attaches a
+        :class:`~repro.utils.tracing.JsonlTraceSink` writing every event
+        to this path.  The ``GRASP_TRACE`` environment variable provides
+        the same knob without touching code; an explicit ``trace_path``
+        wins over the environment.
+    trace_max_events:
+        In-memory trace ring capacity; ``None`` uses the tracer default
+        (:data:`~repro.utils.tracing.DEFAULT_MAX_EVENTS`).  Sinks always
+        receive every event regardless of the ring bound.
+    """
 
     calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     master_node: Optional[str] = None
     trace: bool = True
+    trace_path: Optional[str] = None
+    trace_max_events: Optional[int] = None
     name: str = "grasp"
 
     def __post_init__(self) -> None:
@@ -205,6 +224,10 @@ class GraspConfig:
             raise ConfigurationError("calibration must be a CalibrationConfig")
         if not isinstance(self.execution, ExecutionConfig):
             raise ConfigurationError("execution must be an ExecutionConfig")
+        if self.trace_max_events is not None and self.trace_max_events < 1:
+            raise ConfigurationError(
+                f"trace_max_events must be >= 1, got {self.trace_max_events}"
+            )
         if not self.name:
             raise ConfigurationError("name must be non-empty")
 

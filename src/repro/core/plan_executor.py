@@ -784,6 +784,9 @@ class PlanExecutor:
     def _note_lost(self, report: ExecutionReport, count: int,
                    limit: int) -> None:
         report.lost_tasks += count
+        self.tracer.record("task.requeue", "lost tasks re-enqueued",
+                           count=count, total_lost=report.lost_tasks,
+                           limit=limit)
         if report.lost_tasks > limit:
             raise ExecutionError(
                 f"{report.lost_tasks} tasks lost (limit {limit}): a node "

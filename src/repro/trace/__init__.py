@@ -1,0 +1,20 @@
+"""Forensics over recorded JSONL run traces: ``python -m repro.trace``.
+
+The runtime's event stream (see :mod:`repro.utils.tracing`) lands in a
+JSONL file when ``GRASP_TRACE=<path>`` / ``GraspConfig.trace_path`` /
+``Grasp(..., trace_path=...)`` is set.  This package reads those files
+back:
+
+* ``python -m repro.trace report run.jsonl`` — run timeline, per-node
+  utilization and loss counts, the adaptation-event table, cluster
+  membership events (``--format json`` for machine consumption);
+* ``python -m repro.trace diff a.jsonl b.jsonl`` — makespan, tasks/sec
+  and adaptation/death counts of two runs side by side.
+
+Exit codes: ``0`` on success, ``2`` on usage errors, unreadable files or
+malformed trace lines.
+"""
+
+from repro.trace.cli import load_events, main, summarize
+
+__all__ = ["load_events", "main", "summarize"]

@@ -1,0 +1,364 @@
+"""Report/diff CLI over recorded JSONL run traces.
+
+See the package docstring for usage.  Everything here operates on plain
+event dicts (the :meth:`repro.utils.tracing.TraceEvent.to_dict` shape),
+so traces recorded by other processes — cluster runs, CI smoke jobs —
+are first-class inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceCliError", "load_events", "main", "summarize"]
+
+
+class TraceCliError(Exception):
+    """An unreadable or malformed trace file (CLI exit code 2)."""
+
+
+# --------------------------------------------------------------------- loading
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Parse one JSONL trace file into event dicts, in file order.
+
+    Raises :class:`TraceCliError` on a missing/unreadable file, a line
+    that is not valid JSON, or a line that is not an event object.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise TraceCliError(f"cannot read {path!r}: {exc}") from exc
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceCliError(
+                f"{path}:{lineno}: not valid JSON ({exc.msg})"
+            ) from exc
+        if not isinstance(event, dict) or "category" not in event:
+            raise TraceCliError(
+                f"{path}:{lineno}: not a trace event (no category)"
+            )
+        events.append(event)
+    return events
+
+
+# ----------------------------------------------------------------- summarising
+def _virtual_span(events: List[Dict[str, Any]]) -> Optional[float]:
+    times = [e["time"] for e in events if e.get("time") is not None]
+    return (max(times) - min(times)) if len(times) >= 2 else None
+
+
+def _wall_span(events: List[Dict[str, Any]]) -> Optional[float]:
+    walls = [e["wall"] for e in events if e.get("wall")]
+    return (max(walls) - min(walls)) if len(walls) >= 2 else None
+
+
+def summarize(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold one run's events into the report structure (JSON-friendly)."""
+    categories: Dict[str, int] = {}
+    nodes: Dict[str, Dict[str, Any]] = {}
+    windows: List[Dict[str, Any]] = []
+    deaths: List[Dict[str, Any]] = []
+    timeline: List[Dict[str, Any]] = []
+    counts = {"recalibrations": 0, "reranks": 0, "failovers": 0,
+              "registers": 0, "rejoins": 0, "payload_ships": 0}
+    requeued = 0
+    programmed = 0
+    completed = 0
+
+    def node_row(name: str) -> Dict[str, Any]:
+        return nodes.setdefault(
+            name, {"dispatches": 0, "resolved": 0, "failed": 0,
+                   "lost": 0, "busy": 0.0, "utilization": None})
+
+    for event in events:
+        category = event.get("category", "")
+        data = event.get("data") or {}
+        categories[category] = categories.get(category, 0) + 1
+        if category.startswith("phase."):
+            timeline.append({"seq": event.get("seq"),
+                             "time": event.get("time"),
+                             "category": category,
+                             "message": event.get("message", "")})
+        elif category == "dispatch.issue":
+            node_row(str(data.get("node")))["dispatches"] += 1
+        elif category == "dispatch.resolve":
+            row = node_row(str(data.get("node")))
+            row["resolved"] += 1
+            if data.get("ok") is False:
+                row["failed"] += 1
+            row["busy"] += float(data.get("elapsed") or 0.0)
+        elif category == "dispatch.lost":
+            node_row(str(data.get("node")))["lost"] += 1
+        elif category == "adaptation.window":
+            windows.append({
+                "round": data.get("round"),
+                "samples": data.get("samples"),
+                "observed_min": data.get("observed_min"),
+                "threshold": data.get("threshold"),
+                "breached": bool(data.get("breached")),
+                "action": data.get("action"),
+            })
+        elif category == "adaptation.recalibrate":
+            counts["recalibrations"] += 1
+        elif category == "adaptation.rerank":
+            counts["reranks"] += 1
+        elif category == "adaptation.failover":
+            counts["failovers"] += 1
+        elif category == "task.requeue":
+            requeued += int(data.get("count") or 0)
+        elif category == "cluster.register":
+            counts["registers"] += 1
+        elif category == "cluster.rejoin":
+            counts["rejoins"] += 1
+        elif category == "cluster.payload_ship":
+            counts["payload_ships"] += 1
+        elif category == "cluster.death":
+            deaths.append({"seq": event.get("seq"),
+                           "node": data.get("node"),
+                           "reason": data.get("reason")})
+        if category == "phase.programming":
+            programmed += int(data.get("tasks") or 0)
+        elif category == "phase.execution.end":
+            completed += int(data.get("results") or 0)
+
+    # The programmed task count includes calibration probes; execution
+    # results alone undercount them, so prefer the former when present.
+    tasks = programmed or completed
+    makespan = _virtual_span(events)
+    wall = _wall_span(events)
+    span = makespan if makespan else wall
+    for row in nodes.values():
+        row["utilization"] = (row["busy"] / span) if span else None
+    tasks_per_sec = (tasks / span) if (span and tasks) else None
+
+    return {
+        "run": events[0].get("run") if events else None,
+        "events": len(events),
+        "categories": categories,
+        "makespan": makespan,
+        "wall_makespan": wall,
+        "tasks": tasks or None,
+        "tasks_per_sec": tasks_per_sec,
+        "timeline": timeline,
+        "nodes": nodes,
+        "adaptation": {
+            "windows": windows,
+            "breaches": sum(1 for w in windows if w["breached"]),
+            "recalibrations": counts["recalibrations"],
+            "reranks": counts["reranks"],
+            "failovers": counts["failovers"],
+            "requeued_tasks": requeued,
+        },
+        "cluster": {
+            "registers": counts["registers"],
+            "rejoins": counts["rejoins"],
+            "payload_ships": counts["payload_ships"],
+            "deaths": deaths,
+        },
+    }
+
+
+# ------------------------------------------------------------------ rendering
+def _fmt(value: Any, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _render_report_text(summary: Dict[str, Any], path: str) -> str:
+    lines: List[str] = []
+    lines.append(f"trace report — {path}")
+    lines.append(f"  run id       {_fmt(summary['run'])}")
+    lines.append(f"  events       {summary['events']}")
+    lines.append(f"  makespan     {_fmt(summary['makespan'])} "
+                 f"(wall {_fmt(summary['wall_makespan'])})")
+    lines.append(f"  tasks        {_fmt(summary['tasks'])}")
+    lines.append(f"  tasks/sec    {_fmt(summary['tasks_per_sec'])}")
+
+    if summary["timeline"]:
+        lines.append("")
+        lines.append("timeline")
+        for entry in summary["timeline"]:
+            lines.append(f"  [{_fmt(entry['seq']):>5}] "
+                         f"t={_fmt(entry['time']):>8}  "
+                         f"{entry['category']:<24} {entry['message']}")
+
+    if summary["nodes"]:
+        lines.append("")
+        lines.append("per-node dispatches")
+        lines.append(f"  {'node':<18} {'issued':>7} {'resolved':>9} "
+                     f"{'lost':>5} {'busy':>9} {'util':>6}")
+        for name in sorted(summary["nodes"]):
+            row = summary["nodes"][name]
+            util = (f"{row['utilization'] * 100:.0f}%"
+                    if row["utilization"] is not None else "-")
+            lines.append(f"  {name:<18} {row['dispatches']:>7} "
+                         f"{row['resolved']:>9} {row['lost']:>5} "
+                         f"{_fmt(row['busy']):>9} {util:>6}")
+
+    adaptation = summary["adaptation"]
+    lines.append("")
+    lines.append("adaptation")
+    lines.append(f"  windows {len(adaptation['windows'])}  "
+                 f"breaches {adaptation['breaches']}  "
+                 f"recalibrations {adaptation['recalibrations']}  "
+                 f"reranks {adaptation['reranks']}  "
+                 f"failovers {adaptation['failovers']}  "
+                 f"requeued {adaptation['requeued_tasks']}")
+    for window in adaptation["windows"]:
+        mark = "BREACH" if window["breached"] else "ok"
+        lines.append(f"  round {_fmt(window['round']):>3}  "
+                     f"n={_fmt(window['samples']):<4} "
+                     f"min={_fmt(window['observed_min']):>9} "
+                     f"z={_fmt(window['threshold']):>9}  {mark:<6} "
+                     f"{_fmt(window['action'])}")
+
+    cluster = summary["cluster"]
+    if any([cluster["registers"], cluster["rejoins"], cluster["deaths"],
+            cluster["payload_ships"]]):
+        lines.append("")
+        lines.append("cluster")
+        lines.append(f"  registers {cluster['registers']}  "
+                     f"rejoins {cluster['rejoins']}  "
+                     f"deaths {len(cluster['deaths'])}  "
+                     f"payload ships {cluster['payload_ships']}")
+        for death in cluster["deaths"]:
+            lines.append(f"  death [{_fmt(death['seq']):>5}] "
+                         f"{_fmt(death['node'])}: {_fmt(death['reason'])}")
+    return "\n".join(lines)
+
+
+#: The comparable scalar rows of a diff, in display order.
+_DIFF_ROWS = [
+    ("events", "events"),
+    ("makespan", "makespan"),
+    ("wall makespan", "wall_makespan"),
+    ("tasks", "tasks"),
+    ("tasks/sec", "tasks_per_sec"),
+]
+_DIFF_NESTED = [
+    ("breaches", "adaptation", "breaches"),
+    ("recalibrations", "adaptation", "recalibrations"),
+    ("reranks", "adaptation", "reranks"),
+    ("requeued tasks", "adaptation", "requeued_tasks"),
+    ("deaths", "cluster", "deaths"),
+    ("rejoins", "cluster", "rejoins"),
+]
+
+
+def _diff_value(summary: Dict[str, Any], *keys: str) -> Any:
+    value: Any = summary
+    for key in keys:
+        value = value[key]
+    if isinstance(value, list):
+        return len(value)
+    return value
+
+
+def _diff_summary(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    rows = []
+    for label, key in _DIFF_ROWS:
+        rows.append((label, _diff_value(a, key), _diff_value(b, key)))
+    for label, *keys in _DIFF_NESTED:
+        rows.append((label, _diff_value(a, *keys), _diff_value(b, *keys)))
+    out = {}
+    for label, va, vb in rows:
+        delta = (vb - va if isinstance(va, (int, float))
+                 and isinstance(vb, (int, float))
+                 and not isinstance(va, bool) else None)
+        out[label] = {"a": va, "b": vb, "delta": delta}
+    return out
+
+
+def _render_diff_text(diff: Dict[str, Any], path_a: str,
+                      path_b: str) -> str:
+    lines = [f"trace diff — a: {path_a}   b: {path_b}", ""]
+    lines.append(f"  {'':<16} {'a':>12} {'b':>12} {'delta':>12}")
+    for label, row in diff.items():
+        lines.append(f"  {label:<16} {_fmt(row['a']):>12} "
+                     f"{_fmt(row['b']):>12} {_fmt(row['delta']):>12}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- entry point
+def _cmd_report(args: argparse.Namespace) -> int:
+    summary = summarize(load_events(args.trace))
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(_render_report_text(summary, args.trace))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    summary_a = summarize(load_events(args.trace_a))
+    summary_b = summarize(load_events(args.trace_b))
+    diff = _diff_summary(summary_a, summary_b)
+    if args.format == "json":
+        print(json.dumps({"a": summary_a, "b": summary_b, "diff": diff},
+                         indent=2))
+    else:
+        print(_render_diff_text(diff, args.trace_a, args.trace_b))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Report/diff recorded GRASP run traces (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="summarise one run trace")
+    report.add_argument("trace", help="path to a run's .jsonl trace")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    report.set_defaults(func=_cmd_report)
+
+    diff = sub.add_parser("diff", help="compare two run traces")
+    diff.add_argument("trace_a", help="baseline run trace")
+    diff.add_argument("trace_b", help="comparison run trace")
+    diff.add_argument("--format", choices=("text", "json"), default="text")
+    diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code (0 ok, 2 error)."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:   # argparse: usage error (2) or --help (0)
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    try:
+        return args.func(args)
+    except TraceCliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report: the Unix
+        # convention is a silent exit.  Re-point stdout at devnull so
+        # the interpreter's shutdown flush does not print a second
+        # traceback for the same dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":      # pragma: no cover - python -m repro.trace.cli
+    sys.exit(main(sys.argv[1:]))

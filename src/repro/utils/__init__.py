@@ -14,7 +14,7 @@ from repro.utils.stats import (
     univariate_linear_regression,
     weighted_mean,
 )
-from repro.utils.tracing import TraceEvent, Tracer
+from repro.utils.tracing import JsonlTraceSink, TraceEvent, TraceSink, Tracer
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -37,7 +37,9 @@ __all__ = [
     "summarise",
     "univariate_linear_regression",
     "weighted_mean",
+    "JsonlTraceSink",
     "TraceEvent",
+    "TraceSink",
     "Tracer",
     "check_positive",
     "check_non_negative",

@@ -1,28 +1,160 @@
-"""Lightweight structured tracing.
+"""Structured run tracing: the runtime's observability layer.
 
 The GRASP runtime records every phase transition, calibration decision,
-adaptation trigger and task completion as a :class:`TraceEvent`.  Traces are
-the raw material for the experiment harness (``repro.analysis``) and for the
-methodology-trace experiment (E1), which reconstructs Figure 1 of the paper
-from a recorded run.
+adaptation trigger, dispatch and cluster membership change as a
+:class:`TraceEvent`.  Traces are the raw material for the experiment
+harness (``repro.analysis``), the methodology-trace experiment (E1,
+reconstructing Figure 1 of the paper from a recorded run), and the
+``python -m repro.trace`` report/diff CLI.
+
+Three guarantees this module makes:
+
+* **Thread safety.**  :meth:`Tracer.record` is called from executor
+  fan-in threads, future done-callbacks and the cluster coordinator's
+  service threads; all tracer state is guarded by one lock and every
+  read path (iteration, :attr:`Tracer.events`, :meth:`Tracer.filter`)
+  works on a snapshot, so a reader iterating mid-run never sees
+  ``RuntimeError: list changed size during iteration``.
+* **Bounded retention.**  The in-memory buffer is a ring of at most
+  ``max_events`` events (default :data:`DEFAULT_MAX_EVENTS`); older
+  events are dropped and counted in :attr:`Tracer.dropped_events`.
+  Attached sinks receive **every** event, including ones the ring later
+  drops — the JSONL file is the complete record, memory stays bounded.
+* **Honest timestamps.**  Every event carries a monotonic sequence
+  number (``seq``), the virtual/backend time (``time``) and the wall
+  clock (``wall``).  An event recorded before :meth:`Tracer.bind_clock`
+  has ``time=None`` — it is *not* silently stamped ``0.0`` and sorted
+  before calibration in timelines.
+
+Sinks implement the :class:`TraceSink` protocol; :class:`JsonlTraceSink`
+writes one JSON object per line to a line-buffered file through a
+background writer thread, so the recording hot path pays a lock and an
+append — not serialisation and IO.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
+import time as _time
+import uuid
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
-__all__ = ["TraceEvent", "Tracer"]
+from repro.sanitizers.locks import make_lock
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "JsonlTraceSink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+]
+
+#: Default ring capacity: large enough for any experiment in the repo,
+#: small enough that a week-long streaming run cannot exhaust memory.
+DEFAULT_MAX_EVENTS = 100_000
+
+#: One shared compact encoder for JSONL lines: dumps() re-reads its
+#: kwargs per call, and the sink writer serialises in batches where
+#: every nanosecond of GIL hold steals from the dispatch hot path.
+_encode_line = json.JSONEncoder(separators=(",", ":"), default=repr).encode
 
 
-@dataclass(frozen=True)
+#: Cache key/value for :func:`_format_line` — see there.
+_Fragments = Dict[Tuple[Optional[str], str, str], Tuple[str, str]]
+
+#: Encoded-key cache for :func:`_encode_data`: event data keys are
+#: ``record()`` kwargs, i.e. a small fixed vocabulary per codebase.
+_key_cache: Dict[str, str] = {}
+
+_INF = float("inf")
+
+
+def _encode_data(data: Dict[str, Any]) -> str:
+    """Compact-encode an event's ``data`` dict.
+
+    Fast path for the overwhelmingly common shape — a flat dict of
+    plain scalars — at roughly half the cost of the general encoder;
+    anything else (nested containers, exotic floats, non-JSON values)
+    falls back to :data:`_encode_line` for identical output.
+    """
+    if not data:
+        return "{}"
+    parts = []
+    for k, v in data.items():
+        key = _key_cache.get(k)
+        if key is None:
+            _key_cache[k] = key = _encode_line(k) + ":"
+        t = type(v)
+        if t is str:
+            parts.append(key + _encode_line(v))
+        elif t is int:
+            parts.append(key + repr(v))
+        elif t is float and -_INF < v < _INF:
+            parts.append(key + repr(v))
+        elif t is bool:
+            parts.append(key + ("true" if v else "false"))
+        elif v is None:
+            parts.append(key + "null")
+        else:
+            return _encode_line(data)
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_line(event: "TraceEvent", run_id: Optional[str],
+                 fragments: _Fragments) -> str:
+    """One JSONL line for ``event`` — same shape as ``to_dict``.
+
+    The per-event varying fields (seq, timestamps, data) are formatted
+    directly; the fixed ones (run id, category, message — a handful of
+    distinct values per run) are escaped once and cached in
+    ``fragments``.  Hand-assembly here halves the per-event cost of a
+    full-dict ``json.dumps``, which is the difference between tracing
+    being free and tracing showing up in dispatch benchmarks.
+    """
+    key = (run_id, event.category, event.message)
+    cached = fragments.get(key)
+    if cached is None:
+        run_part = "null" if run_id is None else _encode_line(run_id)
+        head = f',"run":{run_part},'
+        tail = (f',"category":{_encode_line(event.category)}'
+                f',"message":{_encode_line(event.message)},"data":')
+        fragments[key] = cached = (head, tail)
+    head, tail = cached
+    time_part = "null" if event.time is None else repr(event.time)
+    return (f'{{"seq":{event.seq}{head}"time":{time_part}'
+            f',"wall":{event.wall!r}{tail}{_encode_data(event.data)}}}')
+
+
+@dataclass(slots=True)
 class TraceEvent:
     """One timestamped, categorised event.
+
+    Events are value records — treat them as immutable.  (The class is
+    slotted rather than frozen: ``record()`` sits on the dispatch hot
+    path, and frozen dataclasses pay an ``object.__setattr__`` per field
+    on construction.)
 
     Attributes
     ----------
     time:
-        Virtual (simulated) time at which the event occurred.
+        Virtual (simulated/backend) time at which the event occurred, or
+        ``None`` when it was recorded before a clock was bound.
     category:
         Dot-separated category, e.g. ``"phase.calibration"`` or
         ``"adaptation.recalibrate"``.
@@ -30,65 +162,317 @@ class TraceEvent:
         Human-readable description.
     data:
         Arbitrary structured payload (kept JSON-friendly by convention).
+    seq:
+        Monotonic per-tracer sequence number — the causal order of the
+        run, independent of clock binding.
+    wall:
+        Wall-clock timestamp (``time.time()``) at recording.
     """
 
-    time: float
+    time: Optional[float]
     category: str
     message: str
     data: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+    wall: float = 0.0
 
     def matches(self, prefix: str) -> bool:
         """True when the event category equals or is nested under ``prefix``."""
         return self.category == prefix or self.category.startswith(prefix + ".")
 
+    def to_dict(self, run_id: Optional[str] = None) -> Dict[str, Any]:
+        """A JSON-friendly mapping of the event (the JSONL line shape)."""
+        return {
+            "seq": self.seq,
+            "run": run_id,
+            "time": self.time,
+            "wall": self.wall,
+            "category": self.category,
+            "message": self.message,
+            "data": self.data,
+        }
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive the live event stream of one tracer.
+
+    ``emit`` is called once per recorded event, in ``seq`` order, from
+    whichever thread recorded the event — implementations must be
+    thread-safe.  A sink whose ``emit`` raises is detached from the
+    tracer (with a warning) rather than poisoning the recording path.
+    """
+
+    def emit(self, event: TraceEvent, run_id: str) -> None:
+        """Receive one event."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush and release the sink's resources (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class JsonlTraceSink:
+    """Writes each event as one JSON line to ``path`` (line-buffered).
+
+    The file is opened eagerly in ``"w"`` mode, so a run's trace file
+    exists (possibly empty) from the moment tracing is enabled.
+
+    ``emit`` only enqueues the event under the sink's lock; a background
+    writer thread serialises and writes, so tracing a dispatch hot path
+    costs an append rather than a ``json.dumps`` plus a flushed write
+    per event.  Lines land in ``emit`` order.  ``close()`` drains the
+    queue and joins the writer, so a closed sink's file is complete.
+    Values that are not JSON-encodable fall back to their ``repr``;
+    a writer-side IO error is re-raised from the next ``emit`` (which
+    makes the tracer detach this sink).
+    """
+
+    #: How long ``close()`` waits for the writer to drain, seconds.
+    CLOSE_TIMEOUT = 10.0
+
+    #: Writer-thread poll interval, seconds: the longest an emitted
+    #: event waits before reaching the OS (``close()`` drains at once).
+    FLUSH_INTERVAL = 0.05
+
+    def __init__(self, path: Any):
+        self.path = os.fspath(path)
+        self._file = open(self.path, "w", buffering=1, encoding="utf-8")
+        self._lock = make_lock("tracer.jsonl-sink")
+        self._wake = threading.Event()
+        self._pending: List[Tuple[TraceEvent, str]] = []
+        # Writer-thread private (never touched under self._lock): the
+        # fixed-fragment cache for _format_line.  Bounded in practice —
+        # one entry per distinct (run, category, message) triple.
+        self._fragments: _Fragments = {}
+        self._closed = False
+        self._error: Optional[BaseException] = None
+        self._writer = threading.Thread(
+            target=self._drain_loop, daemon=True,
+            name=f"grasp-trace-writer:{os.path.basename(self.path)}")
+        self._writer.start()
+
+    def emit(self, event: TraceEvent, run_id: str) -> None:
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            if self._closed:
+                return
+            self._pending.append((event, run_id))
+
+    def _drain_loop(self) -> None:
+        # Timed polling rather than a per-emit wake: waking the writer
+        # from every emit costs ~1us on the recording thread, which is
+        # real money on the dispatch hot path.  ``close()`` sets the
+        # event for an immediate final drain.
+        while True:
+            self._wake.wait(self.FLUSH_INTERVAL)
+            with self._lock:
+                batch, self._pending = self._pending, []
+                closed = self._closed
+            if batch:
+                try:
+                    self._write(batch)
+                except Exception as exc:
+                    with self._lock:
+                        self._error = exc
+                        self._pending = []
+                    return
+            elif closed:
+                return
+
+    def _write(self, batch: List[Tuple[TraceEvent, str]]) -> None:
+        # One write (and, with the line-buffered file, one flush) per
+        # batch: per-line flushing costs a syscall per event, which at
+        # dispatch rates is the dominant tracing overhead.  Lines are
+        # assembled via _format_line (cached fixed fragments) rather
+        # than a full-dict encode — on a single-core runner every
+        # microsecond here is stolen from the dispatch loop.
+        fragments = self._fragments
+        lines = [_format_line(event, run_id, fragments)
+                 for event, run_id in batch]
+        self._file.write("\n".join(lines) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        self._writer.join(timeout=self.CLOSE_TIMEOUT)
+        # Belt and braces: if the writer died on an error or the join
+        # timed out, whatever it left behind is written synchronously.
+        with self._lock:
+            batch, self._pending = self._pending, []
+        if batch and self._error is None:
+            try:
+                self._write(batch)
+            except Exception:   # a closing sink must not raise
+                pass
+        try:
+            self._file.close()
+        except Exception:       # pragma: no cover - double close etc.
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlTraceSink({self.path!r})"
+
+
+def _new_run_id() -> str:
+    """A short identifier tying one process's run to its trace lines."""
+    return f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
 
 class Tracer:
     """Collects :class:`TraceEvent` records for one run.
 
-    A tracer can be disabled (``enabled=False``) to remove recording overhead
-    in throughput benchmarks; all recording calls become no-ops.
+    A tracer can be disabled (``enabled=False``) to remove recording
+    overhead in throughput benchmarks; all recording calls become no-ops.
+
+    Parameters
+    ----------
+    clock:
+        Virtual-time source.  ``None`` (the default) means *unbound*:
+        events recorded before :meth:`bind_clock` carry ``time=None``
+        (they still carry ``seq`` and ``wall``).
+    max_events:
+        In-memory ring capacity.  Older events are dropped (and counted
+        in :attr:`dropped_events`) once the ring is full; attached sinks
+        still receive every event.  ``None`` disables the bound.
+    run_id:
+        Identifier stamped into every sink line; generated when omitted.
     """
 
-    def __init__(self, enabled: bool = True, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None,
+                 max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+                 run_id: Optional[str] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.enabled = enabled
-        self._clock = clock or (lambda: 0.0)
-        self._events: List[TraceEvent] = []
+        self.run_id = run_id or _new_run_id()
+        self._clock = clock
+        self._max_events = max_events
+        self._lock = make_lock("tracer.state")
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._dropped = 0
+        self._seq = 0
+        self._sinks: List[TraceSink] = []
 
+    # ---------------------------------------------------------------- clock
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual-time source used to timestamp events."""
         self._clock = clock
 
-    def record(self, category: str, message: str = "", **data: Any) -> None:
-        """Record one event (no-op when the tracer is disabled)."""
-        if not self.enabled:
-            return
-        self._events.append(
-            TraceEvent(time=float(self._clock()), category=category,
-                       message=message, data=dict(data))
-        )
+    # ---------------------------------------------------------------- sinks
+    def attach(self, sink: TraceSink) -> None:
+        """Forward every subsequent event to ``sink`` (in ``seq`` order)."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def detach(self, sink: TraceSink) -> None:
+        """Stop forwarding to ``sink`` (no-op when not attached)."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
 
     @property
+    def sinks(self) -> List[TraceSink]:
+        """The currently attached sinks."""
+        with self._lock:
+            return list(self._sinks)
+
+    def close(self) -> None:
+        """Detach and close every sink (idempotent).
+
+        Recording continues afterwards — only into the in-memory ring —
+        so a finished run's tracer stays readable.
+        """
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception as exc:
+                warnings.warn(f"trace sink {sink!r} failed to close: {exc!r}",
+                              RuntimeWarning, stacklevel=2)
+
+    # ------------------------------------------------------------ recording
+    def record(self, category: str, message: str = "", **data: Any) -> None:
+        """Record one event (no-op when the tracer is disabled).
+
+        Safe to call from any thread.  The virtual timestamp comes from
+        the bound clock (``None`` while unbound); the event is appended
+        to the ring and forwarded to every attached sink under the
+        tracer lock, so sink output is strictly ``seq``-ordered.
+        """
+        if not self.enabled:
+            return
+        clock = self._clock
+        virtual = float(clock()) if clock is not None else None
+        wall = _time.time()
+        dead: List[TraceSink] = []
+        with self._lock:
+            # ``data`` is this call's own kwargs dict — no copy needed.
+            event = TraceEvent(time=virtual, category=category,
+                               message=message, data=data,
+                               seq=self._seq, wall=wall)
+            self._seq += 1
+            if (self._max_events is not None
+                    and len(self._events) == self._max_events):
+                self._dropped += 1
+            self._events.append(event)
+            for sink in self._sinks:
+                try:
+                    sink.emit(event, self.run_id)
+                except Exception:
+                    dead.append(sink)
+            for sink in dead:
+                self._sinks.remove(sink)
+        for sink in dead:
+            warnings.warn(
+                f"trace sink {sink!r} raised from emit() and was detached",
+                RuntimeWarning, stacklevel=2,
+            )
+
+    # -------------------------------------------------------------- reading
+    @property
     def events(self) -> List[TraceEvent]:
-        """All recorded events, in recording order."""
-        return list(self._events)
+        """A snapshot of the retained events, in recording order."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the ring so far (sinks still saw them)."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The ring capacity (``None`` = unbounded)."""
+        return self._max_events
 
     def filter(self, prefix: str) -> List[TraceEvent]:
         """Events whose category matches ``prefix`` (exact or nested)."""
-        return [e for e in self._events if e.matches(prefix)]
+        return [e for e in self.events if e.matches(prefix)]
 
     def categories(self) -> List[str]:
         """Distinct categories in first-appearance order."""
         seen: Dict[str, None] = {}
-        for event in self._events:
+        for event in self.events:
             seen.setdefault(event.category, None)
         return list(seen)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
-        self._events.clear()
+        """Drop the retained events (sequence numbers keep counting)."""
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self.events)

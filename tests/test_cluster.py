@@ -13,6 +13,7 @@ the parent's ``sys.path``.
 
 from __future__ import annotations
 
+import json
 import signal
 import threading
 import time
@@ -889,3 +890,90 @@ class TestClusterConstruction:
         with ClusterCoordinator() as coordinator:
             with pytest.raises(ClusterError, match="ghost/n1"):
                 coordinator.wait_for_workers(["ghost/n1"], timeout=0.1)
+
+
+# --------------------------------------------------------------------------
+# The run-event stream: a fault-injected run must leave a readable JSONL
+# forensic record with death → re-enqueue → rejoin in causal order.
+
+class TestClusterTraceStream:
+    def _await_liveness(self, cluster, node, live, deadline=10.0):
+        limit = time.monotonic() + deadline
+        while cluster.coordinator.is_live(node) is not live \
+                and time.monotonic() < limit:
+            time.sleep(0.02)
+        return cluster.coordinator.is_live(node) is live
+
+    def test_sigkill_run_traces_death_requeue_and_rejoin(self, tmp_path):
+        trace_path = tmp_path / "cluster-run.jsonl"
+        names = ["trace/n0", "trace/n1"]
+        with LocalCluster(workers=names) as cluster:
+            backend = cluster.backend()
+            # pool[0] hosts the master; kill the plain worker.
+            victim = names[-1]
+            run = Grasp(skeleton=TaskFarm(worker=_slow_square),
+                        grid=backend.topology,
+                        config=GraspConfig.adaptive(),
+                        backend=backend,
+                        trace_path=str(trace_path)).as_completed(
+                inputs=range(64))
+            restarted = rejoined = False
+            for count, _ in enumerate(run):
+                if count == 5:
+                    cluster.kill_worker(victim, sig=signal.SIGKILL)
+                elif count == 20 and not restarted:
+                    # By now the death was detected and the in-flight
+                    # tasks were re-enqueued; bring the victim back.
+                    assert self._await_liveness(cluster, victim, live=False)
+                    cluster.start_worker(victim)
+                    restarted = True
+                elif count == 40 and not rejoined:
+                    rejoined = self._await_liveness(cluster, victim,
+                                                    live=True)
+            result = run.result
+            assert restarted and rejoined
+            assert result.outputs == [x * x for x in range(64)]
+            backend.close()
+
+        events = [json.loads(line)
+                  for line in trace_path.read_text().splitlines()]
+        categories = {event["category"] for event in events}
+        assert {"cluster.death", "dispatch.issue", "dispatch.lost",
+                "task.requeue", "cluster.rejoin"} <= categories
+
+        # JSONL lines land in seq order, one run id throughout.
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert len({event["run"] for event in events}) == 1
+
+        # Causal ordering: the death precedes the re-enqueue of the
+        # tasks it stranded, which precedes the victim's rejoin.
+        def first_seq(category):
+            return next(event["seq"] for event in events
+                        if event["category"] == category)
+
+        death = first_seq("cluster.death")
+        lost = first_seq("dispatch.lost")
+        requeue = first_seq("task.requeue")
+        rejoin = first_seq("cluster.rejoin")
+        assert death < lost < requeue < rejoin
+
+        # The death event names its victim and reason; the requeue
+        # carries how many tasks went back on the queue.
+        death_event = next(e for e in events
+                           if e["category"] == "cluster.death")
+        assert death_event["data"]["node"] == victim
+        assert death_event["data"]["reason"]
+        requeue_event = next(e for e in events
+                             if e["category"] == "task.requeue")
+        assert requeue_event["data"]["count"] >= 1
+
+        # And the report CLI renders the whole story.
+        from repro.trace import load_events, main, summarize
+
+        assert main(["report", str(trace_path)]) == 0
+        summary = summarize(load_events(str(trace_path)))
+        assert [d["node"] for d in summary["cluster"]["deaths"]] == [victim]
+        assert summary["cluster"]["rejoins"] >= 1
+        assert summary["adaptation"]["requeued_tasks"] >= 1
+        assert summary["nodes"][victim]["lost"] >= 1

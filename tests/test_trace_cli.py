@@ -1,0 +1,119 @@
+"""The ``python -m repro.trace`` report/diff CLI.
+
+Exercises exit codes, the text renderers, and the ``--format json``
+round-trip against real traces recorded from simulated runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Grasp, GraspConfig, GridBuilder, TaskFarm
+from repro.trace import load_events, main, summarize
+from repro.trace.cli import TraceCliError
+
+
+def _worker(x):
+    return x + 1
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    base = tmp_path_factory.mktemp("traces")
+    grid = (GridBuilder().heterogeneous(nodes=4, speed_spread=4.0)
+            .build(seed=1))
+    path_a = base / "a.jsonl"
+    path_b = base / "b.jsonl"
+    Grasp(skeleton=TaskFarm(worker=_worker), grid=grid,
+          trace_path=str(path_a)).run(range(24))
+    Grasp(skeleton=TaskFarm(worker=_worker), grid=grid,
+          config=GraspConfig.adaptive(), trace_path=str(path_b)).run(
+        range(48))
+    return path_a, path_b
+
+
+class TestReport:
+    def test_text_report_exits_zero(self, traces, capsys):
+        path_a, _ = traces
+        assert main(["report", str(path_a)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "timeline" in out
+        assert "adaptation" in out
+
+    def test_json_report_round_trips(self, traces, capsys):
+        path_a, _ = traces
+        assert main(["report", str(path_a), "--format", "json"]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded == summarize(load_events(str(path_a)))
+        assert loaded["events"] > 0
+        assert loaded["tasks"] == 24
+        assert loaded["makespan"] is not None and loaded["makespan"] > 0
+        assert "phase.compilation" in loaded["categories"]
+        assert loaded["adaptation"]["windows"]
+
+    def test_summary_counts_adaptations(self, traces):
+        _, path_b = traces
+        summary = summarize(load_events(str(path_b)))
+        assert summary["tasks"] == 48
+        assert summary["adaptation"]["breaches"] >= 0
+        assert summary["cluster"]["deaths"] == []
+
+
+class TestDiff:
+    def test_text_diff_exits_zero(self, traces, capsys):
+        path_a, path_b = traces
+        assert main(["diff", str(path_a), str(path_b)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+        assert "makespan" in out
+
+    def test_json_diff_has_both_sides(self, traces, capsys):
+        path_a, path_b = traces
+        assert main(["diff", str(path_a), str(path_b),
+                     "--format", "json"]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        assert set(loaded) >= {"a", "b", "diff"}
+        assert loaded["a"]["tasks"] == 24
+        assert loaded["b"]["tasks"] == 48
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_line_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"category": "ok"}\nnot json at all\n')
+        assert main(["report", str(path)]) == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_non_event_object_exits_two(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(TraceCliError):
+            load_events(str(path))
+        assert main(["report", str(path)]) == 2
+
+    def test_no_arguments_exits_two(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_diff_with_one_trace_exits_two(self, traces, capsys):
+        path_a, _ = traces
+        assert main(["diff", str(path_a)]) == 2
+        capsys.readouterr()
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "report" in capsys.readouterr().out
+
+    def test_empty_trace_reports_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 0
+        assert main(["report", str(path), "--format", "json"]) == 0
+        capsys.readouterr()

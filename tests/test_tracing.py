@@ -1,0 +1,323 @@
+"""The observability layer: trace sinks, retention, thread safety, plumbing.
+
+Covers the tracer's three guarantees (thread-safe recording/iteration,
+bounded in-memory retention with sinks seeing every event, honest
+``time=None`` stamps before a clock is bound) plus the configuration
+plumbing that turns them on: ``GraspConfig.trace_path`` /
+``trace_max_events``, the ``GRASP_TRACE`` environment variable, and the
+``Grasp(..., trace_path=...)`` shorthand.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import Grasp, GraspConfig, GridBuilder, TaskFarm
+from repro.exceptions import ConfigurationError
+from repro.utils.tracing import (
+    DEFAULT_MAX_EVENTS,
+    JsonlTraceSink,
+    TraceEvent,
+    Tracer,
+)
+
+
+def _grid(nodes: int = 4):
+    return (GridBuilder().heterogeneous(nodes=nodes, speed_spread=4.0)
+            .build(seed=1))
+
+
+class _ListSink:
+    """A sink that remembers everything it was handed."""
+
+    def __init__(self):
+        self.events = []
+        self.run_ids = set()
+        self.closed = 0
+
+    def emit(self, event, run_id):
+        self.events.append(event)
+        self.run_ids.add(run_id)
+
+    def close(self):
+        self.closed += 1
+
+
+class _ExplodingSink:
+    def emit(self, event, run_id):
+        raise OSError("disk full")
+
+    def close(self):
+        pass
+
+
+# ---------------------------------------------------------------------------
+class TestTracerThreadSafety:
+    def test_concurrent_record_while_iterate_stress(self):
+        # The historical bug: record() appended to the live list __iter__
+        # handed out, so a reader iterating during a run hit
+        # "RuntimeError: list changed size during iteration".
+        tracer = Tracer()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    tracer.record("stress.tick", i=i)
+                    i += 1
+            except BaseException as exc:  # pragma: no cover - the bug
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = time.monotonic() + 0.3
+            while time.monotonic() < deadline:
+                for event in tracer:        # iterates a snapshot
+                    assert event.category == "stress.tick"
+                tracer.filter("stress")
+                tracer.categories()
+                len(tracer)
+                tracer.events
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert failures == []
+        # Sequence numbers are unique and appear in recording order.
+        seqs = [e.seq for e in tracer.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_concurrent_clear_is_safe(self):
+        tracer = Tracer()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                tracer.record("x")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                tracer.clear()
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestRingRetention:
+    def test_ring_drops_oldest_and_counts_but_sinks_see_all(self):
+        sink = _ListSink()
+        tracer = Tracer(max_events=10)
+        tracer.attach(sink)
+        for i in range(25):
+            tracer.record("x", i=i)
+        assert len(tracer) == 10
+        assert tracer.dropped_events == 15
+        assert [e.data["i"] for e in tracer.events] == list(range(15, 25))
+        # The sink received every event, dropped-from-ring ones included.
+        assert [e.data["i"] for e in sink.events] == list(range(25))
+
+    def test_default_ring_is_bounded(self):
+        assert Tracer().max_events == DEFAULT_MAX_EVENTS
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_clear_resets_ring_and_dropped_counter(self):
+        tracer = Tracer(max_events=2)
+        for _ in range(5):
+            tracer.record("x")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped_events == 0
+
+
+class TestUnboundClock:
+    def test_unbound_clock_events_carry_time_none_not_zero(self):
+        # Regression: the placeholder `lambda: 0.0` clock stamped pre-bind
+        # events time=0.0, sorting them spuriously before calibration.
+        tracer = Tracer()
+        tracer.record("early")
+        event = tracer.events[0]
+        assert event.time is None
+        assert event.wall > 0.0
+        tracer.bind_clock(lambda: 7.5)
+        tracer.record("late")
+        assert tracer.events[1].time == 7.5
+        # seq keeps the causal order even while no clock existed.
+        assert tracer.events[0].seq < tracer.events[1].seq
+
+    def test_explicit_clock_still_honoured(self):
+        tracer = Tracer(clock=lambda: 3.0)
+        tracer.record("x")
+        assert tracer.events[0].time == 3.0
+
+
+class TestSinks:
+    def test_jsonl_sink_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer()
+        tracer.attach(JsonlTraceSink(path))
+        tracer.record("a.b", "hello", n=1)
+        tracer.record("c", obj=object())    # non-JSON data → repr fallback
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["category"] for line in lines] == ["a.b", "c"]
+        assert [line["seq"] for line in lines] == [0, 1]
+        assert lines[0]["run"] == tracer.run_id
+        assert lines[0]["data"] == {"n": 1}
+        assert isinstance(lines[1]["data"]["obj"], str)
+
+    def test_failing_sink_is_detached_not_fatal(self):
+        tracer = Tracer()
+        bad = _ExplodingSink()
+        good = _ListSink()
+        tracer.attach(bad)
+        tracer.attach(good)
+        with pytest.warns(RuntimeWarning, match="detached"):
+            tracer.record("x")
+        assert bad not in tracer.sinks
+        assert good in tracer.sinks
+        tracer.record("y")                  # recording continues
+        assert len(tracer) == 2
+        assert len(good.events) == 2
+
+    def test_close_is_idempotent_and_keeps_tracer_readable(self):
+        sink = _ListSink()
+        tracer = Tracer()
+        tracer.attach(sink)
+        tracer.record("before")
+        tracer.close()
+        tracer.close()
+        assert sink.closed == 1
+        assert tracer.sinks == []
+        tracer.record("after")              # ring-only from here on
+        assert [e.category for e in tracer.events] == ["before", "after"]
+        assert len(sink.events) == 1
+
+    def test_detach_unknown_sink_is_noop(self):
+        tracer = Tracer()
+        tracer.detach(_ListSink())
+
+
+# ---------------------------------------------------------------------------
+class TestTracePlumbing:
+    def test_grasp_trace_path_kwarg_writes_complete_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = Grasp(skeleton=TaskFarm(worker=lambda x: x + 1),
+                       grid=_grid(), trace_path=str(path)).run(range(24))
+        assert result.outputs == [x + 1 for x in range(24)]
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        categories = {line["category"] for line in lines}
+        assert {"phase.compilation", "phase.programming",
+                "phase.calibration.start", "phase.execution.end",
+                "adaptation.window"} <= categories
+        # One run id throughout, strictly seq-ordered on disk.
+        assert len({line["run"] for line in lines}) == 1
+        seqs = [line["seq"] for line in lines]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        # The file is the complete record: in-memory tracer agrees.
+        assert len(lines) == len(result.trace.events)
+
+    def test_grasp_trace_env_var_enables_tracing(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("GRASP_TRACE", str(path))
+        Grasp(skeleton=TaskFarm(worker=lambda x: x), grid=_grid()).run(
+            range(8))
+        assert path.exists() and path.read_text().strip()
+
+    def test_config_trace_path_wins_over_env(self, tmp_path, monkeypatch):
+        env_path = tmp_path / "env.jsonl"
+        cfg_path = tmp_path / "cfg.jsonl"
+        monkeypatch.setenv("GRASP_TRACE", str(env_path))
+        config = GraspConfig(trace_path=str(cfg_path))
+        Grasp(skeleton=TaskFarm(worker=lambda x: x), grid=_grid(),
+              config=config).run(range(8))
+        assert cfg_path.exists()
+        assert not env_path.exists()
+
+    def test_trace_disabled_writes_no_file(self, tmp_path):
+        path = tmp_path / "off.jsonl"
+        config = GraspConfig(trace=False, trace_path=str(path))
+        Grasp(skeleton=TaskFarm(worker=lambda x: x), grid=_grid(),
+              config=config).run(range(8))
+        assert not path.exists()
+
+    def test_trace_max_events_bounds_memory_not_the_file(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        config = GraspConfig(trace_path=str(path), trace_max_events=5)
+        result = Grasp(skeleton=TaskFarm(worker=lambda x: x), grid=_grid(),
+                       config=config).run(range(24))
+        tracer = result.trace
+        assert len(tracer) == 5
+        assert tracer.dropped_events > 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5 + tracer.dropped_events
+
+    def test_trace_max_events_validation(self):
+        with pytest.raises(ConfigurationError, match="trace_max_events"):
+            GraspConfig(trace_max_events=0)
+
+    def test_adaptation_window_events_carry_observed_vs_threshold(self):
+        result = Grasp(skeleton=TaskFarm(worker=lambda x: x),
+                       grid=_grid(), config=GraspConfig.adaptive()).run(
+            range(32))
+        windows = result.trace.filter("adaptation.window")
+        assert windows
+        for event in windows:
+            assert {"round", "samples", "observed_min", "threshold",
+                    "breached"} <= set(event.data)
+            assert event.data["samples"] >= 1
+            assert event.data["observed_min"] is not None
+            assert event.data["threshold"] is not None
+
+    def test_thread_backend_emits_dispatch_events(self, tmp_path):
+        path = tmp_path / "thread.jsonl"
+        Grasp(skeleton=TaskFarm(worker=lambda x: x * 2), grid=_grid(),
+              backend="thread", trace_path=str(path)).run(range(16))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        categories = {line["category"] for line in lines}
+        assert "dispatch.issue" in categories
+        assert "dispatch.resolve" in categories
+        resolves = [line for line in lines
+                    if line["category"] == "dispatch.resolve"]
+        assert all(line["data"]["ok"] for line in resolves)
+        assert all(line["data"]["elapsed"] >= 0.0 for line in resolves)
+
+    def test_abandoned_stream_still_flushes_the_sink(self, tmp_path):
+        path = tmp_path / "abandoned.jsonl"
+        run = Grasp(skeleton=TaskFarm(worker=lambda x: x), grid=_grid(),
+                    trace_path=str(path)).as_completed(range(16))
+        next(iter(run))
+        run.close()
+        # The sink was closed (flushed) by the abandonment path; the
+        # compilation/calibration events written so far are readable.
+        lines = path.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["category"] for line in lines)
+
+
+class TestTraceEventShape:
+    def test_to_dict_round_trips_through_json(self):
+        event = TraceEvent(time=1.5, category="a.b", message="m",
+                           data={"k": 1}, seq=7, wall=123.0)
+        loaded = json.loads(json.dumps(event.to_dict("run-1")))
+        assert loaded == {"seq": 7, "run": "run-1", "time": 1.5,
+                          "wall": 123.0, "category": "a.b", "message": "m",
+                          "data": {"k": 1}}
+
+    def test_legacy_construction_still_works(self):
+        # Older call sites (and tests) build events without seq/wall.
+        event = TraceEvent(time=0.0, category="a", message="")
+        assert event.seq == 0 and event.wall == 0.0
