@@ -364,6 +364,76 @@ def test_ed_tracing_overhead_within_five_percent(tmp_path):
     )
 
 
+def test_ed_metrics_overhead_within_budget():
+    """Acceptance: metrics on (counters + in-flight gauges + latency and
+    chunk-size histograms per dispatch) fits the same throughput budget
+    as tracing (``TRACING_OVERHEAD_CEILING``).
+
+    Identical methodology to the tracing assertion above — the standard
+    chunked configuration, alternating paired runs, overhead judged on
+    ``min(on) / min(off)`` so runner noise cannot mask or manufacture a
+    regression.  Metrics writes are cheaper than trace events (one
+    per-instrument lock, no serialisation, no sink thread), so the shared
+    ceiling leaves headroom rather than barely fitting.
+    """
+    from repro.metrics import MetricsRegistry
+
+    grid = make_dedicated_grid(nodes=WORKERS)
+    nodes = list(grid.node_ids)
+    backend = ProcessBackend(topology=grid)
+    registry = MetricsRegistry()
+    expected = list(range(TRACING_TASKS))
+    ratios: List[float] = []
+    best = {"off": float("inf"), "on": float("inf")}
+    try:
+        run_farm(backend, nodes, TRACING_TASKS, noop_worker,
+                 chunk=CHUNK)                               # warm-up
+        modes = (("off", None), ("on", registry))
+        for i in range(TRACING_PAIRS):
+            pair = {}
+            for mode, active in (modes if i % 2 == 0 else modes[::-1]):
+                backend.metrics = active
+                outputs, elapsed = run_farm(backend, nodes,
+                                            TRACING_TASKS, noop_worker,
+                                            chunk=CHUNK)
+                assert sorted(outputs) == expected
+                pair[mode] = elapsed
+                best[mode] = min(best[mode], elapsed)
+            ratios.append(pair["on"] / pair["off"])
+    finally:
+        backend.metrics = None
+        backend.close()
+
+    issued = registry.total("dispatch.issued")
+    assert issued > 0
+    assert issued == (registry.total("dispatch.resolved")
+                      + registry.total("dispatch.lost"))
+    assert registry.total("dispatch.in_flight") == 0.0
+    overhead = best["on"] / best["off"]
+
+    table = ExperimentTable(
+        title="ED-metrics — dispatch throughput, metrics on vs off",
+        columns=["metrics", "tasks", "wall_seconds", "tasks_per_sec"],
+        notes=(f"{TRACING_TASKS} no-op tasks, process backend, "
+               f"chunk={CHUNK}; best over {TRACING_PAIRS} paired "
+               f"repeats, overhead = best-on/best-off ratio "
+               f"{overhead:.3f}x (ceiling {TRACING_OVERHEAD_CEILING}x)"),
+    )
+    for mode in ("off", "on"):
+        rate = (TRACING_TASKS / best[mode]
+                if best[mode] else float("inf"))
+        table.add_row({"metrics": mode, "tasks": TRACING_TASKS,
+                       "wall_seconds": best[mode],
+                       "tasks_per_sec": rate})
+    publish_block(format_table(table))
+
+    assert overhead <= TRACING_OVERHEAD_CEILING, (
+        f"metrics overhead best-on/best-off {overhead:.3f}x (per-pair "
+        f"ratios: {[round(r, 3) for r in ratios]}) exceeds the "
+        f"{TRACING_OVERHEAD_CEILING}x ceiling"
+    )
+
+
 def test_ed_benchmark_cluster_dispatch(benchmark, bench_rounds,
                                        dispatch_comparison):
     grid = make_dedicated_grid(nodes=WORKERS)

@@ -223,6 +223,36 @@ def run_with_fault_injection() -> None:
     print("lost tasks:         ", result.execution.lost_tasks)
 
 
+def run_with_metrics() -> None:
+    # Every run also aggregates metrics (counters, gauges, latency
+    # histograms) alongside the event trace — result.metrics is the final
+    # registry snapshot.  Setting GRASP_METRICS=metrics.json (or
+    # GraspConfig(metrics_path=...)) dumps the same snapshot to disk for
+    # `python -m repro.metrics show` and the `python -m repro.trace
+    # regress` performance gate.  This demo runs last, so a GRASP_METRICS
+    # dump from this script describes this deterministic simulated run.
+    grid = build_grid()
+    result = Grasp(skeleton=build_farm(), grid=grid,
+                   config=GraspConfig.adaptive()).run(inputs=range(100))
+    snapshot = result.metrics
+    totals = {}
+    for series in snapshot["series"]:
+        if series["type"] == "counter":
+            totals[series["name"]] = totals.get(series["name"], 0) + series["value"]
+    print("--- metrics: final registry snapshot (simulated backend) ---")
+    print(f"series recorded:    {len(snapshot['series'])}")
+    print(f"dispatch accounting: issued={totals.get('dispatch.issued', 0):.0f} "
+          f"resolved={totals.get('dispatch.resolved', 0):.0f} "
+          f"lost={totals.get('dispatch.lost', 0):.0f}")
+    print(f"tasks completed:    {totals.get('tasks.completed', 0):.0f}")
+    latencies = [s for s in snapshot["series"]
+                 if s["name"] == "dispatch.latency"]
+    p95 = max((s["p95"] for s in latencies if s["p95"] is not None),
+              default=None)
+    print(f"dispatch p95:       {p95:.3f} virtual seconds "
+          f"(across {len(latencies)} node series)")
+
+
 def main() -> None:
     run_on("simulated")
     run_on("thread")
@@ -232,6 +262,7 @@ def main() -> None:
     run_streaming()
     run_nested_composition()
     run_with_fault_injection()
+    run_with_metrics()
 
 
 if __name__ == "__main__":

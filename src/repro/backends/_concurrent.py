@@ -32,6 +32,7 @@ from repro.backends.base import (
     ExecutionBackend,
 )
 from repro.exceptions import GridError
+from repro.metrics.hooks import on_issue, on_lost, on_resolve
 from repro.sanitizers.locks import make_lock
 from repro.grid.topology import GridBuilder, GridTopology
 from repro.skeletons.base import Task
@@ -131,6 +132,11 @@ class LocalConcurrentBackend(ExecutionBackend):
 
     #: Name given to a synthesised topology when none is supplied.
     _synth_topology_name = "local"
+
+    #: Exceptions a done future raises when its worker died holding the
+    #: task (metrics classify them as *lost*, not failed resolves);
+    #: subclasses whose workers can die set this (the process backend).
+    _lost_exceptions: tuple = ()
 
     def __init__(self, topology: Optional[GridTopology] = None,
                  workers: Optional[int] = None, tracer=None):
@@ -290,6 +296,10 @@ class LocalConcurrentBackend(ExecutionBackend):
             with self._lock:
                 self._pending[node_id] = max(0, self._pending[node_id] - 1)
             raise
+        # Only accepted submissions count as issued (a raising submit above
+        # records nothing), and before the done-callback is attached so a
+        # resolve can never outrace its issue.
+        on_issue(self.metrics, self.name, node_id)
         future.add_done_callback(
             lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
         )
@@ -302,16 +312,25 @@ class LocalConcurrentBackend(ExecutionBackend):
         # observe a task duration: its elapsed time measures the crash, not
         # the node's speed, and must not seed or skew the EWMA estimates.
         failed = False
+        lost = False
         if future is not None:
             try:
-                failed = future.exception() is not None
+                error = future.exception()
             except BaseException:  # cancelled: no duration either
                 failed = True
+            else:
+                failed = error is not None
+                lost = isinstance(error, self._lost_exceptions)
         tracer = self.tracer
         if tracer is not None:
             tracer.record("dispatch.resolve", "payload finished",
                           node=node_id, backend=self.name, ok=not failed,
                           elapsed=elapsed)
+        if lost:
+            on_lost(self.metrics, self.name, node_id)
+        else:
+            on_resolve(self.metrics, self.name, node_id, elapsed,
+                       ok=not failed)
         with self._lock:
             self._pending[node_id] = max(0, self._pending[node_id] - 1)
             if failed:

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ExecutionError
+from repro.metrics.hooks import on_chunk
 from repro.skeletons.base import Task, TaskResult
 
 __all__ = [
@@ -264,6 +265,12 @@ class ExecutionBackend:
     #: Human-readable backend family ("simulated", "thread", ...).
     name: str = "abstract"
 
+    #: Metrics registry the backend writes dispatch metrics into
+    #: (:class:`repro.metrics.MetricsRegistry`), or None when metrics are
+    #: disabled.  Adopted by the compiled program the same way the tracer
+    #: is; backends read it per dispatch, so it may be swapped between runs.
+    metrics = None
+
     #: Whether dispatch handles resolve at dispatch time (virtual-time
     #: backends).  Eager backends are driven step-by-step by the executors;
     #: non-eager backends get their window dispatched first and collected
@@ -372,6 +379,7 @@ class ExecutionBackend:
         backends with a real bulk transport (one IPC round-trip per chunk)
         override it.
         """
+        on_chunk(self.metrics, self.name, len(tasks))
         handles: List[DispatchHandle] = []
         free = at_time
         for task in tasks:

@@ -56,6 +56,7 @@ from repro.backends.base import (
 )
 from repro.exceptions import ConfigurationError, GridError
 from repro.grid.failures import FailureModel, NoFailures
+from repro.metrics.hooks import on_issue, on_lost
 from repro.skeletons.base import Task
 
 __all__ = ["FaultInjectingBackend"]
@@ -196,6 +197,23 @@ class FaultInjectingBackend(ExecutionBackend):
     def node_free_at(self, node_id: str) -> float:
         return self.inner.node_free_at(node_id)
 
+    # ---------------------------------------------------------------- metrics
+    @property
+    def metrics(self):
+        """The inner backend's registry — dispatches it forwards land there.
+
+        Losses the decorator itself injects are labelled with the composite
+        ``backend`` name (e.g. ``thread+faults``) and double-booked in the
+        ``faults.injected_lost`` counter, so injected and organic losses
+        stay distinguishable while ``registry.total()`` sums still satisfy
+        the accounting invariant.
+        """
+        return self.inner.metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self.inner.metrics = registry
+
     # ------------------------------------------------------------ observation
     def observe_load(self, node_id: str, time: Optional[float] = None) -> float:
         return self.inner.observe_load(node_id, time)
@@ -285,6 +303,11 @@ class FaultInjectingBackend(ExecutionBackend):
 
     def _lost_at_dispatch(self, node_id: str) -> CompletedHandle:
         """The node is already dead: the task is lost in transit."""
+        metrics = self.metrics
+        on_issue(metrics, self.name, node_id)
+        on_lost(metrics, self.name, node_id)
+        if metrics is not None:
+            metrics.counter("faults.injected_lost", backend=self.name).inc()
         now = self.now
         outcome = DispatchOutcome(
             node_id=node_id, output=None, submitted=now, exec_started=now,
@@ -306,6 +329,12 @@ class FaultInjectingBackend(ExecutionBackend):
             return outcome
         if self.failures.available(outcome.node_id, outcome.finished):
             return outcome
+        # The inner backend already booked this dispatch as a resolve, so
+        # only the injection counter moves — the accounting invariant
+        # counts the round-trip, not the discarded result.
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("faults.injected_lost", backend=self.name).inc()
         return dataclasses.replace(outcome, output=None, lost=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -80,6 +80,7 @@ from repro.backends.base import (
     DispatchOutcome,
 )
 from repro.exceptions import GridError
+from repro.metrics.hooks import on_chunk, on_issue, on_lost
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Task
 
@@ -231,6 +232,7 @@ class ProcessBackend(LocalConcurrentBackend):
 
     name = "process"
     _synth_topology_name = "processes"
+    _lost_exceptions = (BrokenProcessPool,)
 
     def __init__(self, topology: Optional[GridTopology] = None,
                  workers: Optional[int] = None, tracer=None,
@@ -271,7 +273,11 @@ class ProcessBackend(LocalConcurrentBackend):
                                        collect_output)
         except BrokenProcessPool:
             # The pool broke between the previous dispatch and this one:
-            # same contract as a mid-task death — lost, then respawn.
+            # same contract as a mid-task death — lost, then respawn.  The
+            # submit raised before recording an issue, so the loss is
+            # booked here as one issue+lost pair.
+            on_issue(self.metrics, self.name, node_id)
+            on_lost(self.metrics, self.name, node_id)
             outcome = self._lost_outcome(node_id, submitted)
             return CompletedHandle(outcome, node_id=node_id,
                                    submitted=submitted,
@@ -290,11 +296,14 @@ class ProcessBackend(LocalConcurrentBackend):
         collect_output: bool = True,
     ) -> DispatchHandle:
         self._check_node(node_id)
+        on_chunk(self.metrics, self.name, len(tasks))
         submitted = self.now
         try:
             future = self._submit_farm(node_id, "chunk", execute_fn,
                                        list(tasks), collect_output)
         except BrokenProcessPool:
+            on_issue(self.metrics, self.name, node_id)
+            on_lost(self.metrics, self.name, node_id)
             outcome = self._lost_outcome(node_id, submitted)
             chunk = ChunkOutcome(
                 node_id=node_id,
@@ -444,6 +453,9 @@ class ProcessBackend(LocalConcurrentBackend):
             except BaseException:
                 self._pending[node_id] = max(0, self._pending[node_id] - 1)
                 raise
+        # Outside the lock, like _submit: issued counts only accepted
+        # submissions, recorded before the done-callback can fire.
+        on_issue(self.metrics, self.name, node_id)
         future.add_done_callback(
             lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
         )

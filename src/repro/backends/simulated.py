@@ -26,6 +26,7 @@ from repro.backends.base import (
     ExecutionBackend,
 )
 from repro.grid.simulator import GridSimulator
+from repro.metrics.hooks import on_issue, on_lost, on_resolve
 from repro.skeletons.base import Task
 from repro.utils.awaitables import resolve_awaitable
 
@@ -89,11 +90,13 @@ class SimulatedBackend(ExecutionBackend):
         collect_output: bool = True,
     ) -> DispatchHandle:
         sim = self.simulator
+        on_issue(self.metrics, self.name, node_id)
         send = sim.transfer(master_node, node_id, task.input_bytes, at_time=at_time)
         execution = sim.run_task(node_id, task.cost, at_time=send.finished)
 
         if check_loss and not sim.is_available(node_id, execution.finished):
             # The node failed while (virtually) holding the task.
+            on_lost(self.metrics, self.name, node_id)
             outcome = DispatchOutcome(
                 node_id=node_id, output=None, submitted=at_time,
                 exec_started=execution.started, exec_finished=execution.finished,
@@ -109,6 +112,8 @@ class SimulatedBackend(ExecutionBackend):
         output = None
         if execute_fn is not None and collect_output:
             output = resolve_awaitable(execute_fn(task))
+        # Latency on this backend is virtual compute time, not wall time.
+        on_resolve(self.metrics, self.name, node_id, execution.duration)
         outcome = DispatchOutcome(
             node_id=node_id, output=output, submitted=at_time,
             exec_started=execution.started, exec_finished=execution.finished,

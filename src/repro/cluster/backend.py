@@ -56,6 +56,7 @@ from repro.cluster.coordinator import ClusterCoordinator, WorkerLost
 from repro.cluster.local import LocalCluster
 from repro.cluster.protocol import dumps_payload
 from repro.exceptions import ClusterError, ConfigurationError, GridError
+from repro.metrics.hooks import on_chunk, on_issue, on_lost, on_resolve
 from repro.sanitizers.locks import make_lock
 from repro.grid.node import GridNode
 from repro.grid.topology import GridTopology
@@ -154,6 +155,7 @@ class ClusterBackend(ExecutionBackend):
         self._seed_duration = 0.0
         self._closed = False
         self.tracer = tracer
+        self._metrics = None
         # Forward the coordinator's membership/payload events into the run
         # tracer.  Registered unconditionally: the tracer is re-checked at
         # event time, so a backend built before its run's tracer existed
@@ -203,6 +205,36 @@ class ClusterBackend(ExecutionBackend):
     def coordinator(self) -> ClusterCoordinator:
         """The coordinator this backend dispatches through."""
         return self._coordinator
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def metrics(self):
+        """The adopted metrics registry (see ExecutionBackend.metrics)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        # Adopting a registry also wires the coordinator-level callback
+        # gauges: evaluated lazily at snapshot time, so a snapshot shows
+        # the cluster's state *now*, not at adoption.
+        self._metrics = registry
+        if registry is None:
+            return
+        coordinator = self._coordinator
+        registry.gauge_fn("cluster.live_workers",
+                          lambda: len(coordinator.live_nodes()))
+        registry.gauge_fn("cluster.pending_futures",
+                          coordinator.pending_count)
+        registry.gauge_fn("cluster.heartbeat_age",
+                          coordinator.max_heartbeat_age)
+        # Result tallies are counted coordinator-side as frames arrive
+        # (piggybacked on RESULT traffic — no extra protocol); exposed
+        # here as lazily-read values.
+        registry.gauge_fn("cluster.results_ok",
+                          lambda: coordinator.status_snapshot()["results_ok"])
+        registry.gauge_fn(
+            "cluster.results_failed",
+            lambda: coordinator.status_snapshot()["results_failed"])
 
     def available_nodes(self, time: float) -> List[str]:
         """Topology nodes that have a live worker agent right now.
@@ -265,7 +297,11 @@ class ClusterBackend(ExecutionBackend):
                                   (execute_fn, task, collect_output))
         except WorkerLost:
             # Dead at dispatch: lost in transit, same as a vanished grid
-            # node; the availability queries already exclude it.
+            # node; the availability queries already exclude it.  _submit
+            # raised before recording an issue, so the loss is booked here
+            # as one issue+lost pair.
+            on_issue(self._metrics, self.name, node_id)
+            on_lost(self._metrics, self.name, node_id)
             outcome = self._lost_outcome(node_id, submitted)
             return CompletedHandle(outcome, node_id=node_id,
                                    submitted=submitted,
@@ -284,11 +320,14 @@ class ClusterBackend(ExecutionBackend):
         collect_output: bool = True,
     ) -> DispatchHandle:
         self._check_node(node_id)
+        on_chunk(self._metrics, self.name, len(tasks))
         submitted = self.now
         try:
             future = self._submit(node_id, "chunk",
                                   (execute_fn, list(tasks), collect_output))
         except WorkerLost:
+            on_issue(self._metrics, self.name, node_id)
+            on_lost(self._metrics, self.name, node_id)
             outcome = self._lost_outcome(node_id, submitted)
             chunk = ChunkOutcome(
                 node_id=node_id,
@@ -413,6 +452,9 @@ class ClusterBackend(ExecutionBackend):
             with self._lock:
                 self._pending[node_id] = max(0, self._pending[node_id] - 1)
             raise
+        # Only accepted submissions count as issued, recorded before the
+        # done-callback can fire so a resolve never outraces its issue.
+        on_issue(self._metrics, self.name, node_id)
         future.add_done_callback(
             lambda f, node=node_id, t0=started_at: self._note_done(node, t0, f)
         )
@@ -469,6 +511,11 @@ class ClusterBackend(ExecutionBackend):
                 tracer.record("dispatch.resolve", "payload finished",
                               node=node_id, backend=self.name, ok=not failed,
                               elapsed=elapsed)
+        if lost:
+            on_lost(self._metrics, self.name, node_id)
+        else:
+            on_resolve(self._metrics, self.name, node_id, elapsed,
+                       ok=not failed)
         with self._lock:
             self._pending[node_id] = max(0, self._pending[node_id] - 1)
             if failed:

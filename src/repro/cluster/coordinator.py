@@ -51,6 +51,8 @@ from repro.cluster.protocol import (
     Hello,
     PutPayload,
     Result,
+    Status,
+    StatusReply,
     Welcome,
     encode,
 )
@@ -103,6 +105,11 @@ class _WorkerConn:
         self.last_beat = _time.monotonic()
         self.load = 0.0
         self.alive = True
+        #: Result tallies for this incarnation, guarded by the coordinator
+        #: lock.  Piggybacked observability: counted where results already
+        #: cross the coordinator, so workers need no extra frames.
+        self.results_ok = 0
+        self.results_failed = 0
 
     def send(self, message) -> None:
         self.send_bytes(encode(message))
@@ -222,6 +229,63 @@ class ClusterCoordinator:
         with self._lock:
             conn = self._workers.get(node_id)
             return conn.load if conn is not None else 0.0
+
+    def pending_count(self) -> int:
+        """Dispatched-but-unresolved requests across all live workers."""
+        with self._lock:
+            return sum(len(conn.pending) for conn in self._workers.values())
+
+    def max_heartbeat_age(self) -> float:
+        """Seconds since the quietest live worker was last heard from.
+
+        ``0.0`` with no live workers — the value feeds a gauge, and "no
+        workers" is already visible on ``cluster.live_workers``.
+        """
+        now = _time.monotonic()
+        with self._lock:
+            if not self._workers:
+                return 0.0
+            return max(now - conn.last_beat
+                       for conn in self._workers.values())
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        """One coherent, JSON-compatible view of the coordinator's state.
+
+        This is what a :class:`~repro.cluster.protocol.Status` probe gets
+        back (rendered by ``python -m repro.metrics status``) — coordinator
+        identity plus one record per live worker: pending dispatches,
+        last-heard age, reported load and the result tallies counted as
+        frames crossed this coordinator.
+        """
+        now = _time.monotonic()
+        with self._lock:
+            workers = [
+                {
+                    "node": conn.node_id,
+                    "host": conn.info.host if conn.info else "",
+                    "pid": conn.info.pid if conn.info else 0,
+                    "cpus": conn.info.cpus if conn.info else 0,
+                    "load": conn.load,
+                    "pending": len(conn.pending),
+                    "heartbeat_age": now - conn.last_beat,
+                    "results_ok": conn.results_ok,
+                    "results_failed": conn.results_failed,
+                }
+                for conn in self._workers.values()
+            ]
+            closed = self._closed
+        workers.sort(key=lambda w: w["node"])
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "address": [self._host, self._port],
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "closed": closed,
+            "live_workers": len(workers),
+            "pending": sum(w["pending"] for w in workers),
+            "results_ok": sum(w["results_ok"] for w in workers),
+            "results_failed": sum(w["results_failed"] for w in workers),
+            "workers": workers,
+        }
 
     # -------------------------------------------------------- cluster events
     def add_listener(self, listener: ClusterListener) -> None:
@@ -495,7 +559,14 @@ class ClusterCoordinator:
 
     # ----------------------------------------------------------- frame routing
     def _handle(self, conn: _WorkerConn, message) -> None:
-        if isinstance(message, Hello):
+        if isinstance(message, Status):
+            # Introspection probe from a monitoring client, answered before
+            # the HELLO gate on purpose: a status query must never count as
+            # (or require) a registered worker.  The client disconnects
+            # after the reply; the resulting EOF takes the normal
+            # unregistered-connection cleanup path.
+            conn.send(StatusReply(snapshot=self.status_snapshot()))
+        elif isinstance(message, Hello):
             self._register(conn, message)
         elif conn.node_id is None:
             # Registration first: heartbeats/results from an anonymous
@@ -593,6 +664,11 @@ class ClusterCoordinator:
             if result.load >= 0.0:
                 conn.load = float(result.load)
             future = conn.pending.pop(result.request_id, None)
+            if future is not None:
+                if result.ok:
+                    conn.results_ok += 1
+                else:
+                    conn.results_failed += 1
         if future is None:
             # Unknown id: the request was already failed by a death mark, or
             # the frame is stale.  Either way the result is not accepted.

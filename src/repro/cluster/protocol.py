@@ -25,6 +25,8 @@ code  message         body encoding after the code byte
 6     GOODBYE         pickle of the field tuple
 7     PUT_PAYLOAD     ``>Q`` payload_id · raw preserialised payload blob
 8     DISPATCH_REF    ``>QQB`` request_id, payload_id, kind · oob block (args)
+9     STATUS          pickle of the field tuple (introspection request)
+10    STATUS_REPLY    pickle of the field tuple (coordinator status snapshot)
 ====  ==============  ==========================================================
 
 An **oob block** is a pickle-protocol-5 serialisation with out-of-band
@@ -82,6 +84,8 @@ __all__ = [
     "Goodbye",
     "PutPayload",
     "DispatchRef",
+    "Status",
+    "StatusReply",
     "Message",
     "encode",
     "FrameDecoder",
@@ -233,6 +237,35 @@ class DispatchRef:
     args: Any
 
 
+@dataclass(frozen=True)
+class Status:
+    """Introspection request: ask a coordinator for its status snapshot.
+
+    Sent by monitoring clients (the ``python -m repro.metrics`` CLI), not
+    by workers — a coordinator answers it *before* the HELLO handshake, so
+    a status probe never counts as a registered worker.  Within a wire
+    version the message set may grow: a same-version coordinator that
+    predates STATUS drops the probe connection with a clean
+    :class:`~repro.exceptions.ProtocolError`, which the client reports.
+    """
+
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """Coordinator answer to :class:`Status`.
+
+    ``snapshot`` is a plain-data dict (strings, numbers, lists, dicts —
+    JSON-compatible by construction) describing the coordinator and every
+    registered worker; see
+    :meth:`repro.cluster.coordinator.ClusterCoordinator.status_snapshot`
+    for the exact shape.
+    """
+
+    snapshot: Dict[str, Any]
+
+
 #: Union alias for documentation; the registry below is authoritative.
 Message = Any
 
@@ -245,9 +278,11 @@ _MESSAGE_TYPES: Dict[int, Type[Any]] = {
     6: Goodbye,
     7: PutPayload,
     8: DispatchRef,
+    9: Status,
+    10: StatusReply,
 }
 _TYPE_CODES = {cls: code for code, cls in _MESSAGE_TYPES.items()}
-_PICKLED_TYPES = (Hello, Welcome, Dispatch, Goodbye)
+_PICKLED_TYPES = (Hello, Welcome, Dispatch, Goodbye, Status, StatusReply)
 
 
 # ------------------------------------------------------- payload serialising
@@ -375,6 +410,8 @@ _ENCODERS: Dict[Type[Any], Callable[[Any], bytes]] = {
     Welcome: _encode_pickled,
     Dispatch: _encode_pickled,
     Goodbye: _encode_pickled,
+    Status: _encode_pickled,
+    StatusReply: _encode_pickled,
     Result: _encode_result,
     Heartbeat: _encode_heartbeat,
     PutPayload: _encode_put_payload,

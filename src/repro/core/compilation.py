@@ -46,6 +46,7 @@ from repro.core.program import SkeletalProgram
 from repro.exceptions import CompilationError
 from repro.grid.simulator import GridSimulator
 from repro.grid.topology import GridTopology
+from repro.metrics import MetricsRegistry
 from repro.monitor.monitor import ResourceMonitor
 from repro.utils.tracing import DEFAULT_MAX_EVENTS, JsonlTraceSink, Tracer
 
@@ -66,6 +67,7 @@ class CompiledProgram:
     tracer: Tracer
     backend: Optional[ExecutionBackend] = None
     owns_backend: bool = field(default=False, repr=False)
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -188,6 +190,13 @@ def _make_tracer(config) -> Tracer:
     return tracer
 
 
+def _make_metrics(config) -> Optional[MetricsRegistry]:
+    """The run's metrics registry, or None when metrics are disabled."""
+    if not config.metrics:
+        return None
+    return MetricsRegistry()
+
+
 def _link(
     program: SkeletalProgram,
     topology: GridTopology,
@@ -208,6 +217,19 @@ def _link(
             env.tracer = tracer
         except AttributeError:  # read-only backend attribute
             pass
+    # The metrics registry is adopted the same way: a caller-wired
+    # registry (a long-lived backend shared across runs) is respected,
+    # otherwise the run's own registry becomes the backend's sink.
+    metrics = _make_metrics(program.config)
+    if metrics is not None:
+        metrics.bind_clock(lambda: env.now)
+        if getattr(env, "metrics", None) is None:
+            try:
+                env.metrics = metrics
+            except AttributeError:  # read-only backend attribute
+                pass
+        else:
+            metrics = env.metrics
 
     pool = env.available_nodes(at_time)
     if not pool:
@@ -249,4 +271,5 @@ def _link(
         tracer=tracer,
         backend=env,
         owns_backend=owns_backend,
+        metrics=metrics,
     )

@@ -156,6 +156,19 @@ class AdaptiveEngine:
         self.recalibrations = 0
         self.round_index = 0
 
+    @property
+    def metrics(self):
+        """The backend's metrics registry (read per use — the compiled
+        program may adopt a registry onto the backend after this engine
+        was built), or None when metrics are disabled."""
+        return getattr(self.backend, "metrics", None)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Bump an engine-level counter when metrics are enabled."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
+
     # ------------------------------------------------------------------ setup
     def begin(self, calibration: CalibrationReport, start: float) -> ExecutionReport:
         """Arm the threshold from ``calibration`` and open the report."""
@@ -203,6 +216,9 @@ class AdaptiveEngine:
         self.threshold.observe(window.unit_times)
         decision = decide(breached, exec_cfg.adaptation, self.recalibrations,
                           exec_cfg.max_recalibrations)
+        self.count("adaptation.windows")
+        if breached:
+            self.count("adaptation.breaches")
 
         # The window-close event carries the observed-vs-threshold numbers
         # so a recorded trace shows *why* each round did (or did not)
@@ -225,9 +241,11 @@ class AdaptiveEngine:
         if decision.action is AdaptationAction.RECALIBRATE and has_pending:
             on_recalibrate()
             self.recalibrations += 1
+            self.count("adaptation.recalibrations")
         elif decision.action is AdaptationAction.RERANK and has_pending:
             on_rerank()
             self.recalibrations += 1
+            self.count("adaptation.reranks")
 
         nodes_after = list(nodes_now())
         if nodes_after != list(nodes_before):
@@ -318,4 +336,8 @@ class AdaptiveEngine:
             + [r.finished for r in report.results]
             + [rep.finished for rep in report.recalibration_reports]
         )
+        if report.results:
+            self.count("tasks.completed", len(report.results))
+        if report.lost_tasks:
+            self.count("tasks.lost", report.lost_tasks)
         return report

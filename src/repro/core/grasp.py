@@ -22,6 +22,8 @@ experiments can measure exactly what the paper's evaluation measured.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
@@ -88,6 +90,18 @@ class GraspResult:
         """The run's tracer (phase transitions, adaptation events, …)."""
         return self.compiled.tracer
 
+    @property
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """Final metrics snapshot of the run, or None when metrics are
+        disabled (``GraspConfig(metrics=False)``).
+
+        A fresh :meth:`~repro.metrics.MetricsRegistry.snapshot` per
+        access; the underlying registry is reachable as
+        ``result.compiled.metrics``.
+        """
+        registry = self.compiled.metrics
+        return registry.snapshot() if registry is not None else None
+
 
 class StreamingRun:
     """A GRASP run consumed result-by-result.
@@ -107,8 +121,10 @@ class StreamingRun:
     """
 
     def __init__(self, stream: Iterator[TaskResult],
-                 cleanup: Optional[Any] = None):
+                 cleanup: Optional[Any] = None,
+                 metrics: Optional[Any] = None):
         self._stream = stream
+        self._metrics = metrics
         # The backend exists before the generator first runs (compilation
         # is eager), but GC of a *never-started* generator skips its
         # finally blocks — so a dropped, never-iterated run would leak the
@@ -132,6 +148,16 @@ class StreamingRun:
             if self.result is None and stop.value is not None:
                 self.result = stop.value
             raise StopIteration from None
+
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """A live snapshot of the run's metrics, or None when disabled.
+
+        Safe to call at any point of the stream — the registry snapshots
+        without stopping the writers — so a consumer can watch counters
+        and latency percentiles move while results are still landing.
+        """
+        registry = self._metrics
+        return registry.snapshot() if registry is not None else None
 
     def close(self) -> None:
         """Abandon the run early, releasing internally created backends."""
@@ -252,6 +278,7 @@ class Grasp:
             self._stream(compiled, program, tasks, expected, timeline,
                          start_time),
             cleanup=cleanup,
+            metrics=compiled.metrics,
         )
 
     def _stream(self, compiled, program, tasks, expected, timeline,
@@ -267,6 +294,23 @@ class Grasp:
             # sinks so the JSONL file is complete the moment the stream
             # ends.  The tracer itself stays readable (result.trace).
             compiled.tracer.close()
+            self._dump_metrics(compiled)
+
+    def _dump_metrics(self, compiled) -> None:
+        """Dump the final snapshot when a metrics path is configured.
+
+        Like ``GRASP_TRACE``, the file is overwritten per run: a process
+        running several skeletons leaves the last run's snapshot behind.
+        """
+        registry = compiled.metrics
+        if registry is None:
+            return
+        path = self.config.metrics_path or os.environ.get("GRASP_METRICS")
+        if not path:
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     def _stream_compiled(self, compiled, program, tasks, expected, timeline,
                          start_time: float) -> Iterator[TaskResult]:

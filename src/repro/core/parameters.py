@@ -209,6 +209,16 @@ class GraspConfig:
         In-memory trace ring capacity; ``None`` uses the tracer default
         (:data:`~repro.utils.tracing.DEFAULT_MAX_EVENTS`).  Sinks always
         receive every event regardless of the ring bound.
+    metrics:
+        Whether the run aggregates counters/gauges/histograms into a
+        :class:`~repro.metrics.MetricsRegistry` (disable to strip the
+        aggregation overhead entirely; the trace knobs are independent).
+    metrics_path:
+        When set, the run dumps the registry's final snapshot as JSON to
+        this path (readable by ``python -m repro.metrics show`` and
+        ``python -m repro.trace regress``).  The ``GRASP_METRICS``
+        environment variable provides the same knob without touching
+        code; an explicit ``metrics_path`` wins over the environment.
     """
 
     calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
@@ -217,6 +227,8 @@ class GraspConfig:
     trace: bool = True
     trace_path: Optional[str] = None
     trace_max_events: Optional[int] = None
+    metrics: bool = True
+    metrics_path: Optional[str] = None
     name: str = "grasp"
 
     def __post_init__(self) -> None:

@@ -502,6 +502,7 @@ class PlanExecutor:
 
             for _ in range(min(window_size * chunk_size, len(pending))):
                 task = pending.popleft()
+                engine.count("tasks.dispatched")
                 handle = backend.dispatch_chain(
                     task, stages, master_node=self.master_node,
                     at_time=emit_time,
@@ -695,6 +696,7 @@ class PlanExecutor:
 
             for _ in range(min(window_size, len(tasks))):
                 task = tasks.popleft()
+                engine.count("tasks.dispatched")
                 try:
                     handle = backend.dispatch_chain(
                         task, stages, master_node=self.master_node,
@@ -784,6 +786,7 @@ class PlanExecutor:
     def _note_lost(self, report: ExecutionReport, count: int,
                    limit: int) -> None:
         report.lost_tasks += count
+        self.engine.count("tasks.requeued", count)
         self.tracer.record("task.requeue", "lost tasks re-enqueued",
                            count=count, total_lost=report.lost_tasks,
                            limit=limit)
@@ -810,6 +813,7 @@ class PlanExecutor:
     def _recover_pool(self, time: float) -> List[str]:
         """Rebuild the worker set from whatever pool nodes are still alive."""
         alive = self.engine.alive_pool(time)
+        self.engine.count("adaptation.failovers")
         self.tracer.record("adaptation.failover",
                            "rebuilt worker set after failures",
                            alive=list(alive))
@@ -832,6 +836,7 @@ class PlanExecutor:
         if not ready:
             return None
         node = self.scheduler.next_node(ready)
+        self.engine.count("tasks.dispatched", len(chunk))
         return backend.dispatch_chunk(
             chunk, node, execute_fn, master_node=self.master_node,
             at_time=ready[node], check_loss=True,
@@ -852,6 +857,7 @@ class PlanExecutor:
 
         Returns the time at which the stream may resume.
         """
+        self.engine.count("adaptation.remaps")
         migration_bytes = self.config.execution.migration_bytes
         resume = at_time
         if migration_bytes <= 0:

@@ -21,6 +21,7 @@ from repro.lint.rules.gc005_clocks import SimulatedClockRule
 from repro.lint.rules.gc006_async import EventLoopBlockingRule
 from repro.lint.rules.gc007_encode import EncodeBeforeSendRule
 from repro.lint.rules.gc008_decode import DecodeProgressRule
+from repro.lint.rules.gc009_metrics_clock import MetricsClockRule
 
 __all__ = ["Rule", "all_rules", "get_rule", "rule_table"]
 
@@ -33,6 +34,7 @@ _RULE_CLASSES = [
     EventLoopBlockingRule,
     EncodeBeforeSendRule,
     DecodeProgressRule,
+    MetricsClockRule,
 ]
 
 _REGISTRY: Dict[str, Rule] = {cls.id: cls() for cls in _RULE_CLASSES}

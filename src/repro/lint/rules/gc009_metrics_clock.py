@@ -1,0 +1,73 @@
+"""GC009: no raw wall-clock reads in metrics/ outside the clock shim."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+_CLOCK_FNS = {
+    "time",
+    "monotonic",
+    "perf_counter",
+    "time_ns",
+    "monotonic_ns",
+    "perf_counter_ns",
+}
+
+
+class MetricsClockRule(Rule):
+    id = "GC009"
+    summary = "no time.time()/perf_counter() in metrics/ outside clock.py"
+    rationale = (
+        "Metric snapshots carry the backend's (possibly virtual) run clock "
+        "plus one wall stamp from the dedicated shim; a raw clock read "
+        "anywhere else in the metrics layer mixes wall time into "
+        "virtual-time runs and makes snapshots irreproducible.  All "
+        "wall-clock access goes through repro.metrics.clock."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dir("metrics"):
+            return
+        if ctx.basename == "clock.py":
+            # The one sanctioned wall-clock shim.
+            return
+        module_aliases: Set[str] = set()
+        fn_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FNS:
+                        fn_aliases.add(alias.asname or alias.name)
+        if not module_aliases and not fn_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr in _CLOCK_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.value.id}.{func.attr}() in the metrics layer; "
+                    "wall-clock access belongs in repro.metrics.clock",
+                )
+            elif isinstance(func, ast.Name) and func.id in fn_aliases:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.id}() (imported from time) in the metrics "
+                    "layer; wall-clock access belongs in repro.metrics.clock",
+                )

@@ -1,0 +1,53 @@
+"""Aggregated runtime metrics for the GRASP runtime.
+
+The trace subsystem (:mod:`repro.trace`) records *what happened, in
+order*; this package aggregates *how much and how fast*: a lock-cheap
+:class:`MetricsRegistry` of counters, gauges and fixed-bucket histograms
+that every backend, the adaptive engine and the cluster layer write into,
+snapshot-able at any moment without stopping the writers.
+
+Three ways to read it:
+
+* programmatic — ``GraspResult.metrics`` / ``StreamingRun.metrics()``
+  snapshots, or any registry's :meth:`MetricsRegistry.snapshot`;
+* live — ``python -m repro.metrics status --connect HOST:PORT`` sends a
+  STATUS probe to a running :class:`~repro.cluster.ClusterCoordinator`;
+* offline — ``python -m repro.metrics show snapshot.json`` renders a
+  dumped snapshot, and ``python -m repro.trace regress`` turns a snapshot
+  (or trace) into a perf profile gated against a committed baseline.
+
+See :mod:`repro.metrics.hooks` for the dispatch metric taxonomy and the
+accounting invariant the conformance kit asserts.
+"""
+
+from repro.metrics.hooks import (
+    CHUNK_BUCKETS,
+    on_chunk,
+    on_issue,
+    on_lost,
+    on_resolve,
+)
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_MAX_SERIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series_key,
+)
+
+__all__ = [
+    "CHUNK_BUCKETS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_series_key",
+    "on_chunk",
+    "on_issue",
+    "on_lost",
+    "on_resolve",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.metrics`` — snapshot rendering and live STATUS probes."""
+
+import sys
+
+from repro.metrics.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,265 @@
+"""Render metrics snapshots and query live coordinators.
+
+Two subcommands:
+
+* ``show SNAPSHOT.json`` — render a dumped registry snapshot (the
+  :meth:`~repro.metrics.registry.MetricsRegistry.snapshot` shape, e.g. a
+  ``GRASP_METRICS`` dump) as a text table or JSON;
+* ``status --connect HOST:PORT`` — send a STATUS probe to a live
+  :class:`~repro.cluster.ClusterCoordinator` and render its reply.
+
+Exit codes follow the trace CLI convention: 0 on success, 2 on an
+unreadable input / unreachable coordinator / usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+from typing import Any, Dict, List, Optional
+
+__all__ = ["MetricsCliError", "load_snapshot", "main", "query_status"]
+
+_RECV_BYTES = 1 << 16
+
+
+class MetricsCliError(Exception):
+    """An unreadable snapshot or failed status query (CLI exit code 2)."""
+
+
+# --------------------------------------------------------------------- loading
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Parse one registry-snapshot JSON file.
+
+    Raises :class:`MetricsCliError` on a missing/unreadable file, invalid
+    JSON, or JSON that is not a snapshot object (no ``series`` list).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise MetricsCliError(f"cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise MetricsCliError(
+            f"{path}: not valid JSON ({exc.msg})"
+        ) from exc
+    if not isinstance(data, dict) or not isinstance(data.get("series"), list):
+        raise MetricsCliError(
+            f"{path}: not a metrics snapshot (no series list)"
+        )
+    return data
+
+
+# --------------------------------------------------------------- status query
+def _parse_address(address: str) -> tuple:
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise MetricsCliError(
+            f"--connect wants HOST:PORT, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise MetricsCliError(
+            f"--connect wants a numeric port, got {port!r}"
+        ) from exc
+
+
+def query_status(host: str, port: int, timeout: float = 5.0) -> Dict[str, Any]:
+    """Send one STATUS probe to a coordinator; return its snapshot dict.
+
+    Raises :class:`MetricsCliError` when the coordinator is unreachable,
+    does not answer within ``timeout``, or speaks a different protocol
+    (e.g. a same-version coordinator that predates STATUS drops the
+    connection with a protocol error).
+    """
+    from repro.cluster.protocol import FrameDecoder, Status, StatusReply, encode
+    from repro.exceptions import ProtocolError
+
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise MetricsCliError(
+            f"cannot connect to coordinator at {host}:{port} ({exc})"
+        ) from exc
+    try:
+        sock.sendall(encode(Status()))
+        decoder = FrameDecoder()
+        while True:
+            try:
+                data = sock.recv(_RECV_BYTES)
+            except socket.timeout as exc:
+                raise MetricsCliError(
+                    f"coordinator at {host}:{port} did not answer the "
+                    f"STATUS probe within {timeout:.1f}s"
+                ) from exc
+            if not data:
+                raise MetricsCliError(
+                    f"coordinator at {host}:{port} closed the connection "
+                    "without answering STATUS"
+                )
+            for message in decoder.feed(data):
+                if isinstance(message, StatusReply):
+                    return dict(message.snapshot)
+                raise MetricsCliError(
+                    f"coordinator answered STATUS with "
+                    f"{type(message).__name__}"
+                )
+    except ProtocolError as exc:
+        raise MetricsCliError(
+            f"protocol error talking to {host}:{port}: {exc}"
+        ) from exc
+    except OSError as exc:
+        raise MetricsCliError(
+            f"connection to {host}:{port} failed ({exc})"
+        ) from exc
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+
+# ------------------------------------------------------------------ rendering
+def _fmt(value: Any, precision: int = 4) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _render_snapshot_text(snapshot: Dict[str, Any], source: str) -> str:
+    meta = snapshot.get("meta") or {}
+    series = snapshot.get("series") or []
+    lines: List[str] = []
+    lines.append(f"metrics snapshot — {source}")
+    lines.append(f"  run time      {_fmt(meta.get('time'))}")
+    lines.append(f"  wall stamp    {_fmt(meta.get('wall'), precision=10)}")
+    lines.append(f"  series        {len(series)}"
+                 + (f"  (+{meta['folded_series']} folded)"
+                    if meta.get("folded_series") else ""))
+    counters = [s for s in series if s.get("type") == "counter"]
+    gauges = [s for s in series if s.get("type") == "gauge"]
+    histograms = [s for s in series if s.get("type") == "histogram"]
+
+    if counters or gauges:
+        lines.append("")
+        lines.append(f"  {'series':<52} {'type':<9} {'value':>12}")
+        for entry in counters + gauges:
+            lines.append(f"  {entry.get('key', ''):<52} "
+                         f"{entry.get('type', ''):<9} "
+                         f"{_fmt(entry.get('value')):>12}")
+    if histograms:
+        lines.append("")
+        lines.append(f"  {'histogram':<52} {'count':>7} {'p50':>10} "
+                     f"{'p95':>10} {'p99':>10} {'max':>10}")
+        for entry in histograms:
+            lines.append(f"  {entry.get('key', ''):<52} "
+                         f"{_fmt(entry.get('count')):>7} "
+                         f"{_fmt(entry.get('p50')):>10} "
+                         f"{_fmt(entry.get('p95')):>10} "
+                         f"{_fmt(entry.get('p99')):>10} "
+                         f"{_fmt(entry.get('max')):>10}")
+    return "\n".join(lines)
+
+
+def _render_status_text(status: Dict[str, Any], address: str) -> str:
+    lines: List[str] = []
+    lines.append(f"cluster status — {address}")
+    lines.append(f"  protocol      {_fmt(status.get('protocol'))}")
+    lines.append(f"  live workers  {_fmt(status.get('live_workers'))}")
+    lines.append(f"  pending       {_fmt(status.get('pending'))}")
+    lines.append(f"  results       {_fmt(status.get('results_ok'))} ok / "
+                 f"{_fmt(status.get('results_failed'))} failed")
+    workers = status.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append(f"  {'node':<18} {'host':<16} {'cpus':>4} {'load':>6} "
+                     f"{'pending':>8} {'beat age':>9} {'ok':>7} {'fail':>5}")
+        for worker in workers:
+            lines.append(
+                f"  {_fmt(worker.get('node')):<18} "
+                f"{_fmt(worker.get('host')):<16} "
+                f"{_fmt(worker.get('cpus')):>4} "
+                f"{_fmt(worker.get('load')):>6} "
+                f"{_fmt(worker.get('pending')):>8} "
+                f"{_fmt(worker.get('heartbeat_age'), precision=3):>9} "
+                f"{_fmt(worker.get('results_ok')):>7} "
+                f"{_fmt(worker.get('results_failed')):>5}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- entry point
+def _cmd_show(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(_render_snapshot_text(snapshot, args.snapshot))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    host, port = _parse_address(args.connect)
+    status = query_status(host, port, timeout=args.timeout)
+    if args.format == "json":
+        print(json.dumps(status, indent=2))
+    else:
+        print(_render_status_text(status, f"{host}:{port}"))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics",
+        description="Render GRASP metrics snapshots / query live clusters.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render a dumped registry snapshot")
+    show.add_argument("snapshot", help="path to a snapshot .json dump")
+    show.add_argument("--format", choices=("text", "json"), default="text")
+    show.set_defaults(func=_cmd_show)
+
+    status = sub.add_parser(
+        "status", help="query a live cluster coordinator")
+    status.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to probe")
+    status.add_argument("--timeout", type=float, default=5.0,
+                        help="probe timeout in seconds (default 5)")
+    status.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    status.set_defaults(func=_cmd_status)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code (0 ok, 2 error)."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:   # argparse: usage error (2) or --help (0)
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    try:
+        return args.func(args)
+    except MetricsCliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Same convention as the trace CLI: a closed pager pipe is a
+        # silent success, with stdout re-pointed so the shutdown flush
+        # stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":    # pragma: no cover - python -m repro.metrics.cli
+    sys.exit(main(sys.argv[1:]))

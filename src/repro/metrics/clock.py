@@ -1,0 +1,21 @@
+"""The metrics subsystem's *only* wall-clock access point.
+
+Metric values themselves are timestamped with the backend/tracer clock
+bound via :meth:`repro.metrics.registry.MetricsRegistry.bind_clock`, so
+simulated runs stay bit-identical; the wall-clock stamp on a snapshot
+(for humans correlating a dump with logs) is the single wall read the
+subsystem makes, and it lives here.  graspcheck rule GC009 forbids
+``time.time()``/``perf_counter()`` anywhere else under ``repro.metrics``
+— route new wall reads through this shim or they will not pass CI.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["wall_time"]
+
+
+def wall_time() -> float:
+    """Wall-clock seconds since the epoch (``time.time()``)."""
+    return _time.time()

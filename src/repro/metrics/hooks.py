@@ -1,0 +1,84 @@
+"""One-line instrumentation hooks for the dispatch hot path.
+
+Every wall-clock backend records the same three dispatch transitions the
+tracer already narrates — issue, resolve, lost — plus chunk sizes.  These
+helpers keep each backend's instrumentation to a single call per site,
+guard the ``metrics is None`` (metrics disabled) case centrally, and pin
+the metric-name taxonomy in one place:
+
+=============================  =========  ==================================
+metric                         type       labels
+=============================  =========  ==================================
+``dispatch.issued``            counter    ``backend``, ``node``
+``dispatch.resolved``          counter    ``backend``, ``node``
+``dispatch.failed``            counter    ``backend``, ``node``
+``dispatch.lost``              counter    ``backend``, ``node``
+``dispatch.in_flight``         gauge      ``backend``, ``node``
+``dispatch.latency``           histogram  ``backend``, ``node``
+``dispatch.chunk_size``        histogram  ``backend``
+=============================  =========  ==================================
+
+Counting granularity is *per dispatch*, not per task: a chunked process or
+cluster dispatch (k tasks, one round-trip) is one issue and one resolve,
+with its size recorded in ``dispatch.chunk_size``.  An issue is recorded
+only once a submission has actually been accepted — a submit that raises
+(closed backend, broken pool at dispatch) records nothing, so the
+accounting invariant (asserted by the backend-conformance kit) is exact:
+for every backend, once all handles have resolved,
+
+    ``issued == resolved + lost``
+
+and the ``dispatch.in_flight`` gauges all read zero.  ``failed`` counts
+resolves whose payload raised (a subset of ``resolved``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "on_chunk",
+    "on_issue",
+    "on_lost",
+    "on_resolve",
+]
+
+#: Chunk sizes are small integers; latency buckets would waste the range.
+CHUNK_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def on_issue(metrics: Optional[Any], backend: str, node: str) -> None:
+    """A dispatch left the master for ``node``."""
+    if metrics is None:
+        return
+    metrics.counter("dispatch.issued", backend=backend, node=node).inc()
+    metrics.gauge("dispatch.in_flight", backend=backend, node=node).inc()
+
+
+def on_resolve(metrics: Optional[Any], backend: str, node: str,
+               elapsed: float, ok: bool = True) -> None:
+    """A dispatch came back (successfully or with a payload error)."""
+    if metrics is None:
+        return
+    metrics.counter("dispatch.resolved", backend=backend, node=node).inc()
+    metrics.gauge("dispatch.in_flight", backend=backend, node=node).dec()
+    metrics.histogram("dispatch.latency", backend=backend,
+                      node=node).observe(elapsed)
+    if not ok:
+        metrics.counter("dispatch.failed", backend=backend, node=node).inc()
+
+
+def on_lost(metrics: Optional[Any], backend: str, node: str) -> None:
+    """The node died holding the dispatch; the work is gone."""
+    if metrics is None:
+        return
+    metrics.counter("dispatch.lost", backend=backend, node=node).inc()
+    metrics.gauge("dispatch.in_flight", backend=backend, node=node).dec()
+
+
+def on_chunk(metrics: Optional[Any], backend: str, size: int) -> None:
+    """A chunk dispatch of ``size`` tasks was issued."""
+    if metrics is None:
+        return
+    metrics.histogram("dispatch.chunk_size", buckets=CHUNK_BUCKETS,
+                      backend=backend).observe(size)

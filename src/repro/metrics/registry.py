@@ -1,0 +1,418 @@
+"""Aggregated runtime metrics: counters, gauges, histograms, one registry.
+
+The tracer (:mod:`repro.utils.tracing`) answers *what happened, in order*;
+this module answers *how much, how fast, right now*.  A
+:class:`MetricsRegistry` holds named instruments:
+
+* :class:`Counter` — monotonically increasing totals (tasks dispatched,
+  losses, recalibrations);
+* :class:`Gauge` — point-in-time levels that move both ways (in-flight
+  dispatches per node, live workers), including callback gauges evaluated
+  lazily at snapshot time (:meth:`MetricsRegistry.gauge_fn`);
+* :class:`Histogram` — fixed-bucket distributions with p50/p95/p99
+  summaries (dispatch→resolve latency, chunk sizes).
+
+Design constraints, in order of importance:
+
+* **Lock-cheap writers.**  Every mutation takes exactly one small
+  per-instrument lock (a :func:`~repro.sanitizers.locks.make_lock`, so
+  the lock-order sanitizer sees metrics sites too); instrument handles
+  are resolved once and cached by the instrumenting code where it
+  matters, and the resolve fast path is a single dict read.
+* **Snapshot without stopping writers.**  :meth:`MetricsRegistry.snapshot`
+  copies the series table under the registry lock, then reads each
+  instrument under its own lock — writers in other threads are never
+  blocked for the duration of the whole snapshot.
+* **Namespaced series.**  An instrument is identified by its metric name
+  plus a label set, rendered ``dispatch.latency{backend=process,node=n3}``.
+  Label values are stringified; the *set* of label combinations per
+  metric name is bounded by a cardinality guard — past
+  ``max_series_per_metric`` distinct label sets, further combinations
+  fold into one ``{overflow=true}`` series (counted in the snapshot's
+  ``meta.folded_series``) instead of growing memory without bound.
+* **Simulator-honest time.**  The registry never reads the wall clock on
+  the write path.  ``bind_clock`` attaches the backend/virtual clock
+  (exactly like ``Tracer.bind_clock``); the only wall read is the
+  human-facing stamp on a snapshot, routed through
+  :mod:`repro.metrics.clock` (enforced by graspcheck GC009).
+
+Histogram percentiles are computed from a bounded reservoir of the most
+recent ``reservoir`` observations (default 2048) via
+:func:`repro.utils.stats.percentile` — exact for runs that fit the
+reservoir, a recent-window estimate for longer ones; the fixed buckets
+always cover the full run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.metrics.clock import wall_time
+from repro.sanitizers.locks import make_lock
+from repro.utils.stats import percentile
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_series_key",
+]
+
+#: Cardinality guard: distinct label sets allowed per metric name before
+#: new combinations fold into the ``{overflow=true}`` series.  Sized for
+#: the runtime's real label spaces (backend × node on grids of tens of
+#: nodes), far below anything that could exhaust memory.
+DEFAULT_MAX_SERIES = 64
+
+#: Default histogram buckets (upper bounds, seconds): spans ~10us IPC
+#: round-trips to multi-second stage executions; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Observations retained for percentile summaries, per histogram.
+DEFAULT_RESERVOIR = 2048
+
+#: Label set that over-cardinality series fold into.
+_OVERFLOW_LABELS: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+_SeriesKey = Tuple[str, _LabelKey]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series_key(name: str, labels: _LabelKey) -> str:
+    """Render ``name{k=v,...}`` (bare ``name`` for an empty label set)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = make_lock("metrics.instrument")
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0; counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def read(self) -> Dict[str, Any]:
+        """This instrument's snapshot fragment."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A level that moves both ways."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = make_lock("metrics.instrument")
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def read(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class _CallbackGauge:
+    """A gauge whose value is a callable evaluated at snapshot time.
+
+    The callback runs outside any registry lock; an exception makes the
+    snapshot value ``None`` rather than poisoning the whole snapshot.
+    """
+
+    kind = "gauge"
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> Optional[float]:
+        try:
+            return float(self._fn())
+        except Exception:
+            return None
+
+    def read(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with bounded-reservoir percentiles."""
+
+    kind = "histogram"
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_min", "_max",
+                 "_reservoir")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                 reservoir: int = DEFAULT_RESERVOIR) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._lock = make_lock("metrics.instrument")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)     # trailing +Inf bucket
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._reservoir: Deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._reservoir.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile of the retained reservoir (None if empty)."""
+        with self._lock:
+            sample = list(self._reservoir)
+        if not sample:
+            return None
+        return percentile(sample, q)
+
+    def read(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = sum(counts)
+            observed = {"sum": self._sum, "min": self._min, "max": self._max}
+            sample = list(self._reservoir)
+        buckets: Dict[str, int] = {}
+        for bound, bucket_count in zip(self._bounds, counts):
+            buckets[repr(bound)] = bucket_count
+        buckets["+Inf"] = counts[-1]
+        summary: Dict[str, Any] = {
+            "count": total,
+            "sum": observed["sum"],
+            "min": observed["min"],
+            "max": observed["max"],
+            "buckets": buckets,
+        }
+        for q in (50, 95, 99):
+            summary[f"p{q}"] = percentile(sample, q) if sample else None
+        return summary
+
+
+class MetricsRegistry:
+    """Namespaced, thread-safe home of one run's instruments."""
+
+    def __init__(self, max_series_per_metric: int = DEFAULT_MAX_SERIES):
+        if max_series_per_metric < 1:
+            raise ValueError(
+                f"max_series_per_metric must be >= 1, "
+                f"got {max_series_per_metric}")
+        self._lock = make_lock("metrics.registry")
+        self._series: Dict[_SeriesKey, Any] = {}
+        # Label sets folded by the cardinality guard, mapped to the
+        # overflow series they landed in (keeps the resolve fast path a
+        # dict read even for folded series).
+        self._alias: Dict[_SeriesKey, _SeriesKey] = {}
+        self._per_metric: Dict[str, int] = {}
+        self._max_series = max_series_per_metric
+        self._folded = 0
+        self._clock: Optional[Callable[[], float]] = None
+
+    # ---------------------------------------------------------------- clock
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the virtual/backend time source stamped onto snapshots."""
+        self._clock = clock
+
+    # ----------------------------------------------------------- instruments
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._resolve(name, labels, Counter, "counter")
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge series ``name{labels}`` (created on first use)."""
+        return self._resolve(name, labels, Gauge, "gauge")
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 **labels: Any) -> None:
+        """Register a callback gauge evaluated lazily at snapshot time.
+
+        Re-registering the same series replaces the callback (a backend
+        re-adopting a registry must not raise).
+        """
+        instrument = self._resolve(name, labels, lambda: _CallbackGauge(fn),
+                                   "gauge")
+        if not isinstance(instrument, _CallbackGauge):
+            raise ValueError(
+                f"metric {name!r} is already a plain {instrument.kind}, "
+                "not a callback gauge")
+        instrument._fn = fn
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """The histogram series ``name{labels}`` (created on first use).
+
+        ``buckets`` only applies at creation; later resolutions of an
+        existing series return it unchanged.
+        """
+        return self._resolve(name, labels, lambda: Histogram(buckets),
+                             "histogram")
+
+    def _resolve(self, name: str, labels: Dict[str, Any],
+                 factory: Callable[[], Any], kind: str) -> Any:
+        label_key = _label_key(labels)
+        key = (name, label_key)
+        # Fast path: a plain dict read (atomic under the GIL).  The
+        # tables only ever grow and instruments are never replaced
+        # (callback gauges swap their *callable*, not the instrument),
+        # so a hit is always the live instrument.
+        instrument = self._series.get(key)
+        if instrument is None:
+            alias = self._alias.get(key)
+            if alias is not None:
+                instrument = self._series.get(alias)
+        if instrument is None:
+            with self._lock:
+                used = self._per_metric.get(name, 0)
+                if (key not in self._series and key not in self._alias
+                        and used >= self._max_series):
+                    # Cardinality guard: fold the new label set into the
+                    # shared overflow series instead of growing forever.
+                    self._alias[key] = (name, _OVERFLOW_LABELS)
+                    self._folded += 1
+                key = self._alias.get(key, key)
+                instrument = self._series.get(key)
+                if instrument is None:
+                    instrument = factory()
+                    self._series[key] = instrument
+                    self._per_metric[name] = used + 1
+        if instrument.kind != kind:
+            raise ValueError(
+                f"metric {format_series_key(*key)!r} is a "
+                f"{instrument.kind}, requested {kind}")
+        return instrument
+
+    # ---------------------------------------------------------------- reading
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge metric's values across all label sets.
+
+        Histograms contribute their observation *count*.  Unknown names
+        total 0.0.
+        """
+        with self._lock:
+            matching = [inst for (metric, _), inst in self._series.items()
+                        if metric == name]
+        total = 0.0
+        for instrument in matching:
+            if instrument.kind == "histogram":
+                total += instrument.count
+            else:
+                value = instrument.value
+                if value is not None:
+                    total += value
+        return total
+
+    def series_names(self) -> List[str]:
+        """Distinct metric names, sorted."""
+        with self._lock:
+            return sorted({name for name, _ in self._series})
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-friendly view of every series, writers unhindered.
+
+        The registry lock is held only to copy the series table; each
+        instrument is then read under its own lock, so a snapshot never
+        stalls concurrent writers for its full duration.
+        """
+        with self._lock:
+            items = list(self._series.items())
+            folded = self._folded
+        clock = self._clock
+        series: List[Dict[str, Any]] = []
+        for (name, label_key), instrument in sorted(
+                items, key=lambda item: (item[0][0], item[0][1])):
+            entry: Dict[str, Any] = {
+                "key": format_series_key(name, label_key),
+                "name": name,
+                "labels": dict(label_key),
+                "type": instrument.kind,
+            }
+            entry.update(instrument.read())
+            series.append(entry)
+        return {
+            "meta": {
+                "time": float(clock()) if clock is not None else None,
+                "wall": wall_time(),
+                "folded_series": folded,
+            },
+            "series": series,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)

@@ -9,12 +9,26 @@ back:
   utilization and loss counts, the adaptation-event table, cluster
   membership events (``--format json`` for machine consumption);
 * ``python -m repro.trace diff a.jsonl b.jsonl`` — makespan, tasks/sec
-  and adaptation/death counts of two runs side by side.
+  and adaptation/death counts of two runs side by side;
+* ``python -m repro.trace regress run.jsonl --baseline base.json`` —
+  compute the run's perf profile (makespan, tasks/sec, dispatch-latency
+  percentiles, loss/adaptation counts) from a trace *or* a dumped
+  metrics snapshot (``GRASP_METRICS=<path>``), gate it against a
+  committed baseline of per-key tolerances, and exit nonzero on a
+  regression (``--write-baseline`` seeds the baseline from a good run).
 
-Exit codes: ``0`` on success, ``2`` on usage errors, unreadable files or
-malformed trace lines.
+Exit codes: ``0`` on success, ``1`` when ``regress`` found a
+regression, ``2`` on usage errors, unreadable files or malformed trace
+lines.
 """
 
-from repro.trace.cli import load_events, main, summarize
+from repro.trace.cli import (
+    build_profile,
+    evaluate_baseline,
+    load_events,
+    main,
+    summarize,
+)
 
-__all__ = ["load_events", "main", "summarize"]
+__all__ = ["build_profile", "evaluate_baseline", "load_events", "main",
+           "summarize"]

@@ -12,9 +12,12 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["TraceCliError", "load_events", "main", "summarize"]
+from repro.utils.stats import percentile
+
+__all__ = ["TraceCliError", "build_profile", "evaluate_baseline",
+           "load_events", "main", "summarize"]
 
 
 class TraceCliError(Exception):
@@ -171,7 +174,10 @@ def summarize(events: List[Dict[str, Any]]) -> Dict[str, Any]:
 # ------------------------------------------------------------------ rendering
 def _fmt(value: Any, precision: int = 4) -> str:
     if value is None:
-        return "-"
+        # Zero-length and single-event traces have no spans/rates at
+        # all; every renderer funnels those through here as "n/a"
+        # rather than crashing or printing a bare dash.
+        return "n/a"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
@@ -205,7 +211,7 @@ def _render_report_text(summary: Dict[str, Any], path: str) -> str:
         for name in sorted(summary["nodes"]):
             row = summary["nodes"][name]
             util = (f"{row['utilization'] * 100:.0f}%"
-                    if row["utilization"] is not None else "-")
+                    if row["utilization"] is not None else "n/a")
             lines.append(f"  {name:<18} {row['dispatches']:>7} "
                          f"{row['resolved']:>9} {row['lost']:>5} "
                          f"{_fmt(row['busy']):>9} {util:>6}")
@@ -294,6 +300,201 @@ def _render_diff_text(diff: Dict[str, Any], path_a: str,
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------- regression gating
+#: Profile keys, their human labels, and the direction a regression moves
+#: (purely informational — the baseline spec decides what is checked).
+_PROFILE_KEYS = [
+    "tasks", "makespan", "wall_makespan", "tasks_per_sec",
+    "dispatches", "lost", "requeued", "breaches", "recalibrations",
+    "reranks", "latency_p50", "latency_p95", "latency_p99", "latency_max",
+]
+
+
+def profile_from_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The per-run perf profile computed from a JSONL trace."""
+    summary = summarize(events)
+    elapsed = [
+        float(event["data"]["elapsed"])
+        for event in events
+        if event.get("category") == "dispatch.resolve"
+        and (event.get("data") or {}).get("elapsed") is not None
+    ]
+    nodes = summary["nodes"].values()
+    adaptation = summary["adaptation"]
+    return {
+        "source": "trace",
+        "tasks": summary["tasks"],
+        "makespan": summary["makespan"],
+        "wall_makespan": summary["wall_makespan"],
+        "tasks_per_sec": summary["tasks_per_sec"],
+        "dispatches": sum(row["dispatches"] for row in nodes),
+        "lost": sum(row["lost"] for row in nodes),
+        "requeued": adaptation["requeued_tasks"],
+        "breaches": adaptation["breaches"],
+        "recalibrations": adaptation["recalibrations"],
+        "reranks": adaptation["reranks"],
+        "latency_p50": percentile(elapsed, 50) if elapsed else None,
+        "latency_p95": percentile(elapsed, 95) if elapsed else None,
+        "latency_p99": percentile(elapsed, 99) if elapsed else None,
+        "latency_max": max(elapsed) if elapsed else None,
+    }
+
+
+def profile_from_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-run perf profile computed from a metrics snapshot.
+
+    Counter totals sum exactly across label sets; latency percentiles of
+    several ``dispatch.latency`` series are folded as count-weighted
+    means (an approximation — per-series reservoirs cannot be re-merged
+    from a snapshot), which the generous gate tolerances absorb.
+    """
+    totals: Dict[str, float] = {}
+    latencies: List[Dict[str, Any]] = []
+    for entry in snapshot.get("series", []):
+        name = entry.get("name")
+        if entry.get("type") == "histogram":
+            if name == "dispatch.latency" and entry.get("count"):
+                latencies.append(entry)
+            continue
+        value = entry.get("value")
+        if value is not None:
+            totals[name] = totals.get(name, 0.0) + float(value)
+
+    def weighted(stat: str) -> Optional[float]:
+        pairs = [(entry[stat], entry["count"]) for entry in latencies
+                 if entry.get(stat) is not None]
+        if not pairs:
+            return None
+        weight = sum(count for _, count in pairs)
+        return sum(value * count for value, count in pairs) / weight
+
+    tasks = totals.get("tasks.completed") or None
+    makespan = (snapshot.get("meta") or {}).get("time")
+    maxima = [entry["max"] for entry in latencies
+              if entry.get("max") is not None]
+    return {
+        "source": "metrics",
+        "tasks": tasks,
+        "makespan": makespan,
+        "wall_makespan": None,
+        "tasks_per_sec": (tasks / makespan) if tasks and makespan else None,
+        "dispatches": totals.get("dispatch.issued", 0.0),
+        "lost": totals.get("dispatch.lost", 0.0),
+        "requeued": totals.get("tasks.requeued", 0.0),
+        "breaches": totals.get("adaptation.breaches", 0.0),
+        "recalibrations": totals.get("adaptation.recalibrations", 0.0),
+        "reranks": totals.get("adaptation.reranks", 0.0),
+        "latency_p50": weighted("p50"),
+        "latency_p95": weighted("p95"),
+        "latency_p99": weighted("p99"),
+        "latency_max": max(maxima) if maxima else None,
+    }
+
+
+def build_profile(path: str) -> Dict[str, Any]:
+    """The perf profile of one run file — trace JSONL or metrics snapshot.
+
+    A file that parses as a single JSON object with a ``series`` list is
+    a dumped :meth:`~repro.metrics.MetricsRegistry.snapshot`; anything
+    else is treated as a JSONL trace.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TraceCliError(f"cannot read {path!r}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and isinstance(document.get("series"), list):
+        return profile_from_snapshot(document)
+    return profile_from_events(load_events(path))
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Parse a committed baseline file (``{"keys": {name: spec}}``)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        raise TraceCliError(f"cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceCliError(f"{path}: not valid JSON ({exc.msg})") from exc
+    if not isinstance(baseline, dict) or not isinstance(
+            baseline.get("keys"), dict):
+        raise TraceCliError(f"{path}: not a baseline (no \"keys\" object)")
+    return baseline
+
+
+def _check_spec(value: Optional[float],
+                spec: Optional[Dict[str, Any]]) -> Tuple[str, str]:
+    """One profile value against one baseline spec → (status, detail).
+
+    Spec forms (combinable): ``{"expect": E, "tolerance": T}`` passes
+    when ``|value - E| <= T`` (``rel_tolerance`` scales T off E instead),
+    ``{"min": M}`` / ``{"max": M}`` bound the value.  A null spec, or a
+    profile value the run could not measure, is skipped — committed
+    baselines stay host-independent by nulling wall-time keys.
+    """
+    if spec is None:
+        return "skipped", "no constraint"
+    if value is None:
+        return "skipped", "not measured"
+    checks: List[str] = []
+    if "expect" in spec:
+        expect = float(spec["expect"])
+        tolerance = float(spec.get("tolerance", 0.0))
+        if "rel_tolerance" in spec:
+            tolerance = max(tolerance,
+                            abs(expect) * float(spec["rel_tolerance"]))
+        if abs(value - expect) > tolerance:
+            return "REGRESSION", (f"expected {expect:g} ± {tolerance:g}, "
+                                  f"got {value:g}")
+        checks.append(f"within {expect:g} ± {tolerance:g}")
+    if "min" in spec and value < float(spec["min"]):
+        return "REGRESSION", f">= {float(spec['min']):g} required, got {value:g}"
+    if "max" in spec and value > float(spec["max"]):
+        return "REGRESSION", f"<= {float(spec['max']):g} allowed, got {value:g}"
+    if "min" in spec:
+        checks.append(f">= {float(spec['min']):g}")
+    if "max" in spec:
+        checks.append(f"<= {float(spec['max']):g}")
+    if not checks:
+        return "skipped", "empty constraint"
+    return "ok", ", ".join(checks)
+
+
+def evaluate_baseline(profile: Dict[str, Any],
+                      baseline: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Check every baseline key against the profile; rows in key order."""
+    rows = []
+    for key, spec in baseline["keys"].items():
+        if spec is not None and not isinstance(spec, dict):
+            raise TraceCliError(
+                f"baseline key {key!r}: spec must be an object or null")
+        status, detail = _check_spec(profile.get(key), spec)
+        rows.append({"key": key, "value": profile.get(key),
+                     "status": status, "detail": detail})
+    return rows
+
+
+def _render_regress_text(rows: List[Dict[str, Any]], profile: Dict[str, Any],
+                         run_path: str, baseline_path: str) -> str:
+    lines = [f"perf regression gate — run: {run_path} "
+             f"({profile['source']})   baseline: {baseline_path}", ""]
+    lines.append(f"  {'key':<18} {'value':>12} {'status':<12} constraint")
+    for row in rows:
+        lines.append(f"  {row['key']:<18} {_fmt(row['value']):>12} "
+                     f"{row['status']:<12} {row['detail']}")
+    regressions = sum(1 for row in rows if row["status"] == "REGRESSION")
+    lines.append("")
+    lines.append(f"{regressions} regression(s), "
+                 f"{sum(1 for r in rows if r['status'] == 'ok')} ok, "
+                 f"{sum(1 for r in rows if r['status'] == 'skipped')} skipped")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------- entry point
 def _cmd_report(args: argparse.Namespace) -> int:
     summary = summarize(load_events(args.trace))
@@ -316,6 +517,36 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_regress(args: argparse.Namespace) -> int:
+    profile = build_profile(args.run)
+    if args.write_baseline:
+        # Seed a baseline from this run: exact counts become generous
+        # ±50% expectations, host-dependent timings are left null for
+        # hand-tuning.  Review before committing.
+        keys: Dict[str, Any] = {}
+        for key in _PROFILE_KEYS:
+            value = profile.get(key)
+            if value is None or key.startswith(("latency_", "wall")) \
+                    or key in ("makespan", "tasks_per_sec"):
+                keys[key] = None
+            else:
+                keys[key] = {"expect": value, "rel_tolerance": 0.5}
+        baseline = {"description": f"seeded from {args.run}", "keys": keys}
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+    rows = evaluate_baseline(profile, load_baseline(args.baseline))
+    regressed = any(row["status"] == "REGRESSION" for row in rows)
+    if args.format == "json":
+        print(json.dumps({"profile": profile, "checks": rows,
+                          "regressed": regressed}, indent=2))
+    else:
+        print(_render_regress_text(rows, profile, args.run, args.baseline))
+    return 1 if regressed else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.trace",
@@ -334,11 +565,29 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("trace_b", help="comparison run trace")
     diff.add_argument("--format", choices=("text", "json"), default="text")
     diff.set_defaults(func=_cmd_diff)
+
+    regress = sub.add_parser(
+        "regress",
+        help="gate a run's perf profile against a committed baseline")
+    regress.add_argument(
+        "run", help="a run's .jsonl trace or dumped metrics snapshot")
+    regress.add_argument("--baseline", required=True,
+                         help="baseline JSON with per-key constraints")
+    regress.add_argument("--write-baseline", action="store_true",
+                         help="seed the baseline file from this run "
+                              "instead of gating against it")
+    regress.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    regress.set_defaults(func=_cmd_regress)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the CLI; returns the process exit code (0 ok, 2 error)."""
+    """Run the CLI; returns the process exit code.
+
+    0 on success, 1 when ``regress`` found a regression, 2 on an
+    unreadable/malformed input or usage error.
+    """
     parser = _build_parser()
     try:
         args = parser.parse_args(argv)

@@ -25,6 +25,7 @@ __all__ = [
     "weighted_mean",
     "coefficient_of_variation",
     "normalise",
+    "percentile",
     "univariate_linear_regression",
     "multivariate_linear_regression",
 ]
@@ -138,6 +139,35 @@ def normalise(values: Sequence[float]) -> np.ndarray:
     if high == low:
         return np.zeros_like(arr)
     return (arr - low) / (high - low)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    ``q`` is on the ``[0, 100]`` scale.  The estimate follows the standard
+    ``linear`` method (NumPy's default): rank ``(n - 1) * q / 100`` with the
+    fractional part interpolated between the two nearest order statistics.
+    Shared by the metrics histogram summaries (p50/p95/p99) and the trace
+    regression-gate profile so both report identical numbers for identical
+    samples.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or ``q`` is outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 def univariate_linear_regression(

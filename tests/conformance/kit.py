@@ -27,6 +27,11 @@ Checked contract surface:
   never runs backwards past the clock by more than the pending work.
 * **Observation** — load in ``[0, 1)``, positive bandwidth, transfer
   records with a ``started <= finished`` extent.
+* **Metrics accounting** — an adopted
+  :class:`~repro.metrics.MetricsRegistry` receives a ``dispatch.latency``
+  observation per resolved dispatch and the issue/resolve/lost counters
+  balance (``issued == resolved + lost``) with the in-flight gauge back
+  at zero once every handle has resolved.
 * **Lifecycle** — ``close()`` is idempotent; the context-manager protocol
   closes; backends that reject post-close dispatch (``rejects_after_close``)
   do so with a :class:`~repro.exceptions.GraspError` subclass.
@@ -50,6 +55,7 @@ dataclass stage callables), so process-pool backends pass unmodified.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import pytest
@@ -63,6 +69,7 @@ from repro.backends.base import (
 )
 from repro.exceptions import GraspError
 from repro.grid.topology import GridBuilder, GridTopology
+from repro.metrics import MetricsRegistry
 from repro.skeletons.base import Task
 
 __all__ = ["BackendConformance", "conformance_grid"]
@@ -299,6 +306,37 @@ class BackendConformance:
         record = backend.transfer(nodes[0], nodes[-1], 1024,
                                   at_time=backend.now)
         assert record.finished >= record.started
+
+    # ----------------------------------------------------------- metrics
+    def test_metrics_dispatch_accounting_balances(self, backend):
+        registry = MetricsRegistry()
+        previous = backend.metrics
+        backend.metrics = registry
+        try:
+            nodes = self.alive_nodes(backend)
+            for index in range(4):
+                self.dispatch_one(backend, payload=index, task_id=70 + index)
+            chunk_tasks = [Task(task_id=80 + i, payload=i) for i in range(3)]
+            backend.dispatch_chunk(
+                chunk_tasks, nodes[-1], double_payload,
+                master_node=nodes[0], at_time=backend.now,
+            ).outcome()
+            # On concurrent backends outcome() can return before the
+            # future's done-callback has booked the resolve; give the
+            # callbacks a moment to drain.
+            deadline = time.monotonic() + 5.0
+            while (registry.total("dispatch.in_flight") != 0.0
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+        finally:
+            backend.metrics = previous
+        issued = registry.total("dispatch.issued")
+        resolved = registry.total("dispatch.resolved")
+        lost = registry.total("dispatch.lost")
+        assert issued > 0
+        assert issued == resolved + lost
+        assert registry.total("dispatch.latency") == resolved
+        assert registry.total("dispatch.in_flight") == 0.0
 
     # --------------------------------------------------------- lifecycle
     def test_close_is_idempotent(self, backend):

@@ -118,6 +118,7 @@ def test_cli_exit_codes(tmp_path):
     listing = subprocess.run(env_cmd + ["--list-rules"], capture_output=True, text=True)
     assert listing.returncode == 0
     assert "GC008" in listing.stdout
+    assert "GC009" in listing.stdout
 
 
 # ---------------------------------------------------------------------- GC001
@@ -430,6 +431,39 @@ def test_gc008_incremental_updates_inside_loop_are_clean():
         "        return out\n"
     )
     assert lint_source(good, path="src/repro/x.py") == []
+
+
+# ---------------------------------------------------------------------- GC009
+
+
+def test_gc009_fires_on_wall_clock_in_metrics():
+    bad = "import time\ndef stamp():\n    return time.time()\n"
+    assert ids_of(lint_as("src/repro/metrics/registry.py", bad)) == ["GC009"]
+
+
+def test_gc009_fires_on_aliased_and_from_imports():
+    bad = (
+        "import time as _t\n"
+        "from time import perf_counter as pc\n"
+        "def stamp():\n"
+        "    return _t.time() + pc()\n"
+    )
+    assert ids_of(lint_as("src/repro/metrics/x.py", bad)) == ["GC009", "GC009"]
+
+
+def test_gc009_clean_in_clock_shim():
+    ok = "import time\ndef wall_time():\n    return time.time()\n"
+    assert lint_as("src/repro/metrics/clock.py", ok) == []
+
+
+def test_gc009_clean_outside_metrics():
+    ok = "import time\ndef stamp():\n    return time.time()\n"
+    assert lint_as("src/repro/cluster/x.py", ok) == []
+
+
+def test_gc009_clean_without_clock_calls():
+    ok = "from repro.metrics.clock import wall_time\nstamp = wall_time()\n"
+    assert lint_as("src/repro/metrics/registry.py", ok) == []
 
 
 # ------------------------------------------------------------------- capstone

@@ -1,0 +1,307 @@
+"""The metrics subsystem: registry semantics, run wiring, and the CLI.
+
+Covers the :class:`~repro.metrics.MetricsRegistry` instrument contracts
+(monotonic counters, two-way gauges, histogram percentiles, the
+cardinality guard), snapshot shape, the ``GraspResult.metrics`` /
+``StreamingRun.metrics()`` surfaces, the ``GRASP_METRICS`` dump, and the
+``python -m repro.metrics`` CLI (snapshot rendering and the live STATUS
+probe).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Grasp, GraspConfig, GridBuilder, TaskFarm
+from repro.cluster import ClusterCoordinator
+from repro.metrics import (
+    DEFAULT_MAX_SERIES,
+    MetricsRegistry,
+    format_series_key,
+)
+from repro.metrics.cli import MetricsCliError, load_snapshot, main
+
+
+def _worker(x):
+    return x * 2
+
+
+def _grid():
+    return GridBuilder().heterogeneous(nodes=4, speed_spread=4.0).build(seed=3)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tasks.completed")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("tasks.completed").inc(-1)
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("dispatch.issued", node="n0").inc(2)
+        registry.counter("dispatch.issued", node="n1").inc(3)
+        assert registry.counter("dispatch.issued", node="n0").value == 2.0
+        assert registry.total("dispatch.issued") == 5.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("dispatch.in_flight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(6)
+        assert gauge.value == 1.0
+
+    def test_gauge_fn_evaluated_at_snapshot(self):
+        registry = MetricsRegistry()
+        level = {"value": 1}
+        registry.gauge_fn("cluster.live_workers",
+                          lambda: level["value"])
+        level["value"] = 7
+        (entry,) = registry.snapshot()["series"]
+        assert entry["value"] == 7.0
+
+    def test_gauge_fn_replaces_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("cluster.pending", lambda: 1)
+        registry.gauge_fn("cluster.pending", lambda: 2)
+        assert registry.total("cluster.pending") == 2.0
+
+    def test_gauge_fn_exception_reads_none(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("worker gone")
+
+        registry.gauge_fn("cluster.heartbeat_age", broken)
+        (entry,) = registry.snapshot()["series"]
+        assert entry["value"] is None
+        assert registry.total("cluster.heartbeat_age") == 0.0
+
+    def test_gauge_fn_over_plain_gauge_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("cluster.pending").set(1)
+        with pytest.raises(ValueError):
+            registry.gauge_fn("cluster.pending", lambda: 2)
+
+
+class TestHistogram:
+    def test_percentiles_and_extremes(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("dispatch.latency")
+        for value in range(1, 101):
+            histogram.observe(value / 100.0)
+        read = histogram.read()
+        assert read["count"] == 100
+        assert read["min"] == pytest.approx(0.01)
+        assert read["max"] == pytest.approx(1.0)
+        assert read["p50"] == pytest.approx(0.505, abs=0.01)
+        assert read["p95"] == pytest.approx(0.955, abs=0.01)
+        assert read["p99"] == pytest.approx(0.995, abs=0.01)
+
+    def test_buckets_cover_all_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("dispatch.chunk_size",
+                                       buckets=(1, 4, 16))
+        for value in (1, 2, 8, 100):
+            histogram.observe(value)
+        buckets = histogram.read()["buckets"]
+        assert sum(buckets.values()) == 4
+        assert buckets["+Inf"] == 1
+
+    def test_empty_histogram_reads_none_percentiles(self):
+        registry = MetricsRegistry()
+        read = registry.histogram("dispatch.latency").read()
+        assert read["count"] == 0
+        assert read["p50"] is None
+        assert read["min"] is None
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks.completed").inc()
+        with pytest.raises(ValueError):
+            registry.gauge("tasks.completed")
+
+    def test_cardinality_guard_folds_overflow(self):
+        registry = MetricsRegistry(max_series_per_metric=2)
+        for node in range(5):
+            registry.counter("dispatch.issued", node=f"n{node}").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["meta"]["folded_series"] == 3
+        keys = [s["key"] for s in snapshot["series"]]
+        assert "dispatch.issued{overflow=true}" in keys
+        assert len(keys) == 3
+        # Folded series still count toward the metric's total.
+        assert registry.total("dispatch.issued") == 5.0
+
+    def test_total_counts_histogram_observations(self):
+        registry = MetricsRegistry()
+        registry.histogram("dispatch.latency", backend="thread").observe(0.5)
+        registry.histogram("dispatch.latency", backend="process").observe(1.5)
+        assert registry.total("dispatch.latency") == 2.0
+        assert registry.total("no.such.metric") == 0.0
+
+    def test_snapshot_shape_and_bound_clock(self):
+        registry = MetricsRegistry()
+        registry.bind_clock(lambda: 42.5)
+        registry.counter("tasks.completed").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["meta"]["time"] == 42.5
+        assert snapshot["meta"]["wall"] > 0
+        (entry,) = snapshot["series"]
+        assert entry == {
+            "key": "tasks.completed",
+            "name": "tasks.completed",
+            "labels": {},
+            "type": "counter",
+            "value": 3.0,
+        }
+        # Snapshots must be JSON-serialisable as dumped.
+        json.dumps(snapshot)
+
+    def test_format_series_key(self):
+        assert format_series_key("x", ()) == "x"
+        assert format_series_key(
+            "dispatch.issued", (("backend", "thread"), ("node", "n1"))
+        ) == "dispatch.issued{backend=thread,node=n1}"
+
+    def test_invalid_max_series_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series_per_metric=0)
+
+    def test_default_guard_is_generous(self):
+        assert DEFAULT_MAX_SERIES >= 32
+
+
+class TestRunWiring:
+    def test_result_metrics_snapshot(self):
+        result = Grasp(skeleton=TaskFarm(worker=_worker),
+                       grid=_grid()).run(range(16))
+        snapshot = result.metrics
+        assert snapshot is not None
+        names = {entry["name"] for entry in snapshot["series"]}
+        assert "dispatch.issued" in names
+        assert "dispatch.latency" in names
+        assert "tasks.completed" in names
+        issued = sum(e["value"] for e in snapshot["series"]
+                     if e["name"] == "dispatch.issued")
+        resolved = sum(e["value"] for e in snapshot["series"]
+                       if e["name"] == "dispatch.resolved")
+        assert issued == resolved > 0
+
+    def test_metrics_disabled_returns_none(self):
+        config = GraspConfig(metrics=False)
+        result = Grasp(skeleton=TaskFarm(worker=_worker), grid=_grid(),
+                       config=config).run(range(8))
+        assert result.metrics is None
+
+    def test_streaming_metrics_live_snapshot(self):
+        run = Grasp(skeleton=TaskFarm(worker=_worker),
+                    grid=_grid()).as_completed(range(12))
+        collected = [outcome for outcome in run]
+        snapshot = run.metrics()
+        assert len(collected) == 12
+        assert snapshot is not None
+        assert any(entry["name"] == "dispatch.issued"
+                   for entry in snapshot["series"])
+
+    def test_grasp_metrics_env_dump(self, tmp_path, monkeypatch):
+        path = tmp_path / "metrics.json"
+        monkeypatch.setenv("GRASP_METRICS", str(path))
+        Grasp(skeleton=TaskFarm(worker=_worker), grid=_grid()).run(range(8))
+        dumped = json.loads(path.read_text())
+        assert isinstance(dumped["series"], list)
+        assert dumped["meta"]["wall"] > 0
+
+    def test_metrics_path_config_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GRASP_METRICS", str(tmp_path / "ignored.json"))
+        path = tmp_path / "explicit.json"
+        config = GraspConfig(metrics_path=str(path))
+        Grasp(skeleton=TaskFarm(worker=_worker), grid=_grid(),
+              config=config).run(range(8))
+        assert path.exists()
+        assert not (tmp_path / "ignored.json").exists()
+
+
+class TestCliShow:
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.bind_clock(lambda: 10.0)
+        registry.counter("dispatch.issued", backend="thread").inc(6)
+        registry.gauge("dispatch.in_flight", backend="thread").set(0)
+        for value in (0.01, 0.02, 0.04):
+            registry.histogram("dispatch.latency",
+                               backend="thread").observe(value)
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        return str(path)
+
+    def test_show_text(self, snapshot_path, capsys):
+        assert main(["show", snapshot_path]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "dispatch.issued{backend=thread}" in out
+        assert "histogram" in out
+
+    def test_show_json_round_trips(self, snapshot_path, capsys):
+        assert main(["show", snapshot_path, "--format", "json"]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded == load_snapshot(snapshot_path)
+
+    def test_missing_snapshot_exits_two(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_snapshot_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"keys": {}}')
+        assert main(["show", str(path)]) == 2
+        with pytest.raises(MetricsCliError):
+            load_snapshot(str(path))
+        capsys.readouterr()
+
+    def test_no_arguments_exits_two(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "status" in capsys.readouterr().out
+
+
+class TestCliStatus:
+    def test_status_probe_against_live_coordinator(self, capsys):
+        with ClusterCoordinator() as coordinator:
+            host, port = coordinator.address
+            assert main(["status", "--connect", f"{host}:{port}"]) == 0
+            text = capsys.readouterr().out
+            assert "cluster status" in text
+            assert "live workers" in text
+            assert main(["status", "--connect", f"{host}:{port}",
+                         "--format", "json"]) == 0
+            loaded = json.loads(capsys.readouterr().out)
+            assert loaded["live_workers"] == 0
+            assert "protocol" in loaded
+
+    def test_unreachable_coordinator_exits_two(self, capsys):
+        # Port 1 on localhost is essentially never listening.
+        assert main(["status", "--connect", "127.0.0.1:1",
+                     "--timeout", "0.5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_address_exits_two(self, capsys):
+        assert main(["status", "--connect", "not-an-address"]) == 2
+        capsys.readouterr()

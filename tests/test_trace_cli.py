@@ -117,3 +117,120 @@ class TestErrorHandling:
         assert main(["report", str(path)]) == 0
         assert main(["report", str(path), "--format", "json"]) == 0
         capsys.readouterr()
+
+
+class TestDegenerateTraces:
+    """Zero-length and single-event traces render n/a, never crash."""
+
+    def test_empty_trace_renders_na(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "-\n" not in out
+
+    def test_single_event_trace_renders_na(self, tmp_path, capsys):
+        path = tmp_path / "one.jsonl"
+        path.write_text(json.dumps(
+            {"category": "phase.programming", "seq": 0, "time": 0.0,
+             "message": "one event", "data": {"tasks": 0}}) + "\n")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan     n/a" in out
+        assert "tasks/sec    n/a" in out
+
+    def test_single_event_summary_has_no_spans(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        path.write_text('{"category": "dispatch.issue", "time": 1.5}\n')
+        summary = summarize(load_events(str(path)))
+        assert summary["makespan"] is None
+        assert summary["tasks_per_sec"] is None
+
+    def test_diff_of_degenerate_traces_renders_na(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        one = tmp_path / "one.jsonl"
+        one.write_text('{"category": "dispatch.issue", "time": 1.5}\n')
+        assert main(["diff", str(empty), str(one)]) == 0
+        assert "n/a" in capsys.readouterr().out
+
+
+class TestRegress:
+    def test_fresh_run_passes_seeded_baseline(self, traces, tmp_path,
+                                              capsys):
+        path_a, _ = traces
+        baseline = tmp_path / "baseline.json"
+        assert main(["regress", str(path_a), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["regress", str(path_a),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_degraded_profile_exits_one(self, traces, tmp_path, capsys):
+        path_a, _ = traces
+        baseline = tmp_path / "strict.json"
+        baseline.write_text(json.dumps({"keys": {
+            "tasks": {"max": 1},
+            "lost": {"max": 0},
+        }}))
+        assert main(["regress", str(path_a),
+                     "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_expect_tolerance_bounds(self, traces, tmp_path, capsys):
+        path_a, _ = traces
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"keys": {
+            "tasks": {"expect": 24, "tolerance": 0},
+            "makespan": {"min": 0},
+            "latency_p95": None,
+        }}))
+        assert main(["regress", str(path_a), "--baseline", str(good)]) == 0
+        capsys.readouterr()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"keys": {
+            "tasks": {"expect": 9000, "rel_tolerance": 0.01},
+        }}))
+        assert main(["regress", str(path_a), "--baseline", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_json_format_reports_regressed_flag(self, traces, tmp_path,
+                                                capsys):
+        path_a, _ = traces
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"keys": {"tasks": {"min": 1}}}))
+        assert main(["regress", str(path_a), "--baseline", str(baseline),
+                     "--format", "json"]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded["regressed"] is False
+        assert loaded["profile"]["source"] == "trace"
+        assert loaded["profile"]["tasks"] == 24
+
+    def test_metrics_snapshot_input(self, tmp_path, capsys):
+        grid = (GridBuilder().heterogeneous(nodes=4, speed_spread=4.0)
+                .build(seed=1))
+        snapshot_path = tmp_path / "metrics.json"
+        result = Grasp(skeleton=TaskFarm(worker=_worker), grid=grid)\
+            .run(range(24))
+        snapshot_path.write_text(json.dumps(result.metrics))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"keys": {
+            "dispatches": {"min": 1},
+            "lost": {"max": 0},
+        }}))
+        assert main(["regress", str(snapshot_path),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(metrics)" in out
+
+    def test_malformed_baseline_exits_two(self, traces, tmp_path, capsys):
+        path_a, _ = traces
+        baseline = tmp_path / "broken.json"
+        baseline.write_text("[]")
+        assert main(["regress", str(path_a),
+                     "--baseline", str(baseline)]) == 2
+        assert "error:" in capsys.readouterr().err

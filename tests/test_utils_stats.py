@@ -9,6 +9,7 @@ from repro.utils.stats import (
     coefficient_of_variation,
     multivariate_linear_regression,
     normalise,
+    percentile,
     summarise,
     univariate_linear_regression,
     weighted_mean,
@@ -152,3 +153,35 @@ class TestMultivariateRegression:
     def test_too_few_observations_raise(self):
         with pytest.raises(ValueError):
             multivariate_linear_regression([[1.0]], [1.0])
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)))
+
+    def test_median_of_even_sample_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_single_value_is_every_percentile(self):
+        for q in (0, 50, 100):
+            assert percentile([7.25], q) == 7.25
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 95) == percentile(
+            [1.0, 3.0, 5.0], 95)
+
+    def test_accepts_any_iterable(self):
+        assert percentile((x for x in range(11)), 50) == pytest.approx(5.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
