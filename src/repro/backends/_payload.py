@@ -248,6 +248,7 @@ class AnchoredHandle(DispatchHandle):
         self._backend = backend
         self._future = future
         self._received: Optional[float] = None
+        self._decoded: Optional[Tuple[Any]] = None
         self.node_id = node_id
         self.submitted = submitted
         self.master_free_after = submitted
@@ -255,6 +256,15 @@ class AnchoredHandle(DispatchHandle):
 
     def _mark_received(self, _future: Future) -> None:
         self._received = self._backend.now
+
+    def _value(self) -> Any:
+        """The reconstructed child result (cached: outcome() must stay
+        idempotent, but decoding a shared-memory envelope transfers
+        segment ownership and can only run once)."""
+        if self._decoded is None:
+            self._decoded = (
+                self._backend._reconstruct(self._future.result()),)
+        return self._decoded[0]
 
     def done(self) -> bool:
         return self._future.done()
@@ -265,7 +275,7 @@ class AnchoredHandle(DispatchHandle):
 
     def outcome(self) -> DispatchOutcome:
         try:
-            output, duration = self._future.result()
+            output, duration = self._value()
         except self.lost_exceptions:
             return self._backend._lost_outcome(self.node_id, self.submitted)
         return anchored_outcome(
@@ -288,7 +298,7 @@ class AnchoredChunkHandle(AnchoredHandle):
     def outcome(self) -> ChunkOutcome:
         backend = self._backend
         try:
-            pairs = self._future.result()
+            pairs = self._value()
         except self.lost_exceptions:
             lost = tuple(backend._lost_outcome(self.node_id, self.submitted)
                          for _ in self._tasks)

@@ -404,6 +404,28 @@ class ExecutionBackend:
         """Stream one item through a chain of stages (pipeline dispatch)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------- data plane
+    def _reconstruct(self, value: Any) -> Any:
+        """Decode a worker-returned raw value before the handle unpacks it.
+
+        The identity for in-process backends.  Backends whose data plane
+        can ship results out-of-band (shared-memory envelopes) override
+        this to reconstruct the real value; every result path — single
+        task, chunk, chain stage — funnels through it, so the decode rule
+        lives in exactly one place per backend.
+        """
+        return value
+
+    def dispatch_overhead(self) -> float:
+        """Measured fixed cost of one dispatch round-trip, in seconds.
+
+        ``chunk_size="auto"`` sizes chunks so per-task overhead stays a
+        small fraction of the calibrated task cost; backends that cannot
+        (or need not — the simulator charges transfers explicitly) measure
+        it return 0.0, which resolves to unchunked dispatch.
+        """
+        return 0.0
+
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Release backend resources (threads, processes); idempotent."""

@@ -41,6 +41,17 @@ crash) resolves its dispatches as *lost* instead of raising, and the node's
 pool is discarded so a fresh worker respawns on the next dispatch — the
 adaptive loop re-enqueues the task and routes around the incident, the same
 path a vanished grid node takes.
+
+**Shared-memory data plane.**  Arguments probing at or above
+``shm_threshold`` (default 64KiB; 0 disables) spill into ``grasp-*``
+POSIX shared-memory segments owned by the backend's
+:class:`~repro.backends.shm.BufferRegistry` and ship as descriptors; the
+worker borrows the segment and the parent releases it when the dispatch
+resolves — including the lost-task/broken-pool paths, which run the same
+done-callback.  Workers spill large *results* symmetrically
+(fire-and-forget segments) and the parent's :meth:`_reconstruct` takes
+ownership: attach, copy out, unlink.  Small values keep the classic
+inline path.  See :mod:`repro.backends.shm` for the lifecycle rules.
 """
 
 from __future__ import annotations
@@ -79,8 +90,17 @@ from repro.backends.base import (
     DispatchHandle,
     DispatchOutcome,
 )
+from repro.backends.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    BufferRegistry,
+    ShmEnvelope,
+    dumps_oob,
+    loads_oob,
+    probe_size,
+    run_oob,
+)
 from repro.exceptions import GridError
-from repro.metrics.hooks import on_chunk, on_issue, on_lost
+from repro.metrics.hooks import on_chunk, on_issue, on_lost, on_segments, on_ship
 from repro.grid.topology import GridTopology
 from repro.skeletons.base import Task
 
@@ -228,6 +248,14 @@ class ProcessBackend(LocalConcurrentBackend):
         pickled once and installed per worker process a single time, so
         per-dispatch IPC carries only task arguments (see module
         docstring).  False reverts to by-value payloads per dispatch.
+    shm_threshold:
+        Buffers/bodies at or above this many bytes travel via shared
+        memory instead of the worker pipe (see module docstring).
+        ``None`` (the default) means
+        :data:`~repro.backends.shm.DEFAULT_SHM_THRESHOLD`; ``0``
+        disables the shared-memory data plane entirely, restoring the
+        classic pipe path bit-identically.  Adopted from
+        ``ExecutionConfig.shm_threshold`` at link time when set there.
     """
 
     name = "process"
@@ -237,9 +265,15 @@ class ProcessBackend(LocalConcurrentBackend):
     def __init__(self, topology: Optional[GridTopology] = None,
                  workers: Optional[int] = None, tracer=None,
                  start_method: Optional[str] = None,
-                 payload_cache: bool = True):
+                 payload_cache: bool = True,
+                 shm_threshold: Optional[int] = None):
         super().__init__(topology=topology, workers=workers, tracer=tracer)
         self._payload_cache = bool(payload_cache)
+        #: Public and mutable on purpose: link-time config adoption sets
+        #: it the same way it adopts the tracer and metrics registry.
+        self.shm_threshold = (DEFAULT_SHM_THRESHOLD if shm_threshold is None
+                              else max(0, int(shm_threshold)))
+        self._shm = BufferRegistry()
         #: shared-part identity -> (token, preserialised blob); keys are
         #: id() tuples, so ``_shared_refs`` pins the objects alive.
         self._shared_payloads: Dict[tuple, Tuple[int, bytes]] = {}
@@ -349,7 +383,7 @@ class ProcessBackend(LocalConcurrentBackend):
         try:
             records: List[Tuple[str, float, float, float]] = []
             item_cost = 0.0
-            value, duration, cost = future0.result()
+            value, duration, cost = self._reconstruct(future0.result())
             records.append((node0, duration, cost, self.now - duration))
             item_cost += cost
             for stage in stages[1:]:
@@ -357,7 +391,7 @@ class ProcessBackend(LocalConcurrentBackend):
                 self._check_node(node)
                 current_node = node
                 future = self._submit_stage(node, stage, value)
-                value, duration, cost = future.result()
+                value, duration, cost = self._reconstruct(future.result())
                 records.append((node, duration, cost, self.now - duration))
                 item_cost += cost
             last_node, last_duration, _, last_started = records[-1]
@@ -389,30 +423,125 @@ class ProcessBackend(LocalConcurrentBackend):
         if self._payload_cache:
             runner = (run_shared_payload if kind == "task"
                       else run_shared_chunk)
+            ship = self._prepare_ship((work,))
             future = self._submit_shared(
                 node_id, ("farm", id(execute_fn), bool(collect)),
-                (execute_fn, collect), runner, (work,),
+                (execute_fn, collect), runner, ship,
             )
             if future is not None:
+                self._watch_segments(future, ship)
                 return future
+            self._drop_ship(ship)
         runner = run_payload if kind == "task" else run_chunk
-        return self._submit(node_id, runner, execute_fn, work, collect)
+        ship = self._prepare_ship((execute_fn, work, collect))
+        future = self._submit_plain(node_id, runner, ship)
+        self._watch_segments(future, ship)
+        return future
 
     def _submit_stage(self, node_id: str, stage: ChainStage,
                       value: Any) -> Future:
         """Submit one pipeline stage, through the payload cache when on."""
         if self._payload_cache:
+            ship = self._prepare_ship((value,))
             future = self._submit_shared(
                 node_id, ("stage", id(stage.cost), id(stage.apply)),
-                (stage.cost, stage.apply), run_shared_stage, (value,),
+                (stage.cost, stage.apply), run_shared_stage, ship,
             )
             if future is not None:
+                self._watch_segments(future, ship)
                 return future
-        return self._submit(node_id, run_stage, stage.cost, stage.apply,
-                            value)
+            self._drop_ship(ship)
+        ship = self._prepare_ship((stage.cost, stage.apply, value))
+        future = self._submit_plain(node_id, run_stage, ship)
+        self._watch_segments(future, ship)
+        return future
+
+    # ------------------------------------------------------------- data plane
+    _Ship = Tuple[Optional[tuple], Optional[ShmEnvelope], List[str]]
+
+    def _prepare_ship(self, args: tuple) -> "ProcessBackend._Ship":
+        """Spill one dispatch's per-task arguments when they probe large.
+
+        Returns ``(tail, envelope, segment_names)`` — either the classic
+        inline tail with no envelope, or ``tail=None`` with an envelope
+        over the spilled arguments plus the segment names this backend
+        now owns for them (released when the dispatch resolves).
+        """
+        threshold = self.shm_threshold
+        if threshold <= 0:
+            return args, None, []
+        estimate = probe_size(args)
+        if estimate < threshold:
+            on_ship(self.metrics, self.name, estimate, 0)
+            return args, None, []
+        try:
+            payload, names = dumps_oob(args, threshold=threshold,
+                                       registry=self._shm)
+        except Exception:
+            # Unpicklable arguments surface through the future on the
+            # classic inline path, exactly as they do without shm.
+            return args, None, []
+        on_ship(self.metrics, self.name, payload.inline_bytes,
+                payload.shm_bytes)
+        on_segments(self.metrics, self.name, len(self._shm))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.shm_ship",
+                          "arguments spilled to shared memory",
+                          backend=self.name, direction="args",
+                          segments=names, nbytes=payload.shm_bytes)
+        return None, ShmEnvelope(payload), names
+
+    def _watch_segments(self, future: Future,
+                        ship: "ProcessBackend._Ship") -> None:
+        """Release the dispatch's argument segments once it resolves.
+
+        Attached as a plain done-callback so every terminal path — result
+        received, payload raised, pool broken (worker died / respawn) —
+        releases the refs; lost dispatches cannot orphan segments.
+        """
+        names = ship[2]
+        if not names:
+            return
+
+        def _release(_future: Future) -> None:
+            self._shm.release_many(names)
+            on_segments(self.metrics, self.name, len(self._shm))
+
+        future.add_done_callback(_release)
+
+    def _drop_ship(self, ship: "ProcessBackend._Ship") -> None:
+        """Release a prepared ship that was never submitted (rare fallback)."""
+        if ship[2]:
+            self._shm.release_many(ship[2])
+
+    def _submit_plain(self, node_id: str, runner,
+                      ship: "ProcessBackend._Ship") -> Future:
+        """Submit a by-value job, through the shm trampoline when enabled."""
+        tail, envelope, _names = ship
+        if envelope is None and self.shm_threshold <= 0:
+            return self._submit(node_id, runner, *(tail or ()))
+        return self._submit(node_id, run_oob, runner, self.shm_threshold,
+                            (), tail, envelope)
+
+    def _reconstruct(self, value: Any) -> Any:
+        if not isinstance(value, ShmEnvelope):
+            return value
+        payload = value.payload
+        on_ship(self.metrics, self.name, payload.inline_bytes,
+                payload.shm_bytes)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("dispatch.shm_ship",
+                          "result received via shared memory",
+                          backend=self.name, direction="result",
+                          segments=payload.segment_names(),
+                          nbytes=payload.shm_bytes)
+        return loads_oob(payload, take=True)
 
     def _submit_shared(self, node_id: str, key: tuple, shared: tuple,
-                       runner, args: tuple) -> Optional[Future]:
+                       runner, ship: "ProcessBackend._Ship",
+                       ) -> Optional[Future]:
         """Submit a cached-shared-payload job; None = caller falls back.
 
         The install job and the referencing job are queued under one lock
@@ -449,7 +578,15 @@ class ProcessBackend(LocalConcurrentBackend):
                     install = executor.submit(store_shared, token, blob)
                     install.add_done_callback(_consume_install)
                     shipped.add(token)
-                future = executor.submit(runner, token, *args)
+                tail, envelope, _names = ship
+                if envelope is None and self.shm_threshold <= 0:
+                    future = executor.submit(runner, token, *(tail or ()))
+                else:
+                    # The trampoline lets the *worker* spill a large
+                    # result even when the arguments shipped inline.
+                    future = executor.submit(run_oob, runner,
+                                             self.shm_threshold, (token,),
+                                             tail, envelope)
             except BaseException:
                 self._pending[node_id] = max(0, self._pending[node_id] - 1)
                 raise
@@ -483,6 +620,13 @@ class ProcessBackend(LocalConcurrentBackend):
 
     def _make_executor(self, node_id: str) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=1, mp_context=self._context)
+
+    def close(self) -> None:
+        super().close()
+        # After the executors have drained: release callbacks for in-flight
+        # dispatches have run by now, so anything left is force-unlinked.
+        self._shm.close()
+        on_segments(self.metrics, self.name, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(nodes={len(self._pending)})"

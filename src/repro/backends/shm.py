@@ -1,0 +1,541 @@
+"""Zero-copy shared-memory data plane for large payloads and results.
+
+The control plane got fast in PR 6 (payload registry, binary frames); this
+module attacks the *data* plane.  Large task arguments and results no
+longer round-trip as inline pickles through a pipe or a TCP frame:
+:func:`dumps_oob` serialises with pickle protocol 5 and a
+``buffer_callback``, spills every out-of-band buffer at or above a
+threshold (default 64KiB) into one named POSIX shared-memory segment, and
+ships only ``(name, offset, length)`` descriptors inline.  The receiving
+process attaches the segment and reconstructs the object with
+``pickle.loads(..., buffers=...)`` straight over views of the mapping —
+one memcpy on the sending side and *zero* on the receiving side, instead
+of pickle-copy + two kernel pipe copies + unpickle-copy.  Reconstructed
+buffer consumers (numpy arrays) alias the mapping: it stays mapped —
+pinned, see :func:`_release_view_segment` — until the consumer's objects
+die, at which point a later sweep closes it.  Owned (``take=True``)
+segments are unlinked at attach time, so a pinned mapping never shows in
+``/dev/shm``; its memory cost equals what an eager copy would have paid.
+Because the *pickle body itself* is also spilled once it
+crosses the threshold, plain ``bytes``/``str`` results (which produce no
+protocol-5 out-of-band buffers) ride the segment too, which is what lifts
+the 64MiB frame ceiling on local cluster paths.
+
+Ownership and cleanup rules (the part that keeps ``/dev/shm`` clean):
+
+* **Argument segments** are created by the sender through a
+  :class:`BufferRegistry` and stay owned by the sender.  The consumer
+  *borrows* them (:func:`loads_oob` with ``take=False``: attach without
+  resource-tracker registration, reconstruct over views, close when the
+  views die).  The sender releases its segments when the dispatch
+  resolves — including the lost-task and broken-pool paths, which run
+  the same release callback; an owner unlink never invalidates a
+  borrower's still-open mapping.
+* **Result segments** are created by the worker without a registry
+  (fire-and-forget) and ownership transfers to the receiver:
+  :func:`loads_oob` with ``take=True`` attaches and *unlinks
+  immediately*, reconstructs over views, and closes the mapping once
+  the consumer's objects die.  The creator disowns its resource-tracker claim immediately
+  (see :func:`disown_segment`) — the unlink duty travels with the
+  envelope — so a worker's tracker can neither warn about nor prematurely
+  unlink a segment the parent/coordinator still reads.  A worker killed
+  *mid-task* has created no result segment yet, so worker death leaks
+  nothing; only a crash in the microseconds between segment creation and
+  result hand-off can strand one (cleared at latest by the backend's
+  ``close()`` leak sweep on the sender side or a ``/dev/shm`` janitor).
+
+Construction of ``multiprocessing.shared_memory.SharedMemory`` objects is
+confined to this module (enforced by graspcheck rule GC010) so the
+lifecycle rules above cannot be bypassed ad hoc.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import threading
+import uuid
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "DEFAULT_SHM_THRESHOLD",
+    "SEGMENT_PREFIX",
+    "BufferRegistry",
+    "SegmentRef",
+    "ShmEnvelope",
+    "ShmPayload",
+    "destroy_payload",
+    "disown_segment",
+    "dumps_oob",
+    "loads_oob",
+    "probe_size",
+    "run_oob",
+]
+
+#: Buffers (and pickle bodies) at or above this many bytes spill into a
+#: shared-memory segment; below it they ship inline, bit-identically to
+#: the classic path.  64KiB ~ where one extra memcpy beats pipe/TCP
+#: framing on current hardware; tune via ``ExecutionConfig.shm_threshold``.
+DEFAULT_SHM_THRESHOLD: int = 64 * 1024
+
+#: Every segment name starts with this prefix so leak checks (CI's
+#: ``/dev/shm`` scan) and operators can attribute segments to the runtime.
+SEGMENT_PREFIX: str = "grasp-"
+
+
+def _new_name() -> str:
+    return SEGMENT_PREFIX + uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """One contiguous region of a named shared-memory segment."""
+
+    name: str
+    length: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ShmPayload:
+    """A pickled object with its large parts spilled to shared memory.
+
+    ``body`` is the protocol-5 pickle body when it stayed under the
+    threshold, else ``b""`` with ``body_ref`` pointing at the spilled
+    body.  ``buffers`` holds the out-of-band buffers in pickle order —
+    inline ``bytes`` for small ones, :class:`SegmentRef` descriptors for
+    spilled ones.  The whole dataclass is small and cheap to pickle, so
+    it travels over the existing inline transports unchanged.
+    """
+
+    body: bytes
+    body_ref: Optional[SegmentRef] = None
+    buffers: Tuple[Union[bytes, SegmentRef], ...] = ()
+
+    def segment_names(self) -> List[str]:
+        """Distinct segment names referenced (creation order)."""
+        seen: Dict[str, None] = {}
+        if self.body_ref is not None:
+            seen.setdefault(self.body_ref.name, None)
+        for buf in self.buffers:
+            if isinstance(buf, SegmentRef):
+                seen.setdefault(buf.name, None)
+        return list(seen)
+
+    @property
+    def inline_bytes(self) -> int:
+        """Bytes that still travel inline (body + small buffers)."""
+        return len(self.body) + sum(
+            len(buf) for buf in self.buffers if isinstance(buf, bytes))
+
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes that travel via shared memory."""
+        total = 0 if self.body_ref is None else self.body_ref.length
+        return total + sum(
+            buf.length for buf in self.buffers if isinstance(buf, SegmentRef))
+
+
+@dataclass(frozen=True)
+class ShmEnvelope:
+    """Marker wrapper distinguishing a spilled payload from a real value.
+
+    Dispatch args and results wrapped in an envelope pass through the
+    existing transports (pipe pickles, v2 out-of-band frames) unchanged;
+    the receiving side unwraps with :func:`loads_oob`.  A value that is
+    *not* an envelope took the classic inline path.
+    """
+
+    payload: ShmPayload
+
+
+@dataclass
+class _Entry:
+    segment: SharedMemory
+    refs: int = 1
+
+
+class BufferRegistry:
+    """Refcounted owner of the shared-memory segments one process created.
+
+    Thread-safe.  ``create`` hands out a fresh ``grasp-*`` segment at one
+    reference; ``release`` drops a reference and closes + unlinks at
+    zero; ``disown`` forgets a segment whose ownership moved to another
+    process; ``close`` force-unlinks everything still held (backend
+    shutdown — nothing may leak past it).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+
+    def create(self, nbytes: int) -> SharedMemory:
+        """A new owned segment of ``nbytes`` bytes (refcount 1)."""
+        if nbytes <= 0:
+            raise ValueError(f"segment size must be positive, got {nbytes}")
+        segment = SharedMemory(name=_new_name(), create=True, size=nbytes)
+        with self._lock:
+            self._entries[segment.name] = _Entry(segment)
+        return segment
+
+    def retain(self, name: str) -> None:
+        """Add a reference to an owned segment."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                entry.refs += 1
+
+    def release(self, name: str) -> None:
+        """Drop a reference; close + unlink when it hits zero."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.refs > 0:
+                return
+            del self._entries[name]
+        _destroy(entry.segment)
+
+    def release_many(self, names: List[str]) -> None:
+        for name in names:
+            self.release(name)
+
+    def disown(self, name: str) -> Optional[SharedMemory]:
+        """Forget ``name`` without unlinking (ownership transferred)."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            return None
+        entry.segment.close()
+        return entry.segment
+
+    def close(self) -> None:
+        """Unlink every segment still owned; idempotent."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            _destroy(entry.segment)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+
+def _destroy(segment: SharedMemory) -> None:
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        # A take-ownership consumer already unlinked it; the tracker
+        # entry (if any) is gone with the name, nothing left to do.
+        pass
+
+
+def disown_segment(name: str) -> None:
+    """Drop ``name`` from this process's resource tracker.
+
+    Called right after creating a fire-and-forget segment: ownership of
+    the segment (and with it the unlink duty) travels to whoever
+    reconstructs the payload, so the creator's tracker must not warn
+    about — or, when trackers are shared across the process tree, even
+    unlink — a segment someone else still reads.  The tracker keys
+    segments by their raw slash-prefixed POSIX name.
+    """
+    try:
+        resource_tracker.unregister("/" + name if not name.startswith("/") else name,
+                                    "shared_memory")
+    except (KeyError, ValueError):  # pragma: no cover - tracker internals
+        pass
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _register_noop(name: str, rtype: str) -> None:
+    """Stand-in for ``resource_tracker.register`` during a borrow attach."""
+
+
+def _attach(name: str, take: bool) -> SharedMemory:
+    """Attach to an existing segment.
+
+    ``take=True`` keeps the default resource-tracker registration: the
+    caller will ``unlink()`` right after copying out, which unregisters
+    again — balanced, and crash-safe in between.  ``take=False``
+    borrows: the attach must leave *no* tracker registration behind
+    (``track=False`` on Python 3.13+).  On older Pythons attaching
+    registers unconditionally and the tracker's cache is a plain set
+    shared by the whole process tree, so registering and unregistering
+    after the fact would erase the owner's claim; instead the
+    registration call is suppressed for the duration of the attach
+    (under a lock — the suppression is process-local and brief).
+    """
+    if take:
+        return SharedMemory(name=name)
+    try:
+        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = _register_noop  # type: ignore[assignment]
+        try:
+            return SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
+
+
+def _raw_view(buffer: pickle.PickleBuffer) -> memoryview:
+    """A flat bytes-format view of an out-of-band buffer."""
+    try:
+        return buffer.raw()
+    except BufferError:
+        # Non-contiguous exporter (rare: pickle5 consumers are expected
+        # to hand over contiguous memory); fall back to a flat copy.
+        return memoryview(memoryview(buffer).tobytes())
+
+
+def dumps_oob(
+    obj: Any,
+    *,
+    threshold: int = DEFAULT_SHM_THRESHOLD,
+    registry: Optional[BufferRegistry] = None,
+) -> Tuple[ShmPayload, List[str]]:
+    """Pickle ``obj``, spilling large parts into one shared segment.
+
+    Returns ``(payload, segment_names)``.  All spilled buffers of the
+    payload pack into a single segment at consecutive offsets, so
+    ``segment_names`` is ``[]`` (nothing crossed the threshold — the
+    payload is purely inline) or one name.  With a ``registry`` the
+    segment is owned/refcounted there (sender side); without one it is
+    fire-and-forget (worker results — the receiver takes ownership).
+    """
+    if threshold < 1:
+        raise ValueError(f"shm threshold must be >= 1, got {threshold}")
+    raw: List[pickle.PickleBuffer] = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=raw.append)
+    views = [_raw_view(buffer) for buffer in raw]
+    spill_body = len(body) >= threshold
+    total = (len(body) if spill_body else 0) + sum(
+        view.nbytes for view in views if view.nbytes >= threshold)
+    if total == 0:
+        return ShmPayload(body=body,
+                          buffers=tuple(view.tobytes() for view in views)), []
+    if registry is not None:
+        segment = registry.create(total)
+    else:
+        segment = SharedMemory(name=_new_name(), create=True, size=total)
+    offset = 0
+    buffers: List[Union[bytes, SegmentRef]] = []
+    for view in views:
+        if view.nbytes >= threshold:
+            segment.buf[offset:offset + view.nbytes] = view
+            buffers.append(SegmentRef(segment.name, view.nbytes, offset))
+            offset += view.nbytes
+        else:
+            buffers.append(view.tobytes())
+    body_ref: Optional[SegmentRef] = None
+    if spill_body:
+        segment.buf[offset:offset + len(body)] = body
+        body_ref = SegmentRef(segment.name, len(body), offset)
+        body = b""
+    if registry is None:
+        # Fire-and-forget: ownership — including the unlink duty — travels
+        # with the returned payload, so drop both this process's mapping
+        # and its resource-tracker claim (a stale claim makes the tracker
+        # warn about, or on another tracker even unlink, a segment the
+        # receiver still reads).  The cost is a tiny crash window between
+        # here and the result send where nobody would clean the segment.
+        segment.close()
+        disown_segment(segment.name)
+    return ShmPayload(body=body, body_ref=body_ref,
+                      buffers=tuple(buffers)), [segment.name]
+
+
+#: Mappings whose close raised ``BufferError`` because reconstructed
+#: objects (numpy arrays) still view them.  ``/dev/shm`` is already
+#: clean — owned segments unlink at attach — so a pinned mapping costs
+#: exactly the memory an eager copy would have; later sweeps retry the
+#: close once the consumer's objects die.
+_PINNED: List[SharedMemory] = []
+_PINNED_LOCK = threading.Lock()
+
+
+def _sweep_pinned() -> None:
+    """Retry closing pinned mappings whose last views have died."""
+    with _PINNED_LOCK:
+        if not _PINNED:
+            return
+        pinned, _PINNED[:] = _PINNED[:], []
+    survivors = []
+    for segment in pinned:
+        try:
+            segment.close()
+        except BufferError:
+            survivors.append(segment)
+    if survivors:
+        with _PINNED_LOCK:
+            _PINNED.extend(survivors)
+
+
+def _release_view_segment(segment: SharedMemory) -> None:
+    """Close a mapping now, or pin it until its exported views die."""
+    try:
+        segment.close()
+    except BufferError:
+        with _PINNED_LOCK:
+            _PINNED.append(segment)
+
+
+def _loads_views(
+    payload: ShmPayload, *, take: bool,
+) -> Tuple[Any, List[SharedMemory]]:
+    """Reconstruct over direct segment views; caller releases the mappings.
+
+    Returns ``(obj, segments)``.  With ``take=True`` the segments are
+    unlinked at attach (ownership transferred — balanced against the
+    attach's tracker registration), with ``take=False`` they stay linked
+    for their owner.  Either way the mappings in ``segments`` are still
+    open: buffer consumers inside ``obj`` alias them, so the caller must
+    hand each one to :func:`_release_view_segment` once it no longer
+    guarantees the views' validity.
+    """
+    segments: Dict[str, SharedMemory] = {}
+
+    def fetch(ref: SegmentRef) -> memoryview:
+        segment = segments.get(ref.name)
+        if segment is None:
+            segment = _attach(ref.name, take)
+            if take:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+            segments[ref.name] = segment
+        return segment.buf[ref.offset:ref.offset + ref.length]
+
+    body = (payload.body if payload.body_ref is None
+            else fetch(payload.body_ref))
+    buffers = [buffer if isinstance(buffer, bytes) else fetch(buffer)
+               for buffer in payload.buffers]
+    obj = pickle.loads(body, buffers=buffers)
+    return obj, list(segments.values())
+
+
+def loads_oob(payload: ShmPayload, *, take: bool) -> Any:
+    """Reconstruct the object of a :class:`ShmPayload`, zero-copy.
+
+    Referenced regions are handed to ``pickle.loads`` as direct views of
+    the attached mapping: plain ``bytes``/``str`` parts materialise as
+    private objects during the load, while buffer consumers (numpy
+    arrays) come back as *writable views over the mapping* and keep it
+    open until they die (the mapping is pinned and closed by a later
+    sweep — see :func:`_sweep_pinned`).  ``take=True`` transfers
+    ownership to this process and unlinks the segment at attach time
+    (results); ``take=False`` borrows segments someone else still owns
+    (arguments) — an owner release never invalidates the borrow, because
+    a POSIX unlink leaves open mappings intact.
+    """
+    _sweep_pinned()
+    obj, segments = _loads_views(payload, take=take)
+    for segment in segments:
+        _release_view_segment(segment)
+    return obj
+
+
+def destroy_payload(payload: ShmPayload) -> None:
+    """Unlink the segments of a payload whose hand-off failed.
+
+    A fire-and-forget payload whose envelope never reached the receiver
+    (result send failed, coordinator gone) has nobody left to take
+    ownership — the creator must reclaim the unlink duty or the segment
+    outlives the run in ``/dev/shm``.  Idempotent; missing segments are
+    fine (the receiver got it after all).
+    """
+    for name in payload.segment_names():
+        try:
+            # take=True attach: registration balances unlink's unregister.
+            _destroy(_attach(name, take=True))
+        except FileNotFoundError:
+            pass
+
+
+def probe_size(obj: Any, depth: int = 4) -> int:
+    """Cheap recursive lower bound on the serialised size of ``obj``.
+
+    Used as a quick gate before paying for a protocol-5 pickle: objects
+    probing under the threshold keep the classic inline path with zero
+    extra serialisation work.  Depth-limited; containers and
+    ``payload``-carrying objects (tasks — ``sys.getsizeof`` on a task
+    excludes its payload) recurse, everything else trusts
+    ``sys.getsizeof`` (owning numpy arrays report their data buffer;
+    views under-report, which only costs them the fast path, never
+    correctness).
+    """
+    size = sys.getsizeof(obj, 64)
+    if depth <= 0:
+        return size
+    payload = getattr(obj, "payload", None)
+    if payload is not None:
+        size += probe_size(payload, depth - 1)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            size += probe_size(key, depth - 1) + probe_size(value, depth - 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += probe_size(item, depth - 1)
+    return size
+
+
+def run_oob(
+    runner: Callable[..., Any],
+    threshold: int,
+    head: Tuple[Any, ...],
+    tail: Optional[Tuple[Any, ...]],
+    envelope: Optional[ShmEnvelope],
+) -> Any:
+    """Worker-side trampoline: unwrap spilled args, spill a big result.
+
+    ``runner(*head, *tail)`` is the classic child runner call; when the
+    sender spilled the tail it arrives as ``envelope`` instead and is
+    reconstructed here zero-copy (borrowed — the runner sees writable
+    views of the sender's segments, valid for the task's duration; the
+    sender releases the segments when the dispatch resolves).  A result
+    probing at or above ``threshold`` is spilled into a fresh
+    fire-and-forget segment and returned as a :class:`ShmEnvelope`;
+    ownership transfers to whoever reconstructs it (the backend's
+    ``_reconstruct`` hook).  Either way the result is fully materialised
+    — spilling copies every referenced buffer, and a small result that
+    might alias a borrowed view is forced through a pickle round-trip —
+    before the borrowed mappings are released.
+    """
+    _sweep_pinned()
+    borrowed: List[SharedMemory] = []
+    if envelope is not None:
+        args, borrowed = _loads_views(envelope.payload, take=False)
+        tail = tuple(args)
+        del args
+    try:
+        result = runner(*head, *(tail or ()))
+        if probe_size(result) >= threshold:
+            payload, _names = dumps_oob(result, threshold=threshold,
+                                        registry=None)
+            return ShmEnvelope(payload)
+        if borrowed:
+            # A small result can be (or contain) a view of a borrowed
+            # segment; detach it from the mapping before release.
+            result = pickle.loads(pickle.dumps(result, protocol=5))
+        return result
+    finally:
+        tail = None
+        for segment in borrowed:
+            _release_view_segment(segment)

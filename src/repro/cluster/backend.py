@@ -56,7 +56,13 @@ from repro.cluster.coordinator import ClusterCoordinator, WorkerLost
 from repro.cluster.local import LocalCluster
 from repro.cluster.protocol import dumps_payload
 from repro.exceptions import ClusterError, ConfigurationError, GridError
-from repro.metrics.hooks import on_chunk, on_issue, on_lost, on_resolve
+from repro.metrics.hooks import (
+    on_chunk,
+    on_issue,
+    on_lost,
+    on_resolve,
+    on_ship,
+)
 from repro.sanitizers.locks import make_lock
 from repro.grid.node import GridNode
 from repro.grid.topology import GridTopology
@@ -69,6 +75,16 @@ _LAN_BANDWIDTH = 1e8
 
 #: Last-resort duration estimate before *any* dispatch has completed.
 _MIN_DURATION_ESTIMATE = 1e-6
+
+
+def _probe_cost(value: Any) -> float:
+    """Zero-cost stage function for the dispatch-overhead probe."""
+    return 0.0
+
+
+def _probe_apply(value: Any) -> Any:
+    """Identity stage function for the dispatch-overhead probe."""
+    return value
 
 
 def _topology_from_workers(coordinator: ClusterCoordinator) -> GridTopology:
@@ -153,6 +169,7 @@ class ClusterBackend(ExecutionBackend):
         self._avg_duration: Dict[str, float] = \
             {n: 0.0 for n in self._topology.node_ids}
         self._seed_duration = 0.0
+        self._overhead: Optional[float] = None
         self._closed = False
         self.tracer = tracer
         self._metrics = None
@@ -235,6 +252,10 @@ class ClusterBackend(ExecutionBackend):
         registry.gauge_fn(
             "cluster.results_failed",
             lambda: coordinator.status_snapshot()["results_failed"])
+        # Coordinator-owned argument segments of the shared-memory data
+        # plane; must drain to zero as dispatches resolve.
+        registry.gauge_fn("transport.shm_segments",
+                          coordinator.shm_segment_count)
 
     def available_nodes(self, time: float) -> List[str]:
         """Topology nodes that have a live worker agent right now.
@@ -268,6 +289,37 @@ class ClusterBackend(ExecutionBackend):
         self._check_node(src)
         self._check_node(dst)
         return _LAN_BANDWIDTH
+
+    def dispatch_overhead(self) -> float:
+        """Measured fixed cost of one coordinator round-trip, in seconds.
+
+        Min of a few no-op stage dispatches to the first live agent,
+        measured once and cached — the value feeds ``chunk_size="auto"``
+        and is deliberately sent through the legacy by-value path so the
+        probes never touch the run's payload registry.
+        """
+        with self._lock:
+            if self._overhead is not None:
+                return self._overhead
+        nodes = self.available_nodes(self.now)
+        if not nodes:
+            return 0.0
+        samples = []
+        try:
+            for _ in range(5):
+                started = _time.perf_counter()
+                self._coordinator.submit(
+                    nodes[0], "stage", (_probe_cost, _probe_apply, None)
+                ).result(timeout=30.0)
+                samples.append(_time.perf_counter() - started)
+        except Exception:
+            # A dying worker mid-probe: report what we have (or nothing).
+            pass
+        overhead = min(samples) if samples else 0.0
+        with self._lock:
+            if self._overhead is None:
+                self._overhead = overhead
+            return self._overhead
 
     # -------------------------------------------------------------- transfers
     def transfer(self, src: str, dst: str, nbytes: float,
@@ -430,6 +482,11 @@ class ClusterBackend(ExecutionBackend):
         tracer = self.tracer
         if tracer is not None:
             tracer.record(category, message, **data)
+        if category == "dispatch.shm_ship":
+            # The coordinator counted the payload's exact inline/shm byte
+            # split as it crossed the data plane.
+            on_ship(self._metrics, self.name,
+                    int(data.get("inline", 0)), int(data.get("shm", 0)))
 
     def _submit(self, node_id: str, kind: str, payload: tuple) -> Future:
         with self._lock:

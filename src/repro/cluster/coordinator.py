@@ -41,6 +41,13 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.backends.shm import (
+    BufferRegistry,
+    ShmEnvelope,
+    dumps_oob,
+    loads_oob,
+    probe_size,
+)
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
     Dispatch,
@@ -105,6 +112,13 @@ class _WorkerConn:
         self.last_beat = _time.monotonic()
         self.load = 0.0
         self.alive = True
+        #: Negotiated at registration: this agent advertised the
+        #: shared-memory data plane and the coordinator enables it.
+        self.shm = False
+        #: request_id -> names of the coordinator-owned argument segments
+        #: shipped with that request; guarded by the coordinator lock,
+        #: released when the request resolves or the worker dies.
+        self.segments: Dict[int, List[str]] = {}
         #: Result tallies for this incarnation, guarded by the coordinator
         #: lock.  Piggybacked observability: counted where results already
         #: cross the coordinator, so workers need no extra frames.
@@ -151,15 +165,25 @@ class ClusterCoordinator:
         Seconds of heartbeat silence after which a connected-but-mute
         worker is declared dead.  Socket-level disconnects (including a
         SIGKILLed worker's) are detected immediately, independent of this.
+    shm_threshold:
+        Dispatch arguments probing at or above this many bytes are
+        spilled into a shared-memory segment (descriptor on the wire)
+        for connections that negotiated the capability at registration
+        (see :class:`~repro.cluster.protocol.Hello`); result envelopes
+        from such workers are reconstructed here.  ``0`` (the default)
+        keeps every payload inline.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 heartbeat_timeout: float = 10.0):
+                 heartbeat_timeout: float = 10.0, shm_threshold: int = 0):
         if heartbeat_timeout <= 0:
             raise ClusterError(
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
             )
         self.heartbeat_timeout = float(heartbeat_timeout)
+        self.shm_threshold = max(0, int(shm_threshold))
+        #: Owner of the argument segments this coordinator spilled.
+        self._shm = BufferRegistry()
         self._lock = make_lock("coordinator.state")
         self._registered = threading.Condition(self._lock)
         #: node_id -> live connection (dead ones are removed).
@@ -234,6 +258,14 @@ class ClusterCoordinator:
         """Dispatched-but-unresolved requests across all live workers."""
         with self._lock:
             return sum(len(conn.pending) for conn in self._workers.values())
+
+    def shm_segment_count(self) -> int:
+        """Argument segments currently owned by this coordinator.
+
+        Must read zero once every dispatch resolved — the
+        ``transport.shm_segments`` gauge and the shm leak tests watch it.
+        """
+        return len(self._shm)
 
     def max_heartbeat_age(self) -> float:
         """Seconds since the quietest live worker was last heard from.
@@ -417,6 +449,22 @@ class ClusterCoordinator:
                 )
             request_id = next(self._request_ids)
             conn.pending[request_id] = future
+        # Spill large args into a registry-owned segment for connections
+        # that negotiated shm; the wire then carries only a descriptor
+        # envelope.  The segments are released when this request resolves
+        # (or its worker dies).
+        send_args, shm_names = self._ship_args(conn, args)
+        if shm_names:
+            dead = False
+            with self._lock:
+                if conn.alive:
+                    conn.segments[request_id] = shm_names
+                else:
+                    dead = True
+            if dead:
+                # Death raced the spill: _mark_dead already failed the
+                # future and cleared the request, so reclaim here.
+                self._shm.release_many(shm_names)
         # Encode before touching the socket (see submit): unpicklable args
         # and over-limit blobs are the *caller's* errors.  The sent set
         # only grows, so a pre-lock peek can only over-encode, never skip
@@ -424,12 +472,14 @@ class ClusterCoordinator:
         try:
             ref_frame = encode(DispatchRef(request_id=request_id,
                                            payload_id=payload_id,
-                                           kind=kind, args=args))
+                                           kind=kind, args=send_args))
             put_frame = (encode(PutPayload(payload_id=payload_id, blob=blob))
                          if payload_id not in conn.sent_payloads else None)
         except ProtocolError:
             with self._lock:
                 conn.pending.pop(request_id, None)
+                conn.segments.pop(request_id, None)
+            self._shm.release_many(shm_names)
             raise
         shipped = False
         try:
@@ -447,7 +497,35 @@ class ClusterCoordinator:
                          f"{node_id!r}",
                          node=node_id, payload_id=payload_id,
                          nbytes=len(blob))
+        if shm_names and isinstance(send_args, ShmEnvelope):
+            self._notify("dispatch.shm_ship",
+                         f"dispatch args shipped via shared memory to "
+                         f"{node_id!r}",
+                         node=node_id, direction="args",
+                         inline=send_args.payload.inline_bytes,
+                         shm=send_args.payload.shm_bytes,
+                         segments=len(shm_names))
         return future
+
+    def _ship_args(self, conn: _WorkerConn, args: Any) -> Tuple[Any, List[str]]:
+        """Spill large dispatch args for an shm-negotiated connection.
+
+        Returns ``(wire args, segment names)`` — the original args with no
+        names when the payload is small, the connection did not negotiate
+        shm, or the spill could not serialise (unpicklable args then
+        surface through the classic encode path with their usual
+        diagnostics).
+        """
+        if not conn.shm or probe_size(args) < self.shm_threshold:
+            return args, []
+        try:
+            payload, names = dumps_oob(args, threshold=self.shm_threshold,
+                                       registry=self._shm)
+        except Exception:
+            return args, []
+        if not names:
+            return args, []
+        return ShmEnvelope(payload), names
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -476,6 +554,8 @@ class ClusterCoordinator:
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=5.0)
+        # Nothing may outlive the coordinator in /dev/shm.
+        self._shm.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self
@@ -616,7 +696,11 @@ class ClusterCoordinator:
         # agent requires WELCOME to be the first frame it sees.
         conn.node_id = hello.node_id
         conn.info = info
-        conn.send(Welcome(node_id=hello.node_id))
+        # Both sides must opt in: the agent advertised shm (same host,
+        # positive threshold) and this coordinator has it enabled.
+        conn.shm = bool(getattr(hello, "shm", False)) \
+            and self.shm_threshold > 0
+        conn.send(Welcome(node_id=hello.node_id, shm=conn.shm))
         superseded: Optional[_WorkerConn] = None
         rejoin = False
         with self._registered:
@@ -657,6 +741,27 @@ class ClusterCoordinator:
             self._mark_dead(conn, "coordinator closed during registration")
 
     def _resolve(self, conn: _WorkerConn, result: Result) -> None:
+        value = result.value
+        decode_error: Optional[BaseException] = None
+        if isinstance(value, ShmEnvelope):
+            # Ownership of the worker's result segment transfers here
+            # (take=True copies out and unlinks) — *before* the pending
+            # lookup, so even a stale result's segment is reclaimed.
+            payload = value.payload
+            try:
+                value = loads_oob(payload, take=True)
+            except Exception as exc:
+                decode_error = ClusterError(
+                    f"shared-memory result could not be reconstructed "
+                    f"({exc!r})"
+                )
+            self._notify("dispatch.shm_ship",
+                         f"result received via shared memory from "
+                         f"{conn.node_id!r}",
+                         node=conn.node_id or "", direction="result",
+                         inline=payload.inline_bytes,
+                         shm=payload.shm_bytes,
+                         segments=len(payload.segment_names()))
         with self._lock:
             # Results piggyback the worker's load observation (a negative
             # value means "not carried"), so an active worker keeps the
@@ -664,17 +769,23 @@ class ClusterCoordinator:
             if result.load >= 0.0:
                 conn.load = float(result.load)
             future = conn.pending.pop(result.request_id, None)
+            arg_segments = conn.segments.pop(result.request_id, None)
             if future is not None:
-                if result.ok:
+                if result.ok and decode_error is None:
                     conn.results_ok += 1
                 else:
                     conn.results_failed += 1
+        if arg_segments:
+            # The worker is done with the borrowed argument segments.
+            self._shm.release_many(arg_segments)
         if future is None:
             # Unknown id: the request was already failed by a death mark, or
             # the frame is stale.  Either way the result is not accepted.
             return
-        if result.ok:
-            future.set_result(result.value)
+        if decode_error is not None:
+            future.set_exception(decode_error)
+        elif result.ok:
+            future.set_result(value)
         else:
             error = result.error
             if not isinstance(error, BaseException):
@@ -695,6 +806,13 @@ class ClusterCoordinator:
             self._conns.discard(conn)
             pending = list(conn.pending.values())
             conn.pending.clear()
+            stranded = [name for names in conn.segments.values()
+                        for name in names]
+            conn.segments.clear()
+        if stranded:
+            # A dead worker can no longer read its borrowed argument
+            # segments; reclaim them with the requests they served.
+            self._shm.release_many(stranded)
         label = conn.node_id or f"{conn.peer[0]}:{conn.peer[1]}"
         if conn.node_id is not None:
             # Death first, *then* the in-flight failures: the trace reads

@@ -33,6 +33,7 @@ import subprocess
 import sys
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.backends.shm import DEFAULT_SHM_THRESHOLD
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.exceptions import ClusterError
 
@@ -90,6 +91,13 @@ class LocalCluster:
         Coordinator-side silence threshold before declaring a worker dead.
     start_timeout:
         Seconds to wait for every worker to register before failing.
+    shm_threshold:
+        Payloads probing at or above this many bytes travel via shared
+        memory instead of inline TCP frames (which also lifts the
+        64MiB frame cap for them).  Everything is on one host here, so
+        the data plane defaults to **on** at
+        :data:`~repro.backends.shm.DEFAULT_SHM_THRESHOLD`; pass ``0``
+        to force the classic inline path everywhere.
 
     Examples
     --------
@@ -102,7 +110,8 @@ class LocalCluster:
     def __init__(self, workers: Union[int, Sequence[str]] = 2,
                  heartbeat_interval: float = 0.5,
                  heartbeat_timeout: float = 10.0,
-                 start_timeout: float = 120.0):
+                 start_timeout: float = 120.0,
+                 shm_threshold: Optional[int] = None):
         if isinstance(workers, int):
             if workers < 1:
                 raise ClusterError(f"need at least 1 worker, got {workers}")
@@ -115,9 +124,12 @@ class LocalCluster:
                 raise ClusterError(f"duplicate worker names in {names}")
         self._names = names
         self._heartbeat_interval = heartbeat_interval
+        self._shm_threshold = (DEFAULT_SHM_THRESHOLD if shm_threshold is None
+                               else max(0, int(shm_threshold)))
         self._closed = False
         self.coordinator = ClusterCoordinator(
-            host="127.0.0.1", port=0, heartbeat_timeout=heartbeat_timeout)
+            host="127.0.0.1", port=0, heartbeat_timeout=heartbeat_timeout,
+            shm_threshold=self._shm_threshold)
         #: node name -> the worker's subprocess handle (the most recent one
         #: when a worker was respawned).
         self.processes: Dict[str, subprocess.Popen] = {}
@@ -144,6 +156,10 @@ class LocalCluster:
             "--node", name,
             "--heartbeat", str(self._heartbeat_interval),
         ]
+        if self._shm_threshold > 0:
+            # Same host as the coordinator, so the workers may advertise
+            # the shared-memory data plane.
+            command += ["--shm-threshold", str(self._shm_threshold)]
         main_path = _main_script_path()
         if main_path is not None:
             command += ["--main", main_path]

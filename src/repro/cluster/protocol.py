@@ -123,13 +123,21 @@ _KIND_NAMES = {code: kind for kind, code in KIND_CODES.items()}
 # ------------------------------------------------------------------ messages
 @dataclass(frozen=True)
 class Hello:
-    """Worker registration: the node descriptor of one agent."""
+    """Worker registration: the node descriptor of one agent.
+
+    ``shm`` advertises the shared-memory data plane: True when the agent
+    runs on the coordinator's host with a positive shm threshold (see
+    :mod:`repro.backends.shm`), so large args/results can travel as
+    segment descriptors instead of inline frame bytes.  Defaulted, so
+    frames from agents predating the field still decode.
+    """
 
     node_id: str
     host: str
     pid: int
     cpus: int
     protocol: int = PROTOCOL_VERSION
+    shm: bool = False
 
 
 @dataclass(frozen=True)
@@ -138,10 +146,14 @@ class Welcome:
 
     Echoes the coordinator's message protocol so the agent can verify it
     is talking to a same-generation coordinator before serving work.
+    ``shm`` confirms the shared-memory data plane for this connection
+    (the agent advertised it *and* the coordinator enables it); both
+    sides must see True before either ships a segment descriptor.
     """
 
     node_id: str
     protocol: int = PROTOCOL_VERSION
+    shm: bool = False
 
 
 @dataclass(frozen=True)

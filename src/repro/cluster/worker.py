@@ -63,6 +63,13 @@ from repro.backends._payload import (
     run_payload,
     run_stage,
 )
+from repro.backends.shm import (
+    ShmEnvelope,
+    destroy_payload,
+    dumps_oob,
+    loads_oob,
+    probe_size,
+)
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
     Dispatch,
@@ -132,15 +139,27 @@ class WorkerAgent:
         Seconds between liveness beacons.
     connect_timeout:
         Bound on both the TCP connect and the registration handshake.
+    shm_threshold:
+        Results probing at or above this many bytes are spilled into a
+        shared-memory segment and shipped as a descriptor envelope
+        instead of inline frame bytes (which also lifts the frame-size
+        cap for them).  ``0`` (the default) disables the data plane;
+        only enable it for agents on the *coordinator's host* — POSIX
+        shared memory does not cross machines.  Effective only when the
+        coordinator confirms the capability in its WELCOME.
     """
 
     def __init__(self, host: str, port: int, node_id: str,
                  heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
-                 connect_timeout: float = 30.0):
+                 connect_timeout: float = 30.0, shm_threshold: int = 0):
         if not node_id:
             raise ClusterError("worker agents need a non-empty node id")
         self.node_id = node_id
         self.heartbeat_interval = max(0.05, float(heartbeat_interval))
+        self.shm_threshold = max(0, int(shm_threshold))
+        #: Set at handshake: the coordinator confirmed shm in WELCOME and
+        #: this agent wants it — only then do envelopes cross this wire.
+        self._shm_active = False
         self._connect_timeout = float(connect_timeout)
         try:
             self._sock = socket.create_connection((host, port),
@@ -202,7 +221,8 @@ class WorkerAgent:
     def _handshake(self) -> None:
         self._sock.settimeout(self._connect_timeout)
         self._send(Hello(node_id=self.node_id, host=socket.gethostname(),
-                         pid=os.getpid(), cpus=os.cpu_count() or 1))
+                         pid=os.getpid(), cpus=os.cpu_count() or 1,
+                         shm=self.shm_threshold > 0))
         welcomed = False
         while not welcomed:
             try:
@@ -233,6 +253,8 @@ class WorkerAgent:
                             f"{message.protocol}, this agent speaks "
                             f"{PROTOCOL_VERSION}"
                         )
+                    self._shm_active = (self.shm_threshold > 0
+                                        and bool(message.shm))
                     welcomed = True
                 elif isinstance(message, Goodbye):
                     if welcomed:
@@ -323,7 +345,8 @@ class WorkerAgent:
                                 load=_observed_load())
             else:
                 answer = Result(request_id=request.request_id, ok=True,
-                                value=value, load=_observed_load())
+                                value=self._ship_value(value),
+                                load=_observed_load())
             try:
                 try:
                     self._send_result(answer)
@@ -332,16 +355,29 @@ class WorkerAgent:
                     # pickle, or the frame exceeds the size cap): tell the
                     # coordinator the actual cause instead of silently
                     # dropping the request.
+                    if "exceeds the" in str(exc):
+                        error = ClusterError(
+                            "result exceeds frame cap — enable shm or "
+                            "chunk smaller (a worker on the coordinator "
+                            "host started with --shm-threshold ships "
+                            "results of any size via shared memory): "
+                            f"{exc}"
+                        )
+                    else:
+                        error = ClusterError(
+                            f"worker result cannot be shipped: {exc}"
+                        )
                     self._send_result(Result(
                         request_id=request.request_id, ok=False,
-                        error=ClusterError(
-                            f"worker result cannot be shipped: {exc}"
-                        ),
-                        load=_observed_load(),
+                        error=error, load=_observed_load(),
                     ))
             except OSError:
                 # The coordinator vanished mid-task (driver killed): an
-                # orderly exit, not a traceback-worthy failure.
+                # orderly exit, not a traceback-worthy failure — but a
+                # spilled result nobody will ever take must be unlinked
+                # here or it outlives the run in /dev/shm.
+                if isinstance(answer.value, ShmEnvelope):
+                    destroy_payload(answer.value.payload)
                 return
 
     # ------------------------------------------------------- payload registry
@@ -369,7 +405,33 @@ class WorkerAgent:
             )
         if isinstance(shared, _BrokenPayload):
             raise ClusterError(shared.reason)
-        return join_payload(request.kind, shared, request.args)
+        args = request.args
+        if isinstance(args, ShmEnvelope):
+            # Borrowed: the coordinator's registry owns the segments and
+            # releases them when this request's result resolves.
+            args = loads_oob(args.payload, take=False)
+        return join_payload(request.kind, shared, args)
+
+    def _ship_value(self, value: Any) -> Any:
+        """Spill a large result into shared memory when negotiated.
+
+        Values probing under the threshold (and all values when the
+        handshake left shm off) ship inline, bit-identically to the
+        classic path.  The spilled segment is fire-and-forget: the
+        coordinator takes ownership — and the unlink duty — when it
+        reconstructs the envelope.
+        """
+        if not self._shm_active or probe_size(value) < self.shm_threshold:
+            return value
+        try:
+            payload, names = dumps_oob(value, threshold=self.shm_threshold)
+        except Exception:
+            # Unpicklable results surface through the classic send path
+            # with their usual diagnostics.
+            return value
+        if not names:
+            return value
+        return ShmEnvelope(payload)
 
     # -------------------------------------------------------------- plumbing
     def _send(self, message) -> None:
@@ -422,10 +484,12 @@ def _parse_address(value: str) -> Tuple[str, int]:
 
 
 def run_worker(host: str, port: int, node_id: str,
-               heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+               heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+               shm_threshold: int = 0) -> None:
     """Connect to ``host:port`` and serve as node ``node_id`` until stopped."""
     WorkerAgent(host, port, node_id,
-                heartbeat_interval=heartbeat_interval).serve_forever()
+                heartbeat_interval=heartbeat_interval,
+                shm_threshold=shm_threshold).serve_forever()
 
 
 def main(argv=None) -> int:
@@ -448,12 +512,18 @@ def main(argv=None) -> int:
                         help="driving script whose top-level payload "
                              "definitions should be importable here "
                              "(set automatically by LocalCluster)")
+    parser.add_argument("--shm-threshold", type=int, default=0,
+                        metavar="BYTES",
+                        help="ship results of at least this many bytes via "
+                             "shared memory (coordinator-host agents only; "
+                             "0 disables — the default)")
     args = parser.parse_args(argv)
     if args.main:
         _adopt_main(args.main)
     host, port = args.connect
     try:
-        run_worker(host, port, args.node, heartbeat_interval=args.heartbeat)
+        run_worker(host, port, args.node, heartbeat_interval=args.heartbeat,
+                   shm_threshold=args.shm_threshold)
     except ClusterError as exc:
         print(f"worker {args.node!r}: {exc}", file=sys.stderr)
         return 1

@@ -230,6 +230,13 @@ def _link(
                 pass
         else:
             metrics = env.metrics
+    # The shared-memory data-plane threshold follows the same adoption
+    # pattern: an explicit config value lands on every backend exposing
+    # the knob (the process backend today); ``None`` keeps the backend's
+    # own default.
+    shm_threshold = program.config.execution.shm_threshold
+    if shm_threshold is not None and hasattr(env, "shm_threshold"):
+        env.shm_threshold = shm_threshold
 
     pool = env.available_nodes(at_time)
     if not pool:

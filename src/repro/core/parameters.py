@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.ranking import RankingMode
 from repro.exceptions import ConfigurationError
@@ -150,6 +150,18 @@ class ExecutionConfig:
         (the default) preserves task-at-a-time self-scheduling; larger
         chunks amortise per-dispatch IPC overhead on the process backend
         (the monitor then judges per-chunk normalised times).
+        ``"auto"`` derives the size at execution time from the
+        calibration sample's mean task cost against the backend's
+        measured per-dispatch overhead (see
+        :func:`~repro.core.plan_executor.resolve_auto_chunk`), so cheap
+        tasks get batched and expensive tasks keep self-scheduling.
+    shm_threshold:
+        Byte threshold of the shared-memory data plane: payloads and
+        results probing at or above it travel as segment descriptors
+        instead of inline pickles on backends that support it (process,
+        localhost cluster).  ``None`` (the default) keeps each backend's
+        own default (64KiB); ``0`` disables spilling entirely, restoring
+        the classic inline path bit-for-bit.
     master_computes:
         Whether the master/monitor node also executes tasks.
     replicate_stages:
@@ -164,7 +176,8 @@ class ExecutionConfig:
     monitor_interval: int = 0
     adaptation: AdaptationAction = AdaptationAction.RECALIBRATE
     max_recalibrations: int = 16
-    chunk_size: int = 1
+    chunk_size: Union[int, str] = 1
+    shm_threshold: Optional[int] = None
     master_computes: bool = False
     replicate_stages: bool = False
     migration_bytes: int = 0
@@ -174,9 +187,20 @@ class ExecutionConfig:
         if self.threshold is not None and not isinstance(self.threshold, PerformanceThreshold):
             raise ConfigurationError("threshold must be a PerformanceThreshold")
         check_non_negative(self.monitor_interval, "monitor_interval")
-        if self.chunk_size < 1:
+        if isinstance(self.chunk_size, str):
+            if self.chunk_size != "auto":
+                raise ConfigurationError(
+                    f'chunk_size must be an int >= 1 or "auto", '
+                    f"got {self.chunk_size!r}"
+                )
+        elif self.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.shm_threshold is not None and self.shm_threshold < 0:
+            raise ConfigurationError(
+                f"shm_threshold must be >= 0 (0 disables), "
+                f"got {self.shm_threshold}"
             )
         if not isinstance(self.adaptation, AdaptationAction):
             raise ConfigurationError("adaptation must be an AdaptationAction")

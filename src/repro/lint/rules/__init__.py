@@ -22,6 +22,7 @@ from repro.lint.rules.gc006_async import EventLoopBlockingRule
 from repro.lint.rules.gc007_encode import EncodeBeforeSendRule
 from repro.lint.rules.gc008_decode import DecodeProgressRule
 from repro.lint.rules.gc009_metrics_clock import MetricsClockRule
+from repro.lint.rules.gc010_shm import SharedMemoryConfinementRule
 
 __all__ = ["Rule", "all_rules", "get_rule", "rule_table"]
 
@@ -35,6 +36,7 @@ _RULE_CLASSES = [
     EncodeBeforeSendRule,
     DecodeProgressRule,
     MetricsClockRule,
+    SharedMemoryConfinementRule,
 ]
 
 _REGISTRY: Dict[str, Rule] = {cls.id: cls() for cls in _RULE_CLASSES}

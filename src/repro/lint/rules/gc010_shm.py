@@ -1,0 +1,66 @@
+"""GC010: SharedMemory construction is confined to ``backends/shm.py``."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import FileContext, Rule, dotted
+
+
+class SharedMemoryConfinementRule(Rule):
+    id = "GC010"
+    summary = "SharedMemory(...) only inside backends/shm.py"
+    rationale = (
+        "Shared-memory segments have process-crossing ownership: who "
+        "registers with the resource tracker, who unlinks, and what "
+        "happens on worker death are all encoded in the shm module's "
+        "BufferRegistry/dumps_oob/loads_oob lifecycle.  A raw "
+        "SharedMemory(...) constructed anywhere else bypasses those "
+        "rules and shows up later as a tracker KeyError, a leaked "
+        "/dev/shm entry, or a segment unlinked under a live reader."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.basename == "shm.py" and ctx.in_dir("backends"):
+            return
+        class_aliases: Set[str] = set()
+        module_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "multiprocessing.shared_memory":
+                        module_aliases.add(alias.asname
+                                           or "multiprocessing.shared_memory")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "multiprocessing.shared_memory":
+                    for alias in node.names:
+                        if alias.name == "SharedMemory":
+                            class_aliases.add(alias.asname or alias.name)
+                elif node.module == "multiprocessing":
+                    for alias in node.names:
+                        if alias.name == "shared_memory":
+                            module_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in class_aliases:
+                yield self.finding(
+                    ctx, node,
+                    f"{func.id}(...) outside backends/shm.py; go through "
+                    "BufferRegistry/dumps_oob/loads_oob so segment "
+                    "ownership and cleanup follow the data-plane rules",
+                )
+            elif (isinstance(func, ast.Attribute)
+                  and func.attr == "SharedMemory"):
+                name = dotted(func.value)
+                if name in module_aliases:
+                    yield self.finding(
+                        ctx, node,
+                        f"{name}.SharedMemory(...) outside backends/shm.py; "
+                        "go through BufferRegistry/dumps_oob/loads_oob so "
+                        "segment ownership and cleanup follow the "
+                        "data-plane rules",
+                    )

@@ -16,6 +16,9 @@ metric                         type       labels
 ``dispatch.in_flight``         gauge      ``backend``, ``node``
 ``dispatch.latency``           histogram  ``backend``, ``node``
 ``dispatch.chunk_size``        histogram  ``backend``
+``transport.bytes_inline``     counter    ``backend``
+``transport.bytes_shm``        counter    ``backend``
+``transport.shm_segments``     gauge      ``backend``
 =============================  =========  ==================================
 
 Counting granularity is *per dispatch*, not per task: a chunked process or
@@ -30,6 +33,14 @@ for every backend, once all handles have resolved,
 
 and the ``dispatch.in_flight`` gauges all read zero.  ``failed`` counts
 resolves whose payload raised (a subset of ``resolved``).
+
+The ``transport.*`` family measures the data plane (PR 10's shared-memory
+path): ``bytes_inline`` / ``bytes_shm`` split each shipped payload into
+the bytes that travelled inline (pickle body + small buffers) versus via
+a shared-memory segment, and ``shm_segments`` gauges the segments the
+backend currently owns — it must read zero once every dispatch resolved
+and the backend closed (asserted by the shm leak tests and CI's
+``/dev/shm`` scan).
 """
 
 from __future__ import annotations
@@ -41,6 +52,8 @@ __all__ = [
     "on_issue",
     "on_lost",
     "on_resolve",
+    "on_segments",
+    "on_ship",
 ]
 
 #: Chunk sizes are small integers; latency buckets would waste the range.
@@ -82,3 +95,28 @@ def on_chunk(metrics: Optional[Any], backend: str, size: int) -> None:
         return
     metrics.histogram("dispatch.chunk_size", buckets=CHUNK_BUCKETS,
                       backend=backend).observe(size)
+
+
+def on_ship(metrics: Optional[Any], backend: str, inline_bytes: int,
+            shm_bytes: int) -> None:
+    """A payload (args or result) crossed the process boundary.
+
+    Exact byte counts where the payload was actually serialised here (a
+    shared-memory envelope knows its split precisely); callers on the
+    classic inline path pass the cheap probe estimate for
+    ``inline_bytes``, which is a lower bound, never an overcount of shm.
+    """
+    if metrics is None:
+        return
+    if inline_bytes:
+        metrics.counter("transport.bytes_inline",
+                        backend=backend).inc(inline_bytes)
+    if shm_bytes:
+        metrics.counter("transport.bytes_shm", backend=backend).inc(shm_bytes)
+
+
+def on_segments(metrics: Optional[Any], backend: str, count: int) -> None:
+    """The backend's owned shared-memory segment count changed."""
+    if metrics is None:
+        return
+    metrics.gauge("transport.shm_segments", backend=backend).set(count)

@@ -126,6 +126,102 @@ class TestClusterBackendLegacyConformance(TestClusterBackendConformance):
         backend.close()
 
 
+class TestProcessBackendShmEverythingConformance(BackendConformance):
+    """ProcessBackend with ``shm_threshold=1``: every argument and result
+    — however small — travels as a shared-memory segment descriptor.
+
+    The most hostile data-plane configuration must be contractually
+    indistinguishable from the classic pipe path.
+    """
+
+    @pytest.fixture
+    def backend(self):
+        backend = ProcessBackend(topology=conformance_grid(),
+                                 shm_threshold=1)
+        yield backend
+        backend.close()
+
+
+class TestClusterBackendShmEverythingConformance(BackendConformance):
+    """ClusterBackend over a ``shm_threshold=1`` LocalCluster: every
+    argument the coordinator ships and every result an agent returns rides
+    a segment descriptor through the v2 frames.
+    """
+
+    @pytest.fixture(scope="class")
+    def cluster_and_grid(self):
+        from repro.cluster import LocalCluster
+
+        grid = conformance_grid()
+        with LocalCluster(workers=list(grid.node_ids),
+                          shm_threshold=1) as cluster:
+            yield cluster, grid
+
+    @pytest.fixture
+    def backend(self, cluster_and_grid):
+        from repro.cluster import ClusterBackend
+
+        cluster, grid = cluster_and_grid
+        backend = ClusterBackend(coordinator=cluster.coordinator,
+                                 topology=grid)
+        yield backend
+        backend.close()
+
+
+class TestLargePayloadEquivalence:
+    """A farm over ~5MiB numpy payloads is bit-identical on every backend,
+    shared-memory data plane on and off.
+
+    The data plane is a pure transport optimisation: whichever way the
+    bytes travel — inline pipe pickle, inline v2 frame, or ``grasp-*``
+    segment descriptor — the reconstructed outputs must match to the
+    last bit (dtype, shape and raw buffer).
+    """
+
+    TASKS = 3
+    WIDTH = 640 * 1024          # float64 -> 5 MiB per payload
+
+    def _farm(self, backend, grid):
+        import numpy as np
+
+        nodes = list(grid.node_ids)
+        tasks = [Task(task_id=i,
+                      payload=np.arange(self.WIDTH, dtype=np.float64) + i)
+                 for i in range(self.TASKS)]
+        handles = [backend.dispatch(task, nodes[i % len(nodes)],
+                                    double_payload, master_node=nodes[0],
+                                    at_time=backend.now)
+                   for i, task in enumerate(tasks)]
+        outputs = [handle.outcome().output for handle in handles]
+        assert all(not handle.outcome().lost for handle in handles)
+        return [(out.dtype.str, out.shape, out.tobytes()) for out in outputs]
+
+    def test_farm_bit_identical_across_backends_shm_on_and_off(self):
+        from repro.cluster import LocalCluster
+
+        grid = conformance_grid()
+        results = {}
+        with SimulatedBackend(GridSimulator(grid)) as backend:
+            results["simulated"] = self._farm(backend, grid)
+        with ThreadBackend(topology=grid) as backend:
+            results["thread"] = self._farm(backend, grid)
+        for label, threshold in (("process-shm", None), ("process-inline", 0)):
+            with ProcessBackend(topology=grid,
+                                shm_threshold=threshold) as backend:
+                results[label] = self._farm(backend, grid)
+        for label, threshold in (("cluster-shm", None), ("cluster-inline", 0)):
+            with LocalCluster(workers=list(grid.node_ids),
+                              shm_threshold=threshold) as cluster:
+                backend = cluster.backend(topology=grid)
+                try:
+                    results[label] = self._farm(backend, grid)
+                finally:
+                    backend.close()
+        reference = results.pop("simulated")
+        for label, outputs in results.items():
+            assert outputs == reference, f"{label} diverged from simulated"
+
+
 # --------------------------------------------------------------------------
 # Fault-injection decorator: as conformant as its inner backend, with one
 # node scheduled dead from t=0 so availability filtering is exercised by

@@ -1,0 +1,136 @@
+"""``chunk_size="auto"``: dispatch-overhead-derived farm chunking.
+
+:func:`~repro.core.plan_executor.resolve_auto_chunk` sizes farm chunks so
+per-dispatch overhead stays under ~10% of a chunk's compute time, judged
+from the calibration sample's mean task duration against the backend's
+*measured* per-dispatch overhead — cheap tasks get batched, expensive
+tasks keep the paper's task-at-a-time self-scheduling.  These tests pin
+the formula, its clamps and fallbacks, the configuration plumbing, and
+an end-to-end ``chunk_size="auto"`` run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.backends import ThreadBackend
+from repro.core.calibration import CalibrationObservation, CalibrationReport
+from repro.core.grasp import Grasp
+from repro.core.parameters import ExecutionConfig, GraspConfig
+from repro.core.plan_executor import resolve_auto_chunk
+from repro.core.ranking import RankingMode
+from repro.exceptions import ConfigurationError
+from repro.grid.topology import GridBuilder
+
+
+class _StubBackend:
+    def __init__(self, overhead):
+        self._overhead = overhead
+
+    def dispatch_overhead(self) -> float:
+        if isinstance(self._overhead, Exception):
+            raise self._overhead
+        return self._overhead
+
+
+def _report(durations):
+    observations = [
+        CalibrationObservation(node_id="g/n0", task_id=i, cost=1.0,
+                               duration=duration, unit_time=duration,
+                               load=0.0, bandwidth=1e9, started=0.0,
+                               finished=duration)
+        for i, duration in enumerate(durations)
+    ]
+    return CalibrationReport(started=0.0, finished=1.0,
+                             mode=RankingMode.TIME_ONLY,
+                             observations=observations,
+                             chosen=["g/n0"])
+
+
+class TestResolveAutoChunk:
+    def test_overhead_to_ten_percent_of_mean_duration(self):
+        # overhead 10ms, mean duration 1ms: chunk = ceil(10 / 0.1) = 100.
+        chunk = resolve_auto_chunk(_StubBackend(0.010), _report([0.001] * 4),
+                                   n_tasks=1000, n_workers=2)
+        assert chunk == 100
+
+    def test_formula_uses_the_mean_duration(self):
+        durations = [0.001, 0.003]          # mean 2ms
+        expected = math.ceil(0.010 / (0.1 * 0.002))
+        chunk = resolve_auto_chunk(_StubBackend(0.010), _report(durations),
+                                   n_tasks=10_000, n_workers=2)
+        assert chunk == expected
+
+    def test_clamped_to_half_share_per_worker(self):
+        # Huge overhead: the cap keeps >= 2 chunks per worker so the
+        # self-scheduling farm can still balance across nodes.
+        chunk = resolve_auto_chunk(_StubBackend(10.0), _report([0.001] * 4),
+                                   n_tasks=100, n_workers=5)
+        assert chunk == 100 // (2 * 5)
+
+    def test_expensive_tasks_keep_task_at_a_time(self):
+        # Overhead is negligible next to the task cost: chunk stays 1.
+        chunk = resolve_auto_chunk(_StubBackend(0.0001), _report([1.0] * 4),
+                                   n_tasks=1000, n_workers=2)
+        assert chunk == 1
+
+    def test_zero_overhead_backend_falls_back_to_one(self):
+        assert resolve_auto_chunk(_StubBackend(0.0), _report([0.001]),
+                                  n_tasks=100, n_workers=2) == 1
+
+    def test_no_positive_durations_falls_back_to_one(self):
+        assert resolve_auto_chunk(_StubBackend(0.010), _report([]),
+                                  n_tasks=100, n_workers=2) == 1
+        assert resolve_auto_chunk(_StubBackend(0.010), _report([0.0]),
+                                  n_tasks=100, n_workers=2) == 1
+
+    def test_probe_failure_falls_back_to_one(self):
+        backend = _StubBackend(RuntimeError("no live node"))
+        assert resolve_auto_chunk(backend, _report([0.001] * 4),
+                                  n_tasks=100, n_workers=2) == 1
+
+    def test_tiny_farm_never_drops_below_one(self):
+        chunk = resolve_auto_chunk(_StubBackend(10.0), _report([0.001]),
+                                   n_tasks=2, n_workers=4)
+        assert chunk == 1
+
+
+class TestConfigPlumbing:
+    def test_auto_is_a_valid_chunk_size(self):
+        config = ExecutionConfig(chunk_size="auto")
+        assert config.chunk_size == "auto"
+
+    def test_other_strings_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(chunk_size="turbo")
+
+    def test_integer_validation_unchanged(self):
+        assert ExecutionConfig(chunk_size=8).chunk_size == 8
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(chunk_size=0)
+
+
+def _square(x):
+    return x * x
+
+
+class TestEndToEnd:
+    def test_auto_chunk_run_matches_sequential(self):
+        grid = (GridBuilder().homogeneous(nodes=2, speed=1.0)
+                .named("autogrid").build(seed=0))
+        config = GraspConfig(execution=ExecutionConfig(chunk_size="auto"))
+        from repro.skeletons.taskfarm import TaskFarm
+
+        backend = ThreadBackend(topology=grid)
+        try:
+            result = Grasp(skeleton=TaskFarm(worker=_square), grid=grid,
+                           config=config, backend=backend).run(
+                               inputs=range(40))
+            assert result.outputs == [x * x for x in range(40)]
+            events = result.compiled.tracer.filter("execution.auto_chunk")
+            assert events, "auto chunk resolution must be traced"
+            assert events[0].data["chunk_size"] >= 1
+        finally:
+            backend.close()

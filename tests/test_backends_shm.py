@@ -1,0 +1,399 @@
+"""The zero-copy shared-memory data plane (``repro.backends.shm``).
+
+Unit coverage for the spill/reconstruct helpers and the refcounted
+:class:`~repro.backends.shm.BufferRegistry`, plus the
+:class:`~repro.backends.ProcessBackend` integration: large arguments and
+results travel as segment descriptors, small ones keep the classic inline
+path bit-identically, and every terminal dispatch path — including a
+worker SIGKILLed mid-task — releases its segments.  Each test's closing
+move is the repo's leak convention: ``/dev/shm`` holds no ``grasp-*``
+entry once the owning object is done.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import ProcessBackend
+from repro.backends.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    SEGMENT_PREFIX,
+    BufferRegistry,
+    SegmentRef,
+    ShmEnvelope,
+    ShmPayload,
+    destroy_payload,
+    dumps_oob,
+    loads_oob,
+    probe_size,
+    run_oob,
+)
+from repro.metrics import MetricsRegistry
+from repro.skeletons.base import Task
+
+THRESHOLD = 64 * 1024
+
+
+def leaked_segments():
+    """``grasp-*`` entries currently visible in ``/dev/shm``."""
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(SEGMENT_PREFIX))
+    except OSError:  # pragma: no cover - non-POSIX-shm host
+        return []
+
+
+def segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", name))
+
+
+def _identity(value):
+    return value
+
+
+def _double_task(task: Task):
+    return task.payload * 2
+
+
+def _big_result_task(task: Task):
+    return b"r" * (task.payload * 1024 * 1024)
+
+
+def _kill_worker(task: Task):  # pragma: no cover - runs in the child
+    os._exit(13)
+
+
+def _head_slice(arr):
+    return arr[:4]
+
+
+@pytest.fixture(autouse=True)
+def clean_shm():
+    """Start every test from a clean ``/dev/shm`` slate.
+
+    A failed assertion mid-test would otherwise strand its segments and
+    cascade bogus leak failures into every later test in the module.
+    """
+    for name in leaked_segments():
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except OSError:
+            pass
+    yield
+
+
+# --------------------------------------------------------------- dumps/loads
+
+
+class TestDumpsLoads:
+    def test_small_object_stays_inline(self):
+        obj = {"k": b"v" * 100, "n": 7}
+        payload, names = dumps_oob(obj, threshold=THRESHOLD)
+        assert names == []
+        assert payload.body_ref is None
+        # No out-of-band spill: the body is the plain protocol-5 pickle.
+        assert payload.body == pickle.dumps(obj, protocol=5)
+        assert payload.shm_bytes == 0
+        assert loads_oob(payload, take=True) == obj
+
+    def test_large_bytes_body_spills(self):
+        obj = b"z" * (3 * THRESHOLD)
+        payload, names = dumps_oob(obj, threshold=THRESHOLD)
+        assert len(names) == 1
+        assert names[0].startswith(SEGMENT_PREFIX)
+        assert payload.body == b""
+        assert payload.body_ref is not None
+        assert payload.body_ref.name == names[0]
+        assert payload.shm_bytes >= len(obj)
+        assert loads_oob(payload, take=True) == obj
+        # take=True transferred ownership and unlinked after the copy.
+        assert not segment_exists(names[0])
+
+    def test_numpy_buffer_spills_and_stays_writable(self):
+        arr = np.arange(256 * 1024, dtype=np.float64)   # 2 MiB
+        payload, names = dumps_oob(arr, threshold=THRESHOLD)
+        assert len(names) == 1
+        refs = [b for b in payload.buffers if isinstance(b, SegmentRef)]
+        assert refs and all(r.name == names[0] for r in refs)
+        out = loads_oob(payload, take=True)
+        assert isinstance(out, np.ndarray)
+        assert np.array_equal(out, arr)
+        out[0] = -1.0       # a writable view, not a readonly buffer
+        assert not segment_exists(names[0])
+
+    def test_mixed_buffers_pack_one_segment_at_consecutive_offsets(self):
+        # Two large numpy buffers spill out-of-band; the big bytearray
+        # pickles in-band and pushes the *body* over the threshold, so the
+        # body spills too — all three regions share one segment.
+        obj = (b"small", bytearray(b"x" * (2 * THRESHOLD)),
+               np.ones(THRESHOLD, dtype=np.uint8),
+               np.zeros(THRESHOLD, dtype=np.uint8))
+        payload, names = dumps_oob(obj, threshold=THRESHOLD)
+        assert len(names) == 1
+        refs = [b for b in payload.buffers if isinstance(b, SegmentRef)]
+        assert len(refs) == 2
+        assert payload.body_ref is not None
+        regions = sorted(refs + [payload.body_ref],
+                         key=lambda r: r.offset)
+        assert all(r.name == names[0] for r in regions)
+        assert regions[0].offset == 0
+        for before, after in zip(regions, regions[1:]):
+            assert after.offset == before.offset + before.length
+        out = loads_oob(payload, take=True)
+        assert out[0] == b"small"
+        assert out[1] == obj[1]
+        assert np.array_equal(out[2], obj[2])
+        assert np.array_equal(out[3], obj[3])
+
+    def test_borrow_leaves_segment_for_the_owner(self):
+        registry = BufferRegistry()
+        arr = np.arange(128 * 1024, dtype=np.int64)
+        payload, names = dumps_oob(arr, threshold=THRESHOLD,
+                                   registry=registry)
+        assert registry.names == names
+        # Two independent borrows: the owner's segment must survive both.
+        for _ in range(2):
+            out = loads_oob(payload, take=False)
+            assert np.array_equal(out, arr)
+            assert segment_exists(names[0])
+        registry.release(names[0])
+        assert not segment_exists(names[0])
+        assert leaked_segments() == []
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            dumps_oob(b"x", threshold=0)
+
+    def test_take_view_outlives_unlink_and_mapping_sweeps_after(self):
+        # Zero-copy receive: the array views the mapping (no /dev/shm
+        # entry — unlinked at attach), and once the array dies a sweep
+        # closes the pinned mapping.
+        from repro.backends import shm as shm_mod
+
+        arr = np.arange(256 * 1024, dtype=np.float64)   # 2 MiB
+        payload, names = dumps_oob(arr, threshold=THRESHOLD)
+        out = loads_oob(payload, take=True)
+        assert not segment_exists(names[0])
+        assert np.array_equal(out, arr)
+        out[0] = -5.0
+        pinned = {s.name for s in shm_mod._PINNED}
+        assert names[0] in pinned
+        del out
+        shm_mod._sweep_pinned()
+        assert names[0] not in {s.name for s in shm_mod._PINNED}
+
+
+# ----------------------------------------------------------------- registry
+
+
+class TestBufferRegistry:
+    def test_refcount_release_unlinks_at_zero(self):
+        registry = BufferRegistry()
+        segment = registry.create(1024)
+        name = segment.name
+        assert len(registry) == 1
+        registry.retain(name)
+        registry.release(name)
+        assert segment_exists(name)          # one ref still held
+        registry.release(name)
+        assert not segment_exists(name)
+        assert len(registry) == 0
+        registry.release(name)               # over-release is a no-op
+
+    def test_release_many_and_close_sweep(self):
+        registry = BufferRegistry()
+        first = registry.create(512).name
+        second = registry.create(512).name
+        registry.release_many([first])
+        assert not segment_exists(first)
+        assert segment_exists(second)
+        registry.close()
+        assert not segment_exists(second)
+        registry.close()                     # idempotent
+
+    def test_disown_transfers_unlink_duty(self):
+        registry = BufferRegistry()
+        name = registry.create(256).name
+        registry.disown(name)
+        assert len(registry) == 0
+        assert segment_exists(name)          # still linked: new owner's job
+        payload = ShmPayload(body=b"", body_ref=SegmentRef(name, 256))
+        destroy_payload(payload)
+        assert not segment_exists(name)
+
+    def test_create_rejects_nonpositive_size(self):
+        registry = BufferRegistry()
+        with pytest.raises(ValueError):
+            registry.create(0)
+
+
+class TestDestroyPayload:
+    def test_destroys_fire_and_forget_segments_idempotently(self):
+        payload, names = dumps_oob(b"q" * (2 * THRESHOLD),
+                                   threshold=THRESHOLD)
+        assert segment_exists(names[0])
+        destroy_payload(payload)
+        assert not segment_exists(names[0])
+        destroy_payload(payload)             # missing segments are fine
+
+
+# --------------------------------------------------------------- probe/run
+
+
+class TestProbeSize:
+    def test_large_bytes_probe_over_threshold(self):
+        assert probe_size(b"x" * (2 * THRESHOLD)) >= 2 * THRESHOLD
+
+    def test_task_payload_is_counted(self):
+        task = Task(task_id=0, payload=b"x" * (2 * THRESHOLD))
+        assert probe_size(task) >= 2 * THRESHOLD
+
+    def test_containers_recurse(self):
+        items = [b"x" * THRESHOLD, b"y" * THRESHOLD]
+        assert probe_size(items) >= 2 * THRESHOLD
+        assert probe_size({"a": items}) >= 2 * THRESHOLD
+
+    def test_small_objects_probe_small(self):
+        assert probe_size(7) < 1024
+        assert probe_size("tiny") < 1024
+
+
+class TestRunOob:
+    def test_small_result_returned_as_value(self):
+        out = run_oob(_identity, THRESHOLD, (5,), None, None)
+        assert out == 5
+
+    def test_large_result_spills_into_envelope(self):
+        big = b"b" * (2 * THRESHOLD)
+        out = run_oob(_identity, THRESHOLD, (big,), None, None)
+        assert isinstance(out, ShmEnvelope)
+        assert loads_oob(out.payload, take=True) == big
+        assert leaked_segments() == []
+
+    def test_small_view_result_detaches_from_borrowed_segment(self):
+        # A task returning a small *view* of its borrowed argument must
+        # come back valid after the owner released the segment.
+        registry = BufferRegistry()
+        arr = np.arange(128 * 1024, dtype=np.float64)
+        payload, names = dumps_oob((arr,), threshold=THRESHOLD,
+                                   registry=registry)
+        out = run_oob(_head_slice, 1024 * 1024 * 1024, (), None,
+                      ShmEnvelope(payload))
+        registry.close()
+        assert not segment_exists(names[0])
+        assert np.array_equal(out, arr[:4])
+        out[0] = -1.0                        # private, not a dead view
+        assert leaked_segments() == []
+
+    def test_envelope_argument_is_unwrapped_as_borrow(self):
+        registry = BufferRegistry()
+        args = (b"a" * (2 * THRESHOLD),)
+        payload, names = dumps_oob(args, threshold=THRESHOLD,
+                                   registry=registry)
+        out = run_oob(_identity, 10 * THRESHOLD, (), None,
+                      ShmEnvelope(payload))
+        assert out == args[0]
+        assert segment_exists(names[0])      # borrowed, owner still holds
+        registry.close()
+        assert leaked_segments() == []
+
+
+# ------------------------------------------------------------ ProcessBackend
+
+
+class TestProcessBackendDataPlane:
+    def test_large_numpy_roundtrip_matches_inline_path(self):
+        arr = np.arange(640 * 1024, dtype=np.float64)   # 5 MiB
+        outputs = {}
+        for label, threshold in (("shm", None), ("inline", 0)):
+            with ProcessBackend(workers=1, shm_threshold=threshold) as backend:
+                node = backend.available_nodes(0.0)[0]
+                outcome = backend.dispatch(
+                    Task(task_id=0, payload=arr), node, _double_task,
+                    master_node=node, at_time=0.0,
+                ).outcome()
+                assert not outcome.lost
+                outputs[label] = outcome.output
+        assert np.array_equal(outputs["shm"], outputs["inline"])
+        assert outputs["shm"].dtype == outputs["inline"].dtype
+        assert outputs["shm"].tobytes() == outputs["inline"].tobytes()
+        outputs["shm"][0] = 9.0              # reconstructed array is writable
+        assert leaked_segments() == []
+
+    def test_segments_drain_after_dispatches(self):
+        arr = np.ones(512 * 1024, dtype=np.uint8)       # 512 KiB args
+        with ProcessBackend(workers=1) as backend:
+            node = backend.available_nodes(0.0)[0]
+            for i in range(4):
+                backend.dispatch(
+                    Task(task_id=i, payload=arr), node, _double_task,
+                    master_node=node, at_time=0.0,
+                ).outcome()
+            # Release callbacks run on the executor thread right after
+            # outcome(); give them a moment before asserting drained.
+            deadline = time.monotonic() + 5.0
+            while len(backend._shm) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(backend._shm) == 0
+        assert leaked_segments() == []
+
+    def test_dead_worker_releases_argument_segments(self):
+        arr = np.ones(1024 * 1024, dtype=np.uint8)      # 1 MiB args
+        with ProcessBackend(workers=1, shm_threshold=1024) as backend:
+            node = backend.available_nodes(0.0)[0]
+            lost = backend.dispatch(
+                Task(task_id=0, payload=arr), node, _kill_worker,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert lost.lost
+            deadline = time.monotonic() + 5.0
+            while len(backend._shm) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(backend._shm) == 0
+            # The respawned worker still works, through the same data plane.
+            ok = backend.dispatch(
+                Task(task_id=1, payload=arr), node, _double_task,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert not ok.lost
+            assert np.array_equal(ok.output, arr * 2)
+        assert leaked_segments() == []
+
+    def test_transport_metrics_account_inline_and_shm_bytes(self):
+        registry = MetricsRegistry()
+        arr = np.arange(256 * 1024, dtype=np.float64)   # 2 MiB
+        with ProcessBackend(workers=1) as backend:
+            backend.metrics = registry
+            node = backend.available_nodes(0.0)[0]
+            backend.dispatch(
+                Task(task_id=0, payload=arr), node, _double_task,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            backend.dispatch(
+                Task(task_id=1, payload=3), node, _double_task,
+                master_node=node, at_time=0.0,
+            ).outcome()
+        assert registry.total("transport.bytes_shm") >= arr.nbytes
+        assert registry.total("transport.bytes_inline") > 0
+        assert registry.total("transport.shm_segments") == 0
+
+    def test_threshold_zero_is_bit_identical_classic_path(self):
+        with ProcessBackend(workers=1, shm_threshold=0) as backend:
+            assert backend.shm_threshold == 0
+            node = backend.available_nodes(0.0)[0]
+            outcome = backend.dispatch(
+                Task(task_id=0, payload=4), node, _big_result_task,
+                master_node=node, at_time=0.0,
+            ).outcome()
+            assert outcome.output == b"r" * (4 * 1024 * 1024)
+            assert len(backend._shm) == 0
+        assert leaked_segments() == []
+
+    def test_default_threshold_is_the_module_default(self):
+        with ProcessBackend(workers=1) as backend:
+            assert backend.shm_threshold == DEFAULT_SHM_THRESHOLD

@@ -1,0 +1,233 @@
+"""The shared-memory data plane on the cluster transport.
+
+Same-host worker agents negotiate the ``shm`` capability at
+HELLO/WELCOME and then ship large arguments and results as ``grasp-*``
+segment descriptors through the existing v2 frames — which lifts the
+64MiB inline frame cap on local paths.  Remote-style (shm-off) workers
+keep the classic inline frames bit-identically, and an oversized inline
+result fails its one task with an actionable error instead of poisoning
+the connection.  Worker death while argument segments are in flight must
+release every coordinator-owned segment.
+
+Payload functions are module-level (the picklable-payload contract);
+LocalCluster propagates ``sys.path`` so the agents can import them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.shm import SEGMENT_PREFIX
+from repro.cluster import LocalCluster
+from repro.cluster.protocol import PROTOCOL_VERSION, FrameDecoder, Hello, Welcome, encode
+from repro.skeletons.base import Task
+
+OVERSIZED_BYTES = 72 * 1024 * 1024       # over the 64MiB inline frame cap
+
+
+def _double_task(task: Task):
+    return task.payload * 2
+
+
+def _oversized_result(task: Task):
+    return b"y" * OVERSIZED_BYTES
+
+
+def _sleep_forever(task: Task):  # pragma: no cover - killed mid-task
+    time.sleep(30.0)
+    return None
+
+
+def leaked_segments():
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(SEGMENT_PREFIX))
+    except OSError:  # pragma: no cover - non-POSIX-shm host
+        return []
+
+
+@pytest.fixture(autouse=True)
+def clean_shm():
+    """Start from a clean slate so one failure cannot cascade leaks."""
+    for name in leaked_segments():
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except OSError:
+            pass
+    yield
+
+
+def _decode_roundtrip(message):
+    decoder = FrameDecoder()
+    messages = decoder.feed(encode(message))
+    assert len(messages) == 1
+    return messages[0]
+
+
+class TestCapabilityNegotiation:
+    def test_hello_and_welcome_default_shm_off(self):
+        # Frames from peers predating the field decode to shm=False.
+        hello = Hello(node_id="n0", host="h", pid=1, cpus=2)
+        assert hello.shm is False
+        assert Welcome(node_id="n0").shm is False
+
+    def test_shm_flag_survives_the_wire(self):
+        hello = _decode_roundtrip(Hello(node_id="n0", host="h", pid=1,
+                                        cpus=2, shm=True))
+        assert hello.shm is True
+        assert hello.protocol == PROTOCOL_VERSION
+        welcome = _decode_roundtrip(Welcome(node_id="n0", shm=True))
+        assert welcome.shm is True
+
+    def test_local_cluster_advertises_shm_by_default(self):
+        with LocalCluster(workers=1) as cluster:
+            assert cluster.coordinator.shm_threshold > 0
+            conn = next(iter(cluster.coordinator._workers.values()))
+            assert conn.shm is True
+
+    def test_threshold_zero_disables_negotiation(self):
+        with LocalCluster(workers=1, shm_threshold=0) as cluster:
+            assert cluster.coordinator.shm_threshold == 0
+            conn = next(iter(cluster.coordinator._workers.values()))
+            assert conn.shm is False
+
+
+class TestClusterDataPlane:
+    def test_large_numpy_roundtrip_and_writable_result(self):
+        arr = np.arange(512 * 1024, dtype=np.float64)       # 4 MiB
+        with LocalCluster(workers=2) as cluster:
+            backend = cluster.backend()
+            try:
+                nodes = backend.available_nodes(0.0)
+                outcome = backend.dispatch(
+                    Task(task_id=0, payload=arr), nodes[0], _double_task,
+                    master_node=nodes[0], at_time=0.0,
+                ).outcome()
+                assert not outcome.lost
+                assert np.array_equal(outcome.output, arr * 2)
+                outcome.output[0] = -1.0        # private writable copy
+                assert cluster.coordinator.shm_segment_count() == 0
+            finally:
+                backend.close()
+        assert leaked_segments() == []
+
+    def test_chunk_of_large_payloads(self):
+        arr = np.arange(256 * 1024, dtype=np.float64)       # 2 MiB each
+        with LocalCluster(workers=2) as cluster:
+            backend = cluster.backend()
+            try:
+                nodes = backend.available_nodes(0.0)
+                tasks = [Task(task_id=i, payload=arr + i) for i in range(4)]
+                chunk = backend.dispatch_chunk(
+                    tasks, nodes[-1], _double_task,
+                    master_node=nodes[0], at_time=0.0,
+                ).outcome()
+                for i, outcome in enumerate(chunk.outcomes):
+                    assert np.array_equal(outcome.output, (arr + i) * 2)
+            finally:
+                backend.close()
+        assert leaked_segments() == []
+
+    def test_result_over_frame_cap_travels_via_shm(self):
+        with LocalCluster(workers=1) as cluster:
+            backend = cluster.backend()
+            try:
+                nodes = backend.available_nodes(0.0)
+                outcome = backend.dispatch(
+                    Task(task_id=0, payload=None), nodes[0],
+                    _oversized_result, master_node=nodes[0], at_time=0.0,
+                ).outcome()
+                assert not outcome.lost
+                assert len(outcome.output) == OVERSIZED_BYTES
+                assert outcome.output == b"y" * OVERSIZED_BYTES
+            finally:
+                backend.close()
+        assert leaked_segments() == []
+
+    def test_shm_off_matches_shm_on_bit_identically(self):
+        arr = np.arange(384 * 1024, dtype=np.float64)       # 3 MiB
+        outputs = {}
+        for label, threshold in (("on", None), ("off", 0)):
+            with LocalCluster(workers=1, shm_threshold=threshold) as cluster:
+                backend = cluster.backend()
+                try:
+                    nodes = backend.available_nodes(0.0)
+                    outcome = backend.dispatch(
+                        Task(task_id=0, payload=arr), nodes[0],
+                        _double_task, master_node=nodes[0], at_time=0.0,
+                    ).outcome()
+                    outputs[label] = outcome.output
+                finally:
+                    backend.close()
+        assert outputs["on"].dtype == outputs["off"].dtype
+        assert outputs["on"].tobytes() == outputs["off"].tobytes()
+        assert leaked_segments() == []
+
+
+class TestOversizedInlineResult:
+    def test_fails_the_task_with_actionable_error(self):
+        # Regression: a >64MiB inline result on a shm-less connection used
+        # to surface as an opaque worker-side ProtocolError repr; it must
+        # fail its one task with a clear remedy instead.
+        with LocalCluster(workers=1, shm_threshold=0) as cluster:
+            backend = cluster.backend()
+            try:
+                nodes = backend.available_nodes(0.0)
+                handle = backend.dispatch(
+                    Task(task_id=0, payload=None), nodes[0],
+                    _oversized_result, master_node=nodes[0], at_time=0.0,
+                )
+                with pytest.raises(Exception) as excinfo:
+                    handle.outcome()
+                message = str(excinfo.value)
+                assert ("result exceeds frame cap — enable shm or "
+                        "chunk smaller") in message
+                # The connection survives: the next dispatch succeeds.
+                ok = backend.dispatch(
+                    Task(task_id=1, payload=21), nodes[0], _double_task,
+                    master_node=nodes[0], at_time=0.0,
+                ).outcome()
+                assert ok.output == 42
+            finally:
+                backend.close()
+        assert leaked_segments() == []
+
+
+class TestWorkerDeathUnderShm:
+    def test_killed_worker_releases_coordinator_segments(self):
+        arr = np.ones(1024 * 1024, dtype=np.uint8)          # 1 MiB args
+        with LocalCluster(workers=2, shm_threshold=1024) as cluster:
+            backend = cluster.backend()
+            try:
+                nodes = backend.available_nodes(0.0)
+                victim = nodes[0]
+                handle = backend.dispatch(
+                    Task(task_id=0, payload=arr), victim, _sleep_forever,
+                    master_node=nodes[-1], at_time=0.0,
+                )
+                deadline = time.monotonic() + 5.0
+                while (cluster.coordinator.shm_segment_count() == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+                assert cluster.coordinator.shm_segment_count() >= 1
+                cluster.kill_worker(victim)
+                deadline = time.monotonic() + 10.0
+                while (cluster.coordinator.shm_segment_count() > 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+                assert cluster.coordinator.shm_segment_count() == 0
+                assert handle.outcome().lost
+                # The survivor keeps serving through the data plane.
+                ok = backend.dispatch(
+                    Task(task_id=1, payload=arr), nodes[-1], _double_task,
+                    master_node=nodes[-1], at_time=0.0,
+                ).outcome()
+                assert not ok.lost
+                assert np.array_equal(ok.output, arr * 2)
+            finally:
+                backend.close()
+        assert leaked_segments() == []

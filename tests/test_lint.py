@@ -466,6 +466,54 @@ def test_gc009_clean_without_clock_calls():
     assert lint_as("src/repro/metrics/registry.py", ok) == []
 
 
+# ---------------------------------------------------------------------- GC010
+
+
+def test_gc010_fires_on_raw_shared_memory_outside_shm_module():
+    bad = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def grab(n):\n"
+        "    return SharedMemory(create=True, size=n)\n"
+    )
+    assert ids_of(lint_as("src/repro/cluster/coordinator.py", bad)) == ["GC010"]
+
+
+def test_gc010_fires_on_module_attribute_and_alias_forms():
+    bad = (
+        "from multiprocessing import shared_memory\n"
+        "from multiprocessing.shared_memory import SharedMemory as SM\n"
+        "def grab(n):\n"
+        "    a = shared_memory.SharedMemory(create=True, size=n)\n"
+        "    b = SM(name='x')\n"
+        "    return a, b\n"
+    )
+    findings = ids_of(lint_as("src/repro/backends/process.py", bad))
+    assert findings == ["GC010", "GC010"]
+
+
+def test_gc010_clean_inside_backends_shm_module():
+    ok = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def grab(n):\n"
+        "    return SharedMemory(create=True, size=n)\n"
+    )
+    assert lint_as("src/repro/backends/shm.py", ok) == []
+
+
+def test_gc010_clean_when_going_through_the_registry():
+    ok = (
+        "from repro.backends.shm import BufferRegistry\n"
+        "def grab(registry, n):\n"
+        "    return registry.create(n)\n"
+    )
+    assert lint_as("src/repro/cluster/coordinator.py", ok) == []
+
+
+def test_gc010_import_alone_does_not_fire():
+    ok = "from multiprocessing.shared_memory import SharedMemory\n"
+    assert lint_as("src/repro/cluster/x.py", ok) == []
+
+
 # ------------------------------------------------------------------- capstone
 
 
